@@ -1,0 +1,40 @@
+(* Experiment harness entry point.
+
+   dune exec bench/main.exe              -- run every experiment + micro
+   dune exec bench/main.exe -- --only ID -- run one experiment
+   dune exec bench/main.exe -- --list    -- list experiment ids *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let only =
+    let rec find = function
+      | "--only" :: id :: _ -> Some id
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  if List.mem "--list" args then begin
+    List.iter (fun (id, _) -> print_endline id) Experiments.all;
+    print_endline "micro"
+  end
+  else begin
+    print_endline "Lateral Thinking for Trustworthy Apps — experiment harness";
+    print_endline "(each SHAPE line asserts the qualitative claim the paper makes)";
+    let failures = ref [] in
+    let run (id, f) =
+      match only with
+      | Some o when o <> id -> ()
+      | _ -> if not (f ()) then failures := id :: !failures
+    in
+    List.iter run Experiments.all;
+    (match only with
+     | None | Some "micro" -> Micro.run_all ()
+     | Some _ -> ());
+    print_newline ();
+    if !failures = [] then print_endline "ALL SHAPES PASS"
+    else begin
+      Printf.printf "SHAPE FAILURES: %s\n" (String.concat ", " !failures);
+      exit 1
+    end
+  end

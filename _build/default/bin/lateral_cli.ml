@@ -1,0 +1,284 @@
+(* lateral: command-line tool for the trusted component ecosystem.
+
+   Subcommands inspect substrate properties, analyse horizontal
+   applications, and run the paper's end-to-end scenarios. *)
+
+open Lt_crypto
+open Lateral
+
+(* --- substrates ------------------------------------------------------------ *)
+
+let all_substrates () =
+  let rng = Drbg.create 1L in
+  let ca = Rsa.generate ~bits:512 rng in
+  let acc = ref [] in
+  let m1 = Lt_hw.Machine.create ~dram_pages:128 () in
+  let sgx, _ = Substrate_sgx.make m1 rng ~ca_name:"intel" ~ca_key:ca () in
+  acc := sgx :: !acc;
+  let m2 = Lt_hw.Machine.create ~dram_pages:64 () in
+  Lt_hw.Fuse.program m2.Lt_hw.Machine.fuses ~name:"devkey"
+    ~visibility:Lt_hw.Fuse.Secure_only (Drbg.bytes rng 32);
+  (match
+     Substrate_trustzone.make m2 ~vendor:ca.Rsa.pub
+       ~image:(Lt_tpm.Boot.sign_stage ca ~name:"tz-os" "tz-os-v1")
+       ~device_id:"dev" ~device_key_name:"devkey" ~secure_pages:4
+   with
+   | Ok (tz, _) -> acc := tz :: !acc
+   | Error _ -> ());
+  let m3 = Lt_hw.Machine.create ~dram_pages:64 () in
+  let sep, _, _ = Substrate_sep.make m3 rng ~device_id:"dev" ~private_pages:4 in
+  acc := sep :: !acc;
+  let tpm = Lt_tpm.Tpm.manufacture rng ~ca_name:"tpm-vendor" ~ca_key:ca ~serial:"1" in
+  acc := Substrate_flicker.make tpm () :: !acc;
+  let m4 = Lt_hw.Machine.create ~dram_pages:128 () in
+  let mk, _ =
+    Substrate_kernel.make m4 (Lt_kernel.Sched.Round_robin { quantum = 500 }) ()
+  in
+  acc := mk :: !acc;
+  let m5 = Lt_hw.Machine.create ~dram_pages:128 () in
+  let tpm2 = Lt_tpm.Tpm.manufacture rng ~ca_name:"tpm-vendor" ~ca_key:ca ~serial:"2" in
+  let mk_tpm, _ =
+    Substrate_kernel.make m5 (Lt_kernel.Sched.Round_robin { quantum = 500 }) ~tpm:tpm2 ()
+  in
+  acc := mk_tpm :: !acc;
+  let cheri, _, _ = Substrate_cheri.make rng ~size:(1 lsl 17) () in
+  acc := cheri :: !acc;
+  let m3, _ = Substrate_m3.make rng ~ca_name:"m3-mfg" ~ca_key:ca ~tiles:8 () in
+  acc := m3 :: !acc;
+  List.rev !acc
+
+let cmd_substrates () =
+  let subs = all_substrates () in
+  Printf.printf "%-16s %-11s %-7s %-6s %-9s %-8s %s\n" "substrate" "concurrent"
+    "mutual" "cache" "progress" "tcb-loc" "defends";
+  Printf.printf "%s\n" (String.make 100 '-');
+  List.iter
+    (fun (s : Substrate.t) ->
+      let p = s.Substrate.properties in
+      Printf.printf "%-16s %-11b %-7b %-6b %-9b %-8d %s\n"
+        p.Substrate.substrate_name p.Substrate.concurrent_components
+        p.Substrate.mutually_isolated p.Substrate.shared_cache_with_host
+        p.Substrate.progress_guaranteed
+        (List.fold_left (fun a (_, n) -> a + n) 0 p.Substrate.tcb)
+        (String.concat ","
+           (List.map
+              (fun m -> Format.asprintf "%a" Substrate.pp_attacker_model m)
+              p.Substrate.defends)))
+    subs;
+  0
+
+(* --- mail analysis ----------------------------------------------------------- *)
+
+let cmd_mail vertical exploit =
+  let app = Scenario_mail.build ~vertical in
+  Printf.printf "mail client, %s design\n"
+    (if vertical then "vertical (monolithic)" else "horizontal (decomposed)");
+  (match App.validate app with
+   | Ok () -> ()
+   | Error errs -> List.iter (Printf.printf "manifest error: %s\n") errs);
+  Printf.printf "\ncomponents:\n";
+  List.iter
+    (fun m -> Printf.printf "  %s\n" (Format.asprintf "%a" Manifest.pp m))
+    (App.manifests app);
+  (match exploit with
+   | None ->
+     Printf.printf "\ncontainment (fraction of app owned when exploited):\n";
+     List.iter
+       (fun name ->
+         let r = Analysis.compromise_reach app name in
+         Printf.printf "  %-12s %s\n" name (Format.asprintf "%a" Analysis.pp_reach r))
+       Scenario_mail.component_names
+   | Some name ->
+     let r = Analysis.compromise_reach app name in
+     Printf.printf "\nexploiting %s: %s\n" name
+       (Format.asprintf "%a" Analysis.pp_reach r);
+     Printf.printf "invocable authority:\n";
+     List.iter
+       (fun (t, s) -> Printf.printf "  %s.%s\n" t s)
+       r.Analysis.invocable);
+  let risks = Analysis.confused_deputy_risks app in
+  Printf.printf "\nconfused deputy risks: %d\n" (List.length risks);
+  List.iter
+    (fun (c, s, callers) ->
+      Printf.printf "  %s.%s serves %s without badge checks\n" c s
+        (String.concat ", " callers))
+    risks;
+  0
+
+(* --- meter -------------------------------------------------------------------- *)
+
+let cmd_meter tamper =
+  let tampers =
+    match tamper with
+    | None -> Scenario_meter.all_tampers
+    | Some name ->
+      (match
+         List.find_opt
+           (fun t -> Scenario_meter.tamper_name t = name)
+           Scenario_meter.all_tampers
+       with
+       | Some t -> [ t ]
+       | None ->
+         Printf.eprintf "unknown tamper %S; known: %s\n" name
+           (String.concat ", "
+              (List.map Scenario_meter.tamper_name Scenario_meter.all_tampers));
+         exit 1)
+  in
+  Printf.printf "%-26s %-10s %-8s %-9s %s\n" "scenario" "anonymizer" "sent"
+    "accepted" "detail";
+  List.iter
+    (fun t ->
+      let o = Scenario_meter.run t in
+      Printf.printf "%-26s %-10b %-8b %-9b %s\n" (Scenario_meter.tamper_name t)
+        o.Scenario_meter.anonymizer_verified o.Scenario_meter.reading_sent
+        o.Scenario_meter.reading_accepted o.Scenario_meter.detail)
+    tampers;
+  0
+
+(* --- gateway ------------------------------------------------------------------- *)
+
+let cmd_gateway () =
+  let direct, gated_victims, gated_utility = Scenario_meter.gateway_demo () in
+  Printf.printf "flood without gateway: %d packets reached victims\n" direct;
+  Printf.printf "flood through gateway: %d packets reached victims\n" gated_victims;
+  Printf.printf "legitimate telemetry delivered: %d packets\n" gated_utility;
+  0
+
+(* --- analyze a user-provided manifest file --------------------------------------- *)
+
+let cmd_analyze file exploit path =
+  match Manifest_file.load file with
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    1
+  | Ok manifests ->
+    let app = App.create () in
+    List.iter (App.add_stub app) manifests;
+    (match App.validate app with
+     | Ok () -> Printf.printf "%s: %d components, manifests consistent\n" file
+                  (List.length manifests)
+     | Error errs ->
+       Printf.printf "%s: %d components, %d dangling connections:\n" file
+         (List.length manifests) (List.length errs);
+       List.iter (Printf.printf "  %s\n") errs);
+    Printf.printf "\ndomains:\n";
+    List.iter
+      (fun (d, cs) -> Printf.printf "  %-14s %s\n" d (String.concat ", " cs))
+      (Analysis.domains app);
+    let tcb_of_substrate = function
+      | "monolithic-os" -> 30_000
+      | "sgx" -> 25_000
+      | "trustzone" -> 19_000
+      | "sep" -> 13_000
+      | "flicker" -> 8_000
+      | "m3-noc" -> 8_000
+      | "cheri" -> 5_500
+      | _ -> 12_000 (* microkernel and unknown *)
+    in
+    Printf.printf "\n%-16s %-10s %-14s %-10s\n" "component" "tcb-loc" "owned-if-hit"
+      "surface";
+    List.iter
+      (fun m ->
+        let name = m.Manifest.name in
+        let r = Analysis.compromise_reach app name in
+        Printf.printf "%-16s %-10d %-14s %-10d\n" name
+          (Analysis.tcb app ~tcb_of_substrate name)
+          (Printf.sprintf "%.0f%%" (100. *. r.Analysis.owned_fraction))
+          (Analysis.attack_surface app name))
+      manifests;
+    (match exploit with
+     | None -> ()
+     | Some name ->
+       let r = Analysis.compromise_reach app name in
+       Printf.printf "\nexploiting %s: %s\n" name
+         (Format.asprintf "%a" Analysis.pp_reach r));
+    (match path with
+     | None -> ()
+     | Some spec ->
+       (match String.split_on_char ':' spec with
+        | [ src; dst ] ->
+          let ps = Analysis.paths app ~src ~dst in
+          Printf.printf "\nauthority paths %s -> %s: %d\n" src dst (List.length ps);
+          List.iter
+            (fun p -> Printf.printf "  %s\n" (String.concat " -> " p))
+            ps
+        | _ -> Printf.eprintf "expected --path SRC:DST\n"));
+    let risks = Analysis.confused_deputy_risks app in
+    Printf.printf "\nconfused deputy risks: %d\n" (List.length risks);
+    List.iter
+      (fun (c, s, callers) ->
+        Printf.printf "  %s.%s serves %s without badge checks\n" c s
+          (String.concat ", " callers))
+      risks;
+    0
+
+(* --- cmdliner wiring ------------------------------------------------------------ *)
+
+open Cmdliner
+
+let substrates_cmd =
+  Cmd.v
+    (Cmd.info "substrates"
+       ~doc:"Compare the isolation substrates' properties (paper Table, \\u{a7}II)")
+    Term.(const cmd_substrates $ const ())
+
+let mail_cmd =
+  let vertical =
+    Arg.(value & flag & info [ "vertical" ] ~doc:"Analyse the monolithic shape")
+  in
+  let exploit =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "exploit" ] ~docv:"COMPONENT" ~doc:"Show the blast radius of one exploit")
+  in
+  Cmd.v
+    (Cmd.info "mail" ~doc:"Analyse the email-client scenario (Figure 1)")
+    Term.(const cmd_mail $ vertical $ exploit)
+
+let meter_cmd =
+  let tamper =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tamper" ] ~docv:"SCENARIO" ~doc:"Run one tamper scenario only")
+  in
+  Cmd.v
+    (Cmd.info "meter" ~doc:"Run the smart-meter scenario (Figure 3)")
+    Term.(const cmd_meter $ tamper)
+
+let gateway_cmd =
+  Cmd.v
+    (Cmd.info "gateway" ~doc:"Run the IoT DDoS gateway demo")
+    Term.(const cmd_gateway $ const ())
+
+let analyze_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"MANIFEST-FILE")
+  in
+  let exploit =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "exploit" ] ~docv:"COMPONENT" ~doc:"Show the blast radius of one exploit")
+  in
+  let path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "path" ] ~docv:"SRC:DST" ~doc:"Enumerate authority paths")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Analyse a component architecture described in a manifest file")
+    Term.(const cmd_analyze $ file $ exploit $ path)
+
+let () =
+  let info =
+    Cmd.info "lateral" ~version:"1.0.0"
+      ~doc:"Trusted component ecosystem: unified isolation interface and analyses"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ substrates_cmd; mail_cmd; meter_cmd; gateway_cmd; analyze_cmd ]))

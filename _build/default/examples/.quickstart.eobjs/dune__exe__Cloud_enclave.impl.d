@@ -1,0 +1,1 @@
+examples/cloud_enclave.ml: Lateral List Printf Scenario_cloud String

@@ -1,0 +1,1 @@
+examples/email_client.mli:

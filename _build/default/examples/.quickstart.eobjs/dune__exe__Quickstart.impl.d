@@ -1,0 +1,1 @@
+examples/quickstart.ml: Attestation Drbg Format Lateral Lt_crypto Lt_hw Lt_kernel Lt_tpm Printf Rsa Sha256 String Substrate Substrate_kernel Substrate_sgx Substrate_trustzone

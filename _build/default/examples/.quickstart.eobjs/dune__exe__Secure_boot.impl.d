@@ -1,0 +1,1 @@
+examples/secure_boot.ml: Boot Cert Drbg Latelaunch List Lt_crypto Lt_tpm Pcr Printf Rsa Sha256 String Tpm

@@ -1,0 +1,1 @@
+examples/smart_meter.ml: Lateral List Printf Scenario_meter String

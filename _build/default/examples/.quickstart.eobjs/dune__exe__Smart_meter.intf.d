@@ -1,0 +1,1 @@
+examples/smart_meter.mli:

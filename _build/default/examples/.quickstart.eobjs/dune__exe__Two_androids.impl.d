@@ -1,0 +1,1 @@
+examples/two_androids.ml: Kernel Legacy_os List Lt_hw Lt_kernel Option Printf Sched

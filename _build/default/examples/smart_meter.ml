@@ -1,0 +1,36 @@
+(* The smart-meter appliance and utility server — Figure 3 end to end.
+
+   Run with: dune exec examples/smart_meter.exe *)
+
+open Lateral
+
+let () =
+  print_endline "Smart meter <-> utility server (Figure 3)";
+  print_endline "";
+  Printf.printf "%-26s %-10s %-8s %-9s %-6s %-8s %s\n" "scenario" "anonymizer"
+    "sent" "accepted" "rows" "id-leak" "detail";
+  Printf.printf "%s\n" (String.make 110 '-');
+  List.iter
+    (fun tamper ->
+      let o = Scenario_meter.run tamper in
+      Printf.printf "%-26s %-10b %-8b %-9b %-6d %-8b %s\n"
+        (Scenario_meter.tamper_name tamper)
+        o.Scenario_meter.anonymizer_verified o.Scenario_meter.reading_sent
+        o.Scenario_meter.reading_accepted o.Scenario_meter.anonymized_rows
+        o.Scenario_meter.customer_id_leaked o.Scenario_meter.detail)
+    Scenario_meter.all_tampers;
+  print_endline "";
+  print_endline "Key observations:";
+  print_endline "  - genuine: billed, database holds kWh only (engineered privacy)";
+  print_endline "  - manipulated anonymizer: the METER refuses before any data leaves";
+  print_endline "  - emulated meter / mitm / replay: the UTILITY rejects";
+  print_endline "  - unsigned secure world: the boot ROM refuses the device itself";
+  print_endline "  - authentication is password-less: nothing for phishing to steal";
+  print_endline "";
+  print_endline "IoT DDoS gateway (exclusive NIC access):";
+  let direct, gated_victims, gated_utility = Scenario_meter.gateway_demo () in
+  Printf.printf "  flood without gateway: %d packets reached victims\n" direct;
+  Printf.printf "  flood through gateway: %d packets reached victims\n" gated_victims;
+  Printf.printf "  legitimate telemetry still delivered: %d packets\n" gated_utility;
+  print_endline "";
+  print_endline "smart meter demo done."

@@ -1,0 +1,1 @@
+lib/cheri/cheri.ml: Bytes Printf String

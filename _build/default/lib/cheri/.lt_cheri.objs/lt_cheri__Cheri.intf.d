@@ -1,0 +1,1 @@
+lib/cheri/cheri.mli:

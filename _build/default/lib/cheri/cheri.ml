@@ -1,0 +1,78 @@
+type perms = { load : bool; store : bool }
+
+type cap = {
+  c_base : int;
+  c_len : int;
+  c_perms : perms;
+  c_seal : int option; (* otype when sealed *)
+}
+
+type t = { mem : Bytes.t }
+
+exception Capability_fault of string
+
+let fault fmt = Printf.ksprintf (fun s -> raise (Capability_fault s)) fmt
+
+let create ~size =
+  if size <= 0 then invalid_arg "Cheri.create";
+  { mem = Bytes.make size '\000' }
+
+let root t =
+  { c_base = 0;
+    c_len = Bytes.length t.mem;
+    c_perms = { load = true; store = true };
+    c_seal = None }
+
+let check_unsealed cap op =
+  match cap.c_seal with
+  | Some _ -> fault "%s through a sealed capability" op
+  | None -> ()
+
+let derive cap ~off ~len ~perms =
+  check_unsealed cap "derive";
+  if off < 0 || len < 0 || off + len > cap.c_len then
+    fault "derive out of bounds: off=%d len=%d parent-len=%d" off len cap.c_len;
+  if (perms.load && not cap.c_perms.load) || (perms.store && not cap.c_perms.store)
+  then fault "derive cannot add permissions";
+  { c_base = cap.c_base + off; c_len = len; c_perms = perms; c_seal = None }
+
+let base cap = cap.c_base
+
+let length cap = cap.c_len
+
+let permissions cap = cap.c_perms
+
+let load t cap ~off ~len =
+  check_unsealed cap "load";
+  if not cap.c_perms.load then fault "load permission missing";
+  if off < 0 || len < 0 || off + len > cap.c_len then
+    fault "load out of bounds: off=%d len=%d cap-len=%d" off len cap.c_len;
+  Bytes.sub_string t.mem (cap.c_base + off) len
+
+let store t cap ~off data =
+  check_unsealed cap "store";
+  if not cap.c_perms.store then fault "store permission missing";
+  let len = String.length data in
+  if off < 0 || off + len > cap.c_len then
+    fault "store out of bounds: off=%d len=%d cap-len=%d" off len cap.c_len;
+  Bytes.blit_string data 0 t.mem (cap.c_base + off) len
+
+type otype = int
+
+let seal _t cap ~otype =
+  check_unsealed cap "seal";
+  if otype < 0 then fault "invalid otype";
+  { cap with c_seal = Some otype }
+
+let is_sealed cap = cap.c_seal <> None
+
+let invoke _t ~code ~data f =
+  match (code.c_seal, data.c_seal) with
+  | Some a, Some b when a = b -> f { data with c_seal = None }
+  | Some _, Some _ -> fault "invoke: otype mismatch"
+  | _ -> fault "invoke: both capabilities must be sealed"
+
+let flat_read t ~addr ~len =
+  if addr < 0 || len < 0 || addr + len > Bytes.length t.mem then
+    invalid_arg "Cheri.flat_read";
+  Bytes.sub_string t.mem addr len

@@ -1,0 +1,72 @@
+(** CHERI-style capability machine (§III-D).
+
+    "The research community even discusses architectures with hardware
+    capabilities to enable even more fine-grained disaggregation of
+    authority. The CHERI capability system is implemented as a modified
+    MIPS CPU, using guarded pointers as capabilities."
+
+    The model: a single flat memory, but every access goes through a
+    guarded pointer carrying bounds and permissions, checked by
+    "hardware". Capabilities are unforgeable (abstract type) and
+    monotone: derivation can only shrink bounds and drop permissions.
+    Sealing binds a capability to an object type so it can cross
+    compartments opaquely and be exercised only by an [invoke] through
+    the matching entry capability — the CCall pattern. *)
+
+type t
+(** One capability machine (memory + sealing state). *)
+
+type cap
+(** A guarded pointer. Values of this type are the only way to touch
+    memory; OCaml's abstraction plays the role of tag-protected
+    registers. *)
+
+type perms = { load : bool; store : bool }
+
+exception Capability_fault of string
+
+val create : size:int -> t
+
+(** [root t] is the initial all-powerful capability, held by the
+    "firmware" that sets up compartments. *)
+val root : t -> cap
+
+(** [derive cap ~off ~len ~perms] — a smaller view. Monotonicity is
+    enforced: offsets beyond the parent's bounds or added permissions
+    raise {!Capability_fault}. [off] is relative to [cap]'s base. *)
+val derive : cap -> off:int -> len:int -> perms:perms -> cap
+
+val base : cap -> int
+
+val length : cap -> int
+
+val permissions : cap -> perms
+
+(** [load t cap ~off ~len] / [store t cap ~off data] — bounds- and
+    permission-checked memory access. *)
+val load : t -> cap -> off:int -> len:int -> string
+
+val store : t -> cap -> off:int -> string -> unit
+
+(** {2 Sealing (compartment crossing)} *)
+
+type otype = int
+
+(** [seal t cap ~otype] makes the capability opaque: it cannot be used
+    for load/store or derivation until unsealed by an [invoke] with the
+    same type. *)
+val seal : t -> cap -> otype:otype -> cap
+
+val is_sealed : cap -> bool
+
+(** [invoke t ~code ~data f] — CCall: [code] and [data] must be sealed
+    with the same otype; [f] runs as the compartment with the unsealed
+    data capability. Raises {!Capability_fault} on a type mismatch. *)
+val invoke : t -> code:cap -> data:cap -> (cap -> 'a) -> 'a
+
+(** {2 Attack surface for experiments} *)
+
+(** [flat_read t ~addr ~len] — what a conventional (non-CHERI) machine
+    would allow: an unchecked read of physical memory. Used as the
+    baseline in the buffer-overflow experiment. *)
+val flat_read : t -> addr:int -> len:int -> string

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: App Float Format Hashtbl List Manifest Option Stdlib String

@@ -1,0 +1,1 @@
+lib/core/app.ml: Hashtbl List Manifest Option Printexc Printf Stdlib

@@ -1,0 +1,1 @@
+lib/core/attestation.ml: Cert Format Hmac List Lt_crypto Rsa Wire

@@ -1,0 +1,1 @@
+lib/core/attestation.mli: Format Lt_crypto

@@ -1,0 +1,1 @@
+lib/core/deploy.ml: App Hashtbl List Manifest Option Printf String Substrate

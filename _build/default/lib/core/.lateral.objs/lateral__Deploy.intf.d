@@ -1,0 +1,1 @@
+lib/core/deploy.mli: App Attestation Manifest Substrate

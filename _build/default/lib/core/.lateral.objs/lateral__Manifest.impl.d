@@ -1,0 +1,1 @@
+lib/core/manifest.ml: Format List Option Printf String

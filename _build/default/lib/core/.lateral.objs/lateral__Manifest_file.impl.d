@@ -1,0 +1,1 @@
+lib/core/manifest_file.ml: Buffer In_channel List Manifest Printf String

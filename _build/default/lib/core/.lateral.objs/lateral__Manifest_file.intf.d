@@ -1,0 +1,1 @@
+lib/core/manifest_file.mli: Manifest

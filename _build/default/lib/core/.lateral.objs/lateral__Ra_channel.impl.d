@@ -1,0 +1,1 @@
+lib/core/ra_channel.ml: Attestation Ct Drbg Format Lt_crypto Lt_net Sha256 Substrate Wire

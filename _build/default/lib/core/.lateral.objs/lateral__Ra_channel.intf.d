@@ -1,0 +1,1 @@
+lib/core/ra_channel.mli: Attestation Lt_crypto Lt_net Substrate

@@ -1,0 +1,1 @@
+lib/core/scenario_cloud.ml: Cert Drbg Hmac List Lt_crypto Lt_hw Lt_sgx Rsa Sha256 String Wire

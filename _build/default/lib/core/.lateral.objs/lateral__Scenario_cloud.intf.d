@@ -1,0 +1,1 @@
+lib/core/scenario_cloud.mli:

@@ -1,0 +1,1 @@
+lib/core/scenario_meter.ml: Attestation Drbg Format List Lt_crypto Lt_hw Lt_net Lt_tpm Option Printf Rsa Sha256 String Substrate Substrate_sgx Substrate_trustzone Wire

@@ -1,0 +1,1 @@
+lib/core/substrate.ml: Attestation Format List

@@ -1,0 +1,1 @@
+lib/core/substrate.mli: Attestation Format

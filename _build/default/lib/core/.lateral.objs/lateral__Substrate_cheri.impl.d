@@ -1,0 +1,1 @@
+lib/core/substrate_cheri.ml: Drbg Hashtbl Hkdf List Lt_cheri Lt_crypto Option Printexc Printf Sha256 Speck Stdlib String Substrate Wire

@@ -1,0 +1,1 @@
+lib/core/substrate_cheri.mli: Lt_cheri Lt_crypto Substrate

@@ -1,0 +1,1 @@
+lib/core/substrate_flicker.ml: Attestation Ct Fun Hashtbl Latelaunch List Lt_crypto Lt_tpm Pcr Printf Stdlib Substrate Tpm Wire

@@ -1,0 +1,1 @@
+lib/core/substrate_flicker.mli: Lt_hw Lt_tpm Substrate

@@ -1,0 +1,1 @@
+lib/core/substrate_kernel.ml: Attestation Drbg Hashtbl Hkdf Kernel List Lt_crypto Lt_hw Lt_kernel Lt_tpm Option Printexc Printf Sha256 Speck Stdlib String Substrate Sys Tpm User Wire

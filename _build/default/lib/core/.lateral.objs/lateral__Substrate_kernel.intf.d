@@ -1,0 +1,1 @@
+lib/core/substrate_kernel.mli: Lt_crypto Lt_hw Lt_kernel Lt_tpm Substrate

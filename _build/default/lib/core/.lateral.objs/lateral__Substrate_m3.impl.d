@@ -1,0 +1,1 @@
+lib/core/substrate_m3.ml: Attestation Cert Drbg Hashtbl Hkdf List Lt_crypto Lt_noc Option Printf Rsa Sha256 Speck Stdlib String Substrate Wire

@@ -1,0 +1,1 @@
+lib/core/substrate_m3.mli: Lt_crypto Lt_noc Substrate

@@ -1,0 +1,1 @@
+lib/core/substrate_sep.ml: Attestation Hashtbl Hmac List Lt_crypto Lt_sep Printf Sha256 Speck String Substrate Wire

@@ -1,0 +1,1 @@
+lib/core/substrate_sep.mli: Lt_crypto Lt_hw Lt_sep Substrate

@@ -1,0 +1,1 @@
+lib/core/substrate_sgx.ml: Attestation Hashtbl List Lt_crypto Lt_sgx Stdlib String Substrate Wire

@@ -1,0 +1,1 @@
+lib/core/substrate_sgx.mli: Lt_crypto Lt_hw Lt_sgx Substrate

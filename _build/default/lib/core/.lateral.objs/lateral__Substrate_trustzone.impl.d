@@ -1,0 +1,1 @@
+lib/core/substrate_trustzone.ml: Attestation Hkdf Hmac List Lt_crypto Lt_trustzone Printf Sha256 Speck String Substrate Wire

@@ -1,0 +1,1 @@
+lib/core/substrate_trustzone.mli: Lt_crypto Lt_hw Lt_tpm Lt_trustzone Substrate

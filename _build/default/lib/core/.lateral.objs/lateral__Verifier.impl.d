@@ -1,0 +1,1 @@
+lib/core/verifier.ml: Attestation Drbg Format Hashtbl Lt_crypto Sha256

@@ -1,0 +1,1 @@
+lib/core/verifier.mli: Attestation Format Lt_crypto

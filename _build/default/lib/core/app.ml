@@ -1,0 +1,144 @@
+type ctx = {
+  self : string;
+  call : target:string -> service:string -> string -> (string, string) result;
+}
+
+type behaviour = ctx -> service:string -> string -> string
+
+type violation = { v_caller : string; v_target : string; v_service : string }
+
+type comp = {
+  man : Manifest.t;
+  mutable behave : behaviour;
+  mutable owned : bool;      (* compromised *)
+  mutable scanned : bool;    (* compromised payload already ran its sweep *)
+  mutable attempts : (string * string * bool) list; (* target, service, allowed *)
+}
+
+type t = {
+  comps : (string, comp) Hashtbl.t;
+  mutable viols : violation list; (* newest first *)
+}
+
+let create () = { comps = Hashtbl.create 16; viols = [] }
+
+let add t man behave =
+  if Hashtbl.mem t.comps man.Manifest.name then
+    invalid_arg (Printf.sprintf "App.add: duplicate component %s" man.Manifest.name);
+  Hashtbl.replace t.comps man.Manifest.name
+    { man; behave; owned = false; scanned = false; attempts = [] }
+
+let add_stub t man =
+  add t man (fun _ ~service req -> Printf.sprintf "%s:%s:%s" man.Manifest.name service req)
+
+let validate t =
+  let dangling = ref [] in
+  Hashtbl.iter
+    (fun name comp ->
+      List.iter
+        (fun c ->
+          match Hashtbl.find_opt t.comps c.Manifest.target with
+          | None ->
+            dangling :=
+              Printf.sprintf "%s -> %s (no such component)" name c.Manifest.target
+              :: !dangling
+          | Some target ->
+            if not (List.mem c.Manifest.service target.man.Manifest.provides) then
+              dangling :=
+                Printf.sprintf "%s -> %s.%s (no such service)" name c.Manifest.target
+                  c.Manifest.service
+                :: !dangling)
+        comp.man.Manifest.connects_to)
+    t.comps;
+  if !dangling = [] then Ok () else Error (List.sort Stdlib.compare !dangling)
+
+let manifests t =
+  Hashtbl.fold (fun _ c acc -> c.man :: acc) t.comps []
+  |> List.sort (fun a b -> Stdlib.compare a.Manifest.name b.Manifest.name)
+
+let manifest t name =
+  Option.map (fun c -> c.man) (Hashtbl.find_opt t.comps name)
+
+let authorized t ~caller ~target ~service =
+  match caller with
+  | None ->
+    (match Hashtbl.find_opt t.comps target with
+     | Some c -> c.man.Manifest.network_facing
+     | None -> false)
+  | Some caller_name ->
+    (match Hashtbl.find_opt t.comps caller_name with
+     | None -> false
+     | Some c ->
+       List.exists
+         (fun conn -> conn.Manifest.target = target && conn.Manifest.service = service)
+         c.man.Manifest.connects_to)
+
+let rec call t ~caller ~target ~service req =
+  match Hashtbl.find_opt t.comps target with
+  | None -> Error (Printf.sprintf "no component %S" target)
+  | Some comp ->
+    if not (authorized t ~caller ~target ~service) then begin
+      t.viols <-
+        { v_caller = Option.value caller ~default:"<external>";
+          v_target = target;
+          v_service = service }
+        :: t.viols;
+      Error
+        (Printf.sprintf "channel denied: %s -> %s.%s not in manifest"
+           (Option.value caller ~default:"<external>")
+           target service)
+    end
+    else if not (List.mem service comp.man.Manifest.provides) then
+      Error (Printf.sprintf "component %s does not provide %s" target service)
+    else begin
+      let ctx =
+        { self = target;
+          call = (fun ~target:t2 ~service:s2 r -> call t ~caller:(Some target) ~target:t2 ~service:s2 r) }
+      in
+      if comp.owned then run_payload t comp ctx;
+      try Ok (comp.behave ctx ~service req)
+      with exn -> Error (Printf.sprintf "component %s crashed: %s" target (Printexc.to_string exn))
+    end
+
+(* the attacker's payload: sweep every (component, service) in the app
+   and record which channels the runtime lets through *)
+and run_payload t comp ctx =
+  if not comp.scanned then begin
+    comp.scanned <- true;
+    let targets =
+      Hashtbl.fold
+        (fun name c acc ->
+          if name = comp.man.Manifest.name then acc
+          else List.map (fun s -> (name, s)) c.man.Manifest.provides @ acc)
+        t.comps []
+      |> List.sort Stdlib.compare
+    in
+    List.iter
+      (fun (target, service) ->
+        let allowed =
+          match ctx.call ~target ~service "exfiltrate" with
+          | Ok _ -> true
+          | Error _ -> false
+        in
+        comp.attempts <- (target, service, allowed) :: comp.attempts)
+      targets
+  end
+
+let violations t = List.rev t.viols
+
+let compromise t name =
+  match Hashtbl.find_opt t.comps name with
+  | None -> invalid_arg (Printf.sprintf "App.compromise: no component %s" name)
+  | Some comp ->
+    comp.owned <- true;
+    (* the original behaviour is gone; the attacker answers everything *)
+    comp.behave <- (fun _ ~service:_ _ -> "pwned")
+
+let compromised t =
+  Hashtbl.fold (fun name c acc -> if c.owned then name :: acc else acc) t.comps []
+  |> List.sort Stdlib.compare
+
+let exfiltration_attempts t name =
+  match Hashtbl.find_opt t.comps name with
+  | None -> []
+  | Some c -> List.sort Stdlib.compare c.attempts

@@ -1,0 +1,62 @@
+(** The horizontal application runtime.
+
+    Assembles components (manifest + behaviour) into one application
+    and enforces {e communication control}: a call is connected only
+    when the caller's manifest declares the (target, service) channel —
+    everything else is blocked and recorded, whether the caller is
+    honest or compromised. This is the mechanism behind the paper's
+    containment claim: a subverted component keeps only its declared
+    authority. *)
+
+(** What a behaviour receives. *)
+type ctx = {
+  self : string;
+  call : target:string -> service:string -> string -> (string, string) result;
+      (** outbound calls, subject to the caller's manifest *)
+}
+
+(** [behaviour ctx ~service request] handles one entry point. *)
+type behaviour = ctx -> service:string -> string -> string
+
+type t
+
+type violation = { v_caller : string; v_target : string; v_service : string }
+
+val create : unit -> t
+
+(** [add t manifest behaviour] registers a component. Raises on
+    duplicate names. *)
+val add : t -> Manifest.t -> behaviour -> unit
+
+(** [add_stub t manifest] — a component that echoes; for analysis-only
+    scenarios. *)
+val add_stub : t -> Manifest.t -> unit
+
+(** [validate t] checks every declared connection names an existing
+    component and service; returns the dangling ones. *)
+val validate : t -> (unit, string list) result
+
+val manifests : t -> Manifest.t list
+
+val manifest : t -> string -> Manifest.t option
+
+(** [call t ~caller ~target ~service req] — [caller = None] means the
+    outside world (network, user), which may only reach components
+    marked [network_facing]. *)
+val call :
+  t -> caller:string option -> target:string -> service:string -> string ->
+  (string, string) result
+
+(** [violations t] — every blocked call so far, oldest first. *)
+val violations : t -> violation list
+
+(** [compromise t name] marks a component attacker-controlled; its
+    behaviour is replaced by one that attempts every call it can. *)
+val compromise : t -> string -> unit
+
+val compromised : t -> string list
+
+(** [exfiltration_attempts t name] — after {!compromise} and a call into
+    the component, which (target, service) pairs it managed to invoke
+    vs. had blocked. *)
+val exfiltration_attempts : t -> string -> (string * string * bool) list

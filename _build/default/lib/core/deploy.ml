@@ -1,0 +1,77 @@
+type ctx = {
+  facilities : Substrate.facilities;
+  call_out : target:string -> service:string -> string -> (string, string) result;
+}
+
+type behaviour = ctx -> service:string -> string -> string
+
+type t = {
+  app : App.t; (* manifests + channel policy; behaviours delegate below *)
+  placements : (string, Substrate.t * Substrate.component) Hashtbl.t;
+}
+
+let deploy ~substrates components =
+  let app = App.create () in
+  let placements = Hashtbl.create 8 in
+  (* tie the routing knot: component services capture this ref *)
+  let self : t option ref = ref None in
+  let launch_one (man, behaviour) =
+    let name = man.Manifest.name in
+    match List.assoc_opt man.Manifest.substrate substrates with
+    | None ->
+      Error
+        (Printf.sprintf "component %s names unknown substrate %S" name
+           man.Manifest.substrate)
+    | Some sub ->
+      let service_for svc =
+        ( svc,
+          fun facilities req ->
+            let call_out ~target ~service r =
+              match !self with
+              | None -> Error "router not ready"
+              | Some t -> App.call t.app ~caller:(Some name) ~target ~service r
+            in
+            behaviour { facilities; call_out } ~service:svc req )
+      in
+      (match
+         sub.Substrate.launch ~name ~code:("component|" ^ name)
+           ~services:(List.map service_for man.Manifest.provides)
+       with
+       | Error e -> Error (Printf.sprintf "launching %s: %s" name e)
+       | Ok comp ->
+         Hashtbl.replace placements name (sub, comp);
+         (* the App behaviour is the bridge into the substrate *)
+         App.add app man (fun _ctx ~service req ->
+             match sub.Substrate.invoke comp ~fn:service req with
+             | Ok r -> r
+             | Error e -> failwith e);
+         Ok ())
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | c :: rest -> (match launch_one c with Ok () -> go rest | Error _ as e -> e)
+  in
+  match go components with
+  | Error e -> Error e
+  | Ok () ->
+    (match App.validate app with
+     | Error errs -> Error ("manifest validation: " ^ String.concat "; " errs)
+     | Ok () ->
+       let t = { app; placements } in
+       self := Some t;
+       Ok t)
+
+let call t ~caller ~target ~service req =
+  App.call t.app ~caller ~target ~service req
+
+let violations t = App.violations t.app
+
+let substrate_of t name =
+  Option.map
+    (fun (sub, _) -> sub.Substrate.properties.Substrate.substrate_name)
+    (Hashtbl.find_opt t.placements name)
+
+let attest t ~component ~nonce ~claim =
+  match Hashtbl.find_opt t.placements component with
+  | None -> Error (Printf.sprintf "no component %S" component)
+  | Some (sub, comp) -> sub.Substrate.attest comp ~nonce ~claim

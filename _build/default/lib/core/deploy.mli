@@ -1,0 +1,48 @@
+(** Deployment: a horizontal application launched onto real substrates.
+
+    {!App} checks communication control over in-process stubs; this
+    module goes the rest of the way (§III-C "the implementor may choose
+    SGX because..."): each component's code is launched as a trusted
+    component on the isolation substrate its manifest names, and every
+    cross-component call is (1) checked against the caller's manifest
+    and (2) delivered as a real substrate invocation (ecall, SMC,
+    IPC, ...). Component code gets both its substrate {!Substrate.facilities}
+    and a router handle for outbound calls. *)
+
+type ctx = {
+  facilities : Substrate.facilities;
+      (** seal/store on the component's own substrate *)
+  call_out : target:string -> service:string -> string -> (string, string) result;
+      (** routed, manifest-checked outbound call *)
+}
+
+type behaviour = ctx -> service:string -> string -> string
+
+type t
+
+(** [deploy ~substrates components] launches every component on the
+    substrate its manifest's [substrate] field names. Fails when a
+    substrate is unknown or a launch fails. *)
+val deploy :
+  substrates:(string * Substrate.t) list ->
+  (Manifest.t * behaviour) list ->
+  (t, string) result
+
+(** [call t ~caller ~target ~service req] — entry from the outside world
+    ([caller = None], only into network-facing components) or on behalf
+    of a component. Channel checks are identical to {!App.call}. *)
+val call :
+  t -> caller:string option -> target:string -> service:string -> string ->
+  (string, string) result
+
+(** [violations t] — blocked channels, as in {!App.violations}. *)
+val violations : t -> App.violation list
+
+(** [substrate_of t name] — where a component actually runs. *)
+val substrate_of : t -> string -> string option
+
+(** [attest t ~component ~nonce ~claim] — remote evidence for one
+    component from its own substrate. *)
+val attest :
+  t -> component:string -> nonce:string -> claim:string ->
+  (Attestation.evidence, string) result

@@ -1,0 +1,71 @@
+type light = Green | Yellow | Red
+
+type window = {
+  title : string;
+  mutable content : string list;
+  mutable inputs : string list; (* newest first *)
+}
+
+type t = {
+  owners : (string, light) Hashtbl.t;
+  windows : (string, window) Hashtbl.t;
+  mutable focus : string option;
+}
+
+let create () = { owners = Hashtbl.create 8; windows = Hashtbl.create 8; focus = None }
+
+let register_owner t ~owner ~light = Hashtbl.replace t.owners owner light
+
+let open_window t ~owner ~title =
+  if not (Hashtbl.mem t.owners owner) then
+    invalid_arg (Printf.sprintf "Gui.open_window: unregistered owner %s" owner);
+  Hashtbl.replace t.windows owner { title; content = []; inputs = [] }
+
+let set_content t ~owner lines =
+  match Hashtbl.find_opt t.windows owner with
+  | None -> invalid_arg (Printf.sprintf "Gui.set_content: no window for %s" owner)
+  | Some w -> w.content <- lines
+
+let focus t ~owner =
+  if Hashtbl.mem t.windows owner then t.focus <- Some owner
+  else invalid_arg (Printf.sprintf "Gui.focus: no window for %s" owner)
+
+let focused t = t.focus
+
+let light_string = function
+  | Green -> "GREEN"
+  | Yellow -> "YELLOW"
+  | Red -> "RED"
+
+let indicator_line t =
+  match t.focus with
+  | None -> None
+  | Some owner ->
+    let light =
+      match Hashtbl.find_opt t.owners owner with
+      | Some l -> l
+      | None -> Red
+    in
+    (* rendered by the compositor from its own records: unforgeable *)
+    Some (Printf.sprintf "[%s] you are talking to: %s" (light_string light) owner)
+
+let render t =
+  match t.focus with
+  | None -> [ "(no window focused)" ]
+  | Some owner ->
+    let w = Hashtbl.find t.windows owner in
+    let ind = match indicator_line t with Some l -> l | None -> assert false in
+    (ind :: Printf.sprintf "=== %s ===" w.title :: w.content)
+
+let type_input t keys =
+  match t.focus with
+  | None -> ()
+  | Some owner ->
+    (match Hashtbl.find_opt t.windows owner with
+     | Some w -> w.inputs <- keys :: w.inputs
+     | None -> ())
+
+let received_input t ~owner =
+  match Hashtbl.find_opt t.windows owner with
+  | None -> []
+  | Some w -> List.rev w.inputs

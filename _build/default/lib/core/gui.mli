@@ -1,0 +1,47 @@
+(** Secure path to the user (§III-D).
+
+    A nitpicker-style minimal compositor: windows belong to components,
+    but the {e trusted indicator line} is rendered by the compositor
+    itself from its own records — no window content can forge it. Input
+    is routed only to the focused owner. The phishing resistance the
+    smart-meter example relies on ("very obvious indication of a secure
+    mode, like a simple traffic-light display") is testable here: a
+    malicious window may draw a fake bank login, but the indicator
+    names its true owner. *)
+
+type t
+
+(** Trust level shown in the indicator, traffic-light style. *)
+type light = Green | Yellow | Red
+
+val create : unit -> t
+
+(** [register_owner t ~owner ~light] — the integrator assigns trust
+    levels at system build time; components cannot change them. *)
+val register_owner : t -> owner:string -> light:light -> unit
+
+(** [open_window t ~owner ~title] — one window per owner. *)
+val open_window : t -> owner:string -> title:string -> unit
+
+(** [set_content t ~owner lines] replaces the window's content.
+    Untrusted: anything may be drawn here, including fake indicators. *)
+val set_content : t -> owner:string -> string list -> unit
+
+val focus : t -> owner:string -> unit
+
+val focused : t -> string option
+
+(** [indicator_line t] is the compositor-rendered truth: the focused
+    window's {e registered} owner and trust light. Returns [None] when
+    nothing is focused. *)
+val indicator_line : t -> string option
+
+(** [render t] is the full screen: indicator first, then the focused
+    window's title bar and content. *)
+val render : t -> string list
+
+(** [type_input t keys] delivers keystrokes to the focused owner only. *)
+val type_input : t -> string -> unit
+
+(** [received_input t ~owner] — everything routed to this owner. *)
+val received_input : t -> owner:string -> string list

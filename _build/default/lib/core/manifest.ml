@@ -1,0 +1,42 @@
+type connection = {
+  target : string;
+  service : string;
+  vetted : bool;
+}
+
+type t = {
+  name : string;
+  provides : string list;
+  connects_to : connection list;
+  domain : string;
+  size_loc : int;
+  network_facing : bool;
+  vulnerable : bool;
+  discriminates_clients : bool;
+  substrate : string;
+}
+
+let v ~name ?(provides = []) ?(connects_to = []) ?domain ?(size_loc = 1000)
+    ?(network_facing = false) ?(vulnerable = false) ?(discriminates_clients = true)
+    ?(substrate = "microkernel") () =
+  { name;
+    provides;
+    connects_to;
+    domain = Option.value domain ~default:name;
+    size_loc;
+    network_facing;
+    vulnerable;
+    discriminates_clients;
+    substrate }
+
+let conn ?(vetted = false) target service = { target; service; vetted }
+
+let pp fmt t =
+  Format.fprintf fmt "%s[domain=%s size=%d%s%s] -> {%s}" t.name t.domain t.size_loc
+    (if t.network_facing then " net" else "")
+    (if t.vulnerable then " vuln" else "")
+    (String.concat ", "
+       (List.map
+          (fun c ->
+            Printf.sprintf "%s.%s%s" c.target c.service (if c.vetted then "(vetted)" else ""))
+          t.connects_to))

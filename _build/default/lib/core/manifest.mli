@@ -1,0 +1,51 @@
+(** Component manifests (§III-A).
+
+    "The unified interface should be part of a larger programming
+    framework, where developers can describe the required communication
+    channels to other components. Such a manifest enables the isolation
+    substrate to establish just the needed channels and block all other
+    communication, thereby promoting a POLA design mentality."
+
+    A manifest also carries the attributes the analysis tools reason
+    over: protection domain (colocated components share fate), notional
+    size, exposure and hardening flags. *)
+
+type connection = {
+  target : string;       (** component name *)
+  service : string;      (** entry point on the target *)
+  vetted : bool;
+      (** trusted-wrapper discipline (§III-D): replies are validated
+          cryptographically, so this dependency does {e not} extend the
+          caller's TCB (e.g. VPFS over the legacy FS) *)
+}
+
+type t = {
+  name : string;
+  provides : string list;        (** entry points this component offers *)
+  connects_to : connection list; (** the {e only} channels it may use *)
+  domain : string;
+      (** protection domain; a vertical (monolithic) application puts
+          every subsystem in one domain, a horizontal design gives each
+          component its own *)
+  size_loc : int;                (** notional code size for TCB math *)
+  network_facing : bool;         (** parses input from the outside world *)
+  vulnerable : bool;
+      (** contains an exploitable flaw (fault-injection modelling) *)
+  discriminates_clients : bool;
+      (** checks IPC badges; [false] on a multi-client service is a
+          confused-deputy risk (§III-D) *)
+  substrate : string;            (** which isolation substrate hosts it *)
+}
+
+(** [v ~name ...] builds a manifest with sensible defaults:
+    own domain = [name], not network facing, not vulnerable,
+    discriminating, substrate "microkernel". *)
+val v :
+  name:string -> ?provides:string list -> ?connects_to:connection list ->
+  ?domain:string -> ?size_loc:int -> ?network_facing:bool -> ?vulnerable:bool ->
+  ?discriminates_clients:bool -> ?substrate:string -> unit -> t
+
+(** [conn ?vetted target service] — connection shorthand. *)
+val conn : ?vetted:bool -> string -> string -> connection
+
+val pp : Format.formatter -> t -> unit

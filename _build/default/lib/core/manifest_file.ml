@@ -1,0 +1,142 @@
+type partial = {
+  mutable p_domain : string option;
+  mutable p_size : int;
+  mutable p_substrate : string;
+  mutable p_network : bool;
+  mutable p_vulnerable : bool;
+  mutable p_badges : bool;
+  mutable p_provides : string list;
+  mutable p_connects : Manifest.connection list;
+}
+
+let fresh_partial () =
+  { p_domain = None;
+    p_size = 1000;
+    p_substrate = "microkernel";
+    p_network = false;
+    p_vulnerable = false;
+    p_badges = true;
+    p_provides = [];
+    p_connects = [] }
+
+let finish name p =
+  Manifest.v ~name ~provides:(List.rev p.p_provides)
+    ~connects_to:(List.rev p.p_connects)
+    ?domain:p.p_domain ~size_loc:p.p_size ~network_facing:p.p_network
+    ~vulnerable:p.p_vulnerable ~discriminates_clients:p.p_badges
+    ~substrate:p.p_substrate ()
+
+let split_ws s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let parse_connection ~vetted ~lineno w =
+  match String.index_opt w '.' with
+  | Some i when i > 0 && i < String.length w - 1 ->
+    Ok
+      (Manifest.conn ~vetted
+         (String.sub w 0 i)
+         (String.sub w (i + 1) (String.length w - i - 1)))
+  | _ -> Error (Printf.sprintf "line %d: expected target.service, got %S" lineno w)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let manifests = ref [] in
+  let current : (string * partial) option ref = ref None in
+  let error = ref None in
+  let close () =
+    match !current with
+    | Some (name, p) ->
+      manifests := finish name p :: !manifests;
+      current := None
+    | None -> ()
+  in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      if !error <> None then ()
+      else begin
+        let line =
+          match String.index_opt line '#' with
+          | Some j -> String.sub line 0 j
+          | None -> line
+        in
+        match split_ws (String.trim line) with
+        | [] -> ()
+        | "component" :: rest ->
+          (match rest with
+           | [ name ] ->
+             close ();
+             if List.exists (fun m -> m.Manifest.name = name) !manifests then
+               error := Some (Printf.sprintf "line %d: duplicate component %S" lineno name)
+             else current := Some (name, fresh_partial ())
+           | _ -> error := Some (Printf.sprintf "line %d: component takes one name" lineno))
+        | directive :: args ->
+          (match !current with
+           | None ->
+             error :=
+               Some (Printf.sprintf "line %d: %S outside a component" lineno directive)
+           | Some (_, p) ->
+             (match (directive, args) with
+              | "domain", [ d ] -> p.p_domain <- Some d
+              | "size", [ n ] ->
+                (match int_of_string_opt n with
+                 | Some v when v >= 0 -> p.p_size <- v
+                 | _ -> error := Some (Printf.sprintf "line %d: bad size %S" lineno n))
+              | "substrate", [ s ] -> p.p_substrate <- s
+              | "network-facing", [] -> p.p_network <- true
+              | "vulnerable", [] -> p.p_vulnerable <- true
+              | "no-badge-checks", [] -> p.p_badges <- false
+              | "provides", (_ :: _ as services) ->
+                p.p_provides <- List.rev_append services p.p_provides
+              | "connects", [ w ] ->
+                (match parse_connection ~vetted:false ~lineno w with
+                 | Ok c -> p.p_connects <- c :: p.p_connects
+                 | Error e -> error := Some e)
+              | "connects-vetted", [ w ] ->
+                (match parse_connection ~vetted:true ~lineno w with
+                 | Ok c -> p.p_connects <- c :: p.p_connects
+                 | Error e -> error := Some e)
+              | _, _ ->
+                error :=
+                  Some
+                    (Printf.sprintf "line %d: unknown or malformed directive %S" lineno
+                       directive)))
+      end)
+    lines;
+  match !error with
+  | Some e -> Error e
+  | None ->
+    close ();
+    Ok (List.rev !manifests)
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error e -> Error e
+
+let to_text manifests =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun m ->
+      Buffer.add_string buf (Printf.sprintf "component %s\n" m.Manifest.name);
+      if m.Manifest.domain <> m.Manifest.name then
+        Buffer.add_string buf (Printf.sprintf "  domain %s\n" m.Manifest.domain);
+      Buffer.add_string buf (Printf.sprintf "  size %d\n" m.Manifest.size_loc);
+      Buffer.add_string buf (Printf.sprintf "  substrate %s\n" m.Manifest.substrate);
+      if m.Manifest.network_facing then Buffer.add_string buf "  network-facing\n";
+      if m.Manifest.vulnerable then Buffer.add_string buf "  vulnerable\n";
+      if not m.Manifest.discriminates_clients then
+        Buffer.add_string buf "  no-badge-checks\n";
+      if m.Manifest.provides <> [] then
+        Buffer.add_string buf
+          (Printf.sprintf "  provides %s\n" (String.concat " " m.Manifest.provides));
+      List.iter
+        (fun c ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s %s.%s\n"
+               (if c.Manifest.vetted then "connects-vetted" else "connects")
+               c.Manifest.target c.Manifest.service))
+        m.Manifest.connects_to;
+      Buffer.add_char buf '\n')
+    manifests;
+  Buffer.contents buf

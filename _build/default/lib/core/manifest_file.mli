@@ -1,0 +1,28 @@
+(** Text format for component manifests, so system architects can
+    describe an application and run the analyses without writing OCaml.
+
+    Syntax (line-based, [#] comments):
+    {v
+    component ui
+      domain mailapp          # optional; defaults to the component name
+      size 6000               # notional loc; default 1000
+      substrate microkernel   # default microkernel
+      network-facing          # flags
+      vulnerable
+      no-badge-checks
+      provides show render    # space-separated service names
+      connects tls.transmit   # one target.service per line
+      connects-vetted legacyfs.io   # trusted-wrapper connection
+    v}
+
+    Parsing is total: errors come back as [Error] with a line number. *)
+
+(** [parse text] returns the manifests in file order. *)
+val parse : string -> (Manifest.t list, string) result
+
+(** [load path] reads and parses a file. *)
+val load : string -> (Manifest.t list, string) result
+
+(** [to_text manifests] renders back to the file format (round-trips
+    through {!parse}). *)
+val to_text : Manifest.t list -> string

@@ -1,0 +1,35 @@
+open Lt_crypto
+module Sc = Lt_net.Secure_channel
+
+let binding_claim session = "cb:" ^ Sha256.hex (Sc.exporter session)
+
+let request rng session =
+  let nonce = Sha256.hex (Drbg.bytes rng 16) in
+  (Sc.send session (Wire.tagged "ra-challenge" [ nonce ]), nonce)
+
+let respond session (substrate : Substrate.t) component ~challenge =
+  match Sc.receive session challenge with
+  | Error e -> Error ("challenge record: " ^ e)
+  | Ok plain ->
+    (match Wire.untag plain with
+     | Some ("ra-challenge", [ nonce ]) ->
+       (match
+          substrate.Substrate.attest component ~nonce
+            ~claim:(binding_claim session)
+        with
+        | Error e -> Error ("attest: " ^ e)
+        | Ok evidence -> Ok (Sc.send session (Attestation.to_wire evidence)))
+     | _ -> Error "malformed challenge")
+
+let check session ~policy ~nonce ~response =
+  match Sc.receive session response with
+  | Error e -> Error ("response record: " ^ e)
+  | Ok plain ->
+    (match Attestation.of_wire plain with
+     | None -> Error "malformed evidence"
+     | Some evidence ->
+       (match Attestation.verify policy ~nonce evidence with
+        | Error f -> Error (Format.asprintf "%a" Attestation.pp_failure f)
+        | Ok () ->
+          if Ct.equal evidence.Attestation.ev_claim (binding_claim session) then Ok ()
+          else Error "evidence not bound to this channel (relay attack?)"))

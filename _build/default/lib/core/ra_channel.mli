@@ -1,0 +1,31 @@
+(** Attested secure channels (RA-TLS style).
+
+    §III-C: "Using a suitable trust anchor, [the TLS component] could
+    verify the integrity of the component on whose behalf it is
+    connecting to the email server." This module runs the attestation
+    {e inside} an established {!Lt_net.Secure_channel} session and binds
+    the evidence to that exact channel via the key exporter — evidence
+    relayed from a different channel (the classic relay attack against
+    naive attestation-then-TLS compositions) fails the binding check.
+
+    Flow: the client {!request}s with a fresh nonce; the prover's side
+    {!respond}s with substrate evidence whose claim commits to the
+    channel binding; the client {!check}s nonce, policy and binding. *)
+
+(** [request rng session] — returns the encrypted challenge record to
+    transmit and the nonce to remember for {!check}. *)
+val request : Lt_crypto.Drbg.t -> Lt_net.Secure_channel.session -> string * string
+
+(** [respond session substrate component ~challenge] — decrypt the
+    challenge on the prover side and produce the encrypted evidence
+    record, channel-bound. *)
+val respond :
+  Lt_net.Secure_channel.session -> Substrate.t -> Substrate.component ->
+  challenge:string -> (string, string) result
+
+(** [check session ~policy ~nonce ~response] — verify the evidence:
+    substrate trust anchor, measurement whitelist, nonce freshness, and
+    that the claim is bound to {e this} session. *)
+val check :
+  Lt_net.Secure_channel.session -> policy:Attestation.policy -> nonce:string ->
+  response:string -> (unit, string) result

@@ -1,0 +1,215 @@
+open Lt_crypto
+module Sgx = Lt_sgx.Sgx
+
+type attack =
+  | Honest_host
+  | Read_enclave_memory
+  | Starve_enclave
+  | Swap_enclave_code
+  | Rollback_sealed_state
+
+type outcome = {
+  attested : bool;
+  provisioned : bool;
+  jobs_completed : int;
+  secret_leaked : bool;
+  state_regressed : bool;
+  detail : string;
+}
+
+let attack_name = function
+  | Honest_host -> "honest-host"
+  | Read_enclave_memory -> "read-enclave-memory"
+  | Starve_enclave -> "starve-enclave"
+  | Swap_enclave_code -> "swap-enclave-code"
+  | Rollback_sealed_state -> "rollback-sealed-state"
+
+let all_attacks =
+  [ Honest_host; Read_enclave_memory; Starve_enclave; Swap_enclave_code;
+    Rollback_sealed_state ]
+
+let customer_code = "wordcount-enclave-v1: count words, never leak the corpus key"
+
+let doctored_code = "wordcount-enclave-v1-doctored: also POST the corpus key to evil.example"
+
+let secret = "CUSTOMER-CORPUS-KEY-0123456789"
+
+(* the customer's enclave: key generation, secret provisioning, sealed
+   state with optional counter pinning, and the job entry point *)
+let enclave_services ~with_counter ~rng () =
+  (* enclave-private state: lives inside the EPC conceptually; the
+     closures model code running in the enclave *)
+  let keypair : Rsa.keypair option ref = ref None in
+  let state : (string * int) option ref = ref None in
+  let seal_state ctx (s, jobs) =
+    let counter =
+      if with_counter then Sgx.counter_increment ctx else 0
+    in
+    Sgx.seal ctx (Wire.encode [ s; string_of_int jobs; string_of_int counter ])
+  in
+  [ ("keygen",
+     fun ctx _ ->
+       let kp = Rsa.generate ~bits:512 rng in
+       keypair := Some kp;
+       (* park the private key bytes in the EPC so memory attacks have a
+          real target *)
+       Sgx.mem_write ctx ~off:0 (Rsa.public_to_string kp.Rsa.pub);
+       Rsa.public_to_string kp.Rsa.pub);
+    ("provision",
+     fun ctx encrypted ->
+       (match !keypair with
+        | None -> "ERR:no key"
+        | Some kp ->
+          (match Rsa.decrypt kp encrypted with
+           | None -> "ERR:bad ciphertext"
+           | Some s ->
+             state := Some (s, 0);
+             Sgx.mem_write ctx ~off:512 s;
+             seal_state ctx (s, 0))));
+    ("resume",
+     fun ctx blob ->
+       (match Sgx.unseal ctx blob with
+        | None -> "ERR:unseal failed"
+        | Some plain ->
+          (match Wire.decode plain with
+           | Some [ s; jobs; counter ] ->
+             let sealed_counter = int_of_string counter in
+             if with_counter && sealed_counter < Sgx.counter_read ctx then
+               "ERR:stale state (counter regressed)"
+             else begin
+               state := Some (s, int_of_string jobs);
+               "resumed:" ^ jobs
+             end
+           | _ -> "ERR:bad state")));
+    ("work",
+     fun ctx job ->
+       (match !state with
+        | None -> "ERR:not provisioned"
+        | Some (s, jobs) ->
+          (* the secret is used, never returned *)
+          let result =
+            String.sub (Sha256.hex (Hmac.mac ~key:s job)) 0 8
+          in
+          let jobs = jobs + 1 in
+          state := Some (s, jobs);
+          Wire.encode [ result; string_of_int jobs; seal_state ctx (s, jobs) ])) ]
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n > 0 && go 0
+
+let run ?(with_counter = true) attack =
+  let rng = Drbg.create 2027L in
+  let intel = Rsa.generate ~bits:512 rng in
+  let machine = Lt_hw.Machine.create ~dram_pages:256 () in
+  let cpu = Sgx.init_cpu machine rng ~ca_name:"intel" ~ca_key:intel in
+  let code = if attack = Swap_enclave_code then doctored_code else customer_code in
+  let build () =
+    Sgx.create_enclave cpu ~name:"customer" ~code ~epc_pages:2
+      ~ecalls:(enclave_services ~with_counter ~rng ())
+  in
+  let e = ref (build ()) in
+  let host_blobs : string list ref = ref [] in
+  let secret_seen_by_host () =
+    (* the host's visibility: physical memory + every blob it stores *)
+    Lt_hw.Tamper.scan (Lt_hw.Machine.tamper machine) ~needle:secret <> []
+    || List.exists (fun b -> contains b secret) !host_blobs
+  in
+  (* --- 1. remote attestation with key binding ---------------------------- *)
+  let nonce = Sha256.hex (Drbg.bytes rng 16) in
+  let pubkey_wire =
+    match Sgx.ecall cpu !e ~fn:"keygen" "" with Ok p -> p | Error e -> failwith e
+  in
+  let quote =
+    Sgx.quote cpu !e ~nonce
+      ~report_data:("key:" ^ Sha256.hex (Sha256.digest pubkey_wire))
+  in
+  let qe_cert = Sgx.quoting_cert cpu in
+  let attested =
+    Cert.verify ~issuer_pub:intel.Rsa.pub qe_cert
+    && Sgx.verify_quote ~qe_pub:qe_cert.Cert.pubkey quote
+    && quote.Sgx.q_nonce = nonce
+    && quote.Sgx.q_measurement = Sgx.measure_code customer_code
+    && quote.Sgx.q_report_data = "key:" ^ Sha256.hex (Sha256.digest pubkey_wire)
+  in
+  if not attested then
+    { attested = false;
+      provisioned = false;
+      jobs_completed = 0;
+      secret_leaked = secret_seen_by_host ();
+      state_regressed = false;
+      detail = "customer refused: enclave identity not acceptable" }
+  else begin
+    (* --- 2. provision the secret, encrypted to the attested key --------- *)
+    let pub =
+      match Rsa.public_of_string pubkey_wire with
+      | Some p -> p
+      | None -> failwith "bad pubkey"
+    in
+    let blob0 =
+      match Sgx.ecall cpu !e ~fn:"provision" (Rsa.encrypt rng pub secret) with
+      | Ok b when not (contains b "ERR:") -> b
+      | Ok e -> failwith e
+      | Error e -> failwith e
+    in
+    host_blobs := [ blob0 ];
+    (* --- 3. the host runs jobs (or attacks) ------------------------------ *)
+    match attack with
+    | Starve_enclave ->
+      (* the scheduler simply never runs the enclave: no progress, but
+         also nothing leaks *)
+      { attested;
+        provisioned = true;
+        jobs_completed = 0;
+        secret_leaked = secret_seen_by_host ();
+        state_regressed = false;
+        detail = "host starved the enclave: availability lost, nothing leaked" }
+    | _ ->
+      let jobs_done = ref 0 in
+      let run_job job =
+        match Sgx.ecall cpu !e ~fn:"work" job with
+        | Ok reply ->
+          (match Wire.decode reply with
+           | Some [ _result; _jobs; blob ] ->
+             host_blobs := blob :: !host_blobs;
+             incr jobs_done
+           | _ -> ())
+        | Error _ -> ()
+      in
+      run_job "job-1";
+      let checkpoint = List.hd !host_blobs in
+      run_job "job-2";
+      let state_regressed =
+        match attack with
+        | Rollback_sealed_state ->
+          (* restart the enclave from the old checkpoint *)
+          Sgx.destroy cpu !e;
+          e := build ();
+          (match Sgx.ecall cpu !e ~fn:"resume" checkpoint with
+           | Ok r when not (contains r "ERR:") ->
+             run_job "job-3";
+             true (* the enclave accepted pre-job-2 state *)
+           | Ok _ | Error _ -> false)
+        | _ ->
+          run_job "job-3";
+          false
+      in
+      (match attack with
+       | Read_enclave_memory ->
+         (* the probe happens while everything is resident *)
+         ()
+       | _ -> ());
+      { attested;
+        provisioned = true;
+        jobs_completed = !jobs_done;
+        secret_leaked = secret_seen_by_host ();
+        state_regressed;
+        detail =
+          (match attack with
+           | Rollback_sealed_state when state_regressed ->
+             "sealed state has no freshness: old checkpoint accepted"
+           | Rollback_sealed_state -> "monotonic counter rejected the old checkpoint"
+           | Read_enclave_memory -> "EPC encryption kept the secret out of reach"
+           | _ -> "jobs ran to completion") }
+  end

@@ -1,0 +1,40 @@
+(** The cloud-enclave scenario (§II-B).
+
+    "When running software on rented servers within a data center, SGX
+    allows to run the code without the server operating system or data
+    center staff having any visibility into the execution state. The
+    data center customer needs to trust only the Intel CPU."
+
+    A remote customer ships code to an untrusted cloud host. The host
+    builds the enclave; the customer attests it (nonce + measurement +
+    enclave-generated key binding) before provisioning a secret; the
+    enclave processes jobs, sealing its running state between restarts.
+    The host attacks in every way §II-B anticipates — plus the one the
+    paper's sealing story glosses over: sealed state has no freshness,
+    so the host can roll the enclave back to an old checkpoint unless a
+    monotonic counter pins it. *)
+
+type attack =
+  | Honest_host
+  | Read_enclave_memory   (** bus probe + direct read of the EPC *)
+  | Starve_enclave        (** scheduler denies the enclave CPU time *)
+  | Swap_enclave_code     (** host builds a doctored enclave *)
+  | Rollback_sealed_state (** host restarts from an old sealed blob *)
+
+type outcome = {
+  attested : bool;        (** customer accepted the enclave identity *)
+  provisioned : bool;     (** secret released into the enclave *)
+  jobs_completed : int;   (** of the 3 jobs submitted *)
+  secret_leaked : bool;   (** host ever observed the plaintext secret *)
+  state_regressed : bool; (** enclave accepted stale state after restart *)
+  detail : string;
+}
+
+(** [run ?with_counter attack] — [with_counter] (default [true]) guards
+    sealed state with the hardware monotonic counter; set [false] to
+    reproduce the rollback. *)
+val run : ?with_counter:bool -> attack -> outcome
+
+val attack_name : attack -> string
+
+val all_attacks : attack list

@@ -1,0 +1,91 @@
+(* The subsystems named in §III-C of the paper: IMAP/SMTP protocol
+   handling, TLS and login, HTML rendering, attachment decoding,
+   composing with input methods and personal dictionaries, address book,
+   storage with folders/search, and the user interface. Sizes are
+   order-of-magnitude figures for such codebases. *)
+
+let component_names =
+  [ "ui"; "imap"; "smtp"; "tls"; "keystore"; "renderer"; "decoder"; "composer";
+    "input"; "dictionary"; "addressbook"; "storage"; "legacyfs" ]
+
+let manifests ~vertical =
+  let domain name = if vertical then "mailapp" else name in
+  let v ~name = Manifest.v ~name ~domain:(domain name) in
+  [ v ~name:"ui" ~provides:[ "show" ]
+      ~connects_to:
+        [ Manifest.conn "imap" "fetch"; Manifest.conn "renderer" "render";
+          Manifest.conn "decoder" "decode"; Manifest.conn "composer" "compose";
+          Manifest.conn "storage" "load" ]
+      ~size_loc:6000 ();
+    (* protocol handlers parse data from the network: assumed exploitable *)
+    v ~name:"imap" ~provides:[ "fetch" ]
+      ~connects_to:[ Manifest.conn "tls" "transmit"; Manifest.conn "storage" "store" ]
+      ~size_loc:8000 ~network_facing:true ~vulnerable:true ();
+    v ~name:"smtp" ~provides:[ "send" ]
+      ~connects_to:[ Manifest.conn "tls" "transmit" ]
+      ~size_loc:4000 ~network_facing:true ~vulnerable:true ();
+    (* tls holds keys and the only channel to the nic *)
+    v ~name:"tls" ~provides:[ "transmit" ]
+      ~connects_to:[ Manifest.conn "keystore" "sign" ]
+      ~size_loc:3000 ();
+    v ~name:"keystore" ~provides:[ "sign" ] ~size_loc:800 ();
+    (* content handlers parse hostile input *)
+    v ~name:"renderer" ~provides:[ "render" ] ~size_loc:25000 ~network_facing:true
+      ~vulnerable:true ();
+    v ~name:"decoder" ~provides:[ "decode" ] ~size_loc:12000 ~network_facing:true
+      ~vulnerable:true ();
+    v ~name:"composer" ~provides:[ "compose" ]
+      ~connects_to:
+        [ Manifest.conn "smtp" "send"; Manifest.conn "input" "suggest";
+          Manifest.conn "addressbook" "lookup" ]
+      ~size_loc:5000 ();
+    v ~name:"input" ~provides:[ "suggest" ]
+      ~connects_to:[ Manifest.conn "dictionary" "query" ]
+      ~size_loc:4000 ();
+    (* highly personal data, reachable only from the input method *)
+    v ~name:"dictionary" ~provides:[ "query" ] ~size_loc:1500 ();
+    v ~name:"addressbook" ~provides:[ "lookup" ] ~size_loc:2000 ();
+    (* storage reuses the huge legacy fs through a VPFS-style wrapper *)
+    v ~name:"storage" ~provides:[ "load"; "store" ]
+      ~connects_to:[ Manifest.conn ~vetted:true "legacyfs" "io" ]
+      ~size_loc:2500 ();
+    v ~name:"legacyfs" ~provides:[ "io" ] ~size_loc:30000 ~vulnerable:true () ]
+
+let build ~vertical =
+  let app = App.create () in
+  List.iter (App.add_stub app) (manifests ~vertical);
+  app
+
+let containment_row name =
+  let owned shape =
+    let app = build ~vertical:shape in
+    (Analysis.compromise_reach app name).Analysis.owned_fraction
+  in
+  (owned true, owned false)
+
+let containment_table () =
+  List.map
+    (fun name ->
+      let v, h = containment_row name in
+      (name, v, h))
+    component_names
+
+let tcb_comparison () =
+  let horizontal = build ~vertical:false in
+  (* in the vertical design every subsystem shares one protection domain
+     with all the others, so each one's TCB is the entire application
+     plus the monolithic OS underneath *)
+  let monolithic_os = 30_000 in
+  let whole_app =
+    List.fold_left
+      (fun acc m -> acc + m.Manifest.size_loc)
+      0
+      (manifests ~vertical:true)
+  in
+  let microkernel _ = 10_000 in
+  List.map
+    (fun name ->
+      ( name,
+        whole_app + monolithic_os,
+        Analysis.tcb horizontal ~tcb_of_substrate:microkernel name ))
+    component_names

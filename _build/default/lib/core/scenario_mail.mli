@@ -1,0 +1,32 @@
+(** The email-client scenario (§III-C and Figure 1).
+
+    One inventory of mail-client subsystems, buildable in two shapes:
+    - {e vertical}: every subsystem linked into one protection domain,
+      today's monolithic design;
+    - {e horizontal}: each subsystem its own isolated component with a
+      manifest-declared channel set.
+
+    Used by the [fig1-containment] and [tcb-size] experiments and the
+    [email_client] example. *)
+
+(** [manifests ~vertical] is the component inventory. *)
+val manifests : vertical:bool -> Manifest.t list
+
+(** [build ~vertical] assembles the application with stub behaviours. *)
+val build : vertical:bool -> App.t
+
+(** [component_names] in a stable order. *)
+val component_names : string list
+
+(** [containment_row name] computes (owned fraction when [name] is
+    exploited in the vertical design, same for horizontal). *)
+val containment_row : string -> float * float
+
+(** [containment_table ()] — one row per component; the data behind
+    Figure 1's argument. *)
+val containment_table : unit -> (string * float * float) list
+
+(** [tcb_comparison ()] — (component, monolithic TCB, decomposed TCB)
+    using a 10 kLoC microkernel substrate for the decomposed case and a
+    30 kLoC monolithic-OS TCB for the vertical case. *)
+val tcb_comparison : unit -> (string * int * int) list

@@ -1,0 +1,47 @@
+(** The smart-meter scenario — Figure 3, end to end.
+
+    A meter appliance (microkernel + virtualized Android + TrustZone
+    attestation anchored in boot ROM and a fused per-device AES key)
+    talks across an untrusted network to a utility server whose
+    anonymizer runs in an SGX enclave:
+    - the {e meter} verifies the anonymizer's code identity before
+      sending any privacy-sensitive readings ("engineered privacy");
+    - the {e utility} verifies the meter's attestation before billing
+      ("the utility also needs to trust the meter readings");
+    - authentication is password-less: the fused key is the credential,
+      so there is nothing to phish.
+
+    The [tamper] cases are the attacks §III-C argues the design resists. *)
+
+type tamper =
+  | Genuine
+  | Manipulated_anonymizer
+      (** utility deploys an anonymizer that logs customer ids *)
+  | Emulated_meter
+      (** software emulation sends fake readings with a guessed key *)
+  | Mitm_reading   (** on-path adversary rewrites the reading in flight *)
+  | Replayed_session  (** old reading message replayed at the server *)
+  | Unsigned_secure_world
+      (** meter's secure world image is not vendor-signed *)
+
+type outcome = {
+  anonymizer_verified : bool;  (** meter accepted the anonymizer's identity *)
+  reading_sent : bool;         (** meter released the reading *)
+  reading_accepted : bool;     (** utility accepted and billed it *)
+  anonymized_rows : int;       (** rows in the utility database *)
+  customer_id_leaked : bool;   (** did a customer id reach the database? *)
+  detail : string;
+}
+
+(** [run ?seed tamper] executes one full session under the attack. *)
+val run : ?seed:int64 -> tamper -> outcome
+
+val tamper_name : tamper -> string
+
+val all_tampers : tamper list
+
+(** [gateway_demo ()] — the IoT-DDoS part of §III-C: the compromised
+    Android subsystem floods three victims through (a) a direct NIC and
+    (b) the exclusive-access gateway. Returns
+    [(victim_hits_direct, victim_hits_gated, utility_hits_gated)]. *)
+val gateway_demo : unit -> int * int * int

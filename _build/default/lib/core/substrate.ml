@@ -1,0 +1,70 @@
+type attacker_model =
+  | Remote_software
+  | Local_software
+  | Physical_memory
+  | Physical_code_swap
+
+type properties = {
+  substrate_name : string;
+  concurrent_components : bool;
+  mutually_isolated : bool;
+  defends : attacker_model list;
+  tcb : (string * int) list;
+  shared_cache_with_host : bool;
+  progress_guaranteed : bool;
+}
+
+type facilities = {
+  f_seal : string -> string;
+  f_unseal : string -> string option;
+  f_store : key:string -> string -> unit;
+  f_load : key:string -> string option;
+}
+
+type service = facilities -> string -> string
+
+(* adapters stash their per-component state in an extensible-variant
+   (exception) value; each adapter defines its own constructor and only
+   ever reads back what it put in *)
+type component = { c_name : string; c_measurement : string; c_state : exn }
+
+type t = {
+  properties : properties;
+  launch :
+    name:string -> code:string -> services:(string * service) list ->
+    (component, string) result;
+  invoke : component -> fn:string -> string -> (string, string) result;
+  attest :
+    component -> nonce:string -> claim:string ->
+    (Attestation.evidence, string) result;
+  measure : code:string -> string;
+  destroy : component -> unit;
+}
+
+let component_name c = c.c_name
+
+let make_component ~name ~measurement ~state =
+  { c_name = name; c_measurement = measurement; c_state = state }
+
+let component_measurement c = c.c_measurement
+
+let component_state c = c.c_state
+
+let pp_attacker_model fmt m =
+  Format.pp_print_string fmt
+    (match m with
+     | Remote_software -> "remote-software"
+     | Local_software -> "local-software"
+     | Physical_memory -> "physical-memory"
+     | Physical_code_swap -> "physical-code-swap")
+
+let pp_properties fmt p =
+  Format.fprintf fmt
+    "%s: concurrent=%b mutual-isolation=%b cache-shared=%b progress=%b tcb=%d defends=[%a]"
+    p.substrate_name p.concurrent_components p.mutually_isolated
+    p.shared_cache_with_host p.progress_guaranteed
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 p.tcb)
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       pp_attacker_model)
+    p.defends

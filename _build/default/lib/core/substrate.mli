@@ -1,0 +1,81 @@
+(** The unified isolation interface (§III-A).
+
+    "This interface should do for isolation mechanisms what POSIX did
+    for the UNIX system call interface: allow application code to be
+    independent of the underlying implementation."
+
+    A {!t} is one isolation substrate instance. Trusted components are
+    written once against {!facilities} and [launch]ed on any substrate;
+    the conformance suite in the tests runs the same component across
+    all five adapters. [properties] describes the design trade-offs
+    (§II-C) so system architects can hand-pick a mechanism by attacker
+    model instead of by fashion. *)
+
+(** Attacker capabilities a substrate defends against (§II-D). *)
+type attacker_model =
+  | Remote_software        (** exploits over the network *)
+  | Local_software         (** compromised colocated OS/apps *)
+  | Physical_memory        (** probing/patching the memory bus *)
+  | Physical_code_swap     (** replacing firmware/boot code *)
+
+type properties = {
+  substrate_name : string;
+  concurrent_components : bool;
+      (** can several trusted components make progress in parallel? *)
+  mutually_isolated : bool;
+      (** are components protected from {e each other}, not just from
+          the legacy world? (TrustZone: no — one secure world) *)
+  defends : attacker_model list;
+  tcb : (string * int) list;
+      (** trusted pieces and notional sizes (lines of code), for the
+          TCB analysis; hardware counts as code per §II-C *)
+  shared_cache_with_host : bool;
+      (** prime+probe surface (§II-C) *)
+  progress_guaranteed : bool;
+      (** can the untrusted side starve the component? (SGX: yes it can) *)
+}
+
+(** What a trusted component's service code gets from its substrate —
+    the write-once-run-anywhere surface. *)
+type facilities = {
+  f_seal : string -> string;
+      (** bind data to this component's identity on this device *)
+  f_unseal : string -> string option;
+  f_store : key:string -> string -> unit;
+      (** substrate-protected storage *)
+  f_load : key:string -> string option;
+}
+
+(** A service entry point: receives its facilities and a request. *)
+type service = facilities -> string -> string
+
+(** A launched trusted component. *)
+type component
+
+type t = {
+  properties : properties;
+  launch :
+    name:string -> code:string -> services:(string * service) list ->
+    (component, string) result;
+      (** [code] is the measured identity; [services] the entry points *)
+  invoke : component -> fn:string -> string -> (string, string) result;
+  attest :
+    component -> nonce:string -> claim:string ->
+    (Attestation.evidence, string) result;
+  measure : code:string -> string;
+      (** predict the measurement of [code] (verifier side) *)
+  destroy : component -> unit;
+}
+
+val component_name : component -> string
+
+(** [make_component ~name ~measurement ~state] — for adapter authors. *)
+val make_component : name:string -> measurement:string -> state:exn -> component
+
+val component_measurement : component -> string
+
+val component_state : component -> exn
+
+val pp_properties : Format.formatter -> properties -> unit
+
+val pp_attacker_model : Format.formatter -> attacker_model -> unit

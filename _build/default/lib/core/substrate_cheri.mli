@@ -1,0 +1,14 @@
+(** CHERI adapter for the unified isolation interface.
+
+    Components become compartments inside a single address space,
+    separated purely by guarded-pointer bounds — the finest-grained
+    point in the paper's design space (§III-D). Like the bare
+    microkernel, a capability machine has no hardware trust anchor:
+    [attest] fails by design and sealing is software-only. *)
+
+(** [make rng ~size ()] builds a capability machine of [size] bytes and
+    exposes it as a substrate; also returns the machine and its root
+    capability for experiments that escape the interface. *)
+val make :
+  Lt_crypto.Drbg.t -> size:int -> unit ->
+  Substrate.t * Lt_cheri.Cheri.t * Lt_cheri.Cheri.cap

@@ -1,0 +1,10 @@
+(** Flicker (TPM late-launch) adapter for the unified interface.
+
+    Components become PALs: measured into the dynamic PCR at each
+    session, cryptographically isolated from one another by their
+    distinct sealing identities, but strictly serialized — invoking one
+    stops the world (§II-B). *)
+
+(** [make tpm ?clock ()] — the substrate executes PALs against [tpm],
+    charging world stop/resume cost on [clock] when given. *)
+val make : Lt_tpm.Tpm.t -> ?clock:Lt_hw.Clock.t -> unit -> Substrate.t

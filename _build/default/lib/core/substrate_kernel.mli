@@ -1,0 +1,16 @@
+(** Microkernel adapter for the unified isolation interface.
+
+    Components become tasks with their own address space and a badged
+    IPC endpoint; invocation is a kernel IPC round trip. On its own the
+    microkernel has no hardware trust anchor: [attest] fails and sealing
+    is software-only (a boot-session secret). Pass [~tpm] to combine
+    substrates as the paper suggests — component measurements are then
+    extended into [boot_pcr] (authenticated boot) and attestation and
+    sealing become TPM-backed. *)
+
+(** [make machine policy ?tpm ?boot_pcr ?rng ()] boots a kernel on the
+    machine and returns the substrate plus the raw kernel handle for
+    scheduling experiments. *)
+val make :
+  Lt_hw.Machine.t -> Lt_kernel.Sched.t -> ?tpm:Lt_tpm.Tpm.t -> ?boot_pcr:int ->
+  ?rng:Lt_crypto.Drbg.t -> unit -> Substrate.t * Lt_kernel.Kernel.t

@@ -1,0 +1,15 @@
+(** M3-style NoC adapter for the unified isolation interface (§II-B).
+
+    Components become compute tiles: no kernel code runs under them,
+    their only reachable peers are the DTU endpoints the kernel tile
+    configured, their state lives in on-chip scratchpad (out of reach of
+    memory-bus probes), and there is no cache shared with anything.
+    Attestation is kernel-tile-signed: the kernel loaded and measured
+    each tile's program. *)
+
+(** [make rng ~ca_name ~ca_key ~tiles ()] builds a chip with [tiles]
+    tiles (one kernel tile + compute tiles); returns the substrate and
+    the raw chip for NoC-level experiments. *)
+val make :
+  Lt_crypto.Drbg.t -> ca_name:string -> ca_key:Lt_crypto.Rsa.keypair ->
+  tiles:int -> unit -> Substrate.t * Lt_noc.Noc.t

@@ -1,0 +1,93 @@
+open Lt_crypto
+module Sep = Lt_sep.Sep
+
+exception Svc_state of string
+
+let properties =
+  { Substrate.substrate_name = "sep";
+    concurrent_components = false;
+    mutually_isolated = false;
+    defends =
+      [ Substrate.Remote_software; Substrate.Local_software;
+        Substrate.Physical_memory ];
+    tcb = [ ("sep-kernel", 8_000); ("sep-hardware", 4_000); ("boot-rom", 1_000) ];
+    shared_cache_with_host = false;
+    progress_guaranteed = true }
+
+let measure_code code = Sha256.digest ("sep-service|" ^ code)
+
+let make machine rng ~device_id ~private_pages =
+  let sep = Sep.attach machine rng ~private_pages in
+  let measurements : (string, string) Hashtbl.t = Hashtbl.create 8 in
+  let facilities ctx ~comp =
+    { Substrate.f_seal =
+        (fun data ->
+          let key = Sep.derive ctx ~info:("seal|" ^ comp) 16 in
+          let nonce = String.sub (Sha256.digest (comp ^ data)) 0 Speck.nonce_size in
+          Speck.Aead.to_wire (Speck.Aead.encrypt ~key ~nonce ~ad:"sep-seal" data));
+      f_unseal =
+        (fun wire ->
+          let key = Sep.derive ctx ~info:("seal|" ^ comp) 16 in
+          match Speck.Aead.of_wire wire with
+          | None -> None
+          | Some box -> Speck.Aead.decrypt ~key ~ad:"sep-seal" box);
+      f_store = (fun ~key data -> Sep.store ctx ~key data);
+      f_load = (fun ~key -> Sep.load ctx ~key) }
+  in
+  let launch ~name ~code ~services =
+    Hashtbl.replace measurements name (measure_code code);
+    (* one mailbox service per component dispatches its entry points so
+       they share the component's store namespace *)
+    Sep.register_service sep ~name (fun ctx arg ->
+        match Wire.decode arg with
+        | Some [ fn; req ] ->
+          (match List.assoc_opt fn services with
+           | Some service -> Wire.encode [ "ok"; service (facilities ctx ~comp:name) req ]
+           | None -> Wire.encode [ "err"; Printf.sprintf "no entry point %S" fn ])
+        | _ -> Wire.encode [ "err"; "malformed request" ]);
+    Ok
+      (Substrate.make_component ~name ~measurement:(measure_code code)
+         ~state:(Svc_state name))
+  in
+  let svc_of c =
+    match Substrate.component_state c with
+    | Svc_state name -> name
+    | _ -> invalid_arg "substrate_sep: foreign component"
+  in
+  let invoke c ~fn arg =
+    match Sep.mailbox_call sep ~service:(svc_of c) (Wire.encode [ fn; arg ]) with
+    | Error e -> Error e
+    | Ok reply ->
+      (match Wire.decode reply with
+       | Some [ "ok"; out ] -> Ok out
+       | Some [ "err"; e ] -> Error e
+       | _ -> Error "malformed sep reply")
+  in
+  let attest c ~nonce ~claim =
+    let measurement = Substrate.component_measurement c in
+    let ev_no_tag =
+      { Attestation.ev_substrate = "sep";
+        ev_measurement = measurement;
+        ev_nonce = nonce;
+        ev_claim = claim;
+        ev_proof = Attestation.Hmac_tag { device = device_id; tag = "" } }
+    in
+    let body = Attestation.signed_body ev_no_tag in
+    Sep.register_service sep ~name:"__lt_attest" (fun ctx arg ->
+        Hmac.mac ~key:(Sep.uid_key ctx) arg);
+    match Sep.mailbox_call sep ~service:"__lt_attest" body with
+    | Error e -> Error e
+    | Ok tag ->
+      Ok
+        { ev_no_tag with
+          Attestation.ev_proof = Attestation.Hmac_tag { device = device_id; tag } }
+  in
+  let t =
+    { Substrate.properties;
+      launch;
+      invoke;
+      attest;
+      measure = (fun ~code -> measure_code code);
+      destroy = (fun _ -> ()) }
+  in
+  (t, sep, Sep.provisioning_record sep)

@@ -1,0 +1,13 @@
+(** SEP adapter for the unified isolation interface.
+
+    Components become coprocessor services fixed at integration time.
+    Like TrustZone, services share the SEP without mutual isolation,
+    but the coprocessor design removes the shared cache and encrypts
+    its DRAM slice ([defends] includes [Physical_memory]). *)
+
+(** [make machine rng ~device_id ~private_pages] attaches a SEP and
+    returns the substrate plus the manufacture-time provisioning key the
+    verifier database holds for [device_id]. *)
+val make :
+  Lt_hw.Machine.t -> Lt_crypto.Drbg.t -> device_id:string -> private_pages:int ->
+  Substrate.t * Lt_sep.Sep.t * string

@@ -1,0 +1,98 @@
+open Lt_crypto
+module Sgx = Lt_sgx.Sgx
+
+exception Enclave_state of Sgx.enclave
+
+let properties =
+  { Substrate.substrate_name = "sgx";
+    concurrent_components = true;
+    mutually_isolated = true;
+    defends =
+      [ Substrate.Remote_software; Substrate.Local_software;
+        Substrate.Physical_memory ];
+    tcb = [ ("sgx-microcode", 20_000); ("cpu-hardware", 5_000) ];
+    shared_cache_with_host = true;
+    progress_guaranteed = false }
+
+let make machine rng ~ca_name ~ca_key ?(epc_pages = 2) () =
+  let cpu = Sgx.init_cpu machine rng ~ca_name ~ca_key in
+  (* per-component facilities persist across invocations so f_store
+     state survives between ecalls *)
+  let facilities_cache : (string, Substrate.facilities) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let facilities_of name ctx =
+    match Hashtbl.find_opt facilities_cache name with
+    | Some fac -> fac
+    | None ->
+      (* key-value store mirrored into EPC so the bytes physically live
+         in encrypted DRAM *)
+      let table : (string, string) Hashtbl.t = Hashtbl.create 8 in
+      let mirror () =
+        let blob =
+          Wire.encode
+            (Hashtbl.fold (fun k v acc -> Wire.encode [ k; v ] :: acc) table []
+             |> List.sort Stdlib.compare)
+        in
+        if String.length blob <= epc_pages * 4096 then Sgx.mem_write ctx ~off:0 blob
+      in
+      let fac =
+        { Substrate.f_seal = (fun data -> Sgx.seal ctx data);
+          f_unseal = (fun wire -> Sgx.unseal ctx wire);
+          f_store =
+            (fun ~key data ->
+              Hashtbl.replace table key data;
+              mirror ());
+          f_load = (fun ~key -> Hashtbl.find_opt table key) }
+      in
+      Hashtbl.replace facilities_cache name fac;
+      fac
+  in
+  let launch ~name ~code ~services =
+    let ecalls =
+      List.map
+        (fun (fn, service) ->
+          (fn, fun ctx arg -> service (facilities_of name ctx) arg))
+        services
+    in
+    try
+      let e = Sgx.create_enclave cpu ~name ~code ~epc_pages ~ecalls in
+      Ok
+        (Substrate.make_component ~name ~measurement:(Sgx.measurement e)
+           ~state:(Enclave_state e))
+    with Invalid_argument m -> Error m
+  in
+  let enclave_of c =
+    match Substrate.component_state c with
+    | Enclave_state e -> e
+    | _ -> invalid_arg "substrate_sgx: foreign component"
+  in
+  let invoke c ~fn arg = Sgx.ecall cpu (enclave_of c) ~fn arg in
+  let attest c ~nonce ~claim =
+    let e = enclave_of c in
+    let ev_no_sig =
+      { Attestation.ev_substrate = "sgx";
+        ev_measurement = Sgx.measurement e;
+        ev_nonce = nonce;
+        ev_claim = claim;
+        ev_proof =
+          Attestation.Rsa_quote { signature = ""; cert = Sgx.quoting_cert cpu } }
+    in
+    let signature = Sgx.qe_sign cpu ~body:(Attestation.signed_body ev_no_sig) in
+    Ok
+      { ev_no_sig with
+        Attestation.ev_proof =
+          Attestation.Rsa_quote { signature; cert = Sgx.quoting_cert cpu } }
+  in
+  let t =
+    { Substrate.properties;
+      launch;
+      invoke;
+      attest;
+      measure = (fun ~code -> Sgx.measure_code code);
+      destroy =
+        (fun c ->
+          Hashtbl.remove facilities_cache (Substrate.component_name c);
+          Sgx.destroy cpu (enclave_of c)) }
+  in
+  (t, cpu)

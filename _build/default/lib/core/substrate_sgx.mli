@@ -1,0 +1,12 @@
+(** SGX adapter for the unified isolation interface. *)
+
+(** [make machine rng ~ca_name ~ca_key ?epc_pages ()] provisions SGX on
+    the machine and exposes it through {!Substrate.t}. Components become
+    enclaves; sealing uses the CPU/measurement binding; attestation goes
+    through the quoting enclave (certificate chained to [ca_name]).
+    Also returns the raw SGX handle for experiments that need it
+    (cache side channel, starvation). *)
+val make :
+  Lt_hw.Machine.t -> Lt_crypto.Drbg.t -> ca_name:string ->
+  ca_key:Lt_crypto.Rsa.keypair -> ?epc_pages:int -> unit ->
+  Substrate.t * Lt_sgx.Sgx.cpu

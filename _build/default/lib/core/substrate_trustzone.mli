@@ -1,0 +1,17 @@
+(** TrustZone adapter for the unified isolation interface.
+
+    Components become secure-world services. Note the coarser
+    granularity the paper points out: the measured identity is the
+    {e secure world image}, not the individual component, and services
+    share the world without mutual isolation
+    ([properties.mutually_isolated = false]). *)
+
+(** [make machine ~vendor ~image ~device_id ~device_key_name ~secure_pages]
+    installs TrustZone, boots the signed secure-world [image] and wires
+    attestation to the fused key named [device_key_name] (program it
+    into the machine's fuse bank first). [device_id] labels evidence for
+    the verifier's shared-key database. *)
+val make :
+  Lt_hw.Machine.t -> vendor:Lt_crypto.Rsa.public -> image:Lt_tpm.Boot.stage ->
+  device_id:string -> device_key_name:string -> secure_pages:int ->
+  (Substrate.t * Lt_trustzone.Trustzone.t, string) result

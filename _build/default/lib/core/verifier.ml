@@ -1,0 +1,34 @@
+open Lt_crypto
+
+type t = {
+  rng : Drbg.t;
+  policy : Attestation.policy;
+  pending : (string, unit) Hashtbl.t;
+}
+
+type rejection = Unknown_nonce | Evidence of Attestation.failure
+
+let create rng policy = { rng; policy; pending = Hashtbl.create 8 }
+
+let challenge t =
+  let nonce = Sha256.hex (Drbg.bytes t.rng 16) in
+  Hashtbl.replace t.pending nonce ();
+  nonce
+
+let check t evidence =
+  let nonce = evidence.Attestation.ev_nonce in
+  if not (Hashtbl.mem t.pending nonce) then Error Unknown_nonce
+  else
+    match Attestation.verify t.policy ~nonce evidence with
+    | Ok () ->
+      (* consume only on success so the prover may retry a transmission
+         error, but a verified nonce can never be used twice *)
+      Hashtbl.remove t.pending nonce;
+      Ok ()
+    | Error f -> Error (Evidence f)
+
+let outstanding t = Hashtbl.length t.pending
+
+let pp_rejection fmt = function
+  | Unknown_nonce -> Format.pp_print_string fmt "nonce never issued or already consumed"
+  | Evidence f -> Attestation.pp_failure fmt f

@@ -1,0 +1,29 @@
+(** A stateful attestation verifier: challenge issuance + one-shot
+    evidence checking.
+
+    {!Attestation.verify} is pure; a real relying party (the utility
+    server of Figure 3) also needs freshness management: every challenge
+    it issues must be consumed at most once, and evidence quoting a
+    nonce it never issued is an obvious replay. This wraps the policy
+    with exactly that bookkeeping. *)
+
+type t
+
+(** [create rng policy] — the verifier owns its nonce stream. *)
+val create : Lt_crypto.Drbg.t -> Attestation.policy -> t
+
+(** [challenge t] issues a fresh nonce to hand to the prover. *)
+val challenge : t -> string
+
+type rejection =
+  | Unknown_nonce          (** never issued, or already consumed *)
+  | Evidence of Attestation.failure
+
+(** [check t evidence] verifies against the policy and consumes the
+    nonce: a second presentation of the same evidence is rejected. *)
+val check : t -> Attestation.evidence -> (unit, rejection) result
+
+(** [outstanding t] — challenges issued but not yet consumed. *)
+val outstanding : t -> int
+
+val pp_rejection : Format.formatter -> rejection -> unit

@@ -1,0 +1,1 @@
+lib/crypto/bignum.ml: Array Bytes Char Drbg Format Sha256 Stdlib String

@@ -1,0 +1,1 @@
+lib/crypto/cert.ml: Printf Rsa String

@@ -1,0 +1,1 @@
+lib/crypto/drbg.ml: Bytes Char Int64

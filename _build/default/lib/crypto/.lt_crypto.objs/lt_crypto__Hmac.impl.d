@@ -1,0 +1,1 @@
+lib/crypto/hmac.ml: Bytes Char Ct Sha256 String

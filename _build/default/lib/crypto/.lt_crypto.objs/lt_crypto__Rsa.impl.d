@@ -1,0 +1,1 @@
+lib/crypto/rsa.ml: Bignum Char Ct Drbg List Printf Sha256 String

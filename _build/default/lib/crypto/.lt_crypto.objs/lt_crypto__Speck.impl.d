@@ -1,0 +1,1 @@
+lib/crypto/speck.ml: Array Bytes Char Hkdf Hmac Printf String

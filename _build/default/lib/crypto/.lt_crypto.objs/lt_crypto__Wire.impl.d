@@ -1,0 +1,1 @@
+lib/crypto/wire.ml: Buffer List Printf String

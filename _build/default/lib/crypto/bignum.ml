@@ -1,0 +1,335 @@
+(* Little-endian limbs, base 2^26; limb products fit in a 63-bit int.
+   Invariant: no most-significant zero limb; zero is the empty array. *)
+
+let limb_bits = 26
+
+let base = 1 lsl limb_bits
+
+let mask = base - 1
+
+type t = int array
+
+let zero : t = [||]
+
+let normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do decr n done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int n =
+  if n < 0 then invalid_arg "Bignum.of_int: negative";
+  let rec limbs n = if n = 0 then [] else (n land mask) :: limbs (n lsr limb_bits) in
+  Array.of_list (limbs n)
+
+let one = of_int 1
+
+let two = of_int 2
+
+let is_zero t = Array.length t = 0
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let bits t =
+  let n = Array.length t in
+  if n = 0 then 0
+  else begin
+    let top = t.(n - 1) in
+    let rec width v acc = if v = 0 then acc else width (v lsr 1) (acc + 1) in
+    ((n - 1) * limb_bits) + width top 0
+  end
+
+let to_int t =
+  if bits t > 62 then None
+  else begin
+    let v = ref 0 in
+    for i = Array.length t - 1 downto 0 do
+      v := (!v lsl limb_bits) lor t.(i)
+    done;
+    Some !v
+  end
+
+let testbit t i =
+  let limb = i / limb_bits and bit = i mod limb_bits in
+  limb < Array.length t && (t.(limb) lsr bit) land 1 = 1
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb + 1 in
+  let r = Array.make n 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr limb_bits
+  done;
+  normalize r
+
+let sub a b =
+  if compare a b < 0 then invalid_arg "Bignum.sub: would be negative";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  normalize r
+
+let mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      for j = 0 to lb - 1 do
+        let s = r.(i + j) + (a.(i) * b.(j)) + !carry in
+        r.(i + j) <- s land mask;
+        carry := s lsr limb_bits
+      done;
+      (* propagate the final carry; r slots above i+lb may already be set *)
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let s = r.(!k) + !carry in
+        r.(!k) <- s land mask;
+        carry := s lsr limb_bits;
+        incr k
+      done
+    done;
+    normalize r
+  end
+
+let shift_left_bits a s =
+  if s = 0 then Array.copy a
+  else begin
+    let limb_shift = s / limb_bits and bit_shift = s mod limb_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limb_shift + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl bit_shift in
+      r.(i + limb_shift) <- r.(i + limb_shift) lor (v land mask);
+      r.(i + limb_shift + 1) <- r.(i + limb_shift + 1) lor (v lsr limb_bits)
+    done;
+    normalize r
+  end
+
+let shift_right_bits a s =
+  if s = 0 then Array.copy a
+  else begin
+    let limb_shift = s / limb_bits and bit_shift = s mod limb_bits in
+    let la = Array.length a in
+    if limb_shift >= la then zero
+    else begin
+      let n = la - limb_shift in
+      let r = Array.make n 0 in
+      for i = 0 to n - 1 do
+        let lo = a.(i + limb_shift) lsr bit_shift in
+        let hi =
+          if bit_shift = 0 || i + limb_shift + 1 >= la then 0
+          else (a.(i + limb_shift + 1) lsl (limb_bits - bit_shift)) land mask
+        in
+        r.(i) <- lo lor hi
+      done;
+      normalize r
+    end
+  end
+
+(* Short division by a single limb. *)
+let divmod_limb a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl limb_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (normalize q, of_int !r)
+
+(* Knuth TAOCP vol. 2 Algorithm D. *)
+let divmod_knuth a b =
+  let n = Array.length b in
+  (* D1: normalize so the divisor's top limb has its high bit set *)
+  let rec top_width v acc = if v = 0 then acc else top_width (v lsr 1) (acc + 1) in
+  let s = limb_bits - top_width b.(n - 1) 0 in
+  let u = shift_left_bits a s in
+  let v = shift_left_bits b s in
+  assert (Array.length v = n);
+  let m = Array.length u - n in
+  let m = max m 0 in
+  (* work array with one extra top limb *)
+  let w = Array.make (Array.length u + 1) 0 in
+  Array.blit u 0 w 0 (Array.length u);
+  let q = Array.make (m + 1) 0 in
+  let v1 = v.(n - 1) in
+  let v2 = if n >= 2 then v.(n - 2) else 0 in
+  for j = m downto 0 do
+    (* D3: estimate qhat from the top two limbs *)
+    let num = (w.(j + n) lsl limb_bits) lor w.(j + n - 1) in
+    let qhat = ref (num / v1) in
+    let rhat = ref (num mod v1) in
+    if !qhat >= base then begin
+      qhat := base - 1;
+      rhat := num - (!qhat * v1)
+    end;
+    let continue_correct = ref true in
+    while !continue_correct do
+      if !rhat < base && n >= 2
+         && !qhat * v2 > (!rhat lsl limb_bits) lor w.(j + n - 2)
+      then begin
+        decr qhat;
+        rhat := !rhat + v1
+      end
+      else continue_correct := false
+    done;
+    (* D4: multiply and subtract *)
+    let borrow = ref 0 and carry = ref 0 in
+    for i = 0 to n - 1 do
+      let p = (!qhat * v.(i)) + !carry in
+      carry := p lsr limb_bits;
+      let d = w.(j + i) - (p land mask) - !borrow in
+      if d < 0 then begin
+        w.(j + i) <- d + base;
+        borrow := 1
+      end else begin
+        w.(j + i) <- d;
+        borrow := 0
+      end
+    done;
+    let d = w.(j + n) - !carry - !borrow in
+    if d < 0 then begin
+      (* D6: qhat was one too large; add back *)
+      w.(j + n) <- d + base;
+      decr qhat;
+      let carry = ref 0 in
+      for i = 0 to n - 1 do
+        let s = w.(j + i) + v.(i) + !carry in
+        w.(j + i) <- s land mask;
+        carry := s lsr limb_bits
+      done;
+      w.(j + n) <- (w.(j + n) + !carry) land mask
+    end else
+      w.(j + n) <- d;
+    q.(j) <- !qhat
+  done;
+  let r = normalize (Array.sub w 0 n) in
+  (normalize q, shift_right_bits r s)
+
+let divmod a b =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, Array.copy a)
+  else if Array.length b = 1 then divmod_limb a b.(0)
+  else divmod_knuth a b
+
+let rem a b = snd (divmod a b)
+
+let modpow ~base:b ~exp ~modulus =
+  if is_zero modulus then raise Division_by_zero;
+  if equal modulus one then zero
+  else begin
+    let result = ref one in
+    let b = ref (rem b modulus) in
+    let nbits = bits exp in
+    for i = 0 to nbits - 1 do
+      if testbit exp i then result := rem (mul !result !b) modulus;
+      if i < nbits - 1 then b := rem (mul !b !b) modulus
+    done;
+    !result
+  end
+
+let rec gcd a b = if is_zero b then a else gcd b (rem a b)
+
+(* Extended Euclid on signed values represented as (negative?, magnitude). *)
+let modinv a m =
+  if is_zero m then None
+  else begin
+    let signed_sub (sa, va) (sb, vb) =
+      (* (sa, va) - (sb, vb) *)
+      if sa = sb then
+        if compare va vb >= 0 then (sa, sub va vb) else (not sa, sub vb va)
+      else (sa, add va vb)
+    in
+    let rec go (old_r, r) (old_s, s) =
+      if is_zero r then (old_r, old_s)
+      else begin
+        let q, rest = divmod old_r r in
+        let sq, vq = s in
+        let qs = ((if is_zero (mul q vq) then false else sq), mul q vq) in
+        go (r, rest) (s, signed_sub old_s qs)
+      end
+    in
+    let g, (sx, x) = go (rem a m, m) ((false, one), (false, zero)) in
+    if not (equal g one) then None
+    else begin
+      let x = rem x m in
+      if sx && not (is_zero x) then Some (sub m x) else Some x
+    end
+  end
+
+let is_even t = Array.length t = 0 || t.(0) land 1 = 0
+
+let of_bytes_be s =
+  let acc = ref zero in
+  String.iter (fun c -> acc := add (shift_left_bits !acc 8) (of_int (Char.code c))) s;
+  !acc
+
+let to_bytes_be ~len t =
+  if bits t > len * 8 then invalid_arg "Bignum.to_bytes_be: value too large";
+  let b = Bytes.make len '\000' in
+  for i = 0 to len - 1 do
+    (* byte i (from the right) is bits [8i, 8i+8) *)
+    let v = ref 0 in
+    for j = 0 to 7 do
+      if testbit t ((8 * i) + j) then v := !v lor (1 lsl j)
+    done;
+    Bytes.set b (len - 1 - i) (Char.chr !v)
+  done;
+  Bytes.unsafe_to_string b
+
+let random rng ~bits:nbits =
+  let nbytes = (nbits + 7) / 8 in
+  let s = Drbg.bytes rng nbytes in
+  let extra = (nbytes * 8) - nbits in
+  let s =
+    if extra = 0 then s
+    else begin
+      let b = Bytes.of_string s in
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) land (0xFF lsr extra)));
+      Bytes.unsafe_to_string b
+    end
+  in
+  of_bytes_be s
+
+let random_below rng n =
+  if is_zero n then invalid_arg "Bignum.random_below: zero bound";
+  let nbits = bits n in
+  let rec draw () =
+    let v = random rng ~bits:nbits in
+    if compare v n < 0 then v else draw ()
+  in
+  draw ()
+
+let pp fmt t =
+  if is_zero t then Format.pp_print_string fmt "0x0"
+  else begin
+    let nbytes = (bits t + 7) / 8 in
+    Format.fprintf fmt "0x%s" (Sha256.hex (to_bytes_be ~len:nbytes t))
+  end

@@ -1,0 +1,74 @@
+(** Arbitrary-precision natural numbers, built from scratch (no zarith).
+
+    Little-endian limbs in base 2^26 so that limb products fit a native
+    63-bit int. Provides exactly what {!Rsa} and the attestation
+    protocols need: ring arithmetic, Knuth-D division, modular
+    exponentiation, gcd and modular inverse, and big-endian byte
+    conversion for wire formats. All values are non-negative. *)
+
+type t
+
+val zero : t
+
+val one : t
+
+val two : t
+
+(** [of_int n] converts a non-negative int. Raises [Invalid_argument] on
+    negatives. *)
+val of_int : int -> t
+
+(** [to_int t] is [Some n] if [t] fits a native int. *)
+val to_int : t -> int option
+
+(** [of_bytes_be s] interprets [s] as a big-endian unsigned integer. *)
+val of_bytes_be : string -> t
+
+(** [to_bytes_be ~len t] is the big-endian encoding left-padded with
+    zeros to [len] bytes. Raises [Invalid_argument] if [t] needs more
+    than [len] bytes. *)
+val to_bytes_be : len:int -> t -> string
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val is_zero : t -> bool
+
+(** [bits t] is the position of the highest set bit plus one (0 for zero). *)
+val bits : t -> int
+
+(** [testbit t i] is bit [i] (little-endian bit order). *)
+val testbit : t -> int -> bool
+
+val add : t -> t -> t
+
+(** [sub a b] requires [a >= b]; raises [Invalid_argument] otherwise. *)
+val sub : t -> t -> t
+
+val mul : t -> t -> t
+
+(** [divmod a b] is [(a / b, a mod b)]. Raises [Division_by_zero]. *)
+val divmod : t -> t -> t * t
+
+val rem : t -> t -> t
+
+(** [modpow ~base ~exp ~modulus] is [base^exp mod modulus]. *)
+val modpow : base:t -> exp:t -> modulus:t -> t
+
+val gcd : t -> t -> t
+
+(** [modinv a m] is [Some x] with [a*x = 1 (mod m)] when [gcd a m = 1]. *)
+val modinv : t -> t -> t option
+
+(** [is_even t]. *)
+val is_even : t -> bool
+
+(** [random rng ~bits] draws a uniform number below [2^bits]. *)
+val random : Drbg.t -> bits:int -> t
+
+(** [random_below rng n] draws uniformly in [\[0, n)]; [n] must be > 0. *)
+val random_below : Drbg.t -> t -> t
+
+(** [pp] prints in hexadecimal. *)
+val pp : Format.formatter -> t -> unit

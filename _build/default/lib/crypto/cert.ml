@@ -1,0 +1,54 @@
+type t = {
+  subject : string;
+  pubkey : Rsa.public;
+  issuer : string;
+  signature : string;
+}
+
+let tbs ~subject ~issuer pubkey =
+  Printf.sprintf "cert|%s|%s|%s" subject issuer (Rsa.public_to_string pubkey)
+
+let issue ~ca_name ~ca_key ~subject pubkey =
+  { subject;
+    pubkey;
+    issuer = ca_name;
+    signature = Rsa.sign ca_key (tbs ~subject ~issuer:ca_name pubkey) }
+
+let self_signed ~name (key : Rsa.keypair) =
+  issue ~ca_name:name ~ca_key:key ~subject:name key.pub
+
+let verify ~issuer_pub t =
+  Rsa.verify issuer_pub ~signature:t.signature
+    (tbs ~subject:t.subject ~issuer:t.issuer t.pubkey)
+
+let field s = Printf.sprintf "%06d%s" (String.length s) s
+
+let to_string t =
+  field t.subject ^ field t.issuer ^ field (Rsa.public_to_string t.pubkey)
+  ^ field t.signature
+
+let of_string s =
+  let read off =
+    if String.length s < off + 6 then None
+    else
+      match int_of_string_opt (String.sub s off 6) with
+      | Some n when n >= 0 && String.length s >= off + 6 + n ->
+        Some (String.sub s (off + 6) n, off + 6 + n)
+      | _ -> None
+  in
+  match read 0 with
+  | None -> None
+  | Some (subject, o1) ->
+    (match read o1 with
+     | None -> None
+     | Some (issuer, o2) ->
+       (match read o2 with
+        | None -> None
+        | Some (pub_str, o3) ->
+          (match read o3 with
+           | None -> None
+           | Some (signature, o4) when o4 = String.length s ->
+             (match Rsa.public_of_string pub_str with
+              | None -> None
+              | Some pubkey -> Some { subject; pubkey; issuer; signature })
+           | Some _ -> None)))

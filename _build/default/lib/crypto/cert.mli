@@ -1,0 +1,26 @@
+(** Minimal certificates: a subject name bound to an RSA public key by an
+    issuer's signature. Enough PKI for endorsement keys (TPM), quoting
+    services (SGX) and the TLS-like handshake — chains are one level
+    (root CA -> leaf) as in the paper's examples. *)
+
+type t = {
+  subject : string;
+  pubkey : Rsa.public;
+  issuer : string;
+  signature : string;
+}
+
+(** [issue ~ca_name ~ca_key ~subject pubkey] signs a leaf certificate. *)
+val issue : ca_name:string -> ca_key:Rsa.keypair -> subject:string -> Rsa.public -> t
+
+(** [self_signed ~name key] — a root certificate. *)
+val self_signed : name:string -> Rsa.keypair -> t
+
+(** [verify ~issuer_pub t] checks the signature binds subject and key. *)
+val verify : issuer_pub:Rsa.public -> t -> bool
+
+(** [to_string] / [of_string] — wire encoding for sending certificates
+    over the simulated network. *)
+val to_string : t -> string
+
+val of_string : string -> t option

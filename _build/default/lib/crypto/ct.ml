@@ -1,0 +1,13 @@
+let equal a b =
+  if String.length a <> String.length b then false
+  else begin
+    let acc = ref 0 in
+    for i = 0 to String.length a - 1 do
+      acc := !acc lor (Char.code a.[i] lxor Char.code b.[i])
+    done;
+    !acc = 0
+  end
+
+let select c a b =
+  let mask = - (Bool.to_int c) in
+  (a land mask) lor (b land lnot mask)

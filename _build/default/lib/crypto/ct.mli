@@ -1,0 +1,11 @@
+(** Constant-time(-style) comparisons.
+
+    The simulation has no real timing side channel at this layer, but the
+    substrates are written as the paper prescribes: secret comparisons go
+    through [Ct] so the discipline is visible in the code and testable. *)
+
+(** [equal a b] compares without early exit; false when lengths differ. *)
+val equal : string -> string -> bool
+
+(** [select c a b] is [a] when [c] is true, else [b], branch-free in spirit. *)
+val select : bool -> int -> int -> int

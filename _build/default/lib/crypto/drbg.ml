@@ -1,0 +1,48 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 finalizer: good avalanche, passes BigCrush when driven by a
+   Weyl sequence, which is all the determinism we need here. *)
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let uint64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Drbg.int: bound must be positive";
+  let mask = Int64.of_int max_int in
+  let v = Int64.to_int (Int64.logand (uint64 t) mask) in
+  v mod bound
+
+let bool t = Int64.logand (uint64 t) 1L = 1L
+
+let float t =
+  let v = Int64.shift_right_logical (uint64 t) 11 in
+  Int64.to_float v /. 9007199254740992.0 (* 2^53 *)
+
+let bytes t n =
+  let b = Bytes.create n in
+  let i = ref 0 in
+  while !i < n do
+    let v = ref (uint64 t) in
+    let k = min 8 (n - !i) in
+    for j = 0 to k - 1 do
+      Bytes.set b (!i + j) (Char.chr (Int64.to_int (Int64.logand !v 0xFFL)));
+      v := Int64.shift_right_logical !v 8
+    done;
+    i := !i + k
+  done;
+  Bytes.unsafe_to_string b
+
+let split t =
+  let seed = uint64 t in
+  { state = mix seed }

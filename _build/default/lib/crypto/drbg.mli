@@ -1,0 +1,34 @@
+(** Deterministic random bit generator.
+
+    Every source of randomness in the simulation flows through a [Drbg.t]
+    seeded explicitly, so that scenarios, tests and benchmarks are fully
+    reproducible. The generator is splitmix64; it is *not*
+    cryptographically strong and is documented as such in DESIGN.md. *)
+
+type t
+
+(** [create seed] returns a fresh generator determined by [seed]. *)
+val create : int64 -> t
+
+(** [copy t] is an independent generator with the same current state. *)
+val copy : t -> t
+
+(** [uint64 t] is the next raw 64-bit output. *)
+val uint64 : t -> int64
+
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument]
+    if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [bool t] is a uniform coin flip. *)
+val bool : t -> bool
+
+(** [float t] is uniform in [\[0, 1)]. *)
+val float : t -> float
+
+(** [bytes t n] is an [n]-byte random string. *)
+val bytes : t -> int -> string
+
+(** [split t] derives a new, statistically independent generator and
+    advances [t]. Use to hand sub-systems their own stream. *)
+val split : t -> t

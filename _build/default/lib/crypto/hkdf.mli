@@ -1,0 +1,11 @@
+(** HKDF (RFC 5869) over HMAC-SHA256: key extraction and expansion for
+    deriving channel keys, sealing keys and per-identity keys. *)
+
+(** [extract ~salt ikm] condenses input keying material into a PRK. *)
+val extract : salt:string -> string -> string
+
+(** [expand ~prk ~info len] derives [len] bytes (len <= 255*32). *)
+val expand : prk:string -> info:string -> int -> string
+
+(** [derive ~secret ~salt ~info len] = [expand (extract ~salt secret) ~info len]. *)
+val derive : secret:string -> salt:string -> info:string -> int -> string

@@ -1,0 +1,19 @@
+let tag_size = 32
+
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  let b = Bytes.make block_size '\000' in
+  Bytes.blit_string key 0 b 0 (String.length key);
+  Bytes.unsafe_to_string b
+
+let xor_pad key pad =
+  String.init block_size (fun i -> Char.chr (Char.code key.[i] lxor pad))
+
+let mac ~key msg =
+  let key = normalize_key key in
+  let inner = Sha256.digest_concat [ xor_pad key 0x36; msg ] in
+  Sha256.digest_concat [ xor_pad key 0x5c; inner ]
+
+let verify ~key ~tag msg = Ct.equal (mac ~key msg) tag

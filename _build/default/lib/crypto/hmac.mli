@@ -1,0 +1,10 @@
+(** HMAC-SHA256 (RFC 2104). Tags are 32-byte strings. *)
+
+val tag_size : int
+(** 32. *)
+
+(** [mac ~key msg] is the HMAC-SHA256 tag of [msg] under [key]. *)
+val mac : key:string -> string -> string
+
+(** [verify ~key ~tag msg] checks [tag] in constant time. *)
+val verify : key:string -> tag:string -> string -> bool

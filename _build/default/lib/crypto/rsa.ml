@@ -1,0 +1,182 @@
+type public = { n : Bignum.t; e : Bignum.t }
+
+type keypair = { pub : public; d : Bignum.t }
+
+let small_primes =
+  [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43; 47; 53; 59; 61;
+    67; 71; 73; 79; 83; 89; 97; 101; 103; 107; 109; 113; 127; 131; 137;
+    139; 149; 151; 157; 163; 167; 173; 179; 181; 191; 193; 197; 199 ]
+
+let divisible_by_small n =
+  List.exists
+    (fun p ->
+      let bp = Bignum.of_int p in
+      if Bignum.compare n bp = 0 then false
+      else Bignum.is_zero (Bignum.rem n bp))
+    small_primes
+
+let miller_rabin_round rng n =
+  (* n odd, n > 3; returns true when the round says "probably prime" *)
+  let n_minus_1 = Bignum.sub n Bignum.one in
+  let rec split d r = if Bignum.is_even d then split (fst (Bignum.divmod d Bignum.two)) (r + 1) else (d, r) in
+  let d, r = split n_minus_1 0 in
+  let a =
+    Bignum.add Bignum.two
+      (Bignum.random_below rng (Bignum.sub n (Bignum.of_int 3)))
+  in
+  let x = Bignum.modpow ~base:a ~exp:d ~modulus:n in
+  if Bignum.equal x Bignum.one || Bignum.equal x n_minus_1 then true
+  else begin
+    let rec loop i x =
+      if i >= r - 1 then false
+      else begin
+        let x = Bignum.modpow ~base:x ~exp:Bignum.two ~modulus:n in
+        if Bignum.equal x n_minus_1 then true else loop (i + 1) x
+      end
+    in
+    loop 0 x
+  end
+
+let is_probable_prime rng n =
+  match Bignum.to_int n with
+  | Some v when v < 2 -> false
+  | Some v when List.mem v small_primes -> true
+  | _ ->
+    if Bignum.is_even n || divisible_by_small n then false
+    else begin
+      let rec rounds i = i >= 16 || (miller_rabin_round rng n && rounds (i + 1)) in
+      rounds 0
+    end
+
+let two_pow k =
+  let rec go acc i = if i = 0 then acc else go (Bignum.mul acc Bignum.two) (i - 1) in
+  go Bignum.one k
+
+let random_prime rng ~bits =
+  let rec draw () =
+    (* force the top bit (full size) and the low bit (odd) *)
+    let candidate = Bignum.random rng ~bits in
+    let candidate =
+      if Bignum.testbit candidate (bits - 1) then candidate
+      else Bignum.add candidate (two_pow (bits - 1))
+    in
+    let candidate =
+      if Bignum.is_even candidate then Bignum.add candidate Bignum.one else candidate
+    in
+    if is_probable_prime rng candidate then candidate else draw ()
+  in
+  draw ()
+
+let generate ?(bits = 512) rng =
+  let bits = max bits 128 in
+  let e = Bignum.of_int 65537 in
+  let half = bits / 2 in
+  let rec attempt () =
+    let p = random_prime rng ~bits:half in
+    let q = random_prime rng ~bits:(bits - half) in
+    if Bignum.equal p q then attempt ()
+    else begin
+      let n = Bignum.mul p q in
+      let phi = Bignum.mul (Bignum.sub p Bignum.one) (Bignum.sub q Bignum.one) in
+      match Bignum.modinv e phi with
+      | None -> attempt ()
+      | Some d -> { pub = { n; e }; d }
+    end
+  in
+  attempt ()
+
+let modulus_bytes pub = (Bignum.bits pub.n + 7) / 8
+
+(* Deterministic full-domain-style padding: 0x01 || FF.. || 0x00 || digest *)
+let pad_digest ~len digest =
+  let fill = len - String.length digest - 2 in
+  if fill < 0 then invalid_arg "Rsa: modulus too small for digest";
+  "\x01" ^ String.make fill '\xFF' ^ "\x00" ^ digest
+
+let sign key msg =
+  let len = modulus_bytes key.pub in
+  let padded = pad_digest ~len:(len - 1) (Sha256.digest msg) in
+  let m = Bignum.of_bytes_be padded in
+  let s = Bignum.modpow ~base:m ~exp:key.d ~modulus:key.pub.n in
+  Bignum.to_bytes_be ~len s
+
+let verify pub ~signature msg =
+  let len = modulus_bytes pub in
+  if String.length signature <> len then false
+  else begin
+    let s = Bignum.of_bytes_be signature in
+    if Bignum.compare s pub.n >= 0 then false
+    else begin
+      let m = Bignum.modpow ~base:s ~exp:pub.e ~modulus:pub.n in
+      if Bignum.bits m > (len - 1) * 8 then false
+      else begin
+        let expected = pad_digest ~len:(len - 1) (Sha256.digest msg) in
+        Ct.equal (Bignum.to_bytes_be ~len:(len - 1) m) expected
+      end
+    end
+  end
+
+(* Randomized padding: 0x02 || nonzero-random || 0x00 || msg *)
+let encrypt rng pub msg =
+  let len = modulus_bytes pub in
+  let max_msg = len - 1 - 2 - 8 in
+  if String.length msg > max_msg then invalid_arg "Rsa.encrypt: message too long";
+  let fill = len - 1 - 2 - String.length msg in
+  let random_fill =
+    String.init fill (fun _ -> Char.chr (1 + Drbg.int rng 255))
+  in
+  let padded = "\x02" ^ random_fill ^ "\x00" ^ msg in
+  let m = Bignum.of_bytes_be padded in
+  let c = Bignum.modpow ~base:m ~exp:pub.e ~modulus:pub.n in
+  Bignum.to_bytes_be ~len c
+
+let decrypt key ct =
+  let len = modulus_bytes key.pub in
+  if String.length ct <> len then None
+  else begin
+    let c = Bignum.of_bytes_be ct in
+    if Bignum.compare c key.pub.n >= 0 then None
+    else begin
+      let m = Bignum.modpow ~base:c ~exp:key.d ~modulus:key.pub.n in
+      if Bignum.bits m > (len - 1) * 8 then None
+      else begin
+      let padded = Bignum.to_bytes_be ~len:(len - 1) m in
+      if String.length padded < 3 || padded.[0] <> '\x02' then None
+      else
+        match String.index_from_opt padded 1 '\x00' with
+        | None -> None
+        | Some i -> Some (String.sub padded (i + 1) (String.length padded - i - 1))
+      end
+    end
+  end
+
+let public_to_string pub =
+  let n_len = (Bignum.bits pub.n + 7) / 8 in
+  let e_len = (Bignum.bits pub.e + 7) / 8 in
+  Printf.sprintf "%04d%s%04d%s" n_len
+    (Bignum.to_bytes_be ~len:n_len pub.n)
+    e_len
+    (Bignum.to_bytes_be ~len:e_len pub.e)
+
+let public_of_string s =
+  let read_len off =
+    if String.length s < off + 4 then None
+    else int_of_string_opt (String.sub s off 4)
+  in
+  match read_len 0 with
+  | None -> None
+  | Some n_len ->
+    if n_len < 0 || String.length s < 4 + n_len + 4 then None
+    else begin
+      let n = Bignum.of_bytes_be (String.sub s 4 n_len) in
+      match read_len (4 + n_len) with
+      | None -> None
+      | Some e_len ->
+        if e_len < 0 || String.length s <> 4 + n_len + 4 + e_len then None
+        else begin
+          let e = Bignum.of_bytes_be (String.sub s (4 + n_len + 4) e_len) in
+          Some { n; e }
+        end
+    end
+
+let fingerprint pub = Sha256.digest (public_to_string pub)

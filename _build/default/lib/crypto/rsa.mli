@@ -1,0 +1,44 @@
+(** RSA over {!Bignum}: key generation (Miller-Rabin primes), PKCS#1-style
+    signatures over SHA-256 digests, and raw public-key encryption used by
+    the simulated TLS handshake and the TPM/SGX quoting services.
+
+    Key sizes default to 512 bits — scaled down for simulation speed, as
+    recorded in DESIGN.md; the protocol structure is what matters. *)
+
+type public = { n : Bignum.t; e : Bignum.t }
+
+type keypair = { pub : public; d : Bignum.t }
+
+(** [generate ?bits rng] creates a fresh keypair ([bits] defaults to 512,
+    minimum 128). Deterministic given the DRBG state. *)
+val generate : ?bits:int -> Drbg.t -> keypair
+
+(** [is_probable_prime rng n] runs trial division + 16 Miller-Rabin
+    rounds. *)
+val is_probable_prime : Drbg.t -> Bignum.t -> bool
+
+(** [sign key msg] signs SHA-256(msg) with deterministic padding.
+    The signature is a big-endian string of the modulus size. *)
+val sign : keypair -> string -> string
+
+(** [verify pub ~signature msg] checks a signature from {!sign}. *)
+val verify : public -> signature:string -> string -> bool
+
+(** [encrypt rng pub msg] encrypts a short message (at most modulus size
+    minus 16 bytes) with randomized padding. *)
+val encrypt : Drbg.t -> public -> string -> string
+
+(** [decrypt key ct] recovers the plaintext, or [None] if padding is
+    malformed. *)
+val decrypt : keypair -> string -> string option
+
+(** [public_to_string pub] / [public_of_string] — stable wire encoding,
+    also used as the hash input for key fingerprints. *)
+val public_to_string : public -> string
+
+val public_of_string : string -> public option
+
+(** [fingerprint pub] is SHA-256 of the wire encoding. *)
+val fingerprint : public -> string
+
+val modulus_bytes : public -> int

@@ -1,0 +1,28 @@
+(** SHA-256 (FIPS 180-4), pure OCaml.
+
+    Used as the measurement hash for launch chains, PCR extension,
+    enclave measurement and Merkle trees. Digests are 32-byte strings. *)
+
+type ctx
+
+val digest_size : int
+(** 32. *)
+
+(** [init ()] is a fresh hashing context. *)
+val init : unit -> ctx
+
+(** [feed ctx s] absorbs [s]. *)
+val feed : ctx -> string -> unit
+
+(** [finalize ctx] returns the 32-byte digest; [ctx] must not be reused. *)
+val finalize : ctx -> string
+
+(** [digest s] is the one-shot digest of [s]. *)
+val digest : string -> string
+
+(** [digest_concat parts] hashes the concatenation of [parts] without
+    building the intermediate string. *)
+val digest_concat : string list -> string
+
+(** [hex d] renders a digest (or any string) as lowercase hex. *)
+val hex : string -> string

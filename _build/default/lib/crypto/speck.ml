@@ -1,0 +1,126 @@
+let key_size = 16
+
+let nonce_size = 8
+
+let rounds = 27
+
+let mask32 = 0xFFFFFFFF
+
+type key = int array (* round keys, 32-bit values *)
+
+let ror x n = ((x lsr n) lor (x lsl (32 - n))) land mask32
+
+let rol x n = ((x lsl n) lor (x lsr (32 - n))) land mask32
+
+let round k (x, y) =
+  let x = (ror x 8 + y) land mask32 lxor k in
+  let y = rol y 3 lxor x in
+  (x, y)
+
+let unround k (x, y) =
+  let y = ror (y lxor x) 3 in
+  let x = rol (((x lxor k) - y) land mask32) 8 in
+  (x, y)
+
+let word_of s off =
+  (Char.code s.[off] lsl 24) lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8) lor Char.code s.[off + 3]
+
+let key_of_string s =
+  if String.length s <> key_size then invalid_arg "Speck.key_of_string: need 16 bytes";
+  (* key words: k0 plus the l-sequence, expanded with the round function *)
+  let k = Array.make rounds 0 in
+  let l = Array.make (rounds + 2) 0 in
+  k.(0) <- word_of s 12;
+  l.(0) <- word_of s 8;
+  l.(1) <- word_of s 4;
+  l.(2) <- word_of s 0;
+  for i = 0 to rounds - 2 do
+    let x, y = round i (l.(i), k.(i)) in
+    l.(i + 3) <- x;
+    k.(i + 1) <- y
+  done;
+  k
+
+let encrypt_block key (x, y) =
+  let state = ref (x land mask32, y land mask32) in
+  for i = 0 to rounds - 1 do
+    state := round key.(i) !state
+  done;
+  !state
+
+let decrypt_block key (x, y) =
+  let state = ref (x land mask32, y land mask32) in
+  for i = rounds - 1 downto 0 do
+    state := unround key.(i) !state
+  done;
+  !state
+
+let ctr ~key ~nonce msg =
+  if String.length nonce <> nonce_size then invalid_arg "Speck.ctr: need 8-byte nonce";
+  let n_hi = word_of nonce 0 and n_lo = word_of nonce 4 in
+  let len = String.length msg in
+  let out = Bytes.create len in
+  let block = ref 0 in
+  let pos = ref 0 in
+  while !pos < len do
+    (* counter block = nonce xor block index, split across the halves *)
+    let ctr_hi = n_hi lxor (!block lsr 32 land mask32) in
+    let ctr_lo = n_lo lxor (!block land mask32) in
+    let x, y = encrypt_block key (ctr_hi, ctr_lo) in
+    let ks = [| x lsr 24; x lsr 16; x lsr 8; x; y lsr 24; y lsr 16; y lsr 8; y |] in
+    let k = min 8 (len - !pos) in
+    for j = 0 to k - 1 do
+      Bytes.set out (!pos + j)
+        (Char.chr (Char.code msg.[!pos + j] lxor (ks.(j) land 0xFF)))
+    done;
+    pos := !pos + k;
+    incr block
+  done;
+  Bytes.unsafe_to_string out
+
+module Aead = struct
+  type sealed = { nonce : string; ciphertext : string; tag : string }
+
+  let derive_keys master =
+    let enc = Hkdf.derive ~secret:master ~salt:"lt-aead" ~info:"enc" key_size in
+    let mac = Hkdf.derive ~secret:master ~salt:"lt-aead" ~info:"mac" 32 in
+    (key_of_string enc, mac)
+
+  let mac_input ~nonce ~ad ciphertext =
+    (* length-prefix the associated data so (ad, ct) splits are unambiguous *)
+    Printf.sprintf "%08d" (String.length ad) ^ ad ^ nonce ^ ciphertext
+
+  let encrypt ~key ~nonce ~ad msg =
+    let enc_key, mac_key = derive_keys key in
+    let ciphertext = ctr ~key:enc_key ~nonce msg in
+    let tag = Hmac.mac ~key:mac_key (mac_input ~nonce ~ad ciphertext) in
+    { nonce; ciphertext; tag }
+
+  let decrypt ~key ~ad { nonce; ciphertext; tag } =
+    if String.length nonce <> nonce_size then None
+    else begin
+      let enc_key, mac_key = derive_keys key in
+      if Hmac.verify ~key:mac_key ~tag (mac_input ~nonce ~ad ciphertext) then
+        Some (ctr ~key:enc_key ~nonce ciphertext)
+      else None
+    end
+
+  let to_wire { nonce; ciphertext; tag } =
+    Printf.sprintf "%08d" (String.length ciphertext) ^ nonce ^ tag ^ ciphertext
+
+  let of_wire s =
+    if String.length s < 8 + nonce_size + Hmac.tag_size then None
+    else
+      match int_of_string_opt (String.sub s 0 8) with
+      | None -> None
+      | Some ct_len ->
+        let need = 8 + nonce_size + Hmac.tag_size + ct_len in
+        if ct_len < 0 || String.length s <> need then None
+        else begin
+          let nonce = String.sub s 8 nonce_size in
+          let tag = String.sub s (8 + nonce_size) Hmac.tag_size in
+          let ciphertext = String.sub s (8 + nonce_size + Hmac.tag_size) ct_len in
+          Some { nonce; ciphertext; tag }
+        end
+end

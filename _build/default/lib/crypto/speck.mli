@@ -1,0 +1,48 @@
+(** SPECK64/128 block cipher with CTR mode and an encrypt-then-MAC AEAD.
+
+    SPECK is chosen because it is tiny, published, and implementable
+    without lookup tables — a good stand-in for the AES engines fused
+    into the simulated devices. Keys are 16 bytes; nonces 8 bytes. *)
+
+type key
+
+val key_size : int
+(** 16 bytes. *)
+
+val nonce_size : int
+(** 8 bytes. *)
+
+(** [key_of_string s] builds a key schedule. Raises [Invalid_argument]
+    unless [String.length s = 16]. *)
+val key_of_string : string -> key
+
+(** [encrypt_block key (x, y)] encrypts one 64-bit block given as two
+    32-bit halves. *)
+val encrypt_block : key -> int * int -> int * int
+
+(** [decrypt_block key (x, y)] inverts {!encrypt_block}. *)
+val decrypt_block : key -> int * int -> int * int
+
+(** [ctr ~key ~nonce msg] en/decrypts [msg] with the CTR keystream
+    (involution: apply twice to recover). *)
+val ctr : key:key -> nonce:string -> string -> string
+
+(** Authenticated encryption: CTR + HMAC-SHA256 over nonce, associated
+    data and ciphertext (encrypt-then-MAC with independent derived keys). *)
+module Aead : sig
+  type sealed = { nonce : string; ciphertext : string; tag : string }
+
+  (** [encrypt ~key ~nonce ~ad msg] seals [msg]; [key] is the 16-byte
+      master key string from which cipher and MAC keys are derived. *)
+  val encrypt : key:string -> nonce:string -> ad:string -> string -> sealed
+
+  (** [decrypt ~key ~ad sealed] is [Some plaintext], or [None] if the tag
+      check fails (tampering, wrong key or wrong associated data). *)
+  val decrypt : key:string -> ad:string -> sealed -> string option
+
+  (** [to_wire s] / [of_wire] give a stable string framing for sending a
+      sealed box over the simulated network or storing it on disk. *)
+  val to_wire : sealed -> string
+
+  val of_wire : string -> sealed option
+end

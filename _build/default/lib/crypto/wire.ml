@@ -1,0 +1,27 @@
+let encode fields =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (Printf.sprintf "%08d" (String.length f));
+      Buffer.add_string buf f)
+    fields;
+  Buffer.contents buf
+
+let decode s =
+  let rec go off acc =
+    if off = String.length s then Some (List.rev acc)
+    else if off + 8 > String.length s then None
+    else
+      match int_of_string_opt (String.sub s off 8) with
+      | Some n when n >= 0 && off + 8 + n <= String.length s ->
+        go (off + 8 + n) (String.sub s (off + 8) n :: acc)
+      | _ -> None
+  in
+  go 0 []
+
+let tagged tag fields = encode (tag :: fields)
+
+let untag s =
+  match decode s with
+  | Some (tag :: fields) -> Some (tag, fields)
+  | Some [] | None -> None

@@ -1,0 +1,18 @@
+(** Length-prefixed string framing for protocol messages.
+
+    Every protocol in the simulation (TLS-like handshake, attestation
+    evidence, VPFS metadata) frames its fields with this module so
+    parsers are total and tampering yields [None], never a crash. *)
+
+(** [encode fields] frames a list of strings. *)
+val encode : string list -> string
+
+(** [decode s] recovers the exact field list, or [None] on malformed
+    input (wrong lengths, trailing garbage). *)
+val decode : string -> string list option
+
+(** [tagged tag fields] frames a message with a leading tag field. *)
+val tagged : string -> string list -> string
+
+(** [untag s] splits a tagged message into [(tag, fields)]. *)
+val untag : string -> (string * string list) option

@@ -1,0 +1,1 @@
+lib/hw/bus.ml: Clock Format Iommu List Mmu Phys_mem String

@@ -1,0 +1,1 @@
+lib/hw/bus.mli: Clock Format Iommu Phys_mem

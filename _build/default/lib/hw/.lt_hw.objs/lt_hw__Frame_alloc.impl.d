@@ -1,0 +1,1 @@
+lib/hw/frame_alloc.ml: Hashtbl List

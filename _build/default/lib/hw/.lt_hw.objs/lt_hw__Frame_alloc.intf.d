@@ -1,0 +1,1 @@
+lib/hw/frame_alloc.mli:

@@ -1,0 +1,1 @@
+lib/hw/fuse.ml: Hashtbl List Printf Stdlib

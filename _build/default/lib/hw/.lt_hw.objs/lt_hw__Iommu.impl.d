@@ -1,0 +1,1 @@
+lib/hw/iommu.ml: Hashtbl List Mmu Stdlib

@@ -1,0 +1,1 @@
+lib/hw/machine.ml: Bus Cache Clock Frame_alloc Fuse Iommu Mmu Phys_mem String Tamper

@@ -1,0 +1,1 @@
+lib/hw/machine.mli: Bus Cache Clock Frame_alloc Fuse Iommu Phys_mem Tamper

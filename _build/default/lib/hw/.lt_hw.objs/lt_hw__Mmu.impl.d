@@ -1,0 +1,1 @@
+lib/hw/mmu.ml: Format Hashtbl List Stdlib

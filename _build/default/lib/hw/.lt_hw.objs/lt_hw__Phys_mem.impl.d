@@ -1,0 +1,1 @@
+lib/hw/phys_mem.ml: Buffer Bytes Char Ct Hashtbl Hkdf Hmac List Lt_crypto Printf Sha256 Stdlib String

@@ -1,0 +1,1 @@
+lib/hw/phys_mem.mli:

@@ -1,0 +1,1 @@
+lib/hw/tamper.ml: Char List Phys_mem String

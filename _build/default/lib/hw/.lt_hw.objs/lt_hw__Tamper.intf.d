@@ -1,0 +1,1 @@
+lib/hw/tamper.mli: Phys_mem

@@ -1,0 +1,97 @@
+type requester = Cpu of { secure : bool } | Device of string
+
+type op = Read | Write
+
+type denial =
+  | Secure_only of int
+  | Dma_blocked of int
+  | Rom of int
+  | Bad of int
+  | Integrity of int
+
+type t = {
+  mem : Phys_mem.t;
+  iommu : Iommu.t;
+  clock : Clock.t;
+  mutable secure_ranges : (int * int) list; (* base, size *)
+  mutable count : int;
+}
+
+let create mem iommu clock = { mem; iommu; clock; secure_ranges = []; count = 0 }
+
+let memory t = t.mem
+
+let iommu t = t.iommu
+
+let mark_secure t ~base ~size = t.secure_ranges <- (base, size) :: t.secure_ranges
+
+let clear_secure t ~base ~size =
+  t.secure_ranges <- List.filter (fun r -> r <> (base, size)) t.secure_ranges
+
+let is_secure_range t addr =
+  List.exists (fun (base, size) -> addr >= base && addr < base + size) t.secure_ranges
+
+(* a transaction touching [addr, addr+len) crosses a secure range? *)
+let touches_secure t addr len =
+  List.exists
+    (fun (base, size) -> addr < base + size && base < addr + len)
+    t.secure_ranges
+
+let authorize t ~requester ~addr ~len ~write =
+  match requester with
+  | Cpu { secure } ->
+    if (not secure) && touches_secure t addr len then Error (Secure_only addr) else Ok ()
+  | Device device ->
+    (* devices are never secure-world; also subject to the IOMMU *)
+    if touches_secure t addr len then Error (Secure_only addr)
+    else begin
+      let page = Mmu.page_size in
+      let rec check a =
+        if a >= addr + len then Ok ()
+        else if Iommu.check t.iommu ~device ~paddr:a ~write then
+          check (((a / page) + 1) * page)
+        else Error (Dma_blocked a)
+      in
+      check addr
+    end
+
+let charge t len =
+  (* 1 tick per 8 bytes of traffic, minimum 1: a simple DRAM cost model *)
+  Clock.advance t.clock (max 1 (len / 8))
+
+let read t ~requester ~addr ~len =
+  match authorize t ~requester ~addr ~len ~write:false with
+  | Error e -> Error e
+  | Ok () ->
+    (try
+       let data = Phys_mem.cpu_read t.mem ~addr ~len in
+       charge t len;
+       t.count <- t.count + 1;
+       Ok data
+     with
+     | Phys_mem.Bad_address a -> Error (Bad a)
+     | Phys_mem.Integrity_violation a -> Error (Integrity a))
+
+let write t ~requester ~addr data =
+  let len = String.length data in
+  match authorize t ~requester ~addr ~len ~write:true with
+  | Error e -> Error e
+  | Ok () ->
+    (try
+       Phys_mem.cpu_write t.mem ~addr data;
+       charge t len;
+       t.count <- t.count + 1;
+       Ok ()
+     with
+     | Phys_mem.Bad_address a -> Error (Bad a)
+     | Phys_mem.Rom_write a -> Error (Rom a)
+     | Phys_mem.Integrity_violation a -> Error (Integrity a))
+
+let transactions t = t.count
+
+let pp_denial fmt = function
+  | Secure_only a -> Format.fprintf fmt "secure-only range at 0x%x" a
+  | Dma_blocked a -> Format.fprintf fmt "IOMMU blocked DMA at 0x%x" a
+  | Rom a -> Format.fprintf fmt "write to ROM at 0x%x" a
+  | Bad a -> Format.fprintf fmt "bad address 0x%x" a
+  | Integrity a -> Format.fprintf fmt "memory integrity violation at 0x%x" a

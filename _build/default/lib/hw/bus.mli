@@ -1,0 +1,49 @@
+(** System bus with requester identity.
+
+    TrustZone's defining hardware feature is "an additional identifying
+    bit with each request" (§II-B): the NS bit. The bus model carries a
+    requester tag on every transaction, lets firmware mark physical
+    ranges secure-only, and routes device DMA through the {!Iommu}.
+    All memory traffic of the simulated substrates flows through here,
+    so the bus also keeps an access log that the covert-channel and
+    tamper experiments inspect. *)
+
+type requester =
+  | Cpu of { secure : bool }  (** secure = TrustZone secure world *)
+  | Device of string          (** DMA from a named peripheral *)
+
+type op = Read | Write
+
+type denial =
+  | Secure_only of int   (** normal-world access to a secure range *)
+  | Dma_blocked of int   (** IOMMU refused the device *)
+  | Rom of int           (** write to read-only region *)
+  | Bad of int           (** address outside any region *)
+  | Integrity of int     (** MEE MAC mismatch: physical tampering detected *)
+
+type t
+
+val create : Phys_mem.t -> Iommu.t -> Clock.t -> t
+
+val memory : t -> Phys_mem.t
+
+val iommu : t -> Iommu.t
+
+(** [mark_secure t ~base ~size] makes the range secure-world-only
+    (TrustZone TZASC-style protection controller). *)
+val mark_secure : t -> base:int -> size:int -> unit
+
+val clear_secure : t -> base:int -> size:int -> unit
+
+val is_secure_range : t -> int -> bool
+
+(** [read t ~requester ~addr ~len] / [write t ~requester ~addr data]
+    perform one checked transaction, charging bus ticks. *)
+val read : t -> requester:requester -> addr:int -> len:int -> (string, denial) result
+
+val write : t -> requester:requester -> addr:int -> string -> (unit, denial) result
+
+(** [transactions t] is the count of successful transactions so far. *)
+val transactions : t -> int
+
+val pp_denial : Format.formatter -> denial -> unit

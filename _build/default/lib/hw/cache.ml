@@ -1,0 +1,87 @@
+let line_size = 64
+
+type line = { domain : string; tag : int; mutable stamp : int }
+
+type t = {
+  set_count : int;
+  ways : int;
+  lines : line option array array; (* [set].[way] *)
+  partitions : (string, int * int) Hashtbl.t;
+  mutable tick : int;
+}
+
+let create ~sets ~ways =
+  if sets <= 0 || ways <= 0 then invalid_arg "Cache.create";
+  { set_count = sets;
+    ways;
+    lines = Array.init sets (fun _ -> Array.make ways None);
+    partitions = Hashtbl.create 4;
+    tick = 0 }
+
+let sets t = t.set_count
+
+let partition t ~domain ~lo ~hi =
+  if lo < 0 || hi >= t.set_count || lo > hi then invalid_arg "Cache.partition";
+  Hashtbl.replace t.partitions domain (lo, hi)
+
+let unpartition t ~domain = Hashtbl.remove t.partitions domain
+
+let set_of t ~domain addr =
+  let raw = (addr / line_size) mod t.set_count in
+  match Hashtbl.find_opt t.partitions domain with
+  | None -> raw
+  | Some (lo, hi) -> lo + (raw mod (hi - lo + 1))
+
+let tag_of addr = addr / line_size
+
+let find_way t set ~domain ~tag =
+  let ways = t.lines.(set) in
+  let rec go i =
+    if i >= t.ways then None
+    else
+      match ways.(i) with
+      | Some l when l.domain = domain && l.tag = tag -> Some i
+      | _ -> go (i + 1)
+  in
+  go 0
+
+let access t ~domain ~addr =
+  t.tick <- t.tick + 1;
+  let set = set_of t ~domain addr in
+  let tag = tag_of addr in
+  match find_way t set ~domain ~tag with
+  | Some i ->
+    (match t.lines.(set).(i) with Some l -> l.stamp <- t.tick | None -> ());
+    true
+  | None ->
+    (* fill: pick an empty way, else evict the LRU one *)
+    let ways = t.lines.(set) in
+    let victim = ref 0 in
+    let best = ref max_int in
+    for i = 0 to t.ways - 1 do
+      match ways.(i) with
+      | None ->
+        if !best > -1 then begin
+          victim := i;
+          best := -1
+        end
+      | Some l -> if l.stamp < !best then begin victim := i; best := l.stamp end
+    done;
+    ways.(!victim) <- Some { domain; tag; stamp = t.tick };
+    false
+
+let probe t ~domain ~addr =
+  let set = set_of t ~domain addr in
+  find_way t set ~domain ~tag:(tag_of addr) <> None
+
+let flush t =
+  Array.iter (fun ways -> Array.fill ways 0 t.ways None) t.lines
+
+let resident_sets t ~domain =
+  let acc = ref [] in
+  Array.iteri
+    (fun set ways ->
+      if Array.exists (function Some l -> l.domain = domain | None -> false) ways then
+        acc := set :: !acc)
+    t.lines;
+  List.rev !acc

@@ -1,0 +1,39 @@
+(** Set-associative shared cache with optional partitioning.
+
+    "Hardware is leaky" (§II-C): SGX operates unencrypted on CPU caches
+    and is subject to prime+probe attacks. This model exposes exactly
+    that: lines are tagged with the *security domain* that filled them,
+    an attacker domain can prime sets and later probe for evictions
+    caused by a victim's secret-dependent accesses. Set partitioning
+    (cache colouring) is the mitigation toggle used by the
+    `cache-sidechannel` experiment. *)
+
+type t
+
+val line_size : int
+(** 64 bytes. *)
+
+(** [create ~sets ~ways] builds an empty cache. *)
+val create : sets:int -> ways:int -> t
+
+val sets : t -> int
+
+(** [partition t ~domain ~lo ~hi] confines [domain]'s accesses to sets
+    [lo..hi] (inclusive). Domains without a partition use all sets. *)
+val partition : t -> domain:string -> lo:int -> hi:int -> unit
+
+val unpartition : t -> domain:string -> unit
+
+(** [access t ~domain ~addr] touches the line for [addr]; returns [true]
+    on hit. Misses fill the LRU way of the (possibly remapped) set. *)
+val access : t -> domain:string -> addr:int -> bool
+
+(** [probe t ~domain ~addr] is a non-filling lookup: hit or miss without
+    disturbing the cache — the attacker's timing measurement. *)
+val probe : t -> domain:string -> addr:int -> bool
+
+val flush : t -> unit
+
+(** [resident_sets t ~domain] lists sets currently holding at least one
+    line of [domain], for assertions. *)
+val resident_sets : t -> domain:string -> int list

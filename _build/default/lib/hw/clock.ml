@@ -1,0 +1,14 @@
+type t = { mutable ticks : int }
+
+let create () = { ticks = 0 }
+
+let now t = t.ticks
+
+let advance t n =
+  if n < 0 then invalid_arg "Clock.advance: negative";
+  t.ticks <- t.ticks + n
+
+let elapsed t f =
+  let start = t.ticks in
+  let r = f () in
+  (r, t.ticks - start)

@@ -1,0 +1,20 @@
+(** Simulated time.
+
+    Everything in the simulation is event-counted, never wall-clock, so
+    runs are reproducible. A [Clock.t] is shared by one machine; cost
+    models charge ticks for memory traffic, context switches, and world
+    switches, which the schedulers and covert-channel experiments read. *)
+
+type t
+
+val create : unit -> t
+
+(** [now t] is the current tick count. *)
+val now : t -> int
+
+(** [advance t n] moves time forward by [n] ticks ([n >= 0]). *)
+val advance : t -> int -> unit
+
+(** [elapsed t f] runs [f ()] and returns its result with the ticks the
+    call consumed. *)
+val elapsed : t -> (unit -> 'a) -> 'a * int

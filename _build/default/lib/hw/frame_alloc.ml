@@ -1,0 +1,44 @@
+type t = {
+  first_page : int;
+  pages : int;
+  mutable free_list : int list;
+  allocated : (int, unit) Hashtbl.t;
+}
+
+let create ~first_page ~pages =
+  if pages <= 0 || first_page < 0 then invalid_arg "Frame_alloc.create";
+  { first_page;
+    pages;
+    free_list = List.init pages (fun i -> first_page + i);
+    allocated = Hashtbl.create 64 }
+
+let alloc t =
+  match t.free_list with
+  | [] -> None
+  | page :: rest ->
+    t.free_list <- rest;
+    Hashtbl.replace t.allocated page ();
+    Some page
+
+let alloc_n t n =
+  if List.length t.free_list < n then None
+  else begin
+    let rec take acc k = if k = 0 then List.rev acc else
+        match alloc t with
+        | Some p -> take (p :: acc) (k - 1)
+        | None -> assert false
+    in
+    Some (take [] n)
+  end
+
+let free t page =
+  if page < t.first_page || page >= t.first_page + t.pages then
+    invalid_arg "Frame_alloc.free: frame not owned";
+  if not (Hashtbl.mem t.allocated page) then
+    invalid_arg "Frame_alloc.free: double free";
+  Hashtbl.remove t.allocated page;
+  t.free_list <- page :: t.free_list
+
+let free_count t = List.length t.free_list
+
+let total t = t.pages

@@ -1,0 +1,25 @@
+(** Physical frame allocator over a page range (free-list based).
+
+    Used by kernels and enclave managers to hand out 4 KiB frames; frees
+    are checked so double-free bugs in substrate code surface early. *)
+
+type t
+
+(** [create ~first_page ~pages] manages [pages] frames starting at
+    physical page [first_page]. *)
+val create : first_page:int -> pages:int -> t
+
+(** [alloc t] takes a free frame (physical page number). *)
+val alloc : t -> int option
+
+(** [alloc_n t n] takes [n] frames, or [None] (and takes nothing) if
+    fewer are free. *)
+val alloc_n : t -> int -> int list option
+
+(** [free t page] returns a frame. Raises [Invalid_argument] on frames
+    not owned or already free. *)
+val free : t -> int -> unit
+
+val free_count : t -> int
+
+val total : t -> int

@@ -1,0 +1,19 @@
+type visibility = Secure_only | Public
+
+type t = { fuses : (string, visibility * string) Hashtbl.t }
+
+let create () = { fuses = Hashtbl.create 8 }
+
+let program t ~name ~visibility value =
+  if Hashtbl.mem t.fuses name then
+    invalid_arg (Printf.sprintf "Fuse.program: %s already programmed" name);
+  Hashtbl.replace t.fuses name (visibility, value)
+
+let read t ~name ~secure =
+  match Hashtbl.find_opt t.fuses name with
+  | None -> None
+  | Some (Public, v) -> Some v
+  | Some (Secure_only, v) -> if secure then Some v else None
+
+let names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.fuses [] |> List.sort Stdlib.compare

@@ -1,0 +1,24 @@
+(** Fuse bank: write-once device secrets.
+
+    The smart-meter example fuses a per-device AES key "into the chip by
+    the manufacturer", readable only from the TrustZone secure world
+    (§III-C). Fuses are programmed once (at manufacture) and read with a
+    requester privilege; secure-only fuses refuse normal-world reads. *)
+
+type t
+
+type visibility =
+  | Secure_only  (** readable only with [secure:true] *)
+  | Public       (** readable by anyone, e.g. device serial numbers *)
+
+val create : unit -> t
+
+(** [program t ~name ~visibility value] burns a fuse. Raises
+    [Invalid_argument] if [name] is already programmed. *)
+val program : t -> name:string -> visibility:visibility -> string -> unit
+
+(** [read t ~name ~secure] is [Some value] when the fuse exists and the
+    requester privilege suffices. *)
+val read : t -> name:string -> secure:bool -> string option
+
+val names : t -> string list

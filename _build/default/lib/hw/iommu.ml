@@ -1,0 +1,44 @@
+type t = {
+  mutable on : bool;
+  tables : (string, (int, bool) Hashtbl.t) Hashtbl.t; (* device -> ppage -> writable *)
+}
+
+let create ~enabled = { on = enabled; tables = Hashtbl.create 8 }
+
+let enabled t = t.on
+
+let set_enabled t v = t.on <- v
+
+let table_for t device =
+  match Hashtbl.find_opt t.tables device with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 16 in
+    Hashtbl.replace t.tables device tbl;
+    tbl
+
+let grant t ~device ~ppage ~writable =
+  Hashtbl.replace (table_for t device) ppage writable
+
+let revoke t ~device ~ppage =
+  match Hashtbl.find_opt t.tables device with
+  | None -> ()
+  | Some tbl -> Hashtbl.remove tbl ppage
+
+let check t ~device ~paddr ~write =
+  if not t.on then true
+  else
+    match Hashtbl.find_opt t.tables device with
+    | None -> false
+    | Some tbl ->
+      (match Hashtbl.find_opt tbl (paddr / Mmu.page_size) with
+       | None -> false
+       | Some writable -> (not write) || writable)
+
+let reachable t ~device =
+  if not t.on then None
+  else
+    match Hashtbl.find_opt t.tables device with
+    | None -> Some []
+    | Some tbl ->
+      Some (Hashtbl.fold (fun p _ acc -> p :: acc) tbl [] |> List.sort_uniq Stdlib.compare)

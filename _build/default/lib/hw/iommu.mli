@@ -1,0 +1,27 @@
+(** IOMMU: filters DMA by device, the defence the paper names against
+    malicious devices and drivers (§II-D). Each device id gets its own
+    page table; a device without one has no DMA access at all when the
+    IOMMU is enabled, and unrestricted access when it is disabled
+    (modelling legacy platforms). *)
+
+type t
+
+val create : enabled:bool -> t
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+
+(** [grant t ~device ~ppage ~writable] lets [device] DMA to [ppage]. *)
+val grant : t -> device:string -> ppage:int -> writable:bool -> unit
+
+val revoke : t -> device:string -> ppage:int -> unit
+
+(** [check t ~device ~paddr ~write] decides one DMA transaction. When
+    the IOMMU is disabled every access is allowed — the dangerous
+    default the paper warns about. *)
+val check : t -> device:string -> paddr:int -> write:bool -> bool
+
+(** [reachable t ~device] lists physical pages the device may touch
+    ([None] = everything, IOMMU off). *)
+val reachable : t -> device:string -> int list option

@@ -1,0 +1,57 @@
+type t = {
+  clock : Clock.t;
+  mem : Phys_mem.t;
+  iommu : Iommu.t;
+  bus : Bus.t;
+  cache : Cache.t;
+  fuses : Fuse.t;
+  dram_frames : Frame_alloc.t;
+  rom_base : int;
+  rom_size : int;
+  sram_base : int;
+  sram_size : int;
+  dram_base : int;
+  dram_size : int;
+}
+
+let create ?(dram_pages = 1024) ?(cache_sets = 64) ?(cache_ways = 4)
+    ?(iommu_enabled = true) () =
+  let page = Mmu.page_size in
+  let rom_base = 0 and rom_size = 16 * page in
+  let sram_base = rom_size and sram_size = 64 * page in
+  let dram_base = rom_size + sram_size and dram_size = dram_pages * page in
+  let mem =
+    Phys_mem.create
+      [ { Phys_mem.name = "rom"; base = rom_base; size = rom_size;
+          on_chip = true; writable = false };
+        { Phys_mem.name = "sram"; base = sram_base; size = sram_size;
+          on_chip = true; writable = true };
+        { Phys_mem.name = "dram"; base = dram_base; size = dram_size;
+          on_chip = false; writable = true } ]
+  in
+  let clock = Clock.create () in
+  let iommu = Iommu.create ~enabled:iommu_enabled in
+  { clock;
+    mem;
+    iommu;
+    bus = Bus.create mem iommu clock;
+    cache = Cache.create ~sets:cache_sets ~ways:cache_ways;
+    fuses = Fuse.create ();
+    dram_frames = Frame_alloc.create ~first_page:(dram_base / page) ~pages:dram_pages;
+    rom_base;
+    rom_size;
+    sram_base;
+    sram_size;
+    dram_base;
+    dram_size }
+
+let load_rom t ~off code =
+  if off < 0 || off + String.length code > t.rom_size then
+    invalid_arg "Machine.load_rom: outside ROM";
+  Phys_mem.manufacture_write t.mem ~addr:(t.rom_base + off) code
+
+let rom_contents t ~off ~len =
+  if off < 0 || off + len > t.rom_size then invalid_arg "Machine.rom_contents";
+  Phys_mem.cpu_read t.mem ~addr:(t.rom_base + off) ~len
+
+let tamper t = Tamper.create t.mem

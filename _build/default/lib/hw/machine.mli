@@ -1,0 +1,43 @@
+(** A complete simulated machine: the hardware every substrate runs on.
+
+    The default memory map mirrors a small embedded SoC:
+    - boot ROM (on-chip, immutable): trust anchor code and launch policy
+    - SRAM (on-chip): scratchpad memory shielded from physical attack
+    - DRAM (off-chip): bulk memory, exposed on the bus
+
+    One machine carries one clock, one bus, one shared cache, one fuse
+    bank and a DRAM frame allocator. Substrates (microkernel, TrustZone,
+    SGX, SEP, TPM) are constructed over a [Machine.t]. *)
+
+type t = {
+  clock : Clock.t;
+  mem : Phys_mem.t;
+  iommu : Iommu.t;
+  bus : Bus.t;
+  cache : Cache.t;
+  fuses : Fuse.t;
+  dram_frames : Frame_alloc.t;
+  rom_base : int;
+  rom_size : int;
+  sram_base : int;
+  sram_size : int;
+  dram_base : int;
+  dram_size : int;
+}
+
+(** [create ?dram_pages ?cache_sets ?cache_ways ()] builds a machine.
+    Defaults: 1024 DRAM pages (4 MiB), 64-set 4-way cache, IOMMU
+    enabled. *)
+val create :
+  ?dram_pages:int -> ?cache_sets:int -> ?cache_ways:int -> ?iommu_enabled:bool ->
+  unit -> t
+
+(** [load_rom t ~off code] installs immutable boot code at ROM offset
+    [off] (manufacture-time only: bypasses the ROM write protection). *)
+val load_rom : t -> off:int -> string -> unit
+
+(** [rom_contents t ~off ~len] reads back ROM, e.g. to measure it. *)
+val rom_contents : t -> off:int -> len:int -> string
+
+(** [tamper t] is the physical attacker's handle on this machine. *)
+val tamper : t -> Tamper.t

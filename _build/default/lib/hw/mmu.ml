@@ -1,0 +1,50 @@
+type perm = { read : bool; write : bool; execute : bool }
+
+type access = Read | Write | Execute
+
+type fault = Unmapped of int | Permission of int * access
+
+let page_size = 4096
+
+let rw = { read = true; write = true; execute = false }
+
+let ro = { read = true; write = false; execute = false }
+
+let rx = { read = true; write = false; execute = true }
+
+type t = { table : (int, int * perm) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 64 }
+
+let map t ~vpage ~ppage perm =
+  if vpage < 0 || ppage < 0 then invalid_arg "Mmu.map: negative page";
+  Hashtbl.replace t.table vpage (ppage, perm)
+
+let unmap t ~vpage = Hashtbl.remove t.table vpage
+
+let allowed perm = function
+  | Read -> perm.read
+  | Write -> perm.write
+  | Execute -> perm.execute
+
+let translate t ~vaddr access =
+  let vpage = vaddr / page_size and off = vaddr mod page_size in
+  match Hashtbl.find_opt t.table vpage with
+  | None -> Error (Unmapped vaddr)
+  | Some (ppage, perm) ->
+    if allowed perm access then Ok ((ppage * page_size) + off)
+    else Error (Permission (vaddr, access))
+
+let mappings t =
+  Hashtbl.fold (fun vpage (ppage, perm) acc -> (vpage, ppage, perm) :: acc) t.table []
+  |> List.sort Stdlib.compare
+
+let mapped_ppages t =
+  Hashtbl.fold (fun _ (ppage, _) acc -> ppage :: acc) t.table []
+  |> List.sort_uniq Stdlib.compare
+
+let pp_fault fmt = function
+  | Unmapped vaddr -> Format.fprintf fmt "unmapped access at 0x%x" vaddr
+  | Permission (vaddr, access) ->
+    let kind = match access with Read -> "read" | Write -> "write" | Execute -> "execute" in
+    Format.fprintf fmt "%s permission fault at 0x%x" kind vaddr

@@ -1,0 +1,44 @@
+(** Memory management unit: per-address-space page tables.
+
+    The paper's "basic access control" requirement (§II-D). A kernel
+    (software that may program the MMU) creates one [Mmu.t] per address
+    space and maps 4 KiB pages with read/write/execute permissions.
+    Translation faults are explicit values so callers (the microkernel)
+    can deliver them as page faults. *)
+
+type t
+
+type perm = { read : bool; write : bool; execute : bool }
+
+type access = Read | Write | Execute
+
+type fault = Unmapped of int | Permission of int * access
+
+val page_size : int
+(** 4096. *)
+
+val rw : perm
+
+val ro : perm
+
+val rx : perm
+
+val create : unit -> t
+
+(** [map t ~vpage ~ppage perm] installs a mapping for virtual page
+    [vpage] (page numbers, not byte addresses). Remapping replaces. *)
+val map : t -> vpage:int -> ppage:int -> perm -> unit
+
+val unmap : t -> vpage:int -> unit
+
+(** [translate t ~vaddr access] resolves a byte address. *)
+val translate : t -> vaddr:int -> access -> (int, fault) result
+
+(** [mappings t] lists [(vpage, ppage, perm)] triples, for analysis. *)
+val mappings : t -> (int * int * perm) list
+
+(** [mapped_ppages t] is the set of physical pages reachable, for
+    spatial-isolation checking. *)
+val mapped_ppages : t -> int list
+
+val pp_fault : Format.formatter -> fault -> unit

@@ -1,0 +1,28 @@
+type t = { mem : Phys_mem.t }
+
+let create mem = { mem }
+
+let dump t ~addr ~len = Phys_mem.phys_read t.mem ~addr ~len
+
+let patch t ~addr data = Phys_mem.phys_write t.mem ~addr data
+
+let flip_bit t ~addr ~bit =
+  if bit < 0 || bit > 7 then invalid_arg "Tamper.flip_bit";
+  let b = Phys_mem.phys_read t.mem ~addr ~len:1 in
+  let v = Char.code b.[0] lxor (1 lsl bit) in
+  Phys_mem.phys_write t.mem ~addr (String.make 1 (Char.chr v))
+
+let scan t ~needle =
+  if String.length needle = 0 then invalid_arg "Tamper.scan: empty needle";
+  let matches = ref [] in
+  List.iter
+    (fun (r : Phys_mem.region) ->
+      if not r.on_chip then begin
+        let hay = Phys_mem.phys_read t.mem ~addr:r.base ~len:r.size in
+        let n = String.length needle in
+        for i = 0 to r.size - n do
+          if String.sub hay i n = needle then matches := (r.base + i) :: !matches
+        done
+      end)
+    (Phys_mem.regions t.mem);
+  List.rev !matches

@@ -1,0 +1,27 @@
+(** Physical attacker (§II-D, "Physical Exposure of Data").
+
+    Models an adversary with probes on the memory bus: they can dump and
+    patch off-chip DRAM at will, but cannot reach inside the package
+    (on-chip SRAM, ROM, caches, fuse bank). Used by the
+    `physical-attack` experiment to show that MMU isolation alone does
+    not resist this attacker while MEE-covered memory does. *)
+
+type t
+
+val create : Phys_mem.t -> t
+
+(** [dump t ~addr ~len] reads raw (possibly ciphertext) bytes from
+    off-chip memory. Raises [Phys_mem.Bad_address] on on-chip targets. *)
+val dump : t -> addr:int -> len:int -> string
+
+(** [patch t ~addr data] overwrites raw off-chip bytes — the cold-boot /
+    bus-glitch attack. MEE-covered blocks will fail their MAC on the
+    next CPU read. *)
+val patch : t -> addr:int -> string -> unit
+
+(** [flip_bit t ~addr ~bit] flips one bit in place. *)
+val flip_bit : t -> addr:int -> bit:int -> unit
+
+(** [scan t ~needle] searches all off-chip regions for [needle] and
+    returns the match addresses — "can the attacker find the secret?". *)
+val scan : t -> needle:string -> int list

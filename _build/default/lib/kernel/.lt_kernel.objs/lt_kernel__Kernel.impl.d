@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Buffer Bus Clock Effect Format Frame_alloc Hashtbl List Lt_hw Machine Mmu Printf Queue Sched Stdlib String Sys

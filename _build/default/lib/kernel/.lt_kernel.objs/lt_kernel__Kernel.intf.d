@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Format Lt_hw Sched

@@ -1,0 +1,1 @@
+lib/kernel/legacy_os.ml: Hashtbl Kernel List Lt_crypto Lt_hw Printexc Printf Stdlib String Sys User

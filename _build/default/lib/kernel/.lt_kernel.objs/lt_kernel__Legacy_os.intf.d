@@ -1,0 +1,1 @@
+lib/kernel/legacy_os.mli: Kernel

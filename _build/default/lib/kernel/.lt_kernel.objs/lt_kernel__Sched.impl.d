@@ -1,0 +1,1 @@
+lib/kernel/sched.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/kernel/sys.ml: Effect

@@ -1,0 +1,1 @@
+lib/kernel/user.ml: Effect Sys

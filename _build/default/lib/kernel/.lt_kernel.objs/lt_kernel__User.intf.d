@@ -1,0 +1,1 @@
+lib/kernel/user.mli: Sys

@@ -1,0 +1,137 @@
+type ctx = {
+  g_read : string -> string option;
+  g_write : string -> string -> unit;
+  g_call : string -> string -> string;
+}
+
+type behaviour = ctx -> string -> string
+
+type t = {
+  g_name : string;
+  task : Kernel.task;
+  endpoint : Kernel.endpoint;
+  mutable vm_tid : int;
+  state : (string, string) Hashtbl.t;
+  processes : (string, behaviour) Hashtbl.t;
+  mutable owned : bool;
+}
+
+let name t = t.g_name
+
+let frames t = Kernel.task_frames t.task
+
+let is_compromised t = t.owned
+
+(* serialize guest state into guest RAM so the bytes physically exist in
+   the guest's frames (tamper experiments, frame-disjointness) *)
+let mirror t =
+  let blob =
+    Lt_crypto.Wire.encode
+      (Hashtbl.fold (fun k v acc -> Lt_crypto.Wire.encode [ k; v ] :: acc) t.state []
+       |> List.sort Stdlib.compare)
+  in
+  if String.length blob <= 2 * Lt_hw.Mmu.page_size then User.mem_write ~vaddr:0 blob
+
+let make_ctx t =
+  let rec ctx =
+    { g_read = (fun key -> Hashtbl.find_opt t.state key);
+      g_write =
+        (fun key v ->
+          Hashtbl.replace t.state key v;
+          mirror t);
+      g_call =
+        (fun proc req ->
+          match Hashtbl.find_opt t.processes proc with
+          | Some b -> b ctx req
+          | None -> Printf.sprintf "guest fault: no process %s" proc) }
+  in
+  ctx
+
+let boot k ~name:g_name ~partition ~memory_pages ~processes =
+  let task = Kernel.create_task k ~name:g_name ~partition in
+  Kernel.map_memory k task ~vpage:0 ~pages:memory_pages Lt_hw.Mmu.rw;
+  let endpoint = Kernel.create_endpoint k ~name:(g_name ^ ".vm") in
+  let recv_cap =
+    Kernel.grant k task endpoint ~rights:{ send = false; recv = true } ~badge:0
+  in
+  let table = Hashtbl.create 8 in
+  List.iter (fun (p, b) -> Hashtbl.replace table p b) processes;
+  let guest =
+    { g_name;
+      task;
+      endpoint;
+      vm_tid = 0;
+      state = Hashtbl.create 16;
+      processes = table;
+      owned = false }
+  in
+  let vm () =
+    let rec loop () =
+      let _badge, m, reply = User.recv ~cap:recv_cap in
+      let response =
+        match Lt_crypto.Wire.decode m.Sys.payload with
+        | Some [ proc; req ] ->
+          if guest.owned then
+            (* the whole guest answers as the attacker *)
+            Lt_crypto.Wire.encode [ "ok"; "pwned:" ^ proc ]
+          else
+            (match Hashtbl.find_opt guest.processes proc with
+             | Some b ->
+               (try Lt_crypto.Wire.encode [ "ok"; b (make_ctx guest) req ]
+                with exn ->
+                  Lt_crypto.Wire.encode [ "err"; Printexc.to_string exn ])
+             | None ->
+               Lt_crypto.Wire.encode
+                 [ "err"; Printf.sprintf "no process %S in guest" proc ])
+        | _ -> Lt_crypto.Wire.encode [ "err"; "malformed vm request" ]
+      in
+      (match reply with
+       | Some handle -> User.reply handle (Sys.msg response)
+       | None -> ());
+      loop ()
+    in
+    loop ()
+  in
+  guest.vm_tid <- Kernel.create_thread k task ~name:(g_name ^ ".vm") ~prio:5 vm;
+  guest
+
+let call_counter = ref 0
+
+let call k t ~process req =
+  if not (Kernel.thread_alive k t.vm_tid) then Error "guest halted"
+  else begin
+    incr call_counter;
+    let client_task =
+      Kernel.create_task k
+        ~name:(Printf.sprintf "%s-call%d" t.g_name !call_counter)
+        ~partition:(Kernel.task_partition t.task)
+    in
+    let cap =
+      Kernel.grant k client_task t.endpoint ~rights:{ send = true; recv = false }
+        ~badge:!call_counter
+    in
+    let result = ref (Error "guest did not reply") in
+    let _ =
+      Kernel.create_thread k client_task ~name:"vcall" ~prio:5 (fun () ->
+          let r =
+            User.call ~cap (Sys.msg (Lt_crypto.Wire.encode [ process; req ]))
+          in
+          result :=
+            (match Lt_crypto.Wire.decode r.Sys.payload with
+             | Some [ "ok"; out ] -> Ok out
+             | Some [ "err"; e ] -> Error e
+             | _ -> Error "malformed guest reply"))
+    in
+    ignore (Kernel.run k);
+    !result
+  end
+
+let exploit t ~process =
+  if Hashtbl.mem t.processes process then t.owned <- true
+  else invalid_arg (Printf.sprintf "Legacy_os.exploit: no process %s" process)
+
+let loot _k t =
+  if not t.owned then []
+  else
+    Hashtbl.fold (fun key v acc -> (key, v) :: acc) t.state []
+    |> List.sort Stdlib.compare

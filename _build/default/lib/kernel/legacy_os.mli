@@ -1,0 +1,53 @@
+(** Paravirtualized legacy operating systems on the microkernel (§II-B).
+
+    "MMU-based isolation can even run entire legacy operating systems
+    using paravirtualization techniques. This approach was used ... to
+    implement Simko3, the so-called Merkel-Phone ... two Android systems
+    side by side on the same phone."
+
+    A guest is one kernel task hosting many {e guest processes} that
+    share the guest's address space and state — a faithful model of a
+    monolithic OS: no internal walls, so exploiting any process owns the
+    whole guest. Two guests, however, live in disjoint kernel tasks with
+    disjoint physical frames; the kernel's spatial isolation holds the
+    line between them. *)
+
+type t
+
+(** What a guest process sees: the guest's shared state (any process can
+    read and write all of it — that is the point) and in-guest calls. *)
+type ctx = {
+  g_read : string -> string option;     (** shared guest state *)
+  g_write : string -> string -> unit;
+  g_call : string -> string -> string;  (** call a sibling process *)
+}
+
+type behaviour = ctx -> string -> string
+
+(** [boot k ~name ~partition ~memory_pages ~processes] starts a guest:
+    allocates its RAM, spawns its (single) kernel-visible execution
+    context. *)
+val boot :
+  Kernel.t -> name:string -> partition:string -> memory_pages:int ->
+  processes:(string * behaviour) list -> t
+
+val name : t -> string
+
+(** [call k t ~process req] enters the guest through the kernel (IPC to
+    the guest's virtual-machine thread) and runs the named process. *)
+val call : Kernel.t -> t -> process:string -> string -> (string, string) result
+
+(** [frames t] — the guest's physical frames, for disjointness checks. *)
+val frames : t -> int list
+
+(** {2 Compromise modelling} *)
+
+(** [exploit t ~process] — the process is subverted; because the guest
+    has no internal isolation this owns the whole guest. *)
+val exploit : t -> process:string -> unit
+
+val is_compromised : t -> bool
+
+(** [loot k t] — what the attacker inside a compromised guest can dump:
+    the entire shared guest state. Empty for intact guests. *)
+val loot : Kernel.t -> t -> (string * string) list

@@ -1,0 +1,26 @@
+type t =
+  | Round_robin of { quantum : int }
+  | Fixed_priority of { quantum : int }
+  | Tdma of { slots : (string * int) list }
+
+let tdma_slot_at slots now =
+  if slots = [] then invalid_arg "Sched.tdma_slot_at: no slots";
+  let cycle = List.fold_left (fun acc (_, len) -> acc + len) 0 slots in
+  if cycle <= 0 then invalid_arg "Sched.tdma_slot_at: zero cycle";
+  let phase = now mod cycle in
+  let frame_start = now - phase in
+  let rec walk off = function
+    | [] -> assert false
+    | (partition, len) :: rest ->
+      if phase < off + len then (partition, frame_start + off + len)
+      else walk (off + len) rest
+  in
+  walk 0 slots
+
+let pp fmt = function
+  | Round_robin { quantum } -> Format.fprintf fmt "round-robin(q=%d)" quantum
+  | Fixed_priority { quantum } -> Format.fprintf fmt "fixed-priority(q=%d)" quantum
+  | Tdma { slots } ->
+    Format.fprintf fmt "tdma(%s)"
+      (String.concat ","
+         (List.map (fun (p, len) -> Printf.sprintf "%s:%d" p len) slots))

@@ -1,0 +1,21 @@
+(** Scheduling policies for the microkernel (§II-C of the paper).
+
+    Temporal isolation ranges "from simple starvation prevention to
+    interference-free scheduling and covert channel mitigation". The
+    three policies span that range:
+    - [Round_robin]: starvation-free, but execution timing leaks.
+    - [Fixed_priority]: real-time friendly, leaks and can starve.
+    - [Tdma]: static time partitioning; a partition's slots run whether
+      or not it is busy, closing the scheduler timing channel. *)
+
+type t =
+  | Round_robin of { quantum : int }
+  | Fixed_priority of { quantum : int }
+  | Tdma of { slots : (string * int) list }
+      (** [(partition, length)] pairs forming the repeating major frame *)
+
+(** [tdma_slot_at slots now] is [(partition, slot_end)] for tick [now] —
+    which partition owns the current slot and when the slot ends. *)
+val tdma_slot_at : (string * int) list -> int -> string * int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+(** Syscall ABI shared between kernel and user code.
+
+    Threads are OCaml closures that suspend into the kernel with an
+    effect ({!Sys}); the kernel's scheduler holds their continuations.
+    This file defines the request/response vocabulary; user-side typed
+    wrappers live in {!User}, the handler in {!Kernel}. *)
+
+(** A reply handle names the thread awaiting an answer to a [Call]. *)
+type reply_handle = int
+
+(** IPC message: opaque payload plus capability slots to transfer.
+    Slot indices are sender-relative; the kernel re-homes them into the
+    receiver's capability space on delivery. *)
+type msg = { payload : string; caps : int list }
+
+let msg ?(caps = []) payload = { payload; caps }
+
+type syscall =
+  | Call of int * msg        (** send on cap slot, block for the reply *)
+  | Send of int * msg        (** send on cap slot, rendezvous, no reply *)
+  | Recv of int              (** receive on cap slot *)
+  | Reply of reply_handle * msg
+  | Yield                    (** give up the rest of the quantum *)
+  | Sleep of int             (** block for n ticks of simulated time *)
+  | Consume of int           (** model n ticks of computation *)
+  | Mem_read of int * int    (** vaddr, len — through the task's MMU *)
+  | Mem_write of int * string
+  | Time                     (** read the simulated clock *)
+  | Tid
+  | Exit
+
+type sysres =
+  | R_unit
+  | R_msg of { badge : int; m : msg; reply : reply_handle option }
+  | R_data of string
+  | R_int of int
+  | R_error of string
+
+type _ Effect.t += Sys : syscall -> sysres Effect.t

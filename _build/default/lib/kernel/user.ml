@@ -1,0 +1,54 @@
+exception Ipc_error of string
+
+exception Fault of string
+
+let sys sc = Effect.perform (Sys.Sys sc)
+
+let expect_unit = function
+  | Sys.R_unit -> ()
+  | Sys.R_error e -> raise (Ipc_error e)
+  | _ -> assert false
+
+let call ~cap m =
+  match sys (Sys.Call (cap, m)) with
+  | Sys.R_msg { m; _ } -> m
+  | Sys.R_error e -> raise (Ipc_error e)
+  | _ -> assert false
+
+let send ~cap m = expect_unit (sys (Sys.Send (cap, m)))
+
+let recv ~cap =
+  match sys (Sys.Recv cap) with
+  | Sys.R_msg { badge; m; reply } -> (badge, m, reply)
+  | Sys.R_error e -> raise (Ipc_error e)
+  | _ -> assert false
+
+let reply handle m = expect_unit (sys (Sys.Reply (handle, m)))
+
+let yield () = expect_unit (sys Sys.Yield)
+
+let sleep n = expect_unit (sys (Sys.Sleep n))
+
+let consume n = expect_unit (sys (Sys.Consume n))
+
+let mem_read ~vaddr ~len =
+  match sys (Sys.Mem_read (vaddr, len)) with
+  | Sys.R_data d -> d
+  | Sys.R_error e -> raise (Fault e)
+  | _ -> assert false
+
+let mem_write ~vaddr data =
+  match sys (Sys.Mem_write (vaddr, data)) with
+  | Sys.R_unit -> ()
+  | Sys.R_error e -> raise (Fault e)
+  | _ -> assert false
+
+let time () =
+  match sys Sys.Time with Sys.R_int n -> n | _ -> assert false
+
+let tid () =
+  match sys Sys.Tid with Sys.R_int n -> n | _ -> assert false
+
+let exit_thread () =
+  ignore (sys Sys.Exit);
+  assert false

@@ -1,0 +1,48 @@
+(** User-side syscall wrappers: the API available inside thread bodies.
+
+    All functions must be called from code running under {!Kernel.run};
+    calling them elsewhere raises [Effect.Unhandled]. Capability
+    arguments are slot indices obtained from {!Kernel.grant} or received
+    in messages. *)
+
+(** IPC failed: bad capability slot, missing rights, or stale reply
+    handle. Deliberately coarse — user code learns nothing about
+    endpoints it cannot name. *)
+exception Ipc_error of string
+
+(** A memory access faulted (unmapped page, permission, bus denial). *)
+exception Fault of string
+
+(** [call ~cap m] sends [m] on the capability and blocks for the reply. *)
+val call : cap:int -> Sys.msg -> Sys.msg
+
+(** [send ~cap m] sends and returns once the receiver took the message. *)
+val send : cap:int -> Sys.msg -> unit
+
+(** [recv ~cap] blocks for a message; returns the sender's badge, the
+    message, and a reply handle when the sender used [call]. *)
+val recv : cap:int -> int * Sys.msg * Sys.reply_handle option
+
+(** [reply handle m] answers a pending [call]. *)
+val reply : Sys.reply_handle -> Sys.msg -> unit
+
+val yield : unit -> unit
+
+val sleep : int -> unit
+
+(** [consume n] models [n] ticks of computation. *)
+val consume : int -> unit
+
+(** [mem_read ~vaddr ~len] reads task-virtual memory. Raises {!Fault}. *)
+val mem_read : vaddr:int -> len:int -> string
+
+val mem_write : vaddr:int -> string -> unit
+
+(** [time ()] is the simulated clock — observable, hence a covert
+    channel unless the scheduler closes it. *)
+val time : unit -> int
+
+val tid : unit -> int
+
+(** [exit_thread ()] terminates the calling thread. *)
+val exit_thread : unit -> 'a

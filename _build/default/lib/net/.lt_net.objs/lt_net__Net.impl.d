@@ -1,0 +1,1 @@
+lib/net/net.ml: Hashtbl List Printf Queue

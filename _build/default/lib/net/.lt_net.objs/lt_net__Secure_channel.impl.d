@@ -1,0 +1,1 @@
+lib/net/secure_channel.ml: Cert Drbg Hkdf Hmac Lt_crypto Net Printf Rsa Sha256 Speck String Wire

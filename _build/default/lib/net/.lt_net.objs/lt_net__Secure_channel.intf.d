@@ -1,0 +1,1 @@
+lib/net/secure_channel.mli: Lt_crypto Net

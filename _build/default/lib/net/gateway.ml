@@ -1,0 +1,50 @@
+type decision = Forwarded | Blocked_destination | Rate_limited
+
+type stats = {
+  forwarded : int;
+  blocked_destination : int;
+  rate_limited : int;
+}
+
+type t = {
+  whitelist : Net.address list;
+  tokens_per_tick : float;
+  burst : float;
+  mutable tokens : float;
+  mutable last_refill : int;
+  mutable st : stats;
+}
+
+let create ~whitelist ~tokens_per_tick ~burst =
+  { whitelist;
+    tokens_per_tick;
+    burst;
+    tokens = burst;
+    last_refill = 0;
+    st = { forwarded = 0; blocked_destination = 0; rate_limited = 0 } }
+
+let refill t ~now =
+  if now > t.last_refill then begin
+    let dt = float_of_int (now - t.last_refill) in
+    t.tokens <- Float.min t.burst (t.tokens +. (dt *. t.tokens_per_tick));
+    t.last_refill <- now
+  end
+
+let submit t net ~now ~src ~dst payload =
+  refill t ~now;
+  if not (List.mem dst t.whitelist) then begin
+    t.st <- { t.st with blocked_destination = t.st.blocked_destination + 1 };
+    Blocked_destination
+  end
+  else if t.tokens < 1.0 then begin
+    t.st <- { t.st with rate_limited = t.st.rate_limited + 1 };
+    Rate_limited
+  end
+  else begin
+    t.tokens <- t.tokens -. 1.0;
+    Net.send net ~src ~dst payload;
+    t.st <- { t.st with forwarded = t.st.forwarded + 1 };
+    Forwarded
+  end
+
+let stats t = t.st

@@ -1,0 +1,36 @@
+(** Network gateway component (§III-C).
+
+    "Network access of the Android subsystem can be filtered by an
+    isolated gateway component. If this gateway has exclusive access to
+    the network hardware, it can reliably enforce domain whitelists and
+    bandwidth policies to prevent the smart meter appliance from
+    participating in distributed denial-of-service attacks."
+
+    The gateway enforces a destination whitelist and a token-bucket
+    bandwidth policy; it is the only component holding the NIC, so
+    nothing can route around it. *)
+
+type t
+
+type decision =
+  | Forwarded
+  | Blocked_destination  (** not on the whitelist *)
+  | Rate_limited         (** token bucket empty *)
+
+type stats = {
+  forwarded : int;
+  blocked_destination : int;
+  rate_limited : int;
+}
+
+(** [create ~whitelist ~tokens_per_tick ~burst] — the bucket refills at
+    [tokens_per_tick] and holds at most [burst] tokens; each forwarded
+    packet costs one token. *)
+val create : whitelist:Net.address list -> tokens_per_tick:float -> burst:float -> t
+
+(** [submit t net ~now ~src ~dst payload] applies policy and forwards
+    via [net] when allowed. [now] is the submitting component's clock. *)
+val submit :
+  t -> Net.t -> now:int -> src:Net.address -> dst:Net.address -> string -> decision
+
+val stats : t -> stats

@@ -1,0 +1,64 @@
+type address = string
+
+type packet = { src : address; dst : address; payload : string }
+
+type verdict = Deliver | Drop | Tamper of string
+
+type t = {
+  mailboxes : (address, packet Queue.t) Hashtbl.t;
+  mutable adversary : packet -> verdict;
+  mutable log : packet list; (* newest first *)
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+let create () =
+  { mailboxes = Hashtbl.create 16;
+    adversary = (fun _ -> Deliver);
+    log = [];
+    delivered = 0;
+    dropped = 0 }
+
+let register t addr =
+  if Hashtbl.mem t.mailboxes addr then
+    invalid_arg (Printf.sprintf "Net.register: %s already registered" addr);
+  Hashtbl.replace t.mailboxes addr (Queue.create ())
+
+let deliver t packet =
+  match Hashtbl.find_opt t.mailboxes packet.dst with
+  | None -> t.dropped <- t.dropped + 1
+  | Some q ->
+    Queue.add packet q;
+    t.delivered <- t.delivered + 1
+
+let send t ~src ~dst payload =
+  let packet = { src; dst; payload } in
+  t.log <- packet :: t.log;
+  match t.adversary packet with
+  | Deliver -> deliver t packet
+  | Drop -> t.dropped <- t.dropped + 1
+  | Tamper payload' -> deliver t { packet with payload = payload' }
+
+let recv t addr =
+  match Hashtbl.find_opt t.mailboxes addr with
+  | None -> None
+  | Some q -> Queue.take_opt q
+
+let pending t addr =
+  match Hashtbl.find_opt t.mailboxes addr with
+  | None -> 0
+  | Some q -> Queue.length q
+
+let set_adversary t f = t.adversary <- f
+
+let clear_adversary t = t.adversary <- (fun _ -> Deliver)
+
+let inject t packet =
+  t.log <- packet :: t.log;
+  deliver t packet
+
+let observed t = List.rev t.log
+
+let delivered_count t = t.delivered
+
+let dropped_count t = t.dropped

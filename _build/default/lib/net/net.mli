@@ -1,0 +1,57 @@
+(** Simulated message network with a Dolev-Yao adversary.
+
+    "Communication busses within a system must be considered untrusted
+    networks as well, the difference merely is the length of the wires"
+    (§II-D). Every packet passes through an adversary hook that can
+    read, drop, tamper with or delay it, and the adversary can inject
+    forged or replayed packets at will. Endpoints are named mailboxes;
+    delivery is synchronous into the destination queue. *)
+
+type t
+
+type address = string
+
+type packet = { src : address; dst : address; payload : string }
+
+(** What the adversary does with an in-flight packet. *)
+type verdict =
+  | Deliver            (** pass unchanged *)
+  | Drop
+  | Tamper of string   (** replace the payload *)
+
+val create : unit -> t
+
+(** [register t addr] creates a mailbox. Raises on duplicates. *)
+val register : t -> address -> unit
+
+(** [send t ~src ~dst payload] — the adversary sees it first. Sending to
+    an unregistered address silently drops (like the real Internet). *)
+val send : t -> src:address -> dst:address -> string -> unit
+
+(** [recv t addr] pops the oldest pending packet for [addr]. *)
+val recv : t -> address -> packet option
+
+(** [pending t addr] — queue length without popping. *)
+val pending : t -> address -> int
+
+(** {2 The adversary's interface} *)
+
+(** [set_adversary t f] installs the on-path attacker. Default: deliver
+    everything (but still record it — passive eavesdropping is always
+    possible on an untrusted network). *)
+val set_adversary : t -> (packet -> verdict) -> unit
+
+val clear_adversary : t -> unit
+
+(** [inject t packet] puts a forged or replayed packet straight into the
+    destination mailbox, bypassing the adversary hook. *)
+val inject : t -> packet -> unit
+
+(** [observed t] is every packet the network has carried (the
+    eavesdropper's transcript), oldest first. *)
+val observed : t -> packet list
+
+(** [delivered_count t] / [dropped_count t] — traffic statistics. *)
+val delivered_count : t -> int
+
+val dropped_count : t -> int

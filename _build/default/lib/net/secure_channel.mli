@@ -1,0 +1,72 @@
+(** TLS-like secure channel over the untrusted {!Net}.
+
+    The email-client example (§III-C) isolates "a component for
+    transport-layer security (TLS) and login"; this is that component's
+    protocol. Handshake: certificate authentication of the server
+    against a trusted CA, RSA key transport of a pre-master secret,
+    transcript-bound finished messages; then AEAD records with strictly
+    increasing sequence numbers (tamper and replay rejected).
+
+    Both peers are explicit state machines so the handshake can be
+    pumped over a network whose adversary may interfere at any step. *)
+
+type session
+
+(** {2 Server} *)
+
+module Server : sig
+  type t
+
+  val create :
+    Lt_crypto.Drbg.t -> key:Lt_crypto.Rsa.keypair -> cert:Lt_crypto.Cert.t -> t
+
+  (** [handle t msg] advances the state machine: [Ok (Some reply)] to
+      send, [Ok None] when done, [Error] aborts the handshake. *)
+  val handle : t -> string -> (string option, string) result
+
+  val session : t -> session option
+end
+
+(** {2 Client} *)
+
+module Client : sig
+  type t
+
+  (** [create rng ~trusted_ca ?expected_subject ()] — the client will
+      accept only certificates issued by [trusted_ca], and, when given,
+      only for [expected_subject] (pinning). *)
+  val create :
+    Lt_crypto.Drbg.t -> trusted_ca:Lt_crypto.Rsa.public ->
+    ?expected_subject:string -> unit -> t
+
+  (** [start t] is the ClientHello to send first. *)
+  val start : t -> string
+
+  val handle : t -> string -> (string option, string) result
+
+  val session : t -> session option
+end
+
+(** {2 Established sessions} *)
+
+(** [send s plaintext] seals the next record. *)
+val send : session -> string -> string
+
+(** [receive s record] opens a record; rejects tampering, replay and
+    reordering. *)
+val receive : session -> string -> (string, string) result
+
+(** [exporter s] is a channel-binding value derived from the session
+    keys: both peers compute the same 32 bytes, and no other channel
+    shares them. Binding attestation evidence to this value (RA-TLS
+    style, see {!Lateral.Ra_channel}) defeats evidence relaying. *)
+val exporter : session -> string
+
+(** {2 Driver} *)
+
+(** [connect net ~client ~client_addr ~server ~server_addr] pumps the
+    handshake across the network (subject to its adversary) and returns
+    both established sessions, or the first failure. *)
+val connect :
+  Net.t -> client:Client.t -> client_addr:Net.address -> server:Server.t ->
+  server_addr:Net.address -> (session * session, string) result

@@ -1,0 +1,1 @@
+lib/noc/noc.ml: Array Bytes Hashtbl List Lt_crypto Printexc Printf Queue Sha256 String

@@ -1,0 +1,145 @@
+open Lt_crypto
+
+type tile = int
+
+type ep_config = Send of { target : tile; credits : int } | Receive
+
+exception Dtu_fault of string
+
+type ep_state =
+  | Ep_send of { target : tile; mutable credits : int }
+  | Ep_receive
+
+type queued = { q_sender : tile; q_ep : int; q_payload : string }
+
+type tile_state = {
+  eps : (int, ep_state) Hashtbl.t;
+  spm : Bytes.t;
+  queue : queued Queue.t;
+  mutable program : (string -> string) option;
+  mutable code_hash : string option;
+}
+
+type t = { tiles : tile_state array }
+
+let kernel_tile = 0
+
+let fault fmt = Printf.ksprintf (fun s -> raise (Dtu_fault s)) fmt
+
+let create ~tiles ~scratchpad_size =
+  if tiles < 2 then invalid_arg "Noc.create: need a kernel tile and compute tiles";
+  { tiles =
+      Array.init tiles (fun _ ->
+          { eps = Hashtbl.create 4;
+            spm = Bytes.make scratchpad_size '\000';
+            queue = Queue.create ();
+            program = None;
+            code_hash = None }) }
+
+let tile_state t tile =
+  if tile < 0 || tile >= Array.length t.tiles then fault "no tile %d" tile;
+  t.tiles.(tile)
+
+let configure t ~by ~tile ~ep config =
+  if by <> kernel_tile then fault "tile %d tried to configure a DTU" by;
+  let ts = tile_state t tile in
+  Hashtbl.replace ts.eps ep
+    (match config with
+     | Send { target; credits } ->
+       ignore (tile_state t target);
+       Ep_send { target; credits }
+     | Receive -> Ep_receive)
+
+let install_program t ~tile ~code f =
+  let ts = tile_state t tile in
+  ts.program <- Some f;
+  ts.code_hash <- Some (Sha256.digest ("m3-tile-program|" ^ code))
+
+let measurement t ~tile = (tile_state t tile).code_hash
+
+let send t ~from_tile ~ep request =
+  let ts = tile_state t from_tile in
+  match Hashtbl.find_opt ts.eps ep with
+  | None -> Error (Printf.sprintf "dtu fault: tile %d has no endpoint %d" from_tile ep)
+  | Some Ep_receive -> Error "dtu fault: cannot send on a receive endpoint"
+  | Some (Ep_send s) ->
+    if s.credits <= 0 then Error "dtu: out of credits"
+    else begin
+      let target = tile_state t s.target in
+      (* the target must have a receive endpoint at all *)
+      let has_recv =
+        Hashtbl.fold (fun _ e acc -> acc || e = Ep_receive) target.eps false
+      in
+      if not has_recv then
+        Error (Printf.sprintf "dtu fault: tile %d accepts no messages" s.target)
+      else
+        match target.program with
+        | None -> Error (Printf.sprintf "tile %d has no program" s.target)
+        | Some f ->
+          s.credits <- s.credits - 1;
+          let reply = (try Ok (f request) with exn -> Error (Printexc.to_string exn)) in
+          (* the reply restores the credit (M3 credit protocol) *)
+          s.credits <- s.credits + 1;
+          reply
+    end
+
+let post t ~from_tile ~ep request =
+  let ts = tile_state t from_tile in
+  match Hashtbl.find_opt ts.eps ep with
+  | None -> Error (Printf.sprintf "dtu fault: tile %d has no endpoint %d" from_tile ep)
+  | Some Ep_receive -> Error "dtu fault: cannot send on a receive endpoint"
+  | Some (Ep_send s) ->
+    if s.credits <= 0 then Error "dtu: out of credits"
+    else begin
+      let target = tile_state t s.target in
+      let has_recv =
+        Hashtbl.fold (fun _ e acc -> acc || e = Ep_receive) target.eps false
+      in
+      if not has_recv then
+        Error (Printf.sprintf "dtu fault: tile %d accepts no messages" s.target)
+      else begin
+        s.credits <- s.credits - 1;
+        Queue.add { q_sender = from_tile; q_ep = ep; q_payload = request } target.queue;
+        Ok ()
+      end
+    end
+
+let drain t ~tile =
+  let ts = tile_state t tile in
+  let replies = ref [] in
+  Queue.iter
+    (fun q ->
+      (* restore the sender's credit *)
+      (match Hashtbl.find_opt (tile_state t q.q_sender).eps q.q_ep with
+       | Some (Ep_send s) -> s.credits <- s.credits + 1
+       | _ -> ());
+      match ts.program with
+      | Some f -> replies := (try f q.q_payload with _ -> "<crash>") :: !replies
+      | None -> ())
+    ts.queue;
+  Queue.clear ts.queue;
+  List.rev !replies
+
+let queue_length t ~tile = Queue.length (tile_state t tile).queue
+
+let credits t ~tile ~ep =
+  match Hashtbl.find_opt (tile_state t tile).eps ep with
+  | Some (Ep_send s) -> Some s.credits
+  | _ -> None
+
+let spm_write t ~tile ~off data =
+  let ts = tile_state t tile in
+  if off < 0 || off + String.length data > Bytes.length ts.spm then
+    fault "spm write out of bounds on tile %d" tile;
+  Bytes.blit_string data 0 ts.spm off (String.length data)
+
+let spm_read t ~tile ~off ~len =
+  let ts = tile_state t tile in
+  if off < 0 || len < 0 || off + len > Bytes.length ts.spm then
+    fault "spm read out of bounds on tile %d" tile;
+  Bytes.sub_string ts.spm off len
+
+let spm_scan _t ~needle =
+  ignore needle;
+  (* scratchpads are on-chip: a memory-bus probe sees none of them *)
+  []

@@ -1,0 +1,76 @@
+(** Network-on-chip message isolation for heterogeneous manycores
+    (§II-B: "network-on-chip-based message isolation, which is used in
+    research systems for heterogeneous manycores" — the M3 design).
+
+    The model: compute tiles run application code with {e no kernel
+    underneath}; every external interaction goes through the tile's DTU
+    (data transfer unit), whose endpoints only a dedicated kernel tile
+    can configure. Isolation is a property of the interconnect: a tile
+    without a configured endpoint to a target simply has no wire to it.
+    Send endpoints carry credits, so a tile cannot flood a peer beyond
+    what the kernel provisioned. Each tile has private scratchpad
+    memory (on-chip, invisible to bus probes). *)
+
+type t
+
+type tile = int
+
+(** DTU endpoint configuration. *)
+type ep_config =
+  | Send of { target : tile; credits : int }
+      (** may send to [target]'s receive queue, flow-controlled *)
+  | Receive
+      (** accepts messages; the tile's program handles them *)
+
+exception Dtu_fault of string
+
+(** [create ~tiles ~scratchpad_size] — a chip with [tiles] compute
+    tiles (tile 0 is the kernel tile) each with its own scratchpad. *)
+val create : tiles:int -> scratchpad_size:int -> t
+
+val kernel_tile : tile
+
+(** [configure t ~by ~tile ~ep config] — installs an endpoint. Only the
+    kernel tile may configure DTUs; any other [by] raises
+    {!Dtu_fault}. *)
+val configure : t -> by:tile -> tile:tile -> ep:int -> ep_config -> unit
+
+(** [install_program t ~tile f] loads [f] as the tile's message handler
+    (request -> reply). Records the code's measurement. *)
+val install_program : t -> tile:tile -> code:string -> (string -> string) -> unit
+
+(** [measurement t ~tile] — hash of the code the kernel loaded there. *)
+val measurement : t -> tile:tile -> string option
+
+(** [send t ~from_tile ~ep request] — synchronous request/reply through
+    the sender's Send endpoint. Fails with [Error] when the endpoint is
+    unconfigured, mistyped, out of credits, or the target has no
+    program. Consumes one credit; replies restore it. *)
+val send : t -> from_tile:tile -> ep:int -> string -> (string, string) result
+
+(** [credits t ~tile ~ep] — remaining credits on a send endpoint. *)
+val credits : t -> tile:tile -> ep:int -> int option
+
+(** [post t ~from_tile ~ep request] — one-way message: consumes a credit
+    that is only restored when the receiver {!drain}s its queue. A tile
+    can therefore never have more messages in flight to a peer than the
+    kernel provisioned — interconnect-level flood protection. *)
+val post : t -> from_tile:tile -> ep:int -> string -> (unit, string) result
+
+(** [drain t ~tile] processes the tile's queue through its program and
+    restores the senders' credits; returns the replies produced. *)
+val drain : t -> tile:tile -> string list
+
+(** [queue_length t ~tile]. *)
+val queue_length : t -> tile:tile -> int
+
+(** {2 Scratchpad (per-tile private memory)} *)
+
+val spm_write : t -> tile:tile -> off:int -> string -> unit
+
+val spm_read : t -> tile:tile -> off:int -> len:int -> string
+
+(** [spm_scan t ~needle] — what an off-chip probe sees: nothing, the
+    scratchpads are on-chip. Always []. A deliberately honest API for
+    the physical-attack comparison. *)
+val spm_scan : t -> needle:string -> int list

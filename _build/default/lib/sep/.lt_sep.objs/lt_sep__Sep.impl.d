@@ -1,0 +1,1 @@
+lib/sep/sep.ml: Buffer Bus Clock Drbg Frame_alloc Fuse Hashtbl Hkdf List Lt_crypto Lt_hw Machine Mmu Phys_mem Printexc Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/sep/sep.mli: Lt_crypto Lt_hw

@@ -1,0 +1,1 @@
+lib/sgx/sgx.ml: Cache Cert Clock Drbg Frame_alloc Fuse Hashtbl Hkdf Lazy List Lt_crypto Lt_hw Machine Mmu Option Phys_mem Printexc Printf Rsa Sha256 Speck Stdlib String

@@ -1,0 +1,1 @@
+lib/sgx/sgx.mli: Lt_crypto Lt_hw

@@ -1,0 +1,138 @@
+(** Intel SGX: concurrent user-level enclaves on an untrusted OS (§II-B).
+
+    The model captures exactly the properties the paper argues from:
+    - enclaves are measured at build time and initialized immutable;
+    - enclave memory is EPC: DRAM covered by a memory-encryption engine
+      keyed per enclave, so neither the OS nor a physical attacker sees
+      plaintext, and patched ciphertext is detected;
+    - the *untrusted OS* schedules enclave execution — it cannot read
+      enclave state but can starve it (§II-C);
+    - enclaves share the CPU cache with the rest of the system, so a
+      prime+probe attacker learns secret-dependent access patterns
+      unless the cache is partitioned (§II-C, "hardware is leaky");
+    - remote attestation goes through a quoting enclave whose key is
+      certified by the manufacturer CA;
+    - sealing binds data to (CPU secret, enclave measurement);
+    - ocalls reach untrusted host services, and replies must be vetted
+      by the enclave (§II-B, "needs to be done with care").  *)
+
+type cpu
+
+type enclave
+
+(** What ecall handlers receive. *)
+type ctx
+
+type ecall_handler = ctx -> string -> string
+
+(** [init_cpu machine rng ~ca_name ~ca_key] provisions SGX on a machine:
+    fuses the CPU master secret and creates the quoting identity whose
+    certificate chains to the manufacturer CA. One per machine. *)
+val init_cpu :
+  Lt_hw.Machine.t -> Lt_crypto.Drbg.t -> ca_name:string ->
+  ca_key:Lt_crypto.Rsa.keypair -> cpu
+
+val quoting_cert : cpu -> Lt_crypto.Cert.t
+
+(** [create_enclave cpu ~name ~code ~epc_pages ~ecalls] builds and
+    initializes an enclave: allocates EPC, installs its memory
+    encryption, measures [code], registers entry points.
+    Raises [Invalid_argument] when out of EPC. *)
+val create_enclave :
+  cpu -> name:string -> code:string -> epc_pages:int ->
+  ecalls:(string * ecall_handler) list -> enclave
+
+val enclave_name : enclave -> string
+
+(** [measurement e] — MRENCLAVE, the identity verifiers whitelist. *)
+val measurement : enclave -> string
+
+(** [measure_code code] predicts the measurement of an enclave built
+    from [code] (the verifier-side reference computation). *)
+val measure_code : string -> string
+
+(** [destroy e] tears the enclave down, zeroing and freeing its EPC. *)
+val destroy : cpu -> enclave -> unit
+
+(** {2 Entry and exit} *)
+
+(** [ecall cpu e ~fn arg] enters the enclave. Errors on unknown entry
+    point or a destroyed enclave. Charges transition ticks. *)
+val ecall : cpu -> enclave -> fn:string -> string -> (string, string) result
+
+(** [set_ocall_handler cpu f] installs the untrusted host's service
+    function. Enclave code reaches it via {!ocall} and must treat the
+    reply as hostile. *)
+val set_ocall_handler : cpu -> (string -> string) -> unit
+
+(** {2 Inside the enclave (for handlers)} *)
+
+(** [ocall ctx req] calls out to the untrusted host. *)
+val ocall : ctx -> string -> string
+
+(** [mem_write ctx ~off data] / [mem_read ctx ~off ~len] access the
+    enclave's EPC heap — physically encrypted DRAM. *)
+val mem_write : ctx -> off:int -> string -> unit
+
+val mem_read : ctx -> off:int -> len:int -> string
+
+(** [seal ctx data] binds data to (CPU, measurement); any instance of
+    the same enclave on the same CPU can {!unseal} it, nothing else. *)
+val seal : ctx -> string -> string
+
+val unseal : ctx -> string -> string option
+
+(** [cache_touch ctx addr] models a data access through the shared
+    cache, tagged with the enclave's domain — the footprint a
+    prime+probe attacker observes. *)
+val cache_touch : ctx -> int -> unit
+
+(** {2 Attestation} *)
+
+type quote = {
+  q_measurement : string;
+  q_nonce : string;
+  q_report_data : string;   (** enclave-chosen binding, e.g. a key hash *)
+  q_signature : string;
+}
+
+(** [quote cpu e ~nonce ~report_data] — the quoting enclave signs the
+    enclave's measurement for a remote verifier. *)
+val quote : cpu -> enclave -> nonce:string -> report_data:string -> quote
+
+val verify_quote : qe_pub:Lt_crypto.Rsa.public -> quote -> bool
+
+(** [qe_sign cpu ~body] — the quoting enclave signs an arbitrary
+    statement on behalf of a local enclave (it verifies the requesting
+    enclave's local report first; that step is modeled away). Used by
+    the unified attestation layer. *)
+val qe_sign : cpu -> body:string -> string
+
+(** {2 Scheduling by the untrusted OS (§II-C starvation)} *)
+
+(** [run_tasks cpu ~policy ~slices tasks] lets the (untrusted) OS hand
+    out [slices] time slices over [(enclave, fn, arg)] work items.
+    [`Fair] round-robins; [`Starve name] never schedules that enclave.
+    Returns per-enclave completed-slice counts. *)
+val run_tasks :
+  cpu -> policy:[ `Fair | `Starve of string ] -> slices:int ->
+  (enclave * string * string) list -> (string * int) list
+
+(** [epc_range e] is [(base, size)] of the enclave's encrypted memory,
+    for physical-attack experiments. *)
+val epc_range : enclave -> int * int
+
+(** {2 Monotonic counters}
+
+    Sealing binds data to (CPU, measurement) but carries {e no
+    freshness}: the untrusted host can feed an enclave an old sealed
+    blob. Hardware monotonic counters, keyed by measurement so they
+    survive enclave restarts, are the standard fix — and the
+    [cloud-enclave] scenario shows state rollback succeeding without
+    them. Callable only from inside the enclave ([ctx]). *)
+
+(** [counter_read ctx] — current value (0 initially). *)
+val counter_read : ctx -> int
+
+(** [counter_increment ctx] — bump and return the new value. *)
+val counter_increment : ctx -> int

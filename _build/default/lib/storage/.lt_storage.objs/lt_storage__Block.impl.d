@@ -1,0 +1,1 @@
+lib/storage/block.ml: Bytes Lt_crypto String

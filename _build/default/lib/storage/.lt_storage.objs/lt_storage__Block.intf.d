@@ -1,0 +1,1 @@
+lib/storage/block.mli: Lt_crypto

@@ -1,0 +1,1 @@
+lib/storage/legacy_fs.ml: Block Buffer Bytes Char Drbg Format Hashtbl List Lt_crypto Stdlib String Wire

@@ -1,0 +1,1 @@
+lib/storage/legacy_fs.mli: Block Format Lt_crypto

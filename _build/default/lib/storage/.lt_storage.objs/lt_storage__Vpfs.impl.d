@@ -1,0 +1,1 @@
+lib/storage/vpfs.ml: Buffer Drbg Format Hashtbl Hkdf Int64 Legacy_fs List Lt_crypto Printf Sha256 Speck Stdlib String Wire

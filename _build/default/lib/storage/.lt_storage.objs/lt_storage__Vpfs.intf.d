@@ -1,0 +1,1 @@
+lib/storage/vpfs.mli: Format Legacy_fs

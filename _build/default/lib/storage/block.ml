@@ -1,0 +1,52 @@
+let block_size = 512
+
+type t = {
+  data : Bytes.t;
+  count : int;
+  mutable read_ops : int;
+  mutable write_ops : int;
+}
+
+let create ~blocks =
+  if blocks <= 0 then invalid_arg "Block.create";
+  { data = Bytes.make (blocks * block_size) '\000';
+    count = blocks;
+    read_ops = 0;
+    write_ops = 0 }
+
+let blocks t = t.count
+
+let check t i = if i < 0 || i >= t.count then invalid_arg "Block: index out of range"
+
+let read t i =
+  check t i;
+  t.read_ops <- t.read_ops + 1;
+  Bytes.sub_string t.data (i * block_size) block_size
+
+let write t i data =
+  check t i;
+  if String.length data > block_size then invalid_arg "Block.write: oversized";
+  t.write_ops <- t.write_ops + 1;
+  let padded =
+    if String.length data = block_size then data
+    else data ^ String.make (block_size - String.length data) '\000'
+  in
+  Bytes.blit_string padded 0 t.data (i * block_size) block_size
+
+let corrupt t i rng =
+  check t i;
+  Bytes.blit_string (Lt_crypto.Drbg.bytes rng block_size) 0 t.data (i * block_size)
+    block_size
+
+let snapshot t i =
+  check t i;
+  Bytes.sub_string t.data (i * block_size) block_size
+
+let rollback t i snap =
+  check t i;
+  if String.length snap <> block_size then invalid_arg "Block.rollback";
+  Bytes.blit_string snap 0 t.data (i * block_size) block_size
+
+let reads t = t.read_ops
+
+let writes t = t.write_ops

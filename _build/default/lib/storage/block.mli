@@ -1,0 +1,38 @@
+(** Block device with fault and attack injection.
+
+    The storage medium under the legacy file-system stack. Exposes the
+    attack operations the VPFS experiments need: silent corruption and
+    rollback (returning stale block contents), both of which a trusted
+    wrapper must detect. *)
+
+type t
+
+val block_size : int
+(** 512 bytes. *)
+
+(** [create ~blocks] — a zeroed device. *)
+val create : blocks:int -> t
+
+val blocks : t -> int
+
+(** [read t i] / [write t i data] — whole-block IO. [data] shorter than
+    a block is zero-padded; longer raises [Invalid_argument]. *)
+val read : t -> int -> string
+
+val write : t -> int -> string -> unit
+
+(** {2 Attack / fault injection} *)
+
+(** [corrupt t i rng] overwrites block [i] with random bytes. *)
+val corrupt : t -> int -> Lt_crypto.Drbg.t -> unit
+
+(** [snapshot t i] captures the current contents; [rollback t i snap]
+    silently restores them later — the stale-data attack. *)
+val snapshot : t -> int -> string
+
+val rollback : t -> int -> string -> unit
+
+(** [reads t] / [writes t] — IO counters for overhead benchmarks. *)
+val reads : t -> int
+
+val writes : t -> int

@@ -1,0 +1,280 @@
+open Lt_crypto
+
+type error =
+  | Not_found of string
+  | Already_exists of string
+  | No_space
+  | Io_error of string
+
+type evil_mode = Honest | Corrupt_reads of Drbg.t | Serve_stale
+
+exception Crashed
+
+type file = { mutable size : int; mutable fblocks : int list }
+
+type t = {
+  dev : Block.t;
+  files : (string, file) Hashtbl.t;
+  mutable free : int list;
+  mutable evil : evil_mode;
+  mutable seen : string list;
+  stale : (string, string) Hashtbl.t; (* previous contents per path *)
+  mutable crash_in : int option; (* writes remaining before power loss *)
+}
+
+let magic = "LTFS1"
+
+let meta_blocks = 96
+
+let data_start = 1 + meta_blocks
+
+let all_data_blocks dev =
+  List.init (Block.blocks dev - data_start) (fun i -> data_start + i)
+
+(* --- metadata (de)serialization ------------------------------------------ *)
+
+let serialize t =
+  let entries =
+    Hashtbl.fold
+      (fun path f acc ->
+        Wire.encode
+          [ path;
+            string_of_int f.size;
+            String.concat "," (List.map string_of_int f.fblocks) ]
+        :: acc)
+      t.files []
+  in
+  Wire.encode entries
+
+let parse_blocks s =
+  if s = "" then []
+  else List.map int_of_string (String.split_on_char ',' s)
+
+let deserialize t data =
+  match Wire.decode data with
+  | None -> Error (Io_error "corrupt metadata")
+  | Some entries ->
+    (try
+       List.iter
+         (fun e ->
+           match Wire.decode e with
+           | Some [ path; size; blocks ] ->
+             Hashtbl.replace t.files path
+               { size = int_of_string size; fblocks = parse_blocks blocks }
+           | _ -> failwith "bad entry")
+         entries;
+       Ok ()
+     with _ -> Error (Io_error "corrupt metadata entry"))
+
+let sync t =
+  let meta = serialize t in
+  if String.length meta > meta_blocks * Block.block_size then
+    invalid_arg "Legacy_fs.sync: metadata region overflow";
+  Block.write t.dev 0 (Wire.encode [ magic; string_of_int (String.length meta) ]);
+  let rec store off i =
+    if off < String.length meta then begin
+      let n = min Block.block_size (String.length meta - off) in
+      Block.write t.dev (1 + i) (String.sub meta off n);
+      store (off + n) (i + 1)
+    end
+  in
+  store 0 0
+
+let format dev =
+  if Block.blocks dev <= data_start then invalid_arg "Legacy_fs.format: device too small";
+  let t =
+    { dev;
+      files = Hashtbl.create 16;
+      free = all_data_blocks dev;
+      evil = Honest;
+      seen = [];
+      stale = Hashtbl.create 16;
+      crash_in = None }
+  in
+  sync t;
+  t
+
+let mount dev =
+  let sb = Block.read dev 0 in
+  (* the superblock block is zero-padded, so parse its two fields
+     (magic, metadata length) manually instead of Wire.decode *)
+    let field off =
+      match int_of_string_opt (String.sub sb off 8) with
+      | Some n when n >= 0 && off + 8 + n <= String.length sb ->
+        Some (String.sub sb (off + 8) n, off + 8 + n)
+      | _ -> None
+    in
+    (match field 0 with
+     | Some (m, o1) when m = magic ->
+       (match field o1 with
+        | Some (len_str, _) ->
+          (match int_of_string_opt len_str with
+           | Some meta_len when meta_len >= 0 && meta_len <= meta_blocks * Block.block_size
+             ->
+             let buf = Buffer.create meta_len in
+             let rec load i =
+               if Buffer.length buf < meta_len then begin
+                 let blk = Block.read dev (1 + i) in
+                 let n = min Block.block_size (meta_len - Buffer.length buf) in
+                 Buffer.add_string buf (String.sub blk 0 n);
+                 load (i + 1)
+               end
+             in
+             load 0;
+             let t =
+               { dev;
+                 files = Hashtbl.create 16;
+                 free = [];
+                 evil = Honest;
+                 seen = [];
+                 stale = Hashtbl.create 16;
+                 crash_in = None }
+             in
+             (match deserialize t (Buffer.contents buf) with
+              | Error e -> Error e
+              | Ok () ->
+                let used = Hashtbl.create 64 in
+                Hashtbl.iter
+                  (fun _ f -> List.iter (fun b -> Hashtbl.replace used b ()) f.fblocks)
+                  t.files;
+                t.free <-
+                  List.filter (fun b -> not (Hashtbl.mem used b)) (all_data_blocks dev);
+                Ok t)
+           | _ -> Error (Io_error "bad superblock length"))
+        | None -> Error (Io_error "bad superblock"))
+     | _ -> Error (Io_error "bad magic"))
+
+let check_alive t =
+  match t.crash_in with
+  | Some 0 -> raise Crashed
+  | _ -> ()
+
+let consume_write_budget t =
+  match t.crash_in with
+  | Some 0 -> raise Crashed
+  | Some n -> t.crash_in <- Some (n - 1)
+  | None -> ()
+
+let create t path =
+  check_alive t;
+  if Hashtbl.mem t.files path then Error (Already_exists path)
+  else begin
+    Hashtbl.replace t.files path { size = 0; fblocks = [] };
+    sync t;
+    Ok ()
+  end
+
+let read_raw t path =
+  match Hashtbl.find_opt t.files path with
+  | None -> Error (Not_found path)
+  | Some f ->
+    let buf = Buffer.create f.size in
+    List.iter (fun b -> Buffer.add_string buf (Block.read t.dev b)) f.fblocks;
+    Ok (String.sub (Buffer.contents buf) 0 f.size)
+
+let write t path data =
+  consume_write_budget t;
+  let f =
+    match Hashtbl.find_opt t.files path with
+    | Some f -> f
+    | None ->
+      let f = { size = 0; fblocks = [] } in
+      Hashtbl.replace t.files path f;
+      f
+  in
+  (* remember the old version for the stale-serving attack *)
+  (match read_raw t path with
+   | Ok old when f.fblocks <> [] -> Hashtbl.replace t.stale path old
+   | _ -> ());
+  t.seen <- data :: t.seen;
+  let needed = (String.length data + Block.block_size - 1) / Block.block_size in
+  let total_available = List.length t.free + List.length f.fblocks in
+  if needed > total_available then Error No_space
+  else begin
+    t.free <- f.fblocks @ t.free;
+    let rec take n acc free =
+      if n = 0 then (List.rev acc, free)
+      else
+        match free with
+        | [] -> assert false
+        | b :: rest -> take (n - 1) (b :: acc) rest
+    in
+    let blocks, free = take needed [] t.free in
+    t.free <- free;
+    List.iteri
+      (fun i b ->
+        let off = i * Block.block_size in
+        let n = min Block.block_size (String.length data - off) in
+        Block.write t.dev b (String.sub data off n))
+      blocks;
+    f.size <- String.length data;
+    f.fblocks <- blocks;
+    sync t;
+    Ok ()
+  end
+
+let read t path =
+  check_alive t;
+  match read_raw t path with
+  | Error e -> Error e
+  | Ok data ->
+    (match t.evil with
+     | Honest -> Ok data
+     | Corrupt_reads rng ->
+       if data = "" then Ok data
+       else begin
+         let b = Bytes.of_string data in
+         (* flip a handful of bytes *)
+         for _ = 1 to max 1 (Bytes.length b / 64) do
+           let i = Drbg.int rng (Bytes.length b) in
+           Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xFF))
+         done;
+         Ok (Bytes.unsafe_to_string b)
+       end
+     | Serve_stale ->
+       (match Hashtbl.find_opt t.stale path with
+        | Some old -> Ok old
+        | None -> Ok data))
+
+let delete t path =
+  check_alive t;
+  match Hashtbl.find_opt t.files path with
+  | None -> Error (Not_found path)
+  | Some f ->
+    t.free <- f.fblocks @ t.free;
+    Hashtbl.remove t.files path;
+    Hashtbl.remove t.stale path;
+    sync t;
+    Ok ()
+
+let exists t path = Hashtbl.mem t.files path
+
+let size t path =
+  match Hashtbl.find_opt t.files path with
+  | None -> Error (Not_found path)
+  | Some f -> Ok f.size
+
+let list t =
+  Hashtbl.fold (fun path _ acc -> path :: acc) t.files [] |> List.sort Stdlib.compare
+
+let set_evil t mode = t.evil <- mode
+
+let observed t = List.rev t.seen
+
+let crash_after_writes t n =
+  if n < 0 then invalid_arg "Legacy_fs.crash_after_writes";
+  t.crash_in <- Some n
+
+let observed_contains t ~needle =
+  let contains hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    n > 0 && go 0
+  in
+  List.exists contains t.seen
+
+let pp_error fmt = function
+  | Not_found p -> Format.fprintf fmt "not found: %s" p
+  | Already_exists p -> Format.fprintf fmt "already exists: %s" p
+  | No_space -> Format.pp_print_string fmt "no space"
+  | Io_error e -> Format.fprintf fmt "io error: %s" e

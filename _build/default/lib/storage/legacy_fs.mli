@@ -1,0 +1,74 @@
+(** Legacy file-system stack (§III-D).
+
+    "The file system stack, including the storage device layer, is one
+    of the most complex OS services ... likely to contain exploitable
+    weaknesses. Thus, trusted components should not rely on file system
+    code to maintain data integrity or confidentiality."
+
+    This is an honest-to-goodness inode file system persisted on a
+    {!Block} device (format / mount / sync survive remounts) — plus the
+    dishonest part: evil modes that corrupt reads or serve stale data,
+    and a transcript of everything it has ever been given, so tests can
+    prove a trusted wrapper never leaked plaintext to it. *)
+
+type t
+
+type error =
+  | Not_found of string
+  | Already_exists of string
+  | No_space
+  | Io_error of string
+
+(** How a compromised stack misbehaves on [read]. *)
+type evil_mode =
+  | Honest
+  | Corrupt_reads of Lt_crypto.Drbg.t  (** flip bytes in returned data *)
+  | Serve_stale                        (** return the previous version *)
+
+(** Power was lost: the in-memory handle is dead; re-{!mount} the device
+    to continue. Raised by every operation after the injected crash
+    point. *)
+exception Crashed
+
+(** [format dev] writes a fresh empty file system. *)
+val format : Block.t -> t
+
+(** [mount dev] re-opens an existing file system. *)
+val mount : Block.t -> (t, error) result
+
+(** [sync t] flushes metadata so a later {!mount} sees current state. *)
+val sync : t -> unit
+
+val create : t -> string -> (unit, error) result
+
+val write : t -> string -> string -> (unit, error) result
+(** [write t path data] replaces the file's contents. *)
+
+val read : t -> string -> (string, error) result
+
+val delete : t -> string -> (unit, error) result
+
+val exists : t -> string -> bool
+
+val size : t -> string -> (int, error) result
+
+val list : t -> string list
+
+(** {2 Compromise modelling} *)
+
+val set_evil : t -> evil_mode -> unit
+
+(** [observed t] is every byte string ever handed to the stack via
+    {!write} — what a compromised FS could exfiltrate. *)
+val observed : t -> string list
+
+(** [observed_contains t ~needle] — did any plaintext leak here? *)
+val observed_contains : t -> needle:string -> bool
+
+(** [crash_after_writes t n] injects a power failure: the next [n]
+    {!write} calls succeed, every operation after that raises
+    {!Crashed} (the n+1-th write never reaches the device). For
+    crash-consistency testing of wrappers layered above. *)
+val crash_after_writes : t -> int -> unit
+
+val pp_error : Format.formatter -> error -> unit

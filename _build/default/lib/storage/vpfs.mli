@@ -1,0 +1,60 @@
+(** VPFS: Virtual Private File System — the trusted wrapper of §III-D.
+
+    "The legacy stack takes care of actually storing file contents and
+    managing the storage medium, but it never handles plaintext data.
+    Instead, the VPFS wrapper guarantees confidentiality and integrity
+    of all file system data and metadata by means of encryption and
+    message authentication codes."
+
+    Design: file contents are chunked and AEAD-encrypted with per-file
+    keys; associated data binds each chunk to (path, index, version) so
+    reordering, cross-file splicing and per-file rollback are all
+    detected. The metadata table (per-file keys, versions, sizes, chunk
+    counts) is itself AEAD-encrypted under the master key and stored in
+    the legacy FS; its digest — the root of trust — lives in trusted
+    memory and must be provided at re-open, which is what defeats
+    whole-FS rollback. *)
+
+type t
+
+type error =
+  | Not_found of string
+  | Integrity of string     (** tampering, rollback or splicing detected *)
+  | Backend of Legacy_fs.error
+
+(** [create ~master_key fs] formats a fresh VPFS inside the legacy FS. *)
+val create : master_key:string -> Legacy_fs.t -> t
+
+(** [open_ ~master_key ~expected_root fs] re-opens after a remount. The
+    caller supplies the root digest it kept in trusted storage (e.g.
+    sealed by a TPM); a stale or doctored metadata file fails here. *)
+val open_ : master_key:string -> expected_root:string -> Legacy_fs.t ->
+  (t, error) result
+
+(** [open_recover ~master_key ~expected_root fs] — crash-consistent
+    open (the jVPFS robustness layer). Every mutation is preceded by an
+    authenticated redo record that binds the pre-state root; if power
+    was lost anywhere in the update sequence, recovery replays the
+    record and lands in the committed post-state. [`Recovered] signals
+    that {!root} has moved and must be re-persisted to trusted storage.
+    Tampered journals and rolled-back images still fail with
+    [Integrity]. *)
+val open_recover :
+  master_key:string -> expected_root:string -> Legacy_fs.t ->
+  (t * [ `Clean | `Recovered ], error) result
+
+(** [root t] is the current root digest — persist it somewhere trusted
+    after every mutation (the paper pairs VPFS with a TPM or SEP). *)
+val root : t -> string
+
+val write : t -> string -> string -> (unit, error) result
+
+val read : t -> string -> (string, error) result
+
+val delete : t -> string -> (unit, error) result
+
+val exists : t -> string -> bool
+
+val list : t -> string list
+
+val pp_error : Format.formatter -> error -> unit

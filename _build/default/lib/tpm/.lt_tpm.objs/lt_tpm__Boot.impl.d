@@ -1,0 +1,1 @@
+lib/tpm/boot.ml: List Lt_crypto Printf Rsa Sha256 Tpm

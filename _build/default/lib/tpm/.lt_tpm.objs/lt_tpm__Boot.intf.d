@@ -1,0 +1,1 @@
+lib/tpm/boot.mli: Lt_crypto Tpm

@@ -1,0 +1,1 @@
+lib/tpm/latelaunch.ml: Lt_crypto Lt_hw Pcr Printf Sha256 String Tpm

@@ -1,0 +1,1 @@
+lib/tpm/latelaunch.mli: Lt_hw Tpm

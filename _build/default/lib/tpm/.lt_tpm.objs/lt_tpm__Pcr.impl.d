@@ -1,0 +1,1 @@
+lib/tpm/pcr.ml: Array List Lt_crypto Printf Sha256 Stdlib String

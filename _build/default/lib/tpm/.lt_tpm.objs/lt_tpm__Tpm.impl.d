@@ -1,0 +1,1 @@
+lib/tpm/tpm.ml: Cert Ct Drbg Hashtbl Hkdf List Lt_crypto Pcr Printf Rsa Speck Stdlib String

@@ -1,0 +1,1 @@
+lib/tpm/tpm.mli: Lt_crypto Pcr

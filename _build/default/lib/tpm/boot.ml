@@ -1,0 +1,51 @@
+open Lt_crypto
+
+type stage = {
+  stage_name : string;
+  code : string;
+  signature : string option;
+}
+
+type policy =
+  | Secure_boot of { vendor_pub : Rsa.public }
+  | Authenticated_boot of { tpm : Tpm.t; pcr : int }
+
+type outcome = {
+  ran : string list;
+  refused : (string * string) option;
+}
+
+let stage_body ~name code = Printf.sprintf "stage|%s|%s" name code
+
+let sign_stage vendor_key ~name code =
+  { stage_name = name;
+    code;
+    signature = Some (Rsa.sign vendor_key (stage_body ~name code)) }
+
+let unsigned_stage ~name code = { stage_name = name; code; signature = None }
+
+let measure stage = Sha256.digest (stage_body ~name:stage.stage_name stage.code)
+
+let run_chain policy stages =
+  let rec go ran = function
+    | [] -> { ran = List.rev ran; refused = None }
+    | stage :: rest ->
+      (match policy with
+       | Secure_boot { vendor_pub } ->
+         let ok =
+           match stage.signature with
+           | None -> false
+           | Some signature ->
+             Rsa.verify vendor_pub ~signature
+               (stage_body ~name:stage.stage_name stage.code)
+         in
+         if ok then go (stage.stage_name :: ran) rest
+         else
+           { ran = List.rev ran;
+             refused = Some (stage.stage_name, "signature check failed") }
+       | Authenticated_boot { tpm; pcr } ->
+         (* measure before execute; never refuse *)
+         Tpm.extend tpm pcr (measure stage);
+         go (stage.stage_name :: ran) rest)
+  in
+  go [] stages

@@ -1,0 +1,37 @@
+(** Launch chains: secure boot vs authenticated boot (§II-D).
+
+    Both policies share one trust-anchor mechanism — an unchangeable
+    first stage that oversees what runs next — and differ only in the
+    launch policy it enforces:
+    - {e secure boot} checks a vendor signature per stage and refuses to
+      run anything unsigned;
+    - {e authenticated boot} measures each stage into a PCR and runs it
+      regardless, leaving an unforgeable log for later attestation. *)
+
+type stage = {
+  stage_name : string;
+  code : string;                  (** the bytes that will execute *)
+  signature : string option;      (** vendor signature, if any *)
+}
+
+type policy =
+  | Secure_boot of { vendor_pub : Lt_crypto.Rsa.public }
+  | Authenticated_boot of { tpm : Tpm.t; pcr : int }
+
+type outcome = {
+  ran : string list;                     (** stage names actually executed *)
+  refused : (string * string) option;    (** stage name, reason *)
+}
+
+(** [sign_stage vendor_key ~name code] is a properly signed stage. *)
+val sign_stage : Lt_crypto.Rsa.keypair -> name:string -> string -> stage
+
+(** [unsigned_stage ~name code] — e.g. a tampered or custom image. *)
+val unsigned_stage : name:string -> string -> stage
+
+(** [measure stage] is the SHA-256 of its code — what PCRs record and
+    verifiers whitelist. *)
+val measure : stage -> string
+
+(** [run_chain policy stages] walks the boot chain under the policy. *)
+val run_chain : policy -> stage list -> outcome

@@ -1,0 +1,45 @@
+open Lt_crypto
+
+type pal = {
+  pal_name : string;
+  pal_code : string;
+  handler : string -> string;
+}
+
+type session_result = {
+  output : string;
+  pal_quote : Tpm.quote;
+  ticks : int;
+}
+
+let suspend_cost = 50
+
+let resume_cost = 50
+
+let measure pal = Sha256.digest (Printf.sprintf "pal|%s|%s" pal.pal_name pal.pal_code)
+
+let expected_drtm_composite tpm pal =
+  (* simulate on a scratch bank: zero DRTM PCR extended with the PAL *)
+  ignore tpm;
+  let scratch = Pcr.create () in
+  Pcr.extend scratch Pcr.drtm_index (measure pal);
+  Pcr.composite scratch [ Pcr.drtm_index ]
+
+let execute ?clock tpm pal ~nonce ~input =
+  let charge n = match clock with None -> () | Some c -> Lt_hw.Clock.advance c n in
+  charge suspend_cost;
+  (* the late-launch instruction: reset the dynamic PCR, measure, run *)
+  Pcr.reset_drtm (Tpm.pcrs tpm);
+  Tpm.extend tpm Pcr.drtm_index (measure pal);
+  charge (max 1 (String.length pal.pal_code / 64));
+  let output = pal.handler input in
+  let pal_quote = Tpm.quote tpm ~nonce ~selection:[ Pcr.drtm_index ] in
+  charge resume_cost;
+  let ticks =
+    suspend_cost + max 1 (String.length pal.pal_code / 64) + resume_cost
+  in
+  { output; pal_quote; ticks }
+
+let seal_for tpm data = Tpm.seal tpm ~selection:[ Pcr.drtm_index ] data
+
+let unseal_for tpm sealed = Tpm.unseal tpm sealed

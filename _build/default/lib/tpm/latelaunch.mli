@@ -1,0 +1,44 @@
+(** DRTM late launch, Flicker-style (§II-B).
+
+    A special CPU instruction stops all running software, resets the
+    dynamic PCR, measures a small piece of code (the PAL) into it and
+    hands that code the machine. The TPM can then attest exactly that
+    code — without the BIOS, boot loader or OS in the trust chain.
+    Multiple PALs are mutually isolated by their distinct PCR-17
+    identities (different sealing keys), but they can never run
+    concurrently: the `latelaunch` experiment quantifies that trade-off
+    against SGX's concurrent enclaves. *)
+
+type pal = {
+  pal_name : string;
+  pal_code : string;                 (** measured identity *)
+  handler : string -> string;        (** the PAL's computation *)
+}
+
+type session_result = {
+  output : string;
+  pal_quote : Tpm.quote;             (** over the DRTM PCR, proving who ran *)
+  ticks : int;                       (** simulated cost incl. world stop/resume *)
+}
+
+(** [execute ?clock tpm pal ~nonce ~input] performs one late-launch
+    session: suspend world, reset+measure, run, quote, resume. Sessions
+    are serialized by construction — there is exactly one machine. *)
+val execute :
+  ?clock:Lt_hw.Clock.t -> Tpm.t -> pal -> nonce:string -> input:string ->
+  session_result
+
+(** [measure pal] is the PAL's reference measurement for verifiers. *)
+val measure : pal -> string
+
+(** [expected_drtm_composite pal] is the composite a verifier expects in
+    [pal_quote] when exactly [pal] ran after a DRTM reset. *)
+val expected_drtm_composite : Tpm.t -> pal -> string
+
+(** [seal_for tpm pal data] binds data to the PAL's identity while that
+    PAL is the active DRTM session; a different PAL cannot unseal it.
+    (Call from inside the handler in real Flicker; here: seals against
+    the current DRTM PCR value.) *)
+val seal_for : Tpm.t -> string -> Tpm.sealed
+
+val unseal_for : Tpm.t -> Tpm.sealed -> string option

@@ -1,0 +1,43 @@
+open Lt_crypto
+
+let count = 24
+
+let drtm_index = 17
+
+let zero = String.make Sha256.digest_size '\000'
+
+type t = { regs : string array }
+
+let create () = { regs = Array.make count zero }
+
+let check_index i =
+  if i < 0 || i >= count then invalid_arg "Pcr: index out of range"
+
+let read t i =
+  check_index i;
+  t.regs.(i)
+
+let extend t i digest =
+  check_index i;
+  if String.length digest <> Sha256.digest_size then
+    invalid_arg "Pcr.extend: need a 32-byte digest";
+  t.regs.(i) <- Sha256.digest_concat [ t.regs.(i); digest ]
+
+let reset_drtm t = t.regs.(drtm_index) <- zero
+
+let power_cycle t = Array.fill t.regs 0 count zero
+
+let composite t indices =
+  let parts =
+    List.map
+      (fun i ->
+        check_index i;
+        Printf.sprintf "%02d" i ^ t.regs.(i))
+      (List.sort_uniq Stdlib.compare indices)
+  in
+  Sha256.digest_concat parts
+
+let expected_value measurements =
+  List.fold_left
+    (fun acc m -> Sha256.digest_concat [ acc; m ])
+    zero measurements

@@ -1,0 +1,39 @@
+(** Platform Configuration Registers.
+
+    A PCR can only be *extended* — new = SHA-256(old || digest) — never
+    written, so the register value commits to the exact sequence of
+    measurements since reset (§II-B, "a cryptographic boot log").
+    Static PCRs (0-16) reset only at power-on; dynamic/DRTM PCRs (17+)
+    are resettable by the late-launch instruction. *)
+
+type t
+
+val count : int
+(** 24 registers, as in TPM 1.2. *)
+
+val drtm_index : int
+(** 17 — the register late launch resets and measures into. *)
+
+val create : unit -> t
+
+(** [read t i] is the current 32-byte value of PCR [i]. *)
+val read : t -> int -> string
+
+(** [extend t i digest] folds a 32-byte measurement into PCR [i]. *)
+val extend : t -> int -> string -> unit
+
+(** [reset_drtm t] zeroes the DRTM register only — the hardware effect
+    of the late-launch instruction. *)
+val reset_drtm : t -> unit
+
+(** [power_cycle t] zeroes everything (reboot). *)
+val power_cycle : t -> unit
+
+(** [composite t indices] is the digest over the selected registers —
+    the value quotes and sealing policies bind to. *)
+val composite : t -> int list -> string
+
+(** [expected_composite measurements] predicts the composite of a single
+    PCR that started at zero and was extended with [measurements] in
+    order — what a verifier computes from a reference manifest. *)
+val expected_value : string list -> string

@@ -1,0 +1,125 @@
+open Lt_crypto
+
+type nv_slot = {
+  nv_selection : int list;
+  nv_policy : string; (* composite at definition time *)
+  mutable nv_data : string;
+}
+
+type t = {
+  pcr_bank : Pcr.t;
+  ek : Rsa.keypair;
+  cert : Cert.t;
+  srk : string; (* storage root key: never leaves the chip *)
+  chip_serial : string;
+  rng : Drbg.t;
+  nv : (int, nv_slot) Hashtbl.t;
+}
+
+type quote = {
+  q_nonce : string;
+  q_selection : int list;
+  q_composite : string;
+  q_signature : string;
+}
+
+type sealed = { s_selection : int list; s_box : string }
+
+let manufacture rng ~ca_name ~ca_key ~serial =
+  let ek = Rsa.generate ~bits:512 rng in
+  let cert = Cert.issue ~ca_name ~ca_key ~subject:("tpm:" ^ serial) ek.Rsa.pub in
+  { pcr_bank = Pcr.create ();
+    ek;
+    cert;
+    srk = Drbg.bytes rng 32;
+    chip_serial = serial;
+    rng = Drbg.split rng;
+    nv = Hashtbl.create 4 }
+
+let pcrs t = t.pcr_bank
+
+let ek_cert t = t.cert
+
+let serial t = t.chip_serial
+
+let extend t i digest = Pcr.extend t.pcr_bank i digest
+
+let quote_body ~nonce ~selection ~composite : string =
+  Printf.sprintf "tpm-quote|%s|%s|%s" nonce
+    (String.concat "," (List.map string_of_int (List.sort_uniq Stdlib.compare selection)))
+    composite
+
+let quote t ~nonce ~selection =
+  let composite = Pcr.composite t.pcr_bank selection in
+  { q_nonce = nonce;
+    q_selection = List.sort_uniq Stdlib.compare selection;
+    q_composite = composite;
+    q_signature =
+      Rsa.sign t.ek (quote_body ~nonce ~selection ~composite) }
+
+let verify_quote ~ek_pub q =
+  Rsa.verify ek_pub ~signature:q.q_signature
+    (quote_body ~nonce:q.q_nonce ~selection:q.q_selection ~composite:q.q_composite)
+
+let ak_sign t ~body = Rsa.sign t.ek body
+
+let seal_key t composite =
+  Hkdf.derive ~secret:t.srk ~salt:"tpm-seal" ~info:composite 16
+
+let seal t ~selection data =
+  let selection = List.sort_uniq Stdlib.compare selection in
+  let composite = Pcr.composite t.pcr_bank selection in
+  let nonce = Drbg.bytes t.rng Speck.nonce_size in
+  let box =
+    Speck.Aead.encrypt ~key:(seal_key t composite) ~nonce ~ad:"tpm-sealed" data
+  in
+  { s_selection = selection; s_box = Speck.Aead.to_wire box }
+
+let unseal t s =
+  match Speck.Aead.of_wire s.s_box with
+  | None -> None
+  | Some box ->
+    let composite = Pcr.composite t.pcr_bank s.s_selection in
+    Speck.Aead.decrypt ~key:(seal_key t composite) ~ad:"tpm-sealed" box
+
+let nv_define t ~index ~selection =
+  if Hashtbl.mem t.nv index then
+    invalid_arg (Printf.sprintf "Tpm.nv_define: slot %d exists" index);
+  let selection = List.sort_uniq Stdlib.compare selection in
+  Hashtbl.replace t.nv index
+    { nv_selection = selection;
+      nv_policy = Pcr.composite t.pcr_bank selection;
+      nv_data = "" }
+
+let nv_write t ~index data =
+  match Hashtbl.find_opt t.nv index with
+  | None -> Error (Printf.sprintf "nv slot %d undefined" index)
+  | Some slot ->
+    if Ct.equal (Pcr.composite t.pcr_bank slot.nv_selection) slot.nv_policy then begin
+      slot.nv_data <- data;
+      Ok ()
+    end
+    else Error "nv write policy violated (pcr state changed)"
+
+let nv_read t ~index =
+  match Hashtbl.find_opt t.nv index with
+  | None -> Error (Printf.sprintf "nv slot %d undefined" index)
+  | Some slot -> Ok slot.nv_data
+
+let sealed_to_wire s =
+  Printf.sprintf "%s|%s"
+    (String.concat "," (List.map string_of_int s.s_selection))
+    s.s_box
+
+let sealed_of_wire w =
+  match String.index_opt w '|' with
+  | None -> None
+  | Some i ->
+    let sel_str = String.sub w 0 i in
+    let box = String.sub w (i + 1) (String.length w - i - 1) in
+    let parts = if sel_str = "" then [] else String.split_on_char ',' sel_str in
+    (try
+       Some
+         { s_selection = List.map int_of_string parts;
+           s_box = box }
+     with Failure _ -> None)

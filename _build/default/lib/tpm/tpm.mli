@@ -1,0 +1,88 @@
+(** The TPM chip: measurement storage, sealing and remote attestation.
+
+    Physically separate from the main CPU (its state is plain OCaml data
+    no {!Lt_hw.Tamper} handle can reach — the model of a discrete chip).
+    Holds an endorsement keypair whose certificate chains to the
+    manufacturer CA, so remote verifiers can trust quotes without
+    knowing individual devices. *)
+
+type t
+
+(** A signed report of PCR state. *)
+type quote = {
+  q_nonce : string;          (** verifier freshness challenge *)
+  q_selection : int list;    (** which PCRs are covered *)
+  q_composite : string;      (** their composite digest at signing time *)
+  q_signature : string;      (** EK signature over all of the above *)
+}
+
+(** Data bound to a PCR policy; only a TPM whose selected PCRs currently
+    match the sealing-time composite can recover it. *)
+type sealed
+
+(** [manufacture rng ~ca_name ~ca_key ~serial] fabricates a chip with a
+    fresh endorsement key certified by the manufacturer. *)
+val manufacture :
+  Lt_crypto.Drbg.t -> ca_name:string -> ca_key:Lt_crypto.Rsa.keypair ->
+  serial:string -> t
+
+val pcrs : t -> Pcr.t
+
+val ek_cert : t -> Lt_crypto.Cert.t
+
+val serial : t -> string
+
+(** [extend t i digest] — convenience passthrough to the PCR bank. *)
+val extend : t -> int -> string -> unit
+
+(** [quote t ~nonce ~selection] signs the current composite. *)
+val quote : t -> nonce:string -> selection:int list -> quote
+
+(** [verify_quote ~ek_pub q] checks the signature; the caller must also
+    compare [q.q_composite] against the expected reference value and
+    check nonce freshness. *)
+val verify_quote : ek_pub:Lt_crypto.Rsa.public -> quote -> bool
+
+(** [ak_sign t ~body] signs an arbitrary statement with the attestation
+    (endorsement) key — the primitive under the unified attestation
+    layer's TPM-backed evidence. *)
+val ak_sign : t -> body:string -> string
+
+(** [quote_body ~nonce ~selection ~composite] is the canonical byte
+    string a quote signature covers. Exposed so alternative TPM
+    implementations (e.g. a TrustZone-hosted fTPM, §II-C) can produce
+    quotes that {!verify_quote} accepts — the verifier cannot and need
+    not tell chip from software. *)
+val quote_body : nonce:string -> selection:int list -> composite:string -> string
+
+(** [seal t ~selection data] binds [data] to the current values of the
+    selected PCRs (BitLocker-style key protection). *)
+val seal : t -> selection:int list -> string -> sealed
+
+(** [unseal t s] releases the data iff the selected PCRs currently match
+    their sealing-time values. *)
+val unseal : t -> sealed -> string option
+
+(** [sealed_to_wire] / [sealed_of_wire] let sealed blobs live on
+    untrusted storage, as a TPM's blobs do. *)
+val sealed_to_wire : sealed -> string
+
+val sealed_of_wire : string -> sealed option
+
+(** {2 Non-volatile storage}
+
+    Small tamper-proof NV slots inside the chip. The canonical use here
+    is storing a trusted wrapper's root digest so whole-device rollback
+    is detected without the user remembering anything (VPFS + TPM,
+    §III-D). Writes can be gated on a PCR policy fixed at definition. *)
+
+(** [nv_define t ~index ~selection] creates an NV slot writable only
+    while the selected PCRs match their current values. Raises on
+    redefinition. *)
+val nv_define : t -> index:int -> selection:int list -> unit
+
+(** [nv_write t ~index data] — [Error] when the slot is undefined or the
+    write policy no longer matches. *)
+val nv_write : t -> index:int -> string -> (unit, string) result
+
+val nv_read : t -> index:int -> (string, string) result

@@ -1,0 +1,1 @@
+lib/trustzone/ftpm.ml: Cert Drbg Hkdf List Lt_crypto Lt_tpm Option Pcr Rsa Speck Stdlib Tpm Trustzone Wire

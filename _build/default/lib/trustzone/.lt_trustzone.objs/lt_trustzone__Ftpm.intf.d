@@ -1,0 +1,1 @@
+lib/trustzone/ftpm.mli: Lt_crypto Lt_tpm Trustzone

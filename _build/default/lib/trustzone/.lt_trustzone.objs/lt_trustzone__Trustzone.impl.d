@@ -1,0 +1,1 @@
+lib/trustzone/trustzone.ml: Boot Buffer Bus Clock Frame_alloc Fuse Hashtbl Hmac List Lt_crypto Lt_hw Lt_tpm Machine Mmu Printf Rsa Sha256 Stdlib String

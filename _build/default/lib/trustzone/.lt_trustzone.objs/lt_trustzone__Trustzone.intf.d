@@ -1,0 +1,1 @@
+lib/trustzone/trustzone.mli: Lt_crypto Lt_hw Lt_tpm

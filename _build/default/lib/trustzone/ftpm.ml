@@ -1,0 +1,121 @@
+open Lt_crypto
+open Lt_tpm
+
+type t = { tz : Trustzone.t; cert : Cert.t }
+
+let service = "__ftpm"
+
+(* secure-world state: the PCR bank, EK and sealing root live inside the
+   handler's closure; the serialized PCR state is additionally pushed
+   into protected memory so the bytes exist in the secure region *)
+let install tz rng ~ca_name ~ca_key =
+  if not (Trustzone.booted tz) then Error "ftpm: secure world not booted"
+  else begin
+    let pcrs = Pcr.create () in
+    let ek = Rsa.generate ~bits:512 rng in
+    let srk = Drbg.bytes rng 32 in
+    let seal_rng = Drbg.split rng in
+    let cert = Cert.issue ~ca_name ~ca_key ~subject:"ftpm" ek.Rsa.pub in
+    let handler ctx req =
+      let persist () =
+        let state =
+          Wire.encode (List.init Pcr.count (fun i -> Pcr.read pcrs i))
+        in
+        Trustzone.store ctx ~key:"pcr-state" state
+      in
+      match Wire.decode req with
+      | Some [ "extend"; idx; digest ] ->
+        (try
+           Pcr.extend pcrs (int_of_string idx) digest;
+           persist ();
+           Wire.encode [ "ok" ]
+         with Invalid_argument m -> Wire.encode [ "err"; m ])
+      | Some [ "read"; idx ] ->
+        (try Wire.encode [ "ok"; Pcr.read pcrs (int_of_string idx) ]
+         with Invalid_argument m -> Wire.encode [ "err"; m ])
+      | Some ("quote" :: nonce :: selection) ->
+        (try
+           let selection = List.map int_of_string selection in
+           let composite = Pcr.composite pcrs selection in
+           let signature =
+             Rsa.sign ek (Tpm.quote_body ~nonce ~selection ~composite)
+           in
+           Wire.encode [ "ok"; composite; signature ]
+         with Invalid_argument m -> Wire.encode [ "err"; m ])
+      | Some ("seal" :: data :: selection) ->
+        (try
+           let selection = List.map int_of_string selection in
+           let composite = Pcr.composite pcrs selection in
+           let key = Hkdf.derive ~secret:srk ~salt:"ftpm-seal" ~info:composite 16 in
+           let nonce = Drbg.bytes seal_rng Speck.nonce_size in
+           let box = Speck.Aead.encrypt ~key ~nonce ~ad:"ftpm" data in
+           Wire.encode
+             ("ok"
+              :: Speck.Aead.to_wire box
+              :: List.map string_of_int selection)
+         with Invalid_argument m -> Wire.encode [ "err"; m ])
+      | Some ("unseal" :: blob :: selection) ->
+        (try
+           let selection = List.map int_of_string selection in
+           let composite = Pcr.composite pcrs selection in
+           let key = Hkdf.derive ~secret:srk ~salt:"ftpm-seal" ~info:composite 16 in
+           (match Option.bind (Speck.Aead.of_wire blob)
+                    (Speck.Aead.decrypt ~key ~ad:"ftpm") with
+            | Some plain -> Wire.encode [ "ok"; plain ]
+            | None -> Wire.encode [ "unseal-denied" ])
+         with Invalid_argument m -> Wire.encode [ "err"; m ])
+      | _ -> Wire.encode [ "err"; "bad ftpm command" ]
+    in
+    Trustzone.register_service tz ~name:service handler;
+    Ok { tz; cert }
+  end
+
+let ek_cert t = t.cert
+
+let command t fields =
+  match Trustzone.smc t.tz ~service (Wire.encode fields) with
+  | Error e -> Error e
+  | Ok reply ->
+    (match Wire.decode reply with
+     | Some ("ok" :: rest) -> Ok (`Ok rest)
+     | Some [ "unseal-denied" ] -> Ok `Denied
+     | Some ("err" :: m :: _) -> Error m
+     | _ -> Error "ftpm: malformed reply")
+
+let extend t idx digest =
+  match command t [ "extend"; string_of_int idx; digest ] with
+  | Ok _ -> Ok ()
+  | Error e -> Error e
+
+let read_pcr t idx =
+  match command t [ "read"; string_of_int idx ] with
+  | Ok (`Ok [ v ]) -> Ok v
+  | Ok _ -> Error "ftpm: malformed read reply"
+  | Error e -> Error e
+
+let quote t ~nonce ~selection =
+  match command t ("quote" :: nonce :: List.map string_of_int selection) with
+  | Ok (`Ok [ composite; signature ]) ->
+    Ok
+      { Tpm.q_nonce = nonce;
+        q_selection = List.sort_uniq Stdlib.compare selection;
+        q_composite = composite;
+        q_signature = signature }
+  | Ok _ -> Error "ftpm: malformed quote reply"
+  | Error e -> Error e
+
+let seal t ~selection data =
+  match command t ("seal" :: data :: List.map string_of_int selection) with
+  | Ok (`Ok (blob :: sel)) -> Ok (Wire.encode (blob :: sel))
+  | Ok _ -> Error "ftpm: malformed seal reply"
+  | Error e -> Error e
+
+let unseal t wire =
+  match Wire.decode wire with
+  | Some (blob :: sel) ->
+    (match command t ("unseal" :: blob :: sel) with
+     | Ok `Denied -> Ok None
+     | Ok (`Ok [ plain ]) -> Ok (Some plain)
+     | Ok _ -> Error "ftpm: malformed unseal reply"
+     | Error e -> Error e)
+  | _ -> Error "ftpm: malformed sealed blob"

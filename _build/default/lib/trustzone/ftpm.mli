@@ -1,0 +1,41 @@
+(** fTPM: TPM functionality as software inside the TrustZone secure
+    world (§II-C).
+
+    "Just because a feature is shipped by a hardware vendor also does
+    not necessarily mean it is implemented in hardware ... Microsoft
+    Surface tablets implement TPM functionality not using dedicated TPM
+    security chips, but as software running within TrustZone."
+
+    The fTPM keeps its PCR bank and endorsement key in the secure world
+    (state serialized into protected memory) and exposes the same
+    measurement/quote/seal semantics as the discrete chip. Its quotes
+    sign the exact byte format of {!Lt_tpm.Tpm.quote_body}, so
+    {!Lt_tpm.Tpm.verify_quote} accepts them unchanged: a remote verifier
+    cannot tell chip from software — the paper's interchangeability
+    point, demonstrated. *)
+
+type t
+
+(** [install tz rng ~ca_name ~ca_key] provisions an fTPM in a booted
+    secure world: generates the endorsement key inside, certifies it
+    with the manufacturer CA. *)
+val install :
+  Trustzone.t -> Lt_crypto.Drbg.t -> ca_name:string ->
+  ca_key:Lt_crypto.Rsa.keypair -> (t, string) result
+
+val ek_cert : t -> Lt_crypto.Cert.t
+
+(** All commands cross the SMC boundary into the secure world. *)
+
+val extend : t -> int -> string -> (unit, string) result
+
+val read_pcr : t -> int -> (string, string) result
+
+(** [quote t ~nonce ~selection] — verifiable with
+    {!Lt_tpm.Tpm.verify_quote} against {!ek_cert}'s public key. *)
+val quote : t -> nonce:string -> selection:int list -> (Lt_tpm.Tpm.quote, string) result
+
+val seal : t -> selection:int list -> string -> (string, string) result
+(** Returns an opaque wire blob bound to current PCR state. *)
+
+val unseal : t -> string -> (string option, string) result

@@ -1,0 +1,92 @@
+(** ARM TrustZone: two worlds on one CPU (§II-B).
+
+    The secure world completely controls the normal world; the bus
+    carries the NS bit so hardware can tell the worlds apart. There is
+    exactly one secure world and one normal world — multiplexing several
+    trusted services inside the secure world relies on *secondary*
+    isolation by the secure-world OS, which this model makes explicit:
+    services share the secure world's memory region, and
+    {!breach_service} demonstrates the blast radius.
+
+    Trust anchoring follows the smart-meter example (§III-C): the secure
+    world image is signature-checked by boot-ROM code, and a per-device
+    key fused by the manufacturer (readable only with the NS bit clear)
+    supports software attestation to a party that shares the key. *)
+
+type t
+
+(** What a secure service sees when invoked: its private store, the
+    device fuses, and the world's measurement state. *)
+type ctx
+
+type handler = ctx -> string -> string
+
+(** [install machine ~secure_pages ~vendor_pub] carves a secure memory
+    range out of DRAM (TZASC), loads the boot-ROM stub and returns the
+    unbooted TrustZone state. *)
+val install :
+  Lt_hw.Machine.t -> secure_pages:int -> vendor_pub:Lt_crypto.Rsa.public -> t
+
+(** [boot t ~image] verifies the secure-world image signature against
+    the ROM-anchored vendor key; only a correctly signed image yields a
+    running secure world. Returns the image measurement on success. *)
+val boot : t -> image:Lt_tpm.Boot.stage -> (string, string) result
+
+val booted : t -> bool
+
+(** [measurement t] is the booted secure-world image hash, if any. *)
+val measurement : t -> string option
+
+(** [register_service t ~name handler] adds a trusted service to the
+    secure world OS dispatch table. Requires [booted t]. *)
+val register_service : t -> name:string -> handler -> unit
+
+(** [smc t ~service request] is the secure monitor call: world switch,
+    dispatch, world switch back. Fails when the world is not booted or
+    the service unknown. Charges world-switch ticks on the machine
+    clock. *)
+val smc : t -> service:string -> string -> (string, string) result
+
+(** [smc_count t] — number of world switches taken so far. *)
+val smc_count : t -> int
+
+(** {2 Inside the secure world (for handlers)} *)
+
+(** [fuse_read ctx ~name] reads a fuse with the NS bit clear — this is
+    how a secure service obtains the per-device key the normal world can
+    never see. *)
+val fuse_read : ctx -> name:string -> string option
+
+(** [store ctx ~key data] / [load ctx ~key] — the service's slice of the
+    secure memory region. The bytes physically live in off-chip DRAM:
+    software in the normal world cannot touch them, but a physical
+    attacker can (TrustZone does not encrypt memory — §II-D). *)
+val store : ctx -> key:string -> string -> unit
+
+val load : ctx -> key:string -> string option
+
+(** [attest ctx ~device_key_name ~nonce ~claim] is software attestation:
+    HMAC over (nonce, secure-world measurement, claim) under the fused
+    device key. A verifier sharing the key checks it with
+    {!verify_attestation}. *)
+val attest : ctx -> device_key_name:string -> nonce:string -> claim:string ->
+  (string, string) result
+
+val verify_attestation :
+  device_key:string -> expected_measurement:string -> nonce:string ->
+  claim:string -> string -> bool
+
+(** {2 Attack surface} *)
+
+(** [normal_world_read t ~addr ~len] attempts a normal-world (NS=1) bus
+    read — used by tests to show the secure range is unreachable. *)
+val normal_world_read : t -> addr:int -> len:int -> (string, Lt_hw.Bus.denial) result
+
+(** [secure_range t] is [(base, size)] of the protected region. *)
+val secure_range : t -> int * int
+
+(** [breach_service t ~name] simulates a compromised secure service and
+    returns every (service, key, value) it can read — the whole world's
+    store, demonstrating that TrustZone gives no mutual isolation
+    between trusted components sharing the secure world. *)
+val breach_service : t -> name:string -> (string * string * string) list

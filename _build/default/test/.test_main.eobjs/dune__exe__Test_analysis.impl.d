@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis App Gui Lateral List Manifest Printf String

@@ -1,0 +1,1 @@
+test/test_cheri.ml: Alcotest Lateral Lt_cheri Lt_crypto Option String

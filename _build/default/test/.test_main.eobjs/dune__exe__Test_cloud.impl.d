@@ -1,0 +1,1 @@
+test/test_cloud.ml: Alcotest Lateral Scenario_cloud

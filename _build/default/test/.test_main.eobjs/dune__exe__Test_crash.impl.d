@@ -1,0 +1,1 @@
+test/test_crash.ml: Alcotest Bytes Char Format List Lt_storage String

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bignum Char Ct Drbg Gen Hkdf Hmac List Lt_crypto Printf QCheck QCheck_alcotest Rsa Sha256 Speck String

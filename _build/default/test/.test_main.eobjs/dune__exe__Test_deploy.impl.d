@@ -1,0 +1,1 @@
+test/test_deploy.ml: Alcotest App Attestation Deploy Drbg Format Hmac Lateral List Lt_crypto Lt_hw Lt_kernel Manifest Printf Rsa Sha256 String Substrate Substrate_kernel Substrate_sep Substrate_sgx

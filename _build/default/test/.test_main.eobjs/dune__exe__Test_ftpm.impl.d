@@ -1,0 +1,1 @@
+test/test_ftpm.ml: Alcotest Cert Drbg Lt_crypto Lt_hw Lt_tpm Lt_trustzone Rsa Sha256 String

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Bus Cache Clock Frame_alloc Fuse Gen Iommu List Lt_hw Machine Mmu Phys_mem QCheck QCheck_alcotest String Tamper

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Format Kernel List Lt_hw Lt_kernel Printf Sched Sys User

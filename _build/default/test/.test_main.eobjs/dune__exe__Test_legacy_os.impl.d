@@ -1,0 +1,1 @@
+test/test_legacy_os.ml: Alcotest Kernel Legacy_os List Lt_hw Lt_kernel Option Sched

@@ -1,0 +1,1 @@
+test/test_manifest_file.ml: Alcotest Analysis App Lateral List Manifest Manifest_file Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Bytes Cert Char Drbg List Lt_crypto Lt_net Option Rsa String Wire

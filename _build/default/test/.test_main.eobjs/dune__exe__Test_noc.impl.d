@@ -1,0 +1,1 @@
+test/test_noc.ml: Alcotest Format Lateral List Lt_crypto Lt_noc Printf

@@ -1,0 +1,1 @@
+test/test_ra_channel.ml: Alcotest Attestation Cert Drbg Lateral Lt_crypto Lt_hw Lt_net Ra_channel Rsa Sha256 String Substrate Substrate_sgx

@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest App Lateral List Printf Scenario_mail Scenario_meter String

@@ -1,0 +1,1 @@
+test/test_sep.ml: Alcotest Drbg List Lt_crypto Lt_hw Lt_sep

@@ -1,0 +1,1 @@
+test/test_sgx.ml: Alcotest Cert Drbg List Lt_crypto Lt_hw Lt_sgx Rsa Sha256

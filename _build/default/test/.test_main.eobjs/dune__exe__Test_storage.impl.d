@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Char Drbg Format Gen Lt_crypto Lt_storage QCheck QCheck_alcotest Result String

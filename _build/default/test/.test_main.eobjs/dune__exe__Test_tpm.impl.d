@@ -1,0 +1,1 @@
+test/test_tpm.ml: Alcotest Boot Cert Drbg Latelaunch List Lt_crypto Lt_hw Lt_tpm Pcr Rsa Sha256 String Tpm

@@ -1,0 +1,1 @@
+test/test_trustzone.ml: Alcotest Drbg List Lt_crypto Lt_hw Lt_tpm Lt_trustzone Rsa Sha256

@@ -1,0 +1,1 @@
+test/test_verifier.ml: Alcotest Attestation Drbg Format Lateral List Lt_crypto Lt_hw Lt_storage Lt_tpm Rsa Sha256 Substrate Substrate_sgx Verifier

@@ -1,0 +1,1 @@
+test/test_vpfs.ml: Alcotest Char Drbg Format List Lt_crypto Lt_storage QCheck QCheck_alcotest String

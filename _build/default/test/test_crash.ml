@@ -1,0 +1,185 @@
+(* Crash consistency: the jVPFS-style redo journal. One VPFS mutation is
+   four backend writes (journal, data, metadata, journal-clear); we
+   crash in every window and recover. *)
+
+module Block = Lt_storage.Block
+module Fs = Lt_storage.Legacy_fs
+module Vpfs = Lt_storage.Vpfs
+
+let master_key = "crash-test-key"
+
+(* build: /f = "committed", trusted root persisted; then attempt
+   /f = "in-flight" with a crash after [n] backend writes *)
+let crash_scenario n =
+  let dev = Block.create ~blocks:1024 in
+  let fs = Fs.format dev in
+  let v = Vpfs.create ~master_key fs in
+  (match Vpfs.write v "/f" "committed" with
+   | Ok () -> ()
+   | Error _ -> Alcotest.fail "setup write");
+  let trusted_root = Vpfs.root v in
+  Fs.sync fs;
+  Fs.crash_after_writes fs n;
+  let crashed =
+    try
+      ignore (Vpfs.write v "/f" "in-flight");
+      false
+    with Fs.Crashed -> true
+  in
+  (dev, trusted_root, crashed)
+
+let reopen dev trusted_root =
+  match Fs.mount dev with
+  | Error e -> Alcotest.fail (Format.asprintf "remount: %a" Fs.pp_error e)
+  | Ok fs2 ->
+    (match Vpfs.open_recover ~master_key ~expected_root:trusted_root fs2 with
+     | Ok (v, status) -> (v, status)
+     | Error e -> Alcotest.fail (Format.asprintf "recover: %a" Vpfs.pp_error e))
+
+let test_crash_before_journal () =
+  let dev, root, crashed = crash_scenario 0 in
+  Alcotest.(check bool) "crashed" true crashed;
+  let v, status = reopen dev root in
+  Alcotest.(check bool) "clean (nothing durable yet)" true (status = `Clean);
+  Alcotest.(check bool) "old contents intact" true (Vpfs.read v "/f" = Ok "committed")
+
+let test_crash_after_journal () =
+  (* journal durable, data and meta lost: redo completes the update *)
+  let dev, root, crashed = crash_scenario 1 in
+  Alcotest.(check bool) "crashed" true crashed;
+  let v, status = reopen dev root in
+  Alcotest.(check bool) "recovered" true (status = `Recovered);
+  Alcotest.(check bool) "update rolled forward" true
+    (Vpfs.read v "/f" = Ok "in-flight");
+  Alcotest.(check bool) "root moved" true (Vpfs.root v <> root)
+
+let test_crash_after_data () =
+  (* journal + data durable, meta lost: without the journal this is the
+     torn state that loses the file; redo repairs it *)
+  let dev, root, crashed = crash_scenario 2 in
+  Alcotest.(check bool) "crashed" true crashed;
+  let v, status = reopen dev root in
+  Alcotest.(check bool) "recovered" true (status = `Recovered);
+  Alcotest.(check bool) "file readable and current" true
+    (Vpfs.read v "/f" = Ok "in-flight")
+
+let test_crash_after_meta () =
+  (* everything but the journal-clear durable: redo is idempotent *)
+  let dev, root, crashed = crash_scenario 3 in
+  Alcotest.(check bool) "crashed" true crashed;
+  let v, status = reopen dev root in
+  Alcotest.(check bool) "recovered" true (status = `Recovered);
+  Alcotest.(check bool) "file readable and current" true
+    (Vpfs.read v "/f" = Ok "in-flight")
+
+let test_no_crash_is_clean () =
+  (* a completed write hands the caller the new root; reopening with it
+     is clean, and reopening with the stale pre-write root fails *)
+  let dev = Block.create ~blocks:1024 in
+  let fs = Fs.format dev in
+  let v = Vpfs.create ~master_key fs in
+  (match Vpfs.write v "/f" "committed" with Ok () -> () | Error _ -> Alcotest.fail "w1");
+  let stale_root = Vpfs.root v in
+  (match Vpfs.write v "/f" "in-flight" with Ok () -> () | Error _ -> Alcotest.fail "w2");
+  let new_root = Vpfs.root v in
+  Fs.sync fs;
+  let v2, status = reopen dev new_root in
+  Alcotest.(check bool) "clean with current root" true (status = `Clean);
+  Alcotest.(check bool) "current contents" true (Vpfs.read v2 "/f" = Ok "in-flight");
+  (match Fs.mount dev with
+   | Ok fs3 ->
+     (match Vpfs.open_recover ~master_key ~expected_root:stale_root fs3 with
+      | Error (Vpfs.Integrity _) -> ()
+      | Ok _ -> Alcotest.fail "stale root accepted after clean completion"
+      | Error e -> Alcotest.fail (Format.asprintf "%a" Vpfs.pp_error e))
+   | Error _ -> Alcotest.fail "remount")
+
+let test_tampered_journal_no_silent_corruption () =
+  (* the journal lives on untrusted storage: tampering may cost the
+     in-flight update (DoS) but never yields wrong data silently *)
+  let dev, root, crashed = crash_scenario 2 in
+  Alcotest.(check bool) "crashed" true crashed;
+  (match Fs.mount dev with
+   | Error _ -> Alcotest.fail "remount"
+   | Ok fs2 ->
+     (* attacker flips a byte in the journal *)
+     (match Fs.read fs2 ".vpfs-journal" with
+      | Ok j when String.length j > 0 ->
+        let b = Bytes.of_string j in
+        Bytes.set b (String.length j - 1)
+          (Char.chr (Char.code (Bytes.get b (String.length j - 1)) lxor 1));
+        ignore (Fs.write fs2 ".vpfs-journal" (Bytes.to_string b))
+      | _ -> Alcotest.fail "journal missing");
+     (match Vpfs.open_recover ~master_key ~expected_root:root fs2 with
+      | Ok (v, `Clean) ->
+        (* recovery ignored the forged journal; the torn file must be
+           DETECTED, not silently served *)
+        (match Vpfs.read v "/f" with
+         | Error (Vpfs.Integrity _) -> ()
+         | Ok data -> Alcotest.fail ("silent corruption: " ^ data)
+         | Error e -> Alcotest.fail (Format.asprintf "%a" Vpfs.pp_error e))
+      | Ok (_, `Recovered) -> Alcotest.fail "recovered from a forged journal!"
+      | Error (Vpfs.Integrity _) -> ()
+      | Error e -> Alcotest.fail (Format.asprintf "%a" Vpfs.pp_error e)))
+
+let test_replayed_old_journal_rejected () =
+  (* attacker snapshots journal+image mid-update, lets the system run on,
+     then restores the old image: the pre-root no longer matches *)
+  let dev = Block.create ~blocks:1024 in
+  let fs = Fs.format dev in
+  let v = Vpfs.create ~master_key fs in
+  (match Vpfs.write v "/f" "v1" with Ok () -> () | Error _ -> Alcotest.fail "w1");
+  Fs.sync fs;
+  let old_image = List.init (Block.blocks dev) (Block.snapshot dev) in
+  (match Vpfs.write v "/f" "v2" with Ok () -> () | Error _ -> Alcotest.fail "w2");
+  let current_root = Vpfs.root v in
+  Fs.sync fs;
+  List.iteri (fun i s -> Block.rollback dev i s) old_image;
+  (match Fs.mount dev with
+   | Error _ -> Alcotest.fail "remount"
+   | Ok fs2 ->
+     (match Vpfs.open_recover ~master_key ~expected_root:current_root fs2 with
+      | Error (Vpfs.Integrity _) -> ()
+      | Ok _ -> Alcotest.fail "rolled-back image accepted"
+      | Error e -> Alcotest.fail (Format.asprintf "%a" Vpfs.pp_error e)))
+
+let test_crash_during_delete () =
+  let dev = Block.create ~blocks:1024 in
+  let fs = Fs.format dev in
+  let v = Vpfs.create ~master_key fs in
+  (match Vpfs.write v "/f" "data" with Ok () -> () | Error _ -> Alcotest.fail "w");
+  let root = Vpfs.root v in
+  Fs.sync fs;
+  Fs.crash_after_writes fs 1; (* journal lands, delete + meta lost *)
+  (try ignore (Vpfs.delete v "/f") with Fs.Crashed -> ());
+  (match Fs.mount dev with
+   | Error _ -> Alcotest.fail "remount"
+   | Ok fs2 ->
+     (match Vpfs.open_recover ~master_key ~expected_root:root fs2 with
+      | Ok (v2, `Recovered) ->
+        Alcotest.(check bool) "delete rolled forward" false (Vpfs.exists v2 "/f")
+      | Ok (_, `Clean) -> Alcotest.fail "expected recovery"
+      | Error e -> Alcotest.fail (Format.asprintf "%a" Vpfs.pp_error e)))
+
+let test_fs_dead_after_crash () =
+  let dev = Block.create ~blocks:512 in
+  let fs = Fs.format dev in
+  Fs.crash_after_writes fs 0;
+  Alcotest.(check bool) "write raises" true
+    (try ignore (Fs.write fs "/x" "data"); false with Fs.Crashed -> true);
+  Alcotest.(check bool) "read raises too" true
+    (try ignore (Fs.read fs "/x"); false with Fs.Crashed -> true)
+
+let suite =
+  [ Alcotest.test_case "crash before journal: old state" `Quick test_crash_before_journal;
+    Alcotest.test_case "crash after journal: rolled forward" `Quick
+      test_crash_after_journal;
+    Alcotest.test_case "crash after data: rolled forward" `Quick test_crash_after_data;
+    Alcotest.test_case "crash after meta: idempotent redo" `Quick test_crash_after_meta;
+    Alcotest.test_case "clean run recovers to current state" `Quick test_no_crash_is_clean;
+    Alcotest.test_case "tampered journal: no silent corruption" `Quick
+      test_tampered_journal_no_silent_corruption;
+    Alcotest.test_case "replayed old journal+image rejected" `Quick
+      test_replayed_old_journal_rejected;
+    Alcotest.test_case "crash during delete recovers" `Quick test_crash_during_delete;
+    Alcotest.test_case "fs handle dead after crash" `Quick test_fs_dead_after_crash ]

@@ -1,0 +1,310 @@
+(* Crypto substrate: known-answer vectors, roundtrips and qcheck laws. *)
+
+open Lt_crypto
+
+let hex = Sha256.hex
+
+let test_sha256_vectors () =
+  let check msg expected = Alcotest.(check string) msg expected (hex (Sha256.digest msg)) in
+  Alcotest.(check string) "empty"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (hex (Sha256.digest ""));
+  check "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad";
+  check "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+
+let test_sha256_million_a () =
+  Alcotest.(check string) "10^6 x a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (hex (Sha256.digest (String.make 1_000_000 'a')))
+
+let test_sha256_incremental () =
+  (* feeding in arbitrary chunk sizes equals one-shot *)
+  let msg = String.init 1000 (fun i -> Char.chr (i mod 256)) in
+  let expected = Sha256.digest msg in
+  List.iter
+    (fun chunk ->
+      let ctx = Sha256.init () in
+      let pos = ref 0 in
+      while !pos < String.length msg do
+        let n = min chunk (String.length msg - !pos) in
+        Sha256.feed ctx (String.sub msg !pos n);
+        pos := !pos + n
+      done;
+      Alcotest.(check string)
+        (Printf.sprintf "chunk size %d" chunk)
+        (hex expected)
+        (hex (Sha256.finalize ctx)))
+    [ 1; 3; 63; 64; 65; 127; 999 ]
+
+let test_hmac_rfc4231 () =
+  (* RFC 4231 test cases 1, 2 and 6 *)
+  Alcotest.(check string) "tc1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (hex (Hmac.mac ~key:(String.make 20 '\x0b') "Hi There"));
+  Alcotest.(check string) "tc2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (hex (Hmac.mac ~key:"Jefe" "what do ya want for nothing?"));
+  Alcotest.(check string) "tc6 (long key)"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (hex
+       (Hmac.mac
+          ~key:(String.make 131 '\xaa')
+          "Test Using Larger Than Block-Size Key - Hash Key First"))
+
+let test_hmac_verify () =
+  let tag = Hmac.mac ~key:"k" "msg" in
+  Alcotest.(check bool) "good tag" true (Hmac.verify ~key:"k" ~tag "msg");
+  Alcotest.(check bool) "bad msg" false (Hmac.verify ~key:"k" ~tag "msg2");
+  Alcotest.(check bool) "bad key" false (Hmac.verify ~key:"k2" ~tag "msg")
+
+let test_hkdf_lengths () =
+  let prk = Hkdf.extract ~salt:"salt" "secret" in
+  List.iter
+    (fun n -> Alcotest.(check int) (Printf.sprintf "%d bytes" n) n
+        (String.length (Hkdf.expand ~prk ~info:"info" n)))
+    [ 0; 1; 16; 32; 33; 64; 100 ];
+  (* distinct infos give distinct keys *)
+  Alcotest.(check bool) "domain separation" false
+    (Hkdf.expand ~prk ~info:"a" 32 = Hkdf.expand ~prk ~info:"b" 32)
+
+let test_ct_equal () =
+  Alcotest.(check bool) "equal" true (Ct.equal "abcd" "abcd");
+  Alcotest.(check bool) "different" false (Ct.equal "abcd" "abce");
+  Alcotest.(check bool) "length mismatch" false (Ct.equal "abc" "abcd");
+  Alcotest.(check int) "select true" 7 (Ct.select true 7 9);
+  Alcotest.(check int) "select false" 9 (Ct.select false 7 9)
+
+let test_speck_block_roundtrip () =
+  let key = Speck.key_of_string "0123456789abcdef" in
+  let rng = Drbg.create 1L in
+  for _ = 1 to 100 do
+    let x = Drbg.int rng 0x40000000 and y = Drbg.int rng 0x40000000 in
+    let c = Speck.encrypt_block key (x, y) in
+    Alcotest.(check (pair int int)) "roundtrip" (x, y) (Speck.decrypt_block key c);
+    Alcotest.(check bool) "actually encrypts" true (c <> (x, y))
+  done
+
+let test_speck_official_vector () =
+  (* SPECK64/128 test vector from the designers' paper (Beaulieu et al.):
+     key 1b1a1918 13121110 0b0a0908 03020100,
+     plaintext 3b726574 7475432d -> ciphertext 8c6fa548 454e028b *)
+  let key =
+    Speck.key_of_string
+      "\x1b\x1a\x19\x18\x13\x12\x11\x10\x0b\x0a\x09\x08\x03\x02\x01\x00"
+  in
+  Alcotest.(check (pair int int)) "published vector" (0x8c6fa548, 0x454e028b)
+    (Speck.encrypt_block key (0x3b726574, 0x7475432d))
+
+let test_speck_ctr_involution () =
+  let key = Speck.key_of_string (String.make 16 'K') in
+  let msg = "attack at dawn, bring lateral thinking" in
+  let ct = Speck.ctr ~key ~nonce:"NONCE123" msg in
+  Alcotest.(check bool) "ciphertext differs" true (ct <> msg);
+  Alcotest.(check string) "decrypts" msg (Speck.ctr ~key ~nonce:"NONCE123" ct)
+
+let test_aead_roundtrip_and_tamper () =
+  let key = String.make 16 'k' in
+  let sealed = Speck.Aead.encrypt ~key ~nonce:"n0n50123" ~ad:"header" "payload" in
+  (match Speck.Aead.decrypt ~key ~ad:"header" sealed with
+   | Some p -> Alcotest.(check string) "roundtrip" "payload" p
+   | None -> Alcotest.fail "decrypt failed");
+  Alcotest.(check bool) "wrong ad rejected" true
+    (Speck.Aead.decrypt ~key ~ad:"other" sealed = None);
+  Alcotest.(check bool) "wrong key rejected" true
+    (Speck.Aead.decrypt ~key:(String.make 16 'x') ~ad:"header" sealed = None);
+  let tampered = { sealed with Speck.Aead.ciphertext = "garbage" ^ sealed.ciphertext } in
+  Alcotest.(check bool) "tampered rejected" true
+    (Speck.Aead.decrypt ~key ~ad:"header" tampered = None)
+
+let test_aead_wire () =
+  let key = String.make 16 'k' in
+  let sealed = Speck.Aead.encrypt ~key ~nonce:"12345678" ~ad:"" "wire me" in
+  match Speck.Aead.of_wire (Speck.Aead.to_wire sealed) with
+  | None -> Alcotest.fail "of_wire failed"
+  | Some s ->
+    Alcotest.(check bool) "wire roundtrip decrypts" true
+      (Speck.Aead.decrypt ~key ~ad:"" s = Some "wire me");
+    Alcotest.(check bool) "truncated wire rejected" true
+      (Speck.Aead.of_wire (String.sub (Speck.Aead.to_wire sealed) 0 10) = None)
+
+let test_drbg_determinism () =
+  let a = Drbg.create 99L and b = Drbg.create 99L in
+  Alcotest.(check string) "same seed same stream" (Drbg.bytes a 64) (Drbg.bytes b 64);
+  let c = Drbg.create 100L in
+  Alcotest.(check bool) "different seed different stream" true
+    (Drbg.bytes (Drbg.copy c) 64 <> Drbg.bytes (Drbg.create 99L) 64);
+  let d = Drbg.create 5L in
+  let s1 = Drbg.split d in
+  Alcotest.(check bool) "split streams differ" true (Drbg.bytes s1 32 <> Drbg.bytes d 32)
+
+let test_bignum_basic () =
+  let open Bignum in
+  Alcotest.(check bool) "zero is zero" true (is_zero zero);
+  Alcotest.(check (option int)) "roundtrip int" (Some 123456789)
+    (to_int (of_int 123456789));
+  Alcotest.(check int) "compare" (-1) (compare (of_int 5) (of_int 6));
+  Alcotest.(check (option int)) "add" (Some 11) (to_int (add (of_int 5) (of_int 6)));
+  Alcotest.(check (option int)) "sub" (Some 1) (to_int (sub (of_int 6) (of_int 5)));
+  Alcotest.(check (option int)) "mul" (Some 30) (to_int (mul (of_int 5) (of_int 6)));
+  Alcotest.(check bool) "sub underflow rejected" true
+    (try ignore (sub (of_int 5) (of_int 6)); false with Invalid_argument _ -> true);
+  let q, r = divmod (of_int 17) (of_int 5) in
+  Alcotest.(check (pair (option int) (option int))) "divmod" (Some 3, Some 2)
+    (to_int q, to_int r)
+
+let test_bignum_bytes_roundtrip () =
+  let v = Bignum.of_bytes_be "\x01\x02\x03\x04\x05" in
+  Alcotest.(check (option int)) "of_bytes_be" (Some 0x0102030405) (Bignum.to_int v);
+  Alcotest.(check string) "to_bytes_be pads" "\x00\x00\x00\x01\x02\x03\x04\x05"
+    (Bignum.to_bytes_be ~len:8 v)
+
+let test_bignum_modpow_small () =
+  let open Bignum in
+  let m = modpow ~base:(of_int 4) ~exp:(of_int 13) ~modulus:(of_int 497) in
+  Alcotest.(check (option int)) "4^13 mod 497" (Some 445) (to_int m);
+  Alcotest.(check (option int)) "x^0 = 1" (Some 1)
+    (to_int (modpow ~base:(of_int 7) ~exp:zero ~modulus:(of_int 100)))
+
+let test_bignum_to_bytes_edge () =
+  let open Bignum in
+  Alcotest.(check string) "zero encodes as zeros" "\x00\x00\x00"
+    (to_bytes_be ~len:3 zero);
+  Alcotest.(check bool) "overflow rejected" true
+    (try ignore (to_bytes_be ~len:1 (of_int 256)); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check string) "exact fit" "\xff" (to_bytes_be ~len:1 (of_int 255));
+  (* leading zero bytes are not significant on parse *)
+  Alcotest.(check bool) "leading zeros ignored" true
+    (equal (of_bytes_be "\x00\x00\x2a") (of_int 42))
+
+let test_bignum_modinv () =
+  let open Bignum in
+  (match modinv (of_int 3) (of_int 11) with
+   | Some x -> Alcotest.(check (option int)) "3^-1 mod 11" (Some 4) (to_int x)
+   | None -> Alcotest.fail "inverse exists");
+  Alcotest.(check bool) "non-coprime has no inverse" true
+    (modinv (of_int 4) (of_int 8) = None)
+
+(* qcheck properties *)
+
+let bignum_pair_gen =
+  QCheck.Gen.(
+    map2
+      (fun a b -> (a, b))
+      (map (fun s -> Bignum.of_bytes_be s) (string_size (int_range 1 40)))
+      (map (fun s -> Bignum.of_bytes_be s) (string_size (int_range 1 20))))
+
+let prop_divmod_law =
+  QCheck.Test.make ~name:"bignum: a = q*b + r, r < b" ~count:300
+    (QCheck.make bignum_pair_gen) (fun (a, b) ->
+      QCheck.assume (not (Bignum.is_zero b));
+      let q, r = Bignum.divmod a b in
+      Bignum.equal a (Bignum.add (Bignum.mul q b) r) && Bignum.compare r b < 0)
+
+let prop_add_sub =
+  QCheck.Test.make ~name:"bignum: (a+b)-b = a" ~count:300
+    (QCheck.make bignum_pair_gen) (fun (a, b) ->
+      Bignum.equal a (Bignum.sub (Bignum.add a b) b))
+
+let prop_mul_commutative =
+  QCheck.Test.make ~name:"bignum: a*b = b*a" ~count:300
+    (QCheck.make bignum_pair_gen) (fun (a, b) ->
+      Bignum.equal (Bignum.mul a b) (Bignum.mul b a))
+
+let prop_bytes_roundtrip =
+  QCheck.Test.make ~name:"bignum: bytes roundtrip" ~count:300
+    QCheck.(string_of_size (Gen.int_range 0 48))
+    (fun s ->
+      let v = Bignum.of_bytes_be s in
+      let len = max 1 (String.length s) in
+      Bignum.equal v (Bignum.of_bytes_be (Bignum.to_bytes_be ~len v)))
+
+let prop_aead_roundtrip =
+  QCheck.Test.make ~name:"aead: decrypt . encrypt = id" ~count:200
+    QCheck.(pair (string_of_size (Gen.int_range 0 200)) string)
+    (fun (msg, ad) ->
+      let key = String.make 16 'q' in
+      let sealed = Speck.Aead.encrypt ~key ~nonce:"abcdefgh" ~ad msg in
+      Speck.Aead.decrypt ~key ~ad sealed = Some msg)
+
+let prop_sha_avalanche =
+  QCheck.Test.make ~name:"sha256: no collisions on distinct short inputs" ~count:300
+    QCheck.(pair small_string small_string)
+    (fun (a, b) -> a = b || Sha256.digest a <> Sha256.digest b)
+
+let test_rsa_sign_verify () =
+  let rng = Drbg.create 7L in
+  let key = Rsa.generate ~bits:512 rng in
+  let signature = Rsa.sign key "attestation evidence" in
+  Alcotest.(check bool) "verify ok" true
+    (Rsa.verify key.pub ~signature "attestation evidence");
+  Alcotest.(check bool) "wrong message fails" false
+    (Rsa.verify key.pub ~signature "forged evidence");
+  Alcotest.(check bool) "wrong key fails" false
+    (Rsa.verify (Rsa.generate ~bits:512 rng).pub ~signature "attestation evidence");
+  Alcotest.(check bool) "mangled signature fails" false
+    (Rsa.verify key.pub ~signature:(String.make (String.length signature) '\x00')
+       "attestation evidence")
+
+let test_rsa_encrypt_decrypt () =
+  let rng = Drbg.create 8L in
+  let key = Rsa.generate ~bits:512 rng in
+  let ct = Rsa.encrypt rng key.pub "session-key-0123" in
+  Alcotest.(check (option string)) "roundtrip" (Some "session-key-0123")
+    (Rsa.decrypt key ct);
+  let other = Rsa.generate ~bits:512 rng in
+  Alcotest.(check bool) "wrong key garbles or rejects" true
+    (Rsa.decrypt other ct <> Some "session-key-0123")
+
+let test_rsa_public_wire () =
+  let rng = Drbg.create 9L in
+  let key = Rsa.generate ~bits:256 rng in
+  match Rsa.public_of_string (Rsa.public_to_string key.pub) with
+  | None -> Alcotest.fail "public wire roundtrip failed"
+  | Some pub ->
+    Alcotest.(check bool) "fingerprints match" true
+      (Rsa.fingerprint pub = Rsa.fingerprint key.pub);
+    Alcotest.(check bool) "garbage rejected" true
+      (Rsa.public_of_string "notakey" = None)
+
+let test_miller_rabin () =
+  let rng = Drbg.create 10L in
+  List.iter
+    (fun (n, expected) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%d prime?" n)
+        expected
+        (Rsa.is_probable_prime rng (Bignum.of_int n)))
+    [ (2, true); (3, true); (4, false); (17, true); (561, false) (* Carmichael *);
+      (7919, true); (7917, false); (104729, true); (104730, false) ]
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_divmod_law; prop_add_sub; prop_mul_commutative; prop_bytes_roundtrip;
+      prop_aead_roundtrip; prop_sha_avalanche ]
+
+let suite =
+  [ Alcotest.test_case "sha256 FIPS vectors" `Quick test_sha256_vectors;
+    Alcotest.test_case "sha256 million 'a'" `Slow test_sha256_million_a;
+    Alcotest.test_case "sha256 incremental = one-shot" `Quick test_sha256_incremental;
+    Alcotest.test_case "hmac RFC 4231 vectors" `Quick test_hmac_rfc4231;
+    Alcotest.test_case "hmac verify" `Quick test_hmac_verify;
+    Alcotest.test_case "hkdf lengths & separation" `Quick test_hkdf_lengths;
+    Alcotest.test_case "constant-time compare" `Quick test_ct_equal;
+    Alcotest.test_case "speck block roundtrip" `Quick test_speck_block_roundtrip;
+    Alcotest.test_case "speck official test vector" `Quick test_speck_official_vector;
+    Alcotest.test_case "speck ctr involution" `Quick test_speck_ctr_involution;
+    Alcotest.test_case "aead roundtrip & tamper detection" `Quick test_aead_roundtrip_and_tamper;
+    Alcotest.test_case "aead wire format" `Quick test_aead_wire;
+    Alcotest.test_case "drbg determinism" `Quick test_drbg_determinism;
+    Alcotest.test_case "bignum basics" `Quick test_bignum_basic;
+    Alcotest.test_case "bignum byte conversion" `Quick test_bignum_bytes_roundtrip;
+    Alcotest.test_case "bignum modpow" `Quick test_bignum_modpow_small;
+    Alcotest.test_case "bignum modinv" `Quick test_bignum_modinv;
+    Alcotest.test_case "bignum byte-encoding edges" `Quick test_bignum_to_bytes_edge;
+    Alcotest.test_case "rsa sign/verify" `Quick test_rsa_sign_verify;
+    Alcotest.test_case "rsa encrypt/decrypt" `Quick test_rsa_encrypt_decrypt;
+    Alcotest.test_case "rsa public key wire format" `Quick test_rsa_public_wire;
+    Alcotest.test_case "miller-rabin classifications" `Quick test_miller_rabin ]
+  @ qcheck_tests

@@ -1,0 +1,101 @@
+(* fTPM: TPM semantics implemented in TrustZone software (§II-C).
+   The punchline: a verifier's Tpm.verify_quote accepts fTPM quotes. *)
+
+open Lt_crypto
+module Trustzone = Lt_trustzone.Trustzone
+module Ftpm = Lt_trustzone.Ftpm
+
+let setup () =
+  let machine = Lt_hw.Machine.create ~dram_pages:64 () in
+  let rng = Drbg.create 404L in
+  let vendor = Rsa.generate ~bits:512 rng in
+  let ca = Rsa.generate ~bits:512 rng in
+  let tz = Trustzone.install machine ~secure_pages:4 ~vendor_pub:vendor.Rsa.pub in
+  (match Trustzone.boot tz ~image:(Lt_tpm.Boot.sign_stage vendor ~name:"tz" "tz-v1") with
+   | Ok _ -> ()
+   | Error e -> Alcotest.fail e);
+  match Ftpm.install tz rng ~ca_name:"ms-ca" ~ca_key:ca with
+  | Ok ftpm -> (machine, ca, ftpm)
+  | Error e -> Alcotest.fail e
+
+let digest s = Sha256.digest s
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let test_requires_booted_world () =
+  let machine = Lt_hw.Machine.create ~dram_pages:64 () in
+  let rng = Drbg.create 405L in
+  let vendor = Rsa.generate ~bits:512 rng in
+  let ca = Rsa.generate ~bits:512 rng in
+  let tz = Trustzone.install machine ~secure_pages:4 ~vendor_pub:vendor.Rsa.pub in
+  match Ftpm.install tz rng ~ca_name:"ms-ca" ~ca_key:ca with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "ftpm installed without a secure world"
+
+let test_extend_and_read () =
+  let _, _, ftpm = setup () in
+  Alcotest.(check string) "pcr starts zero" (String.make 32 '\000')
+    (ok (Ftpm.read_pcr ftpm 0));
+  ok (Ftpm.extend ftpm 0 (digest "stage-1"));
+  let expected = Lt_tpm.Pcr.expected_value [ digest "stage-1" ] in
+  Alcotest.(check string) "extend semantics match discrete tpm"
+    (Sha256.hex expected)
+    (Sha256.hex (ok (Ftpm.read_pcr ftpm 0)));
+  Alcotest.(check bool) "bad index errors" true
+    (match Ftpm.extend ftpm 99 (digest "x") with Error _ -> true | Ok () -> false)
+
+let test_quote_verifies_with_tpm_verifier () =
+  let _, ca, ftpm = setup () in
+  ok (Ftpm.extend ftpm 0 (digest "kernel"));
+  let q = ok (Ftpm.quote ftpm ~nonce:"challenge" ~selection:[ 0; 1 ]) in
+  let cert = Ftpm.ek_cert ftpm in
+  Alcotest.(check bool) "cert chains to manufacturer" true
+    (Cert.verify ~issuer_pub:ca.Rsa.pub cert);
+  (* the discrete-TPM verifier accepts the software quote unchanged *)
+  Alcotest.(check bool) "Tpm.verify_quote accepts ftpm quote" true
+    (Lt_tpm.Tpm.verify_quote ~ek_pub:cert.Cert.pubkey q);
+  let forged = { q with Lt_tpm.Tpm.q_composite = digest "other" } in
+  Alcotest.(check bool) "forgery still fails" false
+    (Lt_tpm.Tpm.verify_quote ~ek_pub:cert.Cert.pubkey forged)
+
+let test_seal_unseal_pcr_policy () =
+  let _, _, ftpm = setup () in
+  ok (Ftpm.extend ftpm 0 (digest "good-os"));
+  let blob = ok (Ftpm.seal ftpm ~selection:[ 0 ] "bitlocker-key") in
+  Alcotest.(check (option string)) "same state releases" (Some "bitlocker-key")
+    (ok (Ftpm.unseal ftpm blob));
+  ok (Ftpm.extend ftpm 0 (digest "rootkit"));
+  Alcotest.(check (option string)) "changed state withholds" None
+    (ok (Ftpm.unseal ftpm blob));
+  Alcotest.(check bool) "garbage blob errors" true
+    (match Ftpm.unseal ftpm "garbage" with Error _ -> true | Ok _ -> false)
+
+let test_state_in_secure_memory () =
+  (* the PCR state physically lives in the protected region: normal-world
+     software cannot read it *)
+  let machine, _, ftpm = setup () in
+  ok (Ftpm.extend ftpm 0 (digest "measured"));
+  (* find the secure range via the bus: a normal-world read of it fails *)
+  let denied = ref false in
+  (try
+     for addr = 0 to machine.Lt_hw.Machine.dram_base + 4096 do
+       match
+         Lt_hw.Bus.read machine.Lt_hw.Machine.bus
+           ~requester:(Lt_hw.Bus.Cpu { secure = false }) ~addr ~len:1
+       with
+       | Error (Lt_hw.Bus.Secure_only _) ->
+         denied := true;
+         raise Exit
+       | _ -> ()
+     done
+   with Exit -> ());
+  Alcotest.(check bool) "secure range exists and is blocked" true !denied
+
+let suite =
+  [ Alcotest.test_case "requires a booted secure world" `Quick test_requires_booted_world;
+    Alcotest.test_case "extend/read match discrete tpm semantics" `Quick
+      test_extend_and_read;
+    Alcotest.test_case "discrete-tpm verifier accepts ftpm quotes" `Quick
+      test_quote_verifies_with_tpm_verifier;
+    Alcotest.test_case "seal/unseal gated on pcr state" `Quick test_seal_unseal_pcr_policy;
+    Alcotest.test_case "state held in protected memory" `Quick test_state_in_secure_memory ]

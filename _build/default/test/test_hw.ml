@@ -1,0 +1,281 @@
+(* Simulated hardware: memory, MMU, IOMMU, bus, cache, fuses, tamper. *)
+
+open Lt_hw
+
+let make_mem () =
+  Phys_mem.create
+    [ { Phys_mem.name = "rom"; base = 0; size = 4096; on_chip = true; writable = false };
+      { Phys_mem.name = "sram"; base = 4096; size = 4096; on_chip = true; writable = true };
+      { Phys_mem.name = "dram"; base = 8192; size = 65536; on_chip = false; writable = true } ]
+
+let test_mem_read_write () =
+  let mem = make_mem () in
+  Phys_mem.cpu_write mem ~addr:8192 "hello";
+  Alcotest.(check string) "read back" "hello" (Phys_mem.cpu_read mem ~addr:8192 ~len:5);
+  Alcotest.(check string) "zero init" "\000\000" (Phys_mem.cpu_read mem ~addr:9000 ~len:2)
+
+let test_mem_rom_protect () =
+  let mem = make_mem () in
+  Alcotest.check_raises "rom write" (Phys_mem.Rom_write 0) (fun () ->
+      Phys_mem.cpu_write mem ~addr:0 "x");
+  (* manufacture-time write bypasses *)
+  Phys_mem.manufacture_write mem ~addr:0 "BOOT";
+  Alcotest.(check string) "rom readable" "BOOT" (Phys_mem.cpu_read mem ~addr:0 ~len:4)
+
+let test_mem_bad_address () =
+  let mem = make_mem () in
+  Alcotest.(check bool) "oob read raises" true
+    (try ignore (Phys_mem.cpu_read mem ~addr:999999 ~len:4); false
+     with Phys_mem.Bad_address _ -> true)
+
+let test_mee_transparency () =
+  let mem = make_mem () in
+  Phys_mem.install_mee mem ~base:8192 ~size:4096 ~key:"enclave-key";
+  Phys_mem.cpu_write mem ~addr:8192 "plaintext-secret";
+  Alcotest.(check string) "cpu sees plaintext" "plaintext-secret"
+    (Phys_mem.cpu_read mem ~addr:8192 ~len:16);
+  (* physical path sees ciphertext *)
+  let raw = Phys_mem.phys_read mem ~addr:8192 ~len:16 in
+  Alcotest.(check bool) "phys sees ciphertext" true (raw <> "plaintext-secret")
+
+let test_mee_integrity () =
+  let mem = make_mem () in
+  Phys_mem.install_mee mem ~base:8192 ~size:4096 ~key:"enclave-key";
+  Phys_mem.cpu_write mem ~addr:8192 "data under mac protection and more padding...";
+  (* attacker patches ciphertext; next CPU read must detect it *)
+  Phys_mem.phys_write mem ~addr:8200 "XX";
+  Alcotest.(check bool) "integrity violation detected" true
+    (try ignore (Phys_mem.cpu_read mem ~addr:8192 ~len:16); false
+     with Phys_mem.Integrity_violation _ -> true)
+
+let test_mee_unaligned_rejected () =
+  let mem = make_mem () in
+  Alcotest.(check bool) "unaligned rejected" true
+    (try Phys_mem.install_mee mem ~base:8193 ~size:64 ~key:"k"; false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "on-chip rejected" true
+    (try Phys_mem.install_mee mem ~base:4096 ~size:64 ~key:"k"; false
+     with Invalid_argument _ -> true)
+
+let test_mmu_translate () =
+  let mmu = Mmu.create () in
+  Mmu.map mmu ~vpage:2 ~ppage:10 Mmu.rw;
+  (match Mmu.translate mmu ~vaddr:(2 * 4096 + 42) Mmu.Read with
+   | Ok p -> Alcotest.(check int) "translation" (10 * 4096 + 42) p
+   | Error _ -> Alcotest.fail "should translate");
+  Alcotest.(check bool) "unmapped faults" true
+    (match Mmu.translate mmu ~vaddr:0 Mmu.Read with Error (Mmu.Unmapped _) -> true | _ -> false);
+  Alcotest.(check bool) "exec denied on rw" true
+    (match Mmu.translate mmu ~vaddr:(2 * 4096) Mmu.Execute with
+     | Error (Mmu.Permission _) -> true
+     | _ -> false);
+  Mmu.unmap mmu ~vpage:2;
+  Alcotest.(check bool) "unmap works" true
+    (match Mmu.translate mmu ~vaddr:(2 * 4096) Mmu.Read with Error _ -> true | Ok _ -> false)
+
+let test_mmu_mappings_listing () =
+  let mmu = Mmu.create () in
+  Mmu.map mmu ~vpage:1 ~ppage:5 Mmu.ro;
+  Mmu.map mmu ~vpage:2 ~ppage:6 Mmu.rw;
+  Alcotest.(check int) "two mappings" 2 (List.length (Mmu.mappings mmu));
+  Alcotest.(check (list int)) "ppages" [ 5; 6 ] (Mmu.mapped_ppages mmu)
+
+let test_iommu () =
+  let iommu = Iommu.create ~enabled:true in
+  Alcotest.(check bool) "default deny" false
+    (Iommu.check iommu ~device:"nic" ~paddr:8192 ~write:true);
+  Iommu.grant iommu ~device:"nic" ~ppage:2 ~writable:false;
+  Alcotest.(check bool) "read granted" true
+    (Iommu.check iommu ~device:"nic" ~paddr:(2 * 4096) ~write:false);
+  Alcotest.(check bool) "write still denied" false
+    (Iommu.check iommu ~device:"nic" ~paddr:(2 * 4096) ~write:true);
+  Iommu.revoke iommu ~device:"nic" ~ppage:2;
+  Alcotest.(check bool) "revoked" false
+    (Iommu.check iommu ~device:"nic" ~paddr:(2 * 4096) ~write:false);
+  Iommu.set_enabled iommu false;
+  Alcotest.(check bool) "disabled iommu allows all (legacy platform)" true
+    (Iommu.check iommu ~device:"nic" ~paddr:0 ~write:true)
+
+let test_bus_secure_ranges () =
+  let mem = make_mem () in
+  let iommu = Iommu.create ~enabled:true in
+  let bus = Bus.create mem iommu (Clock.create ()) in
+  Bus.mark_secure bus ~base:8192 ~size:4096;
+  (* normal world denied *)
+  (match Bus.read bus ~requester:(Bus.Cpu { secure = false }) ~addr:8192 ~len:4 with
+   | Error (Bus.Secure_only _) -> ()
+   | _ -> Alcotest.fail "normal world should be denied");
+  (* secure world allowed *)
+  (match Bus.write bus ~requester:(Bus.Cpu { secure = true }) ~addr:8192 "key!" with
+   | Ok () -> ()
+   | Error _ -> Alcotest.fail "secure world should write");
+  (match Bus.read bus ~requester:(Bus.Cpu { secure = true }) ~addr:8192 ~len:4 with
+   | Ok d -> Alcotest.(check string) "secure read" "key!" d
+   | Error _ -> Alcotest.fail "secure world should read");
+  (* devices are never secure *)
+  (match Bus.read bus ~requester:(Bus.Device "nic") ~addr:8192 ~len:4 with
+   | Error (Bus.Secure_only _) -> ()
+   | _ -> Alcotest.fail "device must be denied on secure range")
+
+let test_bus_dma_iommu () =
+  let mem = make_mem () in
+  let iommu = Iommu.create ~enabled:true in
+  let bus = Bus.create mem iommu (Clock.create ()) in
+  (match Bus.write bus ~requester:(Bus.Device "nic") ~addr:8192 "dma!" with
+   | Error (Bus.Dma_blocked _) -> ()
+   | _ -> Alcotest.fail "unauthorized DMA must be blocked");
+  Iommu.grant iommu ~device:"nic" ~ppage:2 ~writable:true;
+  (match Bus.write bus ~requester:(Bus.Device "nic") ~addr:8192 "dma!" with
+   | Ok () -> ()
+   | Error _ -> Alcotest.fail "granted DMA should pass");
+  Alcotest.(check bool) "transactions counted" true (Bus.transactions bus > 0)
+
+let test_bus_charges_time () =
+  let mem = make_mem () in
+  let clock = Clock.create () in
+  let bus = Bus.create mem (Iommu.create ~enabled:false) clock in
+  let t0 = Clock.now clock in
+  ignore (Bus.write bus ~requester:(Bus.Cpu { secure = false }) ~addr:8192 (String.make 256 'x'));
+  Alcotest.(check bool) "time advanced" true (Clock.now clock > t0)
+
+let test_cache_prime_probe () =
+  let cache = Cache.create ~sets:8 ~ways:2 in
+  (* attacker primes set 0 *)
+  ignore (Cache.access cache ~domain:"attacker" ~addr:0);
+  ignore (Cache.access cache ~domain:"attacker" ~addr:(8 * 64));
+  Alcotest.(check bool) "primed lines resident" true
+    (Cache.probe cache ~domain:"attacker" ~addr:0);
+  (* victim touches the same set twice, evicting both attacker lines *)
+  ignore (Cache.access cache ~domain:"victim" ~addr:(16 * 64));
+  ignore (Cache.access cache ~domain:"victim" ~addr:(24 * 64));
+  Alcotest.(check bool) "attacker line evicted (leak!)" false
+    (Cache.probe cache ~domain:"attacker" ~addr:0
+     && Cache.probe cache ~domain:"attacker" ~addr:(8 * 64))
+
+let test_cache_partitioned_no_leak () =
+  let cache = Cache.create ~sets:8 ~ways:2 in
+  Cache.partition cache ~domain:"attacker" ~lo:0 ~hi:3;
+  Cache.partition cache ~domain:"victim" ~lo:4 ~hi:7;
+  ignore (Cache.access cache ~domain:"attacker" ~addr:0);
+  ignore (Cache.access cache ~domain:"attacker" ~addr:(8 * 64));
+  (* victim hammers every address: cannot evict attacker lines *)
+  for i = 0 to 63 do
+    ignore (Cache.access cache ~domain:"victim" ~addr:(i * 64))
+  done;
+  Alcotest.(check bool) "partitioned: attacker lines survive" true
+    (Cache.probe cache ~domain:"attacker" ~addr:0
+     && Cache.probe cache ~domain:"attacker" ~addr:(8 * 64));
+  (* victim confined to its sets *)
+  Alcotest.(check bool) "victim resident only in its partition" true
+    (List.for_all (fun s -> s >= 4 && s <= 7) (Cache.resident_sets cache ~domain:"victim"))
+
+let test_cache_lru () =
+  let cache = Cache.create ~sets:1 ~ways:2 in
+  ignore (Cache.access cache ~domain:"d" ~addr:0);
+  ignore (Cache.access cache ~domain:"d" ~addr:64);
+  ignore (Cache.access cache ~domain:"d" ~addr:0);   (* refresh line 0 *)
+  ignore (Cache.access cache ~domain:"d" ~addr:128); (* evicts LRU = 64 *)
+  Alcotest.(check bool) "line 0 kept" true (Cache.probe cache ~domain:"d" ~addr:0);
+  Alcotest.(check bool) "line 64 evicted" false (Cache.probe cache ~domain:"d" ~addr:64)
+
+let test_fuses () =
+  let fuses = Fuse.create () in
+  Fuse.program fuses ~name:"device-key" ~visibility:Fuse.Secure_only "K3Y";
+  Fuse.program fuses ~name:"serial" ~visibility:Fuse.Public "SN-1";
+  Alcotest.(check (option string)) "secure read" (Some "K3Y")
+    (Fuse.read fuses ~name:"device-key" ~secure:true);
+  Alcotest.(check (option string)) "normal world denied" None
+    (Fuse.read fuses ~name:"device-key" ~secure:false);
+  Alcotest.(check (option string)) "public fuse open" (Some "SN-1")
+    (Fuse.read fuses ~name:"serial" ~secure:false);
+  Alcotest.(check bool) "write-once" true
+    (try Fuse.program fuses ~name:"serial" ~visibility:Fuse.Public "SN-2"; false
+     with Invalid_argument _ -> true)
+
+let test_tamper_scan_and_patch () =
+  let mem = make_mem () in
+  let tamper = Tamper.create mem in
+  Phys_mem.cpu_write mem ~addr:10000 "TOPSECRET";
+  Alcotest.(check (list int)) "secret found in plain dram" [ 10000 ]
+    (Tamper.scan tamper ~needle:"TOPSECRET");
+  Tamper.patch tamper ~addr:10000 "XOPSECRET";
+  Alcotest.(check string) "patch visible to cpu" "XOPSECRET"
+    (Phys_mem.cpu_read mem ~addr:10000 ~len:9);
+  Tamper.flip_bit tamper ~addr:10000 ~bit:0;
+  Alcotest.(check bool) "bit flipped" true
+    (Phys_mem.cpu_read mem ~addr:10000 ~len:1 <> "X");
+  (* on-chip sram is out of reach *)
+  Alcotest.(check bool) "sram unreachable" true
+    (try ignore (Tamper.dump tamper ~addr:4096 ~len:4); false
+     with Phys_mem.Bad_address _ -> true)
+
+let test_tamper_blind_to_mee () =
+  let mem = make_mem () in
+  Phys_mem.install_mee mem ~base:8192 ~size:4096 ~key:"k";
+  Phys_mem.cpu_write mem ~addr:8192 "TOPSECRET";
+  let tamper = Tamper.create mem in
+  Alcotest.(check (list int)) "secret invisible under mee" []
+    (Tamper.scan tamper ~needle:"TOPSECRET")
+
+let test_machine_assembly () =
+  let m = Machine.create ~dram_pages:64 () in
+  Machine.load_rom m ~off:0 "CRTM";
+  Alcotest.(check string) "rom contents" "CRTM" (Machine.rom_contents m ~off:0 ~len:4);
+  Alcotest.(check int) "frames available" 64 (Frame_alloc.free_count m.Machine.dram_frames);
+  (match Frame_alloc.alloc m.Machine.dram_frames with
+   | Some p -> Alcotest.(check bool) "frame in dram" true (p * Mmu.page_size >= m.Machine.dram_base)
+   | None -> Alcotest.fail "alloc failed")
+
+let test_frame_alloc () =
+  let fa = Frame_alloc.create ~first_page:10 ~pages:4 in
+  (match Frame_alloc.alloc_n fa 4 with
+   | Some frames -> Alcotest.(check int) "got 4" 4 (List.length frames)
+   | None -> Alcotest.fail "should allocate");
+  Alcotest.(check (option int)) "exhausted" None (Frame_alloc.alloc fa);
+  Frame_alloc.free fa 10;
+  Alcotest.(check int) "one free" 1 (Frame_alloc.free_count fa);
+  Alcotest.(check bool) "double free rejected" true
+    (try Frame_alloc.free fa 10; false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "foreign frame rejected" true
+    (try Frame_alloc.free fa 999; false with Invalid_argument _ -> true)
+
+let test_clock () =
+  let c = Clock.create () in
+  Clock.advance c 10;
+  Alcotest.(check int) "advance" 10 (Clock.now c);
+  let (), d = Clock.elapsed c (fun () -> Clock.advance c 5) in
+  Alcotest.(check int) "elapsed" 5 d
+
+let prop_mee_roundtrip =
+  QCheck.Test.make ~name:"mee: cpu write/read roundtrip at any offset" ~count:100
+    QCheck.(pair (int_range 0 4000) (string_of_size (Gen.int_range 1 90)))
+    (fun (off, data) ->
+      QCheck.assume (off + String.length data <= 4096);
+      let mem = make_mem () in
+      Phys_mem.install_mee mem ~base:8192 ~size:4096 ~key:"k";
+      Phys_mem.cpu_write mem ~addr:(8192 + off) data;
+      Phys_mem.cpu_read mem ~addr:(8192 + off) ~len:(String.length data) = data)
+
+let suite =
+  [ Alcotest.test_case "phys mem read/write" `Quick test_mem_read_write;
+    Alcotest.test_case "rom write protection" `Quick test_mem_rom_protect;
+    Alcotest.test_case "bad address" `Quick test_mem_bad_address;
+    Alcotest.test_case "mee: cpu plaintext, phys ciphertext" `Quick test_mee_transparency;
+    Alcotest.test_case "mee: tamper detected by mac" `Quick test_mee_integrity;
+    Alcotest.test_case "mee: alignment and placement checks" `Quick test_mee_unaligned_rejected;
+    Alcotest.test_case "mmu translation and perms" `Quick test_mmu_translate;
+    Alcotest.test_case "mmu mapping listings" `Quick test_mmu_mappings_listing;
+    Alcotest.test_case "iommu grant/revoke/disable" `Quick test_iommu;
+    Alcotest.test_case "bus secure ranges (NS bit)" `Quick test_bus_secure_ranges;
+    Alcotest.test_case "bus DMA through iommu" `Quick test_bus_dma_iommu;
+    Alcotest.test_case "bus charges simulated time" `Quick test_bus_charges_time;
+    Alcotest.test_case "cache prime+probe leaks" `Quick test_cache_prime_probe;
+    Alcotest.test_case "cache partitioning stops leak" `Quick test_cache_partitioned_no_leak;
+    Alcotest.test_case "cache LRU eviction" `Quick test_cache_lru;
+    Alcotest.test_case "fuse bank visibility" `Quick test_fuses;
+    Alcotest.test_case "tamper scan/patch on plain dram" `Quick test_tamper_scan_and_patch;
+    Alcotest.test_case "tamper blind to mee ciphertext" `Quick test_tamper_blind_to_mee;
+    Alcotest.test_case "machine assembly" `Quick test_machine_assembly;
+    Alcotest.test_case "frame allocator" `Quick test_frame_alloc;
+    Alcotest.test_case "clock" `Quick test_clock;
+    QCheck_alcotest.to_alcotest prop_mee_roundtrip ]

@@ -1,0 +1,130 @@
+(* Paravirtualized legacy OS guests: no walls inside, kernel walls
+   between — the Simko3 / "Merkel-Phone" model (§II-B). *)
+
+open Lt_kernel
+
+let make_kernel () =
+  Kernel.create (Lt_hw.Machine.create ~dram_pages:256 ())
+    (Sched.Round_robin { quantum = 200 })
+
+let android_processes =
+  [ ("browser",
+     fun ctx url ->
+       ctx.Legacy_os.g_write "history" url;
+       "rendered:" ^ url);
+    ("contacts",
+     fun ctx req ->
+       (match req with
+        | "get" -> Option.value ~default:"(none)" (ctx.Legacy_os.g_read "contacts")
+        | v ->
+          ctx.Legacy_os.g_write "contacts" v;
+          "saved"));
+    ("mail",
+     fun ctx _ ->
+       (* a monolithic OS: mail can read the browser's history freely *)
+       Option.value ~default:"(no history)" (ctx.Legacy_os.g_read "history")) ]
+
+let test_guest_runs_processes () =
+  let k = make_kernel () in
+  let g =
+    Legacy_os.boot k ~name:"android" ~partition:"vm1" ~memory_pages:4
+      ~processes:android_processes
+  in
+  Alcotest.(check (result string string)) "browser" (Ok "rendered:news.example")
+    (Legacy_os.call k g ~process:"browser" "news.example");
+  Alcotest.(check (result string string)) "contacts saved" (Ok "saved")
+    (Legacy_os.call k g ~process:"contacts" "alice,bob");
+  Alcotest.(check (result string string)) "contacts read" (Ok "alice,bob")
+    (Legacy_os.call k g ~process:"contacts" "get");
+  (match Legacy_os.call k g ~process:"nonexistent" "x" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "missing process should error")
+
+let test_no_internal_isolation () =
+  (* inside a guest, any process reads any state: monolithic reality *)
+  let k = make_kernel () in
+  let g =
+    Legacy_os.boot k ~name:"android" ~partition:"vm1" ~memory_pages:4
+      ~processes:android_processes
+  in
+  ignore (Legacy_os.call k g ~process:"browser" "embarrassing.example");
+  Alcotest.(check (result string string)) "mail reads browser history"
+    (Ok "embarrassing.example")
+    (Legacy_os.call k g ~process:"mail" "")
+
+let test_exploit_owns_whole_guest () =
+  let k = make_kernel () in
+  let g =
+    Legacy_os.boot k ~name:"android" ~partition:"vm1" ~memory_pages:4
+      ~processes:android_processes
+  in
+  ignore (Legacy_os.call k g ~process:"contacts" "secret-contact-list");
+  Legacy_os.exploit g ~process:"browser";
+  Alcotest.(check bool) "guest compromised" true (Legacy_os.is_compromised g);
+  (* every process now answers as the attacker *)
+  Alcotest.(check (result string string)) "contacts owned too" (Ok "pwned:contacts")
+    (Legacy_os.call k g ~process:"contacts" "get");
+  (* and the whole guest state is loot *)
+  Alcotest.(check bool) "contact list leaked" true
+    (List.mem_assoc "contacts" (Legacy_os.loot k g))
+
+let test_two_guests_isolated () =
+  let k = make_kernel () in
+  let private_g =
+    Legacy_os.boot k ~name:"android-private" ~partition:"vm1" ~memory_pages:4
+      ~processes:android_processes
+  in
+  let business_g =
+    Legacy_os.boot k ~name:"android-business" ~partition:"vm2" ~memory_pages:4
+      ~processes:android_processes
+  in
+  ignore (Legacy_os.call k business_g ~process:"contacts" "board-members");
+  (* frames are disjoint: the kernel's spatial isolation *)
+  let overlap =
+    List.exists
+      (fun f -> List.mem f (Legacy_os.frames business_g))
+      (Legacy_os.frames private_g)
+  in
+  Alcotest.(check bool) "no shared frames" false overlap;
+  (* exploiting the private guest owns nothing of the business guest *)
+  Legacy_os.exploit private_g ~process:"browser";
+  Alcotest.(check bool) "business guest intact" false
+    (Legacy_os.is_compromised business_g);
+  Alcotest.(check (list (pair string string))) "no business loot" []
+    (Legacy_os.loot k business_g);
+  Alcotest.(check (result string string)) "business guest still works"
+    (Ok "board-members")
+    (Legacy_os.call k business_g ~process:"contacts" "get")
+
+let test_guest_state_in_guest_frames () =
+  (* guest state physically lives in the guest's own frames: the bytes
+     are found in exactly one guest's memory *)
+  let k = make_kernel () in
+  let machine = Kernel.machine k in
+  let g1 =
+    Legacy_os.boot k ~name:"g1" ~partition:"vm1" ~memory_pages:4
+      ~processes:android_processes
+  in
+  let _g2 =
+    Legacy_os.boot k ~name:"g2" ~partition:"vm2" ~memory_pages:4
+      ~processes:android_processes
+  in
+  ignore (Legacy_os.call k g1 ~process:"contacts" "NEEDLE-CONTACTS");
+  let hits =
+    Lt_hw.Tamper.scan (Lt_hw.Machine.tamper machine) ~needle:"NEEDLE-CONTACTS"
+  in
+  let page = Lt_hw.Mmu.page_size in
+  let g1_frames = Legacy_os.frames g1 in
+  Alcotest.(check bool) "state found in memory" true (hits <> []);
+  Alcotest.(check bool) "all hits inside g1's frames" true
+    (List.for_all (fun addr -> List.mem (addr / page) g1_frames) hits)
+
+let suite =
+  [ Alcotest.test_case "guest runs processes" `Quick test_guest_runs_processes;
+    Alcotest.test_case "no isolation inside a guest" `Quick test_no_internal_isolation;
+    Alcotest.test_case "one exploit owns the whole guest" `Quick
+      test_exploit_owns_whole_guest;
+    Alcotest.test_case "two guests isolated by the kernel" `Quick
+      test_two_guests_isolated;
+    Alcotest.test_case "guest state lives in guest frames" `Quick
+      test_guest_state_in_guest_frames ]

@@ -1,0 +1,26 @@
+let () =
+  Alcotest.run "lateral"
+    [ ("crypto", Test_crypto.suite);
+      ("hw", Test_hw.suite);
+      ("kernel", Test_kernel.suite);
+      ("tpm", Test_tpm.suite);
+      ("trustzone", Test_trustzone.suite);
+      ("sgx", Test_sgx.suite);
+      ("sep", Test_sep.suite);
+      ("net", Test_net.suite);
+      ("storage", Test_storage.suite);
+      ("vpfs", Test_vpfs.suite);
+      ("core", Test_core.suite);
+      ("analysis", Test_analysis.suite);
+      ("scenarios", Test_scenarios.suite);
+      ("cheri", Test_cheri.suite);
+      ("ftpm", Test_ftpm.suite);
+      ("legacy_os", Test_legacy_os.suite);
+      ("properties", Test_properties.suite);
+      ("verifier", Test_verifier.suite);
+      ("noc", Test_noc.suite);
+      ("crash", Test_crash.suite);
+      ("deploy", Test_deploy.suite);
+      ("manifest_file", Test_manifest_file.suite);
+      ("ra_channel", Test_ra_channel.suite);
+      ("cloud", Test_cloud.suite) ]

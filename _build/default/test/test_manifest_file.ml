@@ -1,0 +1,109 @@
+(* Manifest file format: parse, render, roundtrip, error reporting. *)
+
+open Lateral
+
+let sample =
+  {|
+# a comment
+component ui
+  size 6000
+  provides show
+  connects tls.transmit   # trailing comment
+  network-facing
+
+component tls
+  domain secure
+  size 3000
+  substrate sgx
+  provides transmit
+  connects-vetted legacyfs.io
+
+component legacyfs
+  vulnerable
+  no-badge-checks
+  provides io
+|}
+
+let parse_ok text =
+  match Manifest_file.parse text with
+  | Ok ms -> ms
+  | Error e -> Alcotest.fail e
+
+let test_parse_sample () =
+  let ms = parse_ok sample in
+  Alcotest.(check (list string)) "names in order" [ "ui"; "tls"; "legacyfs" ]
+    (List.map (fun m -> m.Manifest.name) ms);
+  let ui = List.nth ms 0 and tls = List.nth ms 1 and lfs = List.nth ms 2 in
+  Alcotest.(check int) "ui size" 6000 ui.Manifest.size_loc;
+  Alcotest.(check bool) "ui network facing" true ui.Manifest.network_facing;
+  Alcotest.(check (list string)) "ui provides" [ "show" ] ui.Manifest.provides;
+  Alcotest.(check string) "tls domain" "secure" tls.Manifest.domain;
+  Alcotest.(check string) "tls substrate" "sgx" tls.Manifest.substrate;
+  (match tls.Manifest.connects_to with
+   | [ c ] ->
+     Alcotest.(check string) "vetted target" "legacyfs" c.Manifest.target;
+     Alcotest.(check bool) "vetted flag" true c.Manifest.vetted
+   | _ -> Alcotest.fail "tls should have one connection");
+  Alcotest.(check bool) "defaults" true
+    (lfs.Manifest.vulnerable && not lfs.Manifest.discriminates_clients
+     && lfs.Manifest.substrate = "microkernel")
+
+let test_roundtrip () =
+  let ms = parse_ok sample in
+  let ms2 = parse_ok (Manifest_file.to_text ms) in
+  Alcotest.(check bool) "roundtrip identical" true (ms = ms2)
+
+let expect_error text fragment =
+  match Manifest_file.parse text with
+  | Ok _ -> Alcotest.fail ("parsed: " ^ text)
+  | Error e ->
+    Alcotest.(check bool)
+      (Printf.sprintf "error %S mentions %S" e fragment)
+      true
+      (let n = String.length fragment and h = String.length e in
+       let rec go i = i + n <= h && (String.sub e i n = fragment || go (i + 1)) in
+       go 0)
+
+let test_errors () =
+  expect_error "size 5" "outside a component";
+  expect_error "component a\n  size many" "bad size";
+  expect_error "component a\n  connects nodot" "target.service";
+  expect_error "component a\ncomponent a" "duplicate";
+  expect_error "component a\n  frobnicate x" "unknown";
+  expect_error "component a b" "one name"
+
+let test_line_numbers_reported () =
+  match Manifest_file.parse "component a\n  size 1\n  bogus" with
+  | Error e ->
+    Alcotest.(check bool) "line 3 reported" true
+      (let fragment = "line 3" in
+       let n = String.length fragment and h = String.length e in
+       let rec go i = i + n <= h && (String.sub e i n = fragment || go (i + 1)) in
+       go 0)
+  | Ok _ -> Alcotest.fail "should fail"
+
+let test_empty_and_comment_only () =
+  Alcotest.(check bool) "empty file" true (Manifest_file.parse "" = Ok []);
+  Alcotest.(check bool) "comments only" true
+    (Manifest_file.parse "# nothing\n\n# here" = Ok [])
+
+let test_analysis_integration () =
+  let ms = parse_ok sample in
+  let app = App.create () in
+  List.iter (App.add_stub app) ms;
+  Alcotest.(check bool) "validates" true (App.validate app = Ok ());
+  Alcotest.(check bool) "vetted connection excluded from tcb" true
+    (Analysis.tcb app ~tcb_of_substrate:(fun _ -> 0) "tls" = 3000)
+
+let prop_parser_total =
+  QCheck.Test.make ~name:"manifest parser is total" ~count:300 QCheck.printable_string
+    (fun s -> try ignore (Manifest_file.parse s); true with _ -> false)
+
+let suite =
+  [ Alcotest.test_case "parse the sample" `Quick test_parse_sample;
+    Alcotest.test_case "roundtrip through to_text" `Quick test_roundtrip;
+    Alcotest.test_case "error cases" `Quick test_errors;
+    Alcotest.test_case "errors carry line numbers" `Quick test_line_numbers_reported;
+    Alcotest.test_case "empty inputs" `Quick test_empty_and_comment_only;
+    Alcotest.test_case "integrates with the analyses" `Quick test_analysis_integration;
+    QCheck_alcotest.to_alcotest prop_parser_total ]

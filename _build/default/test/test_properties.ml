@@ -1,0 +1,337 @@
+(* Property-based tests across the stack: model-based storage checking,
+   total parsers under fuzz, scheduler laws, bucket invariants. *)
+
+open Lt_crypto
+module Block = Lt_storage.Block
+module Fs = Lt_storage.Legacy_fs
+module Vpfs = Lt_storage.Vpfs
+
+(* ------------------------------------------------------------------ *)
+(* model-based: VPFS against a functional Map reference               *)
+(* ------------------------------------------------------------------ *)
+
+type fs_op =
+  | Write of string * string
+  | Read of string
+  | Delete of string
+  | Remount
+
+let op_gen =
+  QCheck.Gen.(
+    let path = map (fun i -> Printf.sprintf "/f%d" i) (int_range 0 5) in
+    frequency
+      [ (4, map2 (fun p n -> Write (p, String.make n 'x')) path (int_range 0 2500));
+        (3, map (fun p -> Read p) path);
+        (1, map (fun p -> Delete p) path);
+        (1, return Remount) ])
+
+let show_op = function
+  | Write (p, d) -> Printf.sprintf "write %s (%d bytes)" p (String.length d)
+  | Read p -> "read " ^ p
+  | Delete p -> "delete " ^ p
+  | Remount -> "remount"
+
+let prop_vpfs_model =
+  QCheck.Test.make ~name:"vpfs behaves like a map (incl. honest remounts)" ~count:60
+    (QCheck.make ~print:(fun ops -> String.concat "; " (List.map show_op ops))
+       (QCheck.Gen.list_size (QCheck.Gen.int_range 1 25) op_gen))
+    (fun ops ->
+      let dev = Block.create ~blocks:4096 in
+      let fs = ref (Fs.format dev) in
+      let vpfs = ref (Vpfs.create ~master_key:"model-key" !fs) in
+      let model = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          if !ok then
+            match op with
+            | Write (p, d) ->
+              (match Vpfs.write !vpfs p d with
+               | Ok () -> model := (p, d) :: List.remove_assoc p !model
+               | Error _ -> ok := false)
+            | Read p ->
+              (match (Vpfs.read !vpfs p, List.assoc_opt p !model) with
+               | Ok d, Some d' when d = d' -> ()
+               | Error (Vpfs.Not_found _), None -> ()
+               | _, _ -> ok := false)
+            | Delete p ->
+              (match (Vpfs.delete !vpfs p, List.mem_assoc p !model) with
+               | Ok (), true -> model := List.remove_assoc p !model
+               | Error (Vpfs.Not_found _), false -> ()
+               | _, _ -> ok := false)
+            | Remount ->
+              let root = Vpfs.root !vpfs in
+              Fs.sync !fs;
+              (match Fs.mount dev with
+               | Error _ -> ok := false
+               | Ok fs2 ->
+                 fs := fs2;
+                 (match Vpfs.open_ ~master_key:"model-key" ~expected_root:root fs2 with
+                  | Ok v2 -> vpfs := v2
+                  | Error _ -> ok := false)))
+        ops;
+      !ok)
+
+(* legacy fs against the same model, without remount-root bookkeeping *)
+let prop_legacy_fs_model =
+  QCheck.Test.make ~name:"legacy fs behaves like a map" ~count:60
+    (QCheck.make ~print:(fun ops -> String.concat "; " (List.map show_op ops))
+       (QCheck.Gen.list_size (QCheck.Gen.int_range 1 25) op_gen))
+    (fun ops ->
+      let dev = Block.create ~blocks:4096 in
+      let fs = ref (Fs.format dev) in
+      let model = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          if !ok then
+            match op with
+            | Write (p, d) ->
+              (match Fs.write !fs p d with
+               | Ok () -> model := (p, d) :: List.remove_assoc p !model
+               | Error Fs.No_space -> () (* model stays; fs unchanged for this op *)
+               | Error _ -> ok := false)
+            | Read p ->
+              (match (Fs.read !fs p, List.assoc_opt p !model) with
+               | Ok d, Some d' when d = d' -> ()
+               | Error (Fs.Not_found _), None -> ()
+               | _, _ -> ok := false)
+            | Delete p ->
+              (match (Fs.delete !fs p, List.mem_assoc p !model) with
+               | Ok (), true -> model := List.remove_assoc p !model
+               | Error (Fs.Not_found _), false -> ()
+               | _, _ -> ok := false)
+            | Remount ->
+              Fs.sync !fs;
+              (match Fs.mount dev with
+               | Ok fs2 -> fs := fs2
+               | Error _ -> ok := false))
+        ops;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* total parsers: no input crashes a decoder                           *)
+(* ------------------------------------------------------------------ *)
+
+let no_exn f = try ignore (f ()); true with _ -> false
+
+let prop_wire_total =
+  QCheck.Test.make ~name:"wire decoder is total" ~count:500 QCheck.string
+    (fun s -> no_exn (fun () -> Wire.decode s) && no_exn (fun () -> Wire.untag s))
+
+let prop_wire_roundtrip =
+  QCheck.Test.make ~name:"wire encode/decode roundtrip" ~count:300
+    QCheck.(list (string_of_size (Gen.int_range 0 50)))
+    (fun fields -> Wire.decode (Wire.encode fields) = Some fields)
+
+let prop_cert_total =
+  QCheck.Test.make ~name:"cert decoder is total" ~count:500 QCheck.string
+    (fun s -> no_exn (fun () -> Cert.of_string s))
+
+let prop_aead_wire_total =
+  QCheck.Test.make ~name:"aead wire decoder is total" ~count:500 QCheck.string
+    (fun s -> no_exn (fun () -> Speck.Aead.of_wire s))
+
+let prop_evidence_total =
+  QCheck.Test.make ~name:"attestation evidence decoder is total" ~count:500
+    QCheck.string
+    (fun s -> no_exn (fun () -> Lateral.Attestation.of_wire s))
+
+let prop_sealed_total =
+  QCheck.Test.make ~name:"tpm sealed-blob decoder is total" ~count:500 QCheck.string
+    (fun s -> no_exn (fun () -> Lt_tpm.Tpm.sealed_of_wire s))
+
+(* ------------------------------------------------------------------ *)
+(* crypto laws                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let small_bn = QCheck.Gen.(map Bignum.of_int (int_range 1 1_000_000))
+
+let prop_modpow_law =
+  QCheck.Test.make ~name:"bignum: a^(b+c) = a^b * a^c (mod m)" ~count:100
+    (QCheck.make QCheck.Gen.(tup4 small_bn small_bn small_bn small_bn))
+    (fun (a, b, c, m) ->
+      QCheck.assume (not (Bignum.is_zero m));
+      let open Bignum in
+      let lhs = modpow ~base:a ~exp:(add b c) ~modulus:m in
+      let rhs = rem (mul (modpow ~base:a ~exp:b ~modulus:m)
+                       (modpow ~base:a ~exp:c ~modulus:m)) m in
+      equal lhs rhs)
+
+let prop_gcd_divides =
+  QCheck.Test.make ~name:"bignum: gcd divides both arguments" ~count:200
+    (QCheck.make QCheck.Gen.(tup2 small_bn small_bn))
+    (fun (a, b) ->
+      let g = Bignum.gcd a b in
+      Bignum.is_zero g
+      || (Bignum.is_zero (Bignum.rem a g) && Bignum.is_zero (Bignum.rem b g)))
+
+let prop_modinv_law =
+  QCheck.Test.make ~name:"bignum: a * modinv(a,m) = 1 (mod m)" ~count:200
+    (QCheck.make QCheck.Gen.(tup2 small_bn small_bn))
+    (fun (a, m) ->
+      QCheck.assume (Bignum.compare m Bignum.two > 0);
+      match Bignum.modinv a m with
+      | None -> not (Bignum.equal (Bignum.gcd a m) Bignum.one)
+      | Some inv -> Bignum.equal (Bignum.rem (Bignum.mul a inv) m) Bignum.one)
+
+let prop_speck_bijective =
+  QCheck.Test.make ~name:"speck: decrypt . encrypt = id for random keys" ~count:300
+    QCheck.(tup3 (string_of_size (Gen.return 16)) (int_range 0 0x3FFFFFFF)
+              (int_range 0 0x3FFFFFFF))
+    (fun (key, x, y) ->
+      let k = Speck.key_of_string key in
+      Speck.decrypt_block k (Speck.encrypt_block k (x, y)) = (x, y))
+
+let prop_cert_roundtrip =
+  QCheck.Test.make ~name:"cert: wire roundtrip preserves verification" ~count:20
+    (QCheck.make QCheck.Gen.(int_range 1 1000))
+    (fun seed ->
+      let rng = Drbg.create (Int64.of_int seed) in
+      let ca = Rsa.generate ~bits:384 rng in
+      let leaf = Rsa.generate ~bits:384 rng in
+      let cert = Cert.issue ~ca_name:"ca" ~ca_key:ca ~subject:"leaf" leaf.Rsa.pub in
+      match Cert.of_string (Cert.to_string cert) with
+      | Some c -> Cert.verify ~issuer_pub:ca.Rsa.pub c
+      | None -> false)
+
+let prop_hkdf_deterministic =
+  QCheck.Test.make ~name:"hkdf deterministic & input-sensitive" ~count:200
+    QCheck.(tup3 small_string small_string small_string)
+    (fun (secret, salt, info) ->
+      let d1 = Hkdf.derive ~secret ~salt ~info 32 in
+      let d2 = Hkdf.derive ~secret ~salt ~info 32 in
+      let d3 = Hkdf.derive ~secret:(secret ^ "x") ~salt ~info 32 in
+      d1 = d2 && d1 <> d3)
+
+(* ------------------------------------------------------------------ *)
+(* scheduler laws                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let slots_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 5)
+      (map2 (fun p len -> (Printf.sprintf "p%d" p, 1 + len)) (int_range 0 3)
+         (int_range 0 200)))
+
+let prop_tdma_slot_total_coverage =
+  QCheck.Test.make ~name:"tdma: every instant belongs to exactly one slot" ~count:200
+    (QCheck.make QCheck.Gen.(tup2 slots_gen (int_range 0 100_000)))
+    (fun (slots, now) ->
+      let p, slot_end = Lt_kernel.Sched.tdma_slot_at slots now in
+      (* the owning partition is one of the configured ones, and the slot
+         end is in the future but within one cycle *)
+      let cycle = List.fold_left (fun a (_, l) -> a + l) 0 slots in
+      List.mem_assoc p slots && slot_end > now && slot_end <= now + cycle)
+
+let prop_tdma_stable_within_slot =
+  QCheck.Test.make ~name:"tdma: owner constant until slot end" ~count:200
+    (QCheck.make QCheck.Gen.(tup2 slots_gen (int_range 0 10_000)))
+    (fun (slots, now) ->
+      let p, slot_end = Lt_kernel.Sched.tdma_slot_at slots now in
+      let p', _ = Lt_kernel.Sched.tdma_slot_at slots (slot_end - 1) in
+      p = p')
+
+let prop_rr_all_threads_finish =
+  QCheck.Test.make ~name:"round robin: every thread finishes (no starvation)" ~count:50
+    (QCheck.make QCheck.Gen.(tup2 (int_range 1 8) (int_range 1 50)))
+    (fun (nthreads, work) ->
+      let open Lt_kernel in
+      let k =
+        Kernel.create (Lt_hw.Machine.create ~dram_pages:64 ())
+          (Sched.Round_robin { quantum = 20 })
+      in
+      let task = Kernel.create_task k ~name:"t" ~partition:"p" in
+      let finished = ref 0 in
+      for _ = 1 to nthreads do
+        ignore
+          (Kernel.create_thread k task ~name:"w" ~prio:1 (fun () ->
+               for _ = 1 to work do
+                 User.consume 3;
+                 User.yield ()
+               done;
+               incr finished))
+      done;
+      ignore (Kernel.run k);
+      !finished = nthreads)
+
+(* ------------------------------------------------------------------ *)
+(* gateway token bucket                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let prop_bucket_never_exceeds_burst =
+  QCheck.Test.make
+    ~name:"gateway: forwarded in any instant never exceeds burst" ~count:100
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 1 80) (int_range 0 20)))
+    (fun times ->
+      let module Net = Lt_net.Net in
+      let module Gateway = Lt_net.Gateway in
+      let net = Net.create () in
+      Net.register net "dst";
+      let burst = 5.0 in
+      let gw = Gateway.create ~whitelist:[ "dst" ] ~tokens_per_tick:0.5 ~burst in
+      let times = List.sort Stdlib.compare times in
+      let per_instant = Hashtbl.create 8 in
+      List.iter
+        (fun now ->
+          if Gateway.submit gw net ~now ~src:"s" ~dst:"dst" "x" = Gateway.Forwarded
+          then
+            Hashtbl.replace per_instant now
+              (1 + Option.value ~default:0 (Hashtbl.find_opt per_instant now)))
+        times;
+      Hashtbl.fold (fun _ n acc -> acc && n <= int_of_float burst) per_instant true)
+
+(* ------------------------------------------------------------------ *)
+(* cache partitioning invariant                                         *)
+(* ------------------------------------------------------------------ *)
+
+let prop_partitioned_domains_never_interfere =
+  QCheck.Test.make ~name:"cache: partitioned domains cannot evict each other"
+    ~count:100
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 1 100) (tup2 bool (int_range 0 10_000))))
+    (fun accesses ->
+      let cache = Lt_hw.Cache.create ~sets:16 ~ways:2 in
+      Lt_hw.Cache.partition cache ~domain:"a" ~lo:0 ~hi:7;
+      Lt_hw.Cache.partition cache ~domain:"b" ~lo:8 ~hi:15;
+      List.iter
+        (fun (is_a, addr) ->
+          let domain = if is_a then "a" else "b" in
+          ignore (Lt_hw.Cache.access cache ~domain ~addr:(addr * 64)))
+        accesses;
+      List.for_all (fun s -> s < 8) (Lt_hw.Cache.resident_sets cache ~domain:"a")
+      && List.for_all (fun s -> s >= 8) (Lt_hw.Cache.resident_sets cache ~domain:"b"))
+
+(* ------------------------------------------------------------------ *)
+(* mee: any single physical byte flip in written data is detected       *)
+(* ------------------------------------------------------------------ *)
+
+let prop_mee_detects_any_flip =
+  QCheck.Test.make ~name:"mee: any physical bit flip detected" ~count:100
+    (QCheck.make QCheck.Gen.(tup2 (int_range 0 4095) (int_range 0 7)))
+    (fun (off, bit) ->
+      let mem =
+        Lt_hw.Phys_mem.create
+          [ { Lt_hw.Phys_mem.name = "dram"; base = 0; size = 4096; on_chip = false;
+              writable = true } ]
+      in
+      Lt_hw.Phys_mem.install_mee mem ~base:0 ~size:4096 ~key:"k";
+      Lt_hw.Phys_mem.cpu_write mem ~addr:0 (String.make 4096 'd');
+      let tamper = Lt_hw.Tamper.create mem in
+      Lt_hw.Tamper.flip_bit tamper ~addr:off ~bit;
+      (* reading the containing block must raise *)
+      try
+        ignore (Lt_hw.Phys_mem.cpu_read mem ~addr:(off / 64 * 64) ~len:64);
+        false
+      with Lt_hw.Phys_mem.Integrity_violation _ -> true)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_vpfs_model; prop_legacy_fs_model; prop_wire_total; prop_wire_roundtrip;
+      prop_cert_total; prop_aead_wire_total; prop_evidence_total; prop_sealed_total;
+      prop_modpow_law; prop_gcd_divides; prop_modinv_law; prop_speck_bijective;
+      prop_cert_roundtrip; prop_hkdf_deterministic;
+      prop_tdma_slot_total_coverage; prop_tdma_stable_within_slot;
+      prop_rr_all_threads_finish; prop_bucket_never_exceeds_burst;
+      prop_partitioned_domains_never_interfere; prop_mee_detects_any_flip ]

@@ -1,0 +1,122 @@
+(* Attested channels: evidence bound to the session's exporter. *)
+
+open Lt_crypto
+module Net = Lt_net.Net
+module Sc = Lt_net.Secure_channel
+open Lateral
+
+(* one TLS channel pair over a fresh network *)
+let channel rng ~ca ~server_key ~cert =
+  let net = Net.create () in
+  Net.register net "c";
+  Net.register net "s";
+  let client = Sc.Client.create rng ~trusted_ca:ca.Rsa.pub () in
+  let server = Sc.Server.create rng ~key:server_key ~cert in
+  match Sc.connect net ~client ~client_addr:"c" ~server ~server_addr:"s" with
+  | Ok (cs, ss) -> (cs, ss)
+  | Error e -> Alcotest.fail e
+
+let setup () =
+  let rng = Drbg.create 909L in
+  let ca = Rsa.generate ~bits:512 rng in
+  let server_key = Rsa.generate ~bits:512 rng in
+  let cert = Cert.issue ~ca_name:"ca" ~ca_key:ca ~subject:"srv" server_key.Rsa.pub in
+  let machine = Lt_hw.Machine.create ~dram_pages:128 () in
+  let sgx, _ = Substrate_sgx.make machine rng ~ca_name:"intel" ~ca_key:ca () in
+  let comp =
+    match sgx.Substrate.launch ~name:"anonymizer" ~code:"anon-v1"
+            ~services:[ ("f", fun _ x -> x) ] with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  let policy =
+    { Attestation.trusted_cas = [ ("intel", ca.Rsa.pub) ];
+      shared_device_keys = [];
+      accepted_measurements = [ Substrate.component_measurement comp ] }
+  in
+  (rng, ca, server_key, cert, sgx, comp, policy)
+
+let test_attested_channel_happy_path () =
+  let rng, ca, server_key, cert, sgx, comp, policy = setup () in
+  let cs, ss = channel rng ~ca ~server_key ~cert in
+  Alcotest.(check string) "exporters agree"
+    (Sha256.hex (Sc.exporter cs)) (Sha256.hex (Sc.exporter ss));
+  let challenge, nonce = Ra_channel.request rng cs in
+  (match Ra_channel.respond ss sgx comp ~challenge with
+   | Error e -> Alcotest.fail e
+   | Ok response ->
+     (match Ra_channel.check cs ~policy ~nonce ~response with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e))
+
+let test_relay_attack_rejected () =
+  (* the attacker terminates the client's TLS and relays the challenge
+     over its own channel to the genuine enclave host; the evidence is
+     valid but bound to the wrong channel *)
+  let rng, ca, server_key, cert, sgx, comp, policy = setup () in
+  let client_attacker_cs, client_attacker_ss = channel rng ~ca ~server_key ~cert in
+  let attacker_real_cs, attacker_real_ss = channel rng ~ca ~server_key ~cert in
+  let challenge, nonce = Ra_channel.request rng client_attacker_cs in
+  (* attacker decrypts the challenge on its end, re-sends it to the real
+     server over the second channel *)
+  let inner =
+    match Sc.receive client_attacker_ss challenge with
+    | Ok plain -> plain
+    | Error e -> Alcotest.fail e
+  in
+  let relayed_challenge = Sc.send attacker_real_cs inner in
+  (match Ra_channel.respond attacker_real_ss sgx comp ~challenge:relayed_challenge with
+   | Error e -> Alcotest.fail e
+   | Ok response ->
+     (* attacker pipes the evidence back to the victim's channel *)
+     let evidence_plain =
+       match Sc.receive attacker_real_cs response with
+       | Ok p -> p
+       | Error e -> Alcotest.fail e
+     in
+     let relayed_response = Sc.send client_attacker_ss evidence_plain in
+     (match Ra_channel.check client_attacker_cs ~policy ~nonce
+              ~response:relayed_response with
+      | Error e ->
+        Alcotest.(check bool) "binding failure reported" true
+          (String.length e > 0)
+      | Ok () -> Alcotest.fail "relayed evidence accepted!"))
+
+let test_wrong_measurement_rejected () =
+  let rng, ca, server_key, cert, sgx, comp, _ = setup () in
+  let cs, ss = channel rng ~ca ~server_key ~cert in
+  let challenge, nonce = Ra_channel.request rng cs in
+  let response =
+    match Ra_channel.respond ss sgx comp ~challenge with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let strict_policy =
+    { Attestation.trusted_cas = [ ("intel", ca.Rsa.pub) ];
+      shared_device_keys = [];
+      accepted_measurements = [ Sha256.digest "some-other-enclave" ] }
+  in
+  match Ra_channel.check cs ~policy:strict_policy ~nonce ~response with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unexpected measurement accepted"
+
+let test_stale_nonce_rejected () =
+  let rng, ca, server_key, cert, sgx, comp, policy = setup () in
+  let cs, ss = channel rng ~ca ~server_key ~cert in
+  let challenge, _nonce = Ra_channel.request rng cs in
+  let response =
+    match Ra_channel.respond ss sgx comp ~challenge with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  match Ra_channel.check cs ~policy ~nonce:"different-nonce" ~response with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "stale nonce accepted"
+
+let suite =
+  [ Alcotest.test_case "attested channel verifies in-channel" `Quick
+      test_attested_channel_happy_path;
+    Alcotest.test_case "relay attack defeated by channel binding" `Quick
+      test_relay_attack_rejected;
+    Alcotest.test_case "wrong measurement rejected" `Quick test_wrong_measurement_rejected;
+    Alcotest.test_case "stale nonce rejected" `Quick test_stale_nonce_rejected ]

@@ -1,0 +1,119 @@
+(* End-to-end scenarios: the mail client (Fig. 1) and smart meter (Fig. 3). *)
+
+open Lateral
+
+let test_mail_inventory_valid () =
+  List.iter
+    (fun vertical ->
+      let app = Scenario_mail.build ~vertical in
+      match App.validate app with
+      | Ok () -> ()
+      | Error errs -> Alcotest.fail (String.concat "; " errs))
+    [ true; false ]
+
+let test_mail_containment_shape () =
+  let table = Scenario_mail.containment_table () in
+  Alcotest.(check int) "one row per component"
+    (List.length Scenario_mail.component_names)
+    (List.length table);
+  (* the paper's claim: vertical designs lose everything on any exploit;
+     horizontal designs contain *)
+  List.iter
+    (fun (name, vertical, horizontal) ->
+      Alcotest.(check (float 0.001)) (name ^ ": vertical total loss") 1.0 vertical;
+      Alcotest.(check bool) (name ^ ": horizontal contained") true (horizontal < 0.5))
+    table;
+  (* the renderer — biggest, network-facing — is fully contained *)
+  let _, _, renderer_h =
+    List.find (fun (n, _, _) -> n = "renderer") table
+  in
+  Alcotest.(check bool) "renderer owns almost nothing" true
+    (renderer_h <= 2.0 /. 13.0 +. 0.001)
+
+let test_mail_tcb_reduction () =
+  let rows = Scenario_mail.tcb_comparison () in
+  List.iter
+    (fun (name, monolithic, decomposed) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: decomposed tcb (%d) < monolithic (%d)" name decomposed
+           monolithic)
+        true
+        (decomposed < monolithic))
+    rows;
+  (* the keystore is tiny: order-of-magnitude reduction *)
+  let _, mono, dec = List.find (fun (n, _, _) -> n = "keystore") rows in
+  Alcotest.(check bool) "keystore 9x smaller tcb" true (dec * 9 < mono)
+
+let check_outcome name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %s" name
+       (if expected then "must succeed" else "must be rejected"))
+    expected actual
+
+let test_meter_genuine () =
+  let o = Scenario_meter.run Scenario_meter.Genuine in
+  check_outcome "anonymizer verified" true o.Scenario_meter.anonymizer_verified;
+  check_outcome "reading accepted" true o.Scenario_meter.reading_accepted;
+  Alcotest.(check int) "one anonymized row" 1 o.Scenario_meter.anonymized_rows;
+  Alcotest.(check bool) "customer id never stored" false
+    o.Scenario_meter.customer_id_leaked
+
+let test_meter_manipulated_anonymizer () =
+  let o = Scenario_meter.run Scenario_meter.Manipulated_anonymizer in
+  check_outcome "anonymizer rejected" false o.Scenario_meter.anonymizer_verified;
+  check_outcome "no reading sent" false o.Scenario_meter.reading_sent;
+  Alcotest.(check bool) "privacy preserved" false o.Scenario_meter.customer_id_leaked;
+  Alcotest.(check int) "database stays empty" 0 o.Scenario_meter.anonymized_rows
+
+let test_meter_emulated () =
+  let o = Scenario_meter.run Scenario_meter.Emulated_meter in
+  check_outcome "fake reading rejected" false o.Scenario_meter.reading_accepted
+
+let test_meter_mitm () =
+  let o = Scenario_meter.run Scenario_meter.Mitm_reading in
+  check_outcome "tampered reading rejected" false o.Scenario_meter.reading_accepted
+
+let test_meter_replay () =
+  let o = Scenario_meter.run Scenario_meter.Replayed_session in
+  check_outcome "replayed session rejected" false o.Scenario_meter.reading_accepted
+
+let test_meter_unsigned_world () =
+  let o = Scenario_meter.run Scenario_meter.Unsigned_secure_world in
+  check_outcome "device without trust anchor excluded" false
+    o.Scenario_meter.reading_accepted;
+  Alcotest.(check bool) "boot refusal reported" true
+    (String.length o.Scenario_meter.detail > 0)
+
+let test_meter_matrix_deterministic () =
+  (* same seed, same outcomes: the scenario is a reproducible experiment *)
+  List.iter
+    (fun t ->
+      let a = Scenario_meter.run ~seed:9L t and b = Scenario_meter.run ~seed:9L t in
+      Alcotest.(check bool)
+        (Scenario_meter.tamper_name t ^ " deterministic")
+        true (a = b))
+    Scenario_meter.all_tampers
+
+let test_gateway_demo () =
+  let direct, gated_victims, gated_utility = Scenario_meter.gateway_demo () in
+  Alcotest.(check int) "raw nic: full flood reaches victims" 150 direct;
+  Alcotest.(check int) "gateway: victims get zero" 0 gated_victims;
+  Alcotest.(check bool) "legitimate telemetry still flows" true (gated_utility > 0)
+
+let suite =
+  [ Alcotest.test_case "mail inventory validates" `Quick test_mail_inventory_valid;
+    Alcotest.test_case "mail containment: vertical vs horizontal" `Quick
+      test_mail_containment_shape;
+    Alcotest.test_case "mail tcb reduction" `Quick test_mail_tcb_reduction;
+    Alcotest.test_case "meter: genuine session bills privately" `Quick
+      test_meter_genuine;
+    Alcotest.test_case "meter: manipulated anonymizer refused" `Quick
+      test_meter_manipulated_anonymizer;
+    Alcotest.test_case "meter: emulated meter rejected" `Quick test_meter_emulated;
+    Alcotest.test_case "meter: mitm reading rejected" `Quick test_meter_mitm;
+    Alcotest.test_case "meter: replay rejected" `Quick test_meter_replay;
+    Alcotest.test_case "meter: unsigned secure world excluded" `Quick
+      test_meter_unsigned_world;
+    Alcotest.test_case "meter: outcomes deterministic" `Quick
+      test_meter_matrix_deterministic;
+    Alcotest.test_case "gateway stops the IoT flood" `Quick test_gateway_demo ]

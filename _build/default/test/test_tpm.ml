@@ -1,0 +1,204 @@
+(* TPM: PCRs, quotes, sealing, boot chains, late launch. *)
+
+open Lt_crypto
+open Lt_tpm
+
+let rng () = Drbg.create 1234L
+
+let make_tpm ?(r = rng ()) () =
+  let ca = Rsa.generate ~bits:512 r in
+  let tpm = Tpm.manufacture r ~ca_name:"tpm-vendor" ~ca_key:ca ~serial:"0001" in
+  (tpm, ca)
+
+let digest_a = Sha256.digest "measurement-a"
+
+let digest_b = Sha256.digest "measurement-b"
+
+let test_pcr_extend_semantics () =
+  let p = Pcr.create () in
+  let zero = String.make 32 '\000' in
+  Alcotest.(check string) "initial zero" zero (Pcr.read p 0);
+  Pcr.extend p 0 digest_a;
+  Alcotest.(check string) "extend = H(old||m)"
+    (Sha256.hex (Sha256.digest_concat [ zero; digest_a ]))
+    (Sha256.hex (Pcr.read p 0));
+  (* order matters *)
+  let p1 = Pcr.create () and p2 = Pcr.create () in
+  Pcr.extend p1 0 digest_a;
+  Pcr.extend p1 0 digest_b;
+  Pcr.extend p2 0 digest_b;
+  Pcr.extend p2 0 digest_a;
+  Alcotest.(check bool) "order sensitive" true (Pcr.read p1 0 <> Pcr.read p2 0);
+  Alcotest.(check string) "expected_value predicts" (Sha256.hex (Pcr.read p1 0))
+    (Sha256.hex (Pcr.expected_value [ digest_a; digest_b ]))
+
+let test_pcr_reset_rules () =
+  let p = Pcr.create () in
+  Pcr.extend p 0 digest_a;
+  Pcr.extend p Pcr.drtm_index digest_a;
+  Pcr.reset_drtm p;
+  Alcotest.(check string) "drtm reset" (String.make 32 '\000') (Pcr.read p Pcr.drtm_index);
+  Alcotest.(check bool) "static pcr survives drtm reset" true
+    (Pcr.read p 0 <> String.make 32 '\000');
+  Pcr.power_cycle p;
+  Alcotest.(check string) "power cycle clears all" (String.make 32 '\000') (Pcr.read p 0)
+
+let test_pcr_bad_index () =
+  let p = Pcr.create () in
+  Alcotest.(check bool) "index 24 rejected" true
+    (try ignore (Pcr.read p 24); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad digest size rejected" true
+    (try Pcr.extend p 0 "short"; false with Invalid_argument _ -> true)
+
+let test_quote_verifies () =
+  let tpm, ca = make_tpm () in
+  Tpm.extend tpm 0 digest_a;
+  let q = Tpm.quote tpm ~nonce:"fresh-nonce" ~selection:[ 0; 1 ] in
+  let ek = (Tpm.ek_cert tpm).Cert.pubkey in
+  Alcotest.(check bool) "quote signature ok" true (Tpm.verify_quote ~ek_pub:ek q);
+  Alcotest.(check bool) "ek cert chains to vendor" true
+    (Cert.verify ~issuer_pub:ca.Rsa.pub (Tpm.ek_cert tpm));
+  (* tampered composite rejected *)
+  let forged = { q with Tpm.q_composite = Sha256.digest "other" } in
+  Alcotest.(check bool) "forged composite fails" false (Tpm.verify_quote ~ek_pub:ek forged);
+  (* replayed nonce detectable *)
+  let replayed = { q with Tpm.q_nonce = "stale" } in
+  Alcotest.(check bool) "changed nonce fails" false (Tpm.verify_quote ~ek_pub:ek replayed)
+
+let test_quote_reflects_state () =
+  let tpm, _ = make_tpm () in
+  let q1 = Tpm.quote tpm ~nonce:"n" ~selection:[ 0 ] in
+  Tpm.extend tpm 0 digest_a;
+  let q2 = Tpm.quote tpm ~nonce:"n" ~selection:[ 0 ] in
+  Alcotest.(check bool) "composite changed by extend" true
+    (q1.Tpm.q_composite <> q2.Tpm.q_composite)
+
+let test_seal_unseal () =
+  let tpm, _ = make_tpm () in
+  Tpm.extend tpm 0 digest_a;
+  let sealed = Tpm.seal tpm ~selection:[ 0 ] "disk-encryption-key" in
+  Alcotest.(check (option string)) "unseal in same state" (Some "disk-encryption-key")
+    (Tpm.unseal tpm sealed);
+  (* after further extension (different software loaded) the key is gone *)
+  Tpm.extend tpm 0 digest_b;
+  Alcotest.(check (option string)) "unseal after state change" None (Tpm.unseal tpm sealed)
+
+let test_seal_wire_roundtrip () =
+  let tpm, _ = make_tpm () in
+  let sealed = Tpm.seal tpm ~selection:[ 0; 2 ] "blob" in
+  (match Tpm.sealed_of_wire (Tpm.sealed_to_wire sealed) with
+   | None -> Alcotest.fail "wire roundtrip"
+   | Some s ->
+     Alcotest.(check (option string)) "unseal from wire" (Some "blob") (Tpm.unseal tpm s));
+  Alcotest.(check bool) "garbage rejected" true (Tpm.sealed_of_wire "xx" = None)
+
+let test_bitlocker_scenario () =
+  (* the paper's BitLocker example: key released only to untampered boot *)
+  let r = rng () in
+  let vendor = Rsa.generate ~bits:512 r in
+  let tpm, _ = make_tpm ~r () in
+  let chain =
+    [ Boot.sign_stage vendor ~name:"bootloader" "bootloader-v1";
+      Boot.sign_stage vendor ~name:"kernel" "windows-kernel" ]
+  in
+  let policy = Boot.Authenticated_boot { tpm; pcr = 0 } in
+  let outcome = Boot.run_chain policy chain in
+  Alcotest.(check (list string)) "all stages ran" [ "bootloader"; "kernel" ] outcome.Boot.ran;
+  let sealed = Tpm.seal tpm ~selection:[ 0 ] "bitlocker-vmk" in
+  (* reboot with identical software: key released *)
+  Pcr.power_cycle (Tpm.pcrs tpm);
+  ignore (Boot.run_chain policy chain);
+  Alcotest.(check (option string)) "same software gets key" (Some "bitlocker-vmk")
+    (Tpm.unseal tpm sealed);
+  (* reboot with a tampered kernel: measured, runs, but no key *)
+  Pcr.power_cycle (Tpm.pcrs tpm);
+  let evil =
+    [ List.hd chain; Boot.unsigned_stage ~name:"kernel" "windows-kernel-rootkit" ]
+  in
+  let outcome = Boot.run_chain policy evil in
+  Alcotest.(check bool) "authenticated boot still runs" true
+    (outcome.Boot.refused = None);
+  Alcotest.(check (option string)) "tampered software denied key" None
+    (Tpm.unseal tpm sealed)
+
+let test_secure_boot_refuses () =
+  let r = rng () in
+  let vendor = Rsa.generate ~bits:512 r in
+  let mallory = Rsa.generate ~bits:512 r in
+  let policy = Boot.Secure_boot { vendor_pub = vendor.Rsa.pub } in
+  (* properly signed chain boots *)
+  let good =
+    [ Boot.sign_stage vendor ~name:"loader" "code-a";
+      Boot.sign_stage vendor ~name:"os" "code-b" ]
+  in
+  let outcome = Boot.run_chain policy good in
+  Alcotest.(check bool) "good chain boots fully" true (outcome.Boot.refused = None);
+  (* unsigned second stage stops the chain *)
+  let bad = [ List.hd good; Boot.unsigned_stage ~name:"os" "evil" ] in
+  let outcome = Boot.run_chain policy bad in
+  Alcotest.(check (list string)) "only loader ran" [ "loader" ] outcome.Boot.ran;
+  Alcotest.(check bool) "os refused" true
+    (match outcome.Boot.refused with Some ("os", _) -> true | _ -> false);
+  (* stage signed by the wrong key is also refused *)
+  let forged = [ Boot.sign_stage mallory ~name:"loader" "code-a" ] in
+  let outcome = Boot.run_chain policy forged in
+  Alcotest.(check bool) "wrong signer refused" true (outcome.Boot.refused <> None)
+
+let test_late_launch_attests_pal () =
+  let tpm, _ = make_tpm () in
+  let pal =
+    { Latelaunch.pal_name = "password-checker";
+      pal_code = "cmp(secret, input)";
+      handler = (fun input -> if input = "hunter2" then "ok" else "no") }
+  in
+  let r = Latelaunch.execute tpm pal ~nonce:"n1" ~input:"hunter2" in
+  Alcotest.(check string) "pal computed" "ok" r.Latelaunch.output;
+  let ek = (Tpm.ek_cert tpm).Cert.pubkey in
+  Alcotest.(check bool) "quote verifies" true
+    (Tpm.verify_quote ~ek_pub:ek r.Latelaunch.pal_quote);
+  Alcotest.(check string) "quote proves which pal ran"
+    (Sha256.hex (Latelaunch.expected_drtm_composite tpm pal))
+    (Sha256.hex r.Latelaunch.pal_quote.Tpm.q_composite)
+
+let test_late_launch_mutual_isolation () =
+  (* PAL A seals a secret; PAL B, running later, cannot unseal it *)
+  let tpm, _ = make_tpm () in
+  let pal_a =
+    { Latelaunch.pal_name = "a"; pal_code = "code-a"; handler = (fun x -> x) }
+  in
+  let pal_b =
+    { Latelaunch.pal_name = "b"; pal_code = "code-b"; handler = (fun x -> x) }
+  in
+  ignore (Latelaunch.execute tpm pal_a ~nonce:"n" ~input:"");
+  let sealed = Latelaunch.seal_for tpm "pal-a-secret" in
+  Alcotest.(check (option string)) "a unseals its own" (Some "pal-a-secret")
+    (Latelaunch.unseal_for tpm sealed);
+  ignore (Latelaunch.execute tpm pal_b ~nonce:"n" ~input:"");
+  Alcotest.(check (option string)) "b cannot unseal a's data" None
+    (Latelaunch.unseal_for tpm sealed);
+  (* re-running A restores access: identity, not session, is the key *)
+  ignore (Latelaunch.execute tpm pal_a ~nonce:"n2" ~input:"");
+  Alcotest.(check (option string)) "a again unseals" (Some "pal-a-secret")
+    (Latelaunch.unseal_for tpm sealed)
+
+let test_late_launch_serialized_cost () =
+  let tpm, _ = make_tpm () in
+  let clock = Lt_hw.Clock.create () in
+  let pal = { Latelaunch.pal_name = "p"; pal_code = "c"; handler = (fun x -> x) } in
+  let r = Latelaunch.execute ~clock tpm pal ~nonce:"n" ~input:"" in
+  Alcotest.(check bool) "world stop/resume cost charged" true
+    (r.Latelaunch.ticks >= 100 && Lt_hw.Clock.now clock = r.Latelaunch.ticks)
+
+let suite =
+  [ Alcotest.test_case "pcr extend semantics" `Quick test_pcr_extend_semantics;
+    Alcotest.test_case "pcr reset rules" `Quick test_pcr_reset_rules;
+    Alcotest.test_case "pcr bad inputs" `Quick test_pcr_bad_index;
+    Alcotest.test_case "quote verifies & forgeries fail" `Quick test_quote_verifies;
+    Alcotest.test_case "quote reflects pcr state" `Quick test_quote_reflects_state;
+    Alcotest.test_case "seal/unseal pcr policy" `Quick test_seal_unseal;
+    Alcotest.test_case "sealed blob wire format" `Quick test_seal_wire_roundtrip;
+    Alcotest.test_case "bitlocker key-release scenario" `Quick test_bitlocker_scenario;
+    Alcotest.test_case "secure boot refuses unsigned code" `Quick test_secure_boot_refuses;
+    Alcotest.test_case "late launch attests the pal" `Quick test_late_launch_attests_pal;
+    Alcotest.test_case "late launch mutual isolation" `Quick test_late_launch_mutual_isolation;
+    Alcotest.test_case "late launch serialization cost" `Quick test_late_launch_serialized_cost ]

@@ -1,0 +1,139 @@
+(* Stateful verifier: nonce lifecycle, replay, TPM NV integration. *)
+
+open Lt_crypto
+open Lateral
+
+let setup () =
+  let rng = Drbg.create 515L in
+  let ca = Rsa.generate ~bits:512 rng in
+  let machine = Lt_hw.Machine.create ~dram_pages:128 () in
+  let sgx, _ = Substrate_sgx.make machine rng ~ca_name:"intel" ~ca_key:ca () in
+  let comp =
+    match sgx.Substrate.launch ~name:"svc" ~code:"svc-v1"
+            ~services:[ ("f", fun _ x -> x) ] with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  let policy =
+    { Attestation.trusted_cas = [ ("intel", ca.Rsa.pub) ];
+      shared_device_keys = [];
+      accepted_measurements = [ Substrate.component_measurement comp ] }
+  in
+  (rng, sgx, comp, Verifier.create (Drbg.split rng) policy)
+
+let attest sgx comp ~nonce =
+  match sgx.Substrate.attest comp ~nonce ~claim:"c" with
+  | Ok ev -> ev
+  | Error e -> Alcotest.fail e
+
+let test_challenge_verify_cycle () =
+  let _, sgx, comp, v = setup () in
+  let nonce = Verifier.challenge v in
+  Alcotest.(check int) "one outstanding" 1 (Verifier.outstanding v);
+  let ev = attest sgx comp ~nonce in
+  (match Verifier.check v ev with
+   | Ok () -> ()
+   | Error r -> Alcotest.fail (Format.asprintf "%a" Verifier.pp_rejection r));
+  Alcotest.(check int) "consumed" 0 (Verifier.outstanding v)
+
+let test_replay_rejected () =
+  let _, sgx, comp, v = setup () in
+  let nonce = Verifier.challenge v in
+  let ev = attest sgx comp ~nonce in
+  (match Verifier.check v ev with Ok () -> () | Error _ -> Alcotest.fail "first");
+  (match Verifier.check v ev with
+   | Error Verifier.Unknown_nonce -> ()
+   | _ -> Alcotest.fail "replay accepted!")
+
+let test_uninvited_nonce_rejected () =
+  let _, sgx, comp, v = setup () in
+  let ev = attest sgx comp ~nonce:"attacker-chosen-nonce" in
+  match Verifier.check v ev with
+  | Error Verifier.Unknown_nonce -> ()
+  | _ -> Alcotest.fail "evidence with an unissued nonce accepted"
+
+let test_bad_evidence_preserves_nonce () =
+  (* a transmission error shouldn't burn the challenge *)
+  let _, sgx, comp, v = setup () in
+  let nonce = Verifier.challenge v in
+  let ev = attest sgx comp ~nonce in
+  let mangled = { ev with Attestation.ev_claim = "doctored" } in
+  (match Verifier.check v mangled with
+   | Error (Verifier.Evidence _) -> ()
+   | _ -> Alcotest.fail "mangled evidence accepted");
+  Alcotest.(check int) "nonce still outstanding" 1 (Verifier.outstanding v);
+  (match Verifier.check v ev with
+   | Ok () -> ()
+   | Error r -> Alcotest.fail (Format.asprintf "retry: %a" Verifier.pp_rejection r))
+
+(* --- TPM NV slots + VPFS root: rollback detection without user memory --- *)
+
+let test_nv_slots () =
+  let rng = Drbg.create 516L in
+  let ca = Rsa.generate ~bits:512 rng in
+  let tpm = Lt_tpm.Tpm.manufacture rng ~ca_name:"v" ~ca_key:ca ~serial:"nv" in
+  Lt_tpm.Tpm.extend tpm 0 (Sha256.digest "good-os");
+  Lt_tpm.Tpm.nv_define tpm ~index:1 ~selection:[ 0 ];
+  Alcotest.(check bool) "write under matching policy" true
+    (Lt_tpm.Tpm.nv_write tpm ~index:1 "root-digest-1" = Ok ());
+  Alcotest.(check bool) "read back" true
+    (Lt_tpm.Tpm.nv_read tpm ~index:1 = Ok "root-digest-1");
+  (* different software cannot update the slot *)
+  Lt_tpm.Tpm.extend tpm 0 (Sha256.digest "rootkit");
+  (match Lt_tpm.Tpm.nv_write tpm ~index:1 "forged-root" with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "rootkit updated the NV slot");
+  Alcotest.(check bool) "old value intact" true
+    (Lt_tpm.Tpm.nv_read tpm ~index:1 = Ok "root-digest-1");
+  Alcotest.(check bool) "undefined slot errors" true
+    (match Lt_tpm.Tpm.nv_read tpm ~index:9 with Error _ -> true | Ok _ -> false);
+  Alcotest.(check bool) "redefinition rejected" true
+    (try Lt_tpm.Tpm.nv_define tpm ~index:1 ~selection:[ 0 ]; false
+     with Invalid_argument _ -> true)
+
+let test_vpfs_root_in_tpm_nv () =
+  (* the full §III-D story: VPFS root digest lives in TPM NV, so
+     whole-device rollback is caught with no trusted memory in the app *)
+  let module Block = Lt_storage.Block in
+  let module Fs = Lt_storage.Legacy_fs in
+  let module Vpfs = Lt_storage.Vpfs in
+  let rng = Drbg.create 517L in
+  let ca = Rsa.generate ~bits:512 rng in
+  let tpm = Lt_tpm.Tpm.manufacture rng ~ca_name:"v" ~ca_key:ca ~serial:"vp" in
+  Lt_tpm.Tpm.nv_define tpm ~index:1 ~selection:[];
+  let dev = Block.create ~blocks:1024 in
+  let fs = Fs.format dev in
+  let v = Vpfs.create ~master_key:"k" fs in
+  (match Vpfs.write v "/f" "state-1" with Ok () -> () | Error _ -> Alcotest.fail "w1");
+  Fs.sync fs;
+  let snaps = List.init (Block.blocks dev) (Block.snapshot dev) in
+  (match Vpfs.write v "/f" "state-2" with Ok () -> () | Error _ -> Alcotest.fail "w2");
+  (* app persists the current root into tamper-proof NV *)
+  (match Lt_tpm.Tpm.nv_write tpm ~index:1 (Vpfs.root v) with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  Fs.sync fs;
+  (* device image rolled back; app reboots knowing nothing *)
+  List.iteri (fun i s -> Block.rollback dev i s) snaps;
+  let trusted_root =
+    match Lt_tpm.Tpm.nv_read tpm ~index:1 with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  match Fs.mount dev with
+  | Error _ -> Alcotest.fail "remount"
+  | Ok fs2 ->
+    (match Vpfs.open_ ~master_key:"k" ~expected_root:trusted_root fs2 with
+     | Error (Vpfs.Integrity _) -> () (* rollback caught, zero user memory *)
+     | Error e -> Alcotest.fail (Format.asprintf "%a" Vpfs.pp_error e)
+     | Ok _ -> Alcotest.fail "rolled-back device accepted")
+
+let suite =
+  [ Alcotest.test_case "challenge/verify cycle" `Quick test_challenge_verify_cycle;
+    Alcotest.test_case "evidence replay rejected" `Quick test_replay_rejected;
+    Alcotest.test_case "unissued nonce rejected" `Quick test_uninvited_nonce_rejected;
+    Alcotest.test_case "failed check preserves the challenge" `Quick
+      test_bad_evidence_preserves_nonce;
+    Alcotest.test_case "tpm nv slots gated on pcr policy" `Quick test_nv_slots;
+    Alcotest.test_case "vpfs root in tpm nv defeats device rollback" `Quick
+      test_vpfs_root_in_tpm_nv ]

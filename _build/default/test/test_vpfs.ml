@@ -1,0 +1,176 @@
+(* VPFS: confidentiality and integrity over a hostile legacy FS. *)
+
+open Lt_crypto
+module Block = Lt_storage.Block
+module Fs = Lt_storage.Legacy_fs
+module Vpfs = Lt_storage.Vpfs
+
+let master_key = "vpfs-master-key!"
+
+let make () =
+  let dev = Block.create ~blocks:1024 in
+  let fs = Fs.format dev in
+  (dev, fs, Vpfs.create ~master_key fs)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Vpfs.pp_error e)
+
+let test_roundtrip () =
+  let _, _, v = make () in
+  ok (Vpfs.write v "/secrets/keys" "alpha beta gamma");
+  Alcotest.(check string) "read back" "alpha beta gamma" (ok (Vpfs.read v "/secrets/keys"));
+  Alcotest.(check bool) "exists" true (Vpfs.exists v "/secrets/keys");
+  Alcotest.(check (list string)) "list" [ "/secrets/keys" ] (Vpfs.list v)
+
+let test_empty_and_large_files () =
+  let _, _, v = make () in
+  ok (Vpfs.write v "/empty" "");
+  Alcotest.(check string) "empty roundtrip" "" (ok (Vpfs.read v "/empty"));
+  let big = String.init 10_000 (fun i -> Char.chr (i mod 251)) in
+  ok (Vpfs.write v "/big" big);
+  Alcotest.(check bool) "multi-chunk roundtrip" true (ok (Vpfs.read v "/big") = big)
+
+let test_confidentiality () =
+  let _, fs, v = make () in
+  ok (Vpfs.write v "/mail/password" "SUPER-SECRET-LOGIN");
+  (* the legacy stack never saw plaintext *)
+  Alcotest.(check bool) "no plaintext reached the legacy fs" false
+    (Fs.observed_contains fs ~needle:"SUPER-SECRET-LOGIN");
+  (* nor is it on the device in the clear *)
+  (match Fs.read fs "/mail/password" with
+   | Ok stored ->
+     let contains hay needle =
+       let n = String.length needle and h = String.length hay in
+       let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+       go 0
+     in
+     Alcotest.(check bool) "ciphertext only" false (contains stored "SUPER-SECRET")
+   | Error _ -> Alcotest.fail "backing file missing")
+
+let test_integrity_corrupt_read () =
+  let _, fs, v = make () in
+  ok (Vpfs.write v "/f" (String.make 3000 'd'));
+  Fs.set_evil fs (Fs.Corrupt_reads (Drbg.create 5L));
+  (match Vpfs.read v "/f" with
+   | Error (Vpfs.Integrity _) -> ()
+   | Error e -> Alcotest.fail (Format.asprintf "wrong error: %a" Vpfs.pp_error e)
+   | Ok _ -> Alcotest.fail "corrupted data accepted!")
+
+let test_integrity_stale_file () =
+  (* per-file rollback: old chunks carry the old version in their AD *)
+  let _, fs, v = make () in
+  ok (Vpfs.write v "/f" "version-one-contents");
+  ok (Vpfs.write v "/f" "version-two-contents");
+  Fs.set_evil fs Fs.Serve_stale;
+  (match Vpfs.read v "/f" with
+   | Error (Vpfs.Integrity _) -> ()
+   | Error e -> Alcotest.fail (Format.asprintf "wrong error: %a" Vpfs.pp_error e)
+   | Ok data -> Alcotest.fail ("stale data accepted: " ^ data))
+
+let test_cross_file_splice_detected () =
+  (* move ciphertext of /b into /a: same key size, different AD path *)
+  let _, fs, v = make () in
+  ok (Vpfs.write v "/a" "contents-of-file-a");
+  ok (Vpfs.write v "/b" "contents-of-file-b");
+  (match Fs.read fs "/b" with
+   | Ok b_cipher ->
+     (match Fs.write fs "/a" b_cipher with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "splice write failed");
+     (match Vpfs.read v "/a" with
+      | Error (Vpfs.Integrity _) -> ()
+      | Error e -> Alcotest.fail (Format.asprintf "wrong error: %a" Vpfs.pp_error e)
+      | Ok data -> Alcotest.fail ("spliced data accepted: " ^ data))
+   | Error _ -> Alcotest.fail "no backing file")
+
+let test_metadata_rollback_detected () =
+  (* whole-FS rollback across remount, caught by the trusted root *)
+  let dev, fs, v = make () in
+  ok (Vpfs.write v "/f" "old state");
+  Fs.sync fs;
+  (* attacker snapshots the entire device (all blocks) *)
+  let snaps = List.init (Block.blocks dev) (fun i -> Block.snapshot dev i) in
+  ok (Vpfs.write v "/f" "new state");
+  let trusted_root = Vpfs.root v in
+  Fs.sync fs;
+  (* attacker restores the old device image *)
+  List.iteri (fun i s -> Block.rollback dev i s) snaps;
+  (match Fs.mount dev with
+   | Error _ -> Alcotest.fail "remount failed"
+   | Ok fs2 ->
+     (match Vpfs.open_ ~master_key ~expected_root:trusted_root fs2 with
+      | Error (Vpfs.Integrity _) -> ()
+      | Error e -> Alcotest.fail (Format.asprintf "wrong error: %a" Vpfs.pp_error e)
+      | Ok _ -> Alcotest.fail "rolled-back fs accepted!"))
+
+let test_reopen_with_correct_root () =
+  let dev, fs, v = make () in
+  ok (Vpfs.write v "/f" "persistent");
+  let root = Vpfs.root v in
+  Fs.sync fs;
+  (match Fs.mount dev with
+   | Error _ -> Alcotest.fail "remount failed"
+   | Ok fs2 ->
+     (match Vpfs.open_ ~master_key ~expected_root:root fs2 with
+      | Error e -> Alcotest.fail (Format.asprintf "%a" Vpfs.pp_error e)
+      | Ok v2 ->
+        Alcotest.(check string) "data intact" "persistent" (ok (Vpfs.read v2 "/f"))))
+
+let test_wrong_master_key () =
+  let dev, fs, v = make () in
+  ok (Vpfs.write v "/f" "x");
+  let root = Vpfs.root v in
+  Fs.sync fs;
+  match Fs.mount dev with
+  | Error _ -> Alcotest.fail "remount failed"
+  | Ok fs2 ->
+    (match Vpfs.open_ ~master_key:"wrong-key-000000" ~expected_root:root fs2 with
+     | Error (Vpfs.Integrity _) -> ()
+     | Error e -> Alcotest.fail (Format.asprintf "wrong error: %a" Vpfs.pp_error e)
+     | Ok _ -> Alcotest.fail "wrong key accepted")
+
+let test_delete () =
+  let _, fs, v = make () in
+  ok (Vpfs.write v "/f" "data");
+  ok (Vpfs.delete v "/f");
+  Alcotest.(check bool) "gone from vpfs" false (Vpfs.exists v "/f");
+  Alcotest.(check bool) "gone from backend" false (Fs.exists fs "/f");
+  (match Vpfs.read v "/f" with
+   | Error (Vpfs.Not_found _) -> ()
+   | _ -> Alcotest.fail "deleted file readable")
+
+let test_root_changes_on_write () =
+  let _, _, v = make () in
+  let r0 = Vpfs.root v in
+  ok (Vpfs.write v "/f" "a");
+  let r1 = Vpfs.root v in
+  ok (Vpfs.write v "/f" "b");
+  let r2 = Vpfs.root v in
+  Alcotest.(check bool) "root evolves" true (r0 <> r1 && r1 <> r2)
+
+let prop_vpfs_roundtrip =
+  QCheck.Test.make ~name:"vpfs: write/read roundtrip incl. chunk boundaries" ~count:60
+    (QCheck.make
+       QCheck.Gen.(oneof [ int_range 0 64; int_range 1000 1100; int_range 2040 2060 ]))
+    (fun n ->
+      let _, _, v = make () in
+      let data = String.init n (fun i -> Char.chr ((i * 7) mod 256)) in
+      match Vpfs.write v "/p" data with
+      | Ok () -> Vpfs.read v "/p" = Ok data
+      | Error _ -> false)
+
+let suite =
+  [ Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "empty and multi-chunk files" `Quick test_empty_and_large_files;
+    Alcotest.test_case "legacy fs never sees plaintext" `Quick test_confidentiality;
+    Alcotest.test_case "corrupt reads detected" `Quick test_integrity_corrupt_read;
+    Alcotest.test_case "per-file rollback detected" `Quick test_integrity_stale_file;
+    Alcotest.test_case "cross-file splice detected" `Quick test_cross_file_splice_detected;
+    Alcotest.test_case "whole-fs rollback detected via trusted root" `Quick
+      test_metadata_rollback_detected;
+    Alcotest.test_case "reopen with correct root" `Quick test_reopen_with_correct_root;
+    Alcotest.test_case "wrong master key rejected" `Quick test_wrong_master_key;
+    Alcotest.test_case "delete" `Quick test_delete;
+    Alcotest.test_case "root digest evolves" `Quick test_root_changes_on_write;
+    QCheck_alcotest.to_alcotest prop_vpfs_roundtrip ]
