@@ -165,16 +165,7 @@ let cmd_analyze file exploit path =
     List.iter
       (fun (d, cs) -> Printf.printf "  %-14s %s\n" d (String.concat ", " cs))
       (Analysis.domains app);
-    let tcb_of_substrate = function
-      | "monolithic-os" -> 30_000
-      | "sgx" -> 25_000
-      | "trustzone" -> 19_000
-      | "sep" -> 13_000
-      | "flicker" -> 8_000
-      | "m3-noc" -> 8_000
-      | "cheri" -> 5_500
-      | _ -> 12_000 (* microkernel and unknown *)
-    in
+    let tcb_of_substrate = Lint_rules.default_tcb_of_substrate in
     Printf.printf "\n%-16s %-10s %-14s %-10s\n" "component" "tcb-loc" "owned-if-hit"
       "surface";
     List.iter
@@ -211,6 +202,50 @@ let cmd_analyze file exploit path =
           (String.concat ", " callers))
       risks;
     0
+
+(* --- lint: the static checker over manifest files --------------------------------- *)
+
+type lint_format = Lint_text | Lint_json
+
+let cmd_lint files format show_rules =
+  if show_rules then begin
+    print_string (Lint.catalogue_text ());
+    0
+  end
+  else if files = [] then begin
+    Printf.eprintf "lint: no manifest file given (try --rules for the catalogue)\n";
+    2
+  end
+  else begin
+    let parse_failed = ref false in
+    let any_error = ref false in
+    let reports =
+      List.filter_map
+        (fun file ->
+          match Manifest_file.load file with
+          | Error e ->
+            parse_failed := true;
+            Printf.eprintf "%s: %s\n" file e;
+            None
+          | Ok manifests ->
+            let diags = Lint.run manifests in
+            if Lint.has_errors diags then any_error := true;
+            Some (file, diags))
+        files
+    in
+    (match format with
+     | Lint_text ->
+       List.iter
+         (fun (file, diags) -> print_string (Lint.render_text ~file diags))
+         reports
+     | Lint_json ->
+       print_string
+         ("["
+         ^ String.concat ","
+             (List.map (fun (file, diags) -> Lint.render_json ~file diags) reports)
+         ^ "]\n"));
+    if !parse_failed then 2 else if !any_error then 1 else 0
+  end
 
 (* --- cmdliner wiring ------------------------------------------------------------ *)
 
@@ -273,6 +308,26 @@ let analyze_cmd =
        ~doc:"Analyse a component architecture described in a manifest file")
     Term.(const cmd_analyze $ file $ exploit $ path)
 
+let lint_cmd =
+  let files =
+    Arg.(value & pos_all file [] & info [] ~docv:"MANIFEST-FILE")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", Lint_text); ("json", Lint_json) ]) Lint_text
+      & info [ "format" ] ~docv:"FORMAT" ~doc:"Output format: $(b,text) or $(b,json)")
+  in
+  let show_rules =
+    Arg.(value & flag & info [ "rules" ] ~doc:"Print the rule catalogue and exit")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically check manifest files for trust hazards; exits 1 if any \
+          error-severity diagnostic fires (CI gate), 2 on parse failure")
+    Term.(const cmd_lint $ files $ format $ show_rules)
+
 let () =
   let info =
     Cmd.info "lateral" ~version:"1.0.0"
@@ -281,4 +336,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ substrates_cmd; mail_cmd; meter_cmd; gateway_cmd; analyze_cmd ]))
+          [ substrates_cmd; mail_cmd; meter_cmd; gateway_cmd; analyze_cmd; lint_cmd ]))

@@ -1,0 +1,71 @@
+type severity = Error | Warning | Info
+
+type t = {
+  rule_id : string;
+  severity : severity;
+  component : string;
+  service : string option;
+  message : string;
+  fix_hint : string;
+}
+
+let v ~rule_id ~severity ~component ?service ~message ~fix_hint () =
+  { rule_id; severity; component; service; message; fix_hint }
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+(* sort order for reports: worst first, then stable textual keys so the
+   output (and the golden files diffing it) is deterministic *)
+let compare a b =
+  Stdlib.compare
+    (severity_rank a.severity, a.rule_id, a.component, a.service, a.message)
+    (severity_rank b.severity, b.rule_id, b.component, b.service, b.message)
+
+let subject t =
+  match t.service with
+  | Some s -> t.component ^ "." ^ s
+  | None -> t.component
+
+let pp fmt t =
+  Format.fprintf fmt "%-7s %-24s %-18s %s@,%-7s %-24s %-18s fix: %s"
+    (severity_to_string t.severity) t.rule_id (subject t) t.message "" "" ""
+    t.fix_hint
+
+let to_text t =
+  Printf.sprintf "%-7s %-26s %-16s %s\n%s fix: %s"
+    (severity_to_string t.severity) t.rule_id (subject t) t.message
+    (String.make 52 ' ') t.fix_hint
+
+(* minimal JSON string escaping: the repo deliberately has no JSON
+   dependency, and diagnostics only need the string/null/object subset *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = "\"" ^ json_escape s ^ "\""
+
+let to_json t =
+  Printf.sprintf
+    "{\"rule\":%s,\"severity\":%s,\"component\":%s,\"service\":%s,\"message\":%s,\"fix_hint\":%s}"
+    (json_string t.rule_id)
+    (json_string (severity_to_string t.severity))
+    (json_string t.component)
+    (match t.service with None -> "null" | Some s -> json_string s)
+    (json_string t.message) (json_string t.fix_hint)

@@ -1,0 +1,45 @@
+(** Structured lint diagnostics.
+
+    Every finding of the {!Lint} engine is one of these: a stable rule
+    id, a severity CI can gate on, the component (and optionally
+    service) it anchors to, a human message and a fix hint. Rendering to
+    text and JSON lives here so every consumer (CLI, golden tests,
+    future batch runners) formats identically. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  rule_id : string;     (** stable, e.g. ["L005-confused-deputy"] *)
+  severity : severity;
+  component : string;   (** the component the finding anchors to *)
+  service : string option;
+  message : string;
+  fix_hint : string;
+}
+
+val v :
+  rule_id:string -> severity:severity -> component:string ->
+  ?service:string -> message:string -> fix_hint:string -> unit -> t
+
+(** [Error] < [Warning] < [Info]; 0, 1, 2. *)
+val severity_rank : severity -> int
+
+val severity_to_string : severity -> string
+
+(** Worst severity first, then rule id, component, service, message —
+    total and deterministic, so reports are diffable. *)
+val compare : t -> t -> int
+
+(** ["component.service"], or just ["component"] when no service. *)
+val subject : t -> string
+
+(** Two-line human rendering: finding, then indented fix hint. *)
+val to_text : t -> string
+
+(** One JSON object; [service] becomes [null] when absent. *)
+val to_json : t -> string
+
+(** JSON string literal with escaping — exposed for composite emitters. *)
+val json_string : string -> string
+
+val pp : Format.formatter -> t -> unit

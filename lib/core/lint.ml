@@ -1,0 +1,65 @@
+type summary = { errors : int; warnings : int; infos : int }
+
+let run ?(config = Lint_rules.default_config) manifests =
+  let ctx = Lint_rules.make_ctx manifests in
+  List.concat_map (fun r -> r.Lint_rules.check config ctx) Lint_rules.all
+  |> List.sort_uniq Diagnostic.compare
+
+let summarize diags =
+  List.fold_left
+    (fun acc (d : Diagnostic.t) ->
+      match d.Diagnostic.severity with
+      | Diagnostic.Error -> { acc with errors = acc.errors + 1 }
+      | Diagnostic.Warning -> { acc with warnings = acc.warnings + 1 }
+      | Diagnostic.Info -> { acc with infos = acc.infos + 1 })
+    { errors = 0; warnings = 0; infos = 0 }
+    diags
+
+let has_errors diags =
+  List.exists (fun d -> d.Diagnostic.severity = Diagnostic.Error) diags
+
+let render_text ~file diags =
+  let s = summarize diags in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s: %d diagnostics (%d errors, %d warnings, %d info)\n"
+       file
+       (List.length diags)
+       s.errors s.warnings s.infos);
+  List.iter
+    (fun d ->
+      Buffer.add_string buf "  ";
+      Buffer.add_string buf (Diagnostic.to_text d);
+      Buffer.add_char buf '\n')
+    diags;
+  Buffer.contents buf
+
+let render_json ~file diags =
+  let s = summarize diags in
+  Printf.sprintf
+    "{\"file\":%s,\"summary\":{\"errors\":%d,\"warnings\":%d,\"infos\":%d},\"diagnostics\":[%s]}"
+    (Diagnostic.json_string file)
+    s.errors s.warnings s.infos
+    (String.concat "," (List.map Diagnostic.to_json diags))
+
+let catalogue () =
+  List.map
+    (fun (r : Lint_rules.rule) ->
+      (r.Lint_rules.id,
+       r.Lint_rules.severity,
+       r.Lint_rules.summary,
+       r.Lint_rules.paper_ref))
+    Lint_rules.all
+
+let catalogue_text () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-26s %-8s %-8s %s\n" "rule" "severity" "paper" "meaning");
+  List.iter
+    (fun (id, sev, summary, paper) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-26s %-8s %-8s %s\n" id
+           (Diagnostic.severity_to_string sev)
+           paper summary))
+    (catalogue ());
+  Buffer.contents buf

@@ -1,0 +1,509 @@
+(* The lint rule registry: each rule is a pure, total function from a
+   parsed manifest set to diagnostics. Rules never raise; a manifest set
+   that confuses a rule simply yields no findings from it. *)
+
+type config = {
+  max_domain_components : int;
+  oversize_loc : int;
+  tcb_threshold : int;
+  secret_substrates : string list;
+}
+
+let default_config =
+  { max_domain_components = 3;
+    oversize_loc = 30_000;
+    tcb_threshold = 25_000;
+    secret_substrates = [ "sep"; "sgx"; "trustzone"; "flicker" ] }
+
+type ctx = {
+  manifests : Manifest.t list;
+  app : App.t;  (** built from [manifests] with duplicates dropped *)
+}
+
+let make_ctx manifests =
+  let app = App.create () in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      if not (Hashtbl.mem seen m.Manifest.name) then begin
+        Hashtbl.replace seen m.Manifest.name ();
+        App.add_stub app m
+      end)
+    manifests;
+  { manifests; app }
+
+type rule = {
+  id : string;
+  severity : Diagnostic.severity;
+  summary : string;
+  paper_ref : string;
+  check : config -> ctx -> Diagnostic.t list;
+}
+
+(* --- substrate knowledge --------------------------------------------------- *)
+
+(* name, sealed identity (can attest / hold sealed secrets), notional TCB loc *)
+let known_substrates =
+  [ ("microkernel", false, 12_000);
+    ("monolithic-os", false, 30_000);
+    ("sgx", true, 25_000);
+    ("trustzone", true, 19_000);
+    ("sep", true, 13_000);
+    ("flicker", true, 8_000);
+    ("m3-noc", true, 8_000);
+    ("cheri", false, 5_500) ]
+
+let substrate_known s = List.exists (fun (n, _, _) -> n = s) known_substrates
+
+let substrate_sealed_identity s =
+  List.exists (fun (n, sealed, _) -> n = s && sealed) known_substrates
+
+let default_tcb_of_substrate s =
+  match List.find_opt (fun (n, _, _) -> n = s) known_substrates with
+  | Some (_, _, loc) -> loc
+  | None -> 12_000
+
+(* --- helpers --------------------------------------------------------------- *)
+
+let diag ~rule ~component ?service message fix_hint =
+  Diagnostic.v ~rule_id:rule.id ~severity:rule.severity ~component ?service
+    ~message ~fix_hint ()
+
+let find ctx name =
+  List.find_opt (fun m -> m.Manifest.name = name) ctx.manifests
+
+let declared ctx name = find ctx name <> None
+
+(* is there at least one unvetted declared channel a -> b? *)
+let unvetted_edge a b =
+  List.exists
+    (fun c -> c.Manifest.target = b && not c.Manifest.vetted)
+    a.Manifest.connects_to
+
+(* components reachable from [start] along unvetted channels only,
+   excluding [start] itself *)
+let unvetted_closure ctx start =
+  let seen = Hashtbl.create 8 in
+  let rec go name =
+    match find ctx name with
+    | None -> ()
+    | Some m ->
+      List.iter
+        (fun c ->
+          if (not c.Manifest.vetted) && not (Hashtbl.mem seen c.Manifest.target)
+          then begin
+            Hashtbl.replace seen c.Manifest.target ();
+            go c.Manifest.target
+          end)
+        m.Manifest.connects_to
+  in
+  go start;
+  Hashtbl.remove seen start;
+  Hashtbl.fold (fun n () acc -> n :: acc) seen [] |> List.sort compare
+
+(* --- the rules ------------------------------------------------------------- *)
+
+let rec l001 =
+  { id = "L001-dangling-target";
+    severity = Diagnostic.Error;
+    summary = "a declared channel points at a component that does not exist";
+    paper_ref = "\xc2\xa7III-A";
+    check =
+      (fun _cfg ctx ->
+        List.concat_map
+          (fun m ->
+            List.filter_map
+              (fun c ->
+                if declared ctx c.Manifest.target then None
+                else
+                  Some
+                    (diag ~rule:l001 ~component:m.Manifest.name
+                       ~service:c.Manifest.service
+                       (Printf.sprintf "connects to %s.%s but no component %S exists"
+                          c.Manifest.target c.Manifest.service c.Manifest.target)
+                       "declare the missing component or delete the connects line"))
+              m.Manifest.connects_to)
+          ctx.manifests) }
+
+let rec l002 =
+  { id = "L002-dangling-service";
+    severity = Diagnostic.Error;
+    summary = "a declared channel names a service its target does not provide";
+    paper_ref = "\xc2\xa7III-A";
+    check =
+      (fun _cfg ctx ->
+        List.concat_map
+          (fun m ->
+            List.filter_map
+              (fun c ->
+                match find ctx c.Manifest.target with
+                | Some tm
+                  when not (List.mem c.Manifest.service tm.Manifest.provides) ->
+                  Some
+                    (diag ~rule:l002 ~component:m.Manifest.name
+                       ~service:c.Manifest.service
+                       (Printf.sprintf
+                          "connects to %s.%s but %s only provides: %s"
+                          c.Manifest.target c.Manifest.service c.Manifest.target
+                          (match tm.Manifest.provides with
+                           | [] -> "(nothing)"
+                           | ps -> String.concat ", " ps))
+                       "fix the service name or add it to the target's provides")
+                | _ -> None)
+              m.Manifest.connects_to)
+          ctx.manifests) }
+
+let rec l003 =
+  { id = "L003-duplicate-component";
+    severity = Diagnostic.Error;
+    summary = "two components share one name, so channels are ambiguous";
+    paper_ref = "\xc2\xa7III-A";
+    check =
+      (fun _cfg ctx ->
+        let counts = Hashtbl.create 8 in
+        List.iter
+          (fun m ->
+            let n = m.Manifest.name in
+            Hashtbl.replace counts n
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts n)))
+          ctx.manifests;
+        Hashtbl.fold
+          (fun name n acc ->
+            if n > 1 then
+              diag ~rule:l003 ~component:name
+                (Printf.sprintf "component %S is declared %d times" name n)
+                "rename one of the components; names key the channel graph"
+              :: acc
+            else acc)
+          counts []
+        |> List.sort Diagnostic.compare) }
+
+let rec l004 =
+  { id = "L004-self-connection";
+    severity = Diagnostic.Error;
+    summary = "a component declares a channel to itself";
+    paper_ref = "\xc2\xa7III-A";
+    check =
+      (fun _cfg ctx ->
+        List.concat_map
+          (fun m ->
+            List.filter_map
+              (fun c ->
+                if c.Manifest.target = m.Manifest.name then
+                  Some
+                    (diag ~rule:l004 ~component:m.Manifest.name
+                       ~service:c.Manifest.service
+                       "component connects to itself; a channel to self grants nothing"
+                       "delete the self-connection")
+                else None)
+              m.Manifest.connects_to)
+          ctx.manifests) }
+
+let rec l005 =
+  { id = "L005-confused-deputy";
+    severity = Diagnostic.Error;
+    summary =
+      "a service has several callers but its component does no badge checks";
+    paper_ref = "\xc2\xa7III-D";
+    check =
+      (fun _cfg ctx ->
+        List.map
+          (fun (target, service, callers) ->
+            diag ~rule:l005 ~component:target ~service
+              (Printf.sprintf
+                 "service answers %s without discriminating between callers"
+                 (String.concat ", " callers))
+              "check caller badges in the component, or split the service per caller")
+          (Analysis.confused_deputy_risks ctx.app)) }
+
+let rec l006 =
+  { id = "L006-taint-flow";
+    severity = Diagnostic.Warning;
+    summary =
+      "an exposed component reaches a secret-holding substrate with no vetted boundary";
+    paper_ref = "\xc2\xa7IV";
+    check =
+      (fun cfg ctx ->
+        let tainted m = m.Manifest.network_facing || m.Manifest.vulnerable in
+        let sink m = List.mem m.Manifest.substrate cfg.secret_substrates in
+        let sources = List.filter tainted ctx.manifests in
+        let sinks = List.filter sink ctx.manifests in
+        List.concat_map
+          (fun src ->
+            List.filter_map
+              (fun dst ->
+                if src.Manifest.name = dst.Manifest.name then None
+                else
+                  let all_paths =
+                    Analysis.paths ctx.app ~src:src.Manifest.name
+                      ~dst:dst.Manifest.name
+                  in
+                  let unvetted_path p =
+                    let rec edges = function
+                      | a :: (b :: _ as rest) ->
+                        (match find ctx a with
+                         | Some am -> unvetted_edge am b && edges rest
+                         | None -> false)
+                      | _ -> true
+                    in
+                    edges p
+                  in
+                  let offending = List.filter unvetted_path all_paths in
+                  let shortest =
+                    List.sort
+                      (fun a b ->
+                        compare (List.length a, a) (List.length b, b))
+                      offending
+                  in
+                  match shortest with
+                  | [] -> None
+                  | p :: _ ->
+                    let why =
+                      match
+                        (src.Manifest.network_facing, src.Manifest.vulnerable)
+                      with
+                      | true, true -> "network-facing, vulnerable"
+                      | true, false -> "network-facing"
+                      | _ -> "vulnerable"
+                    in
+                    Some
+                      (diag ~rule:l006 ~component:src.Manifest.name
+                         (Printf.sprintf
+                            "tainted component (%s) reaches secret-holder %s on %s via %s with no vetted boundary"
+                            why dst.Manifest.name dst.Manifest.substrate
+                            (String.concat " -> " p))
+                         "vet a channel on the path (connects-vetted) or remove the route"))
+              sinks)
+          sources) }
+
+let rec l007 =
+  { id = "L007-legacy-tcb";
+    severity = Diagnostic.Warning;
+    summary = "an unvetted legacy-OS dependency inflates the TCB past the threshold";
+    paper_ref = "\xc2\xa7III-D";
+    check =
+      (fun cfg ctx ->
+        List.filter_map
+          (fun m ->
+            let closure = unvetted_closure ctx m.Manifest.name in
+            let legacy =
+              List.filter
+                (fun n ->
+                  match find ctx n with
+                  | Some d -> d.Manifest.substrate = "monolithic-os"
+                  | None -> false)
+                closure
+            in
+            match legacy with
+            | [] -> None
+            | l :: _ ->
+              let tcb =
+                Analysis.tcb ctx.app
+                  ~tcb_of_substrate:default_tcb_of_substrate m.Manifest.name
+              in
+              if tcb > cfg.tcb_threshold then
+                Some
+                  (diag ~rule:l007 ~component:m.Manifest.name
+                     (Printf.sprintf
+                        "depends on legacy-OS component %s without vetting; TCB is %d loc (threshold %d)"
+                        l tcb cfg.tcb_threshold)
+                     "vet the dependency (connects-vetted) or re-host it off the monolithic OS")
+              else None)
+          ctx.manifests) }
+
+let rec l008 =
+  { id = "L008-shared-domain-pola";
+    severity = Diagnostic.Warning;
+    summary = "one protection domain co-locates too many components";
+    paper_ref = "\xc2\xa7III-A";
+    check =
+      (fun cfg ctx ->
+        List.filter_map
+          (fun (domain, members) ->
+            if List.length members > cfg.max_domain_components then
+              Some
+                (diag ~rule:l008 ~component:(List.hd members)
+                   (Printf.sprintf
+                      "domain %S co-locates %d components (%s); one exploit owns them all"
+                      domain (List.length members)
+                      (String.concat ", " members))
+                   "split the domain; least privilege wants one component per domain")
+            else None)
+          (Analysis.domains ctx.app)) }
+
+let rec l009 =
+  { id = "L009-channel-cycle";
+    severity = Diagnostic.Warning;
+    summary = "components form a circular channel dependency";
+    paper_ref = "\xc2\xa7III-A";
+    check =
+      (fun _cfg ctx ->
+        (* reach sets are tiny here: manifests are tens of components *)
+        let names = List.map (fun m -> m.Manifest.name) ctx.manifests in
+        let reach = Hashtbl.create 16 in
+        let reachable_from start =
+          match Hashtbl.find_opt reach start with
+          | Some set -> set
+          | None ->
+            let seen = Hashtbl.create 8 in
+            let rec go n =
+              match find ctx n with
+              | None -> ()
+              | Some m ->
+                List.iter
+                  (fun c ->
+                    if not (Hashtbl.mem seen c.Manifest.target) then begin
+                      Hashtbl.replace seen c.Manifest.target ();
+                      go c.Manifest.target
+                    end)
+                  m.Manifest.connects_to
+            in
+            go start;
+            Hashtbl.replace reach start seen;
+            seen
+        in
+        let in_cycle n = Hashtbl.mem (reachable_from n) n in
+        let scc n =
+          List.filter
+            (fun m ->
+              Hashtbl.mem (reachable_from n) m && Hashtbl.mem (reachable_from m) n)
+            names
+          |> List.sort compare
+        in
+        let reported = Hashtbl.create 4 in
+        List.filter_map
+          (fun n ->
+            if not (in_cycle n) then None
+            else
+              let members = scc n in
+              (* self-loops are L004's business, not a cycle *)
+              if List.length members < 2 then None
+              else
+                let key = String.concat "," members in
+                if Hashtbl.mem reported key then None
+                else begin
+                  Hashtbl.replace reported key ();
+                  Some
+                    (diag ~rule:l009 ~component:(List.hd members)
+                       (Printf.sprintf "circular channel dependency among %s"
+                          (String.concat ", " members))
+                       "break the cycle; authority should flow one way through the app")
+                end)
+          names) }
+
+let rec l010 =
+  { id = "L010-dead-service";
+    severity = Diagnostic.Info;
+    summary = "a provided service that no component connects to";
+    paper_ref = "\xc2\xa7III-A";
+    check =
+      (fun _cfg ctx ->
+        let has_caller target service =
+          List.exists
+            (fun m ->
+              List.exists
+                (fun c ->
+                  c.Manifest.target = target && c.Manifest.service = service)
+                m.Manifest.connects_to)
+            ctx.manifests
+        in
+        List.concat_map
+          (fun m ->
+            if m.Manifest.network_facing then []
+            else
+              List.filter_map
+                (fun s ->
+                  if has_caller m.Manifest.name s then None
+                  else
+                    Some
+                      (diag ~rule:l010 ~component:m.Manifest.name ~service:s
+                         "service is provided but never connected to"
+                         "remove the service, or connect the client that should use it"))
+                m.Manifest.provides)
+          ctx.manifests) }
+
+let rec l011 =
+  { id = "L011-substrate-mismatch";
+    severity = Diagnostic.Warning;
+    summary = "a component's substrate cannot supply what its role requires";
+    paper_ref = "\xc2\xa7II";
+    check =
+      (fun _cfg ctx ->
+        let vetted_target name =
+          List.exists
+            (fun m ->
+              List.exists
+                (fun c -> c.Manifest.vetted && c.Manifest.target = name)
+                m.Manifest.connects_to)
+            ctx.manifests
+        in
+        List.concat_map
+          (fun m ->
+            let s = m.Manifest.substrate in
+            if not (substrate_known s) then
+              [ diag ~rule:l011 ~component:m.Manifest.name
+                  (Printf.sprintf "unknown substrate %S" s)
+                  (Printf.sprintf "use one of: %s"
+                     (String.concat ", "
+                        (List.map (fun (n, _, _) -> n) known_substrates))) ]
+            else if vetted_target m.Manifest.name && not (substrate_sealed_identity s)
+            then
+              [ diag ~rule:l011 ~component:m.Manifest.name
+                  (Printf.sprintf
+                     "target of a vetted boundary, but substrate %S has no sealed identity to attest"
+                     s)
+                  "host it on an attesting substrate (sep, sgx, trustzone, flicker, m3-noc)" ]
+            else [])
+          ctx.manifests) }
+
+let rec l012 =
+  { id = "L012-vulnerable-cohabitant";
+    severity = Diagnostic.Warning;
+    summary = "a vulnerable component shares its protection domain";
+    paper_ref = "\xc2\xa7III-A";
+    check =
+      (fun _cfg ctx ->
+        List.filter_map
+          (fun m ->
+            if not m.Manifest.vulnerable then None
+            else
+              let mates =
+                List.filter
+                  (fun m2 ->
+                    m2.Manifest.name <> m.Manifest.name
+                    && m2.Manifest.domain = m.Manifest.domain)
+                  ctx.manifests
+                |> List.map (fun m2 -> m2.Manifest.name)
+                |> List.sort compare
+              in
+              if mates = [] then None
+              else
+                Some
+                  (diag ~rule:l012 ~component:m.Manifest.name
+                     (Printf.sprintf
+                        "vulnerable component shares domain %S with %s; its compromise owns them too"
+                        m.Manifest.domain (String.concat ", " mates))
+                     "move the vulnerable component into its own domain"))
+          ctx.manifests) }
+
+let rec l013 =
+  { id = "L013-oversized-component";
+    severity = Diagnostic.Info;
+    summary = "a component is large enough that decomposition would pay off";
+    paper_ref = "\xc2\xa7III-C";
+    check =
+      (fun cfg ctx ->
+        List.filter_map
+          (fun m ->
+            if m.Manifest.size_loc >= cfg.oversize_loc then
+              Some
+                (diag ~rule:l013 ~component:m.Manifest.name
+                   (Printf.sprintf
+                      "component is %d loc (threshold %d); lateral designs keep components small"
+                      m.Manifest.size_loc cfg.oversize_loc)
+                   "decompose it into smaller single-purpose components")
+            else None)
+          ctx.manifests) }
+
+let all =
+  [ l001; l002; l003; l004; l005; l006; l007; l008; l009; l010; l011; l012; l013 ]

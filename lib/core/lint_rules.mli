@@ -1,0 +1,59 @@
+(** The lint rule registry.
+
+    Each rule is a named, severity-ranked, pure check over a parsed
+    manifest set. The {!Lint} engine runs {!all} and merges the
+    diagnostics; this module is where new rules get added. Rules are
+    total: they never raise, even on inconsistent manifest sets (the
+    inconsistency is precisely what other rules report). *)
+
+(** Tunables shared by the rules. *)
+type config = {
+  max_domain_components : int;
+      (** L008: more components than this in one domain is a POLA
+          violation (default 3) *)
+  oversize_loc : int;
+      (** L013: a component at or above this size should be decomposed
+          (default 30_000) *)
+  tcb_threshold : int;
+      (** L007: warn when an unvetted legacy-OS dependency pushes the
+          TCB above this (default 25_000) *)
+  secret_substrates : string list;
+      (** L006: substrates assumed to hold secrets worth protecting
+          (default sep, sgx, trustzone, flicker) *)
+}
+
+val default_config : config
+
+(** What every rule sees: the raw manifest list (duplicates and all) and
+    an {!App.t} built from it with duplicates dropped, so the
+    {!Analysis} toolbox can be reused directly. *)
+type ctx = {
+  manifests : Manifest.t list;
+  app : App.t;
+}
+
+val make_ctx : Manifest.t list -> ctx
+
+type rule = {
+  id : string;           (** stable, e.g. ["L005-confused-deputy"] *)
+  severity : Diagnostic.severity;
+  summary : string;      (** one line, for the rule catalogue *)
+  paper_ref : string;    (** section of the paper motivating the rule *)
+  check : config -> ctx -> Diagnostic.t list;
+}
+
+(** All rules, in rule-id order. *)
+val all : rule list
+
+(** [(name, sealed_identity, tcb_loc)] for every substrate the linter
+    knows about. *)
+val known_substrates : (string * bool * int) list
+
+val substrate_known : string -> bool
+
+(** Can the substrate attest / keep a sealed identity? *)
+val substrate_sealed_identity : string -> bool
+
+(** Notional substrate TCB in lines of code; unknown substrates count as
+    a microkernel. Shared with the CLI's [analyze] TCB accounting. *)
+val default_tcb_of_substrate : string -> int

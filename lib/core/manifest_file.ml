@@ -75,7 +75,7 @@ let parse text =
            | None ->
              error :=
                Some (Printf.sprintf "line %d: %S outside a component" lineno directive)
-           | Some (_, p) ->
+           | Some (cname, p) ->
              (match (directive, args) with
               | "domain", [ d ] -> p.p_domain <- Some d
               | "size", [ n ] ->
@@ -90,10 +90,20 @@ let parse text =
                 p.p_provides <- List.rev_append services p.p_provides
               | "connects", [ w ] ->
                 (match parse_connection ~vetted:false ~lineno w with
+                 | Ok c when c.Manifest.target = cname ->
+                   error :=
+                     Some
+                       (Printf.sprintf "line %d: component %S connects to itself"
+                          lineno cname)
                  | Ok c -> p.p_connects <- c :: p.p_connects
                  | Error e -> error := Some e)
               | "connects-vetted", [ w ] ->
                 (match parse_connection ~vetted:true ~lineno w with
+                 | Ok c when c.Manifest.target = cname ->
+                   error :=
+                     Some
+                       (Printf.sprintf "line %d: component %S connects to itself"
+                          lineno cname)
                  | Ok c -> p.p_connects <- c :: p.p_connects
                  | Error e -> error := Some e)
               | _, _ ->

@@ -15,7 +15,10 @@
       connects-vetted legacyfs.io   # trusted-wrapper connection
     v}
 
-    Parsing is total: errors come back as [Error] with a line number. *)
+    Parsing is total: errors come back as [Error] with a line number.
+    Duplicate component names and connections from a component to
+    itself are rejected at parse time; everything else (dangling
+    targets, risky topologies) parses fine and is {!Lint}'s business. *)
 
 (** [parse text] returns the manifests in file order. *)
 val parse : string -> (Manifest.t list, string) result

@@ -22,5 +22,6 @@ let () =
       ("crash", Test_crash.suite);
       ("deploy", Test_deploy.suite);
       ("manifest_file", Test_manifest_file.suite);
+      ("lint", Test_lint.suite);
       ("ra_channel", Test_ra_channel.suite);
       ("cloud", Test_cloud.suite) ]

@@ -70,7 +70,9 @@ let test_errors () =
   expect_error "component a\n  connects nodot" "target.service";
   expect_error "component a\ncomponent a" "duplicate";
   expect_error "component a\n  frobnicate x" "unknown";
-  expect_error "component a b" "one name"
+  expect_error "component a b" "one name";
+  expect_error "component a\n  provides x\n  connects a.x" "connects to itself";
+  expect_error "component a\n  provides x\n  connects-vetted a.x" "connects to itself"
 
 let test_line_numbers_reported () =
   match Manifest_file.parse "component a\n  size 1\n  bogus" with
@@ -95,9 +97,91 @@ let test_analysis_integration () =
   Alcotest.(check bool) "vetted connection excluded from tcb" true
     (Analysis.tcb app ~tcb_of_substrate:(fun _ -> 0) "tls" = 3000)
 
+(* flag order must not matter: directives can come in any order, and
+   flags may precede or follow provides/connects lines *)
+let test_flag_order () =
+  let shuffled =
+    {|component ui
+  connects tls.transmit
+  network-facing
+  provides show
+  size 6000
+
+component tls
+  provides transmit
+  substrate sgx
+  size 3000
+  domain secure
+  connects-vetted legacyfs.io
+
+component legacyfs
+  provides io
+  no-badge-checks
+  vulnerable
+|}
+  in
+  let ms = parse_ok sample and ms2 = parse_ok shuffled in
+  Alcotest.(check bool) "same manifests regardless of directive order" true (ms = ms2);
+  (* multiple provides lines accumulate in order *)
+  let multi = parse_ok "component a\n  provides x y\n  provides z" in
+  Alcotest.(check (list string)) "provides accumulate" [ "x"; "y"; "z" ]
+    ((List.hd multi).Manifest.provides)
+
+let test_comment_edge_cases () =
+  let ms =
+    parse_ok
+      "# leading\ncomponent a # trailing on component\n  provides x # y z\n  # a whole-line comment inside\n  size 5 # and one more"
+  in
+  (match ms with
+   | [ m ] ->
+     Alcotest.(check string) "name survives trailing comment" "a" m.Manifest.name;
+     Alcotest.(check (list string)) "comment does not extend provides" [ "x" ]
+       m.Manifest.provides;
+     Alcotest.(check int) "size parsed before comment" 5 m.Manifest.size_loc
+   | _ -> Alcotest.fail "expected one component");
+  Alcotest.(check bool) "hash with no directive" true
+    (Manifest_file.parse "component a\n  #" = Ok [ Manifest.v ~name:"a" () ])
+
 let prop_parser_total =
   QCheck.Test.make ~name:"manifest parser is total" ~count:300 QCheck.printable_string
     (fun s -> try ignore (Manifest_file.parse s); true with _ -> false)
+
+(* generator for manifest sets that the file format can express: unique
+   parseable names, no self-connections; everything else is free *)
+let gen_writable_manifests =
+  QCheck.Gen.(
+    let pool = [ "alpha"; "beta"; "gamma"; "delta" ] in
+    let service = oneofl [ "query"; "store"; "sign" ] in
+    let comp name =
+      let others = List.filter (fun n -> n <> name) pool in
+      list_size (int_bound 3)
+        (map3 (fun v t s -> Manifest.conn ~vetted:v t s) bool (oneofl others) service)
+      >>= fun cs ->
+      list_size (int_bound 2) service >>= fun provides ->
+      oneofl [ "microkernel"; "sgx"; "sep" ] >>= fun sub ->
+      bool >>= fun net ->
+      bool >>= fun vuln ->
+      bool >>= fun badges ->
+      oneofl [ name; "zone1"; "zone2" ] >>= fun dom ->
+      int_bound 90_000 >>= fun size ->
+      return
+        (Manifest.v ~name ~provides ~connects_to:cs ~domain:dom ~size_loc:size
+           ~network_facing:net ~vulnerable:vuln ~discriminates_clients:badges
+           ~substrate:sub ())
+    in
+    (* a random subset of the name pool, each at most once *)
+    List.fold_left
+      (fun acc name ->
+        acc >>= fun ms ->
+        bool >>= fun keep ->
+        if keep then comp name >>= fun m -> return (m :: ms) else return ms)
+      (return []) pool
+    >|= List.rev)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"parse (to_text ms) = ms" ~count:300
+    (QCheck.make gen_writable_manifests)
+    (fun ms -> Manifest_file.parse (Manifest_file.to_text ms) = Ok ms)
 
 let suite =
   [ Alcotest.test_case "parse the sample" `Quick test_parse_sample;
@@ -105,5 +189,8 @@ let suite =
     Alcotest.test_case "error cases" `Quick test_errors;
     Alcotest.test_case "errors carry line numbers" `Quick test_line_numbers_reported;
     Alcotest.test_case "empty inputs" `Quick test_empty_and_comment_only;
+    Alcotest.test_case "flag order is irrelevant" `Quick test_flag_order;
+    Alcotest.test_case "comment edge cases" `Quick test_comment_edge_cases;
     Alcotest.test_case "integrates with the analyses" `Quick test_analysis_integration;
-    QCheck_alcotest.to_alcotest prop_parser_total ]
+    QCheck_alcotest.to_alcotest prop_parser_total;
+    QCheck_alcotest.to_alcotest prop_roundtrip ]
