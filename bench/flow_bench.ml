@@ -1,0 +1,49 @@
+(* Self-timed micro-benchmark of the Flow fixpoint solver on a
+   1000-component manifest. The old Analysis.paths-based taint rule was
+   exponential on dense graphs; the solver must stay comfortably linear.
+   Emits one JSON object; the committed record lives in BENCH_flow.json
+   at the repo root (refresh with `dune exec bench/flow_bench.exe`). *)
+
+open Lateral
+
+let n = 1000
+
+(* a layered topology with long-range chords: every component feeds the
+   next one plus two skip links, a sprinkling of network-facing sources
+   and sep-hosted secret holders *)
+let manifests =
+  List.init n (fun i ->
+      let name = Printf.sprintf "c%03d" i in
+      let connects =
+        List.filter_map
+          (fun j ->
+            if j < n && j <> i then
+              Some (Manifest.conn (Printf.sprintf "c%03d" j) "s")
+            else None)
+          [ i + 1; i + 7; i + 31 ]
+      in
+      Manifest.v ~name ~provides:[ "s" ] ~connects_to:connects
+        ~network_facing:(i mod 97 = 0)
+        ~substrate:(if i mod 100 = 50 then "sep" else "microkernel")
+        ())
+
+let () =
+  ignore (Flow.analyze manifests) (* warm-up *);
+  let runs = 10 in
+  let times =
+    List.init runs (fun _ ->
+        let t0 = Sys.time () in
+        ignore (Flow.analyze manifests);
+        Sys.time () -. t0)
+  in
+  let r = Flow.analyze manifests in
+  let sorted = List.sort compare times in
+  let median = List.nth sorted (runs / 2) in
+  let mean = List.fold_left ( +. ) 0.0 times /. float_of_int runs in
+  Printf.printf
+    "{\"benchmark\":\"flow-solver\",\"components\":%d,\"flow_edges\":%d,\"leaks\":%d,\"taint_hits\":%d,\"runs\":%d,\"median_ms\":%.3f,\"mean_ms\":%.3f}\n"
+    n
+    (List.length r.Flow.edges)
+    (List.length r.Flow.leaks)
+    (List.length r.Flow.taint_hits)
+    runs (median *. 1000.) (mean *. 1000.)

@@ -188,8 +188,14 @@ let cmd_analyze file exploit path =
      | Some spec ->
        (match String.split_on_char ':' spec with
         | [ src; dst ] ->
-          let ps = Analysis.paths app ~src ~dst in
-          Printf.printf "\nauthority paths %s -> %s: %d\n" src dst (List.length ps);
+          let max_paths = 1000 in
+          let ps = Analysis.paths ~max_paths app ~src ~dst in
+          Printf.printf "\nauthority paths %s -> %s: %d%s\n" src dst
+            (List.length ps)
+            (if List.length ps >= max_paths then
+               Printf.sprintf " (truncated at %d; use `lateral flow` for reachability)"
+                 max_paths
+             else "");
           List.iter
             (fun p -> Printf.printf "  %s\n" (String.concat " -> " p))
             ps
@@ -222,13 +228,16 @@ let cmd_lint files format show_rules =
     let reports =
       List.filter_map
         (fun file ->
-          match Manifest_file.load file with
+          match Manifest_file.load_spanned file with
           | Error e ->
             parse_failed := true;
             Printf.eprintf "%s: %s\n" file e;
             None
-          | Ok manifests ->
-            let diags = Lint.run manifests in
+          | Ok spans ->
+            let manifests =
+              List.map (fun s -> s.Manifest_file.sp_manifest) spans
+            in
+            let diags = Lint.locate ~file spans (Lint.run manifests) in
             if Lint.has_errors diags then any_error := true;
             Some (file, diags))
         files
@@ -245,6 +254,67 @@ let cmd_lint files format show_rules =
              (List.map (fun (file, diags) -> Lint.render_json ~file diags) reports)
          ^ "]\n"));
     if !parse_failed then 2 else if !any_error then 1 else 0
+  end
+
+(* --- flow: information-flow analysis and kernel conformance ----------------------- *)
+
+let cmd_flow files format dot conform =
+  if files = [] then begin
+    Printf.eprintf "flow: no manifest file given\n";
+    2
+  end
+  else begin
+    let parse_failed = ref false in
+    let any_violation = ref false in
+    let reports =
+      List.filter_map
+        (fun file ->
+          match Manifest_file.load file with
+          | Error e ->
+            parse_failed := true;
+            Printf.eprintf "%s: %s\n" file e;
+            None
+          | Ok manifests ->
+            let r = Flow.analyze manifests in
+            let conf =
+              if not conform then None
+              else
+                match Flow.provision manifests with
+                | Error e ->
+                  Printf.eprintf "%s: cannot provision: %s\n" file e;
+                  any_violation := true;
+                  None
+                | Ok d ->
+                  let c = Flow.conformance manifests d.Flow.d_kernel in
+                  if c.Flow.over <> [] then any_violation := true;
+                  Some c
+            in
+            if Flow.has_leaks r then any_violation := true;
+            Some (file, manifests, r, conf))
+        files
+    in
+    if dot then
+      List.iter
+        (fun (_, manifests, r, _) -> print_string (Flow.to_dot manifests r))
+        reports
+    else begin
+      match format with
+      | Lint_text ->
+        List.iter
+          (fun (file, _, r, conf) ->
+            print_string (Flow.render_text ~file ?conformance:conf r))
+          reports
+      | Lint_json ->
+        print_string
+          ("["
+          ^ String.concat ","
+              (List.map
+                 (fun (file, _, r, conf) ->
+                   Flow.render_json ~file ?conformance:conf r)
+                 reports)
+          ^ "]\n")
+    end;
+    if !parse_failed then 2 else if !any_violation then 1 else 0
   end
 
 (* --- cmdliner wiring ------------------------------------------------------------ *)
@@ -328,6 +398,36 @@ let lint_cmd =
           error-severity diagnostic fires (CI gate), 2 on parse failure")
     Term.(const cmd_lint $ files $ format $ show_rules)
 
+let flow_cmd =
+  let files =
+    Arg.(value & pos_all file [] & info [] ~docv:"MANIFEST-FILE")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", Lint_text); ("json", Lint_json) ]) Lint_text
+      & info [ "format" ] ~docv:"FORMAT" ~doc:"Output format: $(b,text) or $(b,json)")
+  in
+  let dot =
+    Arg.(
+      value & flag
+      & info [ "dot" ] ~doc:"Emit the labelled channel graph in Graphviz DOT")
+  in
+  let conform =
+    Arg.(
+      value & flag
+      & info [ "conform" ]
+          ~doc:
+            "Provision the manifests onto a simulated microkernel and check \
+             the de-facto capability state against the declared graph")
+  in
+  Cmd.v
+    (Cmd.info "flow"
+       ~doc:
+         "Lattice-based information-flow analysis over manifest files; exits 1 \
+          on a leak or conformance over-privilege (CI gate), 2 on parse failure")
+    Term.(const cmd_flow $ files $ format $ dot $ conform)
+
 let () =
   let info =
     Cmd.info "lateral" ~version:"1.0.0"
@@ -336,4 +436,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ substrates_cmd; mail_cmd; meter_cmd; gateway_cmd; analyze_cmd; lint_cmd ]))
+          [ substrates_cmd; mail_cmd; meter_cmd; gateway_cmd; analyze_cmd;
+            lint_cmd; flow_cmd ]))

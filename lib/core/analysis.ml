@@ -153,12 +153,20 @@ let domains app =
   Hashtbl.fold (fun d cs acc -> (d, List.sort compare cs) :: acc) tbl []
   |> List.sort compare
 
-let paths app ~src ~dst =
+let paths ?(max_paths = 1000) app ~src ~dst =
   let mans = App.manifests app in
   let find n = List.find_opt (fun m -> m.Manifest.name = n) mans in
   let results = ref [] in
+  let count = ref 0 in
+  (* acyclic path enumeration is exponential on dense graphs; the cap
+     keeps the walk bounded, and truncation is visible to callers as
+     exactly [max_paths] results *)
   let rec walk visited name =
-    if name = dst then results := List.rev (name :: visited) :: !results
+    if !count >= max_paths then ()
+    else if name = dst then begin
+      incr count;
+      results := List.rev (name :: visited) :: !results
+    end
     else
       match find name with
       | None -> ()
@@ -170,7 +178,7 @@ let paths app ~src ~dst =
               walk (name :: visited) target)
           m.Manifest.connects_to
   in
-  if find src <> None then walk [] src;
+  if max_paths > 0 && find src <> None then walk [] src;
   List.sort Stdlib.compare !results
 
 let pp_reach fmt r =

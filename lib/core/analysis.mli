@@ -43,11 +43,16 @@ val attack_surface : App.t -> string -> int
 (** [domains app] groups components by protection domain. *)
 val domains : App.t -> (string * string list) list
 
-(** [paths app ~src ~dst] enumerates every acyclic authority path from
-    [src] to [dst] along declared channels — "how could data possibly
-    flow from the renderer to the keystore?" Each path is the list of
+(** [paths app ~src ~dst] enumerates acyclic authority paths from [src]
+    to [dst] along declared channels — "how could data possibly flow
+    from the renderer to the keystore?" Each path is the list of
     component names visited, [src] first. Empty when [dst] is
-    unreachable, which is the verification a security review wants. *)
-val paths : App.t -> src:string -> dst:string -> string list list
+    unreachable, which is the verification a security review wants.
+
+    Enumeration stops after [max_paths] paths (default 1000): acyclic
+    path counts are exponential in dense graphs. A result of exactly
+    [max_paths] paths therefore means {e truncated} — reachability and
+    flow questions should use {!Flow.analyze}, which is linear. *)
+val paths : ?max_paths:int -> App.t -> src:string -> dst:string -> string list list
 
 val pp_reach : Format.formatter -> reach -> unit

@@ -1,5 +1,7 @@
 type severity = Error | Warning | Info
 
+type location = { file : string; line : int }
+
 type t = {
   rule_id : string;
   severity : severity;
@@ -7,10 +9,13 @@ type t = {
   service : string option;
   message : string;
   fix_hint : string;
+  loc : location option;
 }
 
-let v ~rule_id ~severity ~component ?service ~message ~fix_hint () =
-  { rule_id; severity; component; service; message; fix_hint }
+let v ~rule_id ~severity ~component ?service ?loc ~message ~fix_hint () =
+  { rule_id; severity; component; service; message; fix_hint; loc }
+
+let with_loc loc t = { t with loc = Some loc }
 
 let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
 
@@ -23,23 +28,30 @@ let severity_to_string = function
    output (and the golden files diffing it) is deterministic *)
 let compare a b =
   Stdlib.compare
-    (severity_rank a.severity, a.rule_id, a.component, a.service, a.message)
-    (severity_rank b.severity, b.rule_id, b.component, b.service, b.message)
+    (severity_rank a.severity, a.rule_id, a.component, a.service, a.message, a.loc)
+    (severity_rank b.severity, b.rule_id, b.component, b.service, b.message, b.loc)
 
 let subject t =
   match t.service with
   | Some s -> t.component ^ "." ^ s
   | None -> t.component
 
+let loc_prefix t =
+  match t.loc with
+  | None -> ""
+  | Some { file; line } -> Printf.sprintf "%s:%d: " file line
+
 let pp fmt t =
-  Format.fprintf fmt "%-7s %-24s %-18s %s@,%-7s %-24s %-18s fix: %s"
-    (severity_to_string t.severity) t.rule_id (subject t) t.message "" "" ""
-    t.fix_hint
+  Format.fprintf fmt "%-7s %-24s %-18s %s%s@,%-7s %-24s %-18s fix: %s"
+    (severity_to_string t.severity) t.rule_id (subject t) (loc_prefix t)
+    t.message "" "" "" t.fix_hint
 
 let to_text t =
-  Printf.sprintf "%-7s %-26s %-16s %s\n%s fix: %s"
-    (severity_to_string t.severity) t.rule_id (subject t) t.message
-    (String.make 52 ' ') t.fix_hint
+  Printf.sprintf "%-7s %-26s %-16s %s%s\n%s fix: %s"
+    (severity_to_string t.severity) t.rule_id (subject t) (loc_prefix t)
+    t.message
+    (String.make 52 ' ')
+    t.fix_hint
 
 (* minimal JSON string escaping: the repo deliberately has no JSON
    dependency, and diagnostics only need the string/null/object subset *)
@@ -63,9 +75,13 @@ let json_string s = "\"" ^ json_escape s ^ "\""
 
 let to_json t =
   Printf.sprintf
-    "{\"rule\":%s,\"severity\":%s,\"component\":%s,\"service\":%s,\"message\":%s,\"fix_hint\":%s}"
+    "{\"rule\":%s,\"severity\":%s,\"component\":%s,\"service\":%s,\"message\":%s,\"fix_hint\":%s,\"location\":%s}"
     (json_string t.rule_id)
     (json_string (severity_to_string t.severity))
     (json_string t.component)
     (match t.service with None -> "null" | Some s -> json_string s)
     (json_string t.message) (json_string t.fix_hint)
+    (match t.loc with
+     | None -> "null"
+     | Some { file; line } ->
+       Printf.sprintf "{\"file\":%s,\"line\":%d}" (json_string file) line)

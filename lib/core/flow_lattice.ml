@@ -1,0 +1,50 @@
+(* Invariant: [Secret owners] is nonempty, sorted, duplicate-free. The
+   type is abstract in the interface so every value in the program
+   satisfies it by construction. *)
+
+type t = Public | Tainted | Secret of string list
+
+let public = Public
+
+let tainted = Tainted
+
+let secret owner = Secret [ owner ]
+
+let secret_of = function
+  | [] -> invalid_arg "Flow_lattice.secret_of: empty owner set"
+  | owners -> Secret (List.sort_uniq String.compare owners)
+
+let owners = function Public | Tainted -> [] | Secret os -> os
+
+let is_secret t = owners t <> []
+
+let is_tainted = function Public -> false | Tainted | Secret _ -> true
+
+let subset a b = List.for_all (fun x -> List.mem x b) a
+
+let leq a b =
+  match (a, b) with
+  | Public, _ -> true
+  | Tainted, (Tainted | Secret _) -> true
+  | Tainted, Public -> false
+  | Secret sa, Secret sb -> subset sa sb
+  | Secret _, (Public | Tainted) -> false
+
+let join a b =
+  match (a, b) with
+  | Public, x | x, Public -> x
+  (* Public is gone, so the other operand is Tainted or Secret — either
+     way it is the upper bound of the pair *)
+  | Tainted, x | x, Tainted -> x
+  | Secret sa, Secret sb -> Secret (List.sort_uniq String.compare (sa @ sb))
+
+let equal a b = a = b
+
+let compare = Stdlib.compare
+
+let to_string = function
+  | Public -> "public"
+  | Tainted -> "tainted"
+  | Secret os -> "secret{" ^ String.concat "," os ^ "}"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,60 @@
+(** The security-label lattice behind {!Flow}.
+
+    Labels classify the data a component may hold or emit:
+    {v
+        Public  ⊑  Tainted  ⊑  Secret-of-{owners}
+    v}
+    - [public] — attacker learns nothing, attacker controls nothing;
+    - [tainted] — possibly attacker-influenced (parsed from the network,
+      or produced by a component with a known flaw);
+    - [secret owners] — derived from data whose confidentiality the
+      listed components' substrates guarantee (sep/sgx-class hosts).
+
+    This is a join-semilattice: the ordinal sum of the two-point chain
+    [public < tainted] below the powerset of owners ordered by
+    inclusion. [join] is the least upper bound; secrecy dominates taint
+    because once secret material mixes into a value, exfiltrating it is
+    the worse outcome. The laws ([join] associative, commutative,
+    idempotent; [leq] a partial order; [join] the LUB of [leq]) are
+    property-tested in [test/test_flow.ml]. *)
+
+type t
+
+val public : t
+
+val tainted : t
+
+(** [secret owner] — secret material owned by one component. *)
+val secret : string -> t
+
+(** [secret_of owners] — normalises (sorts, dedups). Raises
+    [Invalid_argument] on the empty list: an ownerless secret is
+    meaningless (use {!public}). *)
+val secret_of : string list -> t
+
+(** [owners t] — the secret owners; [[]] for [public]/[tainted]. *)
+val owners : t -> string list
+
+(** [is_secret t] = [owners t <> []]. *)
+val is_secret : t -> bool
+
+(** [is_tainted t] — true for [tainted] and any secret (the chain puts
+    secrets above taint, so a secret label admits attacker influence). *)
+val is_tainted : t -> bool
+
+(** Partial order: [public ⊑ x]; [tainted ⊑ tainted] and
+    [tainted ⊑ secret _]; [secret a ⊑ secret b] iff [a ⊆ b]. *)
+val leq : t -> t -> bool
+
+(** Least upper bound; on two secrets, the owner-set union. *)
+val join : t -> t -> t
+
+val equal : t -> t -> bool
+
+(** Total order for deterministic reports (not the lattice order). *)
+val compare : t -> t -> int
+
+(** ["public"], ["tainted"], ["secret{a,b}"]. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -5,6 +5,21 @@ let run ?(config = Lint_rules.default_config) manifests =
   List.concat_map (fun r -> r.Lint_rules.check config ctx) Lint_rules.all
   |> List.sort_uniq Diagnostic.compare
 
+let locate ~file spans diags =
+  let line_of name =
+    List.find_opt
+      (fun s -> s.Manifest_file.sp_manifest.Manifest.name = name)
+      spans
+    |> Option.map (fun s -> s.Manifest_file.sp_line)
+  in
+  List.map
+    (fun d ->
+      match line_of d.Diagnostic.component with
+      | Some line -> Diagnostic.with_loc { Diagnostic.file; line } d
+      | None -> d)
+    diags
+  |> List.sort Diagnostic.compare
+
 let summarize diags =
   List.fold_left
     (fun acc (d : Diagnostic.t) ->

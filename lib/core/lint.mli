@@ -15,6 +15,14 @@ type summary = { errors : int; warnings : int; infos : int }
     duplicates, self-connections) are reported, not rejected. *)
 val run : ?config:Lint_rules.config -> Manifest.t list -> Diagnostic.t list
 
+(** [locate ~file spans diags] attaches a {!Diagnostic.location} to
+    every diagnostic whose component appears in [spans] (from
+    {!Manifest_file.parse_spanned}); diagnostics anchored to unknown
+    components pass through untouched. Re-sorted, since location
+    participates in {!Diagnostic.compare}. *)
+val locate :
+  file:string -> Manifest_file.span list -> Diagnostic.t list -> Diagnostic.t list
+
 val summarize : Diagnostic.t list -> summary
 
 (** CI gate: at least one [Error]-severity diagnostic. *)

@@ -74,12 +74,6 @@ let find ctx name =
 
 let declared ctx name = find ctx name <> None
 
-(* is there at least one unvetted declared channel a -> b? *)
-let unvetted_edge a b =
-  List.exists
-    (fun c -> c.Manifest.target = b && not c.Manifest.vetted)
-    a.Manifest.connects_to
-
 (* components reachable from [start] along unvetted channels only,
    excluding [start] itself *)
 let unvetted_closure ctx start =
@@ -216,6 +210,18 @@ let rec l005 =
               "check caller badges in the component, or split the service per caller")
           (Analysis.confused_deputy_risks ctx.app)) }
 
+(* L006/L014/L016 are backed by the Flow fixpoint solver: one linear
+   pass replaces the old per-pair path enumeration, which was
+   exponential on dense channel graphs. *)
+let flow_config (cfg : config) =
+  { Flow.secret_substrates = cfg.secret_substrates }
+
+let taint_why m =
+  match (m.Manifest.network_facing, m.Manifest.vulnerable) with
+  | true, true -> "network-facing, vulnerable"
+  | true, false -> "network-facing"
+  | _ -> "vulnerable"
+
 let rec l006 =
   { id = "L006-taint-flow";
     severity = Diagnostic.Warning;
@@ -224,57 +230,22 @@ let rec l006 =
     paper_ref = "\xc2\xa7IV";
     check =
       (fun cfg ctx ->
-        let tainted m = m.Manifest.network_facing || m.Manifest.vulnerable in
-        let sink m = List.mem m.Manifest.substrate cfg.secret_substrates in
-        let sources = List.filter tainted ctx.manifests in
-        let sinks = List.filter sink ctx.manifests in
-        List.concat_map
-          (fun src ->
-            List.filter_map
-              (fun dst ->
-                if src.Manifest.name = dst.Manifest.name then None
-                else
-                  let all_paths =
-                    Analysis.paths ctx.app ~src:src.Manifest.name
-                      ~dst:dst.Manifest.name
-                  in
-                  let unvetted_path p =
-                    let rec edges = function
-                      | a :: (b :: _ as rest) ->
-                        (match find ctx a with
-                         | Some am -> unvetted_edge am b && edges rest
-                         | None -> false)
-                      | _ -> true
-                    in
-                    edges p
-                  in
-                  let offending = List.filter unvetted_path all_paths in
-                  let shortest =
-                    List.sort
-                      (fun a b ->
-                        compare (List.length a, a) (List.length b, b))
-                      offending
-                  in
-                  match shortest with
-                  | [] -> None
-                  | p :: _ ->
-                    let why =
-                      match
-                        (src.Manifest.network_facing, src.Manifest.vulnerable)
-                      with
-                      | true, true -> "network-facing, vulnerable"
-                      | true, false -> "network-facing"
-                      | _ -> "vulnerable"
-                    in
-                    Some
-                      (diag ~rule:l006 ~component:src.Manifest.name
-                         (Printf.sprintf
-                            "tainted component (%s) reaches secret-holder %s on %s via %s with no vetted boundary"
-                            why dst.Manifest.name dst.Manifest.substrate
-                            (String.concat " -> " p))
-                         "vet a channel on the path (connects-vetted) or remove the route"))
-              sinks)
-          sources) }
+        let r = Flow.analyze ~config:(flow_config cfg) ctx.manifests in
+        List.filter_map
+          (fun (h : Flow.taint_hit) ->
+            if not h.Flow.t_direct then None
+            else
+              match (find ctx h.Flow.t_source, find ctx h.Flow.t_sink) with
+              | Some src, Some dst ->
+                Some
+                  (diag ~rule:l006 ~component:src.Manifest.name
+                     (Printf.sprintf
+                        "tainted component (%s) reaches secret-holder %s on %s via %s with no vetted boundary"
+                        (taint_why src) dst.Manifest.name dst.Manifest.substrate
+                        (String.concat " -> " h.Flow.t_path))
+                     "vet a channel on the path (connects-vetted) or remove the route")
+              | _ -> None)
+          r.Flow.taint_hits) }
 
 let rec l007 =
   { id = "L007-legacy-tcb";
@@ -505,5 +476,90 @@ let rec l013 =
             else None)
           ctx.manifests) }
 
+let rec l014 =
+  { id = "L014-label-leak";
+    severity = Diagnostic.Error;
+    summary =
+      "secret material can flow from its holder to an attacker-observable component";
+    paper_ref = "\xc2\xa7IV";
+    check =
+      (fun cfg ctx ->
+        let r = Flow.analyze ~config:(flow_config cfg) ctx.manifests in
+        List.filter_map
+          (fun (l : Flow.leak) ->
+            match (find ctx l.Flow.l_secret, find ctx l.Flow.l_sink) with
+            | Some holder, Some sink ->
+              Some
+                (diag ~rule:l014 ~component:holder.Manifest.name
+                   (Printf.sprintf
+                      "secret held behind %s escapes to %s component %s via %s"
+                      holder.Manifest.substrate (taint_why sink)
+                      sink.Manifest.name
+                      (String.concat " -> " l.Flow.l_path))
+                   "vet a channel on the path (connects-vetted) or keep replies inside the boundary")
+            | _ -> None)
+          r.Flow.leaks) }
+
+let rec l015 =
+  { id = "L015-dead-declassifier";
+    severity = Diagnostic.Info;
+    summary = "a vetted boundary between two public-labelled components guards nothing";
+    paper_ref = "\xc2\xa7III-D";
+    check =
+      (fun cfg ctx ->
+        let r = Flow.analyze ~config:(flow_config cfg) ctx.manifests in
+        let label n =
+          Option.value ~default:Flow_lattice.public
+            (List.assoc_opt n r.Flow.labels)
+        in
+        let public n = Flow_lattice.equal (label n) Flow_lattice.public in
+        List.concat_map
+          (fun m ->
+            List.filter_map
+              (fun c ->
+                if
+                  c.Manifest.vetted
+                  && c.Manifest.target <> m.Manifest.name
+                  && declared ctx c.Manifest.target
+                  && public m.Manifest.name
+                  && public c.Manifest.target
+                then
+                  Some
+                    (diag ~rule:l015 ~component:m.Manifest.name
+                       ~service:c.Manifest.service
+                       (Printf.sprintf
+                          "vetted boundary to %s guards nothing: both endpoints are labelled public"
+                          c.Manifest.target)
+                       "use a plain connects, or revisit why the boundary exists")
+                else None)
+              m.Manifest.connects_to)
+          ctx.manifests) }
+
+let rec l016 =
+  { id = "L016-transitive-taint-into-enclave";
+    severity = Diagnostic.Warning;
+    summary =
+      "attacker influence reaches a secret holder only through intermediaries";
+    paper_ref = "\xc2\xa7IV";
+    check =
+      (fun cfg ctx ->
+        let r = Flow.analyze ~config:(flow_config cfg) ctx.manifests in
+        List.filter_map
+          (fun (h : Flow.taint_hit) ->
+            if h.Flow.t_direct then None
+            else
+              match (find ctx h.Flow.t_source, find ctx h.Flow.t_sink) with
+              | Some src, Some dst ->
+                Some
+                  (diag ~rule:l016 ~component:src.Manifest.name
+                     (Printf.sprintf
+                        "tainted component (%s) transitively reaches secret-holder %s on %s via %s with no vetted boundary"
+                        (taint_why src) dst.Manifest.name dst.Manifest.substrate
+                        (String.concat " -> " h.Flow.t_path))
+                     "vet a channel on the path (connects-vetted) or remove the route")
+              | _ -> None)
+          r.Flow.taint_hits) }
+
 let all =
-  [ l001; l002; l003; l004; l005; l006; l007; l008; l009; l010; l011; l012; l013 ]
+  [ l001; l002; l003; l004; l005; l006; l007; l008; l009; l010; l011; l012;
+    l013; l014; l015; l016 ]

@@ -18,8 +18,9 @@ type config = {
       (** L007: warn when an unvetted legacy-OS dependency pushes the
           TCB above this (default 25_000) *)
   secret_substrates : string list;
-      (** L006: substrates assumed to hold secrets worth protecting
-          (default sep, sgx, trustzone, flicker) *)
+      (** L006/L014/L016: substrates assumed to hold secrets worth
+          protecting (default sep, sgx, trustzone, flicker); these seed
+          the {!Flow} solver's secrecy sources *)
 }
 
 val default_config : config

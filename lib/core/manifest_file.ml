@@ -38,15 +38,17 @@ let parse_connection ~vetted ~lineno w =
          (String.sub w (i + 1) (String.length w - i - 1)))
   | _ -> Error (Printf.sprintf "line %d: expected target.service, got %S" lineno w)
 
-let parse text =
+type span = { sp_manifest : Manifest.t; sp_line : int }
+
+let parse_spanned text =
   let lines = String.split_on_char '\n' text in
   let manifests = ref [] in
-  let current : (string * partial) option ref = ref None in
+  let current : (string * int * partial) option ref = ref None in
   let error = ref None in
   let close () =
     match !current with
-    | Some (name, p) ->
-      manifests := finish name p :: !manifests;
+    | Some (name, line, p) ->
+      manifests := { sp_manifest = finish name p; sp_line = line } :: !manifests;
       current := None
     | None -> ()
   in
@@ -66,16 +68,20 @@ let parse text =
           (match rest with
            | [ name ] ->
              close ();
-             if List.exists (fun m -> m.Manifest.name = name) !manifests then
+             if
+               List.exists
+                 (fun s -> s.sp_manifest.Manifest.name = name)
+                 !manifests
+             then
                error := Some (Printf.sprintf "line %d: duplicate component %S" lineno name)
-             else current := Some (name, fresh_partial ())
+             else current := Some (name, lineno, fresh_partial ())
            | _ -> error := Some (Printf.sprintf "line %d: component takes one name" lineno))
         | directive :: args ->
           (match !current with
            | None ->
              error :=
                Some (Printf.sprintf "line %d: %S outside a component" lineno directive)
-           | Some (cname, p) ->
+           | Some (cname, _, p) ->
              (match (directive, args) with
               | "domain", [ d ] -> p.p_domain <- Some d
               | "size", [ n ] ->
@@ -119,10 +125,16 @@ let parse text =
     close ();
     Ok (List.rev !manifests)
 
-let load path =
+let parse text =
+  Result.map (List.map (fun s -> s.sp_manifest)) (parse_spanned text)
+
+let load_spanned path =
   match In_channel.with_open_text path In_channel.input_all with
-  | text -> parse text
+  | text -> parse_spanned text
   | exception Sys_error e -> Error e
+
+let load path =
+  Result.map (List.map (fun s -> s.sp_manifest)) (load_spanned path)
 
 let to_text manifests =
   let buf = Buffer.create 512 in

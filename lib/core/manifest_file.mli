@@ -26,6 +26,14 @@ val parse : string -> (Manifest.t list, string) result
 (** [load path] reads and parses a file. *)
 val load : string -> (Manifest.t list, string) result
 
+(** A parsed manifest plus the 1-based line of its [component]
+    directive, so diagnostics can point back into the source file. *)
+type span = { sp_manifest : Manifest.t; sp_line : int }
+
+val parse_spanned : string -> (span list, string) result
+
+val load_spanned : string -> (span list, string) result
+
 (** [to_text manifests] renders back to the file format (round-trips
     through {!parse}). *)
 val to_text : Manifest.t list -> string

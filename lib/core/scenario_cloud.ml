@@ -28,6 +28,27 @@ let all_attacks =
   [ Honest_host; Read_enclave_memory; Starve_enclave; Swap_enclave_code;
     Rollback_sealed_state ]
 
+(* the §II-B trust topology as manifests: customer and host are exposed,
+   and the enclave is reachable only through the host's vetted ecall
+   boundary *)
+let manifests =
+  [ Manifest.v ~name:"customer" ~network_facing:true
+      ~connects_to:[ Manifest.conn "host" "submit" ]
+      ~size_loc:3000 ();
+    Manifest.v ~name:"host" ~provides:[ "submit" ] ~network_facing:true
+      ~vulnerable:true
+      ~connects_to:[ Manifest.conn ~vetted:true "enclave" "ecall" ]
+      ~size_loc:50_000 ~substrate:"monolithic-os" ();
+    Manifest.v ~name:"enclave" ~provides:[ "ecall" ] ~substrate:"sgx"
+      ~size_loc:1500 () ]
+
+let conformance = lazy (Flow.check_deployment manifests)
+
+let assert_conformance () =
+  match Lazy.force conformance with
+  | Ok () -> ()
+  | Error e -> failwith ("cloud scenario manifests: " ^ e)
+
 let customer_code = "wordcount-enclave-v1: count words, never leak the corpus key"
 
 let doctored_code = "wordcount-enclave-v1-doctored: also POST the corpus key to evil.example"
@@ -100,6 +121,7 @@ let contains hay needle =
   n > 0 && go 0
 
 let run ?(with_counter = true) attack =
+  assert_conformance ();
   let rng = Drbg.create 2027L in
   let intel = Rsa.generate ~bits:512 rng in
   let machine = Lt_hw.Machine.create ~dram_pages:256 () in

@@ -30,6 +30,16 @@ type outcome = {
   detail : string;
 }
 
+(** The §II-B trust topology as manifests — customer and host exposed,
+    enclave behind the host's vetted ecall boundary — for the
+    {!Flow} analysis and conformance tooling. *)
+val manifests : Manifest.t list
+
+(** {!Flow.check_deployment} over {!manifests}: provisions them onto a
+    simulated microkernel and checks capability conformance plus a
+    leak-free flow verdict. Forced (and asserted) by {!run}. *)
+val conformance : (unit, string) result Lazy.t
+
 (** [run ?with_counter attack] — [with_counter] (default [true]) guards
     sealed state with the hardware monotonic counter; set [false] to
     reproduce the rollback. *)

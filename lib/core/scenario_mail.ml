@@ -51,7 +51,15 @@ let manifests ~vertical =
       ~size_loc:2500 ();
     v ~name:"legacyfs" ~provides:[ "io" ] ~size_loc:30000 ~vulnerable:true () ]
 
+(* static/dynamic cross-check on the horizontal shape: the manifests
+   provision onto a microkernel whose capability state matches the
+   declared graph, and the flow verdict is leak-free *)
+let conformance = lazy (Flow.check_deployment (manifests ~vertical:false))
+
 let build ~vertical =
+  (match Lazy.force conformance with
+   | Ok () -> ()
+   | Error e -> failwith ("mail scenario manifests: " ^ e));
   let app = App.create () in
   List.iter (App.add_stub app) (manifests ~vertical);
   app

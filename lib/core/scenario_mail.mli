@@ -12,6 +12,11 @@
 (** [manifests ~vertical] is the component inventory. *)
 val manifests : vertical:bool -> Manifest.t list
 
+(** {!Flow.check_deployment} over the horizontal manifests: provisions
+    them onto a simulated microkernel and checks capability conformance
+    plus a leak-free flow verdict. Forced (and asserted) by {!build}. *)
+val conformance : (unit, string) result Lazy.t
+
 (** [build ~vertical] assembles the application with stub behaviours. *)
 val build : vertical:bool -> App.t
 

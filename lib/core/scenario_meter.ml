@@ -31,6 +31,26 @@ let all_tampers =
   [ Genuine; Manipulated_anonymizer; Emulated_meter; Mitm_reading;
     Replayed_session; Unsigned_secure_world ]
 
+(* the Figure 3 topology as manifests: readings leave the TrustZone
+   meter only through attestation-vetted channels, and the anonymizer
+   enclave ingests only through the utility's vetted boundary *)
+let manifests =
+  [ Manifest.v ~name:"meter" ~provides:[ "read" ] ~substrate:"trustzone"
+      ~connects_to:[ Manifest.conn ~vetted:true "utility" "submit" ]
+      ~size_loc:2000 ();
+    Manifest.v ~name:"utility" ~provides:[ "submit" ] ~network_facing:true
+      ~connects_to:[ Manifest.conn ~vetted:true "anonymizer" "ingest" ]
+      ~size_loc:9000 ();
+    Manifest.v ~name:"anonymizer" ~provides:[ "ingest" ] ~substrate:"sgx"
+      ~size_loc:1200 () ]
+
+let conformance = lazy (Flow.check_deployment manifests)
+
+let assert_conformance () =
+  match Lazy.force conformance with
+  | Ok () -> ()
+  | Error e -> failwith ("meter scenario manifests: " ^ e)
+
 let good_anonymizer_code =
   "anonymizer-v1: strip customer id, keep kwh, store aggregate only"
 
@@ -55,6 +75,7 @@ let anonymizer_services ~evil db =
        "ingested") ]
 
 let run ?(seed = 1L) tamper =
+  assert_conformance ();
   let rng = Drbg.create seed in
   (* --- manufacturing and provisioning --------------------------------- *)
   let intel_ca = Rsa.generate ~bits:512 rng in

@@ -33,6 +33,16 @@ type outcome = {
   detail : string;
 }
 
+(** The Figure 3 topology as manifests — TrustZone meter, network-facing
+    utility, SGX anonymizer, all boundaries vetted — for the {!Flow}
+    analysis and conformance tooling. *)
+val manifests : Manifest.t list
+
+(** {!Flow.check_deployment} over {!manifests}: provisions them onto a
+    simulated microkernel and checks capability conformance plus a
+    leak-free flow verdict. Forced (and asserted) by {!run}. *)
+val conformance : (unit, string) result Lazy.t
+
 (** [run ?seed tamper] executes one full session under the attack. *)
 val run : ?seed:int64 -> tamper -> outcome
 

@@ -115,6 +115,8 @@ let task_name task = task.name
 
 let task_partition task = task.partition
 
+let tasks k = List.rev k.tasks
+
 let map_memory k task ~vpage ~pages perm =
   match Frame_alloc.alloc_n k.mach.Machine.dram_frames pages with
   | None -> failwith "Kernel.map_memory: out of physical frames"

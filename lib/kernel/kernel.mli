@@ -48,6 +48,11 @@ val task_name : task -> string
 
 val task_partition : task -> string
 
+(** [tasks t] — every task ever created, oldest first. The handle a
+    conformance checker needs to walk the de-facto capability state
+    ({!caps}, {!task_frames}) of a booted kernel. *)
+val tasks : t -> task list
+
 (** [map_memory t task ~vpage ~pages perm] allocates DRAM frames and maps
     them at [vpage..vpage+pages-1]. Raises [Failure] when out of frames. *)
 val map_memory : t -> task -> vpage:int -> pages:int -> Lt_hw.Mmu.perm -> unit

@@ -92,7 +92,7 @@ component keys
 let test_taint_flow () =
   check_fires "L006-taint-flow" (lint_text (taint false));
   check_silent "L006-taint-flow" (lint_text (taint true));
-  (* a two-hop flow is found, and a vetted middle edge breaks it *)
+  (* a two-hop flow is L016's business, and a vetted middle edge breaks it *)
   let hop vet =
     Printf.sprintf
       {|component net
@@ -107,8 +107,30 @@ component keys
   provides sign|}
       (if vet then "connects-vetted" else "connects")
   in
-  check_fires "L006-taint-flow" (lint_text (hop false));
-  check_silent "L006-taint-flow" (lint_text (hop true))
+  check_silent "L006-taint-flow" (lint_text (hop false));
+  check_fires "L016-transitive-taint-into-enclave" (lint_text (hop false));
+  check_silent "L016-transitive-taint-into-enclave" (lint_text (hop true))
+
+let test_label_leak () =
+  (* the unvetted reply edge carries the secret back into the exposed
+     caller; vetting the channel declassifies it *)
+  check_fires "L014-label-leak" (lint_text (taint false));
+  check_silent "L014-label-leak" (lint_text (taint true))
+
+let test_dead_declassifier () =
+  let boundary vet =
+    Printf.sprintf
+      {|component a
+  provides x
+  %s b.io
+component b
+  provides io|}
+      (if vet then "connects-vetted" else "connects")
+  in
+  check_fires "L015-dead-declassifier" (lint_text (boundary true));
+  check_silent "L015-dead-declassifier" (lint_text (boundary false));
+  (* a vetted boundary in front of a secret holder is earning its keep *)
+  check_silent "L015-dead-declassifier" (lint_text (taint true))
 
 let legacy vet =
   Printf.sprintf
@@ -211,9 +233,10 @@ let test_broken_fixture () =
       "L010-dead-service";
       "L011-substrate-mismatch";
       "L012-vulnerable-cohabitant";
-      "L013-oversized-component" ]
+      "L013-oversized-component";
+      "L014-label-leak" ]
     (rule_ids diags);
-  Alcotest.(check int) "diagnostic count" 16 (List.length diags);
+  Alcotest.(check int) "diagnostic count" 17 (List.length diags);
   Alcotest.(check bool) "gates CI" true (Lint.has_errors diags)
 
 let test_browser_fixture () =
@@ -314,6 +337,8 @@ let suite =
     Alcotest.test_case "L011 substrate mismatch" `Quick test_substrate_mismatch;
     Alcotest.test_case "L012 vulnerable cohabitant" `Quick test_vulnerable_cohabitant;
     Alcotest.test_case "L013 oversized component" `Quick test_oversized;
+    Alcotest.test_case "L014 label leak" `Quick test_label_leak;
+    Alcotest.test_case "L015 dead declassifier" `Quick test_dead_declassifier;
     Alcotest.test_case "broken fixture golden" `Quick test_broken_fixture;
     Alcotest.test_case "browser fixture findings" `Quick test_browser_fixture;
     Alcotest.test_case "clean fixture" `Quick test_clean_fixture;

@@ -23,5 +23,6 @@ let () =
       ("deploy", Test_deploy.suite);
       ("manifest_file", Test_manifest_file.suite);
       ("lint", Test_lint.suite);
+      ("flow", Test_flow.suite);
       ("ra_channel", Test_ra_channel.suite);
       ("cloud", Test_cloud.suite) ]
