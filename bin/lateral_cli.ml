@@ -105,6 +105,23 @@ let cmd_mail vertical exploit =
     risks;
   0
 
+(* --- tracing helper ----------------------------------------------------------- *)
+
+(* wrap a command in a fresh tracer and write the Chrome trace-event
+   JSON afterwards; without --trace the command runs uninstrumented *)
+let with_trace trace_file f =
+  match trace_file with
+  | None -> f ()
+  | Some file ->
+    let tracer = Lt_obs.Trace.create () in
+    let code = Lt_obs.Trace.with_tracer tracer f in
+    let oc = open_out file in
+    output_string oc (Lt_obs.Trace.export_json tracer);
+    close_out oc;
+    Printf.eprintf "trace: %d spans written to %s\n"
+      (List.length (Lt_obs.Trace.spans tracer)) file;
+    code
+
 (* --- meter -------------------------------------------------------------------- *)
 
 let cmd_meter tamper =
@@ -143,6 +160,45 @@ let cmd_gateway () =
   Printf.printf "flood through gateway: %d packets reached victims\n" gated_victims;
   Printf.printf "legitimate telemetry delivered: %d packets\n" gated_utility;
   0
+
+(* --- run: deterministic load against a deployed scenario --------------------------- *)
+
+type run_format = Run_text | Run_json
+
+let cmd_run scenario requests seed trace_file format drop delay compromise
+    trace_capacity =
+  if requests <= 0 then begin
+    Printf.eprintf "run: --requests must be positive\n";
+    2
+  end
+  else if drop < 0 || delay < 0 || compromise < 0 || drop + delay + compromise > 100
+  then begin
+    Printf.eprintf
+      "run: fault percentages must be non-negative and sum to at most 100\n";
+    2
+  end
+  else begin
+    let faults =
+      { Lt_load.Load.drop_pct = drop; delay_pct = delay; compromise_pct = compromise }
+    in
+    match
+      Lt_load.Load.run ~faults ?trace_capacity ~scenario ~requests ~seed ()
+    with
+    | Error e ->
+      Printf.eprintf "run: %s\n" e;
+      1
+    | Ok (report, tracer) ->
+      (match trace_file with
+       | None -> ()
+       | Some file ->
+         let oc = open_out file in
+         output_string oc (Lt_obs.Trace.export_json tracer);
+         close_out oc);
+      (match format with
+       | Run_text -> print_string (Lt_load.Load.render_report_text report)
+       | Run_json -> print_string (Lt_load.Load.render_report_json report));
+      if report.Lt_load.Load.r_errors > 0 then 1 else 0
+  end
 
 (* --- analyze a user-provided manifest file --------------------------------------- *)
 
@@ -341,6 +397,13 @@ let mail_cmd =
     (Cmd.info "mail" ~doc:"Analyse the email-client scenario (Figure 1)")
     Term.(const cmd_mail $ vertical $ exploit)
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace-event JSON of every span to $(docv)")
+
 let meter_cmd =
   let tamper =
     Arg.(
@@ -350,12 +413,81 @@ let meter_cmd =
   in
   Cmd.v
     (Cmd.info "meter" ~doc:"Run the smart-meter scenario (Figure 3)")
-    Term.(const cmd_meter $ tamper)
+    Term.(
+      const (fun trace tamper -> with_trace trace (fun () -> cmd_meter tamper))
+      $ trace_arg $ tamper)
 
 let gateway_cmd =
   Cmd.v
     (Cmd.info "gateway" ~doc:"Run the IoT DDoS gateway demo")
-    Term.(const cmd_gateway $ const ())
+    Term.(const (fun trace -> with_trace trace cmd_gateway) $ trace_arg)
+
+let run_cmd =
+  let scenario =
+    let scenario_conv =
+      Arg.enum
+        (List.map
+           (fun s -> (Lt_load.Load.scenario_name s, s))
+           Lt_load.Load.all_scenarios)
+    in
+    Arg.(
+      required
+      & pos 0 (some scenario_conv) None
+      & info [] ~docv:"SCENARIO"
+          ~doc:"Scenario to deploy and load: $(b,mail), $(b,meter) or $(b,cloud)")
+  in
+  let requests =
+    Arg.(
+      value & opt int 100
+      & info [ "requests"; "n" ] ~docv:"N" ~doc:"Number of requests to replay")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Seed for the request mix, payloads and fault schedule; equal \
+                seeds give byte-identical traces and reports")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", Run_text); ("json", Run_json) ]) Run_text
+      & info [ "format" ] ~docv:"FORMAT" ~doc:"Report format: $(b,text) or $(b,json)")
+  in
+  let drop =
+    Arg.(
+      value & opt int 0
+      & info [ "drop" ] ~docv:"PCT" ~doc:"Percent of requests dropped before issue")
+  in
+  let delay =
+    Arg.(
+      value & opt int 0
+      & info [ "delay" ] ~docv:"PCT"
+          ~doc:"Percent of requests delayed (logical ticks) before issue")
+  in
+  let compromise =
+    Arg.(
+      value & opt int 0
+      & info [ "compromise" ] ~docv:"PCT"
+          ~doc:"Percent of requests replaced by an off-manifest probe from a \
+                compromised caller")
+  in
+  let trace_capacity =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace-capacity" ] ~docv:"N"
+          ~doc:"Bound the span ring buffer (oldest spans evicted first)")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Deploy a scenario onto simulated substrates and replay a seeded, \
+          deterministic request mix with optional fault injection; exits 1 if \
+          any request errored")
+    Term.(
+      const cmd_run $ scenario $ requests $ seed $ trace_arg $ format $ drop
+      $ delay $ compromise $ trace_capacity)
 
 let analyze_cmd =
   let file =
@@ -433,8 +565,18 @@ let () =
     Cmd.info "lateral" ~version:"1.0.0"
       ~doc:"Trusted component ecosystem: unified isolation interface and analyses"
   in
+  (* bare `lateral` prints the full subcommand listing; usage errors
+     (unknown subcommand, missing/malformed argument) exit 2 so scripts
+     can tell "you called me wrong" from "the check failed" (exit 1) *)
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let group =
+    Cmd.group ~default info
+      [ substrates_cmd; mail_cmd; meter_cmd; gateway_cmd; run_cmd; analyze_cmd;
+        lint_cmd; flow_cmd ]
+  in
   exit
-    (Cmd.eval'
-       (Cmd.group info
-          [ substrates_cmd; mail_cmd; meter_cmd; gateway_cmd; analyze_cmd;
-            lint_cmd; flow_cmd ]))
+    (match Cmd.eval_value group with
+     | Ok (`Ok code) -> code
+     | Ok (`Help | `Version) -> 0
+     | Error (`Parse | `Term) -> 2
+     | Error `Exn -> 125)

@@ -77,15 +77,17 @@ let rec call t ~caller ~target ~service req =
   match Hashtbl.find_opt t.comps target with
   | None -> Error (Printf.sprintf "no component %S" target)
   | Some comp ->
+    let caller_name = Option.value caller ~default:"<external>" in
     if not (authorized t ~caller ~target ~service) then begin
       t.viols <-
-        { v_caller = Option.value caller ~default:"<external>";
-          v_target = target;
-          v_service = service }
+        { v_caller = caller_name; v_target = target; v_service = service }
         :: t.viols;
+      Lt_obs.Trace.event ~kind:"deny"
+        ~name:(Lt_obs.Trace.span_name target service)
+        ~attrs:(Lt_obs.Trace.attr "caller" caller_name) ();
+      Lt_obs.Metrics.incr "channel/denied";
       Error
-        (Printf.sprintf "channel denied: %s -> %s.%s not in manifest"
-           (Option.value caller ~default:"<external>")
+        (Printf.sprintf "channel denied: %s -> %s.%s not in manifest" caller_name
            target service)
     end
     else if not (List.mem service comp.man.Manifest.provides) then
@@ -96,7 +98,12 @@ let rec call t ~caller ~target ~service req =
           call = (fun ~target:t2 ~service:s2 r -> call t ~caller:(Some target) ~target:t2 ~service:s2 r) }
       in
       if comp.owned then run_payload t comp ctx;
-      try Ok (comp.behave ctx ~service req)
+      try
+        Ok
+          (Lt_obs.Trace.with_span ~kind:"call"
+             ~name:(Lt_obs.Trace.span_name target service)
+             ~attrs:(Lt_obs.Trace.attr "caller" caller_name)
+             (fun () -> comp.behave ctx ~service req))
       with exn -> Error (Printf.sprintf "component %s crashed: %s" target (Printexc.to_string exn))
     end
 

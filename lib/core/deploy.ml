@@ -40,11 +40,17 @@ let deploy ~substrates components =
        | Error e -> Error (Printf.sprintf "launching %s: %s" name e)
        | Ok comp ->
          Hashtbl.replace placements name (sub, comp);
-         (* the App behaviour is the bridge into the substrate *)
+         (* no span here: the router's "call" span above this bridge and
+            the substrate adapter's own span below it (ecall, smc,
+            ipc-rpc, mailbox — each tagged with its substrate) already
+            bracket the hop; a third identically-named span would only
+            add per-call cost *)
          App.add app man (fun _ctx ~service req ->
              match sub.Substrate.invoke comp ~fn:service req with
              | Ok r -> r
-             | Error e -> failwith e);
+             | Error e ->
+               Lt_obs.Trace.fail_span e;
+               failwith e);
          Ok ())
   in
   let rec go = function

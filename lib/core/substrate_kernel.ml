@@ -117,10 +117,17 @@ let make machine policy ?tpm ?(boot_pcr = 10) ?(rng = Drbg.create 0x6b65726eL) (
     | _ -> invalid_arg "substrate_kernel: foreign component"
   in
   let invoke_counter = ref 0 in
+  let span_attrs =
+    [ ("substrate", (properties ~with_tpm:(tpm <> None)).Substrate.substrate_name) ]
+  in
   let invoke c ~fn arg =
     let s = state_of c in
     if not (Kernel.thread_alive k s.server_tid) then Error "component destroyed"
-    else begin
+    else
+      Lt_obs.Trace.with_span ~kind:"ipc-rpc"
+        ~name:(Lt_obs.Trace.span_name (Substrate.component_name c) fn)
+        ~attrs:span_attrs
+        (fun () ->
       incr invoke_counter;
       let client_task =
         Kernel.create_task k
@@ -142,8 +149,10 @@ let make machine policy ?tpm ?(boot_pcr = 10) ?(rng = Drbg.create 0x6b65726eL) (
                | _ -> Error "malformed reply"))
       in
       ignore (Kernel.run k);
-      !result
-    end
+      (match !result with
+       | Error e -> Lt_obs.Trace.fail_span e
+       | Ok _ -> ());
+      !result)
   in
   let attest c ~nonce ~claim =
     match tpm with

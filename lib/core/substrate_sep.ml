@@ -54,14 +54,25 @@ let make machine rng ~device_id ~private_pages =
     | Svc_state name -> name
     | _ -> invalid_arg "substrate_sep: foreign component"
   in
+  let span_attrs = [ ("substrate", "sep") ] in
   let invoke c ~fn arg =
-    match Sep.mailbox_call sep ~service:(svc_of c) (Wire.encode [ fn; arg ]) with
-    | Error e -> Error e
-    | Ok reply ->
-      (match Wire.decode reply with
-       | Some [ "ok"; out ] -> Ok out
-       | Some [ "err"; e ] -> Error e
-       | _ -> Error "malformed sep reply")
+    Lt_obs.Trace.with_span ~kind:"mailbox"
+      ~name:(Lt_obs.Trace.span_name (Substrate.component_name c) fn)
+      ~attrs:span_attrs
+      (fun () ->
+        match Sep.mailbox_call sep ~service:(svc_of c) (Wire.encode [ fn; arg ]) with
+        | Error e ->
+          Lt_obs.Trace.fail_span e;
+          Error e
+        | Ok reply ->
+          (match Wire.decode reply with
+           | Some [ "ok"; out ] -> Ok out
+           | Some [ "err"; e ] ->
+             Lt_obs.Trace.fail_span e;
+             Error e
+           | _ ->
+             Lt_obs.Trace.fail_span "malformed sep reply";
+             Error "malformed sep reply"))
   in
   let attest c ~nonce ~claim =
     let measurement = Substrate.component_measurement c in

@@ -67,7 +67,18 @@ let make machine rng ~ca_name ~ca_key ?(epc_pages = 2) () =
     | Enclave_state e -> e
     | _ -> invalid_arg "substrate_sgx: foreign component"
   in
-  let invoke c ~fn arg = Sgx.ecall cpu (enclave_of c) ~fn arg in
+  let span_attrs = [ ("substrate", "sgx") ] in
+  let invoke c ~fn arg =
+    Lt_obs.Trace.with_span ~kind:"ecall"
+      ~name:(Lt_obs.Trace.span_name (Substrate.component_name c) fn)
+      ~attrs:span_attrs
+      (fun () ->
+        match Sgx.ecall cpu (enclave_of c) ~fn arg with
+        | Ok _ as r -> r
+        | Error e as r ->
+          Lt_obs.Trace.fail_span e;
+          r)
+  in
   let attest c ~nonce ~claim =
     let e = enclave_of c in
     let ev_no_sig =

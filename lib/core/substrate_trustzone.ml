@@ -60,14 +60,25 @@ let make machine ~vendor ~image ~device_id ~device_key_name ~secure_pages =
       | Svc_state name -> name
       | _ -> invalid_arg "substrate_trustzone: foreign component"
     in
+    let span_attrs = [ ("substrate", "trustzone") ] in
     let invoke c ~fn arg =
-      match Trustzone.smc tz ~service:(svc_of c) (Wire.encode [ fn; arg ]) with
-      | Error e -> Error e
-      | Ok reply ->
-        (match Wire.decode reply with
-         | Some [ "ok"; out ] -> Ok out
-         | Some [ "err"; e ] -> Error e
-         | _ -> Error "malformed secure-world reply")
+      Lt_obs.Trace.with_span ~kind:"smc"
+        ~name:(Lt_obs.Trace.span_name (Substrate.component_name c) fn)
+        ~attrs:span_attrs
+        (fun () ->
+          match Trustzone.smc tz ~service:(svc_of c) (Wire.encode [ fn; arg ]) with
+          | Error e ->
+            Lt_obs.Trace.fail_span e;
+            Error e
+          | Ok reply ->
+            (match Wire.decode reply with
+             | Some [ "ok"; out ] -> Ok out
+             | Some [ "err"; e ] ->
+               Lt_obs.Trace.fail_span e;
+               Error e
+             | _ ->
+               Lt_obs.Trace.fail_span "malformed secure-world reply";
+               Error "malformed secure-world reply"))
     in
     let attest c ~nonce ~claim =
       ignore c;

@@ -277,11 +277,22 @@ let lookup_cap k th slot ~need_send ~need_recv =
     end
     else Ok cap
 
-let deliver_to_receiver k ~sender ~receiver ~badge ~needs_reply m =
+(* every delivered IPC message is a traced event: this is where a
+   cross-substrate trace shows the microkernel hop itself, not just the
+   adapter call around it. The endpoint (or reply) name is a stable
+   pointer and the badge rides in the ring's unboxed int column, so a
+   message is traced without allocating — the sender and receiver are
+   already evident from the enclosing ipc-rpc span and the badge. *)
+let trace_ipc ~name ~badge =
+  Lt_obs.Trace.event ~iattr:("badge", badge) ~kind:"ipc" ~name ();
+  Lt_obs.Metrics.incr_grouped ~group:"kernel" "ipc_messages"
+
+let deliver_to_receiver k ~ep ~sender ~receiver ~badge ~needs_reply m =
   let m = transfer_caps m ~from_task:sender.t_task ~to_task:receiver.t_task in
   let reply = if needs_reply then Some sender.tid else None in
   make_ready k receiver (Sys.R_msg { badge; m; reply });
-  k.st <- { k.st with ipc_messages = k.st.ipc_messages + 1 }
+  k.st <- { k.st with ipc_messages = k.st.ipc_messages + 1 };
+  trace_ipc ~name:ep.ep_name ~badge
 
 let do_send k th slot m ~needs_reply =
   match lookup_cap k th slot ~need_send:true ~need_recv:false with
@@ -291,7 +302,8 @@ let do_send k th slot m ~needs_reply =
     let ep = cap.cap_ep in
     (match Queue.take_opt ep.receivers with
      | Some receiver ->
-       deliver_to_receiver k ~sender:th ~receiver ~badge:cap.cap_badge ~needs_reply m;
+       deliver_to_receiver k ~ep ~sender:th ~receiver ~badge:cap.cap_badge
+         ~needs_reply m;
        if needs_reply then th.state <- Awaiting_reply
        else begin
          th.pending <- Sys.R_unit;
@@ -316,6 +328,7 @@ let do_recv k th slot =
        th.pending <- Sys.R_msg { badge = ws.ws_badge; m; reply };
        th.state <- Ready;
        k.st <- { k.st with ipc_messages = k.st.ipc_messages + 1 };
+       trace_ipc ~name:ep.ep_name ~badge:ws.ws_badge;
        if ws.ws_needs_reply then ws.ws_thread.state <- Awaiting_reply
        else make_ready k ws.ws_thread Sys.R_unit
      | None ->
@@ -329,6 +342,7 @@ let do_reply k th handle m =
     let m = transfer_caps m ~from_task:th.t_task ~to_task:caller.t_task in
     make_ready k caller (Sys.R_msg { badge = 0; m; reply = None });
     k.st <- { k.st with ipc_messages = k.st.ipc_messages + 1 };
+    trace_ipc ~name:(Lt_obs.Trace.span_name th.t_task.name "reply") ~badge:0;
     th.pending <- Sys.R_unit;
     th.state <- Ready
   | _ ->

@@ -16,6 +16,12 @@ type t = {
 }
 
 let create ~whitelist ~tokens_per_tick ~burst =
+  (* a NaN rate or burst would poison the bucket arithmetic: NaN never
+     compares below 1.0, so every packet would be forwarded forever *)
+  if Float.is_nan tokens_per_tick || tokens_per_tick < 0.0 then
+    invalid_arg "Gateway.create: tokens_per_tick must be a non-negative number";
+  if Float.is_nan burst || burst < 0.0 then
+    invalid_arg "Gateway.create: burst must be a non-negative number";
   { whitelist;
     tokens_per_tick;
     burst;
@@ -23,6 +29,10 @@ let create ~whitelist ~tokens_per_tick ~burst =
     last_refill = 0;
     st = { forwarded = 0; blocked_destination = 0; rate_limited = 0 } }
 
+(* [now] comes from the submitting component's clock, which a
+   compromised caller controls: a clock that jumps backwards (or
+   oscillates) must never mint tokens, so the refill reference point
+   only ever moves forward and the bucket is clamped to [burst] *)
 let refill t ~now =
   if now > t.last_refill then begin
     let dt = float_of_int (now - t.last_refill) in
@@ -30,21 +40,35 @@ let refill t ~now =
     t.last_refill <- now
   end
 
+let decision_name = function
+  | Forwarded -> "forwarded"
+  | Blocked_destination -> "blocked-destination"
+  | Rate_limited -> "rate-limited"
+
 let submit t net ~now ~src ~dst payload =
   refill t ~now;
-  if not (List.mem dst t.whitelist) then begin
-    t.st <- { t.st with blocked_destination = t.st.blocked_destination + 1 };
-    Blocked_destination
-  end
-  else if t.tokens < 1.0 then begin
-    t.st <- { t.st with rate_limited = t.st.rate_limited + 1 };
-    Rate_limited
-  end
-  else begin
-    t.tokens <- t.tokens -. 1.0;
-    Net.send net ~src ~dst payload;
-    t.st <- { t.st with forwarded = t.st.forwarded + 1 };
-    Forwarded
-  end
+  let decision =
+    if not (List.mem dst t.whitelist) then begin
+      t.st <- { t.st with blocked_destination = t.st.blocked_destination + 1 };
+      Blocked_destination
+    end
+    else if t.tokens < 1.0 then begin
+      t.st <- { t.st with rate_limited = t.st.rate_limited + 1 };
+      Rate_limited
+    end
+    else begin
+      t.tokens <- t.tokens -. 1.0;
+      Net.send net ~src ~dst payload;
+      t.st <- { t.st with forwarded = t.st.forwarded + 1 };
+      Forwarded
+    end
+  in
+  Lt_obs.Trace.event ~kind:"gateway" ~name:dst
+    ~attrs:[ ("decision", decision_name decision); ("src", src) ]
+    ();
+  Lt_obs.Metrics.incr_grouped ~group:"gateway" (decision_name decision);
+  decision
 
 let stats t = t.st
+
+let tokens t = t.tokens

@@ -24,13 +24,24 @@ type stats = {
 }
 
 (** [create ~whitelist ~tokens_per_tick ~burst] — the bucket refills at
-    [tokens_per_tick] and holds at most [burst] tokens; each forwarded
-    packet costs one token. *)
+    [tokens_per_tick] (fractional rates accrue exactly across ticks)
+    and holds at most [burst] tokens; each forwarded packet costs one
+    token. Raises [Invalid_argument] when either rate is NaN or
+    negative — a NaN bucket would forward every packet forever. *)
 val create : whitelist:Net.address list -> tokens_per_tick:float -> burst:float -> t
 
 (** [submit t net ~now ~src ~dst payload] applies policy and forwards
-    via [net] when allowed. [now] is the submitting component's clock. *)
+    via [net] when allowed. [now] is the submitting component's clock
+    and is treated as hostile: a clock that runs backwards (or
+    oscillates) never refills the bucket — refills happen only when
+    [now] exceeds the largest value seen so far. Each decision is
+    recorded as a trace event and a [gateway/<decision>] metric when a
+    tracer/registry is installed ({!Lt_obs}). *)
 val submit :
   t -> Net.t -> now:int -> src:Net.address -> dst:Net.address -> string -> decision
 
 val stats : t -> stats
+
+(** [tokens t] — current bucket level, for tests and diagnostics.
+    Invariant: [0 <= tokens t <= burst]. *)
+val tokens : t -> float

@@ -1,0 +1,463 @@
+open Lt_crypto
+open Lateral
+module Net = Lt_net.Net
+module Gateway = Lt_net.Gateway
+module Trace = Lt_obs.Trace
+module Metrics = Lt_obs.Metrics
+
+type scenario = Mail | Meter | Cloud
+
+let all_scenarios = [ Mail; Meter; Cloud ]
+
+let scenario_name = function Mail -> "mail" | Meter -> "meter" | Cloud -> "cloud"
+
+let scenario_of_string = function
+  | "mail" -> Ok Mail
+  | "meter" -> Ok Meter
+  | "cloud" -> Ok Cloud
+  | s ->
+    Error
+      (Printf.sprintf "unknown scenario %S (known: %s)" s
+         (String.concat ", " (List.map scenario_name all_scenarios)))
+
+type fault_plan = { drop_pct : int; delay_pct : int; compromise_pct : int }
+
+let no_faults = { drop_pct = 0; delay_pct = 0; compromise_pct = 0 }
+
+type report = {
+  r_scenario : string;
+  r_requests : int;
+  r_seed : int;
+  r_ok : int;
+  r_degraded : int;
+  r_errors : int;
+  r_dropped : int;
+  r_delayed : int;
+  r_denied_probes : int;
+  r_violations : int;
+  r_substrates : string list;
+  r_spans : int;
+  r_span_ticks : int;
+  r_counters : (string * int) list;
+  r_histograms : (string * Metrics.summary) list;
+}
+
+(* --- the deployed scenarios ---------------------------------------------- *)
+
+(* Each scenario deploys real components on real substrates; behaviours
+   are small but exercise cross-substrate chains, substrate facilities
+   (sealed state) and — for the meter — the network gateway, so a load
+   run produces the span mix a real serving stack would. *)
+
+type deployed = {
+  d_deploy : Deploy.t;
+  (* the seeded request mix: picks an external entry point and payload *)
+  d_mix : Drbg.t -> int -> string * string * string;
+  (* an off-manifest probe for compromised-caller fault injection *)
+  d_probe : string option * string * string;
+}
+
+let call_or_err ctx ~target ~service req =
+  match ctx.Deploy.call_out ~target ~service req with
+  | Ok r -> r
+  | Error e -> failwith (Printf.sprintf "%s.%s: %s" target service e)
+
+(* mail: the Figure 1 slice as a live deployment. ui and composer on the
+   microkernel, the protocol/content handlers in SGX enclaves, the
+   keystore on the SEP — one show request crosses three substrates. *)
+let deploy_mail rng =
+  let ca = Rsa.generate ~bits:512 rng in
+  let m1 = Lt_hw.Machine.create ~dram_pages:512 () in
+  let mk, _ =
+    Substrate_kernel.make m1 (Lt_kernel.Sched.Round_robin { quantum = 500 }) ()
+  in
+  let m2 = Lt_hw.Machine.create ~dram_pages:128 () in
+  let sgx, _ = Substrate_sgx.make m2 rng ~ca_name:"intel" ~ca_key:ca () in
+  let m3 = Lt_hw.Machine.create ~dram_pages:64 () in
+  let sep, _, _ = Substrate_sep.make m3 rng ~device_id:"mail-sep" ~private_pages:4 in
+  let substrates = [ ("microkernel", mk); ("sgx", sgx); ("sep", sep) ] in
+  let components =
+    [ ( Manifest.v ~name:"ui" ~provides:[ "show"; "compose" ]
+          ~connects_to:
+            [ Manifest.conn "imap" "fetch"; Manifest.conn "renderer" "render";
+              Manifest.conn "composer" "compose" ]
+          ~network_facing:true ~substrate:"microkernel" ~size_loc:6000 (),
+        fun ctx ~service req ->
+          match service with
+          | "show" ->
+            let mail = call_or_err ctx ~target:"imap" ~service:"fetch" req in
+            call_or_err ctx ~target:"renderer" ~service:"render" mail
+          | _ -> call_or_err ctx ~target:"composer" ~service:"compose" req );
+      ( Manifest.v ~name:"imap" ~provides:[ "fetch" ]
+          ~connects_to:
+            [ Manifest.conn "tls" "transmit"; Manifest.conn "storage" "store" ]
+          ~substrate:"sgx" ~size_loc:8000 ~vulnerable:true (),
+        fun ctx ~service:_ req ->
+          let _receipt = call_or_err ctx ~target:"tls" ~service:"transmit" ("FETCH " ^ req) in
+          let body = "mail(" ^ req ^ ")" in
+          let _ = call_or_err ctx ~target:"storage" ~service:"store" body in
+          body );
+      ( Manifest.v ~name:"smtp" ~provides:[ "send" ]
+          ~connects_to:[ Manifest.conn "tls" "transmit" ]
+          ~substrate:"sgx" ~size_loc:4000 ~vulnerable:true (),
+        fun ctx ~service:_ req ->
+          call_or_err ctx ~target:"tls" ~service:"transmit" ("SEND " ^ req) );
+      ( Manifest.v ~name:"tls" ~provides:[ "transmit" ]
+          ~connects_to:[ Manifest.conn "keystore" "sign" ]
+          ~substrate:"sgx" ~size_loc:3000 (),
+        fun ctx ~service:_ req ->
+          let signature = call_or_err ctx ~target:"keystore" ~service:"sign" req in
+          Printf.sprintf "sent(%s,sig=%s)" req signature );
+      ( Manifest.v ~name:"keystore" ~provides:[ "sign" ] ~substrate:"sep"
+          ~size_loc:800 (),
+        fun ctx ~service:_ req ->
+          let key =
+            match ctx.Deploy.facilities.Substrate.f_load ~key:"k" with
+            | Some k -> k
+            | None ->
+              ctx.Deploy.facilities.Substrate.f_store ~key:"k" "sep-held-key";
+              "sep-held-key"
+          in
+          String.sub (Sha256.hex (Hmac.mac ~key req)) 0 8 );
+      ( Manifest.v ~name:"renderer" ~provides:[ "render" ] ~substrate:"sgx"
+          ~size_loc:25000 ~vulnerable:true (),
+        fun _ctx ~service:_ req -> "render(" ^ req ^ ")" );
+      ( Manifest.v ~name:"composer" ~provides:[ "compose" ]
+          ~connects_to:[ Manifest.conn "smtp" "send" ]
+          ~substrate:"microkernel" ~size_loc:5000 (),
+        fun ctx ~service:_ req ->
+          call_or_err ctx ~target:"smtp" ~service:"send" req );
+      ( Manifest.v ~name:"storage" ~provides:[ "store"; "load" ]
+          ~connects_to:[ Manifest.conn ~vetted:true "legacyfs" "io" ]
+          ~substrate:"microkernel" ~size_loc:2500 (),
+        fun ctx ~service req ->
+          match service with
+          | "store" ->
+            ctx.Deploy.facilities.Substrate.f_store ~key:"latest" req;
+            call_or_err ctx ~target:"legacyfs" ~service:"io" ("W:" ^ req)
+          | _ ->
+            (match ctx.Deploy.facilities.Substrate.f_load ~key:"latest" with
+             | Some v -> v
+             | None -> call_or_err ctx ~target:"legacyfs" ~service:"io" "R:latest") );
+      ( Manifest.v ~name:"legacyfs" ~provides:[ "io" ] ~substrate:"microkernel"
+          ~size_loc:30000 ~vulnerable:true (),
+        fun _ctx ~service:_ req -> "fs-ack(" ^ req ^ ")" ) ]
+  in
+  match Deploy.deploy ~substrates components with
+  | Error e -> Error ("mail deployment: " ^ e)
+  | Ok d ->
+    Ok
+      { d_deploy = d;
+        d_mix =
+          (fun rng i ->
+            if Drbg.int rng 100 < 60 then
+              ("ui", "show", Printf.sprintf "msg-%d" i)
+            else ("ui", "compose", Printf.sprintf "draft-%d" i));
+        d_probe = (Some "renderer", "keystore", "sign") }
+
+(* meter: the Figure 3 appliance under sustained polling. The reading
+   is produced inside the TrustZone secure world, leaves the appliance
+   through the token-bucket gateway (the only NIC holder), and lands in
+   the utility's SGX anonymizer. Sustained load overruns the bucket, so
+   rate-limiting shows up in the report as degraded requests. *)
+let deploy_meter rng =
+  let ca = Rsa.generate ~bits:512 rng in
+  let tz_vendor = Rsa.generate ~bits:512 rng in
+  let m1 = Lt_hw.Machine.create ~dram_pages:512 () in
+  let mk, _ =
+    Substrate_kernel.make m1 (Lt_kernel.Sched.Round_robin { quantum = 500 }) ()
+  in
+  let m2 = Lt_hw.Machine.create ~dram_pages:64 () in
+  Lt_hw.Fuse.program m2.Lt_hw.Machine.fuses ~name:"meter-key"
+    ~visibility:Lt_hw.Fuse.Secure_only (Drbg.bytes rng 32);
+  let image = Lt_tpm.Boot.sign_stage tz_vendor ~name:"tz-os" "meter-secure-os-v1" in
+  match
+    Substrate_trustzone.make m2 ~vendor:tz_vendor.Rsa.pub ~image
+      ~device_id:"meter-0001" ~device_key_name:"meter-key" ~secure_pages:4
+  with
+  | Error e -> Error ("meter deployment: trustzone boot: " ^ e)
+  | Ok (tz, _) ->
+    let m3 = Lt_hw.Machine.create ~dram_pages:128 () in
+    let sgx, _ = Substrate_sgx.make m3 rng ~ca_name:"intel" ~ca_key:ca () in
+    let substrates = [ ("microkernel", mk); ("trustzone", tz); ("sgx", sgx) ] in
+    let net = Net.create () in
+    Net.register net "collector";
+    Net.register net "utility";
+    let gw = Gateway.create ~whitelist:[ "utility" ] ~tokens_per_tick:0.5 ~burst:5.0 in
+    let poll_tick = ref 0 in
+    let components =
+      [ ( Manifest.v ~name:"collector" ~provides:[ "poll" ]
+            ~connects_to:
+              [ Manifest.conn "meter" "read"; Manifest.conn "utility" "submit" ]
+            ~network_facing:true ~substrate:"microkernel" ~size_loc:3000 (),
+          fun ctx ~service:_ _req ->
+            let reading = call_or_err ctx ~target:"meter" ~service:"read" "" in
+            incr poll_tick;
+            match
+              Gateway.submit gw net ~now:!poll_tick ~src:"collector" ~dst:"utility"
+                reading
+            with
+            | Gateway.Blocked_destination -> failwith "gateway blocked the utility"
+            | Gateway.Rate_limited -> "rate-limited:" ^ reading
+            | Gateway.Forwarded ->
+              (match Net.recv net "utility" with
+               | None -> failwith "reading lost in transit"
+               | Some p ->
+                 call_or_err ctx ~target:"utility" ~service:"submit" p.Net.payload) );
+        ( Manifest.v ~name:"meter" ~provides:[ "read" ] ~substrate:"trustzone"
+            ~size_loc:2000 (),
+          fun ctx ~service:_ _req ->
+            let n =
+              match ctx.Deploy.facilities.Substrate.f_load ~key:"kwh" with
+              | Some v -> int_of_string v + 3
+              | None -> 3
+            in
+            ctx.Deploy.facilities.Substrate.f_store ~key:"kwh" (string_of_int n);
+            Printf.sprintf "customer=4711;kwh=%d" n );
+        ( Manifest.v ~name:"utility" ~provides:[ "submit" ]
+            ~connects_to:[ Manifest.conn ~vetted:true "anonymizer" "ingest" ]
+            ~substrate:"microkernel" ~size_loc:9000 (),
+          fun ctx ~service:_ reading ->
+            call_or_err ctx ~target:"anonymizer" ~service:"ingest" reading );
+        ( Manifest.v ~name:"anonymizer" ~provides:[ "ingest" ] ~substrate:"sgx"
+            ~size_loc:1200 (),
+          fun ctx ~service:_ reading ->
+            (* strip the customer id, bill only the kwh figure *)
+            let kwh =
+              match String.index_opt reading ';' with
+              | Some i -> String.sub reading (i + 1) (String.length reading - i - 1)
+              | None -> reading
+            in
+            let rows =
+              match ctx.Deploy.facilities.Substrate.f_load ~key:"rows" with
+              | Some v -> int_of_string v + 1
+              | None -> 1
+            in
+            ctx.Deploy.facilities.Substrate.f_store ~key:"rows" (string_of_int rows);
+            Printf.sprintf "billed(%s,rows=%d)" kwh rows ) ]
+    in
+    (match Deploy.deploy ~substrates components with
+     | Error e -> Error ("meter deployment: " ^ e)
+     | Ok d ->
+       Ok
+         { d_deploy = d;
+           d_mix = (fun _rng i -> ("collector", "poll", Printf.sprintf "poll-%d" i));
+           d_probe = (Some "meter", "anonymizer", "ingest") })
+
+(* cloud: the §II-B outsourced computation under job load — the
+   untrusted host forwards every job into the customer enclave. *)
+let deploy_cloud rng =
+  let ca = Rsa.generate ~bits:512 rng in
+  let m1 = Lt_hw.Machine.create ~dram_pages:512 () in
+  let mk, _ =
+    Substrate_kernel.make m1 (Lt_kernel.Sched.Round_robin { quantum = 500 }) ()
+  in
+  let m2 = Lt_hw.Machine.create ~dram_pages:256 () in
+  let sgx, _ = Substrate_sgx.make m2 rng ~ca_name:"intel" ~ca_key:ca () in
+  let substrates = [ ("microkernel", mk); ("sgx", sgx) ] in
+  let components =
+    [ ( Manifest.v ~name:"host" ~provides:[ "submit" ] ~network_facing:true
+          ~vulnerable:true
+          ~connects_to:[ Manifest.conn ~vetted:true "enclave" "ecall" ]
+          ~substrate:"microkernel" ~size_loc:50_000 (),
+        fun ctx ~service:_ job ->
+          call_or_err ctx ~target:"enclave" ~service:"ecall" job );
+      ( Manifest.v ~name:"enclave" ~provides:[ "ecall" ] ~substrate:"sgx"
+          ~size_loc:1500 (),
+        fun ctx ~service:_ job ->
+          let jobs =
+            match ctx.Deploy.facilities.Substrate.f_load ~key:"jobs" with
+            | Some v -> int_of_string v + 1
+            | None -> 1
+          in
+          ctx.Deploy.facilities.Substrate.f_store ~key:"jobs" (string_of_int jobs);
+          let digest = String.sub (Sha256.hex (Hmac.mac ~key:"corpus" job)) 0 8 in
+          Printf.sprintf "result(%s,jobs=%d)" digest jobs ) ]
+  in
+  match Deploy.deploy ~substrates components with
+  | Error e -> Error ("cloud deployment: " ^ e)
+  | Ok d ->
+    Ok
+      { d_deploy = d;
+        d_mix = (fun _rng i -> ("host", "submit", Printf.sprintf "job-%d" i));
+        d_probe = (None, "enclave", "ecall") }
+
+let deploy_scenario rng = function
+  | Mail -> deploy_mail rng
+  | Meter -> deploy_meter rng
+  | Cloud -> deploy_cloud rng
+
+(* --- the closed loop ------------------------------------------------------ *)
+
+type fault = F_none | F_drop | F_delay of int | F_compromise
+
+let pick_fault rng plan =
+  let roll = Drbg.int rng 100 in
+  if roll < plan.drop_pct then F_drop
+  else if roll < plan.drop_pct + plan.delay_pct then F_delay (1 + Drbg.int rng 16)
+  else if roll < plan.drop_pct + plan.delay_pct + plan.compromise_pct then
+    F_compromise
+  else F_none
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let run ?(faults = no_faults) ?(trace_capacity = 65536) ~scenario ~requests ~seed () =
+  if requests < 0 then Error "requests must be non-negative"
+  else if faults.drop_pct < 0 || faults.delay_pct < 0 || faults.compromise_pct < 0
+          || faults.drop_pct + faults.delay_pct + faults.compromise_pct > 100
+  then Error "fault percentages must be non-negative and sum to at most 100"
+  else begin
+    let rng = Drbg.create (Int64.of_int seed) in
+    let deploy_rng = Drbg.split rng in
+    match deploy_scenario deploy_rng scenario with
+    | Error e -> Error e
+    | Ok dep ->
+      let tracer = Trace.create ~capacity:trace_capacity () in
+      let metrics = Metrics.create () in
+      let ok = ref 0 and degraded = ref 0 and errors = ref 0 in
+      let dropped = ref 0 and delayed = ref 0 and denied = ref 0 in
+      Metrics.with_metrics metrics (fun () ->
+          Trace.with_tracer tracer (fun () ->
+              for i = 1 to requests do
+                Trace.set_trace i;
+                let target, service, payload = dep.d_mix rng i in
+                match pick_fault rng faults with
+                | F_drop ->
+                  incr dropped;
+                  Metrics.incr "load/faults_dropped";
+                  Trace.event ~iattr:("request", i) ~kind:"fault" ~name:"drop" ()
+                | F_compromise ->
+                  (* a caller that has no manifest channel to the target
+                     probes it; the router must deny every attempt *)
+                  incr denied;
+                  Metrics.incr "load/faults_compromise";
+                  let caller, ptarget, pservice = dep.d_probe in
+                  Trace.with_span ~kind:"fault" ~name:"compromised-caller"
+                    ~attrs:[ ("request", string_of_int i) ]
+                    (fun () ->
+                      match
+                        Deploy.call dep.d_deploy ~caller ~target:ptarget
+                          ~service:pservice payload
+                      with
+                      | Ok _ -> Trace.fail_span "off-manifest call got through"
+                      | Error _ -> ())
+                | (F_none | F_delay _) as f ->
+                  (match f with
+                   | F_delay n ->
+                     incr delayed;
+                     Metrics.incr "load/faults_delayed";
+                     Trace.advance n
+                   | _ -> ());
+                  Metrics.incr "load/requests";
+                  let r =
+                    Trace.with_span ~kind:"request"
+                      ~name:(target ^ "." ^ service)
+                      ~attrs:[ ("request", string_of_int i) ]
+                      (fun () ->
+                        match
+                          Deploy.call dep.d_deploy ~caller:None ~target ~service
+                            payload
+                        with
+                        | Ok r -> Ok r
+                        | Error e ->
+                          Trace.fail_span e;
+                          Error e)
+                  in
+                  (match r with
+                   | Ok reply when has_prefix ~prefix:"rate-limited" reply ->
+                     incr degraded;
+                     Metrics.incr "load/degraded"
+                   | Ok _ ->
+                     incr ok;
+                     Metrics.incr "load/ok"
+                   | Error _ ->
+                     incr errors;
+                     Metrics.incr "load/errors")
+              done));
+      let substrates =
+        List.sort_uniq Stdlib.compare
+          (List.filter_map
+             (fun sp -> List.assoc_opt "substrate" sp.Trace.sp_attrs)
+             (Trace.spans tracer))
+      in
+      Ok
+        ( { r_scenario = scenario_name scenario;
+            r_requests = requests;
+            r_seed = seed;
+            r_ok = !ok;
+            r_degraded = !degraded;
+            r_errors = !errors;
+            r_dropped = !dropped;
+            r_delayed = !delayed;
+            r_denied_probes = !denied;
+            r_violations = List.length (Deploy.violations dep.d_deploy);
+            r_substrates = substrates;
+            r_spans = Trace.recorded tracer;
+            r_span_ticks = Trace.now tracer;
+            r_counters = Metrics.counters metrics;
+            r_histograms = Metrics.summaries metrics },
+          tracer )
+  end
+
+(* --- rendering ------------------------------------------------------------ *)
+
+let render_report_text r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "lateral run %s: %d requests, seed %d\n" r.r_scenario
+       r.r_requests r.r_seed);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  ok %d, degraded %d, errors %d | faults: dropped %d, delayed %d, denied probes %d\n"
+       r.r_ok r.r_degraded r.r_errors r.r_dropped r.r_delayed r.r_denied_probes);
+  Buffer.add_string buf
+    (Printf.sprintf "  violations recorded by the router: %d\n" r.r_violations);
+  Buffer.add_string buf
+    (Printf.sprintf "  spans: %d over %d ticks, substrates crossed: %s\n" r.r_spans
+       r.r_span_ticks
+       (if r.r_substrates = [] then "-" else String.concat ", " r.r_substrates));
+  Buffer.add_string buf "counters:\n";
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %-40s %d\n" k v))
+    r.r_counters;
+  Buffer.add_string buf
+    (Printf.sprintf "latency histograms (ticks):\n  %-40s %8s %8s %8s %8s %8s\n"
+       "key" "count" "p50" "p95" "p99" "max");
+  List.iter
+    (fun (k, s) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-40s %8d %8d %8d %8d %8d\n" k s.Metrics.s_count
+           s.Metrics.s_p50 s.Metrics.s_p95 s.Metrics.s_p99 s.Metrics.s_max))
+    r.r_histograms;
+  Buffer.contents buf
+
+let render_report_json r =
+  let esc = Metrics.json_escape in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"scenario\":\"%s\",\"requests\":%d,\"seed\":%d,\"ok\":%d,\"degraded\":%d,\"errors\":%d,\"dropped\":%d,\"delayed\":%d,\"denied_probes\":%d,\"violations\":%d,\"spans\":%d,\"span_ticks\":%d,\"substrates\":[%s],\"counters\":{"
+       (esc r.r_scenario) r.r_requests r.r_seed r.r_ok r.r_degraded r.r_errors
+       r.r_dropped r.r_delayed r.r_denied_probes r.r_violations r.r_spans
+       r.r_span_ticks
+       (String.concat ","
+          (List.map (fun s -> "\"" ^ esc s ^ "\"") r.r_substrates)));
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%d" (esc k) v))
+    r.r_counters;
+  Buffer.add_string buf "},\"histograms\":{";
+  List.iteri
+    (fun i (k, s) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\"%s\":{\"count\":%d,\"sum\":%d,\"p50\":%d,\"p95\":%d,\"p99\":%d,\"max\":%d}"
+           (esc k) s.Metrics.s_count s.Metrics.s_sum s.Metrics.s_p50
+           s.Metrics.s_p95 s.Metrics.s_p99 s.Metrics.s_max))
+    r.r_histograms;
+  Buffer.add_string buf "}}\n";
+  Buffer.contents buf

@@ -1,0 +1,59 @@
+(** Deterministic closed-loop load engine.
+
+    [run] deploys one of the paper's scenarios onto real simulated
+    substrates ({!Lateral.Deploy}), installs a fresh tracer and metrics
+    registry, and replays a seeded request mix: one request at a time
+    (closed loop), each a routed external call into the deployment's
+    network-facing entry point, optionally perturbed by per-request
+    fault injection. Everything — the request mix, the payloads, the
+    fault schedule, the span ids and ticks — derives from the seed, so
+    two runs with equal arguments produce byte-identical trace exports
+    and reports. *)
+
+type scenario = Mail | Meter | Cloud
+
+val all_scenarios : scenario list
+
+val scenario_name : scenario -> string
+
+val scenario_of_string : string -> (scenario, string) result
+
+(** Per-request fault injection, in percent of requests (deterministic,
+    seeded). Faults are disjoint: a request suffers at most one. *)
+type fault_plan = {
+  drop_pct : int;        (** request never issued *)
+  delay_pct : int;       (** logical-clock delay before the request *)
+  compromise_pct : int;  (** an off-manifest call is attempted instead *)
+}
+
+val no_faults : fault_plan
+
+type report = {
+  r_scenario : string;
+  r_requests : int;
+  r_seed : int;
+  r_ok : int;               (** requests answered [Ok] *)
+  r_degraded : int;         (** answered, but rate-limited at the gateway *)
+  r_errors : int;           (** requests answered [Error] *)
+  r_dropped : int;          (** fault: never issued *)
+  r_delayed : int;          (** fault: issued after a delay *)
+  r_denied_probes : int;    (** fault: off-manifest attempts, all denied *)
+  r_violations : int;       (** channel violations the router recorded *)
+  r_substrates : string list;  (** distinct substrates spans crossed *)
+  r_spans : int;            (** spans recorded (before ring eviction) *)
+  r_span_ticks : int;       (** final logical clock *)
+  r_counters : (string * int) list;
+  r_histograms : (string * Lt_obs.Metrics.summary) list;
+}
+
+(** [run ~scenario ~requests ~seed ()] — returns the report plus the
+    tracer (for export) or an error when the deployment cannot boot.
+    [trace_capacity] bounds the span ring (default 65536). *)
+val run :
+  ?faults:fault_plan -> ?trace_capacity:int ->
+  scenario:scenario -> requests:int -> seed:int -> unit ->
+  (report * Lt_obs.Trace.t, string) result
+
+val render_report_text : report -> string
+
+val render_report_json : report -> string

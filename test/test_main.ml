@@ -25,4 +25,5 @@ let () =
       ("lint", Test_lint.suite);
       ("flow", Test_flow.suite);
       ("ra_channel", Test_ra_channel.suite);
-      ("cloud", Test_cloud.suite) ]
+      ("cloud", Test_cloud.suite);
+      ("obs", Test_obs.suite) ]

@@ -271,6 +271,85 @@ let test_gateway_rate_limit () =
   Alcotest.(check int) "forwarded counted" 6 s.Gateway.forwarded;
   Alcotest.(check int) "rate-limited counted" 95 s.Gateway.rate_limited
 
+let test_gateway_fractional_rate () =
+  let net = Net.create () in
+  Net.register net "ok.org";
+  (* 0.4 tokens/tick: exact accrual means 5 ticks buy exactly 2 packets,
+     and the fraction is never lost to rounding across refills *)
+  let gw = Gateway.create ~whitelist:[ "ok.org" ] ~tokens_per_tick:0.4 ~burst:10.0 in
+  (* drain the initial burst *)
+  while Gateway.submit gw net ~now:0 ~src:"m" ~dst:"ok.org" "x" = Gateway.Forwarded do
+    ()
+  done;
+  let sent_by tick =
+    let n = ref 0 in
+    for now = 1 to tick do
+      while Gateway.submit gw net ~now ~src:"m" ~dst:"ok.org" "x" = Gateway.Forwarded do
+        incr n
+      done
+    done;
+    !n
+  in
+  Alcotest.(check int) "0.4/tick over 10 ticks = 4 packets" 4 (sent_by 10);
+  Alcotest.(check bool) "leftover fraction below one token"
+    true (Gateway.tokens gw < 1.0)
+
+let test_gateway_burst_clamp () =
+  let net = Net.create () in
+  Net.register net "ok.org";
+  let gw = Gateway.create ~whitelist:[ "ok.org" ] ~tokens_per_tick:100.0 ~burst:3.0 in
+  (* an arbitrarily long idle period must not bank more than burst *)
+  ignore (Gateway.submit gw net ~now:1_000_000 ~src:"m" ~dst:"ok.org" "x");
+  Alcotest.(check bool) "bucket clamped to burst" true (Gateway.tokens gw <= 3.0);
+  let sent = ref 0 in
+  for _ = 1 to 50 do
+    if Gateway.submit gw net ~now:1_000_000 ~src:"m" ~dst:"ok.org" "x" = Gateway.Forwarded
+    then incr sent
+  done;
+  Alcotest.(check int) "only burst-1 more after the first" 2 !sent
+
+let test_gateway_backwards_clock () =
+  let net = Net.create () in
+  Net.register net "ok.org";
+  let gw = Gateway.create ~whitelist:[ "ok.org" ] ~tokens_per_tick:1.0 ~burst:5.0 in
+  (* drain at the latest time the hostile clock will ever report *)
+  let drained = ref 0 in
+  while Gateway.submit gw net ~now:100 ~src:"m" ~dst:"ok.org" "x" = Gateway.Forwarded do
+    incr drained
+  done;
+  Alcotest.(check int) "burst drained" 5 !drained;
+  (* an oscillating clock (100 -> 0 -> 100 -> ...) must never mint
+     tokens: refill only happens when now exceeds the high-water mark *)
+  let minted = ref 0 in
+  for _ = 1 to 20 do
+    if Gateway.submit gw net ~now:0 ~src:"m" ~dst:"ok.org" "x" = Gateway.Forwarded then
+      incr minted;
+    if Gateway.submit gw net ~now:100 ~src:"m" ~dst:"ok.org" "x" = Gateway.Forwarded then
+      incr minted
+  done;
+  Alcotest.(check int) "oscillating clock mints nothing" 0 !minted;
+  Alcotest.(check bool) "tokens stayed non-negative" true (Gateway.tokens gw >= 0.0);
+  (* genuine progress past the high-water mark refills normally *)
+  Alcotest.(check bool) "real progress refills" true
+    (Gateway.submit gw net ~now:101 ~src:"m" ~dst:"ok.org" "x" = Gateway.Forwarded)
+
+let test_gateway_rejects_bad_rates () =
+  let rejects ~tokens_per_tick ~burst =
+    match Gateway.create ~whitelist:[] ~tokens_per_tick ~burst with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "NaN rate rejected" true
+    (rejects ~tokens_per_tick:Float.nan ~burst:5.0);
+  Alcotest.(check bool) "NaN burst rejected" true
+    (rejects ~tokens_per_tick:1.0 ~burst:Float.nan);
+  Alcotest.(check bool) "negative rate rejected" true
+    (rejects ~tokens_per_tick:(-1.0) ~burst:5.0);
+  Alcotest.(check bool) "negative burst rejected" true
+    (rejects ~tokens_per_tick:1.0 ~burst:(-0.5));
+  Alcotest.(check bool) "zero rate is a valid (never-refilling) policy" false
+    (rejects ~tokens_per_tick:0.0 ~burst:5.0)
+
 let suite =
   [ Alcotest.test_case "basic delivery" `Quick test_basic_delivery;
     Alcotest.test_case "unknown destination dropped" `Quick test_unknown_destination_dropped;
@@ -296,4 +375,12 @@ let suite =
     Alcotest.test_case "exporter unique per channel" `Quick
       test_exporter_unique_per_channel;
     Alcotest.test_case "gateway whitelist blocks DDoS" `Quick test_gateway_whitelist;
-    Alcotest.test_case "gateway token-bucket rate limit" `Quick test_gateway_rate_limit ]
+    Alcotest.test_case "gateway token-bucket rate limit" `Quick test_gateway_rate_limit;
+    Alcotest.test_case "gateway fractional refill is exact" `Quick
+      test_gateway_fractional_rate;
+    Alcotest.test_case "gateway idle time clamps to burst" `Quick
+      test_gateway_burst_clamp;
+    Alcotest.test_case "gateway backwards clock mints nothing" `Quick
+      test_gateway_backwards_clock;
+    Alcotest.test_case "gateway rejects NaN and negative policy" `Quick
+      test_gateway_rejects_bad_rates ]
