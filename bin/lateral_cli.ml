@@ -200,6 +200,33 @@ let cmd_run scenario requests seed trace_file format drop delay compromise
       if report.Lt_load.Load.r_errors > 0 then 1 else 0
   end
 
+(* --- chaos: the load scenarios under seeded destruction ------------------------- *)
+
+let cmd_chaos scenario requests seed trace_file format kill kill_pct flap
+    mid_ipc trace_capacity =
+  if requests <= 0 then begin
+    Printf.eprintf "chaos: --requests must be positive\n";
+    2
+  end
+  else begin
+    let plan = { Lt_resil.Chaos.kill; kill_pct; flap; mid_ipc_pct = mid_ipc } in
+    match Lt_resil.Chaos.run ~plan ?trace_capacity ~scenario ~requests ~seed () with
+    | Error e ->
+      Printf.eprintf "chaos: %s\n" e;
+      2
+    | Ok (report, tracer) ->
+      (match trace_file with
+       | None -> ()
+       | Some file ->
+         let oc = open_out file in
+         output_string oc (Lt_obs.Trace.export_json tracer);
+         close_out oc);
+      (match format with
+       | Run_text -> print_string (Lt_resil.Chaos.render_report_text report)
+       | Run_json -> print_string (Lt_resil.Chaos.render_report_json report));
+      if Lt_resil.Chaos.contained report then 0 else 1
+  end
+
 (* --- analyze a user-provided manifest file --------------------------------------- *)
 
 let cmd_analyze file exploit path =
@@ -380,7 +407,7 @@ open Cmdliner
 let substrates_cmd =
   Cmd.v
     (Cmd.info "substrates"
-       ~doc:"Compare the isolation substrates' properties (paper Table, \\u{a7}II)")
+       ~doc:"Compare the isolation substrates' properties (paper Table, \u{a7}II)")
     Term.(const cmd_substrates $ const ())
 
 let mail_cmd =
@@ -489,6 +516,88 @@ let run_cmd =
       const cmd_run $ scenario $ requests $ seed $ trace_arg $ format $ drop
       $ delay $ compromise $ trace_capacity)
 
+let chaos_cmd =
+  let scenario =
+    let scenario_conv =
+      Arg.enum
+        (List.map
+           (fun s -> (Lt_load.Load.scenario_name s, s))
+           Lt_load.Load.all_scenarios)
+    in
+    Arg.(
+      required
+      & pos 0 (some scenario_conv) None
+      & info [] ~docv:"SCENARIO"
+          ~doc:"Scenario to torture: $(b,mail), $(b,meter) or $(b,cloud)")
+  in
+  let requests =
+    Arg.(
+      value & opt int 100
+      & info [ "requests"; "n" ] ~docv:"N" ~doc:"Number of requests to replay")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Seed for the kill schedule, request mix and backoff jitter; \
+                equal seeds give byte-identical chaos reports")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", Run_text); ("json", Run_json) ]) Run_text
+      & info [ "format" ] ~docv:"FORMAT" ~doc:"Report format: $(b,text) or $(b,json)")
+  in
+  let kill =
+    Arg.(
+      value & opt_all string []
+      & info [ "kill" ] ~docv:"COMPONENT"
+          ~doc:
+            "Kill $(docv) once, at a seeded instant (repeatable). The pseudo \
+             component $(b,legacy_os) instead cuts power to the mail \
+             scenario's storage backend mid-mutation")
+  in
+  let kill_pct =
+    Arg.(
+      value & opt int 0
+      & info [ "kill-pct" ] ~docv:"PCT"
+          ~doc:"Percent of requests preceded by killing a random live component")
+  in
+  let flap =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flap" ] ~docv:"COMPONENT"
+          ~doc:
+            "Kill $(docv) again whenever it is found alive, until its restart \
+             budget is spent and its routes' breakers open")
+  in
+  let mid_ipc =
+    Arg.(
+      value & opt int 0
+      & info [ "mid-ipc" ] ~docv:"PCT"
+          ~doc:
+            "Firing percentage for the substrate fault points (kill mid-IPC \
+             on the microkernel, mid-ecall on SGX)")
+  in
+  let trace_capacity =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace-capacity" ] ~docv:"N"
+          ~doc:"Bound the span ring buffer (oldest spans evicted first)")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Replay a scenario while killing components at seeded instants; \
+          audits blast-radius containment, VPFS crash consistency against a \
+          shadow oracle, and secrecy across crashes. Exits 0 when contained, \
+          1 on a containment violation, 2 on setup errors")
+    Term.(
+      const cmd_chaos $ scenario $ requests $ seed $ trace_arg $ format $ kill
+      $ kill_pct $ flap $ mid_ipc $ trace_capacity)
+
 let analyze_cmd =
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"MANIFEST-FILE")
@@ -571,8 +680,8 @@ let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let group =
     Cmd.group ~default info
-      [ substrates_cmd; mail_cmd; meter_cmd; gateway_cmd; run_cmd; analyze_cmd;
-        lint_cmd; flow_cmd ]
+      [ substrates_cmd; mail_cmd; meter_cmd; gateway_cmd; run_cmd; chaos_cmd;
+        analyze_cmd; lint_cmd; flow_cmd ]
   in
   exit
     (match Cmd.eval_value group with

@@ -59,6 +59,12 @@ let manifests t =
 let manifest t name =
   Option.map (fun c -> c.man) (Hashtbl.find_opt t.comps name)
 
+let set_behaviour t name behave =
+  match Hashtbl.find_opt t.comps name with
+  | None ->
+    invalid_arg (Printf.sprintf "App.set_behaviour: no component %s" name)
+  | Some comp -> comp.behave <- behave
+
 let authorized t ~caller ~target ~service =
   match caller with
   | None ->
@@ -73,11 +79,37 @@ let authorized t ~caller ~target ~service =
          (fun conn -> conn.Manifest.target = target && conn.Manifest.service = service)
          c.man.Manifest.connects_to)
 
-let rec call t ~caller ~target ~service req =
+type call_error =
+  | Unknown_component of { caller : string; target : string; service : string }
+  | Unknown_service of { target : string; service : string }
+  | Denied of { caller : string; target : string; service : string }
+  | Crashed of { target : string; reason : string }
+
+(* renders exactly the strings [call] has always returned, so string
+   consumers and goldens are unaffected by the typed layer underneath *)
+let render_call_error = function
+  | Unknown_component { target; _ } -> Printf.sprintf "no component %S" target
+  | Unknown_service { target; service } ->
+    Printf.sprintf "component %s does not provide %s" target service
+  | Denied { caller; target; service } ->
+    Printf.sprintf "channel denied: %s -> %s.%s not in manifest" caller target
+      service
+  | Crashed { target; reason } ->
+    Printf.sprintf "component %s crashed: %s" target reason
+
+let rec call_typed t ~caller ~target ~service req =
+  let caller_name = Option.value caller ~default:"<external>" in
   match Hashtbl.find_opt t.comps target with
-  | None -> Error (Printf.sprintf "no component %S" target)
+  | None ->
+    (* same deny-style observability as a blocked channel: a request to a
+       component that does not exist is a routing fault, not a raise *)
+    Lt_obs.Trace.event ~kind:"deny"
+      ~name:(Lt_obs.Trace.span_name target service)
+      ~attrs:(("reason", "unknown-component") :: Lt_obs.Trace.attr "caller" caller_name)
+      ();
+    Lt_obs.Metrics.incr "channel/unknown_target";
+    Error (Unknown_component { caller = caller_name; target; service })
   | Some comp ->
-    let caller_name = Option.value caller ~default:"<external>" in
     if not (authorized t ~caller ~target ~service) then begin
       t.viols <-
         { v_caller = caller_name; v_target = target; v_service = service }
@@ -86,12 +118,10 @@ let rec call t ~caller ~target ~service req =
         ~name:(Lt_obs.Trace.span_name target service)
         ~attrs:(Lt_obs.Trace.attr "caller" caller_name) ();
       Lt_obs.Metrics.incr "channel/denied";
-      Error
-        (Printf.sprintf "channel denied: %s -> %s.%s not in manifest" caller_name
-           target service)
+      Error (Denied { caller = caller_name; target; service })
     end
     else if not (List.mem service comp.man.Manifest.provides) then
-      Error (Printf.sprintf "component %s does not provide %s" target service)
+      Error (Unknown_service { target; service })
     else begin
       let ctx =
         { self = target;
@@ -104,8 +134,12 @@ let rec call t ~caller ~target ~service req =
              ~name:(Lt_obs.Trace.span_name target service)
              ~attrs:(Lt_obs.Trace.attr "caller" caller_name)
              (fun () -> comp.behave ctx ~service req))
-      with exn -> Error (Printf.sprintf "component %s crashed: %s" target (Printexc.to_string exn))
+      with exn ->
+        Error (Crashed { target; reason = Printexc.to_string exn })
     end
+
+and call t ~caller ~target ~service req =
+  Result.map_error render_call_error (call_typed t ~caller ~target ~service req)
 
 (* the attacker's payload: sweep every (component, service) in the app
    and record which channels the runtime lets through *)

@@ -40,9 +40,35 @@ val manifests : t -> Manifest.t list
 
 val manifest : t -> string -> Manifest.t option
 
+(** [set_behaviour t name behaviour] replaces a registered component's
+    behaviour in place — the relaunch path after a crash. Raises on
+    unknown names. *)
+val set_behaviour : t -> string -> behaviour -> unit
+
+(** Why a call did not produce an answer, as a routing decision rather
+    than a string — supervisors restart on [Crashed], never on [Denied]
+    (a policy decision is not a fault). *)
+type call_error =
+  | Unknown_component of { caller : string; target : string; service : string }
+      (** no such component; recorded as a deny-style trace event and the
+          [channel/unknown_target] counter, never a raise *)
+  | Unknown_service of { target : string; service : string }
+  | Denied of { caller : string; target : string; service : string }
+  | Crashed of { target : string; reason : string }
+
+(** The exact strings {!call} has always returned for each case. *)
+val render_call_error : call_error -> string
+
+(** [call_typed t ~caller ~target ~service req] — like {!call} but the
+    failure keeps its shape. *)
+val call_typed :
+  t -> caller:string option -> target:string -> service:string -> string ->
+  (string, call_error) result
+
 (** [call t ~caller ~target ~service req] — [caller = None] means the
     outside world (network, user), which may only reach components
-    marked [network_facing]. *)
+    marked [network_facing]. [{!call_typed} |> Result.map_error
+    {!render_call_error}]. *)
 val call :
   t -> caller:string option -> target:string -> service:string -> string ->
   (string, string) result

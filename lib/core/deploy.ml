@@ -8,11 +8,39 @@ type behaviour = ctx -> service:string -> string -> string
 type t = {
   app : App.t; (* manifests + channel policy; behaviours delegate below *)
   placements : (string, Substrate.t * Substrate.component) Hashtbl.t;
+  specs : (string, Manifest.t * behaviour) Hashtbl.t;
+      (* what was asked for, kept so a crashed component can be
+         relaunched from its original spec *)
 }
+
+(* no span here: the router's "call" span above this bridge and the
+   substrate adapter's own span below it (ecall, smc, ipc-rpc, mailbox —
+   each tagged with its substrate) already bracket the hop; a third
+   identically-named span would only add per-call cost *)
+let bridge sub comp _ctx ~service req =
+  match sub.Substrate.invoke comp ~fn:service req with
+  | Ok r -> r
+  | Error e ->
+    Lt_obs.Trace.fail_span e;
+    failwith e
+
+let services_for ~self ~name ~behaviour provides =
+  let service_for svc =
+    ( svc,
+      fun facilities req ->
+        let call_out ~target ~service r =
+          match !self with
+          | None -> Error "router not ready"
+          | Some t -> App.call t.app ~caller:(Some name) ~target ~service r
+        in
+        behaviour { facilities; call_out } ~service:svc req )
+  in
+  List.map service_for provides
 
 let deploy ~substrates components =
   let app = App.create () in
   let placements = Hashtbl.create 8 in
+  let specs = Hashtbl.create 8 in
   (* tie the routing knot: component services capture this ref *)
   let self : t option ref = ref None in
   let launch_one (man, behaviour) =
@@ -23,34 +51,15 @@ let deploy ~substrates components =
         (Printf.sprintf "component %s names unknown substrate %S" name
            man.Manifest.substrate)
     | Some sub ->
-      let service_for svc =
-        ( svc,
-          fun facilities req ->
-            let call_out ~target ~service r =
-              match !self with
-              | None -> Error "router not ready"
-              | Some t -> App.call t.app ~caller:(Some name) ~target ~service r
-            in
-            behaviour { facilities; call_out } ~service:svc req )
-      in
       (match
          sub.Substrate.launch ~name ~code:("component|" ^ name)
-           ~services:(List.map service_for man.Manifest.provides)
+           ~services:(services_for ~self ~name ~behaviour man.Manifest.provides)
        with
        | Error e -> Error (Printf.sprintf "launching %s: %s" name e)
        | Ok comp ->
          Hashtbl.replace placements name (sub, comp);
-         (* no span here: the router's "call" span above this bridge and
-            the substrate adapter's own span below it (ecall, smc,
-            ipc-rpc, mailbox — each tagged with its substrate) already
-            bracket the hop; a third identically-named span would only
-            add per-call cost *)
-         App.add app man (fun _ctx ~service req ->
-             match sub.Substrate.invoke comp ~fn:service req with
-             | Ok r -> r
-             | Error e ->
-               Lt_obs.Trace.fail_span e;
-               failwith e);
+         Hashtbl.replace specs name (man, behaviour);
+         App.add app man (bridge sub comp);
          Ok ())
   in
   let rec go = function
@@ -63,12 +72,51 @@ let deploy ~substrates components =
     (match App.validate app with
      | Error errs -> Error ("manifest validation: " ^ String.concat "; " errs)
      | Ok () ->
-       let t = { app; placements } in
+       let t = { app; placements; specs } in
        self := Some t;
        Ok t)
 
 let call t ~caller ~target ~service req =
   App.call t.app ~caller ~target ~service req
+
+let call_typed t ~caller ~target ~service req =
+  App.call_typed t.app ~caller ~target ~service req
+
+let components t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.placements []
+  |> List.sort Stdlib.compare
+
+let manifest t name = App.manifest t.app name
+
+let crash t name =
+  match Hashtbl.find_opt t.placements name with
+  | None -> Error (Printf.sprintf "no component %S" name)
+  | Some (sub, comp) ->
+    sub.Substrate.crash comp;
+    Ok ()
+
+let is_alive t name =
+  match Hashtbl.find_opt t.placements name with
+  | None -> false
+  | Some (sub, comp) -> sub.Substrate.is_alive comp
+
+let relaunch t name =
+  match (Hashtbl.find_opt t.placements name, Hashtbl.find_opt t.specs name) with
+  | None, _ | _, None -> Error (Printf.sprintf "no component %S" name)
+  | Some (sub, old_comp), Some (man, behaviour) ->
+    (* crash-only: there is no graceful stop, a live instance is killed
+       before its replacement comes up *)
+    if sub.Substrate.is_alive old_comp then sub.Substrate.crash old_comp;
+    let self = ref (Some t) in
+    (match
+       sub.Substrate.launch ~name ~code:("component|" ^ name)
+         ~services:(services_for ~self ~name ~behaviour man.Manifest.provides)
+     with
+     | Error e -> Error (Printf.sprintf "relaunching %s: %s" name e)
+     | Ok comp ->
+       Hashtbl.replace t.placements name (sub, comp);
+       App.set_behaviour t.app name (bridge sub comp);
+       Ok ())
 
 let violations t = App.violations t.app
 

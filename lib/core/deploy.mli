@@ -35,8 +35,34 @@ val call :
   t -> caller:string option -> target:string -> service:string -> string ->
   (string, string) result
 
+(** [call_typed] — like {!call} with the failure kept as a routing
+    decision ({!App.call_error}); what supervisors and circuit breakers
+    classify on. An unknown target is a typed error plus a deny-style
+    trace event and [channel/unknown_target] counter — never a raise. *)
+val call_typed :
+  t -> caller:string option -> target:string -> service:string -> string ->
+  (string, App.call_error) result
+
 (** [violations t] — blocked channels, as in {!App.violations}. *)
 val violations : t -> App.violation list
+
+(** Deployed component names, sorted. *)
+val components : t -> string list
+
+val manifest : t -> string -> Manifest.t option
+
+(** [crash t name] kills the component where it stands on its substrate
+    (volatile state lost, sealed state kept). Idempotent. *)
+val crash : t -> string -> (unit, string) result
+
+(** [is_alive t name] — false for crashed {e and} unknown names. *)
+val is_alive : t -> string -> bool
+
+(** [relaunch t name] launches a fresh instance from the component's
+    original manifest and behaviour on its original substrate, replacing
+    the dead one in the routing table. A still-live instance is crashed
+    first (crash-only discipline: there is no graceful stop). *)
+val relaunch : t -> string -> (unit, string) result
 
 (** [substrate_of t name] — where a component actually runs. *)
 val substrate_of : t -> string -> string option

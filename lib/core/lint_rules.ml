@@ -55,6 +55,15 @@ let known_substrates =
 
 let substrate_known s = List.exists (fun (n, _, _) -> n = s) known_substrates
 
+(* substrates whose components die when the host side does: the enclave
+   host process (sgx), an OS-scheduled task (microkernel,
+   monolithic-os), or an in-address-space compartment (cheri). The
+   dedicated-hardware substrates (sep, trustzone, flicker, m3-noc) run
+   to completion per session and are excluded. *)
+let crashable_substrates = [ "sgx"; "microkernel"; "monolithic-os"; "cheri" ]
+
+let substrate_crashable s = List.mem s crashable_substrates
+
 let substrate_sealed_identity s =
   List.exists (fun (n, sealed, _) -> n = s && sealed) known_substrates
 
@@ -560,6 +569,30 @@ let rec l016 =
               | _ -> None)
           r.Flow.taint_hits) }
 
+let rec l019 =
+  { id = "L019-restart-policy-missing";
+    severity = Diagnostic.Warning;
+    summary =
+      "a stateful component on a crashable substrate declares no restart policy";
+    paper_ref = "\xc2\xa7III";
+    check =
+      (fun _cfg ctx ->
+        List.filter_map
+          (fun m ->
+            if
+              m.Manifest.stateful
+              && substrate_crashable m.Manifest.substrate
+              && m.Manifest.restart = None
+            then
+              Some
+                (diag ~rule:l019 ~component:m.Manifest.name
+                   (Printf.sprintf
+                      "stateful component on crashable substrate %S has no restart policy; a crash leaves it dead and its state unreachable"
+                      m.Manifest.substrate)
+                   "declare one: restart on-failure 3 256 (or restart never to accept the loss)")
+            else None)
+          ctx.manifests) }
+
 let all =
   [ l001; l002; l003; l004; l005; l006; l007; l008; l009; l010; l011; l012;
-    l013; l014; l015; l016 ]
+    l013; l014; l015; l016; l019 ]

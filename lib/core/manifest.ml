@@ -4,6 +4,14 @@ type connection = {
   vetted : bool;
 }
 
+type restart_policy = Never | On_failure | Always
+
+type restart = {
+  r_policy : restart_policy;
+  r_max : int;
+  r_window : int;
+}
+
 type t = {
   name : string;
   provides : string list;
@@ -14,11 +22,26 @@ type t = {
   vulnerable : bool;
   discriminates_clients : bool;
   substrate : string;
+  stateful : bool;
+  restart : restart option;
 }
+
+let default_restart policy = { r_policy = policy; r_max = 3; r_window = 256 }
+
+let restart_policy_of_string = function
+  | "never" -> Some Never
+  | "on-failure" -> Some On_failure
+  | "always" -> Some Always
+  | _ -> None
+
+let restart_policy_to_string = function
+  | Never -> "never"
+  | On_failure -> "on-failure"
+  | Always -> "always"
 
 let v ~name ?(provides = []) ?(connects_to = []) ?domain ?(size_loc = 1000)
     ?(network_facing = false) ?(vulnerable = false) ?(discriminates_clients = true)
-    ?(substrate = "microkernel") () =
+    ?(substrate = "microkernel") ?(stateful = false) ?restart () =
   { name;
     provides;
     connects_to;
@@ -27,7 +50,9 @@ let v ~name ?(provides = []) ?(connects_to = []) ?domain ?(size_loc = 1000)
     network_facing;
     vulnerable;
     discriminates_clients;
-    substrate }
+    substrate;
+    stateful;
+    restart }
 
 let conn ?(vetted = false) target service = { target; service; vetted }
 

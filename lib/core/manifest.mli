@@ -19,6 +19,18 @@ type connection = {
           caller's TCB (e.g. VPFS over the legacy FS) *)
 }
 
+(** What the supervisor may do when the component crashes. *)
+type restart_policy =
+  | Never       (** stay dead; a human decides *)
+  | On_failure  (** respawn after a crash, not after a clean destroy *)
+  | Always      (** respawn unconditionally *)
+
+type restart = {
+  r_policy : restart_policy;
+  r_max : int;     (** restarts allowed inside one window before give-up *)
+  r_window : int;  (** window length in simulated ticks *)
+}
+
 type t = {
   name : string;
   provides : string list;        (** entry points this component offers *)
@@ -35,15 +47,28 @@ type t = {
       (** checks IPC badges; [false] on a multi-client service is a
           confused-deputy risk (§III-D) *)
   substrate : string;            (** which isolation substrate hosts it *)
+  stateful : bool;
+      (** accumulates state across requests (sealed or volatile); what a
+          crash actually threatens, and what L019 keys on *)
+  restart : restart option;      (** [None]: no supervision declared *)
 }
+
+(** [default_restart policy] — max 3 restarts per 256-tick window. *)
+val default_restart : restart_policy -> restart
+
+val restart_policy_of_string : string -> restart_policy option
+
+val restart_policy_to_string : restart_policy -> string
 
 (** [v ~name ...] builds a manifest with sensible defaults:
     own domain = [name], not network facing, not vulnerable,
-    discriminating, substrate "microkernel". *)
+    discriminating, substrate "microkernel", stateless, no restart
+    policy. *)
 val v :
   name:string -> ?provides:string list -> ?connects_to:connection list ->
   ?domain:string -> ?size_loc:int -> ?network_facing:bool -> ?vulnerable:bool ->
-  ?discriminates_clients:bool -> ?substrate:string -> unit -> t
+  ?discriminates_clients:bool -> ?substrate:string -> ?stateful:bool ->
+  ?restart:restart -> unit -> t
 
 (** [conn ?vetted target service] — connection shorthand. *)
 val conn : ?vetted:bool -> string -> string -> connection

@@ -7,6 +7,8 @@ type partial = {
   mutable p_badges : bool;
   mutable p_provides : string list;
   mutable p_connects : Manifest.connection list;
+  mutable p_stateful : bool;
+  mutable p_restart : Manifest.restart option;
 }
 
 let fresh_partial () =
@@ -17,14 +19,16 @@ let fresh_partial () =
     p_vulnerable = false;
     p_badges = true;
     p_provides = [];
-    p_connects = [] }
+    p_connects = [];
+    p_stateful = false;
+    p_restart = None }
 
 let finish name p =
   Manifest.v ~name ~provides:(List.rev p.p_provides)
     ~connects_to:(List.rev p.p_connects)
     ?domain:p.p_domain ~size_loc:p.p_size ~network_facing:p.p_network
     ~vulnerable:p.p_vulnerable ~discriminates_clients:p.p_badges
-    ~substrate:p.p_substrate ()
+    ~substrate:p.p_substrate ~stateful:p.p_stateful ?restart:p.p_restart ()
 
 let split_ws s =
   String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
@@ -92,6 +96,41 @@ let parse_spanned text =
               | "network-facing", [] -> p.p_network <- true
               | "vulnerable", [] -> p.p_vulnerable <- true
               | "no-badge-checks", [] -> p.p_badges <- false
+              | "stateful", [] -> p.p_stateful <- true
+              | "restart", (policy :: bounds) ->
+                (match Manifest.restart_policy_of_string policy with
+                 | None ->
+                   error :=
+                     Some
+                       (Printf.sprintf
+                          "line %d: bad restart policy %S (never | on-failure | always)"
+                          lineno policy)
+                 | Some pol ->
+                   let base = Manifest.default_restart pol in
+                   (match bounds with
+                    | [] -> p.p_restart <- Some base
+                    | [ mx ] ->
+                      (match int_of_string_opt mx with
+                       | Some v when v >= 0 ->
+                         p.p_restart <- Some { base with Manifest.r_max = v }
+                       | _ ->
+                         error :=
+                           Some (Printf.sprintf "line %d: bad restart max %S" lineno mx))
+                    | [ mx; win ] ->
+                      (match (int_of_string_opt mx, int_of_string_opt win) with
+                       | Some v, Some w when v >= 0 && w > 0 ->
+                         p.p_restart <-
+                           Some { base with Manifest.r_max = v; r_window = w }
+                       | _ ->
+                         error :=
+                           Some
+                             (Printf.sprintf "line %d: bad restart bounds %S %S" lineno
+                                mx win))
+                    | _ ->
+                      error :=
+                        Some
+                          (Printf.sprintf
+                             "line %d: restart takes policy [max [window]]" lineno)))
               | "provides", (_ :: _ as services) ->
                 p.p_provides <- List.rev_append services p.p_provides
               | "connects", [ w ] ->
@@ -149,6 +188,14 @@ let to_text manifests =
       if m.Manifest.vulnerable then Buffer.add_string buf "  vulnerable\n";
       if not m.Manifest.discriminates_clients then
         Buffer.add_string buf "  no-badge-checks\n";
+      if m.Manifest.stateful then Buffer.add_string buf "  stateful\n";
+      (match m.Manifest.restart with
+       | None -> ()
+       | Some r ->
+         Buffer.add_string buf
+           (Printf.sprintf "  restart %s %d %d\n"
+              (Manifest.restart_policy_to_string r.Manifest.r_policy)
+              r.Manifest.r_max r.Manifest.r_window));
       if m.Manifest.provides <> [] then
         Buffer.add_string buf
           (Printf.sprintf "  provides %s\n" (String.concat " " m.Manifest.provides));

@@ -10,6 +10,9 @@
       network-facing          # flags
       vulnerable
       no-badge-checks
+      stateful                # accumulates state across requests
+      restart on-failure 3 256    # policy [max [window-ticks]];
+                                  # never | on-failure | always
       provides show render    # space-separated service names
       connects tls.transmit   # one target.service per line
       connects-vetted legacyfs.io   # trusted-wrapper connection

@@ -39,6 +39,8 @@ type t = {
     (Attestation.evidence, string) result;
   measure : code:string -> string;
   destroy : component -> unit;
+  crash : component -> unit;
+  is_alive : component -> bool;
 }
 
 let component_name c = c.c_name
@@ -49,6 +51,20 @@ let make_component ~name ~measurement ~state =
 let component_measurement c = c.c_measurement
 
 let component_state c = c.c_state
+
+let crashed_error name = Printf.sprintf "component %s crashed (killed)" name
+
+let lifecycle ?(teardown = fun _ -> ()) () =
+  let dead : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let crash c =
+    if not (Hashtbl.mem dead c.c_name) then begin
+      Hashtbl.replace dead c.c_name ();
+      teardown c
+    end
+  in
+  let is_alive c = not (Hashtbl.mem dead c.c_name) in
+  let revive name = Hashtbl.remove dead name in
+  (crash, is_alive, revive)
 
 let pp_attacker_model fmt m =
   Format.pp_print_string fmt

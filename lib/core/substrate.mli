@@ -57,7 +57,10 @@ type t = {
   launch :
     name:string -> code:string -> services:(string * service) list ->
     (component, string) result;
-      (** [code] is the measured identity; [services] the entry points *)
+      (** [code] is the measured identity; [services] the entry points.
+          Re-launching a crashed component's name revives it: the dead
+          mark is cleared and a fresh instance (empty volatile state,
+          same sealed identity) answers subsequent invokes. *)
   invoke : component -> fn:string -> string -> (string, string) result;
   attest :
     component -> nonce:string -> claim:string ->
@@ -65,6 +68,12 @@ type t = {
   measure : code:string -> string;
       (** predict the measurement of [code] (verifier side) *)
   destroy : component -> unit;
+  crash : component -> unit;
+      (** kill the component where it stands (crash-only discipline:
+          volatile state is lost, sealed state survives). Subsequent
+          {!field-invoke}s fail with {!crashed_error} until the name is
+          re-[launch]ed. Idempotent. *)
+  is_alive : component -> bool;
 }
 
 val component_name : component -> string
@@ -75,6 +84,19 @@ val make_component : name:string -> measurement:string -> state:exn -> component
 val component_measurement : component -> string
 
 val component_state : component -> exn
+
+(** [crashed_error name] — the uniform error every adapter returns when
+    a dead component is invoked, so routers can classify it. *)
+val crashed_error : string -> string
+
+(** [lifecycle ?teardown ()] — the shared crash bookkeeping for adapter
+    authors: returns [(crash, is_alive, revive)] closures over a private
+    dead-set. [crash] marks the component dead and runs [teardown] once;
+    [is_alive] consults the mark; [revive name] clears it (call from
+    [launch]). *)
+val lifecycle :
+  ?teardown:(component -> unit) -> unit ->
+  (component -> unit) * (component -> bool) * (string -> unit)
 
 val pp_properties : Format.formatter -> properties -> unit
 

@@ -27,8 +27,12 @@ let make rng ~size () =
   let root = Cheri.root machine in
   let session_secret = Drbg.bytes rng 32 in
   let next_off = ref 0 in
+  (* crash marks the compartment dead; its memory region is simply never
+     handed out again. Sealed blobs survive because the seal key is
+     derived from the measurement, which a relaunch reproduces. *)
+  let crash, is_alive, revive = Substrate.lifecycle () in
   let launch ~name ~code ~services =
-    ignore name;
+    revive name;
     if !next_off + compartment_bytes > Cheri.length root then
       Error "cheri: out of compartment memory"
     else begin
@@ -79,6 +83,9 @@ let make rng ~size () =
     | _ -> invalid_arg "substrate_cheri: foreign component"
   in
   let invoke c ~fn arg =
+    if not (is_alive c) then
+      Error (Substrate.crashed_error (Substrate.component_name c))
+    else
     let s = state_of c in
     match List.assoc_opt fn s.services with
     | None -> Error (Printf.sprintf "no entry point %S" fn)
@@ -98,6 +105,8 @@ let make rng ~size () =
       invoke;
       attest;
       measure = (fun ~code -> measure_code code);
-      destroy = (fun _ -> ()) }
+      destroy = (fun _ -> ());
+      crash;
+      is_alive }
   in
   (t, machine, root)

@@ -20,7 +20,11 @@ let properties =
     progress_guaranteed = true }
 
 let make tpm ?clock () =
+  (* crash marks the PAL dead between sessions; its sealed store blob is
+     untouched, so a relaunch of the same code unseals it again *)
+  let crash, is_alive, revive = Substrate.lifecycle () in
   let launch ~name ~code ~services =
+    revive name;
     (* each PAL carries its persistent state as a blob sealed to its own
        DRTM identity; the untrusted host merely stores the ciphertext *)
     let sealed_store : Tpm.sealed option ref = ref None in
@@ -91,6 +95,9 @@ let make tpm ?clock () =
     | _ -> invalid_arg "substrate_flicker: foreign component"
   in
   let invoke c ~fn arg =
+    if not (is_alive c) then
+      Error (Substrate.crashed_error (Substrate.component_name c))
+    else
     let s = pal_of c in
     let r =
       Latelaunch.execute ?clock tpm s.pal ~nonce:"session"
@@ -126,4 +133,5 @@ let make tpm ?clock () =
     let scratch = { Latelaunch.pal_name = "pal"; pal_code = code; handler = Fun.id } in
     Latelaunch.expected_drtm_composite tpm scratch
   in
-  { Substrate.properties; launch; invoke; attest; measure; destroy = (fun _ -> ()) }
+  { Substrate.properties; launch; invoke; attest; measure;
+    destroy = (fun _ -> ()); crash; is_alive }

@@ -33,6 +33,23 @@ let make machine policy ?tpm ?(boot_pcr = 10) ?(rng = Drbg.create 0x6b65726eL) (
   (* software sealing root when no TPM is present: lost at reboot and
      not bound to hardware -- exactly as weak as the paper implies *)
   let session_secret = Drbg.bytes rng 32 in
+  let state_of c =
+    match Substrate.component_state c with
+    | Task_state s -> s
+    | _ -> invalid_arg "substrate_kernel: foreign component"
+  in
+  (* crash = the server thread is killed where it stands; any in-flight
+     IPC never gets its reply. The sealing root survives (session secret
+     or TPM), so a relaunched instance can unseal its predecessor's
+     blobs. *)
+  let crash, is_alive_mark, revive =
+    Substrate.lifecycle
+      ~teardown:(fun c -> Kernel.kill_thread k (state_of c).server_tid)
+      ()
+  in
+  let is_alive c =
+    is_alive_mark c && Kernel.thread_alive k (state_of c).server_tid
+  in
   let launch ~name ~code ~services =
     let measurement = measure_code code in
     (match tpm with
@@ -107,14 +124,10 @@ let make machine policy ?tpm ?(boot_pcr = 10) ?(rng = Drbg.create 0x6b65726eL) (
       loop ()
     in
     let server_tid = Kernel.create_thread k task ~name:(name ^ ".srv") ~prio:5 server in
+    revive name;
     Ok
       (Substrate.make_component ~name ~measurement
          ~state:(Task_state { task; endpoint; server_tid }))
-  in
-  let state_of c =
-    match Substrate.component_state c with
-    | Task_state s -> s
-    | _ -> invalid_arg "substrate_kernel: foreign component"
   in
   let invoke_counter = ref 0 in
   let span_attrs =
@@ -122,7 +135,10 @@ let make machine policy ?tpm ?(boot_pcr = 10) ?(rng = Drbg.create 0x6b65726eL) (
   in
   let invoke c ~fn arg =
     let s = state_of c in
-    if not (Kernel.thread_alive k s.server_tid) then Error "component destroyed"
+    if not (is_alive_mark c) then
+      Error (Substrate.crashed_error (Substrate.component_name c))
+    else if not (Kernel.thread_alive k s.server_tid) then
+      Error "component destroyed"
     else
       Lt_obs.Trace.with_span ~kind:"ipc-rpc"
         ~name:(Lt_obs.Trace.span_name (Substrate.component_name c) fn)
@@ -148,6 +164,15 @@ let make machine policy ?tpm ?(boot_pcr = 10) ?(rng = Drbg.create 0x6b65726eL) (
                | Some [ "err"; e ] -> Error e
                | _ -> Error "malformed reply"))
       in
+      (* seeded chaos point: the kernel kills the server task after the
+         client has committed to the send — a death mid-IPC, observed by
+         the caller as a reply that never comes *)
+      if Fault_point.fires "microkernel/kill-mid-ipc" then begin
+        Kernel.kill_thread k s.server_tid;
+        Lt_obs.Trace.event ~kind:"fault" ~name:"kill-mid-ipc"
+          ~attrs:(Lt_obs.Trace.attr "component" (Substrate.component_name c))
+          ()
+      end;
       ignore (Kernel.run k);
       (match !result with
        | Error e -> Lt_obs.Trace.fail_span e
@@ -178,6 +203,8 @@ let make machine policy ?tpm ?(boot_pcr = 10) ?(rng = Drbg.create 0x6b65726eL) (
       invoke;
       attest;
       measure = (fun ~code -> measure_code code);
-      destroy = (fun c -> Kernel.kill_thread k (state_of c).server_tid) }
+      destroy = (fun c -> Kernel.kill_thread k (state_of c).server_tid);
+      crash;
+      is_alive }
   in
   (t, k)

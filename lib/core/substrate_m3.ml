@@ -22,8 +22,12 @@ let make rng ~ca_name ~ca_key ~tiles () =
   let kernel_cert = Cert.issue ~ca_name ~ca_key ~subject:"m3-kernel" kernel_key.Rsa.pub in
   let session_secret = Drbg.bytes rng 32 in
   let next_tile = ref 1 in
+  (* crash marks the tile's program dead; the tile itself is not reused.
+     A relaunch gets a fresh tile with an empty scratchpad but the same
+     measurement-derived seal key. *)
+  let crash, is_alive, revive = Substrate.lifecycle () in
   let launch ~name ~code ~services =
-    ignore name;
+    revive name;
     if !next_tile >= tiles then Error "m3: no free compute tile"
     else begin
       let tile = !next_tile in
@@ -81,6 +85,9 @@ let make rng ~ca_name ~ca_key ~tiles () =
     | _ -> invalid_arg "substrate_m3: foreign component"
   in
   let invoke c ~fn arg =
+    if not (is_alive c) then
+      Error (Substrate.crashed_error (Substrate.component_name c))
+    else
     let tile = tile_of c in
     match Noc.send chip ~from_tile:Noc.kernel_tile ~ep:tile (Wire.encode [ fn; arg ]) with
     | Error e -> Error e
@@ -113,6 +120,8 @@ let make rng ~ca_name ~ca_key ~tiles () =
       invoke;
       attest;
       measure = (fun ~code -> measure_code code);
-      destroy = (fun _ -> ()) }
+      destroy = (fun _ -> ());
+      crash;
+      is_alive }
   in
   (t, chip)

@@ -34,7 +34,11 @@ let make machine rng ~device_id ~private_pages =
       f_store = (fun ~key data -> Sep.store ctx ~key data);
       f_load = (fun ~key -> Sep.load ctx ~key) }
   in
+  (* crash marks the mailbox service dead; the SEP itself keeps running,
+     so secure-world storage and the UID key survive for the relaunch *)
+  let crash, is_alive, revive = Substrate.lifecycle () in
   let launch ~name ~code ~services =
+    revive name;
     Hashtbl.replace measurements name (measure_code code);
     (* one mailbox service per component dispatches its entry points so
        they share the component's store namespace *)
@@ -56,6 +60,9 @@ let make machine rng ~device_id ~private_pages =
   in
   let span_attrs = [ ("substrate", "sep") ] in
   let invoke c ~fn arg =
+    if not (is_alive c) then
+      Error (Substrate.crashed_error (Substrate.component_name c))
+    else
     Lt_obs.Trace.with_span ~kind:"mailbox"
       ~name:(Lt_obs.Trace.span_name (Substrate.component_name c) fn)
       ~attrs:span_attrs
@@ -99,6 +106,8 @@ let make machine rng ~device_id ~private_pages =
       invoke;
       attest;
       measure = (fun ~code -> measure_code code);
-      destroy = (fun _ -> ()) }
+      destroy = (fun _ -> ());
+      crash;
+      is_alive }
   in
   (t, sep, Sep.provisioning_record sep)

@@ -48,6 +48,21 @@ let make machine rng ~ca_name ~ca_key ?(epc_pages = 2) () =
       Hashtbl.replace facilities_cache name fac;
       fac
   in
+  let enclave_of c =
+    match Substrate.component_state c with
+    | Enclave_state e -> e
+    | _ -> invalid_arg "substrate_sgx: foreign component"
+  in
+  (* crash = the enclave is torn down where it stands: EPC zeroed and
+     freed, volatile store gone. Sealed blobs survive because the seal
+     key is derived from the measurement, which a relaunch reproduces. *)
+  let crash, is_alive, revive =
+    Substrate.lifecycle
+      ~teardown:(fun c ->
+        Hashtbl.remove facilities_cache (Substrate.component_name c);
+        try Sgx.destroy cpu (enclave_of c) with Invalid_argument _ -> ())
+      ()
+  in
   let launch ~name ~code ~services =
     let ecalls =
       List.map
@@ -57,27 +72,35 @@ let make machine rng ~ca_name ~ca_key ?(epc_pages = 2) () =
     in
     try
       let e = Sgx.create_enclave cpu ~name ~code ~epc_pages ~ecalls in
+      revive name;
       Ok
         (Substrate.make_component ~name ~measurement:(Sgx.measurement e)
            ~state:(Enclave_state e))
     with Invalid_argument m -> Error m
   in
-  let enclave_of c =
-    match Substrate.component_state c with
-    | Enclave_state e -> e
-    | _ -> invalid_arg "substrate_sgx: foreign component"
-  in
   let span_attrs = [ ("substrate", "sgx") ] in
   let invoke c ~fn arg =
-    Lt_obs.Trace.with_span ~kind:"ecall"
-      ~name:(Lt_obs.Trace.span_name (Substrate.component_name c) fn)
-      ~attrs:span_attrs
-      (fun () ->
-        match Sgx.ecall cpu (enclave_of c) ~fn arg with
-        | Ok _ as r -> r
-        | Error e as r ->
-          Lt_obs.Trace.fail_span e;
-          r)
+    if not (is_alive c) then
+      Error (Substrate.crashed_error (Substrate.component_name c))
+    else
+      Lt_obs.Trace.with_span ~kind:"ecall"
+        ~name:(Lt_obs.Trace.span_name (Substrate.component_name c) fn)
+        ~attrs:span_attrs
+        (fun () ->
+          if Fault_point.fires "sgx/kill-mid-ecall" then begin
+            (* the untrusted host pulls the enclave out from under the
+               in-flight ecall (SGX guarantees no progress, §II-C) *)
+            crash c;
+            let e = Substrate.crashed_error (Substrate.component_name c) in
+            Lt_obs.Trace.fail_span e;
+            Error e
+          end
+          else
+            match Sgx.ecall cpu (enclave_of c) ~fn arg with
+            | Ok _ as r -> r
+            | Error e as r ->
+              Lt_obs.Trace.fail_span e;
+              r)
   in
   let attest c ~nonce ~claim =
     let e = enclave_of c in
@@ -104,6 +127,8 @@ let make machine rng ~ca_name ~ca_key ?(epc_pages = 2) () =
       destroy =
         (fun c ->
           Hashtbl.remove facilities_cache (Substrate.component_name c);
-          Sgx.destroy cpu (enclave_of c)) }
+          Sgx.destroy cpu (enclave_of c));
+      crash;
+      is_alive }
   in
   (t, cpu)

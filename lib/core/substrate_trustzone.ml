@@ -37,8 +37,12 @@ let make machine ~vendor ~image ~device_id ~device_key_name ~secure_pages =
         f_store = (fun ~key data -> Trustzone.store ctx ~key data);
         f_load = (fun ~key -> Trustzone.load ctx ~key) }
     in
+    (* crash marks the secure service dead; the secure world itself keeps
+       running, so fused keys and secure storage survive for the relaunch *)
+    let crash, is_alive, revive = Substrate.lifecycle () in
     let launch ~name ~code ~services =
       ignore code;
+      revive name;
       (* TrustZone measures the world, not the component: code identity
          is the booted secure-world image for every service. One secure
          service per component dispatches its entry points, so all entry
@@ -62,6 +66,9 @@ let make machine ~vendor ~image ~device_id ~device_key_name ~secure_pages =
     in
     let span_attrs = [ ("substrate", "trustzone") ] in
     let invoke c ~fn arg =
+      if not (is_alive c) then
+        Error (Substrate.crashed_error (Substrate.component_name c))
+      else
       Lt_obs.Trace.with_span ~kind:"smc"
         ~name:(Lt_obs.Trace.span_name (Substrate.component_name c) fn)
         ~attrs:span_attrs
@@ -111,6 +118,8 @@ let make machine ~vendor ~image ~device_id ~device_key_name ~secure_pages =
         invoke;
         attest;
         measure = (fun ~code -> ignore code; world_measurement);
-        destroy = (fun _ -> ()) }
+        destroy = (fun _ -> ());
+        crash;
+        is_alive }
     in
     Ok (t, tz)

@@ -4,6 +4,9 @@ module Net = Lt_net.Net
 module Gateway = Lt_net.Gateway
 module Trace = Lt_obs.Trace
 module Metrics = Lt_obs.Metrics
+module Block = Lt_storage.Block
+module Fs = Lt_storage.Legacy_fs
+module Vpfs = Lt_storage.Vpfs
 
 type scenario = Mail | Meter | Cloud
 
@@ -49,18 +52,136 @@ type report = {
    (sealed state) and — for the meter — the network gateway, so a load
    run produces the span mix a real serving stack would. *)
 
+type storage_harness = {
+  st_crash_backend : int -> unit;
+  st_backend_alive : unit -> bool;
+  st_recover : unit -> (string, string) result;
+  st_check : unit -> (unit, string) result;
+  st_leaked : needle:string -> bool;
+}
+
 type deployed = {
   d_deploy : Deploy.t;
   (* the seeded request mix: picks an external entry point and payload *)
   d_mix : Drbg.t -> int -> string * string * string;
   (* an off-manifest probe for compromised-caller fault injection *)
   d_probe : string option * string * string;
+  (* every external route with the components it transits, the unit of
+     blast-radius accounting: a chaos run may only see a route fail when
+     one of its own components is down *)
+  d_routes : (string * string * string list) list;
+  d_storage : storage_harness option;
 }
 
 let call_or_err ctx ~target ~service req =
   match ctx.Deploy.call_out ~target ~service req with
   | Ok r -> r
   | Error e -> failwith (Printf.sprintf "%s.%s: %s" target service e)
+
+(* The mail scenario's storage component persists through a real VPFS
+   (the §III-D trusted wrapper) layered over the crashable legacy FS in
+   lib/storage. The harness hooks let a chaos driver lose power after an
+   arbitrary number of backend block writes — including inside the
+   4-write redo-journal window of one VPFS mutation — then remount, run
+   crash recovery, and audit the survivors against a shadow oracle that
+   records every acknowledged write. *)
+let mail_master_key = "mail-vpfs-master-key"
+
+let make_mail_storage () =
+  let dev = Block.create ~blocks:1024 in
+  let fs0 = Fs.format dev in
+  let v0 = Vpfs.create ~master_key:mail_master_key fs0 in
+  let lfs = ref fs0 and vpfs = ref v0 in
+  (* the root digest a SEP/TPM would re-seal after every acknowledged
+     write; open_recover checks against it, which is what defeats
+     whole-FS rollback even across power cuts *)
+  let trusted_root = ref (Vpfs.root v0) in
+  let past_fs = ref [ fs0 ] in
+  let oracle : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  (* paths with a write attempted since the last clean point; a power
+     cut leaves them in doubt (retries against the dead backend can pile
+     several up before anyone remounts) *)
+  let pending = ref [] in
+  let store path data =
+    pending := path :: !pending;
+    match Vpfs.write !vpfs path data with
+    | Ok () ->
+      trusted_root := Vpfs.root !vpfs;
+      Hashtbl.replace oracle path data;
+      pending := List.filter (fun q -> q <> path) !pending;
+      Ok ()
+    | Error e -> Error (Format.asprintf "%a" Vpfs.pp_error e)
+  in
+  let load path =
+    match Vpfs.read !vpfs path with Ok v -> Some v | Error _ -> None
+  in
+  let harness =
+    { st_crash_backend = (fun n -> Fs.crash_after_writes !lfs n);
+      st_backend_alive =
+        (fun () ->
+          match Fs.read !lfs "/.probe" with
+          | exception Fs.Crashed -> false
+          | _ -> true);
+      st_recover =
+        (fun () ->
+          match Fs.mount dev with
+          | Error e -> Error (Format.asprintf "remount: %a" Fs.pp_error e)
+          | Ok fs2 ->
+            (match
+               Vpfs.open_recover ~master_key:mail_master_key
+                 ~expected_root:!trusted_root fs2
+             with
+             | Error e -> Error (Format.asprintf "recover: %a" Vpfs.pp_error e)
+             | Ok (v2, status) ->
+               lfs := fs2;
+               vpfs := v2;
+               past_fs := fs2 :: !past_fs;
+               trusted_root := Vpfs.root v2;
+               (* each mutation in flight around the power cut either
+                  became durable (its journal record survived, so
+                  recovery rolled it forward) or vanished entirely;
+                  whichever way each went is now the truth the oracle
+                  tracks *)
+               List.iter
+                 (fun path ->
+                   match Vpfs.read v2 path with
+                   | Ok now -> Hashtbl.replace oracle path now
+                   | Error _ -> Hashtbl.remove oracle path)
+                 (List.sort_uniq Stdlib.compare !pending);
+               pending := [];
+               Ok (match status with `Clean -> "clean" | `Recovered -> "recovered")));
+      st_check =
+        (fun () ->
+          let got = List.sort Stdlib.compare (Vpfs.list !vpfs) in
+          let want =
+            Hashtbl.fold (fun k _ acc -> k :: acc) oracle []
+            |> List.sort Stdlib.compare
+          in
+          if got <> want then
+            Error
+              (Printf.sprintf "paths diverge: vpfs [%s] vs oracle [%s]"
+                 (String.concat "; " got) (String.concat "; " want))
+          else
+            List.fold_left
+              (fun acc path ->
+                match acc with
+                | Error _ -> acc
+                | Ok () -> (
+                  let expect = Hashtbl.find oracle path in
+                  match Vpfs.read !vpfs path with
+                  | Ok data when data = expect -> Ok ()
+                  | Ok data ->
+                    Error (Printf.sprintf "%s: got %S, oracle %S" path data expect)
+                  | Error e ->
+                    Error (Format.asprintf "%s: %a" path Vpfs.pp_error e)))
+              (Ok ()) want);
+      st_leaked =
+        (fun ~needle ->
+          (* every byte the legacy stack ever saw, across remounts: the
+             wrapper must never have handed it plaintext *)
+          List.exists (fun fs -> Fs.observed_contains fs ~needle) !past_fs) }
+  in
+  (harness, store, load)
 
 (* mail: the Figure 1 slice as a live deployment. ui and composer on the
    microkernel, the protocol/content handlers in SGX enclaves, the
@@ -76,12 +197,17 @@ let deploy_mail rng =
   let m3 = Lt_hw.Machine.create ~dram_pages:64 () in
   let sep, _, _ = Substrate_sep.make m3 rng ~device_id:"mail-sep" ~private_pages:4 in
   let substrates = [ ("microkernel", mk); ("sgx", sgx); ("sep", sep) ] in
+  let storage_h, st_store, st_load = make_mail_storage () in
+  let slot = ref 0 in
+  let on_failure = Manifest.default_restart Manifest.On_failure in
+  let always = Manifest.default_restart Manifest.Always in
   let components =
     [ ( Manifest.v ~name:"ui" ~provides:[ "show"; "compose" ]
           ~connects_to:
             [ Manifest.conn "imap" "fetch"; Manifest.conn "renderer" "render";
               Manifest.conn "composer" "compose" ]
-          ~network_facing:true ~substrate:"microkernel" ~size_loc:6000 (),
+          ~network_facing:true ~substrate:"microkernel" ~size_loc:6000
+          ~restart:always (),
         fun ctx ~service req ->
           match service with
           | "show" ->
@@ -91,7 +217,7 @@ let deploy_mail rng =
       ( Manifest.v ~name:"imap" ~provides:[ "fetch" ]
           ~connects_to:
             [ Manifest.conn "tls" "transmit"; Manifest.conn "storage" "store" ]
-          ~substrate:"sgx" ~size_loc:8000 ~vulnerable:true (),
+          ~substrate:"sgx" ~size_loc:8000 ~vulnerable:true ~restart:on_failure (),
         fun ctx ~service:_ req ->
           let _receipt = call_or_err ctx ~target:"tls" ~service:"transmit" ("FETCH " ^ req) in
           let body = "mail(" ^ req ^ ")" in
@@ -99,17 +225,17 @@ let deploy_mail rng =
           body );
       ( Manifest.v ~name:"smtp" ~provides:[ "send" ]
           ~connects_to:[ Manifest.conn "tls" "transmit" ]
-          ~substrate:"sgx" ~size_loc:4000 ~vulnerable:true (),
+          ~substrate:"sgx" ~size_loc:4000 ~vulnerable:true ~restart:on_failure (),
         fun ctx ~service:_ req ->
           call_or_err ctx ~target:"tls" ~service:"transmit" ("SEND " ^ req) );
       ( Manifest.v ~name:"tls" ~provides:[ "transmit" ]
           ~connects_to:[ Manifest.conn "keystore" "sign" ]
-          ~substrate:"sgx" ~size_loc:3000 (),
+          ~substrate:"sgx" ~size_loc:3000 ~restart:on_failure (),
         fun ctx ~service:_ req ->
           let signature = call_or_err ctx ~target:"keystore" ~service:"sign" req in
           Printf.sprintf "sent(%s,sig=%s)" req signature );
       ( Manifest.v ~name:"keystore" ~provides:[ "sign" ] ~substrate:"sep"
-          ~size_loc:800 (),
+          ~size_loc:800 ~stateful:true ~restart:on_failure (),
         fun ctx ~service:_ req ->
           let key =
             match ctx.Deploy.facilities.Substrate.f_load ~key:"k" with
@@ -120,27 +246,39 @@ let deploy_mail rng =
           in
           String.sub (Sha256.hex (Hmac.mac ~key req)) 0 8 );
       ( Manifest.v ~name:"renderer" ~provides:[ "render" ] ~substrate:"sgx"
-          ~size_loc:25000 ~vulnerable:true (),
+          ~size_loc:25000 ~vulnerable:true ~restart:always (),
         fun _ctx ~service:_ req -> "render(" ^ req ^ ")" );
       ( Manifest.v ~name:"composer" ~provides:[ "compose" ]
           ~connects_to:[ Manifest.conn "smtp" "send" ]
-          ~substrate:"microkernel" ~size_loc:5000 (),
+          ~substrate:"microkernel" ~size_loc:5000 ~restart:on_failure (),
         fun ctx ~service:_ req ->
           call_or_err ctx ~target:"smtp" ~service:"send" req );
       ( Manifest.v ~name:"storage" ~provides:[ "store"; "load" ]
           ~connects_to:[ Manifest.conn ~vetted:true "legacyfs" "io" ]
-          ~substrate:"microkernel" ~size_loc:2500 (),
+          ~substrate:"microkernel" ~size_loc:2500 ~stateful:true
+          ~restart:on_failure (),
         fun ctx ~service req ->
           match service with
           | "store" ->
             ctx.Deploy.facilities.Substrate.f_store ~key:"latest" req;
+            (* journal the body through the VPFS wrapper before telling
+               the legacy stack; a power cut between the two loses the
+               ack, never an acknowledged write *)
+            incr slot;
+            let path = Printf.sprintf "/mail/%d" (!slot mod 8) in
+            (match st_store path req with
+             | Ok () -> ()
+             | Error e -> failwith ("vpfs: " ^ e));
             call_or_err ctx ~target:"legacyfs" ~service:"io" ("W:" ^ req)
           | _ ->
             (match ctx.Deploy.facilities.Substrate.f_load ~key:"latest" with
              | Some v -> v
-             | None -> call_or_err ctx ~target:"legacyfs" ~service:"io" "R:latest") );
+             | None ->
+               (match st_load (Printf.sprintf "/mail/%d" (!slot mod 8)) with
+                | Some v -> v
+                | None -> call_or_err ctx ~target:"legacyfs" ~service:"io" "R:latest")) );
       ( Manifest.v ~name:"legacyfs" ~provides:[ "io" ] ~substrate:"microkernel"
-          ~size_loc:30000 ~vulnerable:true (),
+          ~size_loc:30000 ~vulnerable:true ~restart:always (),
         fun _ctx ~service:_ req -> "fs-ack(" ^ req ^ ")" ) ]
   in
   match Deploy.deploy ~substrates components with
@@ -153,7 +291,12 @@ let deploy_mail rng =
             if Drbg.int rng 100 < 60 then
               ("ui", "show", Printf.sprintf "msg-%d" i)
             else ("ui", "compose", Printf.sprintf "draft-%d" i));
-        d_probe = (Some "renderer", "keystore", "sign") }
+        d_probe = (Some "renderer", "keystore", "sign");
+        d_routes =
+          [ ("ui", "show",
+             [ "ui"; "imap"; "tls"; "keystore"; "storage"; "legacyfs"; "renderer" ]);
+            ("ui", "compose", [ "ui"; "composer"; "smtp"; "tls"; "keystore" ]) ];
+        d_storage = Some storage_h }
 
 (* meter: the Figure 3 appliance under sustained polling. The reading
    is produced inside the TrustZone secure world, leaves the appliance
@@ -189,7 +332,8 @@ let deploy_meter rng =
       [ ( Manifest.v ~name:"collector" ~provides:[ "poll" ]
             ~connects_to:
               [ Manifest.conn "meter" "read"; Manifest.conn "utility" "submit" ]
-            ~network_facing:true ~substrate:"microkernel" ~size_loc:3000 (),
+            ~network_facing:true ~substrate:"microkernel" ~size_loc:3000
+            ~restart:(Manifest.default_restart Manifest.Always) (),
           fun ctx ~service:_ _req ->
             let reading = call_or_err ctx ~target:"meter" ~service:"read" "" in
             incr poll_tick;
@@ -205,7 +349,8 @@ let deploy_meter rng =
                | Some p ->
                  call_or_err ctx ~target:"utility" ~service:"submit" p.Net.payload) );
         ( Manifest.v ~name:"meter" ~provides:[ "read" ] ~substrate:"trustzone"
-            ~size_loc:2000 (),
+            ~size_loc:2000 ~stateful:true
+            ~restart:(Manifest.default_restart Manifest.Always) (),
           fun ctx ~service:_ _req ->
             let n =
               match ctx.Deploy.facilities.Substrate.f_load ~key:"kwh" with
@@ -216,11 +361,13 @@ let deploy_meter rng =
             Printf.sprintf "customer=4711;kwh=%d" n );
         ( Manifest.v ~name:"utility" ~provides:[ "submit" ]
             ~connects_to:[ Manifest.conn ~vetted:true "anonymizer" "ingest" ]
-            ~substrate:"microkernel" ~size_loc:9000 (),
+            ~substrate:"microkernel" ~size_loc:9000
+            ~restart:(Manifest.default_restart Manifest.On_failure) (),
           fun ctx ~service:_ reading ->
             call_or_err ctx ~target:"anonymizer" ~service:"ingest" reading );
         ( Manifest.v ~name:"anonymizer" ~provides:[ "ingest" ] ~substrate:"sgx"
-            ~size_loc:1200 (),
+            ~size_loc:1200 ~stateful:true
+            ~restart:(Manifest.default_restart Manifest.On_failure) (),
           fun ctx ~service:_ reading ->
             (* strip the customer id, bill only the kwh figure *)
             let kwh =
@@ -242,7 +389,11 @@ let deploy_meter rng =
        Ok
          { d_deploy = d;
            d_mix = (fun _rng i -> ("collector", "poll", Printf.sprintf "poll-%d" i));
-           d_probe = (Some "meter", "anonymizer", "ingest") })
+           d_probe = (Some "meter", "anonymizer", "ingest");
+           d_routes =
+             [ ("collector", "poll",
+                [ "collector"; "meter"; "utility"; "anonymizer" ]) ];
+           d_storage = None })
 
 (* cloud: the §II-B outsourced computation under job load — the
    untrusted host forwards every job into the customer enclave. *)
@@ -259,11 +410,13 @@ let deploy_cloud rng =
     [ ( Manifest.v ~name:"host" ~provides:[ "submit" ] ~network_facing:true
           ~vulnerable:true
           ~connects_to:[ Manifest.conn ~vetted:true "enclave" "ecall" ]
-          ~substrate:"microkernel" ~size_loc:50_000 (),
+          ~substrate:"microkernel" ~size_loc:50_000
+          ~restart:(Manifest.default_restart Manifest.Always) (),
         fun ctx ~service:_ job ->
           call_or_err ctx ~target:"enclave" ~service:"ecall" job );
       ( Manifest.v ~name:"enclave" ~provides:[ "ecall" ] ~substrate:"sgx"
-          ~size_loc:1500 (),
+          ~size_loc:1500 ~stateful:true
+          ~restart:(Manifest.default_restart Manifest.On_failure) (),
         fun ctx ~service:_ job ->
           let jobs =
             match ctx.Deploy.facilities.Substrate.f_load ~key:"jobs" with
@@ -280,7 +433,9 @@ let deploy_cloud rng =
     Ok
       { d_deploy = d;
         d_mix = (fun _rng i -> ("host", "submit", Printf.sprintf "job-%d" i));
-        d_probe = (None, "enclave", "ecall") }
+        d_probe = (None, "enclave", "ecall");
+        d_routes = [ ("host", "submit", [ "host"; "enclave" ]) ];
+        d_storage = None }
 
 let deploy_scenario rng = function
   | Mail -> deploy_mail rng

@@ -28,6 +28,51 @@ type fault_plan = {
 
 val no_faults : fault_plan
 
+(** {2 Deployed scenarios}
+
+    Exposed so the chaos harness ({!Lt_resil}-side) can drive the same
+    deployments request-by-request while killing components, instead of
+    going through the closed loop in {!run}. *)
+
+(** Hooks into the mail scenario's persistent storage: a real
+    {!Lt_storage.Vpfs} (the §III-D trusted wrapper) over the crashable
+    legacy FS, plus a shadow oracle recording every acknowledged write.
+    A chaos driver cuts power after an arbitrary number of backend block
+    writes — including inside the 4-write redo-journal window of one
+    VPFS mutation — then remounts, recovers, and audits. *)
+type storage_harness = {
+  st_crash_backend : int -> unit;
+      (** power fails after [n] more backend block writes *)
+  st_backend_alive : unit -> bool;
+  st_recover : unit -> (string, string) result;
+      (** remount + crash-consistent reopen against the trusted root;
+          [Ok "clean"] or [Ok "recovered"] *)
+  st_check : unit -> (unit, string) result;
+      (** compare the recovered VPFS against the shadow oracle *)
+  st_leaked : needle:string -> bool;
+      (** did the legacy stack ever observe [needle] in plaintext,
+          across all remounts? *)
+}
+
+type deployed = {
+  d_deploy : Lateral.Deploy.t;
+  d_mix : Lt_crypto.Drbg.t -> int -> string * string * string;
+      (** seeded request mix: (target, service, payload) *)
+  d_probe : string option * string * string;
+      (** an off-manifest probe for compromised-caller fault injection *)
+  d_routes : (string * string * string list) list;
+      (** each external route with the components it transits — the unit
+          of blast-radius accounting for chaos runs *)
+  d_storage : storage_harness option;  (** mail only *)
+}
+
+(** [deploy_scenario rng scenario] boots the scenario's substrates and
+    components. The scenario manifests carry [restart] policies and
+    [stateful] marks, so a {!Lt_resil}-style supervisor can be layered
+    on directly. *)
+val deploy_scenario :
+  Lt_crypto.Drbg.t -> scenario -> (deployed, string) result
+
 type report = {
   r_scenario : string;
   r_requests : int;

@@ -127,6 +127,8 @@ let set_trace id = match !current with None -> () | Some t -> t.cur_trace <- id
 let advance n =
   match !current with None -> () | Some t -> t.clock <- t.clock + max 0 n
 
+let ambient_now () = match !current with None -> 0 | Some t -> t.clock
+
 let record t ~trace ~id ~parent ~kind ~name ~attrs ~ikey ~ival ~start ~stop
     ~status =
   let i = t.head in

@@ -74,6 +74,11 @@ val set_trace : int -> unit
 (** [advance n] burns [n] logical ticks (fault-injection delay). *)
 val advance : int -> unit
 
+(** [ambient_now ()] — the installed tracer's clock, 0 when none is
+    installed. Deadlines and restart windows measure against this, so
+    resilience decisions are as deterministic as the traces. *)
+val ambient_now : unit -> int
+
 (** [with_span ?attrs ~kind ~name f] runs [f] inside a new span. The
     span's status is "ok" unless {!fail_span} was called or [f] raised
     (the exception is recorded and re-raised). Completion also feeds the

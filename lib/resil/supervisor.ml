@@ -1,0 +1,235 @@
+open Lt_crypto
+open Lateral
+
+type config = {
+  deadline : int;
+  retries : int;
+  backoff_base : int;
+  backoff_cap : int;
+  breaker_threshold : int;
+  breaker_cooldown : int;
+  restart_cost : int;
+}
+
+let default_config =
+  { deadline = 1024;
+    retries = 2;
+    backoff_base = 4;
+    backoff_cap = 64;
+    breaker_threshold = 3;
+    breaker_cooldown = 128;
+    restart_cost = 8 }
+
+type breaker_state = Closed | Open | Half_open
+
+type breaker = {
+  mutable b_state : breaker_state;
+  mutable b_fails : int;  (* consecutive faults while closed *)
+  mutable b_opened : int; (* tick the breaker last opened *)
+}
+
+type t = {
+  deploy : Deploy.t;
+  cfg : config;
+  rng : Drbg.t;
+  (* breakers are per ROUTE, not per component: a component flapping on
+     one service must not fast-fail its healthy services — containment
+     is measured in lateral slices, and a route is the thinnest slice
+     the router can distinguish *)
+  breakers : (string, breaker) Hashtbl.t;
+  restart_ticks : (string, int list) Hashtbl.t; (* newest first *)
+  restart_totals : (string, int) Hashtbl.t;
+  gave_up : (string, unit) Hashtbl.t;
+}
+
+let create ?(config = default_config) ~seed deploy =
+  { deploy;
+    cfg = config;
+    rng = Drbg.create seed;
+    breakers = Hashtbl.create 16;
+    restart_ticks = Hashtbl.create 16;
+    restart_totals = Hashtbl.create 16;
+    gave_up = Hashtbl.create 4 }
+
+let deploy t = t.deploy
+
+let config t = t.cfg
+
+let given_up t =
+  Hashtbl.fold (fun name () acc -> name :: acc) t.gave_up []
+  |> List.sort Stdlib.compare
+
+let restarts_of t name =
+  Option.value (Hashtbl.find_opt t.restart_totals name) ~default:0
+
+let breaker_for t route =
+  match Hashtbl.find_opt t.breakers route with
+  | Some b -> b
+  | None ->
+    let b = { b_state = Closed; b_fails = 0; b_opened = 0 } in
+    Hashtbl.replace t.breakers route b;
+    b
+
+let breaker_state t ~target ~service =
+  match Hashtbl.find_opt t.breakers (Lt_obs.Trace.span_name target service) with
+  | None -> Closed
+  | Some b -> b.b_state
+
+(* --- supervision --------------------------------------------------------- *)
+
+let give_up t name reason =
+  Hashtbl.replace t.gave_up name ();
+  Lt_obs.Metrics.incr "resil/giveups";
+  Lt_obs.Trace.event ~kind:"supervisor" ~name:"give-up"
+    ~attrs:[ ("component", name); ("reason", reason) ]
+    ()
+
+let restart t name (r : Manifest.restart) =
+  let now = Lt_obs.Trace.ambient_now () in
+  let recent =
+    Option.value (Hashtbl.find_opt t.restart_ticks name) ~default:[]
+    |> List.filter (fun tick -> now - tick < r.Manifest.r_window)
+  in
+  if List.length recent >= r.Manifest.r_max then
+    give_up t name
+      (Printf.sprintf "restart budget spent: %d in %d ticks" r.Manifest.r_max
+         r.Manifest.r_window)
+  else begin
+    Lt_obs.Trace.advance t.cfg.restart_cost;
+    match Deploy.relaunch t.deploy name with
+    | Error e -> give_up t name ("relaunch failed: " ^ e)
+    | Ok () ->
+      let tick = Lt_obs.Trace.ambient_now () in
+      Hashtbl.replace t.restart_ticks name (tick :: recent);
+      Hashtbl.replace t.restart_totals name (restarts_of t name + 1);
+      Lt_obs.Metrics.incr "resil/restarts";
+      Lt_obs.Trace.event ~kind:"supervisor" ~name:"restart"
+        ~attrs:(Lt_obs.Trace.attr "component" name)
+        ~iattr:("nth", restarts_of t name) ()
+  end
+
+let heal t =
+  List.iter
+    (fun name ->
+      if (not (Deploy.is_alive t.deploy name)) && not (Hashtbl.mem t.gave_up name)
+      then
+        match Deploy.manifest t.deploy name with
+        | None -> ()
+        | Some man ->
+          (match man.Manifest.restart with
+           | None -> give_up t name "no restart policy declared"
+           | Some { Manifest.r_policy = Manifest.Never; _ } ->
+             give_up t name "restart never"
+           (* with crash-only deploys there is no clean destroy to
+              distinguish, so on-failure and always coincide here *)
+           | Some ({ Manifest.r_policy = Manifest.On_failure | Manifest.Always; _ } as r)
+             -> restart t name r))
+    (Deploy.components t.deploy)
+
+let crash t name =
+  match Deploy.crash t.deploy name with
+  | Error _ as e -> e
+  | Ok () ->
+    Lt_obs.Metrics.incr "resil/crashes";
+    Lt_obs.Trace.event ~kind:"fault" ~name:"kill"
+      ~attrs:(Lt_obs.Trace.attr "component" name) ();
+    Ok ()
+
+let revive t name =
+  match Deploy.relaunch t.deploy name with
+  | Error _ as e -> e
+  | Ok () ->
+    Hashtbl.remove t.gave_up name;
+    Hashtbl.remove t.restart_ticks name;
+    Lt_obs.Trace.event ~kind:"supervisor" ~name:"revive"
+      ~attrs:(Lt_obs.Trace.attr "component" name) ();
+    Ok ()
+
+(* --- hardened calls ------------------------------------------------------ *)
+
+let open_breaker b route =
+  b.b_state <- Open;
+  b.b_opened <- Lt_obs.Trace.ambient_now ();
+  Lt_obs.Metrics.incr "resil/breaker_open";
+  Lt_obs.Trace.event ~kind:"breaker" ~name:route
+    ~attrs:(Lt_obs.Trace.attr "state" "open") ()
+
+let call t ~caller ~target ~service req =
+  let route = Lt_obs.Trace.span_name target service in
+  let b = breaker_for t route in
+  (match b.b_state with
+   | Open
+     when Lt_obs.Trace.ambient_now () - b.b_opened >= t.cfg.breaker_cooldown ->
+     b.b_state <- Half_open;
+     Lt_obs.Trace.event ~kind:"breaker" ~name:route
+       ~attrs:(Lt_obs.Trace.attr "state" "half-open") ()
+   | _ -> ());
+  match b.b_state with
+  | Open ->
+    Lt_obs.Metrics.incr "resil/breaker_fastfail";
+    Lt_obs.Trace.event ~kind:"breaker" ~name:route
+      ~attrs:(Lt_obs.Trace.attr "state" "fast-fail") ();
+    Error
+      (App.Crashed { target; reason = Printf.sprintf "circuit open for %s" route })
+  | Closed | Half_open ->
+    (* a half-open breaker admits exactly one probe, no retries: the
+       point is to learn cheaply, not to hammer a convalescent *)
+    let attempts = if b.b_state = Half_open then 1 else t.cfg.retries + 1 in
+    let classify result elapsed =
+      match result with
+      | Ok r when elapsed <= t.cfg.deadline -> `Success r
+      | Ok _ ->
+        Lt_obs.Metrics.incr "resil/deadline_exceeded";
+        Lt_obs.Trace.event ~kind:"deadline" ~name:route
+          ~iattr:("elapsed", elapsed) ();
+        `Fault
+          (App.Crashed
+             { target;
+               reason =
+                 Printf.sprintf "deadline exceeded (%d > %d ticks)" elapsed
+                   t.cfg.deadline })
+      | Error (App.Crashed _ as e) -> `Fault e
+      | Error e -> `Policy e
+    in
+    let rec go attempt =
+      let start = Lt_obs.Trace.ambient_now () in
+      let result = Deploy.call_typed t.deploy ~caller ~target ~service req in
+      let elapsed = Lt_obs.Trace.ambient_now () - start in
+      match classify result elapsed with
+      | `Success r -> Ok r
+      | `Policy e -> Error e
+      | `Fault e ->
+        heal t;
+        if attempt + 1 < attempts then begin
+          let d =
+            min t.cfg.backoff_cap (t.cfg.backoff_base * (1 lsl attempt))
+            + Drbg.int t.rng t.cfg.backoff_base
+          in
+          Lt_obs.Metrics.incr "resil/retries";
+          Lt_obs.Trace.event ~kind:"retry" ~name:route ~iattr:("backoff", d) ();
+          Lt_obs.Trace.advance d;
+          go (attempt + 1)
+        end
+        else Error e
+    in
+    let res = go 0 in
+    (match res with
+     | Ok _ ->
+       b.b_fails <- 0;
+       if b.b_state = Half_open then begin
+         b.b_state <- Closed;
+         Lt_obs.Metrics.incr "resil/breaker_close";
+         Lt_obs.Trace.event ~kind:"breaker" ~name:route
+           ~attrs:(Lt_obs.Trace.attr "state" "closed") ()
+       end
+     | Error (App.Crashed _) ->
+       (match b.b_state with
+        | Half_open -> open_breaker b route
+        | Closed ->
+          b.b_fails <- b.b_fails + 1;
+          if b.b_fails >= t.cfg.breaker_threshold then open_breaker b route
+        | Open -> ())
+     | Error (App.Denied _ | App.Unknown_component _ | App.Unknown_service _) ->
+       (* policy answers are correct behaviour, not component health *)
+       ());
+    res

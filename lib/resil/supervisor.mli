@@ -1,0 +1,101 @@
+(** Supervision and hardened calls for deployed horizontal apps.
+
+    The paper's containment story (§III) is spatial: a subverted
+    component keeps only its declared authority. This module adds the
+    temporal half — a {e crashed} component costs only its own lateral
+    slice, for only as long as its manifest's [restart] policy takes to
+    respawn it. A {!t} wraps a {!Deploy.t} with three mechanisms:
+
+    {ul
+    {- {b supervision} — after any fault, {!heal} sweeps the deployment
+       for dead components and applies each one's manifest [restart]
+       policy: respawn it (fresh instance, sealed state re-derivable
+       from its substrate, volatile state gone), leave it dead
+       ([never] / no policy), or give up once the policy's
+       restart-per-window budget is spent;}
+    {- {b bounded retry} — {!call} retries faulted calls with
+       exponential backoff and seeded jitter, measured on the ambient
+       {!Lt_obs.Trace} clock so equal seeds give equal schedules;}
+    {- {b circuit breaking} — per-route (["target.service"]) breakers
+       open after consecutive faults, fast-fail while open, and probe
+       half-open after a cooldown. A flapping component degrades its own
+       routes; the rest of the app never waits on it.}}
+
+    Policy errors ({!App.Denied}, unknown target/service) are returned
+    verbatim: a deny is a correct answer from the reference monitor, so
+    it is never retried, never trips a breaker, and never triggers a
+    restart.
+
+    Everything observable goes through {!Lt_obs}: spans/events of kind
+    ["fault"], ["supervisor"], ["breaker"], ["retry"], ["deadline"], and
+    counters [resil/crashes], [resil/restarts], [resil/giveups],
+    [resil/retries], [resil/deadline_exceeded], [resil/breaker_open],
+    [resil/breaker_close], [resil/breaker_fastfail]. All timing uses
+    {!Lt_obs.Trace.ambient_now}; with no tracer installed the clock
+    stands still, so deadlines and cooldowns never fire. *)
+
+open Lateral
+
+type config = {
+  deadline : int;
+      (** max ticks one attempt may burn before it counts as a fault,
+          even if a reply eventually arrives *)
+  retries : int;        (** extra attempts after the first, per call *)
+  backoff_base : int;   (** first backoff, ticks; also the jitter bound *)
+  backoff_cap : int;    (** backoff ceiling, ticks *)
+  breaker_threshold : int;
+      (** consecutive faults on one route that open its breaker *)
+  breaker_cooldown : int;
+      (** ticks a breaker stays open before probing half-open *)
+  restart_cost : int;   (** ticks one supervised respawn burns *)
+}
+
+(** [{deadline = 1024; retries = 2; backoff_base = 4; backoff_cap = 64;
+     breaker_threshold = 3; breaker_cooldown = 128; restart_cost = 8}] *)
+val default_config : config
+
+type breaker_state = Closed | Open | Half_open
+
+type t
+
+(** [create ?config ~seed deploy] — the seed drives backoff jitter
+    (via {!Drbg}), nothing else. *)
+val create : ?config:config -> seed:int64 -> Deploy.t -> t
+
+val deploy : t -> Deploy.t
+
+val config : t -> config
+
+(** [call t ~caller ~target ~service req] — {!Deploy.call_typed}
+    hardened with deadline, retry and breaker. On a fault ({!App.Crashed}
+    or deadline exceeded) it runs {!heal}, backs off, retries up to
+    [config.retries] times, and only then reports the fault (which is
+    what feeds the breaker). While a route's breaker is open, calls
+    fast-fail as [Crashed] without touching the deployment. *)
+val call :
+  t -> caller:string option -> target:string -> service:string -> string ->
+  (string, App.call_error) result
+
+(** [crash t name] — kill a component where it stands (chaos entry
+    point). Records a ["fault"] event and [resil/crashes]. *)
+val crash : t -> string -> (unit, string) result
+
+(** [heal t] sweeps every deployed component and applies restart
+    policies to the dead ones. Called automatically by {!call} on every
+    fault; exposed for harnesses that kill components between calls.
+    A component whose policy is [never] (or absent), whose window
+    budget is spent, or whose relaunch fails joins {!given_up} —
+    permanently, until {!revive}. *)
+val heal : t -> unit
+
+(** Components the supervisor has stopped restarting, sorted. *)
+val given_up : t -> string list
+
+(** Successful supervised restarts of [name] so far. *)
+val restarts_of : t -> string -> int
+
+val breaker_state : t -> target:string -> service:string -> breaker_state
+
+(** [revive t name] — operator intervention: relaunch unconditionally,
+    clear the give-up mark and the restart window. *)
+val revive : t -> string -> (unit, string) result

@@ -212,6 +212,22 @@ let test_oversized () =
   check_silent "L013-oversized-component"
     (lint_text "component a\n  size 29999")
 
+let test_restart_policy_missing () =
+  check_fires "L019-restart-policy-missing"
+    (lint_text "component a\n  stateful");
+  check_fires "L019-restart-policy-missing"
+    (lint_text "component a\n  substrate sgx\n  stateful");
+  (* a declared policy satisfies the rule, even `never` *)
+  check_silent "L019-restart-policy-missing"
+    (lint_text "component a\n  stateful\n  restart on-failure");
+  check_silent "L019-restart-policy-missing"
+    (lint_text "component a\n  stateful\n  restart never");
+  (* stateless components have nothing to lose *)
+  check_silent "L019-restart-policy-missing" (lint_text "component a");
+  (* the secure side of a dedicated-hardware substrate is not crashable *)
+  check_silent "L019-restart-policy-missing"
+    (lint_text "component a\n  substrate sep\n  stateful")
+
 (* --- the golden fixtures under examples/ ----------------------------------- *)
 
 let load_example file =
@@ -234,9 +250,10 @@ let test_broken_fixture () =
       "L011-substrate-mismatch";
       "L012-vulnerable-cohabitant";
       "L013-oversized-component";
-      "L014-label-leak" ]
+      "L014-label-leak";
+      "L019-restart-policy-missing" ]
     (rule_ids diags);
-  Alcotest.(check int) "diagnostic count" 17 (List.length diags);
+  Alcotest.(check int) "diagnostic count" 18 (List.length diags);
   Alcotest.(check bool) "gates CI" true (Lint.has_errors diags)
 
 let test_browser_fixture () =
@@ -339,6 +356,7 @@ let suite =
     Alcotest.test_case "L013 oversized component" `Quick test_oversized;
     Alcotest.test_case "L014 label leak" `Quick test_label_leak;
     Alcotest.test_case "L015 dead declassifier" `Quick test_dead_declassifier;
+    Alcotest.test_case "L019 restart policy missing" `Quick test_restart_policy_missing;
     Alcotest.test_case "broken fixture golden" `Quick test_broken_fixture;
     Alcotest.test_case "browser fixture findings" `Quick test_browser_fixture;
     Alcotest.test_case "clean fixture" `Quick test_clean_fixture;

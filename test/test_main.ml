@@ -26,4 +26,6 @@ let () =
       ("flow", Test_flow.suite);
       ("ra_channel", Test_ra_channel.suite);
       ("cloud", Test_cloud.suite);
-      ("obs", Test_obs.suite) ]
+      ("obs", Test_obs.suite);
+      ("resil", Test_resil.suite);
+      ("vpfs_crash", Test_vpfs_crash.suite) ]
