@@ -15,6 +15,14 @@ open Lt_kernel
 let header id title =
   Printf.printf "\n## %s — %s\n" id title
 
+(* scenarios stage onto simulated substrates and may refuse to; a refusal
+   here is an experiment-harness bug, so surface it and stop *)
+let scenario_ok = function
+  | Ok v -> v
+  | Error e ->
+    prerr_endline ("experiment staging failed: " ^ e);
+    exit 1
+
 let shape ok fmt =
   Printf.ksprintf
     (fun s ->
@@ -28,7 +36,7 @@ let shape ok fmt =
 
 let fig1_containment () =
   header "fig1-containment" "attack containment, vertical vs horizontal (Figure 1)";
-  let table = Scenario_mail.containment_table () in
+  let table = scenario_ok (Scenario_mail.containment_table ()) in
   Printf.printf "%-12s %-18s %-18s\n" "exploited" "vertical-owned" "horizontal-owned";
   List.iter
     (fun (name, v, h) ->
@@ -44,7 +52,7 @@ let fig1_containment () =
   let runtime_matches_manifests =
     List.for_all
       (fun name ->
-        let app = Scenario_mail.build ~vertical:false in
+        let app = scenario_ok (Scenario_mail.build ~vertical:false) in
         App.compromise app name;
         (* drive the component once through any inbound edge *)
         let man = Option.get (App.manifest app name) in
@@ -174,7 +182,7 @@ let fig3_smartmeter () =
   Printf.printf "%-26s %-11s %-6s %-9s %-5s %-8s\n" "scenario" "anonymizer"
     "sent" "accepted" "rows" "id-leak";
   let outcomes =
-    List.map (fun t -> (t, Scenario_meter.run t)) Scenario_meter.all_tampers
+    List.map (fun t -> (t, scenario_ok (Scenario_meter.run t))) Scenario_meter.all_tampers
   in
   List.iter
     (fun (t, o) ->
@@ -203,7 +211,7 @@ let fig3_smartmeter () =
 
 let tcb_size () =
   header "tcb-size" "per-component TCB, monolithic vs decomposed";
-  let rows = Scenario_mail.tcb_comparison () in
+  let rows = scenario_ok (Scenario_mail.tcb_comparison ()) in
   Printf.printf "%-12s %-12s %-12s %-8s\n" "component" "monolithic" "decomposed" "factor";
   List.iter
     (fun (name, mono, dec) ->
@@ -908,7 +916,7 @@ let cloud_enclave () =
   Printf.printf "%-24s %-9s %-6s %-6s %-10s\n" "host behaviour" "attested" "jobs"
     "leak" "regressed";
   let outcomes =
-    List.map (fun a -> (a, Scenario_cloud.run a)) Scenario_cloud.all_attacks
+    List.map (fun a -> (a, scenario_ok (Scenario_cloud.run a))) Scenario_cloud.all_attacks
   in
   List.iter
     (fun (a, o) ->
@@ -917,7 +925,8 @@ let cloud_enclave () =
         o.Scenario_cloud.secret_leaked o.Scenario_cloud.state_regressed)
     outcomes;
   let no_counter =
-    Scenario_cloud.run ~with_counter:false Scenario_cloud.Rollback_sealed_state
+    scenario_ok
+      (Scenario_cloud.run ~with_counter:false Scenario_cloud.Rollback_sealed_state)
   in
   Printf.printf "rollback without monotonic counter: regressed=%b\n"
     no_counter.Scenario_cloud.state_regressed;

@@ -1,0 +1,78 @@
+(* Self-timed micro-benchmark of the hunt fuzzing harness: generation
+   plus property-check throughput for each engine at a fixed seed, and
+   the cost of ddmin shrinking on a representative storage schedule.
+   The committed record lives in BENCH_fuzz.json at the repo root
+   (refresh with `dune exec bench/fuzz_bench.exe`). Throughput numbers
+   are execs (generate + full check) per second; the substrate engine
+   is orders of magnitude slower than the others because every check
+   deploys the probe app onto all seven substrates, RSA keygen
+   included. *)
+
+module Drbg = Lt_crypto.Drbg
+
+let time f =
+  let t0 = Sys.time () in
+  let x = f () in
+  (Sys.time () -. t0, x)
+
+let throughput ~seed ~warm ~cases generate check =
+  for i = 0 to warm - 1 do
+    ignore (check (generate (Drbg.create (Int64.of_int (seed + i))) i))
+  done;
+  let elapsed, failures =
+    time (fun () ->
+        let failures = ref 0 in
+        for i = 0 to cases - 1 do
+          let rng = Drbg.create (Int64.of_int (seed + 1000 + i)) in
+          match check (generate rng i) with
+          | Ok () -> ()
+          | Error _ -> incr failures
+        done;
+        !failures)
+  in
+  (float_of_int cases /. elapsed, failures)
+
+let shrink_cost () =
+  (* minimize a 24-op schedule down to the one line the predicate
+     needs: the same shape as minimizing a real crash, without
+     depending on a live bug *)
+  let rng = Drbg.create 0xbe9cL in
+  let ops =
+    List.init 24 (fun i ->
+        if i = 17 then "corrupt 1 469 7"
+        else Printf.sprintf "write /a x%d" (Drbg.int rng 1000))
+  in
+  let payload = String.concat "\n" ops in
+  let has_strike p =
+    List.exists
+      (fun l -> String.length l >= 7 && String.sub l 0 7 = "corrupt")
+      (String.split_on_char '\n' p)
+  in
+  let steps = ref 0 in
+  let elapsed, minimal =
+    time (fun () -> Lt_fuzz.Shrink.lines ~steps has_strike payload)
+  in
+  let lines =
+    List.length
+      (List.filter (fun l -> l <> "") (String.split_on_char '\n' minimal))
+  in
+  (!steps, elapsed *. 1e3, lines)
+
+let () =
+  let manifest_eps, mf =
+    throughput ~seed:100 ~warm:5 ~cases:400 Lt_fuzz.Manifest_fuzz.generate
+      Lt_fuzz.Manifest_fuzz.check
+  in
+  let storage_eps, sf =
+    throughput ~seed:200 ~warm:3 ~cases:150 Lt_fuzz.Storage_fuzz.generate
+      Lt_fuzz.Storage_fuzz.check
+  in
+  let substrate_eps, bf =
+    throughput ~seed:300 ~warm:1 ~cases:8 Lt_fuzz.Substrate_fuzz.generate
+      Lt_fuzz.Substrate_fuzz.check
+  in
+  let shrink_steps, shrink_ms, shrink_lines = shrink_cost () in
+  Printf.printf
+    "{\"benchmark\":\"hunt-throughput\",\"manifest_execs_per_sec\":%.0f,\"storage_execs_per_sec\":%.0f,\"substrate_execs_per_sec\":%.2f,\"failures\":%d,\"shrink_steps\":%d,\"shrink_ms\":%.1f,\"shrink_final_lines\":%d}\n"
+    manifest_eps storage_eps substrate_eps (mf + sf + bf) shrink_steps
+    shrink_ms shrink_lines

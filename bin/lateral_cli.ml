@@ -70,7 +70,11 @@ let cmd_substrates () =
 (* --- mail analysis ----------------------------------------------------------- *)
 
 let cmd_mail vertical exploit =
-  let app = Scenario_mail.build ~vertical in
+  match Scenario_mail.build ~vertical with
+  | Error e ->
+    Printf.eprintf "mail: %s\n" e;
+    1
+  | Ok app ->
   Printf.printf "mail client, %s design\n"
     (if vertical then "vertical (monolithic)" else "horizontal (decomposed)");
   (match App.validate app with
@@ -143,14 +147,19 @@ let cmd_meter tamper =
   in
   Printf.printf "%-26s %-10s %-8s %-9s %s\n" "scenario" "anonymizer" "sent"
     "accepted" "detail";
+  let staging_failed = ref false in
   List.iter
     (fun t ->
-      let o = Scenario_meter.run t in
-      Printf.printf "%-26s %-10b %-8b %-9b %s\n" (Scenario_meter.tamper_name t)
-        o.Scenario_meter.anonymizer_verified o.Scenario_meter.reading_sent
-        o.Scenario_meter.reading_accepted o.Scenario_meter.detail)
+      match Scenario_meter.run t with
+      | Ok o ->
+        Printf.printf "%-26s %-10b %-8b %-9b %s\n" (Scenario_meter.tamper_name t)
+          o.Scenario_meter.anonymizer_verified o.Scenario_meter.reading_sent
+          o.Scenario_meter.reading_accepted o.Scenario_meter.detail
+      | Error e ->
+        staging_failed := true;
+        Printf.printf "%-26s cannot stage: %s\n" (Scenario_meter.tamper_name t) e)
     tampers;
-  0
+  if !staging_failed then 1 else 0
 
 (* --- gateway ------------------------------------------------------------------- *)
 
@@ -225,6 +234,47 @@ let cmd_chaos scenario requests seed trace_file format kill kill_pct flap
        | Run_text -> print_string (Lt_resil.Chaos.render_report_text report)
        | Run_json -> print_string (Lt_resil.Chaos.render_report_json report));
       if Lt_resil.Chaos.contained report then 0 else 1
+  end
+
+(* --- hunt: differential fuzzing across substrates ------------------------------- *)
+
+let cmd_hunt seed budget engine format replays =
+  if budget <= 0 then begin
+    Printf.eprintf "hunt: --budget must be positive\n";
+    2
+  end
+  else if replays <> [] then begin
+    (* replay mode: every reproducer must pass (its bug stays fixed) *)
+    let failed = ref 0 in
+    List.iter
+      (fun path ->
+        match Lt_fuzz.Hunt.replay_file path with
+        | Ok () -> Printf.printf "%s: ok\n" path
+        | Error e ->
+          incr failed;
+          Printf.printf "%s: FAIL %s\n" path e)
+      replays;
+    if !failed > 0 then 1 else 0
+  end
+  else begin
+    let engines =
+      match engine with
+      | None -> Lt_fuzz.Hunt.all_engines
+      | Some name ->
+        (match Lt_fuzz.Hunt.engine_of_name name with
+         | Some e -> [ e ]
+         | None ->
+           Printf.eprintf "hunt: unknown engine %S (manifest, substrate, storage)\n"
+             name;
+           exit 2)
+    in
+    let report =
+      Lt_fuzz.Hunt.run ~engines ~seed:(Int64.of_int seed) ~budget ()
+    in
+    (match format with
+     | Run_text -> print_string (Lt_fuzz.Hunt.render_text report)
+     | Run_json -> print_string (Lt_fuzz.Hunt.render_json report));
+    if Lt_fuzz.Hunt.ok report then 0 else 1
   end
 
 (* --- analyze a user-provided manifest file --------------------------------------- *)
@@ -598,6 +648,48 @@ let chaos_cmd =
       const cmd_chaos $ scenario $ requests $ seed $ trace_arg $ format $ kill
       $ kill_pct $ flap $ mid_ipc $ trace_capacity)
 
+let hunt_cmd =
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Seed for every engine's generation stream; equal seeds give \
+                byte-identical hunt reports")
+  in
+  let budget =
+    Arg.(
+      value & opt int 25
+      & info [ "budget" ] ~docv:"N" ~doc:"Generated cases per engine")
+  in
+  let engine =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"Run one engine only: $(b,manifest), $(b,substrate) or $(b,storage)")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", Run_text); ("json", Run_json) ]) Run_text
+      & info [ "format" ] ~docv:"FORMAT" ~doc:"Report format: $(b,text) or $(b,json)")
+  in
+  let replays =
+    Arg.(
+      value & opt_all file []
+      & info [ "replay" ] ~docv:"REPRO-FILE"
+          ~doc:"Replay a corpus reproducer instead of generating (repeatable); \
+                every reproducer must pass")
+  in
+  Cmd.v
+    (Cmd.info "hunt"
+       ~doc:
+         "Differential fuzzing: manifest-toolchain totality, cross-substrate \
+          agreement against a reference model, and storage crash/corruption \
+          robustness. Failures are shrunk to minimal reproducers. Exits 0 \
+          when clean, 1 on failures, 2 on usage errors")
+    Term.(const cmd_hunt $ seed $ budget $ engine $ format $ replays)
+
 let analyze_cmd =
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"MANIFEST-FILE")
@@ -681,7 +773,7 @@ let () =
   let group =
     Cmd.group ~default info
       [ substrates_cmd; mail_cmd; meter_cmd; gateway_cmd; run_cmd; chaos_cmd;
-        analyze_cmd; lint_cmd; flow_cmd ]
+        hunt_cmd; analyze_cmd; lint_cmd; flow_cmd ]
   in
   exit
     (match Cmd.eval_value group with

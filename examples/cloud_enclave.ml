@@ -5,6 +5,13 @@
 
 open Lateral
 
+let run_ok ?with_counter attack =
+  match Scenario_cloud.run ?with_counter attack with
+  | Ok o -> o
+  | Error e ->
+    prerr_endline ("cloud enclave: " ^ e);
+    exit 1
+
 let () =
   print_endline "Cloud enclave: remote customer vs untrusted data-center host";
   print_endline "";
@@ -13,7 +20,7 @@ let () =
   Printf.printf "%s\n" (String.make 120 '-');
   List.iter
     (fun attack ->
-      let o = Scenario_cloud.run attack in
+      let o = run_ok attack in
       Printf.printf "%-24s %-9b %-12b %-6d %-7b %-10b %s\n"
         (Scenario_cloud.attack_name attack)
         o.Scenario_cloud.attested o.Scenario_cloud.provisioned
@@ -22,14 +29,10 @@ let () =
     Scenario_cloud.all_attacks;
   print_endline "";
   print_endline "the nuance the paper's sealing story glosses over:";
-  let o =
-    Scenario_cloud.run ~with_counter:false Scenario_cloud.Rollback_sealed_state
-  in
+  let o = run_ok ~with_counter:false Scenario_cloud.Rollback_sealed_state in
   Printf.printf "  rollback WITHOUT a monotonic counter: state regressed = %b (%s)\n"
     o.Scenario_cloud.state_regressed o.Scenario_cloud.detail;
-  let o =
-    Scenario_cloud.run ~with_counter:true Scenario_cloud.Rollback_sealed_state
-  in
+  let o = run_ok ~with_counter:true Scenario_cloud.Rollback_sealed_state in
   Printf.printf "  rollback WITH the counter:            state regressed = %b (%s)\n"
     o.Scenario_cloud.state_regressed o.Scenario_cloud.detail;
   print_endline "";

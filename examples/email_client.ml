@@ -20,12 +20,18 @@ open Lateral
 let section title =
   Printf.printf "\n=== %s ===\n" title
 
+let scenario_ok = function
+  | Ok v -> v
+  | Error e ->
+    prerr_endline ("email client: " ^ e);
+    exit 1
+
 let () =
   let rng = Drbg.create 7L in
 
   (* ---------------------------------------------------------------- *)
   section "1. Architecture: vertical vs horizontal (Figure 1)";
-  let table = Scenario_mail.containment_table () in
+  let table = scenario_ok (Scenario_mail.containment_table ()) in
   Printf.printf "%-12s %-22s %-22s\n" "exploited" "vertical: owned" "horizontal: owned";
   List.iter
     (fun (name, v, h) ->
@@ -94,7 +100,7 @@ let () =
 
   (* ---------------------------------------------------------------- *)
   section "4. Exploit the renderer, watch the walls hold";
-  let app = Scenario_mail.build ~vertical:false in
+  let app = scenario_ok (Scenario_mail.build ~vertical:false) in
   App.compromise app "renderer";
   (* the ui asks the (now hostile) renderer to render a message *)
   ignore (App.call app ~caller:(Some "ui") ~target:"renderer" ~service:"render"
@@ -190,5 +196,5 @@ let () =
       Printf.printf "%-12s monolithic %6d loc   decomposed %6d loc   (%.1fx)\n" name
         mono dec
         (float_of_int mono /. float_of_int (max dec 1)))
-    (Scenario_mail.tcb_comparison ());
+    (scenario_ok (Scenario_mail.tcb_comparison ()));
   print_endline "\nemail client demo done."

@@ -12,7 +12,13 @@ let () =
   Printf.printf "%s\n" (String.make 110 '-');
   List.iter
     (fun tamper ->
-      let o = Scenario_meter.run tamper in
+      let o =
+        match Scenario_meter.run tamper with
+        | Ok o -> o
+        | Error e ->
+          prerr_endline ("smart meter: " ^ e);
+          exit 1
+      in
       Printf.printf "%-26s %-10b %-8b %-9b %-6d %-8b %s\n"
         (Scenario_meter.tamper_name tamper)
         o.Scenario_meter.anonymizer_verified o.Scenario_meter.reading_sent

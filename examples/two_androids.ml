@@ -30,14 +30,13 @@ let () =
   let k =
     Kernel.create machine (Sched.Tdma { slots = [ ("private", 100); ("business", 100) ] })
   in
-  let private_vm =
-    Legacy_os.boot k ~name:"android-private" ~partition:"private" ~memory_pages:4
-      ~processes:android
+  let boot_ok ~name ~partition =
+    match Legacy_os.boot k ~name ~partition ~memory_pages:4 ~processes:android with
+    | Ok g -> g
+    | Error e -> prerr_endline ("boot failed: " ^ e); exit 1
   in
-  let business_vm =
-    Legacy_os.boot k ~name:"android-business" ~partition:"business" ~memory_pages:4
-      ~processes:android
-  in
+  let private_vm = boot_ok ~name:"android-private" ~partition:"private" in
+  let business_vm = boot_ok ~name:"android-business" ~partition:"business" in
   let show label r =
     Printf.printf "  %-34s %s\n" label
       (match r with Ok v -> v | Error e -> "ERROR: " ^ e)

@@ -84,6 +84,7 @@ type call_error =
   | Unknown_service of { target : string; service : string }
   | Denied of { caller : string; target : string; service : string }
   | Crashed of { target : string; reason : string }
+  | Failed of { target : string; reason : string }
 
 (* renders exactly the strings [call] has always returned, so string
    consumers and goldens are unaffected by the typed layer underneath *)
@@ -96,6 +97,8 @@ let render_call_error = function
       service
   | Crashed { target; reason } ->
     Printf.sprintf "component %s crashed: %s" target reason
+  | Failed { target; reason } ->
+    Printf.sprintf "component %s failed: %s" target reason
 
 let rec call_typed t ~caller ~target ~service req =
   let caller_name = Option.value caller ~default:"<external>" in
@@ -134,7 +137,10 @@ let rec call_typed t ~caller ~target ~service req =
              ~name:(Lt_obs.Trace.span_name target service)
              ~attrs:(Lt_obs.Trace.attr "caller" caller_name)
              (fun () -> comp.behave ctx ~service req))
-      with exn ->
+      with
+      | Substrate.Service_failure reason ->
+        Error (Failed { target; reason })
+      | exn ->
         Error (Crashed { target; reason = Printexc.to_string exn })
     end
 

@@ -55,6 +55,10 @@ type call_error =
   | Unknown_service of { target : string; service : string }
   | Denied of { caller : string; target : string; service : string }
   | Crashed of { target : string; reason : string }
+  | Failed of { target : string; reason : string }
+      (** the component answered on purpose with a refusal
+          ({!Substrate.Service_failure}): it is healthy, the request is
+          not. Never retried, never restarted. *)
 
 (** The exact strings {!call} has always returned for each case. *)
 val render_call_error : call_error -> string

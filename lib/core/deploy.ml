@@ -1,6 +1,8 @@
 type ctx = {
   facilities : Substrate.facilities;
   call_out : target:string -> service:string -> string -> (string, string) result;
+  call_out_typed :
+    target:string -> service:string -> string -> (string, App.call_error) result;
 }
 
 type behaviour = ctx -> service:string -> string -> string
@@ -22,18 +24,28 @@ let bridge sub comp _ctx ~service req =
   | Ok r -> r
   | Error e ->
     Lt_obs.Trace.fail_span e;
-    failwith e
+    (* a Service_failure stringified by the substrate hop comes back
+       typed, so the router reports [Failed], not [Crashed] *)
+    (match Substrate.as_failure e with
+     | Some m -> raise (Substrate.Service_failure m)
+     | None -> failwith e)
 
 let services_for ~self ~name ~behaviour provides =
   let service_for svc =
     ( svc,
       fun facilities req ->
+        let call_out_typed ~target ~service r =
+          match !self with
+          | None ->
+            Error (App.Failed { target; reason = "router not ready" })
+          | Some t -> App.call_typed t.app ~caller:(Some name) ~target ~service r
+        in
         let call_out ~target ~service r =
           match !self with
           | None -> Error "router not ready"
           | Some t -> App.call t.app ~caller:(Some name) ~target ~service r
         in
-        behaviour { facilities; call_out } ~service:svc req )
+        behaviour { facilities; call_out; call_out_typed } ~service:svc req )
   in
   List.map service_for provides
 

@@ -14,6 +14,11 @@ type ctx = {
       (** seal/store on the component's own substrate *)
   call_out : target:string -> service:string -> string -> (string, string) result;
       (** routed, manifest-checked outbound call *)
+  call_out_typed :
+    target:string -> service:string -> string -> (string, App.call_error) result;
+      (** same call, failure keeps its class — so a behaviour can cascade
+          a dead dependency as a fault and a refusal as its own
+          {!Substrate.fail} *)
 }
 
 type behaviour = ctx -> service:string -> string -> string

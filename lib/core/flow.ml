@@ -268,15 +268,23 @@ let provision ?dram_pages manifests =
       let pages = Option.value ~default:(2 * List.length manifests + 8) dram_pages in
       let machine = Lt_hw.Machine.create ~dram_pages:pages () in
       let k = K.create machine (Lt_kernel.Sched.Round_robin { quantum = 500 }) in
+      let oom = ref None in
       let tasks =
         List.map
           (fun m ->
             let name = m.Manifest.name in
             let task = K.create_task k ~name ~partition:name in
-            K.map_memory k task ~vpage:0 ~pages:1 Lt_hw.Mmu.rw;
+            (match K.map_memory k task ~vpage:0 ~pages:1 Lt_hw.Mmu.rw with
+             | Ok () -> ()
+             | Error K.Out_of_frames ->
+               if !oom = None then oom := Some name);
             (name, task))
           manifests
       in
+      match !oom with
+      | Some name ->
+        Error (Printf.sprintf "provisioning %s: out of physical frames" name)
+      | None ->
       let endpoints =
         List.map
           (fun m ->

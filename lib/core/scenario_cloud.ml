@@ -44,11 +44,6 @@ let manifests =
 
 let conformance = lazy (Flow.check_deployment manifests)
 
-let assert_conformance () =
-  match Lazy.force conformance with
-  | Ok () -> ()
-  | Error e -> failwith ("cloud scenario manifests: " ^ e)
-
 let customer_code = "wordcount-enclave-v1: count words, never leak the corpus key"
 
 let doctored_code = "wordcount-enclave-v1-doctored: also POST the corpus key to evil.example"
@@ -121,7 +116,9 @@ let contains hay needle =
   n > 0 && go 0
 
 let run ?(with_counter = true) attack =
-  assert_conformance ();
+  match Lazy.force conformance with
+  | Error e -> Error ("cloud scenario manifests: " ^ e)
+  | Ok () ->
   let rng = Drbg.create 2027L in
   let intel = Rsa.generate ~bits:512 rng in
   let machine = Lt_hw.Machine.create ~dram_pages:256 () in
@@ -140,9 +137,9 @@ let run ?(with_counter = true) attack =
   in
   (* --- 1. remote attestation with key binding ---------------------------- *)
   let nonce = Sha256.hex (Drbg.bytes rng 16) in
-  let pubkey_wire =
-    match Sgx.ecall cpu !e ~fn:"keygen" "" with Ok p -> p | Error e -> failwith e
-  in
+  match Sgx.ecall cpu !e ~fn:"keygen" "" with
+  | Error e -> Error ("keygen: " ^ e)
+  | Ok pubkey_wire ->
   let quote =
     Sgx.quote cpu !e ~nonce
       ~report_data:("key:" ^ Sha256.hex (Sha256.digest pubkey_wire))
@@ -156,37 +153,35 @@ let run ?(with_counter = true) attack =
     && quote.Sgx.q_report_data = "key:" ^ Sha256.hex (Sha256.digest pubkey_wire)
   in
   if not attested then
-    { attested = false;
-      provisioned = false;
-      jobs_completed = 0;
-      secret_leaked = secret_seen_by_host ();
-      state_regressed = false;
-      detail = "customer refused: enclave identity not acceptable" }
+    Ok
+      { attested = false;
+        provisioned = false;
+        jobs_completed = 0;
+        secret_leaked = secret_seen_by_host ();
+        state_regressed = false;
+        detail = "customer refused: enclave identity not acceptable" }
   else begin
     (* --- 2. provision the secret, encrypted to the attested key --------- *)
-    let pub =
-      match Rsa.public_of_string pubkey_wire with
-      | Some p -> p
-      | None -> failwith "bad pubkey"
-    in
-    let blob0 =
-      match Sgx.ecall cpu !e ~fn:"provision" (Rsa.encrypt rng pub secret) with
-      | Ok b when not (contains b "ERR:") -> b
-      | Ok e -> failwith e
-      | Error e -> failwith e
-    in
+    match Rsa.public_of_string pubkey_wire with
+    | None -> Error "attested enclave returned an unreadable public key"
+    | Some pub ->
+    match Sgx.ecall cpu !e ~fn:"provision" (Rsa.encrypt rng pub secret) with
+    | Ok e when contains e "ERR:" -> Error ("provision: " ^ e)
+    | Error e -> Error ("provision: " ^ e)
+    | Ok blob0 ->
     host_blobs := [ blob0 ];
     (* --- 3. the host runs jobs (or attacks) ------------------------------ *)
     match attack with
     | Starve_enclave ->
       (* the scheduler simply never runs the enclave: no progress, but
          also nothing leaks *)
-      { attested;
-        provisioned = true;
-        jobs_completed = 0;
-        secret_leaked = secret_seen_by_host ();
-        state_regressed = false;
-        detail = "host starved the enclave: availability lost, nothing leaked" }
+      Ok
+        { attested;
+          provisioned = true;
+          jobs_completed = 0;
+          secret_leaked = secret_seen_by_host ();
+          state_regressed = false;
+          detail = "host starved the enclave: availability lost, nothing leaked" }
     | _ ->
       let jobs_done = ref 0 in
       let run_job job =
@@ -222,16 +217,17 @@ let run ?(with_counter = true) attack =
          (* the probe happens while everything is resident *)
          ()
        | _ -> ());
-      { attested;
-        provisioned = true;
-        jobs_completed = !jobs_done;
-        secret_leaked = secret_seen_by_host ();
-        state_regressed;
-        detail =
-          (match attack with
-           | Rollback_sealed_state when state_regressed ->
-             "sealed state has no freshness: old checkpoint accepted"
-           | Rollback_sealed_state -> "monotonic counter rejected the old checkpoint"
-           | Read_enclave_memory -> "EPC encryption kept the secret out of reach"
-           | _ -> "jobs ran to completion") }
+      Ok
+        { attested;
+          provisioned = true;
+          jobs_completed = !jobs_done;
+          secret_leaked = secret_seen_by_host ();
+          state_regressed;
+          detail =
+            (match attack with
+             | Rollback_sealed_state when state_regressed ->
+               "sealed state has no freshness: old checkpoint accepted"
+             | Rollback_sealed_state -> "monotonic counter rejected the old checkpoint"
+             | Read_enclave_memory -> "EPC encryption kept the secret out of reach"
+             | _ -> "jobs ran to completion") }
   end

@@ -42,8 +42,10 @@ val conformance : (unit, string) result Lazy.t
 
 (** [run ?with_counter attack] — [with_counter] (default [true]) guards
     sealed state with the hardware monotonic counter; set [false] to
-    reproduce the rollback. *)
-val run : ?with_counter:bool -> attack -> outcome
+    reproduce the rollback. [Error _] when the scenario itself cannot be
+    staged (conformance failure, substrate refusal) — a typed answer a
+    chaos or fuzz harness can observe, not a [Failure] to catch. *)
+val run : ?with_counter:bool -> attack -> (outcome, string) result
 
 val attack_name : attack -> string
 

@@ -57,29 +57,37 @@ let manifests ~vertical =
 let conformance = lazy (Flow.check_deployment (manifests ~vertical:false))
 
 let build ~vertical =
-  (match Lazy.force conformance with
-   | Ok () -> ()
-   | Error e -> failwith ("mail scenario manifests: " ^ e));
-  let app = App.create () in
-  List.iter (App.add_stub app) (manifests ~vertical);
-  app
+  match Lazy.force conformance with
+  | Error e -> Error ("mail scenario manifests: " ^ e)
+  | Ok () ->
+    let app = App.create () in
+    List.iter (App.add_stub app) (manifests ~vertical);
+    Ok app
 
 let containment_row name =
   let owned shape =
-    let app = build ~vertical:shape in
-    (Analysis.compromise_reach app name).Analysis.owned_fraction
+    match build ~vertical:shape with
+    | Ok app -> Ok (Analysis.compromise_reach app name).Analysis.owned_fraction
+    | Error e -> Error e
   in
-  (owned true, owned false)
+  match (owned true, owned false) with
+  | Ok v, Ok h -> Ok (v, h)
+  | Error e, _ | _, Error e -> Error e
 
 let containment_table () =
-  List.map
-    (fun name ->
-      let v, h = containment_row name in
-      (name, v, h))
-    component_names
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | name :: rest ->
+      (match containment_row name with
+       | Ok (v, h) -> go ((name, v, h) :: acc) rest
+       | Error e -> Error e)
+  in
+  go [] component_names
 
 let tcb_comparison () =
-  let horizontal = build ~vertical:false in
+  match build ~vertical:false with
+  | Error e -> Error e
+  | Ok horizontal ->
   (* in the vertical design every subsystem shares one protection domain
      with all the others, so each one's TCB is the entire application
      plus the monolithic OS underneath *)
@@ -91,9 +99,10 @@ let tcb_comparison () =
       (manifests ~vertical:true)
   in
   let microkernel _ = 10_000 in
-  List.map
-    (fun name ->
-      ( name,
-        whole_app + monolithic_os,
-        Analysis.tcb horizontal ~tcb_of_substrate:microkernel name ))
-    component_names
+  Ok
+    (List.map
+       (fun name ->
+         ( name,
+           whole_app + monolithic_os,
+           Analysis.tcb horizontal ~tcb_of_substrate:microkernel name ))
+       component_names)

@@ -17,21 +17,23 @@ val manifests : vertical:bool -> Manifest.t list
     plus a leak-free flow verdict. Forced (and asserted) by {!build}. *)
 val conformance : (unit, string) result Lazy.t
 
-(** [build ~vertical] assembles the application with stub behaviours. *)
-val build : vertical:bool -> App.t
+(** [build ~vertical] assembles the application with stub behaviours.
+    [Error _] when the scenario's own manifests fail conformance — typed,
+    so harnesses never catch [Failure _]. *)
+val build : vertical:bool -> (App.t, string) result
 
 (** [component_names] in a stable order. *)
 val component_names : string list
 
 (** [containment_row name] computes (owned fraction when [name] is
     exploited in the vertical design, same for horizontal). *)
-val containment_row : string -> float * float
+val containment_row : string -> (float * float, string) result
 
 (** [containment_table ()] — one row per component; the data behind
     Figure 1's argument. *)
-val containment_table : unit -> (string * float * float) list
+val containment_table : unit -> ((string * float * float) list, string) result
 
 (** [tcb_comparison ()] — (component, monolithic TCB, decomposed TCB)
     using a 10 kLoC microkernel substrate for the decomposed case and a
     30 kLoC monolithic-OS TCB for the vertical case. *)
-val tcb_comparison : unit -> (string * int * int) list
+val tcb_comparison : unit -> ((string * int * int) list, string) result

@@ -46,11 +46,6 @@ let manifests =
 
 let conformance = lazy (Flow.check_deployment manifests)
 
-let assert_conformance () =
-  match Lazy.force conformance with
-  | Ok () -> ()
-  | Error e -> failwith ("meter scenario manifests: " ^ e)
-
 let good_anonymizer_code =
   "anonymizer-v1: strip customer id, keep kwh, store aggregate only"
 
@@ -75,7 +70,9 @@ let anonymizer_services ~evil db =
        "ingested") ]
 
 let run ?(seed = 1L) tamper =
-  assert_conformance ();
+  match Lazy.force conformance with
+  | Error e -> Error ("meter scenario manifests: " ^ e)
+  | Ok () ->
   let rng = Drbg.create seed in
   (* --- manufacturing and provisioning --------------------------------- *)
   let intel_ca = Rsa.generate ~bits:512 rng in
@@ -103,14 +100,12 @@ let run ?(seed = 1L) tamper =
   let db = ref [] in
   let evil = tamper = Manipulated_anonymizer in
   let anon_code = if evil then evil_anonymizer_code else good_anonymizer_code in
-  let anonymizer =
-    match
-      sgx_sub.Substrate.launch ~name:"anonymizer" ~code:anon_code
-        ~services:(anonymizer_services ~evil db)
-    with
-    | Ok c -> c
-    | Error e -> failwith e
-  in
+  match
+    sgx_sub.Substrate.launch ~name:"anonymizer" ~code:anon_code
+      ~services:(anonymizer_services ~evil db)
+  with
+  | Error e -> Error ("launch anonymizer: " ^ e)
+  | Ok anonymizer ->
   (* --- the untrusted network ------------------------------------------- *)
   let net = Net.create () in
   Net.register net "meter";
@@ -157,26 +152,25 @@ let run ?(seed = 1L) tamper =
   match meter_sub with
   | Error e ->
     (* boot ROM refused the secure world: no attestation, no trust *)
-    finish ~anonymizer_verified:false ~reading_sent:false ~reading_accepted:false
-      ~detail:("meter trust anchor: " ^ e)
+    Ok
+      (finish ~anonymizer_verified:false ~reading_sent:false
+         ~reading_accepted:false ~detail:("meter trust anchor: " ^ e))
   | Ok (tz_sub, _tz) ->
-    let meter_comp =
-      match
-        tz_sub.Substrate.launch ~name:"meter" ~code:"meter-logic-v1"
-          ~services:
-            [ ("read",
-               fun fac _ ->
-                 let n =
-                   match fac.Substrate.f_load ~key:"kwh" with
-                   | Some v -> int_of_string v + 3
-                   | None -> 3
-                 in
-                 fac.Substrate.f_store ~key:"kwh" (string_of_int n);
-                 Printf.sprintf "customer=4711;kwh=%d" n) ]
-      with
-      | Ok c -> c
-      | Error e -> failwith e
-    in
+    match
+      tz_sub.Substrate.launch ~name:"meter" ~code:"meter-logic-v1"
+        ~services:
+          [ ("read",
+             fun fac _ ->
+               let n =
+                 match fac.Substrate.f_load ~key:"kwh" with
+                 | Some v -> int_of_string v + 3
+                 | None -> 3
+               in
+               fac.Substrate.f_store ~key:"kwh" (string_of_int n);
+               Printf.sprintf "customer=4711;kwh=%d" n) ]
+    with
+    | Error e -> Error ("launch meter: " ^ e)
+    | Ok meter_comp ->
     let meter_measurement = Substrate.component_measurement meter_comp in
     (* ---- session ------------------------------------------------------ *)
     (* 1. meter challenges the utility *)
@@ -184,20 +178,26 @@ let run ?(seed = 1L) tamper =
     Net.send net ~src:"meter" ~dst:"utility" (Wire.tagged "hello" [ meter_nonce ]);
     (* 2. utility answers with anonymizer evidence and its own challenge *)
     let server_nonce = Sha256.hex (Drbg.bytes rng 16) in
-    (match Net.recv net "utility" with
-     | Some { Net.payload; _ } ->
-       (match Wire.untag payload with
-        | Some ("hello", [ n ]) ->
-          (match
-             sgx_sub.Substrate.attest anonymizer ~nonce:n ~claim:"role=anonymizer"
-           with
-           | Ok ev ->
-             Net.send net ~src:"utility" ~dst:"meter"
-               (Wire.tagged "anonymizer-evidence"
-                  [ Attestation.to_wire ev; server_nonce ])
-           | Error e -> failwith e)
-        | _ -> ())
-     | None -> ());
+    let evidence_sent =
+      match Net.recv net "utility" with
+      | Some { Net.payload; _ } ->
+        (match Wire.untag payload with
+         | Some ("hello", [ n ]) ->
+           (match
+              sgx_sub.Substrate.attest anonymizer ~nonce:n ~claim:"role=anonymizer"
+            with
+            | Ok ev ->
+              Net.send net ~src:"utility" ~dst:"meter"
+                (Wire.tagged "anonymizer-evidence"
+                   [ Attestation.to_wire ev; server_nonce ]);
+              Ok ()
+            | Error e -> Error ("anonymizer attest: " ^ e))
+         | _ -> Ok ())
+      | None -> Ok ()
+    in
+    match evidence_sent with
+    | Error e -> Error e
+    | Ok () ->
     (* 3. meter verifies the anonymizer before releasing private data *)
     let anonymizer_verified, got_server_nonce =
       match Net.recv net "meter" with
@@ -214,12 +214,14 @@ let run ?(seed = 1L) tamper =
       | None -> (false, None)
     in
     if not anonymizer_verified then
-      finish ~anonymizer_verified:false ~reading_sent:false ~reading_accepted:false
-        ~detail:"meter refused: anonymizer identity not acceptable"
+      Ok
+        (finish ~anonymizer_verified:false ~reading_sent:false
+           ~reading_accepted:false
+           ~detail:"meter refused: anonymizer identity not acceptable")
     else begin
       let srv_nonce = Option.get got_server_nonce in
       (* 4. meter reads and attests; an emulated meter forges instead *)
-      let reading, ev_wire =
+      let staged =
         match tamper with
         | Emulated_meter ->
           let fake = "customer=4711;kwh=0" in
@@ -229,23 +231,21 @@ let run ?(seed = 1L) tamper =
               ~claim:("reading=" ^ fake) ~device:"meter-0001"
               ~key:"guessed-key-wrong"
           in
-          (fake, Attestation.to_wire forged)
+          Ok (fake, Attestation.to_wire forged)
         | _ ->
-          let reading =
-            match tz_sub.Substrate.invoke meter_comp ~fn:"read" "" with
-            | Ok r -> r
-            | Error e -> failwith e
-          in
-          let ev =
-            match
-              tz_sub.Substrate.attest meter_comp ~nonce:srv_nonce
-                ~claim:("reading=" ^ reading)
-            with
-            | Ok ev -> ev
-            | Error e -> failwith e
-          in
-          (reading, Attestation.to_wire ev)
+          (match tz_sub.Substrate.invoke meter_comp ~fn:"read" "" with
+           | Error e -> Error ("meter read: " ^ e)
+           | Ok reading ->
+             (match
+                tz_sub.Substrate.attest meter_comp ~nonce:srv_nonce
+                  ~claim:("reading=" ^ reading)
+              with
+              | Error e -> Error ("meter attest: " ^ e)
+              | Ok ev -> Ok (reading, Attestation.to_wire ev)))
       in
+      match staged with
+      | Error e -> Error e
+      | Ok (reading, ev_wire) ->
       Net.send net ~src:"meter" ~dst:"utility"
         (Wire.tagged "reading" [ reading; ev_wire ]);
       (* replay: the adversary re-injects the observed message in a NEW
@@ -281,7 +281,7 @@ let run ?(seed = 1L) tamper =
            | _ -> (false, "utility: unexpected message"))
         | None -> (false, "utility: no message received")
       in
-      finish ~anonymizer_verified ~reading_sent:true ~reading_accepted ~detail
+      Ok (finish ~anonymizer_verified ~reading_sent:true ~reading_accepted ~detail)
     end
 
 let gateway_demo () =

@@ -43,8 +43,11 @@ val manifests : Manifest.t list
     leak-free flow verdict. Forced (and asserted) by {!run}. *)
 val conformance : (unit, string) result Lazy.t
 
-(** [run ?seed tamper] executes one full session under the attack. *)
-val run : ?seed:int64 -> tamper -> outcome
+(** [run ?seed tamper] executes one full session under the attack.
+    [Error _] when the scenario cannot be staged (conformance failure,
+    launch/attest refusal) — typed, so harnesses never catch
+    [Failure _]. *)
+val run : ?seed:int64 -> tamper -> (outcome, string) result
 
 val tamper_name : tamper -> string
 

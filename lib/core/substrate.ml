@@ -54,6 +54,28 @@ let component_state c = c.c_state
 
 let crashed_error name = Printf.sprintf "component %s crashed (killed)" name
 
+exception Service_failure of string
+
+let failure_prefix = "service failure: "
+
+let failure_error m = failure_prefix ^ m
+
+(* every substrate sim that turns a service exception into a string does
+   so via [Printexc.to_string]; registering a printer keeps the failure
+   recognizable across that hop so routers can recover the class *)
+let () =
+  Printexc.register_printer (function
+    | Service_failure m -> Some (failure_error m)
+    | _ -> None)
+
+let fail m = raise (Service_failure m)
+
+let as_failure e =
+  let n = String.length failure_prefix in
+  if String.length e >= n && String.sub e 0 n = failure_prefix then
+    Some (String.sub e n (String.length e - n))
+  else None
+
 let lifecycle ?(teardown = fun _ -> ()) () =
   let dead : (string, unit) Hashtbl.t = Hashtbl.create 4 in
   let crash c =

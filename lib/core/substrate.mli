@@ -89,6 +89,26 @@ val component_state : component -> exn
     a dead component is invoked, so routers can classify it. *)
 val crashed_error : string -> string
 
+(** A service declining a request on purpose — bad argument, downstream
+    dependency unavailable, policy of its own. Distinct from a crash:
+    the component is healthy, a supervisor must not restart it and a
+    load run must count the request as failed, not the process as dead.
+    Raise it with {!fail} from inside a behaviour. *)
+exception Service_failure of string
+
+(** [fail msg] aborts the current request with {!Service_failure}. *)
+val fail : string -> 'a
+
+(** [failure_error msg] — the wire encoding of a {!Service_failure} that
+    crossed a substrate hop as a string ("service failure: " ^ msg).
+    Adapters and sims produce it automatically via [Printexc.to_string]
+    (a printer is registered). *)
+val failure_error : string -> string
+
+(** [as_failure e] recovers the message from a {!failure_error} string,
+    [None] for any other error. *)
+val as_failure : string -> string option
+
 (** [lifecycle ?teardown ()] — the shared crash bookkeeping for adapter
     authors: returns [(crash, is_alive, revive)] closures over a private
     dead-set. [crash] marks the component dead and runs [teardown] once;

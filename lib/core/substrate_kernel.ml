@@ -56,7 +56,10 @@ let make machine policy ?tpm ?(boot_pcr = 10) ?(rng = Drbg.create 0x6b65726eL) (
      | Some tpm -> Tpm.extend tpm boot_pcr measurement
      | None -> ());
     let task = Kernel.create_task k ~name ~partition:name in
-    Kernel.map_memory k task ~vpage:0 ~pages:store_pages Lt_hw.Mmu.rw;
+    match Kernel.map_memory k task ~vpage:0 ~pages:store_pages Lt_hw.Mmu.rw with
+    | Error Kernel.Out_of_frames ->
+      Error (Printf.sprintf "launch %s: out of physical frames" name)
+    | Ok () ->
     let endpoint = Kernel.create_endpoint k ~name:(name ^ ".ep") in
     let recv_cap =
       Kernel.grant k task endpoint ~rights:{ send = false; recv = true } ~badge:0

@@ -1,0 +1,53 @@
+(** The hunt driver: seeded, deterministic differential fuzzing.
+
+    Runs the three engines ({!Manifest_fuzz}, {!Substrate_fuzz},
+    {!Storage_fuzz}), shrinks every failure to a minimal reproducer
+    with {!Shrink}, and renders a report. All randomness derives from
+    the seed: equal seeds give byte-identical reports, whatever subset
+    of engines runs. *)
+
+type engine = Manifest | Substrate | Storage
+
+val all_engines : engine list
+
+val engine_name : engine -> string
+
+val engine_of_name : string -> engine option
+
+type failure = {
+  f_case : int;          (** generation index within the engine's run *)
+  f_what : string;       (** the property that broke, after shrinking *)
+  f_repro : Repro.t;     (** minimal reproducer, corpus-ready *)
+}
+
+type engine_report = {
+  e_engine : engine;
+  e_cases : int;
+  e_failures : failure list;
+  e_shrink_steps : int;  (** predicate evaluations spent minimizing *)
+}
+
+type report = {
+  r_seed : int64;
+  r_engines : engine_report list;
+}
+
+(** [run ~seed ~budget ()] — [budget] generated cases per engine. Each
+    engine's random stream depends only on [seed], not on which other
+    engines are selected. *)
+val run : ?engines:engine list -> seed:int64 -> budget:int -> unit -> report
+
+(** [ok report] — no failures anywhere. *)
+val ok : report -> bool
+
+val render_text : report -> string
+
+val render_json : report -> string
+
+(** [replay repro] — re-runs the reproducer's payload under its
+    engine's property. [Ok ()] means the property holds (the bug it
+    pinned stays fixed); [Error _] is the property violation or an
+    unknown engine name. *)
+val replay : Repro.t -> (unit, string) result
+
+val replay_file : string -> (unit, string) result

@@ -1,0 +1,154 @@
+open Lateral
+module Drbg = Lt_crypto.Drbg
+
+let name = "manifest"
+
+(* ---------------------------------------------------------------- *)
+(* generation: a well-formed manifest set, rendered, then mutated    *)
+(* ---------------------------------------------------------------- *)
+
+let name_pool = [| "alpha"; "beta"; "gamma"; "delta"; "epsilon"; "zeta" |]
+
+let service_pool = [| "ping"; "store"; "query"; "render"; "io" |]
+
+let substrate_pool =
+  [| "microkernel"; "sgx"; "trustzone"; "sep"; "cheri"; "m3"; "flicker" |]
+
+let pick rng a = a.(Drbg.int rng (Array.length a))
+
+let gen_manifests rng =
+  let n = 1 + Drbg.int rng 5 in
+  let names = Array.to_list (Array.sub name_pool 0 n) in
+  List.mapi
+    (fun i cname ->
+      let provides =
+        List.filter (fun _ -> Drbg.int rng 3 > 0)
+          (Array.to_list service_pool)
+        |> List.filteri (fun j _ -> j < 2)
+      in
+      let provides = if provides = [] then [ pick rng service_pool ] else provides in
+      (* connect only to earlier components: generated sets are acyclic *)
+      let connects_to =
+        List.concat_map
+          (fun j ->
+            if j < i && Drbg.bool rng then
+              [ Manifest.conn
+                  ~vetted:(Drbg.int rng 4 = 0)
+                  (List.nth names j)
+                  (pick rng service_pool) ]
+            else [])
+          (List.init n Fun.id)
+      in
+      let restart =
+        if Drbg.int rng 3 = 0 then
+          Some (Manifest.default_restart
+                  (pick rng [| Manifest.Never; Manifest.On_failure; Manifest.Always |]))
+        else None
+      in
+      Manifest.v ~name:cname ~provides ~connects_to
+        ?domain:(if Drbg.int rng 4 = 0 then Some "shared" else None)
+        ~size_loc:(100 + Drbg.int rng 40_000)
+        ~network_facing:(Drbg.int rng 3 = 0)
+        ~vulnerable:(Drbg.int rng 4 = 0)
+        ~discriminates_clients:(Drbg.int rng 4 > 0)
+        ~substrate:(pick rng substrate_pool)
+        ~stateful:(Drbg.int rng 3 = 0)
+        ?restart ())
+    names
+
+let printable rng =
+  (* bias toward the format's own alphabet so mutations stay near the
+     grammar's edge instead of being trivially rejected *)
+  let interesting = "component provides connects domain substrate \t#.-_" in
+  if Drbg.int rng 2 = 0 then interesting.[Drbg.int rng (String.length interesting)]
+  else Char.chr (32 + Drbg.int rng 95)
+
+let mutate rng text =
+  let mutations = Drbg.int rng 5 in
+  let apply text _ =
+    if String.length text = 0 then text
+    else
+      match Drbg.int rng 5 with
+      | 0 ->
+        (* flip one byte *)
+        let i = Drbg.int rng (String.length text) in
+        let b = Bytes.of_string text in
+        Bytes.set b i (printable rng);
+        Bytes.to_string b
+      | 1 ->
+        (* drop a line *)
+        let lines = String.split_on_char '\n' text in
+        let i = Drbg.int rng (List.length lines) in
+        String.concat "\n" (List.filteri (fun j _ -> j <> i) lines)
+      | 2 ->
+        (* duplicate a line (duplicate components must be rejected) *)
+        let lines = String.split_on_char '\n' text in
+        let i = Drbg.int rng (List.length lines) in
+        let line = List.nth lines i in
+        String.concat "\n"
+          (List.concat (List.mapi (fun j l -> if j = i then [ l; line ] else [ l ]) lines))
+      | 3 ->
+        (* truncate mid-token *)
+        String.sub text 0 (Drbg.int rng (String.length text))
+      | _ ->
+        (* insert a random token at a line start *)
+        let lines = String.split_on_char '\n' text in
+        let i = Drbg.int rng (List.length lines) in
+        let token = String.init (1 + Drbg.int rng 12) (fun _ -> printable rng) in
+        String.concat "\n"
+          (List.mapi (fun j l -> if j = i then token ^ " " ^ l else l) lines)
+  in
+  List.fold_left apply text (List.init mutations Fun.id)
+
+let garbage rng =
+  String.init (Drbg.int rng 400) (fun _ ->
+      if Drbg.int rng 12 = 0 then '\n' else printable rng)
+
+let generate rng _case =
+  if Drbg.int rng 4 = 0 then garbage rng
+  else mutate rng (Manifest_file.to_text (gen_manifests rng))
+
+(* ---------------------------------------------------------------- *)
+(* the properties                                                    *)
+(* ---------------------------------------------------------------- *)
+
+let raised what exn =
+  Error (Printf.sprintf "%s raised %s" what (Printexc.to_string exn))
+
+let check payload =
+  match Manifest_file.parse payload with
+  | exception exn -> raised "parse" exn
+  | Error _ ->
+    (* rejection is totality working; but the spanned parser must agree *)
+    (match Manifest_file.parse_spanned payload with
+     | exception exn -> raised "parse_spanned" exn
+     | Ok _ -> Error "parse rejected what parse_spanned accepted"
+     | Error _ -> Ok ())
+  | Ok manifests ->
+    (match Manifest_file.to_text manifests with
+     | exception exn -> raised "to_text" exn
+     | text ->
+       (match Manifest_file.parse text with
+        | exception exn -> raised "round-trip parse" exn
+        | Error e -> Error (Printf.sprintf "round-trip parse failed: %s" e)
+        | Ok reparsed when reparsed <> manifests ->
+          Error "round-trip changed the manifests"
+        | Ok _ ->
+          (match Lint.run manifests with
+           | exception exn -> raised "lint" exn
+           | diags ->
+             if Lint.run manifests <> diags then Error "lint is nondeterministic"
+             else
+               (match Flow.analyze manifests with
+                | exception exn -> raised "flow" exn
+                | flow ->
+                  if Flow.analyze manifests <> flow then
+                    Error "flow analysis is nondeterministic"
+                  else
+                    (match Flow.provision manifests with
+                     | exception exn -> raised "provision" exn
+                     | Error _ -> Ok ()  (* a typed refusal to provision is fine *)
+                     | Ok d ->
+                       (match Flow.conformance manifests d.Flow.d_kernel with
+                        | exception exn -> raised "conformance" exn
+                        | _ -> Ok ()))))))

@@ -1,0 +1,28 @@
+(** Engine 1: manifest toolchain fuzzing.
+
+    Feeds generated and mutated manifest source text to the parser and,
+    on whatever parses, to the static analyses. The properties:
+
+    - {b parser totality}: {!Lateral.Manifest_file.parse} never raises;
+      rejected inputs come back as [Error _] with a line number;
+    - {b round-trip}: [parse text |> to_text |> parse] succeeds and
+      yields the same manifests;
+    - {b analysis totality and determinism}: {!Lateral.Lint.run},
+      {!Lateral.Flow.analyze} and {!Lateral.Flow.provision} +
+      {!Lateral.Flow.conformance} never raise and give identical answers
+      on identical inputs.
+
+    Payload = the manifest source text itself. *)
+
+val name : string
+
+(** [generate rng case] — a fresh payload: usually a well-formed
+    manifest set pushed through 0..4 mutations (byte flips, line drops
+    and duplications, token truncation), sometimes raw printable
+    garbage. *)
+val generate : Lt_crypto.Drbg.t -> int -> string
+
+(** [check payload] — [Ok ()] when every property holds (a clean
+    [Error _] from the parser counts as holding); [Error what]
+    otherwise. Never raises. *)
+val check : string -> (unit, string) result

@@ -1,0 +1,68 @@
+type t = {
+  engine : string;
+  seed : int64;
+  note : string;
+  payload : string;
+}
+
+let magic = "lateral-hunt repro v1"
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec header t = function
+    | [] -> Error "missing payload section"
+    | line :: rest ->
+      let line' = String.trim line in
+      if line' = "" || String.length line' > 0 && line'.[0] = '#' then
+        header t rest
+      else if line' = "payload" then
+        (* payload is verbatim: everything after the marker line, with
+           one trailing newline normalized away *)
+        let payload = String.concat "\n" rest in
+        let payload =
+          let n = String.length payload in
+          if n > 0 && payload.[n - 1] = '\n' then String.sub payload 0 (n - 1)
+          else payload
+        in
+        Ok { t with payload }
+      else
+        (match String.index_opt line' ' ' with
+         | None -> Error (Printf.sprintf "malformed line %S" line')
+         | Some i ->
+           let key = String.sub line' 0 i in
+           let value = String.trim (String.sub line' (i + 1) (String.length line' - i - 1)) in
+           (match key with
+            | "engine" -> header { t with engine = value } rest
+            | "seed" ->
+              (match Int64.of_string_opt value with
+               | Some s -> header { t with seed = s } rest
+               | None -> Error (Printf.sprintf "unreadable seed %S" value))
+            | "note" -> header { t with note = value } rest
+            | _ -> Error (Printf.sprintf "unknown key %S" key)))
+  in
+  match lines with
+  | first :: rest when String.trim first = magic ->
+    (match header { engine = ""; seed = 0L; note = ""; payload = "" } rest with
+     | Error _ as e -> e
+     | Ok t when t.engine = "" -> Error "missing engine"
+     | Ok t -> Ok t)
+  | _ -> Error (Printf.sprintf "not a repro file (expected %S on line 1)" magic)
+
+let to_text t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b magic;
+  Buffer.add_char b '\n';
+  Buffer.add_string b (Printf.sprintf "engine %s\n" t.engine);
+  Buffer.add_string b (Printf.sprintf "seed %Ld\n" t.seed);
+  if t.note <> "" then Buffer.add_string b (Printf.sprintf "note %s\n" t.note);
+  Buffer.add_string b "payload\n";
+  Buffer.add_string b t.payload;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> (match parse text with
+             | Ok t -> Ok t
+             | Error e -> Error (Printf.sprintf "%s: %s" path e))
+  | exception Sys_error e -> Error e

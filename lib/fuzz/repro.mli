@@ -1,0 +1,33 @@
+(** Reproducer corpus format.
+
+    Every failure the hunt finds is shrunk to a minimal input and saved
+    as a [.repro] file, so the bug stays pinned after the fix: the
+    corpus is replayed under the [@hunt] alias and every entry must pass.
+
+    Format (line-based, [#] comments allowed before [payload]):
+    {v
+    lateral-hunt repro v1
+    engine storage
+    seed 7
+    note corrupt superblock must mount to an error
+    payload
+    <raw engine payload, verbatim until end of file>
+    v}
+
+    Everything after the [payload] marker belongs to the engine: manifest
+    source text for the manifest engine, one operation per line for the
+    substrate and storage engines. *)
+
+type t = {
+  engine : string;   (** "manifest", "substrate" or "storage" *)
+  seed : int64;      (** the run that found it, for provenance *)
+  note : string;     (** one-line description of the property at stake *)
+  payload : string;
+}
+
+val parse : string -> (t, string) result
+
+(** [to_text t] renders back to the file format; [parse] round-trips. *)
+val to_text : t -> string
+
+val load : string -> (t, string) result

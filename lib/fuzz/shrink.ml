@@ -1,0 +1,53 @@
+(* ddmin over lines: try dropping aligned chunks at granularity n/2,
+   n/4, ..., 1; whenever a drop still reproduces, restart from the
+   smaller input. Then try truncating individual lines byte-wise from
+   the right, which shrinks embedded data tokens. *)
+
+let split payload = String.split_on_char '\n' payload
+
+let join lines = String.concat "\n" lines
+
+let drop_chunk lines ~at ~len =
+  List.filteri (fun i _ -> i < at || i >= at + len) lines
+
+let lines ?(steps = ref 0) still_fails payload =
+  let check lines =
+    incr steps;
+    still_fails (join lines)
+  in
+  let rec minimize lines chunk =
+    let n = List.length lines in
+    if n <= 1 || chunk < 1 then lines
+    else begin
+      let rec try_at at =
+        if at >= n then None
+        else
+          let candidate = drop_chunk lines ~at ~len:chunk in
+          if candidate <> lines && candidate <> [] && check candidate then
+            Some candidate
+          else try_at (at + chunk)
+      in
+      match try_at 0 with
+      | Some smaller -> minimize smaller (min chunk (List.length smaller / 2))
+      | None -> minimize lines (chunk / 2)
+    end
+  in
+  let lines0 = split payload in
+  let reduced = minimize lines0 (max 1 (List.length lines0 / 2)) in
+  (* second pass: halve the surviving lines from the right while the
+     failure persists, shrinking embedded data tokens *)
+  let rec shorten_pass lines i =
+    if i >= List.length lines then lines
+    else
+      let line = List.nth lines i in
+      let n = String.length line in
+      if n <= 4 then shorten_pass lines (i + 1)
+      else
+        let candidate_line = String.sub line 0 (n / 2) in
+        let candidate =
+          List.mapi (fun j l -> if j = i then candidate_line else l) lines
+        in
+        if check candidate then shorten_pass candidate i
+        else shorten_pass lines (i + 1)
+  in
+  join (shorten_pass reduced 0)

@@ -1,0 +1,12 @@
+(** Delta-debugging shrinker for line-structured payloads.
+
+    All three engines take payloads that are independent(ish) lines —
+    manifest directives, operation scripts — so one ddmin-style pass
+    over lines gets reproducers close to minimal. *)
+
+(** [lines ?steps still_fails payload] returns the smallest payload
+    (by removing line chunks, then single lines, then truncating the
+    longest lines) for which [still_fails] stays [true]. [still_fails
+    payload] must be [true] on entry; [steps] counts predicate
+    evaluations for the benchmark. *)
+val lines : ?steps:int ref -> (string -> bool) -> string -> string

@@ -1,0 +1,285 @@
+module Block = Lt_storage.Block
+module Fs = Lt_storage.Legacy_fs
+module Vpfs = Lt_storage.Vpfs
+module Drbg = Lt_crypto.Drbg
+
+let name = "storage"
+
+let master_key = "hunt-key"
+
+(* big enough that a well-formed schedule never hits No_space (a failed
+   mutation could leave a journal record behind and confuse the
+   in-flight accounting), small enough that corrupt ops regularly land
+   on live metadata *)
+let device_blocks = 128
+
+(* ---------------------------------------------------------------- *)
+(* operations                                                        *)
+(* ---------------------------------------------------------------- *)
+
+type op =
+  | Write of string * string
+  | Delete of string
+  | Cut of int
+  | Corrupt of { block : int; byte : int; bit : int }
+  | Remount
+
+let parse_op line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "write"; path; data ] -> Ok (Write (path, data))
+  | [ "delete"; path ] -> Ok (Delete path)
+  | [ "cut"; n ] ->
+    (match int_of_string_opt n with
+     | Some n when n >= 0 -> Ok (Cut n)
+     | _ -> Error (Printf.sprintf "bad cut %S" line))
+  | [ "corrupt"; block; byte; bit ] ->
+    (match (int_of_string_opt block, int_of_string_opt byte, int_of_string_opt bit) with
+     | Some block, Some byte, Some bit
+       when block >= 0 && byte >= 0 && byte < Block.block_size && bit >= 0 && bit < 8 ->
+       Ok (Corrupt { block; byte; bit })
+     | _ -> Error (Printf.sprintf "bad corrupt %S" line))
+  | [ "remount" ] -> Ok Remount
+  | _ -> Error (Printf.sprintf "unparseable op %S" line)
+
+let render_op = function
+  | Write (path, data) -> Printf.sprintf "write %s %s" path data
+  | Delete path -> Printf.sprintf "delete %s" path
+  | Cut n -> Printf.sprintf "cut %d" n
+  | Corrupt { block; byte; bit } -> Printf.sprintf "corrupt %d %d %d" block byte bit
+  | Remount -> "remount"
+
+(* ---------------------------------------------------------------- *)
+(* the harness                                                       *)
+(* ---------------------------------------------------------------- *)
+
+type pending = Pwrite of string * string | Pdelete of string
+
+type state = {
+  dev : Block.t;
+  mutable fs : Fs.t;
+  mutable vpfs : Vpfs.t;
+  mutable root : string;              (* last acknowledged trusted root *)
+  model : (string, string) Hashtbl.t; (* acknowledged contents *)
+  mutable pending : pending option;   (* mutation in flight at a power cut *)
+  mutable queued_flips : (int * int * int) list;
+      (* corruption strikes the at-rest image: queued flips land after
+         the sync and before the mount of the next remount, where the
+         old decode paths used to panic *)
+  mutable corrupted : bool;           (* oracle off, totality still on *)
+  mutable dead : bool;                (* a corrupt image refused to mount *)
+  mutable failure : string option;
+}
+
+let fail st fmt =
+  Printf.ksprintf (fun s -> if st.failure = None then st.failure <- Some s) fmt
+
+let exn_to_failure st what exn =
+  fail st "%s raised %s" what (Printexc.to_string exn)
+
+(* After every recovery, reading everything back must be total — on a
+   damaged image a read may return [Error _], never raise. On an
+   undamaged image the survivors must additionally be exactly the
+   model. *)
+let audit st =
+  match Vpfs.list st.vpfs with
+  | exception exn -> exn_to_failure st "list" exn
+  | paths ->
+    let actual =
+      List.map
+        (fun p ->
+          match Vpfs.read st.vpfs p with
+          | Ok d -> (p, Some d)
+          | Error _ -> (p, None)
+          | exception exn ->
+            exn_to_failure st "read" exn;
+            (p, None))
+        paths
+    in
+    if not st.corrupted then begin
+      let expect =
+        List.sort compare
+          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.model [])
+      in
+      let actual_ok =
+        List.filter_map (fun (p, d) -> Option.map (fun d -> (p, d)) d) actual
+        |> List.sort compare
+      in
+      if List.exists (fun (_, d) -> d = None) actual then
+        fail st "read of a surviving path errored on a clean image"
+      else if actual_ok <> expect then
+        fail st "oracle divergence: survivors %s, acknowledged %s"
+          (String.concat "," (List.map fst actual_ok))
+          (String.concat "," (List.map fst expect))
+    end
+
+(* remount after a power cut (no sync possible: the handle is dead) or
+   cleanly (sync first). The status resolves the in-flight mutation:
+   [`Recovered] rolled it forward, [`Clean] discarded it. *)
+(* A corruption strikes the [byte]-th non-zero byte of the block — live
+   content, not zero padding. Digits rotate to a different digit (the
+   dangerous mutation for length-and-index fields: the result still
+   parses, but means something else); other bytes get a bit flip.
+   Deterministic given the image, so reproducers stay exact. *)
+let apply_flips st =
+  List.iter
+    (fun (block, byte, bit) ->
+      let block = block mod Block.blocks st.dev in
+      match Block.read st.dev block with
+      | exception exn -> exn_to_failure st "corrupt read" exn
+      | contents ->
+        let b = Bytes.of_string contents in
+        let nonzero = ref [] in
+        Bytes.iteri (fun i c -> if c <> '\000' then nonzero := i :: !nonzero) b;
+        let i =
+          match List.rev !nonzero with
+          | [] -> byte
+          | live -> List.nth live (byte mod List.length live)
+        in
+        let c = Bytes.get b i in
+        let c' =
+          if c >= '0' && c <= '9' then
+            Char.chr
+              (Char.code '0' + (Char.code c - Char.code '0' + 1 + bit) mod 10)
+          else Char.chr (Char.code c lxor (1 lsl bit))
+        in
+        Bytes.set b i c';
+        (match Block.write st.dev block (Bytes.to_string b) with
+         | () -> st.corrupted <- true
+         | exception exn -> exn_to_failure st "corrupt write" exn))
+    st.queued_flips;
+  st.queued_flips <- []
+
+let remount st ~after_cut =
+  if not after_cut then begin
+    match Fs.sync st.fs with
+    | () -> ()
+    | exception Fs.Crashed -> ()  (* a cut armed but never fired; treat as cut *)
+    | exception exn -> exn_to_failure st "sync" exn
+  end;
+  apply_flips st;
+  if st.failure = None then
+    match Fs.mount st.dev with
+    | exception exn -> exn_to_failure st "mount" exn
+    | Error _ when st.corrupted -> st.dead <- true  (* detected damage: fine *)
+    | Error e ->
+      fail st "clean image refused to mount: %s" (Format.asprintf "%a" Fs.pp_error e)
+    | Ok fs' ->
+      (match Vpfs.open_recover ~master_key ~expected_root:st.root fs' with
+       | exception exn -> exn_to_failure st "open_recover" exn
+       | Error _ when st.corrupted -> st.dead <- true
+       | Error e ->
+         fail st "clean image refused recovery: %s"
+           (Format.asprintf "%a" Vpfs.pp_error e)
+       | Ok (v', status) ->
+         st.fs <- fs';
+         st.vpfs <- v';
+         (match (status, st.pending) with
+          | `Recovered, Some (Pwrite (p, d)) -> Hashtbl.replace st.model p d
+          | `Recovered, Some (Pdelete p) -> Hashtbl.remove st.model p
+          | `Recovered, None ->
+            if not st.corrupted then fail st "recovered with nothing in flight"
+          | `Clean, _ -> ());
+         st.pending <- None;
+         st.root <- Vpfs.root st.vpfs;
+         audit st)
+
+let run_op st op =
+  match op with
+  | Cut n ->
+    (match Fs.crash_after_writes st.fs n with
+     | () -> ()
+     | exception Fs.Crashed -> remount st ~after_cut:true
+     | exception exn -> exn_to_failure st "cut" exn)
+  | Corrupt { block; byte; bit } ->
+    st.queued_flips <- st.queued_flips @ [ (block, byte, bit) ]
+  | Remount -> remount st ~after_cut:false
+  | Write (path, data) ->
+    st.pending <- Some (Pwrite (path, data));
+    (match Vpfs.write st.vpfs path data with
+     | Ok () ->
+       Hashtbl.replace st.model path data;
+       st.root <- Vpfs.root st.vpfs;
+       st.pending <- None
+     | Error _ ->
+       (* a typed refusal (no space, detected damage) is not an ack *)
+       st.pending <- None
+     | exception Fs.Crashed -> remount st ~after_cut:true
+     | exception exn -> exn_to_failure st "write" exn)
+  | Delete path ->
+    st.pending <- Some (Pdelete path);
+    (match Vpfs.delete st.vpfs path with
+     | Ok () ->
+       Hashtbl.remove st.model path;
+       st.root <- Vpfs.root st.vpfs;
+       st.pending <- None
+     | Error _ -> st.pending <- None
+     | exception Fs.Crashed -> remount st ~after_cut:true
+     | exception exn -> exn_to_failure st "delete" exn)
+
+let run_ops ops =
+  let dev = Block.create ~blocks:device_blocks in
+  let fs = Fs.format dev in
+  let vpfs = Vpfs.create ~master_key fs in
+  let st =
+    { dev; fs; vpfs; root = Vpfs.root vpfs; model = Hashtbl.create 8;
+      pending = None; queued_flips = []; corrupted = false; dead = false;
+      failure = None }
+  in
+  List.iter (fun op -> if st.failure = None && not st.dead then run_op st op) ops;
+  (* end-of-run audit, mirroring the chaos harness: the image must be
+     recoverable and faithful even if the last cut never got a
+     follow-up operation *)
+  if st.failure = None && not st.dead then remount st ~after_cut:false;
+  match st.failure with None -> Ok () | Some what -> Error what
+
+(* ---------------------------------------------------------------- *)
+(* engine interface                                                  *)
+(* ---------------------------------------------------------------- *)
+
+let check payload =
+  let lines =
+    String.split_on_char '\n' payload
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  let rec parse acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      (match parse_op line with
+       | Ok op -> parse (op :: acc) rest
+       | Error e -> Error e)
+  in
+  match parse [] lines with
+  | Error e -> Error (Printf.sprintf "bad payload: %s" e)
+  | Ok ops -> (try run_ops ops with exn ->
+      Error (Printf.sprintf "harness raised %s" (Printexc.to_string exn)))
+
+let path_pool = [| "/a"; "/b"; "/c"; "/d"; "/deep/e" |]
+
+let pick rng a = a.(Drbg.int rng (Array.length a))
+
+let gen_data rng =
+  let n = 1 + Drbg.int rng 40 in
+  String.init n (fun _ -> "abcdefghijklmnopqrstuvwxyz0123456789".[Drbg.int rng 36])
+
+let generate rng _case =
+  let n = 6 + Drbg.int rng 12 in
+  let ops =
+    List.init n (fun _ ->
+        match Drbg.int rng 11 with
+        | 0 -> Delete (pick rng path_pool)
+        | 1 -> Cut (Drbg.int rng 9)
+        | 2 | 3 ->
+          (* the superblock is block 0 and the directory starts at
+             block 1; aim there most of the time so the strike lands on
+             a decoder's input rather than in zero padding *)
+          let block =
+            if Drbg.int rng 8 < 6 then 1 + Drbg.int rng 2
+            else Drbg.int rng device_blocks
+          in
+          Corrupt
+            { block; byte = Drbg.int rng Block.block_size; bit = Drbg.int rng 8 }
+        | 4 -> Remount
+        | _ -> Write (pick rng path_pool, gen_data rng))
+  in
+  String.concat "\n" (List.map render_op ops)

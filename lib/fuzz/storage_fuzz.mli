@@ -1,0 +1,34 @@
+(** Engine 3: storage stack fuzzing — VPFS over the legacy FS under
+    random operation/power-cut interleavings and corrupt images.
+
+    The harness maintains a shadow oracle (the map of acknowledged
+    writes) and checks, after every remount:
+
+    - {b crash consistency}: on a clean image the recovered VPFS must
+      hold exactly the acknowledged contents, with the one in-flight
+      mutation allowed to land on either side of a power cut — never
+      torn, never lost once acknowledged;
+    - {b totality}: once the image has been bit-flipped, consistency is
+      off the table but every operation — mount, open, read, write —
+      must return [Ok]/[Error], never raise
+      ({!Lateral.Substrate.Service_failure} excepted nowhere: storage
+      has no refusal channel). The only tolerated exception is the
+      simulated {!Lt_storage.Legacy_fs.Crashed} while a power cut is
+      armed, which the harness answers with a remount.
+
+    Payload = one operation per line:
+    {v
+    write <path> <data>
+    delete <path>
+    cut <writes-before-power-loss>
+    corrupt <block> <byte> <bit>
+    remount
+    v} *)
+
+val name : string
+
+val generate : Lt_crypto.Drbg.t -> int -> string
+
+(** [check payload] — [Ok ()] when consistency and totality hold;
+    [Error what] otherwise. Never raises. *)
+val check : string -> (unit, string) result

@@ -117,12 +117,15 @@ let task_partition task = task.partition
 
 let tasks k = List.rev k.tasks
 
+type map_error = Out_of_frames
+
 let map_memory k task ~vpage ~pages perm =
   match Frame_alloc.alloc_n k.mach.Machine.dram_frames pages with
-  | None -> failwith "Kernel.map_memory: out of physical frames"
+  | None -> Error Out_of_frames
   | Some frames ->
     List.iteri (fun i ppage -> Mmu.map task.mmu ~vpage:(vpage + i) ~ppage perm) frames;
-    task.frames <- task.frames @ frames
+    task.frames <- task.frames @ frames;
+    Ok ()
 
 let task_frames task = List.sort_uniq Stdlib.compare task.frames
 

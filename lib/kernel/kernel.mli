@@ -53,9 +53,16 @@ val task_partition : task -> string
     ({!caps}, {!task_frames}) of a booted kernel. *)
 val tasks : t -> task list
 
+(** Physical memory can run out; the syscall reports it, it never
+    panics the kernel. *)
+type map_error = Out_of_frames
+
 (** [map_memory t task ~vpage ~pages perm] allocates DRAM frames and maps
-    them at [vpage..vpage+pages-1]. Raises [Failure] when out of frames. *)
-val map_memory : t -> task -> vpage:int -> pages:int -> Lt_hw.Mmu.perm -> unit
+    them at [vpage..vpage+pages-1]. [Error Out_of_frames] when physical
+    memory is exhausted — the task keeps whatever it already had. *)
+val map_memory :
+  t -> task -> vpage:int -> pages:int -> Lt_hw.Mmu.perm ->
+  (unit, map_error) result
 
 (** [task_frames t task] lists physical pages mapped into the task, for
     isolation assertions. *)

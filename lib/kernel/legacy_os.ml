@@ -49,7 +49,10 @@ let make_ctx t =
 
 let boot k ~name:g_name ~partition ~memory_pages ~processes =
   let task = Kernel.create_task k ~name:g_name ~partition in
-  Kernel.map_memory k task ~vpage:0 ~pages:memory_pages Lt_hw.Mmu.rw;
+  match Kernel.map_memory k task ~vpage:0 ~pages:memory_pages Lt_hw.Mmu.rw with
+  | Error Kernel.Out_of_frames ->
+    Error (Printf.sprintf "guest %s: out of physical frames" g_name)
+  | Ok () ->
   let endpoint = Kernel.create_endpoint k ~name:(g_name ^ ".vm") in
   let recv_cap =
     Kernel.grant k task endpoint ~rights:{ send = false; recv = true } ~badge:0
@@ -93,7 +96,7 @@ let boot k ~name:g_name ~partition ~memory_pages ~processes =
     loop ()
   in
   guest.vm_tid <- Kernel.create_thread k task ~name:(g_name ^ ".vm") ~prio:5 vm;
-  guest
+  Ok guest
 
 let call_counter = ref 0
 

@@ -26,10 +26,10 @@ type behaviour = ctx -> string -> string
 
 (** [boot k ~name ~partition ~memory_pages ~processes] starts a guest:
     allocates its RAM, spawns its (single) kernel-visible execution
-    context. *)
+    context. [Error _] when the machine is out of physical frames. *)
 val boot :
   Kernel.t -> name:string -> partition:string -> memory_pages:int ->
-  processes:(string * behaviour) list -> t
+  processes:(string * behaviour) list -> (t, string) result
 
 val name : t -> string
 

@@ -73,10 +73,17 @@ type deployed = {
   d_storage : storage_harness option;
 }
 
+(* a dead dependency cascades as a fault (the supervisor may heal it and
+   retry); any other downstream answer fails this request only — the
+   caller stays healthy and the report gets an error line *)
 let call_or_err ctx ~target ~service req =
-  match ctx.Deploy.call_out ~target ~service req with
+  match ctx.Deploy.call_out_typed ~target ~service req with
   | Ok r -> r
-  | Error e -> failwith (Printf.sprintf "%s.%s: %s" target service e)
+  | Error (App.Crashed _ as e) ->
+    failwith (Printf.sprintf "%s.%s: %s" target service (App.render_call_error e))
+  | Error e ->
+    Substrate.fail
+      (Printf.sprintf "%s.%s: %s" target service (App.render_call_error e))
 
 (* The mail scenario's storage component persists through a real VPFS
    (the §III-D trusted wrapper) layered over the crashable legacy FS in
@@ -268,7 +275,7 @@ let deploy_mail rng =
             let path = Printf.sprintf "/mail/%d" (!slot mod 8) in
             (match st_store path req with
              | Ok () -> ()
-             | Error e -> failwith ("vpfs: " ^ e));
+             | Error e -> Substrate.fail ("vpfs: " ^ e));
             call_or_err ctx ~target:"legacyfs" ~service:"io" ("W:" ^ req)
           | _ ->
             (match ctx.Deploy.facilities.Substrate.f_load ~key:"latest" with
@@ -341,11 +348,12 @@ let deploy_meter rng =
               Gateway.submit gw net ~now:!poll_tick ~src:"collector" ~dst:"utility"
                 reading
             with
-            | Gateway.Blocked_destination -> failwith "gateway blocked the utility"
+            | Gateway.Blocked_destination ->
+              Substrate.fail "gateway blocked the utility"
             | Gateway.Rate_limited -> "rate-limited:" ^ reading
             | Gateway.Forwarded ->
               (match Net.recv net "utility" with
-               | None -> failwith "reading lost in transit"
+               | None -> Substrate.fail "reading lost in transit"
                | Some p ->
                  call_or_err ctx ~target:"utility" ~service:"submit" p.Net.payload) );
         ( Manifest.v ~name:"meter" ~provides:[ "read" ] ~substrate:"trustzone"

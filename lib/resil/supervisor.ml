@@ -229,7 +229,9 @@ let call t ~caller ~target ~service req =
           b.b_fails <- b.b_fails + 1;
           if b.b_fails >= t.cfg.breaker_threshold then open_breaker b route
         | Open -> ())
-     | Error (App.Denied _ | App.Unknown_component _ | App.Unknown_service _) ->
+     | Error
+         (App.Denied _ | App.Unknown_component _ | App.Unknown_service _
+         | App.Failed _) ->
        (* policy answers are correct behaviour, not component health *)
        ());
     res

@@ -5,6 +5,7 @@ type error =
   | Already_exists of string
   | No_space
   | Io_error of string
+  | Corrupt of string
 
 type evil_mode = Honest | Corrupt_reads of Drbg.t | Serve_stale
 
@@ -46,25 +47,51 @@ let serialize t =
   in
   Wire.encode entries
 
-let parse_blocks s =
-  if s = "" then []
-  else List.map int_of_string (String.split_on_char ',' s)
+(* Decoding is total: a flipped bit anywhere in the metadata region must
+   come back as [Error (Corrupt _)], never as an exception — and every
+   block index a decoded file claims must actually exist on the device,
+   or a later [read] would walk off the end of it. *)
+
+let parse_blocks t s =
+  if s = "" then Ok []
+  else
+    let fields = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | f :: rest ->
+        (match int_of_string_opt f with
+         | Some b when b >= data_start && b < Block.blocks t.dev ->
+           go (b :: acc) rest
+         | Some b -> Error (Corrupt (Printf.sprintf "block index %d out of range" b))
+         | None -> Error (Corrupt "unreadable block index"))
+    in
+    go [] fields
 
 let deserialize t data =
   match Wire.decode data with
-  | None -> Error (Io_error "corrupt metadata")
+  | None -> Error (Corrupt "metadata directory undecodable")
   | Some entries ->
-    (try
-       List.iter
-         (fun e ->
-           match Wire.decode e with
-           | Some [ path; size; blocks ] ->
-             Hashtbl.replace t.files path
-               { size = int_of_string size; fblocks = parse_blocks blocks }
-           | _ -> failwith "bad entry")
-         entries;
-       Ok ()
-     with _ -> Error (Io_error "corrupt metadata entry"))
+    let rec go = function
+      | [] -> Ok ()
+      | e :: rest ->
+        (match Wire.decode e with
+         | Some [ path; size; blocks ] ->
+           (match (int_of_string_opt size, parse_blocks t blocks) with
+            | None, _ -> Error (Corrupt "unreadable file size")
+            | _, (Error _ as e) -> e
+            | Some size, Ok fblocks ->
+              if size < 0 || size > List.length fblocks * Block.block_size then
+                Error
+                  (Corrupt
+                     (Printf.sprintf "file %S size %d exceeds its %d block(s)" path
+                        size (List.length fblocks)))
+              else begin
+                Hashtbl.replace t.files path { size; fblocks };
+                go rest
+              end)
+         | _ -> Error (Corrupt "bad directory entry"))
+    in
+    go entries
 
 let sync t =
   let meta = serialize t in
@@ -95,14 +122,18 @@ let format dev =
   t
 
 let mount dev =
+  if Block.blocks dev <= data_start then Error (Corrupt "device too small")
+  else
   let sb = Block.read dev 0 in
   (* the superblock block is zero-padded, so parse its two fields
      (magic, metadata length) manually instead of Wire.decode *)
     let field off =
-      match int_of_string_opt (String.sub sb off 8) with
-      | Some n when n >= 0 && off + 8 + n <= String.length sb ->
-        Some (String.sub sb (off + 8) n, off + 8 + n)
-      | _ -> None
+      if off < 0 || off + 8 > String.length sb then None
+      else
+        match int_of_string_opt (String.sub sb off 8) with
+        | Some n when n >= 0 && off + 8 + n <= String.length sb ->
+          Some (String.sub sb (off + 8) n, off + 8 + n)
+        | _ -> None
     in
     (match field 0 with
      | Some (m, o1) when m = magic ->
@@ -140,9 +171,9 @@ let mount dev =
                 t.free <-
                   List.filter (fun b -> not (Hashtbl.mem used b)) (all_data_blocks dev);
                 Ok t)
-           | _ -> Error (Io_error "bad superblock length"))
-        | None -> Error (Io_error "bad superblock"))
-     | _ -> Error (Io_error "bad magic"))
+           | _ -> Error (Corrupt "bad superblock length"))
+        | None -> Error (Corrupt "bad superblock"))
+     | _ -> Error (Corrupt "bad magic"))
 
 let check_alive t =
   match t.crash_in with
@@ -278,3 +309,4 @@ let pp_error fmt = function
   | Already_exists p -> Format.fprintf fmt "already exists: %s" p
   | No_space -> Format.pp_print_string fmt "no space"
   | Io_error e -> Format.fprintf fmt "io error: %s" e
+  | Corrupt e -> Format.fprintf fmt "corrupt image: %s" e

@@ -18,6 +18,10 @@ type error =
   | Already_exists of string
   | No_space
   | Io_error of string
+  | Corrupt of string
+      (** the on-disk image is damaged (bad magic, undecodable directory,
+          out-of-range block index, impossible file size). Decoding is
+          total: damaged images mount to this error, never an exception. *)
 
 (** How a compromised stack misbehaves on [read]. *)
 type evil_mode =
@@ -33,7 +37,8 @@ exception Crashed
 (** [format dev] writes a fresh empty file system. *)
 val format : Block.t -> t
 
-(** [mount dev] re-opens an existing file system. *)
+(** [mount dev] re-opens an existing file system. [Error (Corrupt _)]
+    on a damaged image, whatever the damage. *)
 val mount : Block.t -> (t, error) result
 
 (** [sync t] flushes metadata so a later {!mount} sees current state. *)

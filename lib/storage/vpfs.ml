@@ -132,21 +132,34 @@ let load_meta ~master_key ~expected_root fs =
             (match Wire.decode plain with
              | None -> Error (Integrity "metadata decode failed")
              | Some entries ->
+               (* total: an authenticated-but-impossible entry (the meta
+                  key leaked, or a bug sealed garbage) is a typed
+                  integrity error, never an exception *)
                let table = Hashtbl.create 16 in
-               (try
-                  List.iter
-                    (fun e ->
-                      match Wire.decode e with
-                      | Some [ path; file_key; version; plain_size; chunks ] ->
-                        Hashtbl.replace table path
-                          { file_key;
-                            version = int_of_string version;
-                            plain_size = int_of_string plain_size;
-                            chunks = int_of_string chunks }
-                      | _ -> failwith "entry")
-                    entries;
-                  Ok table
-                with _ -> Error (Integrity "metadata entry decode failed")))))
+               let decode_entry e =
+                 match Wire.decode e with
+                 | Some [ path; file_key; version; plain_size; chunks ] ->
+                   (match
+                      ( int_of_string_opt version,
+                        int_of_string_opt plain_size,
+                        int_of_string_opt chunks )
+                    with
+                    | Some version, Some plain_size, Some chunks
+                      when version >= 0 && plain_size >= 0 && chunks >= 0 ->
+                      Ok (path, { file_key; version; plain_size; chunks })
+                    | _ -> Error (Integrity "metadata entry has unreadable fields"))
+                 | _ -> Error (Integrity "metadata entry decode failed")
+               in
+               let rec go = function
+                 | [] -> Ok table
+                 | e :: rest ->
+                   (match decode_entry e with
+                    | Ok (path, entry) ->
+                      Hashtbl.replace table path entry;
+                      go rest
+                    | Error _ as err -> err)
+               in
+               go entries)))
 
 let create ~master_key fs =
   let t =

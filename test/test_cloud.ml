@@ -2,8 +2,13 @@
 
 open Lateral
 
+let run_ok ?with_counter attack =
+  match Scenario_cloud.run ?with_counter attack with
+  | Ok o -> o
+  | Error e -> Alcotest.fail e
+
 let test_honest_host () =
-  let o = Scenario_cloud.run Scenario_cloud.Honest_host in
+  let o = run_ok Scenario_cloud.Honest_host in
   Alcotest.(check bool) "attested" true o.Scenario_cloud.attested;
   Alcotest.(check bool) "provisioned" true o.Scenario_cloud.provisioned;
   Alcotest.(check int) "all jobs done" 3 o.Scenario_cloud.jobs_completed;
@@ -11,36 +16,36 @@ let test_honest_host () =
     o.Scenario_cloud.secret_leaked
 
 let test_memory_probe_fails () =
-  let o = Scenario_cloud.run Scenario_cloud.Read_enclave_memory in
+  let o = run_ok Scenario_cloud.Read_enclave_memory in
   Alcotest.(check bool) "jobs still ran" true (o.Scenario_cloud.jobs_completed = 3);
   Alcotest.(check bool) "EPC encryption held" false o.Scenario_cloud.secret_leaked
 
 let test_starvation_costs_availability_only () =
-  let o = Scenario_cloud.run Scenario_cloud.Starve_enclave in
+  let o = run_ok Scenario_cloud.Starve_enclave in
   Alcotest.(check int) "no progress" 0 o.Scenario_cloud.jobs_completed;
   Alcotest.(check bool) "but no leak" false o.Scenario_cloud.secret_leaked
 
 let test_swapped_code_refused () =
-  let o = Scenario_cloud.run Scenario_cloud.Swap_enclave_code in
+  let o = run_ok Scenario_cloud.Swap_enclave_code in
   Alcotest.(check bool) "attestation failed" false o.Scenario_cloud.attested;
   Alcotest.(check bool) "secret never provisioned" false o.Scenario_cloud.provisioned;
   Alcotest.(check bool) "no leak" false o.Scenario_cloud.secret_leaked
 
 let test_rollback_without_counter () =
   (* the nuance: sealing alone has no freshness *)
-  let o = Scenario_cloud.run ~with_counter:false Scenario_cloud.Rollback_sealed_state in
+  let o = run_ok ~with_counter:false Scenario_cloud.Rollback_sealed_state in
   Alcotest.(check bool) "stale state accepted" true o.Scenario_cloud.state_regressed;
   Alcotest.(check bool) "still no confidentiality loss" false
     o.Scenario_cloud.secret_leaked
 
 let test_rollback_with_counter () =
-  let o = Scenario_cloud.run ~with_counter:true Scenario_cloud.Rollback_sealed_state in
+  let o = run_ok ~with_counter:true Scenario_cloud.Rollback_sealed_state in
   Alcotest.(check bool) "monotonic counter rejected rollback" false
     o.Scenario_cloud.state_regressed
 
 let test_sealed_blobs_opaque () =
   (* every blob the host stores is ciphertext *)
-  let o = Scenario_cloud.run Scenario_cloud.Honest_host in
+  let o = run_ok Scenario_cloud.Honest_host in
   Alcotest.(check bool) "no plaintext in host storage" false
     o.Scenario_cloud.secret_leaked
 

@@ -6,6 +6,11 @@ let make_kernel ?(policy = Sched.Round_robin { quantum = 100 }) () =
   let mach = Lt_hw.Machine.create () in
   Kernel.create mach policy
 
+let map_ok k task ~vpage ~pages perm =
+  match Kernel.map_memory k task ~vpage ~pages perm with
+  | Ok () -> ()
+  | Error Kernel.Out_of_frames -> Alcotest.fail "map_memory: out of frames"
+
 let test_ping_pong () =
   let k = make_kernel () in
   let client_task = Kernel.create_task k ~name:"client" ~partition:"a" in
@@ -177,8 +182,8 @@ let test_memory_isolation () =
   let k = make_kernel () in
   let t1 = Kernel.create_task k ~name:"t1" ~partition:"a" in
   let t2 = Kernel.create_task k ~name:"t2" ~partition:"a" in
-  Kernel.map_memory k t1 ~vpage:16 ~pages:1 Lt_hw.Mmu.rw;
-  Kernel.map_memory k t2 ~vpage:16 ~pages:1 Lt_hw.Mmu.rw;
+  map_ok k t1 ~vpage:16 ~pages:1 Lt_hw.Mmu.rw;
+  map_ok k t2 ~vpage:16 ~pages:1 Lt_hw.Mmu.rw;
   let overlap =
     List.exists (fun f -> List.mem f (Kernel.task_frames t2)) (Kernel.task_frames t1)
   in
@@ -199,6 +204,19 @@ let test_memory_isolation () =
   Alcotest.(check string) "t1 sees its own data" "SECRET-A" !r1;
   Alcotest.(check string) "t2 sees its own data" "SECRET-B" !r2
 
+let test_map_out_of_frames () =
+  (* regression: exhausting DRAM is a typed error, not a Failure *)
+  let k = Kernel.create (Lt_hw.Machine.create ~dram_pages:4 ())
+      (Sched.Round_robin { quantum = 100 }) in
+  let t = Kernel.create_task k ~name:"t" ~partition:"a" in
+  map_ok k t ~vpage:0 ~pages:4 Lt_hw.Mmu.rw;
+  (match Kernel.map_memory k t ~vpage:8 ~pages:1 Lt_hw.Mmu.rw with
+   | Error Kernel.Out_of_frames -> ()
+   | Ok () -> Alcotest.fail "expected Out_of_frames");
+  (* the task keeps what it already had *)
+  Alcotest.(check int) "existing mappings intact" 4
+    (List.length (Kernel.task_frames t))
+
 let test_unmapped_access_faults () =
   let k = make_kernel () in
   let t = Kernel.create_task k ~name:"t" ~partition:"a" in
@@ -215,7 +233,7 @@ let test_unmapped_access_faults () =
 let test_readonly_page () =
   let k = make_kernel () in
   let t = Kernel.create_task k ~name:"t" ~partition:"a" in
-  Kernel.map_memory k t ~vpage:4 ~pages:1 Lt_hw.Mmu.ro;
+  map_ok k t ~vpage:4 ~pages:1 Lt_hw.Mmu.ro;
   let faulted = ref false in
   let _ =
     Kernel.create_thread k t ~name:"th" ~prio:1 (fun () ->
@@ -380,6 +398,7 @@ let suite =
     Alcotest.test_case "cap delegation via message" `Quick test_cap_transfer;
     Alcotest.test_case "cap derivation is monotone" `Quick test_derive_cap_monotone;
     Alcotest.test_case "address spaces disjoint" `Quick test_memory_isolation;
+    Alcotest.test_case "out of frames is a typed error" `Quick test_map_out_of_frames;
     Alcotest.test_case "unmapped access faults" `Quick test_unmapped_access_faults;
     Alcotest.test_case "read-only page enforced" `Quick test_readonly_page;
     Alcotest.test_case "sleep advances simulated time" `Quick test_sleep_and_time;

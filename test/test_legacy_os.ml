@@ -7,6 +7,11 @@ let make_kernel () =
   Kernel.create (Lt_hw.Machine.create ~dram_pages:256 ())
     (Sched.Round_robin { quantum = 200 })
 
+let boot_ok k ~name ~partition ~memory_pages ~processes =
+  match Legacy_os.boot k ~name ~partition ~memory_pages ~processes with
+  | Ok g -> g
+  | Error e -> Alcotest.fail e
+
 let android_processes =
   [ ("browser",
      fun ctx url ->
@@ -27,7 +32,7 @@ let android_processes =
 let test_guest_runs_processes () =
   let k = make_kernel () in
   let g =
-    Legacy_os.boot k ~name:"android" ~partition:"vm1" ~memory_pages:4
+    boot_ok k ~name:"android" ~partition:"vm1" ~memory_pages:4
       ~processes:android_processes
   in
   Alcotest.(check (result string string)) "browser" (Ok "rendered:news.example")
@@ -44,7 +49,7 @@ let test_no_internal_isolation () =
   (* inside a guest, any process reads any state: monolithic reality *)
   let k = make_kernel () in
   let g =
-    Legacy_os.boot k ~name:"android" ~partition:"vm1" ~memory_pages:4
+    boot_ok k ~name:"android" ~partition:"vm1" ~memory_pages:4
       ~processes:android_processes
   in
   ignore (Legacy_os.call k g ~process:"browser" "embarrassing.example");
@@ -55,7 +60,7 @@ let test_no_internal_isolation () =
 let test_exploit_owns_whole_guest () =
   let k = make_kernel () in
   let g =
-    Legacy_os.boot k ~name:"android" ~partition:"vm1" ~memory_pages:4
+    boot_ok k ~name:"android" ~partition:"vm1" ~memory_pages:4
       ~processes:android_processes
   in
   ignore (Legacy_os.call k g ~process:"contacts" "secret-contact-list");
@@ -71,11 +76,11 @@ let test_exploit_owns_whole_guest () =
 let test_two_guests_isolated () =
   let k = make_kernel () in
   let private_g =
-    Legacy_os.boot k ~name:"android-private" ~partition:"vm1" ~memory_pages:4
+    boot_ok k ~name:"android-private" ~partition:"vm1" ~memory_pages:4
       ~processes:android_processes
   in
   let business_g =
-    Legacy_os.boot k ~name:"android-business" ~partition:"vm2" ~memory_pages:4
+    boot_ok k ~name:"android-business" ~partition:"vm2" ~memory_pages:4
       ~processes:android_processes
   in
   ignore (Legacy_os.call k business_g ~process:"contacts" "board-members");
@@ -102,11 +107,11 @@ let test_guest_state_in_guest_frames () =
   let k = make_kernel () in
   let machine = Kernel.machine k in
   let g1 =
-    Legacy_os.boot k ~name:"g1" ~partition:"vm1" ~memory_pages:4
+    boot_ok k ~name:"g1" ~partition:"vm1" ~memory_pages:4
       ~processes:android_processes
   in
   let _g2 =
-    Legacy_os.boot k ~name:"g2" ~partition:"vm2" ~memory_pages:4
+    boot_ok k ~name:"g2" ~partition:"vm2" ~memory_pages:4
       ~processes:android_processes
   in
   ignore (Legacy_os.call k g1 ~process:"contacts" "NEEDLE-CONTACTS");
@@ -119,8 +124,30 @@ let test_guest_state_in_guest_frames () =
   Alcotest.(check bool) "all hits inside g1's frames" true
     (List.for_all (fun addr -> List.mem (addr / page) g1_frames) hits)
 
+let test_boot_out_of_frames () =
+  (* regression: a guest too big for the machine is a typed boot error,
+     not a kernel panic *)
+  let k =
+    Kernel.create (Lt_hw.Machine.create ~dram_pages:2 ())
+      (Sched.Round_robin { quantum = 200 })
+  in
+  match
+    Legacy_os.boot k ~name:"huge" ~partition:"vm1" ~memory_pages:64
+      ~processes:android_processes
+  with
+  | Ok _ -> Alcotest.fail "boot should report out of frames"
+  | Error e ->
+    let contains hay needle =
+      let h = String.length hay and n = String.length needle in
+      let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "mentions frames" true (contains e "frames")
+
 let suite =
   [ Alcotest.test_case "guest runs processes" `Quick test_guest_runs_processes;
+    Alcotest.test_case "oversized guest boots to an error" `Quick
+      test_boot_out_of_frames;
     Alcotest.test_case "no isolation inside a guest" `Quick test_no_internal_isolation;
     Alcotest.test_case "one exploit owns the whole guest" `Quick
       test_exploit_owns_whole_guest;

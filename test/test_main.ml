@@ -28,4 +28,5 @@ let () =
       ("cloud", Test_cloud.suite);
       ("obs", Test_obs.suite);
       ("resil", Test_resil.suite);
-      ("vpfs_crash", Test_vpfs_crash.suite) ]
+      ("vpfs_crash", Test_vpfs_crash.suite);
+      ("fuzz", Test_fuzz.suite) ]

@@ -2,17 +2,22 @@
 
 open Lateral
 
+let ok_or_fail = function Ok v -> v | Error e -> Alcotest.fail e
+
+let run_meter ?seed tamper =
+  ok_or_fail (Scenario_meter.run ?seed tamper)
+
 let test_mail_inventory_valid () =
   List.iter
     (fun vertical ->
-      let app = Scenario_mail.build ~vertical in
+      let app = ok_or_fail (Scenario_mail.build ~vertical) in
       match App.validate app with
       | Ok () -> ()
       | Error errs -> Alcotest.fail (String.concat "; " errs))
     [ true; false ]
 
 let test_mail_containment_shape () =
-  let table = Scenario_mail.containment_table () in
+  let table = ok_or_fail (Scenario_mail.containment_table ()) in
   Alcotest.(check int) "one row per component"
     (List.length Scenario_mail.component_names)
     (List.length table);
@@ -31,7 +36,7 @@ let test_mail_containment_shape () =
     (renderer_h <= 2.0 /. 13.0 +. 0.001)
 
 let test_mail_tcb_reduction () =
-  let rows = Scenario_mail.tcb_comparison () in
+  let rows = ok_or_fail (Scenario_mail.tcb_comparison ()) in
   List.iter
     (fun (name, monolithic, decomposed) ->
       Alcotest.(check bool)
@@ -51,7 +56,7 @@ let check_outcome name expected actual =
     expected actual
 
 let test_meter_genuine () =
-  let o = Scenario_meter.run Scenario_meter.Genuine in
+  let o = run_meter Scenario_meter.Genuine in
   check_outcome "anonymizer verified" true o.Scenario_meter.anonymizer_verified;
   check_outcome "reading accepted" true o.Scenario_meter.reading_accepted;
   Alcotest.(check int) "one anonymized row" 1 o.Scenario_meter.anonymized_rows;
@@ -59,26 +64,26 @@ let test_meter_genuine () =
     o.Scenario_meter.customer_id_leaked
 
 let test_meter_manipulated_anonymizer () =
-  let o = Scenario_meter.run Scenario_meter.Manipulated_anonymizer in
+  let o = run_meter Scenario_meter.Manipulated_anonymizer in
   check_outcome "anonymizer rejected" false o.Scenario_meter.anonymizer_verified;
   check_outcome "no reading sent" false o.Scenario_meter.reading_sent;
   Alcotest.(check bool) "privacy preserved" false o.Scenario_meter.customer_id_leaked;
   Alcotest.(check int) "database stays empty" 0 o.Scenario_meter.anonymized_rows
 
 let test_meter_emulated () =
-  let o = Scenario_meter.run Scenario_meter.Emulated_meter in
+  let o = run_meter Scenario_meter.Emulated_meter in
   check_outcome "fake reading rejected" false o.Scenario_meter.reading_accepted
 
 let test_meter_mitm () =
-  let o = Scenario_meter.run Scenario_meter.Mitm_reading in
+  let o = run_meter Scenario_meter.Mitm_reading in
   check_outcome "tampered reading rejected" false o.Scenario_meter.reading_accepted
 
 let test_meter_replay () =
-  let o = Scenario_meter.run Scenario_meter.Replayed_session in
+  let o = run_meter Scenario_meter.Replayed_session in
   check_outcome "replayed session rejected" false o.Scenario_meter.reading_accepted
 
 let test_meter_unsigned_world () =
-  let o = Scenario_meter.run Scenario_meter.Unsigned_secure_world in
+  let o = run_meter Scenario_meter.Unsigned_secure_world in
   check_outcome "device without trust anchor excluded" false
     o.Scenario_meter.reading_accepted;
   Alcotest.(check bool) "boot refusal reported" true
@@ -88,7 +93,7 @@ let test_meter_matrix_deterministic () =
   (* same seed, same outcomes: the scenario is a reproducible experiment *)
   List.iter
     (fun t ->
-      let a = Scenario_meter.run ~seed:9L t and b = Scenario_meter.run ~seed:9L t in
+      let a = run_meter ~seed:9L t and b = run_meter ~seed:9L t in
       Alcotest.(check bool)
         (Scenario_meter.tamper_name t ^ " deterministic")
         true (a = b))
