@@ -264,7 +264,8 @@ let cmd_hunt seed budget engine format replays =
         (match Lt_fuzz.Hunt.engine_of_name name with
          | Some e -> [ e ]
          | None ->
-           Printf.eprintf "hunt: unknown engine %S (manifest, substrate, storage)\n"
+           Printf.eprintf
+             "hunt: unknown engine %S (manifest, substrate, storage, analysis)\n"
              name;
            exit 2)
     in
@@ -322,16 +323,16 @@ let cmd_analyze file exploit path =
        (match String.split_on_char ':' spec with
         | [ src; dst ] ->
           let max_paths = 1000 in
-          let ps = Analysis.paths ~max_paths app ~src ~dst in
+          let s = Analysis.paths ~max_paths app ~src ~dst in
           Printf.printf "\nauthority paths %s -> %s: %d%s\n" src dst
-            (List.length ps)
-            (if List.length ps >= max_paths then
+            (List.length s.Analysis.ps_paths)
+            (if s.Analysis.ps_truncated then
                Printf.sprintf " (truncated at %d; use `lateral flow` for reachability)"
                  max_paths
              else "");
           List.iter
             (fun p -> Printf.printf "  %s\n" (String.concat " -> " p))
-            ps
+            s.Analysis.ps_paths
         | _ -> Printf.eprintf "expected --path SRC:DST\n"));
     let risks = Analysis.confused_deputy_risks app in
     Printf.printf "\nconfused deputy risks: %d\n" (List.length risks);
@@ -357,8 +358,10 @@ let cmd_lint files format show_rules =
   end
   else begin
     let parse_failed = ref false in
-    let any_error = ref false in
-    let reports =
+    (* every file joins ONE fleet: cross-file hazards — a target
+       declared in another file, duplicate names across files — are
+       first-class findings, not blind spots *)
+    let loaded =
       List.filter_map
         (fun file ->
           match Manifest_file.load_spanned file with
@@ -366,27 +369,26 @@ let cmd_lint files format show_rules =
             parse_failed := true;
             Printf.eprintf "%s: %s\n" file e;
             None
-          | Ok spans ->
-            let manifests =
-              List.map (fun s -> s.Manifest_file.sp_manifest) spans
-            in
-            let diags = Lint.locate ~file spans (Lint.run manifests) in
-            if Lint.has_errors diags then any_error := true;
-            Some (file, diags))
+          | Ok spans -> Some (file, spans))
         files
     in
+    let manifests =
+      List.concat_map
+        (fun (_, spans) ->
+          List.map (fun s -> s.Manifest_file.sp_manifest) spans)
+        loaded
+    in
+    let diags = Lint.locate_all loaded (Lint.run manifests) in
+    let label = String.concat ", " (List.map fst loaded) in
     (match format with
      | Lint_text ->
-       List.iter
-         (fun (file, diags) -> print_string (Lint.render_text ~file diags))
-         reports
+       if loaded <> [] then print_string (Lint.render_text ~file:label diags)
      | Lint_json ->
        print_string
          ("["
-         ^ String.concat ","
-             (List.map (fun (file, diags) -> Lint.render_json ~file diags) reports)
+         ^ (if loaded = [] then "" else Lint.render_json ~file:label diags)
          ^ "]\n"));
-    if !parse_failed then 2 else if !any_error then 1 else 0
+    if !parse_failed then 2 else if Lint.has_errors diags then 1 else 0
   end
 
 (* --- flow: information-flow analysis and kernel conformance ----------------------- *)
@@ -398,8 +400,8 @@ let cmd_flow files format dot conform =
   end
   else begin
     let parse_failed = ref false in
-    let any_violation = ref false in
-    let reports =
+    (* like lint: all the files are one fleet, one lattice, one report *)
+    let loaded =
       List.filter_map
         (fun file ->
           match Manifest_file.load file with
@@ -407,47 +409,140 @@ let cmd_flow files format dot conform =
             parse_failed := true;
             Printf.eprintf "%s: %s\n" file e;
             None
-          | Ok manifests ->
-            let r = Flow.analyze manifests in
-            let conf =
-              if not conform then None
-              else
-                match Flow.provision manifests with
-                | Error e ->
-                  Printf.eprintf "%s: cannot provision: %s\n" file e;
-                  any_violation := true;
-                  None
-                | Ok d ->
-                  let c = Flow.conformance manifests d.Flow.d_kernel in
-                  if c.Flow.over <> [] then any_violation := true;
-                  Some c
-            in
-            if Flow.has_leaks r then any_violation := true;
-            Some (file, manifests, r, conf))
+          | Ok manifests -> Some (file, manifests))
         files
     in
-    if dot then
-      List.iter
-        (fun (_, manifests, r, _) -> print_string (Flow.to_dot manifests r))
-        reports
+    if loaded = [] then begin
+      if (not dot) && format = Lint_json then print_string "[]\n";
+      2
+    end
     else begin
-      match format with
-      | Lint_text ->
-        List.iter
-          (fun (file, _, r, conf) ->
-            print_string (Flow.render_text ~file ?conformance:conf r))
-          reports
-      | Lint_json ->
-        print_string
-          ("["
-          ^ String.concat ","
-              (List.map
-                 (fun (file, _, r, conf) ->
-                   Flow.render_json ~file ?conformance:conf r)
-                 reports)
-          ^ "]\n")
-    end;
-    if !parse_failed then 2 else if !any_violation then 1 else 0
+      let label = String.concat ", " (List.map fst loaded) in
+      let manifests = List.concat_map snd loaded in
+      let any_violation = ref false in
+      let r = Flow.analyze manifests in
+      let conf =
+        if not conform then None
+        else
+          match Flow.provision manifests with
+          | Error e ->
+            Printf.eprintf "%s: cannot provision: %s\n" label e;
+            any_violation := true;
+            None
+          | Ok d ->
+            let c = Flow.conformance manifests d.Flow.d_kernel in
+            if c.Flow.over <> [] then any_violation := true;
+            Some c
+      in
+      if Flow.has_leaks r then any_violation := true;
+      (if dot then print_string (Flow.to_dot manifests r)
+       else
+         match format with
+         | Lint_text -> print_string (Flow.render_text ~file:label ?conformance:conf r)
+         | Lint_json ->
+           print_string ("[" ^ Flow.render_json ~file:label ?conformance:conf r ^ "]\n"));
+      if !parse_failed then 2 else if !any_violation then 1 else 0
+    end
+  end
+
+(* --- check: delta-driven incremental analysis -------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let cmd_check files deltas_file format verify =
+  if files = [] then begin
+    Printf.eprintf "check: no manifest file given\n";
+    2
+  end
+  else begin
+    let rec load_all acc = function
+      | [] -> Ok (List.rev acc)
+      | f :: rest ->
+        (match Manifest_file.load f with
+         | Error e -> Error (Printf.sprintf "%s: %s" f e)
+         | Ok ms -> load_all ((f, ms) :: acc) rest)
+    in
+    let deltas =
+      match deltas_file with
+      | None -> Ok []
+      | Some path ->
+        Result.map_error
+          (fun e -> Printf.sprintf "%s: %s" path e)
+          (Delta.load_script path)
+    in
+    match (load_all [] files, deltas) with
+    | Error e, _ | _, Error e ->
+      Printf.eprintf "%s\n" e;
+      2
+    | Ok loaded, Ok deltas ->
+      let label = String.concat ", " (List.map fst loaded) in
+      let st = Check.create (List.concat_map snd loaded) in
+      let any_error = ref false in
+      let diverged = ref None in
+      let steps = Buffer.create 256 in
+      let flow_word st =
+        match (Check.flow_result st).Flow.verdict with
+        | Flow.Secure -> "secure"
+        | Flow.Leak ls -> Printf.sprintf "leak(%d)" (List.length ls)
+      in
+      let record n what st diags =
+        let s = Lint.summarize diags in
+        if Lint.has_errors diags then any_error := true;
+        (match format with
+         | Lint_text ->
+           Buffer.add_string steps
+             (Printf.sprintf
+                "step %2d  %-36s %d components, %d errors, %d warnings, %d \
+                 infos, flow %s\n"
+                n what
+                (List.length (Check.manifests st))
+                s.Lint.errors s.Lint.warnings s.Lint.infos (flow_word st))
+         | Lint_json ->
+           Buffer.add_string steps
+             (Printf.sprintf
+                "{\"step\":%d,\"delta\":\"%s\",\"components\":%d,\"summary\":{\"errors\":%d,\"warnings\":%d,\"infos\":%d},\"flow\":\"%s\"}"
+                n (json_escape what)
+                (List.length (Check.manifests st))
+                s.Lint.errors s.Lint.warnings s.Lint.infos (flow_word st)));
+        if verify && !diverged = None then
+          match Check.divergence st with
+          | Some reason -> diverged := Some (n, what, reason)
+          | None -> ()
+      in
+      record 0 "baseline" st (Check.diagnostics st);
+      let _, final =
+        List.fold_left
+          (fun (n, st) d ->
+            let st, diags = Check.apply d st in
+            if format = Lint_json then Buffer.add_string steps ",";
+            record n (Delta.describe d) st diags;
+            (n + 1, st))
+          (1, st) deltas
+      in
+      (match format with
+       | Lint_text ->
+         print_string (Buffer.contents steps);
+         print_newline ();
+         print_string (Lint.render_text ~file:label (Check.diagnostics final))
+       | Lint_json -> print_string ("[" ^ Buffer.contents steps ^ "]\n"));
+      (match !diverged with
+       | Some (n, what, reason) ->
+         Printf.eprintf "check: step %d (%s): %s\n" n what reason;
+         2
+       | None -> if !any_error then 1 else 0)
   end
 
 (* --- cmdliner wiring ------------------------------------------------------------ *)
@@ -666,7 +761,9 @@ let hunt_cmd =
       value
       & opt (some string) None
       & info [ "engine" ] ~docv:"ENGINE"
-          ~doc:"Run one engine only: $(b,manifest), $(b,substrate) or $(b,storage)")
+          ~doc:
+            "Run one engine only: $(b,manifest), $(b,substrate), $(b,storage) \
+             or $(b,analysis)")
   in
   let format =
     Arg.(
@@ -761,6 +858,43 @@ let flow_cmd =
           on a leak or conformance over-privilege (CI gate), 2 on parse failure")
     Term.(const cmd_flow $ files $ format $ dot $ conform)
 
+let check_cmd =
+  let files =
+    Arg.(value & pos_all file [] & info [] ~docv:"MANIFEST-FILE")
+  in
+  let deltas =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "deltas" ] ~docv:"SCRIPT"
+          ~doc:
+            "Delta script to replay against the fleet (see \
+             $(b,docs/INCREMENTAL.md) for the format); without it only the \
+             baseline fleet is checked")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", Lint_text); ("json", Lint_json) ]) Lint_text
+      & info [ "format" ] ~docv:"FORMAT" ~doc:"Output format: $(b,text) or $(b,json)")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "After every step, re-run the from-scratch batch analysis and \
+             exit 2 on any divergence from the incremental state")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Incrementally re-analyse a manifest fleet under a script of \
+          control-plane deltas; prints one verdict line per step, exits 1 if \
+          any step has an error-severity finding, 2 on parse failure or \
+          incremental/batch divergence")
+    Term.(const cmd_check $ files $ deltas $ format $ verify)
+
 let () =
   let info =
     Cmd.info "lateral" ~version:"1.0.0"
@@ -773,7 +907,7 @@ let () =
   let group =
     Cmd.group ~default info
       [ substrates_cmd; mail_cmd; meter_cmd; gateway_cmd; run_cmd; chaos_cmd;
-        hunt_cmd; analyze_cmd; lint_cmd; flow_cmd ]
+        hunt_cmd; analyze_cmd; lint_cmd; flow_cmd; check_cmd ]
   in
   exit
     (match Cmd.eval_value group with

@@ -171,3 +171,35 @@ val to_dot : Manifest.t list -> result -> string
 
 (** CI gate: any leak. *)
 val has_leaks : result -> bool
+
+(** {2 Solver internals}
+
+    Exposed for the incremental {!Check} engine, which re-derives only
+    the affected slice of a result after a delta and must agree with
+    {!analyze} byte-for-byte. Everything here is deterministic: equal
+    inputs give structurally equal outputs. *)
+
+(** First manifest wins on duplicate names (same policy as
+    {!Lint_rules.make_ctx}). *)
+val dedupe : Manifest.t list -> Manifest.t list
+
+(** The information-flow edges induced by the declared channels:
+    request + reply per unvetted channel, skipping self-connections and
+    dangling targets. Sorted and deduplicated. *)
+val flow_edges : Manifest.t list -> edge list
+
+(** Successor function with sorted successor lists — the deterministic
+    adjacency both the solver and the witness search run on. *)
+val adjacency : edge list -> string -> string list
+
+(** [bfs_paths adj start] returns the shortest-witness path query used
+    for leak and taint reports: breadth-first, first-discovery parents
+    over the sorted adjacency, so equal graphs give equal paths. *)
+val bfs_paths : (string -> string list) -> string -> string -> string list option
+
+(** Is the component a taint source (network-facing or vulnerable)? *)
+val tainted_base : Manifest.t -> bool
+
+(** The declared channel pairs [(caller, target)], vetted or not,
+    self-connections excluded. Sorted and deduplicated. *)
+val declared_pairs : Manifest.t list -> (string * string) list

@@ -2,23 +2,32 @@ type summary = { errors : int; warnings : int; infos : int }
 
 let run ?(config = Lint_rules.default_config) manifests =
   let ctx = Lint_rules.make_ctx manifests in
-  List.concat_map (fun r -> r.Lint_rules.check config ctx) Lint_rules.all
+  List.concat_map
+    (fun (r : Lint_rules.rule) ->
+      List.concat_map (r.Lint_rules.check config ctx) manifests)
+    Lint_rules.all
   |> List.sort_uniq Diagnostic.compare
 
-let locate ~file spans diags =
-  let line_of name =
-    List.find_opt
-      (fun s -> s.Manifest_file.sp_manifest.Manifest.name = name)
-      spans
-    |> Option.map (fun s -> s.Manifest_file.sp_line)
+let locate_all files diags =
+  let loc_of name =
+    List.find_map
+      (fun (file, spans) ->
+        List.find_opt
+          (fun s -> s.Manifest_file.sp_manifest.Manifest.name = name)
+          spans
+        |> Option.map (fun s ->
+               { Diagnostic.file; line = s.Manifest_file.sp_line }))
+      files
   in
   List.map
     (fun d ->
-      match line_of d.Diagnostic.component with
-      | Some line -> Diagnostic.with_loc { Diagnostic.file; line } d
+      match loc_of d.Diagnostic.component with
+      | Some loc -> Diagnostic.with_loc loc d
       | None -> d)
     diags
   |> List.sort Diagnostic.compare
+
+let locate ~file spans diags = locate_all [ (file, spans) ] diags
 
 let summarize diags =
   List.fold_left

@@ -23,6 +23,14 @@ val run : ?config:Lint_rules.config -> Manifest.t list -> Diagnostic.t list
 val locate :
   file:string -> Manifest_file.span list -> Diagnostic.t list -> Diagnostic.t list
 
+(** [locate_all files diags] — {!locate} over a merged multi-file
+    report: each diagnostic gets the span of the first file (in argument
+    order) that declares its component, first span within a file winning
+    as in {!locate}. *)
+val locate_all :
+  (string * Manifest_file.span list) list -> Diagnostic.t list ->
+  Diagnostic.t list
+
 val summarize : Diagnostic.t list -> summary
 
 (** CI gate: at least one [Error]-severity diagnostic. *)

@@ -4,7 +4,14 @@
     manifest set. The {!Lint} engine runs {!all} and merges the
     diagnostics; this module is where new rules get added. Rules are
     total: they never raise, even on inconsistent manifest sets (the
-    inconsistency is precisely what other rules report). *)
+    inconsistency is precisely what other rules report).
+
+    Rules are {e seeded}: [check cfg ctx m] returns only the findings
+    anchored at component [m], and the engine unions the per-seed
+    results over every manifest (the union, deduplicated and sorted, is
+    byte-identical to the old whole-set formulation). Every rule also
+    declares a dependency {!scope}, which is what lets the incremental
+    {!Check} engine re-run only the affected seeds after a delta. *)
 
 (** Tunables shared by the rules. *)
 type config = {
@@ -25,22 +32,64 @@ type config = {
 
 val default_config : config
 
-(** What every rule sees: the raw manifest list (duplicates and all) and
-    an {!App.t} built from it with duplicates dropped, so the
-    {!Analysis} toolbox can be reused directly. *)
+(** What a seed's findings may depend on — the contract {!Check} uses
+    to compute dirty seeds after a delta:
+    - [Component]: only the seed manifest itself;
+    - [Neighborhood]: the seed, its channel targets, the components
+      whose channels point at it, and its domain co-residents;
+    - [Graph]: the cross-manifest channel graph (flow fixpoints,
+      closures, cycles). *)
+type scope = Component | Neighborhood | Graph
+
+(** ["component"], ["manifest"], ["graph"] — the LINT_RULES.md scope
+    column. *)
+val scope_to_string : scope -> string
+
+(** What every rule sees. [manifests] is the raw list (duplicates and
+    all); the tables index it for O(1) seeded checks: [index] is
+    first-wins by name, [counts] counts declarations per name, [inbound]
+    maps a target name to every channel pointing at it (caller manifest,
+    connection, and whether the caller is the first-wins occurrence),
+    [domain_all] maps a domain to member names in declaration order
+    (duplicates kept), [domain_dedup] to the sorted deduplicated
+    members. [app] is built from the deduplicated set so the
+    {!Analysis} toolbox can be reused directly. [flow_memo] caches one
+    {!Flow.analyze} result per flow config so the four flow-backed
+    rules share a single fixpoint run — {!Check} pre-seeds it with its
+    incrementally maintained result. [cycles_memo] plays the same role
+    for L009's whole-graph cycle scan. *)
 type ctx = {
   manifests : Manifest.t list;
+  index : (string, Manifest.t) Hashtbl.t;
+  counts : (string, int) Hashtbl.t;
+  inbound : (string, (Manifest.t * Manifest.connection * bool) list) Hashtbl.t;
+  domain_all : (string, string list) Hashtbl.t;
+  domain_dedup : (string, string list) Hashtbl.t;
   app : App.t;
+  flow_memo : (Flow.config * Flow.result) list ref;
+  cycles_memo : Diagnostic.t list option ref;
 }
 
 val make_ctx : Manifest.t list -> ctx
+
+(** First-wins lookup by component name. *)
+val find : ctx -> string -> Manifest.t option
+
+(** Every channel pointing at the named component (vetted, self and
+    dangling-caller channels included). *)
+val inbound : ctx -> string -> (Manifest.t * Manifest.connection * bool) list
+
+(** The memoized {!Flow.analyze} over [ctx.manifests] for this config. *)
+val flow_of_ctx : config -> ctx -> Flow.result
 
 type rule = {
   id : string;           (** stable, e.g. ["L005-confused-deputy"] *)
   severity : Diagnostic.severity;
   summary : string;      (** one line, for the rule catalogue *)
   paper_ref : string;    (** section of the paper motivating the rule *)
-  check : config -> ctx -> Diagnostic.t list;
+  scope : scope;         (** what a seed's findings may depend on *)
+  check : config -> ctx -> Manifest.t -> Diagnostic.t list;
+      (** findings anchored at the seed manifest only *)
 }
 
 (** All rules, in rule-id order. *)

@@ -1,0 +1,168 @@
+open Lateral
+module Drbg = Lt_crypto.Drbg
+
+let name = "analysis"
+
+(* ---------------------------------------------------------------- *)
+(* generation: a delta script, usually well-formed, then mutated     *)
+(* ---------------------------------------------------------------- *)
+
+let name_pool = [| "alpha"; "beta"; "gamma"; "delta"; "epsilon" |]
+
+let service_pool = [| "ping"; "store"; "query"; "io" |]
+
+let substrate_pool =
+  [| "microkernel"; "sgx"; "sep"; "trustzone"; "monolithic-os"; "cheri" |]
+
+let pick rng a = a.(Drbg.int rng (Array.length a))
+
+(* a component aimed at the rule families: sometimes tainted, sometimes
+   a secret holder, sometimes legacy and oversized, channels allowed to
+   dangle (the linter reports those, the engine must not trip on them) *)
+let gen_manifest rng cname =
+  let connects_to =
+    List.concat_map
+      (fun target ->
+        if target <> cname && Drbg.int rng 3 = 0 then
+          [ Manifest.conn
+              ~vetted:(Drbg.int rng 4 = 0)
+              target (pick rng service_pool) ]
+        else [])
+      (Array.to_list name_pool)
+  in
+  Manifest.v ~name:cname
+    ~provides:[ pick rng service_pool ]
+    ~connects_to
+    ?domain:(if Drbg.int rng 4 = 0 then Some "shared" else None)
+    ~size_loc:(100 + Drbg.int rng 40_000)
+    ~network_facing:(Drbg.int rng 3 = 0)
+    ~vulnerable:(Drbg.int rng 4 = 0)
+    ~discriminates_clients:(Drbg.int rng 4 > 0)
+    ~substrate:(pick rng substrate_pool)
+    ()
+
+let gen_delta rng =
+  let caller = pick rng name_pool in
+  let other () =
+    (* parse_script rejects self-connections, so steer away from them
+       in the well-formed stream; mutations reintroduce them *)
+    let t = ref (pick rng name_pool) in
+    while !t = caller do
+      t := pick rng name_pool
+    done;
+    !t
+  in
+  match Drbg.int rng 5 with
+  | 0 -> Delta.Add (gen_manifest rng (pick rng name_pool))
+  | 1 -> Delta.Remove (pick rng name_pool)
+  | 2 ->
+    Delta.Connect
+      { caller;
+        conn =
+          Manifest.conn ~vetted:(Drbg.int rng 4 = 0) (other ())
+            (pick rng service_pool) }
+  | 3 ->
+    Delta.Disconnect
+      { caller; target = other (); service = pick rng service_pool }
+  | _ ->
+    Delta.Set_vetted
+      { caller; target = other (); service = pick rng service_pool;
+        vetted = Drbg.bool rng }
+
+let gen_script rng =
+  let n = 1 + Drbg.int rng 12 in
+  Delta.to_text (List.init n (fun _ -> gen_delta rng))
+
+let printable rng =
+  let interesting = "add update remove connect disconnect vet unvet \t#.-_" in
+  if Drbg.int rng 2 = 0 then
+    interesting.[Drbg.int rng (String.length interesting)]
+  else Char.chr (32 + Drbg.int rng 95)
+
+let mutate rng text =
+  let mutations = Drbg.int rng 4 in
+  let apply text _ =
+    if String.length text = 0 then text
+    else
+      match Drbg.int rng 4 with
+      | 0 ->
+        let i = Drbg.int rng (String.length text) in
+        let b = Bytes.of_string text in
+        Bytes.set b i (printable rng);
+        Bytes.to_string b
+      | 1 ->
+        let lines = String.split_on_char '\n' text in
+        let i = Drbg.int rng (List.length lines) in
+        String.concat "\n" (List.filteri (fun j _ -> j <> i) lines)
+      | 2 -> String.sub text 0 (Drbg.int rng (String.length text))
+      | _ ->
+        let lines = String.split_on_char '\n' text in
+        let i = Drbg.int rng (List.length lines) in
+        let token =
+          String.init (1 + Drbg.int rng 10) (fun _ -> printable rng)
+        in
+        String.concat "\n"
+          (List.mapi (fun j l -> if j = i then token ^ " " ^ l else l) lines)
+  in
+  List.fold_left apply text (List.init mutations Fun.id)
+
+let garbage rng =
+  String.init (Drbg.int rng 300) (fun _ ->
+      if Drbg.int rng 10 = 0 then '\n' else printable rng)
+
+let generate rng _case =
+  if Drbg.int rng 5 = 0 then garbage rng
+  else
+    let script = gen_script rng in
+    if Drbg.int rng 3 = 0 then mutate rng script else script
+
+(* ---------------------------------------------------------------- *)
+(* the properties                                                    *)
+(* ---------------------------------------------------------------- *)
+
+let raised what exn =
+  Error (Printf.sprintf "%s raised %s" what (Printexc.to_string exn))
+
+let check payload =
+  match Delta.parse_script payload with
+  | exception exn -> raised "parse_script" exn
+  | Error _ ->
+    (* rejection is totality working *)
+    Ok ()
+  | Ok deltas ->
+    (match Delta.parse_script (Delta.to_text deltas) with
+     | exception exn -> raised "round-trip parse" exn
+     | Error e -> Error (Printf.sprintf "round-trip parse failed: %s" e)
+     | Ok reparsed when reparsed <> deltas ->
+       Error "round-trip changed the deltas"
+     | Ok _ ->
+       (* replay from an empty fleet: the script's own adds build it.
+          After every step the incremental state must be byte-identical
+          to a from-scratch Lint.run + Flow.analyze, and the maintained
+          kernel must conform to the surviving fleet *)
+       let rec drive i st = function
+         | [] -> Ok ()
+         | d :: rest ->
+           (match Check.apply d st with
+            | exception exn ->
+              raised (Printf.sprintf "apply step %d (%s)" i (Delta.describe d))
+                exn
+            | st, _ ->
+              (match Check.divergence st with
+               | exception exn -> raised "divergence oracle" exn
+               | Some reason ->
+                 Error
+                   (Printf.sprintf "step %d (%s): %s" i (Delta.describe d)
+                      reason)
+               | None ->
+                 if not (Check.conformance_clean st) then
+                   Error
+                     (Printf.sprintf
+                        "step %d (%s): kernel capability state does not \
+                         conform"
+                        i (Delta.describe d))
+                 else drive (i + 1) st rest))
+       in
+       (match Check.create [] with
+        | exception exn -> raised "create" exn
+        | st -> drive 1 st deltas))

@@ -1,0 +1,31 @@
+(** Engine 4: incremental-analysis fuzzing.
+
+    Feeds generated and mutated {!Lateral.Delta} scripts to the
+    incremental {!Lateral.Check} engine and replays them from an empty
+    fleet (the script's own [add] blocks build it). The properties:
+
+    - {b parser totality}: {!Lateral.Delta.parse_script} never raises;
+      rejected scripts come back as [Error _] with a line number;
+    - {b round-trip}: [parse_script (to_text deltas)] yields the same
+      deltas;
+    - {b incremental = batch}: after {e every} step,
+      {!Lateral.Check.divergence} is [None] — the incrementally
+      maintained diagnostics and flow fixpoint are byte-identical to a
+      from-scratch {!Lateral.Lint.run} + {!Lateral.Flow.analyze} of the
+      surviving fleet;
+    - {b kernel conformance}: the incrementally re-granted capability
+      state conforms to the fleet after every step.
+
+    Payload = the delta script text itself. *)
+
+val name : string
+
+(** [generate rng case] — a fresh payload: usually a well-formed delta
+    script over a small name pool (dangling targets included), pushed
+    through 0..3 mutations, sometimes raw printable garbage. *)
+val generate : Lt_crypto.Drbg.t -> int -> string
+
+(** [check payload] — [Ok ()] when every property holds (a clean
+    [Error _] from the script parser counts as holding); [Error what]
+    otherwise. Never raises. *)
+val check : string -> (unit, string) result

@@ -1,29 +1,36 @@
 module Drbg = Lt_crypto.Drbg
 
-type engine = Manifest | Substrate | Storage
+type engine = Manifest | Substrate | Storage | Analysis
 
-let all_engines = [ Manifest; Substrate; Storage ]
+(* Analysis rides at the end: the master stream is split once per
+   engine in this order, so appending an engine leaves the existing
+   engines' streams (and the committed corpus) untouched *)
+let all_engines = [ Manifest; Substrate; Storage; Analysis ]
 
 let engine_name = function
   | Manifest -> Manifest_fuzz.name
   | Substrate -> Substrate_fuzz.name
   | Storage -> Storage_fuzz.name
+  | Analysis -> Analysis_fuzz.name
 
 let engine_of_name = function
   | "manifest" -> Some Manifest
   | "substrate" -> Some Substrate
   | "storage" -> Some Storage
+  | "analysis" -> Some Analysis
   | _ -> None
 
 let engine_generate = function
   | Manifest -> Manifest_fuzz.generate
   | Substrate -> Substrate_fuzz.generate
   | Storage -> Storage_fuzz.generate
+  | Analysis -> Analysis_fuzz.generate
 
 let engine_check = function
   | Manifest -> Manifest_fuzz.check
   | Substrate -> Substrate_fuzz.check
   | Storage -> Storage_fuzz.check
+  | Analysis -> Analysis_fuzz.check
 
 type failure = {
   f_case : int;

@@ -1,12 +1,12 @@
 (** The hunt driver: seeded, deterministic differential fuzzing.
 
-    Runs the three engines ({!Manifest_fuzz}, {!Substrate_fuzz},
-    {!Storage_fuzz}), shrinks every failure to a minimal reproducer
-    with {!Shrink}, and renders a report. All randomness derives from
-    the seed: equal seeds give byte-identical reports, whatever subset
-    of engines runs. *)
+    Runs the four engines ({!Manifest_fuzz}, {!Substrate_fuzz},
+    {!Storage_fuzz}, {!Analysis_fuzz}), shrinks every failure to a
+    minimal reproducer with {!Shrink}, and renders a report. All
+    randomness derives from the seed: equal seeds give byte-identical
+    reports, whatever subset of engines runs. *)
 
-type engine = Manifest | Substrate | Storage
+type engine = Manifest | Substrate | Storage | Analysis
 
 val all_engines : engine list
 

@@ -1,0 +1,95 @@
+(* Drift check between the rule registry and docs/LINT_RULES.md: every
+   rule in [Lint.catalogue ()] must appear in the doc table with the
+   severity and scope the registry declares, and every doc row must
+   either name a registered rule or be marked scope "—" (the
+   conformance rules that live outside [Lint_rules.all]). Run by
+   `dune build @lintdocs`, which @runtest depends on, so the table can
+   never silently rot. Exit 1 with one line per discrepancy. *)
+
+open Lateral
+
+let trim = String.trim
+
+let strip_ticks s =
+  let s = trim s in
+  let n = String.length s in
+  if n >= 2 && s.[0] = '`' && s.[n - 1] = '`' then String.sub s 1 (n - 2)
+  else s
+
+(* a table row looks like: | `L001-...` | error | manifest | ... | ... | *)
+let parse_row line =
+  match String.split_on_char '|' line with
+  | "" :: id :: sev :: scope :: _ when String.length (trim id) > 2 ->
+    let id = strip_ticks id in
+    if String.length id >= 2 && id.[0] = 'L' then
+      Some (id, trim sev, trim scope)
+    else None
+  | _ -> None
+
+let read_rows path =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match parse_row line with
+       | Some row -> rows := row :: !rows
+       | None -> ()
+     done
+   with End_of_file -> close_in ic);
+  List.rev !rows
+
+let () =
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "../docs/LINT_RULES.md"
+  in
+  let rows = read_rows path in
+  let problems = ref [] in
+  let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  (* duplicate doc rows *)
+  List.iter
+    (fun (id, _, _) ->
+      if List.length (List.filter (fun (i, _, _) -> i = id) rows) > 1 then
+        problem "%s: duplicate row in %s" id path)
+    rows;
+  let scope_of id =
+    List.find_opt (fun (r : Lint_rules.rule) -> r.id = id) Lint_rules.all
+  in
+  (* registry -> doc: present, severity and scope in sync *)
+  List.iter
+    (fun (id, sev, _summary, _paper) ->
+      match List.find_opt (fun (i, _, _) -> i = id) rows with
+      | None -> problem "%s: in Lint.catalogue but missing from %s" id path
+      | Some (_, doc_sev, doc_scope) ->
+        let want_sev = Diagnostic.severity_to_string sev in
+        if doc_sev <> want_sev then
+          problem "%s: severity is %s in the registry, %s in the doc" id
+            want_sev doc_sev;
+        (match scope_of id with
+         | None ->
+           problem "%s: in Lint.catalogue but not in Lint_rules.all" id
+         | Some r ->
+           let want_scope = Lint_rules.scope_to_string r.scope in
+           if doc_scope <> want_scope then
+             problem "%s: scope is %s in the registry, %s in the doc" id
+               want_scope doc_scope))
+    (Lint.catalogue ());
+  (* doc -> registry: rows for unregistered rules must be the
+     conformance rules, marked with scope "—" *)
+  List.iter
+    (fun (id, _, scope) ->
+      let registered =
+        List.exists (fun (i, _, _, _) -> i = id) (Lint.catalogue ())
+      in
+      if (not registered) && scope <> "\xe2\x80\x94" then
+        problem
+          "%s: documented with scope %S but not in Lint.catalogue (conformance \
+           rules use scope —)" id scope)
+    rows;
+  match List.rev !problems with
+  | [] ->
+    Printf.printf "lintdocs: %d rules in sync with %s\n"
+      (List.length (Lint.catalogue ())) path
+  | ps ->
+    List.iter (fun p -> Printf.eprintf "lintdocs: %s\n" p) ps;
+    exit 1

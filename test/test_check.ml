@@ -1,0 +1,342 @@
+(* The incremental Check engine: per-delta unit coverage, the delta
+   script format, and the headline property — after any delta sequence
+   the incremental state is byte-identical to a from-scratch
+   Lint.run + Flow.analyze, and the maintained kernel still conforms. *)
+
+open Lateral
+
+let m = Manifest.v
+let conn = Manifest.conn
+
+let names ms = List.map (fun x -> x.Manifest.name) ms
+
+(* --- Delta.apply ----------------------------------------------------------- *)
+
+let test_delta_apply () =
+  let fleet = [ m ~name:"a" ~connects_to:[ conn "b" "s" ] (); m ~name:"b" () ] in
+  (* upsert replaces in place *)
+  let fleet' = Delta.apply (Delta.Add (m ~name:"a" ~size_loc:9 ())) fleet in
+  Alcotest.(check (list string)) "upsert keeps order" [ "a"; "b" ] (names fleet');
+  Alcotest.(check int) "upsert replaced the body" 9
+    (List.hd fleet').Manifest.size_loc;
+  (* fresh add appends *)
+  let fleet' = Delta.apply (Delta.Add (m ~name:"c" ())) fleet in
+  Alcotest.(check (list string)) "add appends" [ "a"; "b"; "c" ] (names fleet');
+  (* remove filters, and is a no-op on unknown names *)
+  Alcotest.(check (list string)) "remove" [ "a" ]
+    (names (Delta.apply (Delta.Remove "b") fleet));
+  Alcotest.(check (list string)) "remove unknown = no-op" [ "a"; "b" ]
+    (names (Delta.apply (Delta.Remove "zz") fleet));
+  (* connect upserts the channel, disconnect drops it *)
+  let c2 = conn ~vetted:true "b" "s" in
+  let fleet' = Delta.apply (Delta.Connect { caller = "a"; conn = c2 }) fleet in
+  Alcotest.(check int) "connect upserts, no duplicate channel" 1
+    (List.length (List.hd fleet').Manifest.connects_to);
+  Alcotest.(check bool) "connect replaced the vetted flag" true
+    (List.hd (List.hd fleet').Manifest.connects_to).Manifest.vetted;
+  let fleet' =
+    Delta.apply (Delta.Disconnect { caller = "a"; target = "b"; service = "s" })
+      fleet
+  in
+  Alcotest.(check int) "disconnect" 0
+    (List.length (List.hd fleet').Manifest.connects_to);
+  (* vet toggles in place *)
+  let fleet' =
+    Delta.apply
+      (Delta.Set_vetted { caller = "a"; target = "b"; service = "s"; vetted = true })
+      fleet
+  in
+  Alcotest.(check bool) "vet" true
+    (List.hd (List.hd fleet').Manifest.connects_to).Manifest.vetted;
+  (* a delta on a missing caller is a no-op *)
+  Alcotest.(check bool) "missing caller = no-op" true
+    (Delta.apply (Delta.Disconnect { caller = "zz"; target = "b"; service = "s" })
+       fleet
+    = fleet)
+
+(* --- the script format ----------------------------------------------------- *)
+
+let script =
+  {|# churn scenario
+add
+component cache
+  provides get
+  connects store.io
+
+remove cache
+connect ui store.io
+connect-vetted ui legacyfs.io
+disconnect ui store.io
+vet ui legacyfs.io
+unvet ui legacyfs.io
+|}
+
+let test_script_parse () =
+  match Delta.parse_script script with
+  | Error e -> Alcotest.fail e
+  | Ok ds ->
+    Alcotest.(check int) "delta count" 7 (List.length ds);
+    Alcotest.(check (list string)) "describe"
+      [ "add cache"; "remove cache"; "connect ui -> store.io";
+        "connect-vetted ui -> legacyfs.io"; "disconnect ui -> store.io";
+        "vet ui -> legacyfs.io"; "unvet ui -> legacyfs.io" ]
+      (List.map Delta.describe ds)
+
+let test_script_roundtrip () =
+  match Delta.parse_script script with
+  | Error e -> Alcotest.fail e
+  | Ok ds ->
+    (match Delta.parse_script (Delta.to_text ds) with
+     | Error e -> Alcotest.fail ("re-parse: " ^ e)
+     | Ok ds' ->
+       Alcotest.(check bool) "to_text round-trips" true (ds = ds'))
+
+let expect_error text fragment =
+  match Delta.parse_script text with
+  | Ok _ -> Alcotest.fail ("parsed, expected error mentioning " ^ fragment)
+  | Error e ->
+    let contains =
+      let n = String.length fragment and h = String.length e in
+      let rec go i = i + n <= h && (String.sub e i n = fragment || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) (fragment ^ " in: " ^ e) true contains
+
+let test_script_errors () =
+  expect_error "frobnicate x" "line 1";
+  expect_error "frobnicate x" "unknown delta";
+  expect_error "connect a b" "TARGET.SERVICE";
+  expect_error "remove a b" "remove NAME";
+  expect_error "\nconnect a a.s" "connects to itself";
+  expect_error "\nconnect a a.s" "line 2";
+  expect_error "add\n" "expected a manifest block";
+  expect_error "add extra" "no arguments";
+  expect_error "add\ncomponent a\n  bogus-field x" "block at line 1"
+
+(* --- the incremental engine ------------------------------------------------ *)
+
+(* a fleet that exercises every rule family: a secret holder, a tainted
+   network front end, a legacy-OS member, a cycle candidate *)
+let base_fleet =
+  [ m ~name:"ui" ~network_facing:true ~vulnerable:true
+      ~connects_to:[ conn "svc" "rpc" ] ();
+    m ~name:"svc" ~provides:[ "rpc" ] ~connects_to:[ conn "keys" "seal" ] ();
+    m ~name:"keys" ~provides:[ "seal" ] ~substrate:"sep" ();
+    m ~name:"legacyfs" ~provides:[ "io" ] ~substrate:"monolithic-os"
+      ~size_loc:40000 () ]
+
+let check_equiv what st =
+  (match Check.divergence st with
+   | None -> ()
+   | Some reason -> Alcotest.fail (what ^ ": " ^ reason));
+  Alcotest.(check bool) (what ^ ": kernel conforms") true
+    (Check.conformance_clean st)
+
+let test_create_matches_batch () =
+  let st = Check.create base_fleet in
+  check_equiv "create" st;
+  Alcotest.(check bool) "diagnostics = batch Lint.run" true
+    (Check.diagnostics st = Lint.run base_fleet);
+  Alcotest.(check bool) "flow = batch Flow.analyze" true
+    (Check.flow_result st = Flow.analyze base_fleet);
+  (* create dedupes first-wins, like Flow *)
+  let st =
+    Check.create (base_fleet @ [ m ~name:"ui" ~size_loc:1 () ])
+  in
+  Alcotest.(check (list string)) "dedup first-wins"
+    [ "ui"; "svc"; "keys"; "legacyfs" ]
+    (names (Check.manifests st))
+
+let test_apply_each_kind () =
+  let st = Check.create base_fleet in
+  let step what d st =
+    let st, diags = Check.apply d st in
+    check_equiv what st;
+    Alcotest.(check bool) (what ^ ": returned diags are current") true
+      (diags = Check.diagnostics st);
+    st
+  in
+  (* admit a component that immediately leaks the secret outwards *)
+  let st =
+    step "add sink"
+      (Delta.Add
+         (m ~name:"exfil" ~network_facing:true
+            ~connects_to:[ conn "keys" "seal" ] ()))
+      st
+  in
+  (* rewire: unvetted channel into the legacy OS *)
+  let st =
+    step "connect legacy"
+      (Delta.Connect { caller = "svc"; conn = conn "legacyfs" "io" })
+      st
+  in
+  (* vet it, then unvet it *)
+  let st =
+    step "vet"
+      (Delta.Set_vetted
+         { caller = "svc"; target = "legacyfs"; service = "io"; vetted = true })
+      st
+  in
+  let st =
+    step "unvet"
+      (Delta.Set_vetted
+         { caller = "svc"; target = "legacyfs"; service = "io"; vetted = false })
+      st
+  in
+  (* update in place: the front end stops being vulnerable *)
+  let st =
+    step "update ui"
+      (Delta.Add
+         (m ~name:"ui" ~network_facing:false
+            ~connects_to:[ conn "svc" "rpc" ] ()))
+      st
+  in
+  (* tear channels down, then evict components *)
+  let st =
+    step "disconnect"
+      (Delta.Disconnect { caller = "svc"; target = "legacyfs"; service = "io" })
+      st
+  in
+  let st = step "remove holder" (Delta.Remove "keys") st in
+  let st = step "remove sink" (Delta.Remove "exfil") st in
+  (* re-admit after eviction (task/badge recycling path) *)
+  let st =
+    step "re-add holder" (Delta.Add (m ~name:"keys" ~substrate:"sgx" ())) st
+  in
+  ignore st
+
+let test_cycle_births_and_dies () =
+  let st =
+    Check.create
+      [ m ~name:"a" ~provides:[ "s" ] ~connects_to:[ conn "b" "s" ] ();
+        m ~name:"b" ~provides:[ "s" ] ~connects_to:[ conn "c" "s" ] ();
+        m ~name:"c" ~provides:[ "s" ] () ]
+  in
+  let fires st =
+    List.exists
+      (fun d -> d.Diagnostic.rule_id = "L009-channel-cycle")
+      (Check.diagnostics st)
+  in
+  Alcotest.(check bool) "no cycle yet" false (fires st);
+  let st, _ = Check.apply (Delta.Connect { caller = "c"; conn = conn "a" "s" }) st in
+  check_equiv "cycle born" st;
+  Alcotest.(check bool) "cycle detected incrementally" true (fires st);
+  let st, _ =
+    Check.apply (Delta.Disconnect { caller = "b"; target = "c"; service = "s" }) st
+  in
+  check_equiv "cycle broken" st;
+  Alcotest.(check bool) "cycle gone incrementally" false (fires st)
+
+let test_apply_noop_keeps_state () =
+  let st = Check.create base_fleet in
+  let before = Check.diagnostics st in
+  let st, diags = Check.apply (Delta.Remove "no-such-component") st in
+  Alcotest.(check bool) "no-op returns identical diagnostics" true
+    (diags == before);
+  check_equiv "no-op" st
+
+(* --- the headline property ------------------------------------------------- *)
+
+let pool = [ "a"; "b"; "c"; "d"; "e" ]
+
+let gen_manifest =
+  QCheck.Gen.(
+    let* name = oneofl pool in
+    let* network_facing = bool in
+    let* vulnerable = frequency [ (3, return false); (1, return true) ] in
+    let* substrate =
+      oneofl [ "microkernel"; "sep"; "sgx"; "monolithic-os" ]
+    in
+    let* domain = oneofl [ "d1"; "d2"; name ] in
+    let* size_loc = oneofl [ 50; 12000; 40000 ] in
+    let* discriminates_clients = bool in
+    let* connects_to =
+      list_size (int_range 0 3)
+        (let* target = oneofl pool in
+         let* service = oneofl [ "s"; "t" ] in
+         let* vetted = bool in
+         return (Manifest.conn ~vetted target service))
+    in
+    return
+      (Manifest.v ~name ~provides:[ "s"; "t" ] ~connects_to ~domain ~size_loc
+         ~network_facing ~vulnerable ~discriminates_clients ~substrate ()))
+
+let gen_delta =
+  QCheck.Gen.(
+    let* pick = int_range 0 4 in
+    match pick with
+    | 0 ->
+      let* m = gen_manifest in
+      return (Delta.Add m)
+    | 1 ->
+      let* name = oneofl pool in
+      return (Delta.Remove name)
+    | 2 ->
+      let* caller = oneofl pool in
+      let* target = oneofl pool in
+      let* service = oneofl [ "s"; "t" ] in
+      let* vetted = bool in
+      return (Delta.Connect { caller; conn = Manifest.conn ~vetted target service })
+    | 3 ->
+      let* caller = oneofl pool in
+      let* target = oneofl pool in
+      let* service = oneofl [ "s"; "t" ] in
+      return (Delta.Disconnect { caller; target; service })
+    | _ ->
+      let* caller = oneofl pool in
+      let* target = oneofl pool in
+      let* service = oneofl [ "s"; "t" ] in
+      let* vetted = bool in
+      return (Delta.Set_vetted { caller; target; service; vetted }))
+
+let gen_scenario =
+  QCheck.Gen.(
+    let* fleet = list_size (int_range 0 4) gen_manifest in
+    let* deltas = list_size (int_range 1 10) gen_delta in
+    return (fleet, deltas))
+
+let show_scenario (fleet, deltas) =
+  Printf.sprintf "fleet = [%s]\n%s"
+    (String.concat "; " (List.map (fun m -> m.Manifest.name) fleet))
+    (Delta.to_text deltas)
+
+let prop_incremental_equals_batch =
+  QCheck.Test.make
+    ~name:"incremental Check = from-scratch Lint.run + Flow.analyze" ~count:60
+    (QCheck.make ~print:show_scenario gen_scenario)
+    (fun (fleet, deltas) ->
+      let st = Check.create fleet in
+      (match Check.divergence st with
+       | None -> ()
+       | Some r -> QCheck.Test.fail_reportf "create: %s" r);
+      let _final =
+        List.fold_left
+          (fun st d ->
+            let st, _ = Check.apply d st in
+            (match Check.divergence st with
+             | None -> ()
+             | Some r ->
+               QCheck.Test.fail_reportf "after %s: %s" (Delta.describe d) r);
+            if not (Check.conformance_clean st) then
+              QCheck.Test.fail_reportf "after %s: kernel does not conform"
+                (Delta.describe d);
+            st)
+          st deltas
+      in
+      true)
+
+let suite =
+  [ Alcotest.test_case "Delta.apply semantics" `Quick test_delta_apply;
+    Alcotest.test_case "delta script parses" `Quick test_script_parse;
+    Alcotest.test_case "delta script round-trips" `Quick test_script_roundtrip;
+    Alcotest.test_case "delta script rejects garbage with line numbers" `Quick
+      test_script_errors;
+    Alcotest.test_case "create matches the batch analysis" `Quick
+      test_create_matches_batch;
+    Alcotest.test_case "every delta kind preserves equivalence" `Quick
+      test_apply_each_kind;
+    Alcotest.test_case "cycles are born and die incrementally" `Quick
+      test_cycle_births_and_dies;
+    Alcotest.test_case "no-op delta returns the same report" `Quick
+      test_apply_noop_keeps_state;
+    QCheck_alcotest.to_alcotest prop_incremental_equals_batch ]

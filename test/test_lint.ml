@@ -340,6 +340,77 @@ let prop_lint_total =
       List.sort Diagnostic.compare diags = diags
       && String.length (Lint.render_json ~file:"f" diags) > 0)
 
+(* --- locate: span attachment ------------------------------------------------ *)
+
+let span line name =
+  { Manifest_file.sp_manifest = Manifest.v ~name (); sp_line = line }
+
+let test_locate_unknown_passthrough () =
+  (* diagnostics anchored to components absent from the span list keep
+     loc = None instead of being dropped or mislocated *)
+  let diags =
+    lint_text "component a\n  connects b.x\ncomponent b\n  provides x"
+  in
+  let located = Lint.locate ~file:"f.manifest" [ span 3 "b" ] diags in
+  Alcotest.(check int) "nothing dropped" (List.length diags)
+    (List.length located);
+  List.iter
+    (fun d ->
+      match (d.Diagnostic.component, d.Diagnostic.loc) with
+      | "b", loc ->
+        Alcotest.(check bool) "b located" true
+          (loc = Some { Diagnostic.file = "f.manifest"; line = 3 })
+      | _, loc -> Alcotest.(check bool) "unknown passes through" true (loc = None))
+    located
+
+let test_locate_duplicate_span_winner () =
+  (* two spans for the same name: the first one in the list wins,
+     deterministically *)
+  let diags = lint_text "component a\n  connects b.x" in
+  let located =
+    Lint.locate ~file:"f.manifest" [ span 1 "a"; span 9 "a" ] diags
+  in
+  List.iter
+    (fun d ->
+      if d.Diagnostic.component = "a" then
+        Alcotest.(check bool) "first span wins" true
+          (d.Diagnostic.loc = Some { Diagnostic.file = "f.manifest"; line = 1 }))
+    located;
+  Alcotest.(check bool) "a diagnostic was located" true
+    (List.exists (fun d -> d.Diagnostic.loc <> None) located)
+
+let test_locate_resorts () =
+  (* location participates in Diagnostic.compare, so locate must
+     re-sort; the result is a fixpoint of sorting *)
+  let diags =
+    lint_text
+      "component a\n  connects b.x\ncomponent b\n  connects a.y\ncomponent c\n  connects miss.z"
+  in
+  let located =
+    Lint.locate ~file:"f.manifest" [ span 5 "c"; span 3 "b"; span 1 "a" ] diags
+  in
+  Alcotest.(check bool) "stably sorted" true
+    (located = List.sort Diagnostic.compare located);
+  (* locating twice with the same spans is idempotent *)
+  let again =
+    Lint.locate ~file:"f.manifest" [ span 5 "c"; span 3 "b"; span 1 "a" ] located
+  in
+  Alcotest.(check bool) "idempotent" true (again = located)
+
+let test_locate_all_first_file_wins () =
+  let diags = lint_text "component a\n  connects b.x" in
+  let located =
+    Lint.locate_all
+      [ ("one.manifest", [ span 4 "a" ]); ("two.manifest", [ span 8 "a" ]) ]
+      diags
+  in
+  List.iter
+    (fun d ->
+      if d.Diagnostic.component = "a" then
+        Alcotest.(check bool) "first file wins" true
+          (d.Diagnostic.loc = Some { Diagnostic.file = "one.manifest"; line = 4 }))
+    located
+
 let suite =
   [ Alcotest.test_case "L001 dangling target" `Quick test_dangling_target;
     Alcotest.test_case "L002 dangling service" `Quick test_dangling_service;
@@ -362,4 +433,12 @@ let suite =
     Alcotest.test_case "clean fixture" `Quick test_clean_fixture;
     Alcotest.test_case "report rendering" `Quick test_report_rendering;
     Alcotest.test_case "sorted and deterministic" `Quick test_sorted_and_deterministic;
+    Alcotest.test_case "locate: unknown components pass through" `Quick
+      test_locate_unknown_passthrough;
+    Alcotest.test_case "locate: duplicate spans pick a deterministic winner"
+      `Quick test_locate_duplicate_span_winner;
+    Alcotest.test_case "locate: re-sorts and is idempotent" `Quick
+      test_locate_resorts;
+    Alcotest.test_case "locate_all: first file wins" `Quick
+      test_locate_all_first_file_wins;
     QCheck_alcotest.to_alcotest prop_lint_total ]

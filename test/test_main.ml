@@ -29,4 +29,5 @@ let () =
       ("obs", Test_obs.suite);
       ("resil", Test_resil.suite);
       ("vpfs_crash", Test_vpfs_crash.suite);
-      ("fuzz", Test_fuzz.suite) ]
+      ("fuzz", Test_fuzz.suite);
+      ("check", Test_check.suite) ]
