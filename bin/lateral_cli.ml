@@ -143,7 +143,8 @@ let cmd_meter tamper =
          Printf.eprintf "unknown tamper %S; known: %s\n" name
            (String.concat ", "
               (List.map Scenario_meter.tamper_name Scenario_meter.all_tampers));
-         exit 1)
+         (* a bad flag value is a usage error, not a failed scenario *)
+         exit 2)
   in
   Printf.printf "%-26s %-10s %-8s %-9s %s\n" "scenario" "anonymizer" "sent"
     "accepted" "detail";
@@ -265,7 +266,8 @@ let cmd_hunt seed budget engine format replays =
          | Some e -> [ e ]
          | None ->
            Printf.eprintf
-             "hunt: unknown engine %S (manifest, substrate, storage, analysis)\n"
+             "hunt: unknown engine %S (manifest, substrate, storage, analysis, \
+              contain)\n"
              name;
            exit 2)
     in
@@ -283,8 +285,9 @@ let cmd_hunt seed budget engine format replays =
 let cmd_analyze file exploit path =
   match Manifest_file.load file with
   | Error e ->
+    (* unparseable input is a usage error (2), like lint and flow *)
     Printf.eprintf "error: %s\n" e;
-    1
+    2
   | Ok manifests ->
     let app = App.create () in
     List.iter (App.add_stub app) manifests;
@@ -479,9 +482,16 @@ let cmd_check files deltas_file format verify =
       match deltas_file with
       | None -> Ok []
       | Some path ->
-        Result.map_error
-          (fun e -> Printf.sprintf "%s: %s" path e)
-          (Delta.load_script path)
+        (match Delta.load_script_located path with
+         | Ok ds -> Ok ds
+         | Error { Delta.pe_line = 0; pe_msg } ->
+           Error (Printf.sprintf "%s: %s" path pe_msg)
+         | Error { Delta.pe_line; pe_msg } ->
+           (* same file:line: shape as a located lint diagnostic *)
+           let loc = { Diagnostic.file = path; line = pe_line } in
+           Error
+             (Printf.sprintf "%s:%d: %s" loc.Diagnostic.file
+                loc.Diagnostic.line pe_msg))
     in
     match (load_all [] files, deltas) with
     | Error e, _ | _, Error e ->
@@ -545,13 +555,113 @@ let cmd_check files deltas_file format verify =
        | None -> if !any_error then 1 else 0)
   end
 
+(* --- contain: static blast-radius analysis ------------------------------------------ *)
+
+let contain_rule_ids =
+  [ "L020-unbounded-blast-radius"; "L021-single-point-of-failure";
+    "L022-restart-storm-cycle"; "L023-stateful-dependency-unshielded" ]
+
+let cmd_contain files format dot witness =
+  if files = [] then begin
+    Printf.eprintf "contain: no manifest file given\n";
+    2
+  end
+  else begin
+    let parse_failed = ref false in
+    (* like lint: every file joins one fleet, one propagation graph *)
+    let loaded =
+      List.filter_map
+        (fun file ->
+          match Manifest_file.load_spanned file with
+          | Error e ->
+            parse_failed := true;
+            Printf.eprintf "%s: %s\n" file e;
+            None
+          | Ok spans -> Some (file, spans))
+        files
+    in
+    if !parse_failed then 2
+    else begin
+      let label = String.concat ", " (List.map fst loaded) in
+      let manifests =
+        List.concat_map
+          (fun (_, spans) ->
+            List.map (fun s -> s.Manifest_file.sp_manifest) spans)
+          loaded
+      in
+      let r = Contain.analyze manifests in
+      match witness with
+      | Some root ->
+        (match
+           List.find_opt (fun x -> x.Contain.r_root = root) r.Contain.radii
+         with
+         | None ->
+           Printf.eprintf "contain: unknown component %S\n" root;
+           2
+         | Some radius ->
+           (match radius.Contain.r_escape with
+            | None ->
+              Printf.printf "%s: a crash of %s stays inside its domain\n" label
+                root
+            | Some x ->
+              Printf.printf
+                "%s: a crash of %s escapes its domain: %d outside victim(s), \
+                 worst %s (%s)\n  %s\n"
+                label root x.Contain.x_outside x.Contain.x_victim
+                (Contain.impact_to_string x.Contain.x_impact)
+                (String.concat " -> " x.Contain.x_path));
+           0)
+      | None ->
+        if dot then begin
+          print_string (Contain.to_dot manifests r);
+          0
+        end
+        else begin
+          let diags =
+            Lint.locate_all loaded
+              (List.filter
+                 (fun d -> List.mem d.Diagnostic.rule_id contain_rule_ids)
+                 (Lint.run manifests))
+          in
+          (match format with
+           | Lint_text ->
+             print_string (Contain.render_text ~file:label r);
+             if diags <> [] then begin
+               print_newline ();
+               print_string (Lint.render_text ~file:label diags)
+             end
+           | Lint_json ->
+             print_string
+               ("[" ^ Contain.render_json ~file:label r ^ ","
+               ^ Lint.render_json ~file:label diags
+               ^ "]\n"));
+          if Lint.has_errors diags then 1 else 0
+        end
+    end
+  end
+
 (* --- cmdliner wiring ------------------------------------------------------------ *)
 
 open Cmdliner
 
+(* the one exit-code convention, shared by every subcommand: 0 ok,
+   1 findings-or-failures, 2 usage-or-divergence (see the README) *)
+let std_exits =
+  [ Cmd.Exit.info 0 ~doc:"on success: the run finished and every check passed.";
+    Cmd.Exit.info 1
+      ~doc:
+        "on findings or failures: an error-severity diagnostic, a flow leak, \
+         a failed request, a containment violation or a failed replay.";
+    Cmd.Exit.info 2
+      ~doc:
+        "on usage or input errors (unknown flags or values, unparseable \
+         manifest files or delta scripts) and on incremental/batch \
+         divergence under $(b,--verify).";
+    Cmd.Exit.info 125 ~doc:"on unexpected internal errors." ]
+
 let substrates_cmd =
   Cmd.v
-    (Cmd.info "substrates"
+    (Cmd.info "substrates" ~exits:std_exits
        ~doc:"Compare the isolation substrates' properties (paper Table, \u{a7}II)")
     Term.(const cmd_substrates $ const ())
 
@@ -566,7 +676,7 @@ let mail_cmd =
       & info [ "exploit" ] ~docv:"COMPONENT" ~doc:"Show the blast radius of one exploit")
   in
   Cmd.v
-    (Cmd.info "mail" ~doc:"Analyse the email-client scenario (Figure 1)")
+    (Cmd.info "mail" ~exits:std_exits ~doc:"Analyse the email-client scenario (Figure 1)")
     Term.(const cmd_mail $ vertical $ exploit)
 
 let trace_arg =
@@ -584,14 +694,14 @@ let meter_cmd =
       & info [ "tamper" ] ~docv:"SCENARIO" ~doc:"Run one tamper scenario only")
   in
   Cmd.v
-    (Cmd.info "meter" ~doc:"Run the smart-meter scenario (Figure 3)")
+    (Cmd.info "meter" ~exits:std_exits ~doc:"Run the smart-meter scenario (Figure 3)")
     Term.(
       const (fun trace tamper -> with_trace trace (fun () -> cmd_meter tamper))
       $ trace_arg $ tamper)
 
 let gateway_cmd =
   Cmd.v
-    (Cmd.info "gateway" ~doc:"Run the IoT DDoS gateway demo")
+    (Cmd.info "gateway" ~exits:std_exits ~doc:"Run the IoT DDoS gateway demo")
     Term.(const (fun trace -> with_trace trace cmd_gateway) $ trace_arg)
 
 let run_cmd =
@@ -652,7 +762,8 @@ let run_cmd =
           ~doc:"Bound the span ring buffer (oldest spans evicted first)")
   in
   Cmd.v
-    (Cmd.info "run"
+    (Cmd.info "run" ~exits:std_exits
+
        ~doc:
          "Deploy a scenario onto simulated substrates and replay a seeded, \
           deterministic request mix with optional fault injection; exits 1 if \
@@ -733,7 +844,8 @@ let chaos_cmd =
           ~doc:"Bound the span ring buffer (oldest spans evicted first)")
   in
   Cmd.v
-    (Cmd.info "chaos"
+    (Cmd.info "chaos" ~exits:std_exits
+
        ~doc:
          "Replay a scenario while killing components at seeded instants; \
           audits blast-radius containment, VPFS crash consistency against a \
@@ -779,7 +891,8 @@ let hunt_cmd =
                 every reproducer must pass")
   in
   Cmd.v
-    (Cmd.info "hunt"
+    (Cmd.info "hunt" ~exits:std_exits
+
        ~doc:
          "Differential fuzzing: manifest-toolchain totality, cross-substrate \
           agreement against a reference model, and storage crash/corruption \
@@ -804,7 +917,8 @@ let analyze_cmd =
       & info [ "path" ] ~docv:"SRC:DST" ~doc:"Enumerate authority paths")
   in
   Cmd.v
-    (Cmd.info "analyze"
+    (Cmd.info "analyze" ~exits:std_exits
+
        ~doc:"Analyse a component architecture described in a manifest file")
     Term.(const cmd_analyze $ file $ exploit $ path)
 
@@ -822,7 +936,8 @@ let lint_cmd =
     Arg.(value & flag & info [ "rules" ] ~doc:"Print the rule catalogue and exit")
   in
   Cmd.v
-    (Cmd.info "lint"
+    (Cmd.info "lint" ~exits:std_exits
+
        ~doc:
          "Statically check manifest files for trust hazards; exits 1 if any \
           error-severity diagnostic fires (CI gate), 2 on parse failure")
@@ -852,7 +967,8 @@ let flow_cmd =
              the de-facto capability state against the declared graph")
   in
   Cmd.v
-    (Cmd.info "flow"
+    (Cmd.info "flow" ~exits:std_exits
+
        ~doc:
          "Lattice-based information-flow analysis over manifest files; exits 1 \
           on a leak or conformance over-privilege (CI gate), 2 on parse failure")
@@ -887,13 +1003,52 @@ let check_cmd =
              exit 2 on any divergence from the incremental state")
   in
   Cmd.v
-    (Cmd.info "check"
+    (Cmd.info "check" ~exits:std_exits
+
        ~doc:
          "Incrementally re-analyse a manifest fleet under a script of \
           control-plane deltas; prints one verdict line per step, exits 1 if \
           any step has an error-severity finding, 2 on parse failure or \
           incremental/batch divergence")
     Term.(const cmd_check $ files $ deltas $ format $ verify)
+
+let contain_cmd =
+  let files =
+    Arg.(value & pos_all file [] & info [] ~docv:"MANIFEST-FILE")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", Lint_text); ("json", Lint_json) ]) Lint_text
+      & info [ "format" ] ~docv:"FORMAT" ~doc:"Output format: $(b,text) or $(b,json)")
+  in
+  let dot =
+    Arg.(
+      value & flag
+      & info [ "dot" ]
+          ~doc:
+            "Emit the fault-propagation graph in Graphviz DOT (nodes coloured \
+             by crash impact, escape roots double-bordered)")
+  in
+  let witness =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "witness" ] ~docv:"COMPONENT"
+          ~doc:
+            "Print only the named component's escape witness: the propagation \
+             path by which its crash damages another protection domain")
+  in
+  Cmd.v
+    (Cmd.info "contain" ~exits:std_exits
+       ~doc:
+         "Static blast-radius analysis over manifest files: per component, \
+          the worst-case set of components its crash fails, restarts or \
+          degrades, as a fixpoint over propagation edges (channels, shared \
+          domains, supervision, state). The chaos harness's observed radii \
+          are property-checked to stay inside these predictions. Exits 1 on \
+          error-severity containment findings (L020-L023), 2 on parse failure")
+    Term.(const cmd_contain $ files $ format $ dot $ witness)
 
 let () =
   let info =
@@ -907,7 +1062,7 @@ let () =
   let group =
     Cmd.group ~default info
       [ substrates_cmd; mail_cmd; meter_cmd; gateway_cmd; run_cmd; chaos_cmd;
-        hunt_cmd; analyze_cmd; lint_cmd; flow_cmd; check_cmd ]
+        hunt_cmd; analyze_cmd; lint_cmd; flow_cmd; check_cmd; contain_cmd ]
   in
   exit
     (match Cmd.eval_value group with

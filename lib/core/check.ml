@@ -12,9 +12,11 @@ module K = Lt_kernel.Kernel
 type t = {
   config : Lint_rules.config;
   fconfig : Flow.config;
+  cconfig : Contain.config;
   manifests : Manifest.t list;
-  ctx : Lint_rules.ctx;  (* flow_memo pre-seeded with [flow] *)
+  ctx : Lint_rules.ctx;  (* flow_memo and contain_memo pre-seeded *)
   flow : Flow.result;
+  contain : Contain.result;
   diags : Diagnostic.t list;
   (* flow caches *)
   taint : (string, Flow_lattice.t) Hashtbl.t;
@@ -25,6 +27,9 @@ type t = {
   hits_by : (string, Flow.taint_hit list) Hashtbl.t;(* per source, sorted *)
   (* lint cache: rule id -> seed name -> its (nonempty) findings *)
   lint_cache : (string, (string, Diagnostic.t list) Hashtbl.t) Hashtbl.t;
+  (* contain cache: per-root radius, exactly the dirty-root slice is
+     recomputed per delta *)
+  radii : (string, Contain.radius) Hashtbl.t;
   (* kernel substate; tasks and endpoints persist across Remove (the
      kernel has no destroy) but a removed component's capabilities are
      all revoked, so dead tasks hold no authority *)
@@ -40,6 +45,14 @@ type t = {
 let manifests t = t.manifests
 let diagnostics t = t.diags
 let flow_result t = t.flow
+let contain_result t = t.contain
+
+(* the manifest fields the containment analysis reads besides the
+   channel list (channel/vetting changes surface as propagation-edge
+   diffs instead) *)
+let contain_inputs m =
+  (m.Manifest.restart, m.Manifest.domain, m.Manifest.substrate,
+   m.Manifest.stateful)
 
 (* --- small set/graph helpers ------------------------------------------------ *)
 
@@ -234,9 +247,25 @@ let create ?(config = Lint_rules.default_config) ?dram_pages manifests =
       Hashtbl.replace hits_by src (hits_for holders src pf))
     sources;
   let flow = assemble_flow ~taint ~secrecy ~leaks_by ~hits_by ~edges nodes in
-  (* lint, seeding the ctx with our flow so the flow-backed rules share it *)
+  (* contain: batch radii, then keep only dirty roots fresh per delta *)
+  let cconfig = Lint_rules.contain_config config in
+  let cedges = Contain.prop_edges cconfig manifests in
+  let cgraph = Contain.graph cconfig manifests cedges in
+  let radii = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      Hashtbl.replace radii m.Manifest.name
+        (Contain.radius_of cgraph m.Manifest.name))
+    manifests;
+  let contain =
+    Contain.assemble cconfig manifests cedges
+      (Hashtbl.fold (fun _ r acc -> r :: acc) radii [])
+  in
+  (* lint, seeding the ctx with our flow and contain results so the
+     solver-backed rules share them *)
   let ctx = Lint_rules.make_ctx manifests in
   ctx.Lint_rules.flow_memo := [ (fconfig, flow) ];
+  ctx.Lint_rules.contain_memo := [ (cconfig, contain) ];
   let lint_cache = Hashtbl.create 32 in
   List.iter
     (fun (r : Lint_rules.rule) ->
@@ -280,9 +309,9 @@ let create ?(config = Lint_rules.default_config) ?dram_pages manifests =
              ~rights:{ K.send = true; recv = false }
              ~badge:(Hashtbl.find badge caller)))
     (Flow.declared_pairs manifests);
-  { config; fconfig; manifests; ctx; flow; diags; taint; secrecy;
-    secret_paths; taint_paths; leaks_by; hits_by; lint_cache; kernel; tasks;
-    eps; badge; recv_slot; send_slot; next_badge = ref (n + 1) }
+  { config; fconfig; cconfig; manifests; ctx; flow; contain; diags; taint;
+    secrecy; secret_paths; taint_paths; leaks_by; hits_by; lint_cache; radii;
+    kernel; tasks; eps; badge; recv_slot; send_slot; next_badge = ref (n + 1) }
 
 (* --- conformance -------------------------------------------------------------- *)
 
@@ -619,8 +648,42 @@ let apply d t =
         ~hits_by:t.hits_by ~edges nodes
     in
     ctx.Lint_rules.flow_memo := [ (fconfig, flow) ];
-    (* --- lint: per-scope dirty seeds ---------------------------------------- *)
     let changed_list = Hashtbl.fold (fun n () acc -> n :: acc) changed [] in
+    (* --- contain: re-derive only the dirty roots ----------------------------- *)
+    let old_cedges = t.contain.Contain.edges in
+    let cedges = Contain.prop_edges t.cconfig new_manifests in
+    let ctouched =
+      List.filter
+        (fun n ->
+          match (old_find n, find n) with
+          | Some a, Some b -> contain_inputs a <> contain_inputs b
+          | _ -> true (* added or removed *))
+        changed_list
+    in
+    let cdirty =
+      Contain.dirty_roots ~old_edges:old_cedges ~new_edges:cedges
+        ~touched:ctouched
+    in
+    let cgraph = Contain.graph t.cconfig new_manifests cedges in
+    List.iter (fun n -> Hashtbl.remove t.radii n) removed;
+    let radius_changed = ref [] in
+    List.iter
+      (fun n ->
+        match find n with
+        | None -> Hashtbl.remove t.radii n
+        | Some _ ->
+          let r = Contain.radius_of cgraph n in
+          (match Hashtbl.find_opt t.radii n with
+           | Some old when old = r -> ()
+           | _ -> radius_changed := n :: !radius_changed);
+          Hashtbl.replace t.radii n r)
+      cdirty;
+    let contain =
+      Contain.assemble t.cconfig new_manifests cedges
+        (Hashtbl.fold (fun _ r acc -> r :: acc) t.radii [])
+    in
+    ctx.Lint_rules.contain_memo := [ (t.cconfig, contain) ];
+    (* --- lint: per-scope dirty seeds ---------------------------------------- *)
     let in_callers_of n =
       List.map
         (fun (caller, _, _) -> caller.Manifest.name)
@@ -747,6 +810,35 @@ let apply d t =
       @ Hashtbl.fold (fun h () acc -> h :: acc) leaks_changed []
       @ witness_sinks_touching t.leaks_by (fun l -> l.Flow.l_sink)
     in
+    (* L020/L021 read only the seed's own radius (plus, for L021, the
+       fleet size); L022 reads the storm edges at the seed *)
+    let contain_dirty =
+      if List.length old_manifests <> List.length new_manifests then nodes
+      else changed_list @ !radius_changed
+    in
+    let l022_dirty =
+      let storms es =
+        List.filter (fun e -> e.Contain.p_kind = Contain.Restart_storm) es
+      in
+      let acc = ref changed_list in
+      let note (e : Contain.edge) =
+        acc := e.Contain.p_src :: e.Contain.p_dst :: !acc
+      in
+      (* both lists sorted: linear symmetric difference *)
+      let rec sdiff olds news =
+        match (olds, news) with
+        | [], [] -> ()
+        | o :: os, [] -> note o; sdiff os []
+        | [], n :: ns -> note n; sdiff [] ns
+        | o :: os, n :: ns ->
+          let c = Stdlib.compare o n in
+          if c = 0 then sdiff os ns
+          else if c < 0 then begin note o; sdiff os news end
+          else begin note n; sdiff olds ns end
+      in
+      sdiff (storms old_cedges) (storms cedges);
+      !acc
+    in
     let l015_dirty =
       let base =
         changed_list @ Hashtbl.fold (fun n () acc -> n :: acc) label_changed []
@@ -770,6 +862,9 @@ let apply d t =
              | "L007-legacy-tcb" -> l007_dirty
              | "L009-channel-cycle" -> l009_dirty
              | "L015-dead-declassifier" -> l015_dirty
+             | "L020-unbounded-blast-radius" | "L021-single-point-of-failure" ->
+               contain_dirty
+             | "L022-restart-storm-cycle" -> l022_dirty
              | _ -> nodes (* unknown graph rule: re-run everything *))
         in
         let tbl = Hashtbl.find t.lint_cache r.Lint_rules.id in
@@ -793,7 +888,7 @@ let apply d t =
         | Some _, Some m -> kernel_update t find m
         | None, None -> ())
       changed;
-    let t' = { t with manifests = new_manifests; ctx; flow; diags } in
+    let t' = { t with manifests = new_manifests; ctx; flow; contain; diags } in
     (t', diags)
   end
 
@@ -802,6 +897,7 @@ let apply d t =
 let divergence t =
   let batch_diags = Lint.run ~config:t.config t.manifests in
   let batch_flow = Flow.analyze ~config:t.fconfig t.manifests in
+  let batch_contain = Contain.analyze ~config:t.cconfig t.manifests in
   if t.diags <> batch_diags then
     Some "diagnostics diverge from a from-scratch Lint.run"
   else if
@@ -814,6 +910,12 @@ let divergence t =
     Flow.render_text ~file:"fleet" t.flow
     <> Flow.render_text ~file:"fleet" batch_flow
   then Some "flow rendering diverges from a from-scratch Flow.analyze"
+  else if t.contain <> batch_contain then
+    Some "contain result diverges from a from-scratch Contain.analyze"
+  else if
+    Contain.render_text ~file:"fleet" t.contain
+    <> Contain.render_text ~file:"fleet" batch_contain
+  then Some "contain rendering diverges from a from-scratch Contain.analyze"
   else if not (conformance_clean t) then
     Some "kernel capability state does not conform to the fleet"
   else None

@@ -48,6 +48,11 @@ val diagnostics : t -> Diagnostic.t list
 (** The current flow fixpoint — equal to [Flow.analyze (manifests t)]. *)
 val flow_result : t -> Flow.result
 
+(** The current containment analysis — equal to
+    [Contain.analyze (manifests t)]; only the dirty roots (components
+    whose radius the delta can reach) are re-solved per delta. *)
+val contain_result : t -> Contain.result
+
 (** [apply d t] advances the fleet by one delta and returns the new
     state plus its diagnostics. Linear: [t] must not be used again. *)
 val apply : Delta.t -> t -> t * Diagnostic.t list

@@ -102,18 +102,32 @@ let tokens line =
   |> String.split_on_char ' '
   |> List.filter (fun s -> s <> "")
 
-let parse_conn ~line str =
+type parse_error = { pe_line : int; pe_msg : string }
+
+let parse_conn str =
   match String.index_opt str '.' with
-  | None ->
-    Error (Printf.sprintf "line %d: expected TARGET.SERVICE, got %S" line str)
+  | None -> Error (Printf.sprintf "expected TARGET.SERVICE, got %S" str)
   | Some i ->
     let target = String.sub str 0 i in
     let service = String.sub str (i + 1) (String.length str - i - 1) in
     if target = "" || service = "" then
-      Error (Printf.sprintf "line %d: expected TARGET.SERVICE, got %S" line str)
+      Error (Printf.sprintf "expected TARGET.SERVICE, got %S" str)
     else Ok (target, service)
 
-let parse_script text =
+(* the manifest parser reports positions relative to the block it was
+   handed; rebase "line K: msg" onto the script's own numbering *)
+let rebase_block_error ~block_start e =
+  match String.index_opt e ':' with
+  | Some i when i > 5 && String.sub e 0 5 = "line " ->
+    (match int_of_string_opt (String.sub e 5 (i - 5)) with
+     | Some k ->
+       Some
+         { pe_line = block_start + k;
+           pe_msg = String.sub e (i + 2) (String.length e - i - 2) }
+     | None -> None)
+  | _ -> None
+
+let parse_script_located text =
   let lines = Array.of_list (String.split_on_char '\n' text) in
   let n = Array.length lines in
   let rec go i acc =
@@ -123,29 +137,25 @@ let parse_script text =
       | [] -> go (i + 1) acc
       | kw :: rest ->
         let lineno = i + 1 in
+        let err msg = Error { pe_line = lineno; pe_msg = msg } in
         let channel_op what k =
           match rest with
           | [ caller; ts ] ->
-            (match parse_conn ~line:lineno ts with
-             | Error e -> Error e
+            (match parse_conn ts with
+             | Error e -> err e
              | Ok (target, service) ->
                if target = caller then
-                 Error
-                   (Printf.sprintf "line %d: %s: %s connects to itself" lineno
-                      what caller)
+                 err (Printf.sprintf "%s: %s connects to itself" what caller)
                else k caller target service)
           | _ ->
-            Error
-              (Printf.sprintf "line %d: expected: %s CALLER TARGET.SERVICE"
-                 lineno what)
+            err (Printf.sprintf "expected: %s CALLER TARGET.SERVICE" what)
         in
         (match kw with
          | "add" | "update" ->
            if rest <> [] then
-             Error
+             err
                (Printf.sprintf
-                  "line %d: %s takes no arguments; the manifest block follows"
-                  lineno kw)
+                  "%s takes no arguments; the manifest block follows" kw)
            else begin
              (* the manifest block runs until the next delta keyword *)
              let j = ref (i + 1) in
@@ -163,18 +173,18 @@ let parse_script text =
              in
              match Manifest_file.parse block with
              | Error e ->
-               Error (Printf.sprintf "%s block at line %d: %s" kw lineno e)
-             | Ok [] ->
-               Error
-                 (Printf.sprintf "line %d: %s: expected a manifest block"
-                    lineno kw)
+               (match rebase_block_error ~block_start:(i + 1) e with
+                | Some pe -> Error pe
+                | None ->
+                  err (Printf.sprintf "%s block at line %d: %s" kw lineno e))
+             | Ok [] -> err (Printf.sprintf "%s: expected a manifest block" kw)
              | Ok ms ->
                go !j (List.rev_append (List.map (fun m -> Add m) ms) acc)
            end
          | "remove" ->
            (match rest with
             | [ name ] -> go (i + 1) (Remove name :: acc)
-            | _ -> Error (Printf.sprintf "line %d: expected: remove NAME" lineno))
+            | _ -> err "expected: remove NAME")
          | "connect" ->
            channel_op "connect" (fun caller target service ->
                go (i + 1)
@@ -201,19 +211,32 @@ let parse_script text =
                go (i + 1)
                  (Set_vetted { caller; target; service; vetted = false } :: acc))
          | _ ->
-           Error
+           err
              (Printf.sprintf
-                "line %d: unknown delta %S (expected add, update, remove, \
-                 connect, connect-vetted, disconnect, vet, unvet)"
-                lineno kw))
+                "unknown delta %S (expected add, update, remove, connect, \
+                 connect-vetted, disconnect, vet, unvet)"
+                kw))
     end
   in
   go 0 []
 
-let load_script path =
+let parse_script text =
+  match parse_script_located text with
+  | Ok ds -> Ok ds
+  | Error { pe_line; pe_msg } ->
+    Error (Printf.sprintf "line %d: %s" pe_line pe_msg)
+
+let load_script_located path =
   match In_channel.with_open_text path In_channel.input_all with
-  | exception Sys_error e -> Error e
-  | text -> parse_script text
+  | exception Sys_error e -> Error { pe_line = 0; pe_msg = e }
+  | text -> parse_script_located text
+
+let load_script path =
+  match load_script_located path with
+  | Ok ds -> Ok ds
+  | Error { pe_line = 0; pe_msg } -> Error pe_msg
+  | Error { pe_line; pe_msg } ->
+    Error (Printf.sprintf "line %d: %s" pe_line pe_msg)
 
 let to_text deltas =
   String.concat ""

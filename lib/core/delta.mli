@@ -57,9 +57,22 @@ val describe : t -> string
     runs until the next delta keyword. Self-connections are rejected at
     parse time, mirroring the manifest file parser. *)
 
-(** [parse_script text] returns deltas in file order, or an error
-    naming the offending line. Total: never raises. *)
+(** A parse failure with its position. [pe_line] is 1-based in the
+    script file — errors inside an [add]/[update] manifest block are
+    rebased onto the script's own numbering, not the block's. The one
+    line-less case is an I/O failure from {!load_script_located}, which
+    carries [pe_line = 0]. *)
+type parse_error = { pe_line : int; pe_msg : string }
+
+(** [parse_script_located text] returns deltas in file order, or the
+    first error with its line. Total: never raises. *)
+val parse_script_located : string -> (t list, parse_error) result
+
+(** {!parse_script_located} with the error flattened to
+    ["line %d: msg"] — for callers that only want a string. *)
 val parse_script : string -> (t list, string) result
+
+val load_script_located : string -> (t list, parse_error) result
 
 val load_script : string -> (t list, string) result
 

@@ -37,6 +37,7 @@ type ctx = {
   domain_dedup : (string, string list) Hashtbl.t;
   app : App.t;
   flow_memo : (Flow.config * Flow.result) list ref;
+  contain_memo : (Contain.config * Contain.result) list ref;
   cycles_memo : Diagnostic.t list option ref;
 }
 
@@ -79,7 +80,7 @@ let make_ctx manifests =
     (fun _ ms -> Some (List.sort compare ms))
     domain_dedup;
   { manifests; index; counts; inbound; domain_all; domain_dedup; app;
-    flow_memo = ref []; cycles_memo = ref None }
+    flow_memo = ref []; contain_memo = ref []; cycles_memo = ref None }
 
 type rule = {
   id : string;
@@ -90,37 +91,19 @@ type rule = {
   check : config -> ctx -> Manifest.t -> Diagnostic.t list;
 }
 
-(* --- substrate knowledge --------------------------------------------------- *)
+(* --- substrate knowledge ---------------------------------------------------
+   The taxonomy lives in {!Contain} (the lowest layer that needs it);
+   re-exported here because the rule catalogue is where users look. *)
 
-(* name, sealed identity (can attest / hold sealed secrets), notional TCB loc *)
-let known_substrates =
-  [ ("microkernel", false, 12_000);
-    ("monolithic-os", false, 30_000);
-    ("sgx", true, 25_000);
-    ("trustzone", true, 19_000);
-    ("sep", true, 13_000);
-    ("flicker", true, 8_000);
-    ("m3-noc", true, 8_000);
-    ("cheri", false, 5_500) ]
+let known_substrates = Contain.known_substrates
 
-let substrate_known s = List.exists (fun (n, _, _) -> n = s) known_substrates
+let substrate_known = Contain.substrate_known
 
-(* substrates whose components die when the host side does: the enclave
-   host process (sgx), an OS-scheduled task (microkernel,
-   monolithic-os), or an in-address-space compartment (cheri). The
-   dedicated-hardware substrates (sep, trustzone, flicker, m3-noc) run
-   to completion per session and are excluded. *)
-let crashable_substrates = [ "sgx"; "microkernel"; "monolithic-os"; "cheri" ]
+let substrate_crashable = Contain.substrate_crashable
 
-let substrate_crashable s = List.mem s crashable_substrates
+let substrate_sealed_identity = Contain.substrate_sealed_identity
 
-let substrate_sealed_identity s =
-  List.exists (fun (n, sealed, _) -> n = s && sealed) known_substrates
-
-let default_tcb_of_substrate s =
-  match List.find_opt (fun (n, _, _) -> n = s) known_substrates with
-  | Some (_, _, loc) -> loc
-  | None -> 12_000
+let default_tcb_of_substrate = Contain.default_tcb_of_substrate
 
 (* --- helpers --------------------------------------------------------------- *)
 
@@ -169,6 +152,18 @@ let flow_of_ctx cfg ctx =
   | None ->
     let r = Flow.analyze ~config:fc ctx.manifests in
     ctx.flow_memo := (fc, r) :: !(ctx.flow_memo);
+    r
+
+(* likewise the one Contain.analyze the containment rules share *)
+let contain_config (_cfg : config) = Contain.default_config
+
+let contain_of_ctx cfg ctx =
+  let cc = contain_config cfg in
+  match List.assoc_opt cc !(ctx.contain_memo) with
+  | Some r -> r
+  | None ->
+    let r = Contain.analyze ~config:cc ctx.manifests in
+    ctx.contain_memo := (cc, r) :: !(ctx.contain_memo);
     r
 
 let taint_why m =
@@ -661,6 +656,132 @@ let rec l019 =
               "declare one: restart on-failure 3 256 (or restart never to accept the loss)" ]
         else []) }
 
+(* --- containment rules (L020-L023) -----------------------------------------
+   All four read the shared Contain.analyze result (or, for L023, the
+   same manifest facts its state-loss edges are derived from); the
+   model is documented in docs/CONTAIN.md. *)
+
+let rec l020 =
+  { id = "L020-unbounded-blast-radius";
+    severity = Diagnostic.Warning;
+    summary =
+      "an unrecoverable crash degrades components outside its own protection domain";
+    paper_ref = "\xc2\xa7III";
+    scope = Graph;
+    check =
+      (fun cfg ctx m ->
+        let r = contain_of_ctx cfg ctx in
+        match
+          List.find_opt
+            (fun (rad : Contain.radius) -> rad.Contain.r_root = m.Manifest.name)
+            r.Contain.radii
+        with
+        | Some { Contain.r_escape = Some x; _ } ->
+          [ diag ~rule:l020 ~component:m.Manifest.name
+              (Printf.sprintf
+                 "a crash never heals (no effective restart policy) and leaves %d component(s) outside its domain degraded forever, worst %s (%s): %s"
+                 x.Contain.x_outside x.Contain.x_victim
+                 (Contain.impact_to_string x.Contain.x_impact)
+                 (String.concat " -> " x.Contain.x_path))
+              "declare restart on-failure (with a budget), or decouple the outside dependents" ]
+        | _ -> []) }
+
+let rec l021 =
+  { id = "L021-single-point-of-failure";
+    severity = Diagnostic.Warning;
+    summary =
+      "a single crash impacts a large fraction of the fleet";
+    paper_ref = "\xc2\xa7III";
+    scope = Graph;
+    check =
+      (fun cfg ctx m ->
+        let r = contain_of_ctx cfg ctx in
+        let n = List.length r.Contain.radii in
+        let threshold =
+          max 3
+            (int_of_float
+               (ceil ((contain_config cfg).Contain.spof_fraction
+                      *. float_of_int (n - 1))))
+        in
+        match
+          List.find_opt
+            (fun (rad : Contain.radius) -> rad.Contain.r_root = m.Manifest.name)
+            r.Contain.radii
+        with
+        | Some rad ->
+          let victims = List.length rad.Contain.r_hit - 1 in
+          if victims >= threshold then
+            [ diag ~rule:l021 ~component:m.Manifest.name
+                (Printf.sprintf
+                   "single point of failure: a crash impacts %d of %d other components (threshold %d)"
+                   victims (n - 1) threshold)
+                "split the service, replicate it, or cut dependents over to vetted bounded channels" ]
+          else []
+        | None -> []) }
+
+let rec l022 =
+  { id = "L022-restart-storm-cycle";
+    severity = Diagnostic.Error;
+    summary =
+      "auto-restarting components form a channel cycle inside one protection domain";
+    paper_ref = "\xc2\xa7III";
+    scope = Graph;
+    check =
+      (fun cfg ctx m ->
+        let r = contain_of_ctx cfg ctx in
+        let peers =
+          List.filter_map
+            (fun (e : Contain.edge) ->
+              if e.Contain.p_kind = Contain.Restart_storm
+                 && e.Contain.p_src = m.Manifest.name
+              then Some e.Contain.p_dst
+              else None)
+            r.Contain.edges
+        in
+        match peers with
+        | [] -> []
+        | _ when List.exists (fun p -> p < m.Manifest.name) peers ->
+          [] (* anchored once, at the smallest member *)
+        | _ ->
+          let members =
+            List.sort String.compare (m.Manifest.name :: peers)
+          in
+          [ diag ~rule:l022 ~component:m.Manifest.name
+              (Printf.sprintf
+                 "restart storm: %s call each other in a cycle inside domain %S and all auto-restart; one crash re-kills the others until every budget gives up"
+                 (String.concat ", " members)
+                 m.Manifest.domain)
+              "break the cycle, split the domain, or set restart never on one member" ]) }
+
+let rec l023 =
+  { id = "L023-stateful-dependency-unshielded";
+    severity = Diagnostic.Warning;
+    summary =
+      "an unvetted dependency on a stateful component whose state a crash destroys";
+    paper_ref = "\xc2\xa7III-D";
+    scope = Neighborhood;
+    check =
+      (fun _cfg ctx m ->
+        List.filter_map
+          (fun c ->
+            if c.Manifest.vetted || c.Manifest.target = m.Manifest.name then None
+            else
+              match find ctx c.Manifest.target with
+              | Some t
+                when t.Manifest.stateful
+                     && substrate_crashable t.Manifest.substrate
+                     && (not (substrate_sealed_identity t.Manifest.substrate))
+                     && Contain.crash_impact t = Contain.Failed ->
+                Some
+                  (diag ~rule:l023 ~component:m.Manifest.name
+                     ~service:c.Manifest.service
+                     (Printf.sprintf
+                        "depends unvetted on stateful %S (substrate %S, no effective restart); a crash destroys the state and the loss lands here unshielded"
+                        t.Manifest.name t.Manifest.substrate)
+                     "vet the channel (a validating VPFS-style wrapper) or move the state to a sealed-identity substrate")
+              | _ -> None)
+          m.Manifest.connects_to) }
+
 let all =
   [ l001; l002; l003; l004; l005; l006; l007; l008; l009; l010; l011; l012;
-    l013; l014; l015; l016; l019 ]
+    l013; l014; l015; l016; l019; l020; l021; l022; l023 ]

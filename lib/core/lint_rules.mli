@@ -67,6 +67,7 @@ type ctx = {
   domain_dedup : (string, string list) Hashtbl.t;
   app : App.t;
   flow_memo : (Flow.config * Flow.result) list ref;
+  contain_memo : (Contain.config * Contain.result) list ref;
   cycles_memo : Diagnostic.t list option ref;
 }
 
@@ -81,6 +82,15 @@ val inbound : ctx -> string -> (Manifest.t * Manifest.connection * bool) list
 
 (** The memoized {!Flow.analyze} over [ctx.manifests] for this config. *)
 val flow_of_ctx : config -> ctx -> Flow.result
+
+(** The {!Contain.config} the containment rules run under (currently
+    always {!Contain.default_config}). *)
+val contain_config : config -> Contain.config
+
+(** The memoized {!Contain.analyze} over [ctx.manifests] — shared by
+    L020/L021/L022; {!Check} pre-seeds the memo with its incrementally
+    maintained result. *)
+val contain_of_ctx : config -> ctx -> Contain.result
 
 type rule = {
   id : string;           (** stable, e.g. ["L005-confused-deputy"] *)

@@ -1,0 +1,21 @@
+(** Containment-soundness engine: fuzzes the static blast-radius
+    analysis ({!Lateral.Contain}) and its chaos-harness gate.
+
+    Payloads have two line-based sections. A {e plan} (scenario, seed,
+    request count, kill/flap/kill-pct schedule) drives a real
+    {!Lt_resil.Chaos} run whose observed per-component impacts must lie
+    inside the static radii of the components actually killed — the
+    soundness inclusion the qcheck property in [test_resil] asserts on
+    fixed scenarios, here re-checked under generated schedules. A
+    {e manifest block} (from the first [component] line on) feeds the
+    analysis directly: totality, determinism, every root inside its own
+    radius, and supervised radii contained in unsupervised ones.
+
+    Unparseable payloads fail with a ["bad payload:"] prefix so the
+    shrinker never minimizes a real violation into a parse error. *)
+
+val name : string
+
+val generate : Lt_crypto.Drbg.t -> int -> string
+
+val check : string -> (unit, string) result

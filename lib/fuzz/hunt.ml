@@ -1,23 +1,25 @@
 module Drbg = Lt_crypto.Drbg
 
-type engine = Manifest | Substrate | Storage | Analysis
+type engine = Manifest | Substrate | Storage | Analysis | Contain
 
-(* Analysis rides at the end: the master stream is split once per
+(* New engines ride at the end: the master stream is split once per
    engine in this order, so appending an engine leaves the existing
    engines' streams (and the committed corpus) untouched *)
-let all_engines = [ Manifest; Substrate; Storage; Analysis ]
+let all_engines = [ Manifest; Substrate; Storage; Analysis; Contain ]
 
 let engine_name = function
   | Manifest -> Manifest_fuzz.name
   | Substrate -> Substrate_fuzz.name
   | Storage -> Storage_fuzz.name
   | Analysis -> Analysis_fuzz.name
+  | Contain -> Contain_fuzz.name
 
 let engine_of_name = function
   | "manifest" -> Some Manifest
   | "substrate" -> Some Substrate
   | "storage" -> Some Storage
   | "analysis" -> Some Analysis
+  | "contain" -> Some Contain
   | _ -> None
 
 let engine_generate = function
@@ -25,12 +27,14 @@ let engine_generate = function
   | Substrate -> Substrate_fuzz.generate
   | Storage -> Storage_fuzz.generate
   | Analysis -> Analysis_fuzz.generate
+  | Contain -> Contain_fuzz.generate
 
 let engine_check = function
   | Manifest -> Manifest_fuzz.check
   | Substrate -> Substrate_fuzz.check
   | Storage -> Storage_fuzz.check
   | Analysis -> Analysis_fuzz.check
+  | Contain -> Contain_fuzz.check
 
 type failure = {
   f_case : int;

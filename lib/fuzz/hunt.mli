@@ -1,12 +1,13 @@
 (** The hunt driver: seeded, deterministic differential fuzzing.
 
-    Runs the four engines ({!Manifest_fuzz}, {!Substrate_fuzz},
-    {!Storage_fuzz}, {!Analysis_fuzz}), shrinks every failure to a
+    Runs the five engines ({!Manifest_fuzz}, {!Substrate_fuzz},
+    {!Storage_fuzz}, {!Analysis_fuzz}, {!Contain_fuzz}), shrinks every
+    failure to a
     minimal reproducer with {!Shrink}, and renders a report. All
     randomness derives from the seed: equal seeds give byte-identical
     reports, whatever subset of engines runs. *)
 
-type engine = Manifest | Substrate | Storage | Analysis
+type engine = Manifest | Substrate | Storage | Analysis | Contain
 
 val all_engines : engine list
 

@@ -30,6 +30,7 @@ type report = {
   c_secret_leak : bool;
   c_restarts : (string * int) list;
   c_given_up : string list;
+  c_observed : (string * string) list;
   c_router_violations : int;
   c_counters : (string * int) list;
   c_span_ticks : int;
@@ -117,6 +118,9 @@ let run ?(plan = no_chaos) ?(supervisor = Supervisor.default_config)
            | None -> [ target ]
          in
          let ok = ref 0 and excused = ref 0 and unexcused = ref 0 in
+         (* components whose requests failed because their slice was dead
+            or breaker-shed — the dynamic "degraded" observations *)
+         let degraded = Hashtbl.create 16 in
          let violation_detail = ref [] in
          let kills = ref [] and flap_kills = ref 0 in
          let backend_cuts = ref 0 and recovered = ref 0 and clean = ref 0 in
@@ -216,6 +220,8 @@ let run ?(plan = no_chaos) ?(supervisor = Supervisor.default_config)
                      (not (Deploy.is_alive d c)) || List.mem c given_up)
                    route_deps
                in
+               if down_before || down_now || breaker_open then
+                 Hashtbl.replace degraded target ();
                if !injected || down_before || down_now || breaker_open then begin
                  incr excused;
                  Metrics.incr "chaos/failed_excused"
@@ -265,6 +271,29 @@ let run ?(plan = no_chaos) ?(supervisor = Supervisor.default_config)
                | n -> Some (c, n))
              comps
          in
+         (* the dynamic blast radius: the worst impact each component was
+            observed to suffer, comparable against Contain.analyze radii *)
+         let given_up = Supervisor.given_up sup in
+         let observed =
+           List.sort compare
+             (List.filter_map
+                (fun c ->
+                  if List.mem c given_up then Some (c, "failed")
+                  else if not (Deploy.is_alive d c) then
+                    (* dead at end of run: permanently failed only when
+                       supervision cannot bring it back — under a live
+                       restart policy the respawn is merely pending *)
+                    (match Deploy.manifest d c with
+                     | Some m when Contain.crash_impact m = Contain.Restarted
+                       ->
+                       Some (c, "restarted")
+                     | _ -> Some (c, "failed"))
+                  else if Supervisor.restarts_of sup c > 0 then
+                    Some (c, "restarted")
+                  else if Hashtbl.mem degraded c then Some (c, "degraded")
+                  else None)
+                comps)
+         in
          Ok
            ( { c_scenario = Load.scenario_name scenario;
                c_requests = requests;
@@ -281,7 +310,8 @@ let run ?(plan = no_chaos) ?(supervisor = Supervisor.default_config)
                c_oracle = !oracle;
                c_secret_leak = secret_leak;
                c_restarts = restarts;
-               c_given_up = Supervisor.given_up sup;
+               c_given_up = given_up;
+               c_observed = observed;
                c_router_violations = List.length (Deploy.violations d);
                c_counters = Metrics.counters metrics;
                c_span_ticks = Trace.now tracer },
@@ -320,6 +350,14 @@ let render_report_text r =
             (List.map (fun (c, n) -> Printf.sprintf "%s %d" c n) r.c_restarts))
        (if r.c_given_up = [] then "-" else String.concat ", " r.c_given_up));
   Buffer.add_string buf
+    (Printf.sprintf "  observed radius: %s\n"
+       (if r.c_observed = [] then "-"
+        else
+          String.concat ", "
+            (List.map
+               (fun (c, im) -> Printf.sprintf "%s %s" c im)
+               r.c_observed)));
+  Buffer.add_string buf
     (Printf.sprintf "  router violations: %d; ticks: %d\n" r.c_router_violations
        r.c_span_ticks);
   List.iter
@@ -341,7 +379,7 @@ let render_report_json r =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
     (Printf.sprintf
-       "{\"scenario\":\"%s\",\"requests\":%d,\"seed\":%d,\"ok\":%d,\"failed_excused\":%d,\"failed_unexcused\":%d,\"kills\":[%s],\"flap_kills\":%d,\"backend_cuts\":%d,\"recovered\":%d,\"clean\":%d,\"oracle\":\"%s\",\"secret_leak\":%b,\"restarts\":{%s},\"given_up\":[%s],\"router_violations\":%d,\"span_ticks\":%d,\"violations\":[%s],\"contained\":%b,\"counters\":{"
+       "{\"scenario\":\"%s\",\"requests\":%d,\"seed\":%d,\"ok\":%d,\"failed_excused\":%d,\"failed_unexcused\":%d,\"kills\":[%s],\"flap_kills\":%d,\"backend_cuts\":%d,\"recovered\":%d,\"clean\":%d,\"oracle\":\"%s\",\"secret_leak\":%b,\"restarts\":{%s},\"given_up\":[%s],\"observed\":{%s},\"router_violations\":%d,\"span_ticks\":%d,\"violations\":[%s],\"contained\":%b,\"counters\":{"
        (esc r.c_scenario) r.c_requests r.c_seed r.c_ok r.c_failed_excused
        r.c_failed_unexcused
        (String.concat ","
@@ -356,6 +394,10 @@ let render_report_json r =
              r.c_restarts))
        (String.concat ","
           (List.map (fun c -> "\"" ^ esc c ^ "\"") r.c_given_up))
+       (String.concat ","
+          (List.map
+             (fun (c, im) -> Printf.sprintf "\"%s\":\"%s\"" (esc c) (esc im))
+             r.c_observed))
        r.c_router_violations r.c_span_ticks
        (String.concat ","
           (List.map

@@ -60,6 +60,13 @@ type report = {
   c_secret_leak : bool;
   c_restarts : (string * int) list;  (** per component, components with > 0 *)
   c_given_up : string list;
+  c_observed : (string * string) list;
+      (** the dynamic blast radius: worst impact each component was
+          observed to suffer (["degraded"] — its requests failed on a
+          dead or breaker-shed slice, ["restarted"], ["failed"] — dead
+          or given up at end of run), sorted by name. The soundness
+          property holds this inside the {!Lateral.Contain} static
+          prediction for the killed components. *)
   c_router_violations : int;
   c_counters : (string * int) list;
   c_span_ticks : int;

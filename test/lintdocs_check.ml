@@ -2,8 +2,10 @@
    rule in [Lint.catalogue ()] must appear in the doc table with the
    severity and scope the registry declares, and every doc row must
    either name a registered rule or be marked scope "—" (the
-   conformance rules that live outside [Lint_rules.all]). Run by
-   `dune build @lintdocs`, which @runtest depends on, so the table can
+   conformance rules that live outside [Lint_rules.all]). A second
+   file argument (docs/CONTAIN.md) has its propagation-edge table
+   diffed verbatim against [Contain.edge_kinds]. Run by
+   `dune build @lintdocs`, which @runtest depends on, so the tables can
    never silently rot. Exit 1 with one line per discrepancy. *)
 
 open Lateral
@@ -39,10 +41,56 @@ let read_rows path =
    with End_of_file -> close_in ic);
   List.rev !rows
 
+(* edge-table rows in CONTAIN.md: | `kind-name` | description | *)
+let parse_edge_row line =
+  match String.split_on_char '|' line with
+  | [ ""; kind; desc; "" ] ->
+    let kind = strip_ticks kind in
+    if String.length kind > 0 && kind.[0] >= 'a' && kind.[0] <= 'z'
+       && String.contains kind '-'
+    then Some (kind, trim desc)
+    else None
+  | _ -> None
+
+let read_edge_rows path =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       match parse_edge_row (input_line ic) with
+       | Some row -> rows := row :: !rows
+       | None -> ()
+     done
+   with End_of_file -> close_in ic);
+  List.rev !rows
+
+let check_edge_table note path =
+  (* [note] is monomorphic (string -> unit): format in place *)
+  let problem fmt = Printf.ksprintf note fmt in
+  let rows = read_edge_rows path in
+  List.iter
+    (fun (kind, registry_desc) ->
+      match List.assoc_opt kind rows with
+      | None -> problem "%s: in Contain.edge_kinds but missing from %s" kind path
+      | Some doc_desc ->
+        if doc_desc <> registry_desc then
+          problem "%s: description drifted in %s (registry: %S, doc: %S)" kind
+            path registry_desc doc_desc)
+    Contain.edge_kinds;
+  List.iter
+    (fun (kind, _) ->
+      if not (List.mem_assoc kind Contain.edge_kinds) then
+        problem "%s: documented in %s but not in Contain.edge_kinds" kind path;
+      if List.length (List.filter (fun (k, _) -> k = kind) rows) > 1 then
+        problem "%s: duplicate edge row in %s" kind path)
+    rows;
+  List.length rows
+
 let () =
   let path =
     if Array.length Sys.argv > 1 then Sys.argv.(1) else "../docs/LINT_RULES.md"
   in
+  let contain_path = if Array.length Sys.argv > 2 then Some Sys.argv.(2) else None in
   let rows = read_rows path in
   let problems = ref [] in
   let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
@@ -86,10 +134,18 @@ let () =
           "%s: documented with scope %S but not in Lint.catalogue (conformance \
            rules use scope —)" id scope)
     rows;
+  let edge_rows =
+    match contain_path with
+    | None -> 0
+    | Some p -> check_edge_table (fun s -> problems := s :: !problems) p
+  in
   match List.rev !problems with
   | [] ->
-    Printf.printf "lintdocs: %d rules in sync with %s\n"
-      (List.length (Lint.catalogue ())) path
+    Printf.printf "lintdocs: %d rules in sync with %s" (List.length (Lint.catalogue ())) path;
+    (match contain_path with
+     | Some p -> Printf.printf ", %d edge kinds in sync with %s" edge_rows p
+     | None -> ());
+    print_newline ()
   | ps ->
     List.iter (fun p -> Printf.eprintf "lintdocs: %s\n" p) ps;
     exit 1

@@ -111,7 +111,24 @@ let test_script_errors () =
   expect_error "\nconnect a a.s" "line 2";
   expect_error "add\n" "expected a manifest block";
   expect_error "add extra" "no arguments";
-  expect_error "add\ncomponent a\n  bogus-field x" "block at line 1"
+  (* block-inner errors are rebased onto the script's own line numbers:
+     the bogus directive sits on script line 3, not block line 2 *)
+  expect_error "add\ncomponent a\n  bogus-field x" "line 3"
+
+let test_script_errors_located () =
+  let line text =
+    match Delta.parse_script_located text with
+    | Ok _ -> Alcotest.fail "parsed, expected a located error"
+    | Error e -> e.Delta.pe_line
+  in
+  Alcotest.(check int) "keyword line" 1 (line "frobnicate x");
+  Alcotest.(check int) "later line" 3 (line "remove a\n\nconnect a b");
+  Alcotest.(check int) "block-inner rebased" 3
+    (line "add\ncomponent a\n  bogus-field x");
+  Alcotest.(check int) "missing file is line-less" 0
+    (match Delta.load_script_located "no-such-delta-script" with
+     | Ok _ -> Alcotest.fail "loaded a missing file"
+     | Error e -> e.Delta.pe_line)
 
 (* --- the incremental engine ------------------------------------------------ *)
 
@@ -331,6 +348,8 @@ let suite =
     Alcotest.test_case "delta script round-trips" `Quick test_script_roundtrip;
     Alcotest.test_case "delta script rejects garbage with line numbers" `Quick
       test_script_errors;
+    Alcotest.test_case "delta script errors carry locations" `Quick
+      test_script_errors_located;
     Alcotest.test_case "create matches the batch analysis" `Quick
       test_create_matches_batch;
     Alcotest.test_case "every delta kind preserves equivalence" `Quick

@@ -1,0 +1,93 @@
+(* The documented exit-code convention, one case per subcommand:
+   0 = success, 1 = findings or failed checks, 2 = usage or parse
+   errors (and check --verify divergence), 125 = internal errors.
+   Runs the real binary so the convention cannot drift from the docs. *)
+
+let exe = Filename.concat ".." (Filename.concat "bin" "lateral_cli.exe")
+
+let run args =
+  Sys.command (Printf.sprintf "%s %s >/dev/null 2>&1" exe args)
+
+let check_exit name expected args =
+  Alcotest.(check int) name expected (run args)
+
+let with_temp content f =
+  let path = Filename.temp_file "lateral_cli" ".tmp" in
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let clean = "../examples/clean.manifest"
+
+let broken = "../examples/broken.manifest"
+
+let storm_manifest =
+  {|component scheduler
+  domain control
+  restart on-failure 3 256
+  provides tick
+  connects worker.work
+
+component worker
+  domain control
+  restart always 2
+  provides work
+  connects scheduler.tick
+|}
+
+let test_demo_commands () =
+  check_exit "substrates succeeds" 0 "substrates";
+  check_exit "gateway succeeds" 0 "gateway";
+  check_exit "meter rejects a bad tamper mode" 2 "meter --tamper bogus"
+
+let test_run_chaos () =
+  check_exit "run rejects zero requests" 2 "run mail --requests 0";
+  check_exit "chaos rejects zero requests" 2 "chaos mail --requests 0"
+
+let test_hunt () =
+  check_exit "hunt rejects an unknown engine" 2
+    "hunt --budget 1 --engine bogus";
+  check_exit "hunt rejects a zero budget" 2 "hunt --budget 0"
+
+let test_analysis_commands () =
+  check_exit "lint wants at least one file" 2 "lint";
+  check_exit "flow wants at least one file" 2 "flow";
+  check_exit "contain wants at least one file" 2 "contain";
+  check_exit "lint is quiet on the clean fixture" 0 ("lint " ^ clean);
+  check_exit "lint flags the broken fixture" 1 ("lint " ^ broken);
+  with_temp "component a\n  bogus-field x\n" (fun bad ->
+      check_exit "analyze reports parse errors as usage" 2 ("analyze " ^ bad);
+      check_exit "contain reports parse errors as usage" 2 ("contain " ^ bad))
+
+let test_check_deltas () =
+  with_temp "connect a\n" (fun bad ->
+      check_exit "check rejects a malformed delta script" 2
+        (Printf.sprintf "check %s --deltas %s" clean bad))
+
+let test_contain_verdicts () =
+  check_exit "contain passes the clean fixture" 0 ("contain " ^ clean);
+  check_exit "contain rejects an unknown witness root" 2
+    (Printf.sprintf "contain %s --witness bogus" clean);
+  with_temp storm_manifest (fun storm ->
+      check_exit "contain fails a restart storm" 1 ("contain " ^ storm);
+      check_exit "a witness query itself succeeds" 0
+        (Printf.sprintf "contain %s --witness scheduler" storm))
+
+let test_usage_errors () =
+  check_exit "unknown subcommands are usage errors" 2 "frobnicate";
+  check_exit "unknown flags are usage errors" 2 "lint --bogus-flag"
+
+let suite =
+  [ Alcotest.test_case "scenario demos exit 0, bad modes 2" `Quick
+      test_demo_commands;
+    Alcotest.test_case "run/chaos validate their load" `Quick test_run_chaos;
+    Alcotest.test_case "hunt validates engine and budget" `Quick test_hunt;
+    Alcotest.test_case "lint/flow/analyze/contain usage" `Quick
+      test_analysis_commands;
+    Alcotest.test_case "check rejects bad delta scripts" `Quick
+      test_check_deltas;
+    Alcotest.test_case "contain verdict and witness codes" `Quick
+      test_contain_verdicts;
+    Alcotest.test_case "unknown commands and flags exit 2" `Quick
+      test_usage_errors ]

@@ -251,9 +251,11 @@ let test_broken_fixture () =
       "L012-vulnerable-cohabitant";
       "L013-oversized-component";
       "L014-label-leak";
-      "L019-restart-policy-missing" ]
+      "L019-restart-policy-missing";
+      "L020-unbounded-blast-radius";
+      "L023-stateful-dependency-unshielded" ]
     (rule_ids diags);
-  Alcotest.(check int) "diagnostic count" 18 (List.length diags);
+  Alcotest.(check int) "diagnostic count" 24 (List.length diags);
   Alcotest.(check bool) "gates CI" true (Lint.has_errors diags)
 
 let test_browser_fixture () =

@@ -30,4 +30,6 @@ let () =
       ("resil", Test_resil.suite);
       ("vpfs_crash", Test_vpfs_crash.suite);
       ("fuzz", Test_fuzz.suite);
-      ("check", Test_check.suite) ]
+      ("check", Test_check.suite);
+      ("contain", Test_contain.suite);
+      ("cli", Test_cli.suite) ]

@@ -297,6 +297,141 @@ let test_chaos_rejects_bad_plans () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "legacy_os power cut accepted outside mail"
 
+(* --- chaos observed radius vs the static Contain prediction --- *)
+
+(* the scenario fleets are fixed, so one Contain.analyze per scenario
+   serves every generated kill schedule *)
+let static_radii_memo = ref []
+
+let scenario_manifests scenario =
+  match Load.deploy_scenario (Drbg.create 1L) scenario with
+  | Error e -> Alcotest.fail e
+  | Ok dep ->
+    let d = dep.Load.d_deploy in
+    (List.filter_map (Deploy.manifest d) (Deploy.components d), dep)
+
+let static_radii scenario =
+  match List.assoc_opt (Load.scenario_name scenario) !static_radii_memo with
+  | Some r -> r
+  | None ->
+    let ms, _ = scenario_manifests scenario in
+    let r = Contain.analyze ms in
+    static_radii_memo :=
+      (Load.scenario_name scenario, r) :: !static_radii_memo;
+    r
+
+let killable = function
+  | Load.Mail ->
+    [ "ui"; "imap"; "smtp"; "tls"; "keystore"; "storage"; "legacyfs";
+      "renderer"; "composer"; "legacy_os" ]
+  | Load.Meter -> [ "collector"; "meter"; "utility"; "anonymizer" ]
+  | Load.Cloud -> [ "host"; "enclave" ]
+
+let chaos_case_gen =
+  QCheck.Gen.(
+    Load.all_scenarios |> oneofl >>= fun scenario ->
+    let comp = oneofl (killable scenario) in
+    tup5 (return scenario)
+      (tup2 (int_range 1 500) (int_range 5 40))
+      (list_size (int_range 0 3) comp)
+      (opt (oneofl (List.filter (fun c -> c <> "legacy_os") (killable scenario))))
+      (int_range 0 15))
+
+let print_chaos_case (scenario, (seed, requests), kills, flap, kill_pct) =
+  Printf.sprintf "%s seed=%d requests=%d kill=[%s] flap=%s kill-pct=%d"
+    (Load.scenario_name scenario) seed requests (String.concat "," kills)
+    (match flap with None -> "-" | Some f -> f)
+    kill_pct
+
+(* the soundness gate: no impact the harness observes may exceed what
+   the static analysis predicts for the components actually killed.
+   Mid-IPC faults stay off (they damage requests, not components), and
+   a component killed more than once may legitimately exhaust its
+   restart budget, so repeats license Failed. *)
+let prop_observed_inside_static =
+  QCheck.Test.make ~count:51 ~name:"chaos observed radius inside static radius"
+    (QCheck.make ~print:print_chaos_case chaos_case_gen)
+    (fun (scenario, (seed, requests), kills, flap, kill_pct) ->
+      let plan = { Chaos.kill = kills; kill_pct; flap; mid_ipc_pct = 0 } in
+      match Chaos.run ~plan ~scenario ~requests ~seed () with
+      | Error e -> QCheck.Test.fail_reportf "plan rejected: %s" e
+      | Ok (r, _) ->
+        let static = static_radii scenario in
+        let kill_count y =
+          List.length (List.filter (fun (_, n) -> n = y) r.Chaos.c_kills)
+          + (if r.Chaos.c_flap_kills > 0 && flap = Some y then
+               r.Chaos.c_flap_kills
+             else 0)
+        in
+        let killed =
+          List.sort_uniq compare
+            (List.filter
+               (fun n -> n <> "legacy_os")
+               (List.map snd r.Chaos.c_kills
+               @ (if r.Chaos.c_flap_kills > 0 then Option.to_list flap else [])))
+        in
+        let allowed y =
+          if kill_count y > 1 then 3
+          else
+            List.fold_left
+              (fun acc root ->
+                match
+                  List.find_opt
+                    (fun x -> x.Contain.r_root = root)
+                    static.Contain.radii
+                with
+                | None -> acc
+                | Some x ->
+                  (match List.assoc_opt y x.Contain.r_hit with
+                   | None -> acc
+                   | Some im -> max acc (Contain.rank im)))
+              0 killed
+        in
+        List.for_all
+          (fun (y, obs) ->
+            let rank =
+              match Contain.impact_of_string obs with
+              | Some i -> Contain.rank i
+              | None -> 99
+            in
+            rank <= allowed y
+            || QCheck.Test.fail_reportf
+                 "observed %s on %s, static allows rank %d (kills [%s])" obs y
+                 (allowed y) (String.concat ", " killed))
+          r.Chaos.c_observed)
+
+(* the static prediction reasons over manifest channels; the harness
+   accounts blast per route. The inclusion above is only meaningful if
+   every route's slice is reachable from its entry through channels *)
+let test_routes_follow_channels () =
+  List.iter
+    (fun scenario ->
+      let ms, dep = scenario_manifests scenario in
+      let succ name =
+        match List.find_opt (fun m -> m.Manifest.name = name) ms with
+        | None -> []
+        | Some m ->
+          List.map (fun c -> c.Manifest.target) m.Manifest.connects_to
+      in
+      let rec reach seen = function
+        | [] -> seen
+        | n :: rest ->
+          if List.mem n seen then reach seen rest
+          else reach (n :: seen) (succ n @ rest)
+      in
+      List.iter
+        (fun (target, service, deps) ->
+          let ok = reach [] [ target ] in
+          List.iter
+            (fun dep ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: route %s.%s dep %s follows channels"
+                   (Load.scenario_name scenario) target service dep)
+                true (List.mem dep ok))
+            deps)
+        dep.Load.d_routes)
+    Load.all_scenarios
+
 let suite =
   [ Alcotest.test_case "unknown target: typed error, breaker untouched" `Quick
       test_unknown_target_typed;
@@ -327,4 +462,7 @@ let suite =
     Alcotest.test_case "chaos: flapping component contained by breaker" `Quick
       test_chaos_flap_opens_breaker;
     Alcotest.test_case "chaos: malformed plans rejected" `Quick
-      test_chaos_rejects_bad_plans ]
+      test_chaos_rejects_bad_plans;
+    Alcotest.test_case "routes transit only channel descendants" `Quick
+      test_routes_follow_channels;
+    QCheck_alcotest.to_alcotest prop_observed_inside_static ]
