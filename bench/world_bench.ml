@@ -1,0 +1,161 @@
+(* Self-timed micro-benchmark of the lt_world snapshot machinery and
+   the deploy fast path. Three numbers, two of them gated:
+
+   - fork: World.fork on the booted mail world (the biggest one: seven
+     component slots over four substrates plus the storage harness).
+     Budget <= 100us median — forking must stay ~3 orders of magnitude
+     cheaper than the boot it replaces, or fork-per-case fuzzing loses
+     its point.
+   - restore: rewinding that world to its pristine fork after one
+     request of damage (the steady-state per-case cost of a fuzz or
+     chaos schedule). Reported, not gated: it is O(dirty) and the mix
+     decides dirtiness.
+   - call: an untraced Deploy.call_fast through a warm route to a leaf
+     behaviour. Budget < 1us median — this is the zero-allocation path
+     and anything near the slow pipeline means the guard regressed.
+
+   Self-gating: exits 1 when a budget is blown. Not attached to
+   @runtest; run with `dune exec bench/world_bench.exe`, record in
+   BENCH_snap.json. The clock is CPU time, so machine noise only ever
+   adds time — a pass under load is a pass. *)
+
+module Drbg = Lt_crypto.Drbg
+module World = Lt_world.World
+module Load = Lt_load.Load
+open Lateral
+
+let time f =
+  let t0 = Sys.time () in
+  f ();
+  Sys.time () -. t0
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let boot_mail () =
+  match Load.deploy_scenario (Drbg.create 0x5eedL) Load.Mail with
+  | Ok d -> d
+  | Error e ->
+    prerr_endline ("world_bench: mail failed to boot: " ^ e);
+    exit 2
+
+(* -- fork / restore ---------------------------------------------------- *)
+
+let forks_per_run = 200
+let runs = 9
+
+let bench_fork w =
+  let samples = ref [] in
+  for _ = 1 to runs do
+    let t =
+      time (fun () ->
+          for _ = 1 to forks_per_run do
+            ignore (Sys.opaque_identity (World.fork w))
+          done)
+    in
+    samples := (t *. 1e6 /. float_of_int forks_per_run) :: !samples
+  done;
+  median !samples
+
+let restores_per_run = 50
+
+let bench_restore (d : Load.deployed) =
+  let w = d.Load.d_world in
+  let pristine = World.fork w in
+  let rng = Drbg.create 0xfeedL in
+  let one_request i =
+    let target, service, payload = d.Load.d_mix rng i in
+    ignore (Deploy.call d.Load.d_deploy ~caller:None ~target ~service payload)
+  in
+  (* (request + restore) minus (request alone): the request dominates
+     both loops, the difference is the rewind *)
+  let samples = ref [] in
+  for _ = 1 to runs do
+    let t_mr =
+      time (fun () ->
+          for i = 1 to restores_per_run do
+            one_request i;
+            World.restore w pristine
+          done)
+    in
+    let t_m =
+      time (fun () ->
+          for i = 1 to restores_per_run do
+            one_request i
+          done)
+    in
+    World.restore w pristine;
+    samples :=
+      Float.max 0.0 ((t_mr -. t_m) *. 1e6 /. float_of_int restores_per_run)
+      :: !samples
+  done;
+  median !samples
+
+(* -- untraced fast call ------------------------------------------------- *)
+
+let calls_per_run = 200_000
+
+let bench_call () =
+  let m = Lt_hw.Machine.create ~dram_pages:256 () in
+  let mk, _ =
+    Substrate_kernel.make m (Lt_kernel.Sched.Round_robin { quantum = 500 }) ()
+  in
+  let t =
+    match
+      Deploy.deploy
+        ~substrates:[ ("microkernel", mk) ]
+        [ ( Manifest.v ~name:"echo" ~provides:[ "ping" ] ~network_facing:true
+              ~substrate:"microkernel" (),
+            fun _ ~service:_ _ -> "pong" ) ]
+    with
+    | Ok t -> t
+    | Error e ->
+      prerr_endline ("world_bench: echo deploy failed: " ^ e);
+      exit 2
+  in
+  let route =
+    match Deploy.resolve t ~caller:None ~target:"echo" ~service:"ping" with
+    | Some r -> r
+    | None ->
+      prerr_endline "world_bench: no route";
+      exit 2
+  in
+  ignore (Deploy.call_fast t route "x");
+  ignore (Deploy.call_fast t route "x");
+  let samples = ref [] in
+  for _ = 1 to runs do
+    let t_run =
+      time (fun () ->
+          for _ = 1 to calls_per_run do
+            ignore (Sys.opaque_identity (Deploy.call_fast t route "x"))
+          done)
+    in
+    samples := (t_run *. 1e9 /. float_of_int calls_per_run) :: !samples
+  done;
+  median !samples
+
+let () =
+  let d = ref None in
+  let boot_ms = time (fun () -> d := Some (boot_mail ())) *. 1e3 in
+  let d = Option.get !d in
+  let fork_us = bench_fork d.Load.d_world in
+  let restore_us = bench_restore d in
+  let call_ns = bench_call () in
+  let fork_budget_us = 100.0 and call_budget_ns = 1000.0 in
+  Printf.printf
+    "{\"benchmark\":\"world-snapshots\",\"workload\":\"mail world fork/restore \
+     + untraced echo call_fast\",\"boot_ms\":%.1f,\"fork_median_us\":%.2f,\"fork_budget_us\":%.0f,\"restore_median_us\":%.2f,\"fast_call_median_ns\":%.1f,\"fast_call_budget_ns\":%.0f,\"forks_per_boot\":%.0f}\n"
+    boot_ms fork_us fork_budget_us restore_us call_ns call_budget_ns
+    (boot_ms *. 1e3 /. Float.max fork_us 0.01);
+  if fork_us > fork_budget_us then begin
+    Printf.eprintf "world_bench: fork %.2fus blew the %.0fus budget\n" fork_us
+      fork_budget_us;
+    exit 1
+  end;
+  if call_ns > call_budget_ns then begin
+    Printf.eprintf "world_bench: fast call %.1fns blew the %.0fns budget\n"
+      call_ns call_budget_ns;
+    exit 1
+  end

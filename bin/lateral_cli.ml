@@ -640,6 +640,51 @@ let cmd_contain files format dot witness =
     end
   end
 
+(* --- snap --------------------------------------------------------------------- *)
+
+(* world digests for the scenario deployments: boot at a fixed seed,
+   print the whole-world digest (or every layer with --layers), and
+   prove the fork -> mutate -> restore round-trip on each one *)
+let cmd_snap scenario layers seed =
+  let scenarios =
+    match scenario with Some s -> [ s ] | None -> Lt_load.Load.all_scenarios
+  in
+  let failed = ref false in
+  List.iter
+    (fun s ->
+      let name = Lt_load.Load.scenario_name s in
+      match
+        Lt_load.Load.deploy_scenario (Lt_crypto.Drbg.create (Int64.of_int seed)) s
+      with
+      | Error e ->
+        failed := true;
+        Printf.printf "%-5s  boot failed: %s\n" name e
+      | Ok d ->
+        let w = d.Lt_load.Load.d_world in
+        let d0 = Lt_world.World.digest w in
+        let pristine = Lt_world.World.fork w in
+        let rng = Lt_crypto.Drbg.create 0xfeedL in
+        for i = 0 to 4 do
+          let target, service, payload = d.Lt_load.Load.d_mix rng i in
+          ignore
+            (Lateral.Deploy.call d.Lt_load.Load.d_deploy ~caller:None ~target
+               ~service payload)
+        done;
+        Lt_world.World.restore w pristine;
+        let round_trip = Lt_world.World.digest w = d0 in
+        if not round_trip then failed := true;
+        Printf.printf "%-5s  world %s  layers %d  round-trip %s\n" name
+          (Lt_world.Digest64.to_hex d0)
+          (List.length (Lt_world.World.layers w))
+          (if round_trip then "ok" else "FAILED");
+        if layers then
+          List.iter
+            (fun (lname, ld) ->
+              Printf.printf "       %-28s %s\n" lname (Lt_world.Digest64.to_hex ld))
+            (Lt_world.World.layer_digests w))
+    scenarios;
+  if !failed then 1 else 0
+
 (* --- cmdliner wiring ------------------------------------------------------------ *)
 
 open Cmdliner
@@ -1050,6 +1095,34 @@ let contain_cmd =
           error-severity containment findings (L020-L023), 2 on parse failure")
     Term.(const cmd_contain $ files $ format $ dot $ witness)
 
+let snap_cmd =
+  let scenario =
+    let scenario_conv =
+      Arg.enum
+        (List.map
+           (fun s -> (Lt_load.Load.scenario_name s, s))
+           Lt_load.Load.all_scenarios)
+    in
+    Arg.(
+      value
+      & pos 0 (some scenario_conv) None
+      & info [] ~docv:"SCENARIO"
+          ~doc:"Scenario world to digest (default: all three)")
+  in
+  let layers =
+    Arg.(value & flag & info [ "layers" ] ~doc:"Print every layer's digest")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0x5eed
+      & info [ "seed" ] ~docv:"S" ~doc:"Deployment seed; equal seeds boot \
+                                        digest-identical worlds")
+  in
+  Cmd.v
+    (Cmd.info "snap" ~exits:std_exits
+       ~doc:"Digest the scenario worlds and prove their snapshot round-trips")
+    Term.(const cmd_snap $ scenario $ layers $ seed)
+
 let () =
   let info =
     Cmd.info "lateral" ~version:"1.0.0"
@@ -1062,7 +1135,8 @@ let () =
   let group =
     Cmd.group ~default info
       [ substrates_cmd; mail_cmd; meter_cmd; gateway_cmd; run_cmd; chaos_cmd;
-        hunt_cmd; analyze_cmd; lint_cmd; flow_cmd; check_cmd; contain_cmd ]
+        hunt_cmd; analyze_cmd; lint_cmd; flow_cmd; check_cmd; contain_cmd;
+        snap_cmd ]
   in
   exit
     (match Cmd.eval_value group with

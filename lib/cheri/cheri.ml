@@ -7,7 +7,9 @@ type cap = {
   c_seal : int option; (* otype when sealed *)
 }
 
-type t = { mem : Bytes.t }
+module Cow = Lt_world.Cow
+
+type t = { mem : Cow.t }
 
 exception Capability_fault of string
 
@@ -15,11 +17,11 @@ let fault fmt = Printf.ksprintf (fun s -> raise (Capability_fault s)) fmt
 
 let create ~size =
   if size <= 0 then invalid_arg "Cheri.create";
-  { mem = Bytes.make size '\000' }
+  { mem = Cow.create ~len:size }
 
 let root t =
   { c_base = 0;
-    c_len = Bytes.length t.mem;
+    c_len = Cow.length t.mem;
     c_perms = { load = true; store = true };
     c_seal = None }
 
@@ -47,7 +49,7 @@ let load t cap ~off ~len =
   if not cap.c_perms.load then fault "load permission missing";
   if off < 0 || len < 0 || off + len > cap.c_len then
     fault "load out of bounds: off=%d len=%d cap-len=%d" off len cap.c_len;
-  Bytes.sub_string t.mem (cap.c_base + off) len
+  Cow.sub_string t.mem ~pos:(cap.c_base + off) ~len
 
 let store t cap ~off data =
   check_unsealed cap "store";
@@ -55,7 +57,7 @@ let store t cap ~off data =
   let len = String.length data in
   if off < 0 || off + len > cap.c_len then
     fault "store out of bounds: off=%d len=%d cap-len=%d" off len cap.c_len;
-  Bytes.blit_string data 0 t.mem (cap.c_base + off) len
+  Cow.blit_string data t.mem ~pos:(cap.c_base + off)
 
 type otype = int
 
@@ -73,6 +75,16 @@ let invoke _t ~code ~data f =
   | _ -> fault "invoke: both capabilities must be sealed"
 
 let flat_read t ~addr ~len =
-  if addr < 0 || len < 0 || addr + len > Bytes.length t.mem then
+  if addr < 0 || len < 0 || addr + len > Cow.length t.mem then
     invalid_arg "Cheri.flat_read";
-  Bytes.sub_string t.mem addr len
+  Cow.sub_string t.mem ~pos:addr ~len
+
+(* --- Snapshottable ---------------------------------------------------- *)
+
+(* capabilities are immutable values; compartment memory is the only
+   state, and it is copy-on-write *)
+let take_snapshot t =
+  let mem = Cow.snapshot t.mem in
+  fun () -> Cow.restore t.mem mem
+
+let state_digest t = Cow.digest t.mem

@@ -70,3 +70,9 @@ val invoke : t -> code:cap -> data:cap -> (cap -> 'a) -> 'a
     would allow: an unchecked read of physical memory. Used as the
     baseline in the buffer-overflow experiment. *)
 val flat_read : t -> addr:int -> len:int -> string
+
+(** Capture compartment memory (copy-on-write; capabilities are
+    immutable values). *)
+val take_snapshot : t -> unit -> unit
+
+val state_digest : t -> Lt_world.Digest64.t

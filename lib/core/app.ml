@@ -189,3 +189,61 @@ let exfiltration_attempts t name =
   match Hashtbl.find_opt t.comps name with
   | None -> []
   | Some c -> List.sort Stdlib.compare c.attempts
+
+(* Comp records are mutated in place (set_behaviour, compromise) and
+   never replaced after [add], so a fast path may capture one once and
+   poll its flags allocation-free forever after. *)
+let owned_getter t name =
+  match Hashtbl.find_opt t.comps name with
+  | None -> None
+  | Some comp -> Some (fun () -> comp.owned)
+
+(* --- Snapshottable ---------------------------------------------------- *)
+
+module Snap = Lt_world.Snapshottable
+module D64 = Lt_world.Digest64
+
+let take_snapshot t =
+  let comps = Snap.save_hashtbl t.comps in
+  let per_comp =
+    Hashtbl.fold
+      (fun _ c acc ->
+        let behave = c.behave
+        and owned = c.owned
+        and scanned = c.scanned
+        and attempts = c.attempts in
+        (fun () ->
+          c.behave <- behave;
+          c.owned <- owned;
+          c.scanned <- scanned;
+          c.attempts <- attempts)
+        :: acc)
+      t.comps []
+  in
+  let viols = t.viols in
+  fun () ->
+    comps ();
+    List.iter (fun restore -> restore ()) per_comp;
+    t.viols <- viols
+
+(* behaviours are closures and cannot be digested; names + flags +
+   attempts + violations pin down everything restore puts back that a
+   test can observe *)
+let state_digest t =
+  let d =
+    List.fold_left
+      (fun d (name, c) ->
+        let d = D64.string d name in
+        let d = D64.bool (D64.bool d c.owned) c.scanned in
+        D64.list
+          (fun d (target, service, allowed) ->
+            D64.bool (D64.string (D64.string d target) service) allowed)
+          d
+          (List.sort Stdlib.compare c.attempts))
+      (D64.int D64.basis (Hashtbl.length t.comps))
+      (Snap.sorted_bindings t.comps)
+  in
+  D64.list
+    (fun d v ->
+      D64.string (D64.string (D64.string d v.v_caller) v.v_target) v.v_service)
+    d t.viols

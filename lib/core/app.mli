@@ -90,3 +90,21 @@ val compromised : t -> string list
     the component, which (target, service) pairs it managed to invoke
     vs. had blocked. *)
 val exfiltration_attempts : t -> string -> (string * string * bool) list
+
+(** [authorized t ~caller ~target ~service] — the channel policy alone:
+    would this call be connected? ([caller = None] is the outside world,
+    admitted only to [network_facing] targets.) No events, no violation
+    records — {!call} is the enforcing path. *)
+val authorized :
+  t -> caller:string option -> target:string -> service:string -> bool
+
+(** [owned_getter t name] — an allocation-free poll of the component's
+    compromise flag, for fast paths that must bail to the enforcing
+    route the moment a component is owned. [None] for unknown names. *)
+val owned_getter : t -> string -> (unit -> bool) option
+
+(** Captures comps (bindings + per-component behaviour/flags/attempts)
+    and the violation log; part of the {!Deploy} world layer. *)
+val take_snapshot : t -> unit -> unit
+
+val state_digest : t -> Lt_world.Digest64.t

@@ -7,12 +7,29 @@ type ctx = {
 
 type behaviour = ctx -> service:string -> string -> string
 
+(* a precomputed dispatch edge: everything [call] would look up per
+   request, resolved once at [resolve] time.  [r_ctx] is filled lazily
+   from the facilities cache after the first slow call through the
+   target (facilities only surface when a service actually runs). *)
+type route = {
+  r_caller : string option;
+  r_target : string;
+  r_service : string;
+  r_behaviour : behaviour;
+  r_owned : unit -> bool; (* poll of the App compromise flag, no alloc *)
+  mutable r_ctx : ctx option;
+}
+
 type t = {
   app : App.t; (* manifests + channel policy; behaviours delegate below *)
   placements : (string, Substrate.t * Substrate.component) Hashtbl.t;
   specs : (string, Manifest.t * behaviour) Hashtbl.t;
       (* what was asked for, kept so a crashed component can be
          relaunched from its original spec *)
+  facil : (string, Substrate.facilities) Hashtbl.t;
+      (* facilities captured the first time each component's service
+         actually runs; invalidated on crash/relaunch *)
+  routes : (string option * string * string, route) Hashtbl.t;
 }
 
 (* no span here: the router's "call" span above this bridge and the
@@ -34,6 +51,12 @@ let services_for ~self ~name ~behaviour provides =
   let service_for svc =
     ( svc,
       fun facilities req ->
+        (* stash the facilities so the fast path can build its ctx; one
+           [mem] per slow call once cached *)
+        (match !self with
+         | Some t when not (Hashtbl.mem t.facil name) ->
+           Hashtbl.replace t.facil name facilities
+         | _ -> ());
         let call_out_typed ~target ~service r =
           match !self with
           | None ->
@@ -84,7 +107,11 @@ let deploy ~substrates components =
     (match App.validate app with
      | Error errs -> Error ("manifest validation: " ^ String.concat "; " errs)
      | Ok () ->
-       let t = { app; placements; specs } in
+       let t =
+         { app; placements; specs;
+           facil = Hashtbl.create 8;
+           routes = Hashtbl.create 16 }
+       in
        self := Some t;
        Ok t)
 
@@ -100,11 +127,18 @@ let components t =
 
 let manifest t name = App.manifest t.app name
 
+(* a crashed or relaunched instance invalidates its cached facilities
+   and any route ctx built from them; the next slow call re-captures *)
+let invalidate_fast t name =
+  Hashtbl.remove t.facil name;
+  Hashtbl.iter (fun _ r -> if r.r_target = name then r.r_ctx <- None) t.routes
+
 let crash t name =
   match Hashtbl.find_opt t.placements name with
   | None -> Error (Printf.sprintf "no component %S" name)
   | Some (sub, comp) ->
     sub.Substrate.crash comp;
+    invalidate_fast t name;
     Ok ()
 
 let is_alive t name =
@@ -128,6 +162,7 @@ let relaunch t name =
      | Ok comp ->
        Hashtbl.replace t.placements name (sub, comp);
        App.set_behaviour t.app name (bridge sub comp);
+       invalidate_fast t name;
        Ok ())
 
 let violations t = App.violations t.app
@@ -141,3 +176,140 @@ let attest t ~component ~nonce ~claim =
   match Hashtbl.find_opt t.placements component with
   | None -> Error (Printf.sprintf "no component %S" component)
   | Some (sub, comp) -> sub.Substrate.attest comp ~nonce ~claim
+
+(* --- the zero-alloc fast path ----------------------------------------- *)
+
+exception Call_failed of App.call_error
+
+let ctx_for t name facilities =
+  { facilities;
+    call_out =
+      (fun ~target ~service r ->
+        App.call t.app ~caller:(Some name) ~target ~service r);
+    call_out_typed =
+      (fun ~target ~service r ->
+        App.call_typed t.app ~caller:(Some name) ~target ~service r) }
+
+(* Routes exist only for statically authorized edges: the manifest graph
+   is fixed at deploy time (compromise changes behaviour, never
+   authority), so an edge checked here once never needs re-checking.
+   Unauthorized or unknown edges get no route — callers fall back to the
+   enforcing [call], which records the deny. *)
+let resolve t ~caller ~target ~service =
+  let key = (caller, target, service) in
+  match Hashtbl.find_opt t.routes key with
+  | Some _ as r -> r
+  | None ->
+    if not (App.authorized t.app ~caller ~target ~service) then None
+    else
+      (match Hashtbl.find_opt t.specs target with
+       | None -> None
+       | Some (man, behaviour) ->
+         if not (List.mem service man.Manifest.provides) then None
+         else
+           (match App.owned_getter t.app target with
+            | None -> None
+            | Some r_owned ->
+              let route =
+                { r_caller = caller; r_target = target; r_service = service;
+                  r_behaviour = behaviour; r_owned; r_ctx = None }
+              in
+              Hashtbl.replace t.routes key route;
+              Some route))
+
+(* The slow half: the full enforcing pipeline (spans, deny events,
+   payload sweeps, the substrate hop).  On success it primes [r_ctx]
+   from the facilities the call just surfaced, so the next fast call
+   skips the transport. *)
+let call_slow t route req =
+  match
+    call_typed t ~caller:route.r_caller ~target:route.r_target
+      ~service:route.r_service req
+  with
+  | Ok r ->
+    (if route.r_ctx = None then
+       match Hashtbl.find_opt t.facil route.r_target with
+       | Some facilities ->
+         route.r_ctx <- Some (ctx_for t route.r_target facilities)
+       | None -> ());
+    r
+  | Error e -> raise (Call_failed e)
+
+(* Fast when nothing that needs the full pipeline can happen: a primed
+   ctx, tracing off, target not compromised, instance alive.  Then the
+   behaviour runs directly against its real facilities — no substrate
+   hop, no span, no result boxing: zero minor words on this path.
+   Everything else falls back to [call_slow]. *)
+let call_fast t route req =
+  match route.r_ctx with
+  | Some ctx
+    when (not (Lt_obs.Trace.enabled ()))
+         && (not (route.r_owned ()))
+         && (match Hashtbl.find t.placements route.r_target with
+             | sub, comp -> sub.Substrate.is_alive comp
+             | exception Not_found -> false) ->
+    route.r_behaviour ctx ~service:route.r_service req
+  | _ -> call_slow t route req
+
+(* --- Snapshottable / world assembly ------------------------------------ *)
+
+module Snap = Lt_world.Snapshottable
+module D64 = Lt_world.Digest64
+module World = Lt_world.World
+
+let take_snapshot t =
+  let app = App.take_snapshot t.app in
+  let placements = Snap.save_hashtbl t.placements in
+  let specs = Snap.save_hashtbl t.specs in
+  let facil = Snap.save_hashtbl t.facil in
+  let routes = Snap.save_hashtbl t.routes in
+  let per_route =
+    Hashtbl.fold
+      (fun _ r acc ->
+        let ctx = r.r_ctx in
+        (fun () -> r.r_ctx <- ctx) :: acc)
+      t.routes []
+  in
+  fun () ->
+    app ();
+    placements ();
+    specs ();
+    facil ();
+    routes ();
+    List.iter (fun restore -> restore ()) per_route
+
+(* placements/specs/facil hold closures; App's digest plus which names
+   are placed covers the observable control-plane state (substrate
+   internals are their own layers) *)
+let state_digest t =
+  let d = App.state_digest t.app in
+  let d = D64.int d (Hashtbl.length t.placements) in
+  List.fold_left
+    (fun d (name, (sub, comp)) ->
+      let d = D64.string d name in
+      let d = D64.string d sub.Substrate.properties.Substrate.substrate_name in
+      D64.bool d (sub.Substrate.is_alive comp))
+    d
+    (Snap.sorted_bindings t.placements)
+
+let layer ?(name = "deploy") t =
+  Snap.make ~name
+    ~take:(fun () -> take_snapshot t)
+    ~digest:(fun () -> state_digest t)
+
+(* Collect every adapter's layers (deduplicated: one adapter hosts many
+   components) plus the deploy control plane.  Adapters sharing a
+   machine or TPM each carry a layer over it; fork captures all layers
+   at the same instant and restore is idempotent, so the double capture
+   is harmless. *)
+let world ?(extra = []) t =
+  let w = World.create () in
+  let subs =
+    Hashtbl.fold
+      (fun _ (sub, _) acc -> if List.memq sub acc then acc else sub :: acc)
+      t.placements []
+  in
+  List.iter (fun sub -> World.add_all w sub.Substrate.snap_layers) (List.rev subs);
+  World.add w (layer t);
+  World.add_all w extra;
+  w

@@ -77,3 +77,53 @@ val substrate_of : t -> string -> string option
 val attest :
   t -> component:string -> nonce:string -> claim:string ->
   (Attestation.evidence, string) result
+
+(** {2 The fast path}
+
+    [call] walks the full enforcing pipeline per request: policy check,
+    trace span, substrate hop, result boxing. For hot edges that never
+    change — the manifest graph is fixed at deploy time — {!resolve}
+    precomputes the dispatch once and {!call_fast} runs the behaviour
+    directly against its real facilities with {e zero minor-heap
+    allocation} on the untraced success path. *)
+
+(** A precomputed dispatch edge. Only statically authorized edges get
+    one. *)
+type route
+
+(** [resolve t ~caller ~target ~service] — [None] when the edge is not
+    in the manifest graph (or the target/service is unknown): such calls
+    must go through {!call}, which records the deny. Routes are cached;
+    resolving twice returns the same route. *)
+val resolve :
+  t -> caller:string option -> target:string -> service:string ->
+  route option
+
+exception Call_failed of App.call_error
+
+(** [call_fast t route req] — the behaviour's answer. Falls back to the
+    full pipeline (and raises {!Call_failed} on a typed failure) when
+    tracing is on, the target is compromised or dead, or the route has
+    not yet seen a successful slow call (the first call through a route
+    always takes the slow path to capture the target's facilities).
+    The behaviour's own exceptions ({!Substrate.Service_failure}) pass
+    through untranslated on the fast path. *)
+val call_fast : t -> route -> string -> string
+
+(** {2 Snapshots} *)
+
+(** Captures the control plane: App flags/violations, placements,
+    specs, the facilities cache and routes. *)
+val take_snapshot : t -> unit -> unit
+
+val state_digest : t -> Lt_world.Digest64.t
+
+(** The control plane as one {!Lt_world.Snapshottable} layer. *)
+val layer : ?name:string -> t -> Lt_world.Snapshottable.layer
+
+(** [world t] — the whole booted deployment as a forkable
+    {!Lt_world.World}: every adapter's [snap_layers] (deduplicated)
+    plus the deploy layer, plus [extra] harness layers appended last.
+    [World.fork]/[World.restore] then clone/rewind the entire stack in
+    microseconds. *)
+val world : ?extra:Lt_world.Snapshottable.layer list -> t -> Lt_world.World.t

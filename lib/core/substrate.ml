@@ -41,6 +41,10 @@ type t = {
   destroy : component -> unit;
   crash : component -> unit;
   is_alive : component -> bool;
+  (* Snapshottable layers covering ALL mutable state behind this
+     adapter (machine, sim, per-launch tables, dead set); assembled by
+     each adapter's [make] and collected by [Deploy.world] *)
+  mutable snap_layers : Lt_world.Snapshottable.layer list;
 }
 
 let component_name c = c.c_name
@@ -76,8 +80,10 @@ let as_failure e =
     Some (String.sub e n (String.length e - n))
   else None
 
-let lifecycle ?(teardown = fun _ -> ()) () =
-  let dead : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+let lifecycle ?dead ?(teardown = fun _ -> ()) () =
+  let dead : (string, unit) Hashtbl.t =
+    match dead with Some d -> d | None -> Hashtbl.create 4
+  in
   let crash c =
     if not (Hashtbl.mem dead c.c_name) then begin
       Hashtbl.replace dead c.c_name ();
@@ -87,6 +93,40 @@ let lifecycle ?(teardown = fun _ -> ()) () =
   let is_alive c = not (Hashtbl.mem dead c.c_name) in
   let revive name = Hashtbl.remove dead name in
   (crash, is_alive, revive)
+
+(* Shared snapshot plumbing for adapter authors: every adapter owns a
+   dead-set, and most keep per-launch KV tables in a name-keyed
+   registry.  [extra_take]/[extra_digest] cover whatever else the
+   adapter holds (invoke counters, facilities caches, tile cursors). *)
+module Snap = Lt_world.Snapshottable
+module D64 = Lt_world.Digest64
+
+let adapter_layer ~name ~dead ~tables ?(extra_take = [])
+    ?(extra_digest = fun d -> d) () =
+  Snap.make ~name
+    ~take:(fun () ->
+      Snap.save_refs
+        ([ (fun () -> Snap.save_hashtbl dead);
+           (fun () -> Snap.save_hashtbl_registry tables) ]
+         @ extra_take))
+    ~digest:(fun () ->
+      let d =
+        List.fold_left
+          (fun d (k, ()) -> D64.string d k)
+          (D64.int D64.basis (Hashtbl.length dead))
+          (Snap.sorted_bindings dead)
+      in
+      let d =
+        List.fold_left
+          (fun d (n, tbl) ->
+            Snap.digest_hashtbl
+              ~key:(fun k -> k)
+              ~value:(fun v -> v)
+              tbl (D64.string d n))
+          (D64.int d (Hashtbl.length tables))
+          (Snap.sorted_bindings tables)
+      in
+      extra_digest d)
 
 let pp_attacker_model fmt m =
   Format.pp_print_string fmt

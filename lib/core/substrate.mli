@@ -74,6 +74,12 @@ type t = {
           {!field-invoke}s fail with {!crashed_error} until the name is
           re-[launch]ed. Idempotent. *)
   is_alive : component -> bool;
+  mutable snap_layers : Lt_world.Snapshottable.layer list;
+      (** Snapshottable layers covering {e all} mutable state reachable
+          through this adapter — machine blocks, the substrate sim, the
+          per-launch service tables, the dead-set. Assembled by each
+          adapter's [make]; {!Deploy.world} collects them (deduplicating
+          shared adapters) into one forkable world. *)
 }
 
 val component_name : component -> string
@@ -109,14 +115,29 @@ val failure_error : string -> string
     [None] for any other error. *)
 val as_failure : string -> string option
 
-(** [lifecycle ?teardown ()] — the shared crash bookkeeping for adapter
-    authors: returns [(crash, is_alive, revive)] closures over a private
+(** [lifecycle ?dead ?teardown ()] — the shared crash bookkeeping for
+    adapter authors: returns [(crash, is_alive, revive)] closures over a
     dead-set. [crash] marks the component dead and runs [teardown] once;
     [is_alive] consults the mark; [revive name] clears it (call from
-    [launch]). *)
+    [launch]). Pass [?dead] to own the table — adapters do, so the mark
+    set is part of their snapshot. *)
 val lifecycle :
+  ?dead:(string, unit) Hashtbl.t ->
   ?teardown:(component -> unit) -> unit ->
   (component -> unit) * (component -> bool) * (string -> unit)
+
+(** [adapter_layer ~name ~dead ~tables ()] — the shared snapshot layer
+    shape for adapter authors: captures the dead-set and the per-launch
+    KV-table registry; [extra_take] adds more capture thunks and
+    [extra_digest] folds adapter-specific state into the digest. *)
+val adapter_layer :
+  name:string ->
+  dead:(string, unit) Hashtbl.t ->
+  tables:(string, (string, string) Hashtbl.t) Hashtbl.t ->
+  ?extra_take:(unit -> unit -> unit) list ->
+  ?extra_digest:(Lt_world.Digest64.t -> Lt_world.Digest64.t) ->
+  unit ->
+  Lt_world.Snapshottable.layer
 
 val pp_properties : Format.formatter -> properties -> unit
 

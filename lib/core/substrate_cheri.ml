@@ -27,10 +27,14 @@ let make rng ~size () =
   let root = Cheri.root machine in
   let session_secret = Drbg.bytes rng 32 in
   let next_off = ref 0 in
+  let dead : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let tables : (string, (string, string) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
   (* crash marks the compartment dead; its memory region is simply never
      handed out again. Sealed blobs survive because the seal key is
      derived from the measurement, which a relaunch reproduces. *)
-  let crash, is_alive, revive = Substrate.lifecycle () in
+  let crash, is_alive, revive = Substrate.lifecycle ~dead () in
   let launch ~name ~code ~services =
     revive name;
     if !next_off + compartment_bytes > Cheri.length root then
@@ -46,6 +50,7 @@ let make rng ~size () =
         Hkdf.derive ~secret:session_secret ~salt:"cheri-seal" ~info:measurement 16
       in
       let table : (string, string) Hashtbl.t = Hashtbl.create 8 in
+      Hashtbl.replace tables name table;
       let mirror () =
         (* the component's state physically lives inside its bounds *)
         let blob =
@@ -107,6 +112,15 @@ let make rng ~size () =
       measure = (fun ~code -> measure_code code);
       destroy = (fun _ -> ());
       crash;
-      is_alive }
+      is_alive;
+      snap_layers = [] }
   in
+  t.Substrate.snap_layers <-
+    [ Lt_world.Snapshottable.make ~name:"cheri"
+        ~take:(fun () -> Cheri.take_snapshot machine)
+        ~digest:(fun () -> Cheri.state_digest machine);
+      Substrate.adapter_layer ~name:"substrate:cheri" ~dead ~tables
+        ~extra_take:[ (fun () -> Lt_world.Snapshottable.save_ref next_off) ]
+        ~extra_digest:(fun d -> Lt_world.Digest64.int d !next_off)
+        () ];
   (t, machine, root)

@@ -22,12 +22,15 @@ let properties =
 let make tpm ?clock () =
   (* crash marks the PAL dead between sessions; its sealed store blob is
      untouched, so a relaunch of the same code unseals it again *)
-  let crash, is_alive, revive = Substrate.lifecycle () in
+  let dead : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let crash, is_alive, revive = Substrate.lifecycle ~dead () in
+  let stores : (string, Tpm.sealed option ref) Hashtbl.t = Hashtbl.create 4 in
   let launch ~name ~code ~services =
     revive name;
     (* each PAL carries its persistent state as a blob sealed to its own
        DRTM identity; the untrusted host merely stores the ciphertext *)
     let sealed_store : Tpm.sealed option ref = ref None in
+    Hashtbl.replace stores name sealed_store;
     let load_table () =
       match !sealed_store with
       | None -> Hashtbl.create 4
@@ -133,5 +136,40 @@ let make tpm ?clock () =
     let scratch = { Latelaunch.pal_name = "pal"; pal_code = code; handler = Fun.id } in
     Latelaunch.expected_drtm_composite tpm scratch
   in
-  { Substrate.properties; launch; invoke; attest; measure;
-    destroy = (fun _ -> ()); crash; is_alive }
+  let t =
+    { Substrate.properties; launch; invoke; attest; measure;
+      destroy = (fun _ -> ()); crash; is_alive; snap_layers = [] }
+  in
+  let module Snap = Lt_world.Snapshottable in
+  let module D64 = Lt_world.Digest64 in
+  t.Substrate.snap_layers <-
+    [ Tpm.layer tpm;
+      Substrate.adapter_layer ~name:"substrate:flicker" ~dead
+        ~tables:(Hashtbl.create 1)
+        ~extra_take:
+          [ (fun () ->
+              (* the sealed-store refs: outer bindings plus each ref's blob *)
+              let outer = Snap.save_hashtbl stores in
+              let inner =
+                Hashtbl.fold (fun _ r acc -> Snap.save_ref r :: acc) stores []
+              in
+              fun () ->
+                outer ();
+                List.iter (fun restore -> restore ()) inner) ]
+        ~extra_digest:(fun d ->
+          List.fold_left
+            (fun d (name, r) ->
+              let d = D64.string d name in
+              match !r with
+              | None -> D64.bool d false
+              | Some sealed -> D64.string d (Tpm.sealed_to_wire sealed))
+            (D64.int d (Hashtbl.length stores))
+            (Snap.sorted_bindings stores))
+        () ]
+    @ (match clock with
+       | Some ck ->
+         [ Snap.make ~name:"flicker:clock"
+             ~take:(fun () -> Lt_hw.Clock.take_snapshot ck)
+             ~digest:(fun () -> Lt_hw.Clock.state_digest ck) ]
+       | None -> []);
+  t

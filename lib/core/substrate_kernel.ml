@@ -42,8 +42,12 @@ let make machine policy ?tpm ?(boot_pcr = 10) ?(rng = Drbg.create 0x6b65726eL) (
      IPC never gets its reply. The sealing root survives (session secret
      or TPM), so a relaunched instance can unseal its predecessor's
      blobs. *)
+  let dead : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let tables : (string, (string, string) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
   let crash, is_alive_mark, revive =
-    Substrate.lifecycle
+    Substrate.lifecycle ~dead
       ~teardown:(fun c -> Kernel.kill_thread k (state_of c).server_tid)
       ()
   in
@@ -65,6 +69,7 @@ let make machine policy ?tpm ?(boot_pcr = 10) ?(rng = Drbg.create 0x6b65726eL) (
       Kernel.grant k task endpoint ~rights:{ send = false; recv = true } ~badge:0
     in
     let table : (string, string) Hashtbl.t = Hashtbl.create 8 in
+    Hashtbl.replace tables name table;
     let mirror () =
       (* persist the store into the task's own pages: plain DRAM, which
          is what makes the physical-attack experiment interesting *)
@@ -208,6 +213,16 @@ let make machine policy ?tpm ?(boot_pcr = 10) ?(rng = Drbg.create 0x6b65726eL) (
       measure = (fun ~code -> measure_code code);
       destroy = (fun c -> Kernel.kill_thread k (state_of c).server_tid);
       crash;
-      is_alive }
+      is_alive;
+      snap_layers = [] }
   in
+  t.Substrate.snap_layers <-
+    [ Lt_hw.Machine.layer machine;
+      Kernel.layer k;
+      Substrate.adapter_layer ~name:"substrate:microkernel" ~dead ~tables
+        ~extra_take:
+          [ (fun () -> Lt_world.Snapshottable.save_ref invoke_counter) ]
+        ~extra_digest:(fun d -> Lt_world.Digest64.int d !invoke_counter)
+        () ]
+    @ (match tpm with Some tpm -> [ Tpm.layer tpm ] | None -> []);
   (t, k)

@@ -22,10 +22,14 @@ let make rng ~ca_name ~ca_key ~tiles () =
   let kernel_cert = Cert.issue ~ca_name ~ca_key ~subject:"m3-kernel" kernel_key.Rsa.pub in
   let session_secret = Drbg.bytes rng 32 in
   let next_tile = ref 1 in
+  let dead : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let tables : (string, (string, string) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
   (* crash marks the tile's program dead; the tile itself is not reused.
      A relaunch gets a fresh tile with an empty scratchpad but the same
      measurement-derived seal key. *)
-  let crash, is_alive, revive = Substrate.lifecycle () in
+  let crash, is_alive, revive = Substrate.lifecycle ~dead () in
   let launch ~name ~code ~services =
     revive name;
     if !next_tile >= tiles then Error "m3: no free compute tile"
@@ -37,6 +41,7 @@ let make rng ~ca_name ~ca_key ~tiles () =
         Hkdf.derive ~secret:session_secret ~salt:"m3-seal" ~info:measurement 16
       in
       let table : (string, string) Hashtbl.t = Hashtbl.create 8 in
+      Hashtbl.replace tables name table;
       let mirror () =
         (* state lives in the tile's on-chip scratchpad *)
         let blob =
@@ -122,6 +127,15 @@ let make rng ~ca_name ~ca_key ~tiles () =
       measure = (fun ~code -> measure_code code);
       destroy = (fun _ -> ());
       crash;
-      is_alive }
+      is_alive;
+      snap_layers = [] }
   in
+  t.Substrate.snap_layers <-
+    [ Lt_world.Snapshottable.make ~name:"noc"
+        ~take:(fun () -> Noc.take_snapshot chip)
+        ~digest:(fun () -> Noc.state_digest chip);
+      Substrate.adapter_layer ~name:"substrate:m3-noc" ~dead ~tables
+        ~extra_take:[ (fun () -> Lt_world.Snapshottable.save_ref next_tile) ]
+        ~extra_digest:(fun d -> Lt_world.Digest64.int d !next_tile)
+        () ];
   (t, chip)

@@ -36,7 +36,8 @@ let make machine rng ~device_id ~private_pages =
   in
   (* crash marks the mailbox service dead; the SEP itself keeps running,
      so secure-world storage and the UID key survive for the relaunch *)
-  let crash, is_alive, revive = Substrate.lifecycle () in
+  let dead : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let crash, is_alive, revive = Substrate.lifecycle ~dead () in
   let launch ~name ~code ~services =
     revive name;
     Hashtbl.replace measurements name (measure_code code);
@@ -108,6 +109,20 @@ let make machine rng ~device_id ~private_pages =
       measure = (fun ~code -> measure_code code);
       destroy = (fun _ -> ());
       crash;
-      is_alive }
+      is_alive;
+      snap_layers = [] }
   in
+  t.Substrate.snap_layers <-
+    [ Lt_hw.Machine.layer machine;
+      Lt_world.Snapshottable.make ~name:"sep"
+        ~take:(fun () -> Sep.take_snapshot sep)
+        ~digest:(fun () -> Sep.state_digest sep);
+      Substrate.adapter_layer ~name:"substrate:sep" ~dead
+        ~tables:(Hashtbl.create 1)
+        ~extra_take:
+          [ (fun () -> Lt_world.Snapshottable.save_hashtbl measurements) ]
+        ~extra_digest:(fun d ->
+          Lt_world.Snapshottable.digest_hashtbl
+            ~key:(fun k -> k) ~value:(fun v -> v) measurements d)
+        () ];
   (t, sep, Sep.provisioning_record sep)

@@ -21,6 +21,9 @@ let make machine rng ~ca_name ~ca_key ?(epc_pages = 2) () =
   let facilities_cache : (string, Substrate.facilities) Hashtbl.t =
     Hashtbl.create 8
   in
+  let tables : (string, (string, string) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
   let facilities_of name ctx =
     match Hashtbl.find_opt facilities_cache name with
     | Some fac -> fac
@@ -28,6 +31,7 @@ let make machine rng ~ca_name ~ca_key ?(epc_pages = 2) () =
       (* key-value store mirrored into EPC so the bytes physically live
          in encrypted DRAM *)
       let table : (string, string) Hashtbl.t = Hashtbl.create 8 in
+      Hashtbl.replace tables name table;
       let mirror () =
         let blob =
           Wire.encode
@@ -56,10 +60,12 @@ let make machine rng ~ca_name ~ca_key ?(epc_pages = 2) () =
   (* crash = the enclave is torn down where it stands: EPC zeroed and
      freed, volatile store gone. Sealed blobs survive because the seal
      key is derived from the measurement, which a relaunch reproduces. *)
+  let dead : (string, unit) Hashtbl.t = Hashtbl.create 4 in
   let crash, is_alive, revive =
-    Substrate.lifecycle
+    Substrate.lifecycle ~dead
       ~teardown:(fun c ->
         Hashtbl.remove facilities_cache (Substrate.component_name c);
+        Hashtbl.remove tables (Substrate.component_name c);
         try Sgx.destroy cpu (enclave_of c) with Invalid_argument _ -> ())
       ()
   in
@@ -127,8 +133,25 @@ let make machine rng ~ca_name ~ca_key ?(epc_pages = 2) () =
       destroy =
         (fun c ->
           Hashtbl.remove facilities_cache (Substrate.component_name c);
+          Hashtbl.remove tables (Substrate.component_name c);
           Sgx.destroy cpu (enclave_of c));
       crash;
-      is_alive }
+      is_alive;
+      snap_layers = [] }
   in
+  t.Substrate.snap_layers <-
+    [ Lt_hw.Machine.layer machine;
+      Lt_world.Snapshottable.make ~name:"sgx"
+        ~take:(fun () -> Sgx.take_snapshot cpu)
+        ~digest:(fun () -> Sgx.state_digest cpu);
+      Substrate.adapter_layer ~name:"substrate:sgx" ~dead ~tables
+        ~extra_take:
+          [ (fun () -> Lt_world.Snapshottable.save_hashtbl facilities_cache) ]
+        ~extra_digest:(fun d ->
+          (* facilities are closures; their keys pin the cache shape *)
+          Lt_world.Snapshottable.digest_hashtbl
+            ~key:(fun k -> k)
+            ~value:(fun _ -> "")
+            facilities_cache d)
+        () ];
   (t, cpu)

@@ -39,7 +39,8 @@ let make machine ~vendor ~image ~device_id ~device_key_name ~secure_pages =
     in
     (* crash marks the secure service dead; the secure world itself keeps
        running, so fused keys and secure storage survive for the relaunch *)
-    let crash, is_alive, revive = Substrate.lifecycle () in
+    let dead : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+    let crash, is_alive, revive = Substrate.lifecycle ~dead () in
     let launch ~name ~code ~services =
       ignore code;
       revive name;
@@ -120,6 +121,14 @@ let make machine ~vendor ~image ~device_id ~device_key_name ~secure_pages =
         measure = (fun ~code -> ignore code; world_measurement);
         destroy = (fun _ -> ());
         crash;
-        is_alive }
+        is_alive;
+        snap_layers = [] }
     in
+    t.Substrate.snap_layers <-
+      [ Lt_hw.Machine.layer machine;
+        Lt_world.Snapshottable.make ~name:"trustzone"
+          ~take:(fun () -> Trustzone.take_snapshot tz)
+          ~digest:(fun () -> Trustzone.state_digest tz);
+        Substrate.adapter_layer ~name:"substrate:trustzone" ~dead
+          ~tables:(Hashtbl.create 1) () ];
     Ok (t, tz)

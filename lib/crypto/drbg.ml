@@ -46,3 +46,7 @@ let bytes t n =
 let split t =
   let seed = uint64 t in
   { state = mix seed }
+
+let save t = t.state
+
+let restore t s = t.state <- s

@@ -32,3 +32,9 @@ val bytes : t -> int -> string
 (** [split t] derives a new, statistically independent generator and
     advances [t]. Use to hand sub-systems their own stream. *)
 val split : t -> t
+
+(** [save t] / [restore t s] expose the raw state word so world
+    snapshots can rewind a generator without copying it. *)
+val save : t -> int64
+
+val restore : t -> int64 -> unit

@@ -177,7 +177,13 @@ let classify = function
   | Error (App.Crashed _) -> Dead
   | Error (App.Failed { reason; _ }) -> Refused reason
 
-let storm_check ~pages ~components =
+(* storms are pure functions of their two integers, so each distinct
+   (pages, components) pair boots its throwaway kernel exactly once per
+   process; repeats hit the memo *)
+let storm_memo : (int * int, (unit, string) result) Hashtbl.t =
+  Hashtbl.create 8
+
+let storm_check_uncached ~pages ~components =
   (* frame exhaustion on the microkernel must be a typed launch error;
      satellite fix for the map_memory panic path *)
   let machine = Lt_hw.Machine.create ~dram_pages:pages () in
@@ -204,27 +210,61 @@ let storm_check ~pages ~components =
     if mentions_frames then Ok ()
     else Error (Printf.sprintf "storm failed untypedly: %s" e)
 
+let storm_check ~pages ~components =
+  match Hashtbl.find_opt storm_memo (pages, components) with
+  | Some r -> r
+  | None ->
+    let r = storm_check_uncached ~pages ~components in
+    Hashtbl.replace storm_memo (pages, components) r;
+    r
+
 let contains_sub ~needle hay =
   let n = String.length needle and h = String.length hay in
   let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
   go 0
 
+(* Boot every substrate and deployment exactly once, fork the booted
+   world, and rewind to the fork before each case: O(dirty) per case
+   instead of a full seven-substrate boot.  Equal-seed runs stay
+   byte-identical because the restore is exact — the conformance
+   double-run diff in the fuzz engine checks precisely that. *)
+type env = {
+  e_n_subs : int;
+  e_deployments : (string * Deploy.t) list;
+  e_world : Lt_world.World.t;
+  e_pristine : Lt_world.World.snap;
+}
+
+let env =
+  lazy
+    (let subs = pool () in
+     let deployments =
+       List.filter_map
+         (fun (sname, sub) ->
+           match Deploy.deploy ~substrates:[ (sname, sub) ] (topology sname) with
+           | Ok d -> Some (sname, d)
+           | Error _ -> None)
+         subs
+     in
+     let world = Lt_world.World.create () in
+     List.iter
+       (fun (_, d) ->
+         Lt_world.World.add_all world (Lt_world.World.layers (Deploy.world d)))
+       deployments;
+     { e_n_subs = List.length subs;
+       e_deployments = deployments;
+       e_world = world;
+       e_pristine = Lt_world.World.fork world })
+
 let run_ops ops =
-  let subs = pool () in
-  (* one deployment per substrate, every component hosted there *)
-  let deployments =
-    List.filter_map
-      (fun (sname, sub) ->
-        match Deploy.deploy ~substrates:[ (sname, sub) ]
-                (topology sname) with
-        | Ok d -> Some (sname, d)
-        | Error _ -> None)
-      subs
+  let { e_n_subs; e_deployments = deployments; e_world; e_pristine } =
+    Lazy.force env
   in
-  if List.length deployments < List.length subs then
+  Lt_world.World.restore e_world e_pristine;
+  if List.length deployments < e_n_subs then
     Error
       (Printf.sprintf "only %d of %d substrates could host the topology"
-         (List.length deployments) (List.length subs))
+         (List.length deployments) e_n_subs)
   else begin
     let alive = ref components in
     let failure = ref None in

@@ -95,3 +95,18 @@ let pp_denial fmt = function
   | Rom a -> Format.fprintf fmt "write to ROM at 0x%x" a
   | Bad a -> Format.fprintf fmt "bad address 0x%x" a
   | Integrity a -> Format.fprintf fmt "memory integrity violation at 0x%x" a
+
+(* mem / iommu / clock are captured by their own layers *)
+let take_snapshot t =
+  let ranges = t.secure_ranges in
+  let count = t.count in
+  fun () ->
+    t.secure_ranges <- ranges;
+    t.count <- count
+
+let state_digest t =
+  let open Lt_world in
+  let d = Digest64.int Digest64.basis t.count in
+  Digest64.list
+    (fun d (base, size) -> Digest64.int (Digest64.int d base) size)
+    d t.secure_ranges

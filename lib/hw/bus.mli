@@ -47,3 +47,8 @@ val write : t -> requester:requester -> addr:int -> string -> (unit, denial) res
 val transactions : t -> int
 
 val pp_denial : Format.formatter -> denial -> unit
+
+(** Capture the state; the returned thunk restores it (re-runnable). *)
+val take_snapshot : t -> unit -> unit
+
+val state_digest : t -> Lt_world.Digest64.t

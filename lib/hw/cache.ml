@@ -85,3 +85,38 @@ let resident_sets t ~domain =
         acc := set :: !acc)
     t.lines;
   List.rev !acc
+
+let take_snapshot t =
+  (* line records carry a mutable LRU stamp: deep-copy them *)
+  let lines =
+    Array.map
+      (Array.map (function
+        | Some l -> Some { l with stamp = l.stamp }
+        | None -> None))
+      t.lines
+  in
+  let partitions = Lt_world.Snapshottable.save_hashtbl t.partitions in
+  let tick = t.tick in
+  fun () ->
+    Array.iteri
+      (fun s ways ->
+        Array.blit
+          (Array.map (function Some l -> Some { l with stamp = l.stamp } | None -> None)
+             ways)
+          0 t.lines.(s) 0 t.ways)
+      lines;
+    partitions ();
+    t.tick <- tick
+
+let state_digest t =
+  let open Lt_world in
+  let d = ref (Digest64.int Digest64.basis t.tick) in
+  Array.iter
+    (Array.iter (function
+      | None -> d := Digest64.byte !d 0
+      | Some l ->
+        d := Digest64.int (Digest64.int (Digest64.string !d l.domain) l.tag) l.stamp))
+    t.lines;
+  Snapshottable.digest_hashtbl ~key:Fun.id
+    ~value:(fun (lo, hi) -> Printf.sprintf "%d-%d" lo hi)
+    t.partitions !d

@@ -37,3 +37,8 @@ val flush : t -> unit
 (** [resident_sets t ~domain] lists sets currently holding at least one
     line of [domain], for assertions. *)
 val resident_sets : t -> domain:string -> int list
+
+(** Capture the state; the returned thunk restores it (re-runnable). *)
+val take_snapshot : t -> unit -> unit
+
+val state_digest : t -> Lt_world.Digest64.t

@@ -12,3 +12,9 @@ let elapsed t f =
   let start = t.ticks in
   let r = f () in
   (r, t.ticks - start)
+
+let take_snapshot t =
+  let v = t.ticks in
+  fun () -> t.ticks <- v
+
+let state_digest t = Lt_world.Digest64.(int basis t.ticks)

@@ -18,3 +18,8 @@ val advance : t -> int -> unit
 (** [elapsed t f] runs [f ()] and returns its result with the ticks the
     call consumed. *)
 val elapsed : t -> (unit -> 'a) -> 'a * int
+
+(** Capture the state; the returned thunk restores it (re-runnable). *)
+val take_snapshot : t -> unit -> unit
+
+val state_digest : t -> Lt_world.Digest64.t

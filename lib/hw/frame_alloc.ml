@@ -42,3 +42,15 @@ let free t page =
 let free_count t = List.length t.free_list
 
 let total t = t.pages
+
+let take_snapshot t =
+  let free = t.free_list in
+  let alloc = Lt_world.Snapshottable.save_hashtbl t.allocated in
+  fun () ->
+    t.free_list <- free;
+    alloc ()
+
+let state_digest t =
+  let open Lt_world in
+  let d = List.fold_left Digest64.int (Digest64.int Digest64.basis t.pages) t.free_list in
+  Snapshottable.digest_hashtbl ~key:string_of_int ~value:(fun () -> "") t.allocated d

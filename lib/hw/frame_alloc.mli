@@ -23,3 +23,8 @@ val free : t -> int -> unit
 val free_count : t -> int
 
 val total : t -> int
+
+(** Capture the state; the returned thunk restores it (re-runnable). *)
+val take_snapshot : t -> unit -> unit
+
+val state_digest : t -> Lt_world.Digest64.t

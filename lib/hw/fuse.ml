@@ -17,3 +17,10 @@ let read t ~name ~secure =
 
 let names t =
   Hashtbl.fold (fun name _ acc -> name :: acc) t.fuses [] |> List.sort Stdlib.compare
+
+let take_snapshot t = Lt_world.Snapshottable.save_hashtbl t.fuses
+
+let state_digest t =
+  Lt_world.Snapshottable.digest_hashtbl ~key:Fun.id
+    ~value:(fun (vis, v) -> (match vis with Secure_only -> "s|" | Public -> "p|") ^ v)
+    t.fuses Lt_world.Digest64.basis

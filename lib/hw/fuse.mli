@@ -22,3 +22,8 @@ val program : t -> name:string -> visibility:visibility -> string -> unit
 val read : t -> name:string -> secure:bool -> string option
 
 val names : t -> string list
+
+(** Capture the state; the returned thunk restores it (re-runnable). *)
+val take_snapshot : t -> unit -> unit
+
+val state_digest : t -> Lt_world.Digest64.t

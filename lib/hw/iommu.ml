@@ -42,3 +42,20 @@ let reachable t ~device =
     | None -> Some []
     | Some tbl ->
       Some (Hashtbl.fold (fun p _ acc -> p :: acc) tbl [] |> List.sort_uniq Stdlib.compare)
+
+let take_snapshot t =
+  let on = t.on in
+  let tables = Lt_world.Snapshottable.save_hashtbl_registry t.tables in
+  fun () ->
+    t.on <- on;
+    tables ()
+
+let state_digest t =
+  let open Lt_world in
+  let d = Digest64.bool Digest64.basis t.on in
+  List.fold_left
+    (fun d (dev, tbl) ->
+      Snapshottable.digest_hashtbl ~key:string_of_int ~value:string_of_bool tbl
+        (Digest64.string d dev))
+    d
+    (Snapshottable.sorted_bindings t.tables)

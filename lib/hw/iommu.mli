@@ -25,3 +25,8 @@ val check : t -> device:string -> paddr:int -> write:bool -> bool
 (** [reachable t ~device] lists physical pages the device may touch
     ([None] = everything, IOMMU off). *)
 val reachable : t -> device:string -> int list option
+
+(** Capture the state; the returned thunk restores it (re-runnable). *)
+val take_snapshot : t -> unit -> unit
+
+val state_digest : t -> Lt_world.Digest64.t

@@ -55,3 +55,31 @@ let rom_contents t ~off ~len =
   Phys_mem.cpu_read t.mem ~addr:(t.rom_base + off) ~len
 
 let tamper t = Tamper.create t.mem
+
+(* one capture for the whole machine: DRAM goes through the Cow store,
+   everything else is small control state *)
+let take_snapshot t =
+  Lt_world.Snapshottable.save_refs
+    [ (fun () -> Clock.take_snapshot t.clock);
+      (fun () -> Phys_mem.take_snapshot t.mem);
+      (fun () -> Iommu.take_snapshot t.iommu);
+      (fun () -> Bus.take_snapshot t.bus);
+      (fun () -> Cache.take_snapshot t.cache);
+      (fun () -> Fuse.take_snapshot t.fuses);
+      (fun () -> Frame_alloc.take_snapshot t.dram_frames) ]
+
+let state_digest t =
+  let open Lt_world.Digest64 in
+  basis
+  |> Fun.flip combine (Clock.state_digest t.clock)
+  |> Fun.flip combine (Phys_mem.state_digest t.mem)
+  |> Fun.flip combine (Iommu.state_digest t.iommu)
+  |> Fun.flip combine (Bus.state_digest t.bus)
+  |> Fun.flip combine (Cache.state_digest t.cache)
+  |> Fun.flip combine (Fuse.state_digest t.fuses)
+  |> Fun.flip combine (Frame_alloc.state_digest t.dram_frames)
+
+let layer ?(name = "machine") t =
+  Lt_world.Snapshottable.make ~name
+    ~take:(fun () -> take_snapshot t)
+    ~digest:(fun () -> state_digest t)

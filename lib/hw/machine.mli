@@ -41,3 +41,12 @@ val rom_contents : t -> off:int -> len:int -> string
 
 (** [tamper t] is the physical attacker's handle on this machine. *)
 val tamper : t -> Tamper.t
+
+(** Capture every hardware block (clock, memory+MEEs, IOMMU, bus,
+    cache, fuses, frame allocator) in one restore thunk. *)
+val take_snapshot : t -> unit -> unit
+
+val state_digest : t -> Lt_world.Digest64.t
+
+(** The machine as one {!Lt_world.Snapshottable} layer. *)
+val layer : ?name:string -> t -> Lt_world.Snapshottable.layer

@@ -48,3 +48,14 @@ let pp_fault fmt = function
   | Permission (vaddr, access) ->
     let kind = match access with Read -> "read" | Write -> "write" | Execute -> "execute" in
     Format.fprintf fmt "%s permission fault at 0x%x" kind vaddr
+
+let take_snapshot t = Lt_world.Snapshottable.save_hashtbl t.table
+
+let state_digest t =
+  Lt_world.Snapshottable.digest_hashtbl ~key:string_of_int
+    ~value:(fun (ppage, p) ->
+      Printf.sprintf "%d%c%c%c" ppage
+        (if p.read then 'r' else '-')
+        (if p.write then 'w' else '-')
+        (if p.execute then 'x' else '-'))
+    t.table Lt_world.Digest64.basis

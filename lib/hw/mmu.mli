@@ -42,3 +42,8 @@ val mappings : t -> (int * int * perm) list
 val mapped_ppages : t -> int list
 
 val pp_fault : Format.formatter -> fault -> unit
+
+(** Capture the state; the returned thunk restores it (re-runnable). *)
+val take_snapshot : t -> unit -> unit
+
+val state_digest : t -> Lt_world.Digest64.t

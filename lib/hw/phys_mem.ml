@@ -1,4 +1,5 @@
 open Lt_crypto
+module Cow = Lt_world.Cow
 
 type region = {
   name : string;
@@ -22,10 +23,14 @@ type mee = {
   enc_key : string;
   mac_key : string;
   macs : (int, string) Hashtbl.t; (* block index -> tag, held on-chip *)
+  ks_memo : (int, string) Hashtbl.t;
+      (* per-block keystream is a pure function of the fixed engine key,
+         recomputed on every load and store otherwise; a cache, invisible
+         to snapshots *)
 }
 
 type t = {
-  data : Bytes.t;
+  data : Cow.t;
   region_list : region list;
   mutable mees : mee list;
 }
@@ -47,7 +52,7 @@ let create region_list =
   let top =
     List.fold_left (fun acc r -> max acc (r.base + r.size)) 0 sorted
   in
-  { data = Bytes.make top '\000'; region_list = sorted; mees = [] }
+  { data = Cow.create ~len:top; region_list = sorted; mees = [] }
 
 let regions t = t.region_list
 
@@ -73,15 +78,20 @@ let find_mee t addr =
 
 (* keystream for one block: SHA-256(key || index) twice gives 64 bytes *)
 let keystream m block_index =
-  let label i = Printf.sprintf "%s|%d|%d" m.enc_key block_index i in
-  Sha256.digest (label 0) ^ Sha256.digest (label 1)
+  match Hashtbl.find_opt m.ks_memo block_index with
+  | Some ks -> ks
+  | None ->
+    let label i = Printf.sprintf "%s|%d|%d" m.enc_key block_index i in
+    let ks = Sha256.digest (label 0) ^ Sha256.digest (label 1) in
+    Hashtbl.replace m.ks_memo block_index ks;
+    ks
 
 let block_mac m block_index ciphertext =
   Hmac.mac ~key:m.mac_key (Printf.sprintf "%d|" block_index ^ ciphertext)
 
 let raw_block t m block_index =
   let addr = m.mee_base + (block_index * block_size) in
-  Bytes.sub_string t.data addr block_size
+  Cow.sub_string t.data ~pos:addr ~len:block_size
 
 (* decrypt-and-verify one covered block *)
 let load_block t m block_index =
@@ -99,7 +109,7 @@ let store_block t m block_index plaintext =
     String.init block_size (fun i -> Char.chr (Char.code plaintext.[i] lxor Char.code ks.[i]))
   in
   let addr = m.mee_base + (block_index * block_size) in
-  Bytes.blit_string ct 0 t.data addr block_size;
+  Cow.blit_string ct t.data ~pos:addr;
   Hashtbl.replace m.macs block_index (block_mac m block_index ct)
 
 let install_mee t ~base ~size ~key =
@@ -117,12 +127,13 @@ let install_mee t ~base ~size ~key =
       mee_size = size;
       enc_key = Hkdf.derive ~secret:key ~salt:"mee" ~info:"enc" 32;
       mac_key = Hkdf.derive ~secret:key ~salt:"mee" ~info:"mac" 32;
-      macs = Hashtbl.create 64 }
+      macs = Hashtbl.create 64;
+      ks_memo = Hashtbl.create 64 }
   in
   t.mees <- m :: t.mees;
   (* encrypt current contents in place *)
   for b = 0 to (size / block_size) - 1 do
-    let plaintext = Bytes.sub_string t.data (base + (b * block_size)) block_size in
+    let plaintext = Cow.sub_string t.data ~pos:(base + (b * block_size)) ~len:block_size in
     store_block t m b plaintext
   done
 
@@ -145,7 +156,7 @@ let cpu_read t ~addr ~len =
   let out = Buffer.create len in
   iter_chunks addr len (fun a n ->
       match find_mee t a with
-      | None -> Buffer.add_string out (Bytes.sub_string t.data a n)
+      | None -> Buffer.add_string out (Cow.sub_string t.data ~pos:a ~len:n)
       | Some m ->
         let block_index = (a - m.mee_base) / block_size in
         let plain = load_block t m block_index in
@@ -164,7 +175,7 @@ let cpu_write t ~addr s =
   let src = ref 0 in
   iter_chunks addr len (fun a n ->
       (match find_mee t a with
-       | None -> Bytes.blit_string s !src t.data a n
+       | None -> Cow.blit_string (String.sub s !src n) t.data ~pos:a
        | Some m ->
          let block_index = (a - m.mee_base) / block_size in
          let plain = Bytes.of_string (load_block t m block_index) in
@@ -179,7 +190,7 @@ let phys_read t ~addr ~len =
       match region_of t a with
       | Some r when r.on_chip -> raise (Bad_address a)
       | _ -> ());
-  Bytes.sub_string t.data addr len
+  Cow.sub_string t.data ~pos:addr ~len
 
 let phys_write t ~addr s =
   let len = String.length s in
@@ -188,10 +199,33 @@ let phys_write t ~addr s =
       match region_of t a with
       | Some r when r.on_chip -> raise (Bad_address a)
       | _ -> ());
-  Bytes.blit_string s 0 t.data addr len
+  Cow.blit_string s t.data ~pos:addr
 
 let zero t ~addr ~len = cpu_write t ~addr (String.make len '\000')
 
 let manufacture_write t ~addr s =
   check_range t addr (String.length s);
-  Bytes.blit_string s 0 t.data addr (String.length s)
+  Cow.blit_string s t.data ~pos:addr
+
+(* --- Snapshottable ---------------------------------------------------- *)
+
+(* the byte store is copy-on-write: capture is O(chunks) pointer copies,
+   plus the (small, on-chip) MAC tables of any installed engines *)
+let take_snapshot t =
+  let data = Cow.snapshot t.data in
+  let mees = t.mees in
+  let macs = List.map (fun m -> Lt_world.Snapshottable.save_hashtbl m.macs) mees in
+  fun () ->
+    Cow.restore t.data data;
+    t.mees <- mees;
+    List.iter (fun restore -> restore ()) macs
+
+let state_digest t =
+  let open Lt_world in
+  let d = Cow.digest t.data in
+  List.fold_left
+    (fun d m ->
+      Snapshottable.digest_hashtbl ~key:string_of_int ~value:Fun.id m.macs
+        (Digest64.int (Digest64.int d m.mee_base) m.mee_size))
+    d
+    (List.sort (fun a b -> Stdlib.compare a.mee_base b.mee_base) t.mees)

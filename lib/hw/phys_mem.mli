@@ -63,3 +63,9 @@ val zero : t -> addr:int -> len:int -> unit
     the factory burning ROM contents before the device ships. Not to be
     used after boot; runtime code goes through {!cpu_write}. *)
 val manufacture_write : t -> addr:int -> string -> unit
+
+(** Capture the byte store (copy-on-write: O(chunks)) and MEE state;
+    the returned thunk restores both (re-runnable). *)
+val take_snapshot : t -> unit -> unit
+
+val state_digest : t -> Lt_world.Digest64.t

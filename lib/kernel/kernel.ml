@@ -55,6 +55,11 @@ and thread = {
   mutable cont : (Sys.sysres, unit) Effect.Deep.continuation option;
   mutable pending : Sys.sysres;
   mutable body : (unit -> unit) option;
+  (* permanent copy of the original body: effect continuations are
+     one-shot and cannot be captured by a snapshot, so a restore
+     normalizes every live thread back to its entry point (see
+     take_snapshot below) *)
+  respawn : (unit -> unit) option;
   mutable yielded : bool;
   mutable ticks : int;
 }
@@ -70,6 +75,7 @@ type t = {
   mutable last_tid : int;
   mutable st : stats;
   mutable crashes : (int * exn) list;
+  mutable endpoints : endpoint list; (* registry, for snapshot/restore *)
 }
 
 let switch_cost = 2
@@ -87,7 +93,8 @@ let create mach pol =
     last_tid = -1;
     st = { dispatches = 0; context_switches = 0; ipc_messages = 0;
            denied_cap_uses = 0; faults = 0 };
-    crashes = [] }
+    crashes = [];
+    endpoints = [] }
 
 let machine t = t.mach
 
@@ -130,10 +137,14 @@ let map_memory k task ~vpage ~pages perm =
 let task_frames task = List.sort_uniq Stdlib.compare task.frames
 
 let create_endpoint k ~name =
-  { ep_id = fresh_id k;
-    ep_name = name;
-    senders = Queue.create ();
-    receivers = Queue.create () }
+  let ep =
+    { ep_id = fresh_id k;
+      ep_name = name;
+      senders = Queue.create ();
+      receivers = Queue.create () }
+  in
+  k.endpoints <- ep :: k.endpoints;
+  ep
 
 let endpoint_name ep = ep.ep_name
 
@@ -175,6 +186,7 @@ let create_thread k task ~name ~prio body =
       cont = None;
       pending = Sys.R_unit;
       body = Some body;
+      respawn = Some body;
       yielded = false;
       ticks = 0 }
   in
@@ -551,10 +563,12 @@ let stats k = k.st
 let thread_ticks k tid =
   match Hashtbl.find_opt k.threads tid with None -> 0 | Some th -> th.ticks
 
+(* on the zero-alloc deploy fast path: Hashtbl.find_opt would box the
+   hit in [Some] on every call *)
 let thread_alive k tid =
-  match Hashtbl.find_opt k.threads tid with
-  | None -> false
-  | Some th -> th.state <> Dead
+  match Hashtbl.find k.threads tid with
+  | th -> th.state <> Dead
+  | exception Not_found -> false
 
 let thread_crash k tid = List.assoc_opt tid k.crashes
 
@@ -570,3 +584,117 @@ let pp_quiescence fmt = function
   | Quiescent -> Format.pp_print_string fmt "quiescent"
   | Step_limit -> Format.pp_print_string fmt "step limit reached"
   | Deadlock -> Format.pp_print_string fmt "deadlock"
+
+(* --- Snapshottable ------------------------------------------------------ *)
+
+(* Snapshots are meant to be taken at quiescent points (after [run]
+   returned): effect continuations are one-shot and cannot be captured,
+   so restore normalizes every thread that was alive at capture back to
+   Ready at its original entry point ([respawn]) and clears all endpoint
+   queues.  Server-loop threads are stateless until their first [recv],
+   so on the next [run] they re-execute straight back into Blocked_recv
+   and the kernel is observationally the captured one.  The machine
+   underneath (clock, DRAM, frames) has its own capture. *)
+let take_snapshot k =
+  let tasks = k.tasks in
+  let task_saves =
+    List.map
+      (fun task ->
+        let caps = Lt_world.Snapshottable.save_hashtbl task.cap_slots in
+        let next_slot = task.next_slot in
+        let frames = task.frames in
+        let mmu = Mmu.take_snapshot task.mmu in
+        fun () ->
+          caps ();
+          task.next_slot <- next_slot;
+          task.frames <- frames;
+          mmu ())
+      tasks
+  in
+  let threads = Lt_world.Snapshottable.save_hashtbl k.threads in
+  let thread_saves =
+    Hashtbl.fold
+      (fun _ th acc ->
+        let dead = th.state = Dead in
+        let ticks = th.ticks in
+        (fun () ->
+          th.cont <- None;
+          th.yielded <- false;
+          th.ticks <- ticks;
+          th.pending <- Sys.R_unit;
+          if dead then begin
+            th.state <- Dead;
+            th.body <- None
+          end
+          else begin
+            th.state <- Ready;
+            th.body <- th.respawn
+          end)
+        :: acc)
+      k.threads []
+  in
+  let thread_order = k.thread_order in
+  let endpoints = k.endpoints in
+  let next_id = k.next_id in
+  let st = k.st in
+  let crashes = k.crashes in
+  fun () ->
+    k.tasks <- tasks;
+    List.iter (fun restore -> restore ()) task_saves;
+    threads ();
+    List.iter (fun restore -> restore ()) thread_saves;
+    k.thread_order <- thread_order;
+    (* all captured-live threads are Ready at their entry points: queue
+       them in creation order so servers re-block before any new client
+       runs *)
+    k.ready <- List.filter (fun th -> th.state = Ready) thread_order;
+    k.endpoints <- endpoints;
+    List.iter
+      (fun ep ->
+        Queue.clear ep.senders;
+        Queue.clear ep.receivers)
+      endpoints;
+    k.next_id <- next_id;
+    k.last_tid <- -1;
+    k.st <- st;
+    k.crashes <- crashes
+
+(* Digests the kernel up to the restore normalization above: thread
+   block-states and the scheduling cursor are transient between
+   quiescent points (a captured Blocked_recv server and its restored
+   Ready-at-entry twin are observationally the same kernel), so only
+   liveness is hashed. *)
+let state_digest k =
+  let open Lt_world in
+  let d = ref (Digest64.int Digest64.basis k.next_id) in
+  d := Digest64.int !d (List.length k.crashes);
+  let st = k.st in
+  List.iter
+    (fun n -> d := Digest64.int !d n)
+    [ st.dispatches; st.context_switches; st.ipc_messages; st.denied_cap_uses;
+      st.faults ];
+  List.iter
+    (fun task ->
+      d := Digest64.string (Digest64.string !d task.name) task.partition;
+      d := Digest64.int !d task.next_slot;
+      d := Digest64.list Digest64.int !d task.frames;
+      d :=
+        Snapshottable.digest_hashtbl ~key:string_of_int
+          ~value:(fun c ->
+            Printf.sprintf "%s|%b%b|%d" c.cap_ep.ep_name c.cap_rights.send
+              c.cap_rights.recv c.cap_badge)
+          task.cap_slots !d;
+      d := Digest64.combine !d (Mmu.state_digest task.mmu))
+    (List.rev k.tasks);
+  List.iter
+    (fun th ->
+      d := Digest64.string (Digest64.int !d th.tid) th.t_name;
+      d := Digest64.int !d th.ticks;
+      d := Digest64.bool !d (th.state = Dead))
+    k.thread_order;
+  !d
+
+let layer ?(name = "kernel") k =
+  Lt_world.Snapshottable.make ~name
+    ~take:(fun () -> take_snapshot k)
+    ~digest:(fun () -> state_digest k)

@@ -118,3 +118,18 @@ val thread_crash : t -> int -> exn option
 val kill_thread : t -> int -> unit
 
 val pp_quiescence : Format.formatter -> quiescence -> unit
+
+(** Capture tasks, capability spaces, threads and stats; the returned
+    thunk restores them (re-runnable).  Contract: capture at a quiescent
+    point.  Effect continuations are one-shot, so restore normalizes
+    every live thread back to Ready at its original entry point and
+    clears endpoint queues; server loops re-block on their next [run]
+    and the kernel is observationally the captured one.  The machine
+    underneath is captured separately ({!Lt_hw.Machine.take_snapshot}). *)
+val take_snapshot : t -> unit -> unit
+
+val state_digest : t -> Lt_world.Digest64.t
+
+(** The kernel as one {!Lt_world.Snapshottable} layer (machine not
+    included). *)
+val layer : ?name:string -> t -> Lt_world.Snapshottable.layer

@@ -14,6 +14,10 @@ type t = {
   state : (string, string) Hashtbl.t;
   processes : (string, behaviour) Hashtbl.t;
   mutable owned : bool;
+  (* per-guest, not a toplevel global: client task names and badges
+     derive from it, so a hidden global would leak across world forks
+     and break replay determinism *)
+  mutable calls : int;
 }
 
 let name t = t.g_name
@@ -66,7 +70,8 @@ let boot k ~name:g_name ~partition ~memory_pages ~processes =
       vm_tid = 0;
       state = Hashtbl.create 16;
       processes = table;
-      owned = false }
+      owned = false;
+      calls = 0 }
   in
   let vm () =
     let rec loop () =
@@ -98,20 +103,18 @@ let boot k ~name:g_name ~partition ~memory_pages ~processes =
   guest.vm_tid <- Kernel.create_thread k task ~name:(g_name ^ ".vm") ~prio:5 vm;
   Ok guest
 
-let call_counter = ref 0
-
 let call k t ~process req =
   if not (Kernel.thread_alive k t.vm_tid) then Error "guest halted"
   else begin
-    incr call_counter;
+    t.calls <- t.calls + 1;
     let client_task =
       Kernel.create_task k
-        ~name:(Printf.sprintf "%s-call%d" t.g_name !call_counter)
+        ~name:(Printf.sprintf "%s-call%d" t.g_name t.calls)
         ~partition:(Kernel.task_partition t.task)
     in
     let cap =
       Kernel.grant k client_task t.endpoint ~rights:{ send = true; recv = false }
-        ~badge:!call_counter
+        ~badge:t.calls
     in
     let result = ref (Error "guest did not reply") in
     let _ =
@@ -138,3 +141,26 @@ let loot _k t =
   else
     Hashtbl.fold (fun key v acc -> (key, v) :: acc) t.state []
     |> List.sort Stdlib.compare
+
+(* --- Snapshottable ---------------------------------------------------- *)
+
+let take_snapshot t =
+  let state = Lt_world.Snapshottable.save_hashtbl t.state in
+  let processes = Lt_world.Snapshottable.save_hashtbl t.processes in
+  let owned = t.owned in
+  let calls = t.calls in
+  let vm_tid = t.vm_tid in
+  fun () ->
+    state ();
+    processes ();
+    t.owned <- owned;
+    t.calls <- calls;
+    t.vm_tid <- vm_tid
+
+let state_digest t =
+  let open Lt_world in
+  Digest64.string Digest64.basis t.g_name
+  |> Snapshottable.digest_hashtbl ~key:Fun.id ~value:Fun.id t.state
+  |> Fun.flip Digest64.bool t.owned
+  |> Fun.flip Digest64.int t.calls
+  |> Fun.flip Digest64.int t.vm_tid

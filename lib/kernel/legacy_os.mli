@@ -51,3 +51,9 @@ val is_compromised : t -> bool
 (** [loot k t] — what the attacker inside a compromised guest can dump:
     the entire shared guest state. Empty for intact guests. *)
 val loot : Kernel.t -> t -> (string * string) list
+
+(** Capture the guest's KV state, process table, compromise flag and
+    call counter; the returned thunk restores them (re-runnable). *)
+val take_snapshot : t -> unit -> unit
+
+val state_digest : t -> Lt_world.Digest64.t

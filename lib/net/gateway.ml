@@ -72,3 +72,18 @@ let submit t net ~now ~src ~dst payload =
 let stats t = t.st
 
 let tokens t = t.tokens
+
+(* --- Snapshottable ---------------------------------------------------- *)
+
+let take_snapshot t =
+  let tokens = t.tokens in
+  let last_refill = t.last_refill in
+  let st = t.st in
+  fun () ->
+    t.tokens <- tokens;
+    t.last_refill <- last_refill;
+    t.st <- st
+
+let state_digest t =
+  let open Lt_world.Digest64 in
+  int64 (int basis t.last_refill) (Int64.bits_of_float t.tokens)

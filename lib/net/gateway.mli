@@ -45,3 +45,8 @@ val stats : t -> stats
 (** [tokens t] — current bucket level, for tests and diagnostics.
     Invariant: [0 <= tokens t <= burst]. *)
 val tokens : t -> float
+
+(** Capture the token bucket and its stats. *)
+val take_snapshot : t -> unit -> unit
+
+val state_digest : t -> Lt_world.Digest64.t

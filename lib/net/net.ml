@@ -62,3 +62,37 @@ let observed t = List.rev t.log
 let delivered_count t = t.delivered
 
 let dropped_count t = t.dropped
+
+(* --- Snapshottable ---------------------------------------------------- *)
+
+let take_snapshot t =
+  let boxes =
+    Hashtbl.fold
+      (fun addr q acc -> (addr, q, List.of_seq (Queue.to_seq q)) :: acc)
+      t.mailboxes []
+  in
+  let adversary = t.adversary in
+  let log = t.log in
+  let delivered = t.delivered and dropped = t.dropped in
+  fun () ->
+    List.iter
+      (fun (_, q, xs) ->
+        Queue.clear q;
+        List.iter (fun x -> Queue.add x q) xs)
+      boxes;
+    t.adversary <- adversary;
+    t.log <- log;
+    t.delivered <- delivered;
+    t.dropped <- dropped
+
+let state_digest t =
+  let open Lt_world in
+  let pkt d p = Digest64.string (Digest64.string (Digest64.string d p.src) p.dst) p.payload in
+  Digest64.int (Digest64.int Digest64.basis t.delivered) t.dropped
+  |> Fun.flip (Digest64.list pkt) t.log
+  |> fun d ->
+  List.fold_left
+    (fun d (addr, q) ->
+      Digest64.list pkt (Digest64.string d addr) (List.of_seq (Queue.to_seq q)))
+    d
+    (Snapshottable.sorted_bindings t.mailboxes)

@@ -55,3 +55,8 @@ val observed : t -> packet list
 val delivered_count : t -> int
 
 val dropped_count : t -> int
+
+(** Capture mailboxes, the adversary, the log and delivery counters. *)
+val take_snapshot : t -> unit -> unit
+
+val state_digest : t -> Lt_world.Digest64.t

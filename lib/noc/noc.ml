@@ -143,3 +143,57 @@ let spm_scan _t ~needle =
   ignore needle;
   (* scratchpads are on-chip: a memory-bus probe sees none of them *)
   []
+
+(* --- Snapshottable ---------------------------------------------------- *)
+
+(* Ep_send carries a mutable credit count: rebuild fresh ep records on
+   restore (nothing outside this module holds them) *)
+let take_snapshot t =
+  let saves =
+    Array.map
+      (fun ts ->
+        let eps =
+          Hashtbl.fold
+            (fun ep e acc ->
+              (ep,
+               match e with
+               | Ep_receive -> `Receive
+               | Ep_send s -> `Send (s.target, s.credits))
+              :: acc)
+            ts.eps []
+        in
+        let spm = Lt_world.Snapshottable.save_bytes ts.spm in
+        let queue = Lt_world.Snapshottable.save_queue ts.queue in
+        let program = ts.program in
+        let code_hash = ts.code_hash in
+        fun () ->
+          Hashtbl.reset ts.eps;
+          List.iter
+            (fun (ep, e) ->
+              Hashtbl.replace ts.eps ep
+                (match e with
+                 | `Receive -> Ep_receive
+                 | `Send (target, credits) -> Ep_send { target; credits }))
+            eps;
+          spm ();
+          queue ();
+          ts.program <- program;
+          ts.code_hash <- code_hash)
+      t.tiles
+  in
+  fun () -> Array.iter (fun restore -> restore ()) saves
+
+let state_digest t =
+  let open Lt_world in
+  Array.fold_left
+    (fun d ts ->
+      Snapshottable.digest_hashtbl ~key:string_of_int
+        ~value:(function
+          | Ep_receive -> "recv"
+          | Ep_send s -> Printf.sprintf "send:%d:%d" s.target s.credits)
+        ts.eps d
+      |> Fun.flip Digest64.bytes ts.spm
+      |> Fun.flip Digest64.int (Queue.length ts.queue)
+      |> Fun.flip (Digest64.option Digest64.string) ts.code_hash)
+    (Digest64.int Digest64.basis (Array.length t.tiles))
+    t.tiles

@@ -74,3 +74,9 @@ val spm_read : t -> tile:tile -> off:int -> len:int -> string
     scratchpads are on-chip. Always []. A deliberately honest API for
     the physical-attack comparison. *)
 val spm_scan : t -> needle:string -> int list
+
+(** Capture every tile: endpoints (with credits), scratchpad, message
+    queue and installed program. *)
+val take_snapshot : t -> unit -> unit
+
+val state_digest : t -> Lt_world.Digest64.t

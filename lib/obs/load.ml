@@ -7,6 +7,8 @@ module Metrics = Lt_obs.Metrics
 module Block = Lt_storage.Block
 module Fs = Lt_storage.Legacy_fs
 module Vpfs = Lt_storage.Vpfs
+module Snap = Lt_world.Snapshottable
+module D64 = Lt_world.Digest64
 
 type scenario = Mail | Meter | Cloud
 
@@ -71,6 +73,10 @@ type deployed = {
      one of its own components is down *)
   d_routes : (string * string * string list) list;
   d_storage : storage_harness option;
+  (* the whole booted deployment — substrates, control plane, scenario
+     harness state — as one forkable world; chaos sessions fork it once
+     and rewind per schedule instead of redeploying *)
+  d_world : Lt_world.World.t;
 }
 
 (* a dead dependency cascades as a fault (the supervisor may heal it and
@@ -188,7 +194,32 @@ let make_mail_storage () =
              wrapper must never have handed it plaintext *)
           List.exists (fun fs -> Fs.observed_contains fs ~needle) !past_fs) }
   in
-  (harness, store, load)
+  (* everything the closures above mutate, as one world layer: the live
+     FS/VPFS instances (which carry the block device), the handles
+     themselves, the trusted root, the oracle and the in-doubt list *)
+  let layer =
+    Snap.make ~name:"mail:storage-harness"
+      ~take:(fun () ->
+        Snap.save_refs
+          [ (fun () -> Fs.take_snapshot !lfs);
+            (fun () -> Vpfs.take_snapshot !vpfs);
+            (fun () -> Snap.save_ref lfs);
+            (fun () -> Snap.save_ref vpfs);
+            (fun () -> Snap.save_ref trusted_root);
+            (fun () -> Snap.save_ref past_fs);
+            (fun () -> Snap.save_hashtbl oracle);
+            (fun () -> Snap.save_ref pending) ])
+      ~digest:(fun () ->
+        let d = Fs.state_digest !lfs in
+        let d = D64.combine d (Vpfs.state_digest !vpfs) in
+        let d = D64.string d !trusted_root in
+        let d = D64.int d (List.length !past_fs) in
+        let d =
+          Snap.digest_hashtbl ~key:(fun k -> k) ~value:(fun v -> v) oracle d
+        in
+        D64.list D64.string d (List.sort Stdlib.compare !pending))
+  in
+  (harness, store, load, layer)
 
 (* mail: the Figure 1 slice as a live deployment. ui and composer on the
    microkernel, the protocol/content handlers in SGX enclaves, the
@@ -204,7 +235,7 @@ let deploy_mail rng =
   let m3 = Lt_hw.Machine.create ~dram_pages:64 () in
   let sep, _, _ = Substrate_sep.make m3 rng ~device_id:"mail-sep" ~private_pages:4 in
   let substrates = [ ("microkernel", mk); ("sgx", sgx); ("sep", sep) ] in
-  let storage_h, st_store, st_load = make_mail_storage () in
+  let storage_h, st_store, st_load, storage_layer = make_mail_storage () in
   let slot = ref 0 in
   let on_failure = Manifest.default_restart Manifest.On_failure in
   let always = Manifest.default_restart Manifest.Always in
@@ -291,8 +322,14 @@ let deploy_mail rng =
   match Deploy.deploy ~substrates components with
   | Error e -> Error ("mail deployment: " ^ e)
   | Ok d ->
+    let harness_layer =
+      Snap.make ~name:"mail:harness"
+        ~take:(fun () -> Snap.save_ref slot)
+        ~digest:(fun () -> D64.int D64.basis !slot)
+    in
     Ok
       { d_deploy = d;
+        d_world = Deploy.world ~extra:[ storage_layer; harness_layer ] d;
         d_mix =
           (fun rng i ->
             if Drbg.int rng 100 < 60 then
@@ -394,8 +431,21 @@ let deploy_meter rng =
     (match Deploy.deploy ~substrates components with
      | Error e -> Error ("meter deployment: " ^ e)
      | Ok d ->
+       let harness_layer =
+         Snap.make ~name:"meter:harness"
+           ~take:(fun () ->
+             Snap.save_refs
+               [ (fun () -> Net.take_snapshot net);
+                 (fun () -> Gateway.take_snapshot gw);
+                 (fun () -> Snap.save_ref poll_tick) ])
+           ~digest:(fun () ->
+             let d = Net.state_digest net in
+             let d = D64.combine d (Gateway.state_digest gw) in
+             D64.int d !poll_tick)
+       in
        Ok
          { d_deploy = d;
+           d_world = Deploy.world ~extra:[ harness_layer ] d;
            d_mix = (fun _rng i -> ("collector", "poll", Printf.sprintf "poll-%d" i));
            d_probe = (Some "meter", "anonymizer", "ingest");
            d_routes =
@@ -440,6 +490,7 @@ let deploy_cloud rng =
   | Ok d ->
     Ok
       { d_deploy = d;
+        d_world = Deploy.world d;
         d_mix = (fun _rng i -> ("host", "submit", Printf.sprintf "job-%d" i));
         d_probe = (None, "enclave", "ecall");
         d_routes = [ ("host", "submit", [ "host"; "enclave" ]) ];

@@ -64,6 +64,10 @@ type deployed = {
       (** each external route with the components it transits — the unit
           of blast-radius accounting for chaos runs *)
   d_storage : storage_harness option;  (** mail only *)
+  d_world : Lt_world.World.t;
+      (** the whole booted deployment — substrates, control plane and
+          scenario harness state — as one forkable world; fork once,
+          rewind per chaos schedule instead of redeploying *)
 }
 
 (** [deploy_scenario rng scenario] boots the scenario's substrates and

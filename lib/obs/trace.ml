@@ -82,6 +82,10 @@ let uninstall () = current := None
 
 let active () = !current
 
+(* allocation-free check for fast paths: [active] boxes nothing either,
+   but pattern-matching here keeps the caller honest *)
+let enabled () = match !current with None -> false | Some _ -> true
+
 let with_tracer t f =
   let prev = !current in
   current := Some t;

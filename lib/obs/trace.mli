@@ -48,6 +48,10 @@ val uninstall : unit -> unit
 
 val active : unit -> t option
 
+(** [enabled ()] — allocation-free [active () <> None], for fast paths
+    that branch on tracing without boxing an option. *)
+val enabled : unit -> bool
+
 (** [with_tracer t f] installs [t] for the extent of [f], restoring the
     previous tracer afterwards (also on exceptions). *)
 val with_tracer : t -> (unit -> 'a) -> 'a

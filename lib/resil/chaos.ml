@@ -72,15 +72,63 @@ let validate_plan plan dep comps =
     Error "mid-ipc must be in [0, 100]"
   else Ok ()
 
-let run ?(plan = no_chaos) ?(supervisor = Supervisor.default_config)
-    ?(trace_capacity = 65536) ~scenario ~requests ~seed () =
+(* A chaos session: the scenario booted once and its world forked at
+   the pristine instant, so every subsequent [run ?session] rewinds in
+   O(dirty) instead of redeploying.  The session pins (scenario, seed)
+   — the deployment itself consumed seed-derived randomness — and also
+   saves the post-deploy rng mark so each run replays the exact stream
+   a fresh deployment would see: session runs are byte-identical to
+   sessionless ones. *)
+type session = {
+  s_scenario : Load.scenario;
+  s_seed : int;
+  s_rng : Drbg.t;
+  s_rng_mark : int64;
+  s_dep : Load.deployed;
+  s_pristine : Lt_world.World.snap;
+}
+
+let session ~scenario ~seed () =
+  let rng = Drbg.create (Int64.of_int seed) in
+  let deploy_rng = Drbg.split rng in
+  match Load.deploy_scenario deploy_rng scenario with
+  | Error e -> Error e
+  | Ok dep ->
+    Ok
+      { s_scenario = scenario;
+        s_seed = seed;
+        s_rng = rng;
+        s_rng_mark = Drbg.save rng;
+        s_dep = dep;
+        s_pristine = Lt_world.World.fork dep.Load.d_world }
+
+let run ?session:sess ?(plan = no_chaos)
+    ?(supervisor = Supervisor.default_config) ?(trace_capacity = 65536)
+    ~scenario ~requests ~seed () =
   if requests < 0 then Error "requests must be non-negative"
   else begin
-    let rng = Drbg.create (Int64.of_int seed) in
-    let deploy_rng = Drbg.split rng in
-    match Load.deploy_scenario deploy_rng scenario with
+    let prepared =
+      match sess with
+      | None ->
+        let rng = Drbg.create (Int64.of_int seed) in
+        let deploy_rng = Drbg.split rng in
+        (match Load.deploy_scenario deploy_rng scenario with
+         | Error e -> Error e
+         | Ok dep -> Ok (rng, dep))
+      | Some s ->
+        if Load.scenario_name s.s_scenario <> Load.scenario_name scenario then
+          Error "chaos session was built for a different scenario"
+        else if s.s_seed <> seed then
+          Error "chaos session was built for a different seed"
+        else begin
+          Lt_world.World.restore s.s_dep.Load.d_world s.s_pristine;
+          Drbg.restore s.s_rng s.s_rng_mark;
+          Ok (s.s_rng, s.s_dep)
+        end
+    in
+    match prepared with
     | Error e -> Error e
-    | Ok dep ->
+    | Ok (rng, dep) ->
       let d = dep.Load.d_deploy in
       let comps = Deploy.components d in
       (match validate_plan plan dep comps with

@@ -75,12 +75,31 @@ type report = {
 (** [contained r] — no unexcused failure, oracle intact, no leak. *)
 val contained : report -> bool
 
+(** A booted scenario with its world forked at the pristine instant:
+    build once with {!session}, then every [run ?session] rewinds the
+    world in O(dirty) instead of redeploying. *)
+type session
+
+(** [session ~scenario ~seed ()] boots the scenario exactly as
+    [run ~scenario ~seed] would (the deployment consumes seed-derived
+    randomness) and forks the booted world. *)
+val session :
+  scenario:Lt_load.Load.scenario -> seed:int -> unit ->
+  (session, string) result
+
 (** [run ~scenario ~requests ~seed ()] — deploys the scenario, layers a
     {!Supervisor} over it and replays [requests] chaos-perturbed
     requests. Returns the report plus the tracer (for export), or an
     error when the deployment cannot boot or the plan names unknown
-    components. *)
+    components.
+
+    With [?session] the deployment is skipped: the session's world is
+    restored to its pristine fork and the saved rng mark replayed, so
+    the report is byte-identical to a sessionless run — provided the
+    session was built for the {e same} scenario and seed (anything else
+    is an error). *)
 val run :
+  ?session:session ->
   ?plan:plan -> ?supervisor:Supervisor.config -> ?trace_capacity:int ->
   scenario:Lt_load.Load.scenario -> requests:int -> seed:int -> unit ->
   (report * Lt_obs.Trace.t, string) result

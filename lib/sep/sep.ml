@@ -88,3 +88,22 @@ let store ctx ~key data =
 let load ctx ~key = Hashtbl.find_opt ctx.sep.kv (ctx.svc, key)
 
 let derive ctx ~info len = Hkdf.derive ~secret:ctx.sep.uid ~salt:"sep-derive" ~info len
+
+(* --- Snapshottable ---------------------------------------------------- *)
+
+let take_snapshot t =
+  let services = Lt_world.Snapshottable.save_hashtbl t.services in
+  let kv = Lt_world.Snapshottable.save_hashtbl t.kv in
+  let calls = t.calls in
+  fun () ->
+    services ();
+    kv ();
+    t.calls <- calls
+
+let state_digest t =
+  let open Lt_world in
+  Digest64.string Digest64.basis t.uid
+  |> Snapshottable.digest_hashtbl ~key:(fun (s, k) -> s ^ "\x00" ^ k) ~value:Fun.id
+       t.kv
+  |> Snapshottable.digest_hashtbl ~key:Fun.id ~value:(fun _ -> "") t.services
+  |> Fun.flip Digest64.int t.calls

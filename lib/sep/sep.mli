@@ -56,3 +56,10 @@ val load : ctx -> key:string -> string option
 (** [derive ctx ~info len] derives key material from the UID key —
     the primitive behind per-file keys, passcode entanglement, etc. *)
 val derive : ctx -> info:string -> int -> string
+
+(** Capture services, the protected KV store and the mailbox counter;
+    the returned thunk restores them.  The machine (including the
+    MEE-encrypted DRAM slice) is captured separately. *)
+val take_snapshot : t -> unit -> unit
+
+val state_digest : t -> Lt_world.Digest64.t

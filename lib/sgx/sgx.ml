@@ -10,6 +10,11 @@ type cpu = {
   qe_cert : Cert.t;
   mutable ocall_handler : string -> string;
   mutable live : (int, enclave) Hashtbl.t Lazy.t;
+  (* per-package, not toplevel globals: a hidden global here would leak
+     across world forks (enclave ids feeding MEE keys, monotonic
+     counters surviving a restore) and break fork isolation *)
+  mutable next_enclave_id : int;
+  counters : (string, int) Hashtbl.t;
 }
 
 and enclave = {
@@ -28,8 +33,6 @@ and ctx = { enclave : enclave }
 
 and ecall_handler = ctx -> string -> string
 
-let next_enclave_id = ref 0
-
 let measure_code code = Sha256.digest ("sgx-enclave|" ^ code)
 
 let init_cpu machine rng ~ca_name ~ca_key =
@@ -45,7 +48,9 @@ let init_cpu machine rng ~ca_name ~ca_key =
     qe_key;
     qe_cert;
     ocall_handler = (fun _ -> "");
-    live = lazy (Hashtbl.create 8) }
+    live = lazy (Hashtbl.create 8);
+    next_enclave_id = 0;
+    counters = Hashtbl.create 8 }
 
 let quoting_cert cpu = cpu.qe_cert
 
@@ -67,14 +72,14 @@ let create_enclave cpu ~name ~code ~epc_pages ~ecalls =
     let base = List.hd sorted * page in
     let size = epc_pages * page in
     let measurement = measure_code code in
-    incr next_enclave_id;
+    cpu.next_enclave_id <- cpu.next_enclave_id + 1;
     (* per-enclave MEE key: OS and physical attackers see only ciphertext *)
     Phys_mem.install_mee cpu.machine.Machine.mem ~base ~size
-      ~key:(mee_key cpu (measurement ^ string_of_int !next_enclave_id));
+      ~key:(mee_key cpu (measurement ^ string_of_int cpu.next_enclave_id));
     let table = Hashtbl.create 8 in
     List.iter (fun (fn, h) -> Hashtbl.replace table fn h) ecalls;
     let e =
-      { e_id = !next_enclave_id;
+      { e_id = cpu.next_enclave_id;
         e_name = name;
         e_measurement = measurement;
         e_base = base;
@@ -94,9 +99,10 @@ let measurement e = e.e_measurement
 let destroy cpu e =
   if e.e_alive then begin
     e.e_alive <- false;
-    (* zero through the MEE, then remove it and free the frames *)
-    Phys_mem.zero cpu.machine.Machine.mem ~addr:e.e_base ~len:e.e_size;
+    (* retire the MEE first, then scrub the raw frames: real zeros land
+       in DRAM without paying a decrypt+re-encrypt per block *)
     Phys_mem.remove_mee cpu.machine.Machine.mem ~base:e.e_base;
+    Phys_mem.zero cpu.machine.Machine.mem ~addr:e.e_base ~len:e.e_size;
     List.iter (Frame_alloc.free cpu.machine.Machine.dram_frames) e.e_pages;
     Hashtbl.remove (Lazy.force cpu.live) e.e_id
   end
@@ -202,14 +208,41 @@ let epc_range e = (e.e_base, e.e_size)
 
 (* monotonic counters persist per (cpu, measurement) across enclave
    restarts, as the platform service does *)
-let counters : (string, int) Hashtbl.t = Hashtbl.create 8
-
-let counter_key e = e.e_cpu.master_secret ^ "|" ^ e.e_measurement
+let counter_key e = e.e_measurement
 
 let counter_read ctx =
-  Option.value ~default:0 (Hashtbl.find_opt counters (counter_key ctx.enclave))
+  let e = ctx.enclave in
+  Option.value ~default:0 (Hashtbl.find_opt e.e_cpu.counters (counter_key e))
 
 let counter_increment ctx =
+  let e = ctx.enclave in
   let v = counter_read ctx + 1 in
-  Hashtbl.replace counters (counter_key ctx.enclave) v;
+  Hashtbl.replace e.e_cpu.counters (counter_key e) v;
   v
+
+(* --- Snapshottable ---------------------------------------------------- *)
+
+(* enclave records are mutable only in [e_alive]; EPC contents and the
+   frame allocator live in the machine, captured separately *)
+let take_snapshot cpu =
+  let live = Lazy.force cpu.live in
+  let bindings = Lt_world.Snapshottable.save_hashtbl live in
+  let alive = Hashtbl.fold (fun _ e acc -> (e, e.e_alive) :: acc) live [] in
+  let ocall = cpu.ocall_handler in
+  let next_id = cpu.next_enclave_id in
+  let counters = Lt_world.Snapshottable.save_hashtbl cpu.counters in
+  fun () ->
+    bindings ();
+    List.iter (fun (e, a) -> e.e_alive <- a) alive;
+    cpu.ocall_handler <- ocall;
+    cpu.next_enclave_id <- next_id;
+    counters ()
+
+let state_digest cpu =
+  let open Lt_world in
+  Digest64.int Digest64.basis cpu.next_enclave_id
+  |> Snapshottable.digest_hashtbl ~key:string_of_int
+       ~value:(fun e ->
+         Printf.sprintf "%s|%s|%d|%b" e.e_name e.e_measurement e.e_base e.e_alive)
+       (Lazy.force cpu.live)
+  |> Snapshottable.digest_hashtbl ~key:Fun.id ~value:string_of_int cpu.counters

@@ -136,3 +136,10 @@ val counter_read : ctx -> int
 
 (** [counter_increment ctx] — bump and return the new value. *)
 val counter_increment : ctx -> int
+
+(** Capture live-enclave bookkeeping, the ocall handler, the enclave id
+    allocator and the monotonic counters; EPC contents and frames live
+    in the machine, captured separately. *)
+val take_snapshot : cpu -> unit -> unit
+
+val state_digest : cpu -> Lt_world.Digest64.t

@@ -1,7 +1,9 @@
 let block_size = 512
 
+module Cow = Lt_world.Cow
+
 type t = {
-  data : Bytes.t;
+  data : Cow.t;
   count : int;
   mutable read_ops : int;
   mutable write_ops : int;
@@ -9,7 +11,7 @@ type t = {
 
 let create ~blocks =
   if blocks <= 0 then invalid_arg "Block.create";
-  { data = Bytes.make (blocks * block_size) '\000';
+  { data = Cow.create ~len:(blocks * block_size);
     count = blocks;
     read_ops = 0;
     write_ops = 0 }
@@ -21,7 +23,7 @@ let check t i = if i < 0 || i >= t.count then invalid_arg "Block: index out of r
 let read t i =
   check t i;
   t.read_ops <- t.read_ops + 1;
-  Bytes.sub_string t.data (i * block_size) block_size
+  Cow.sub_string t.data ~pos:(i * block_size) ~len:block_size
 
 let write t i data =
   check t i;
@@ -31,22 +33,35 @@ let write t i data =
     if String.length data = block_size then data
     else data ^ String.make (block_size - String.length data) '\000'
   in
-  Bytes.blit_string padded 0 t.data (i * block_size) block_size
+  Cow.blit_string padded t.data ~pos:(i * block_size)
 
 let corrupt t i rng =
   check t i;
-  Bytes.blit_string (Lt_crypto.Drbg.bytes rng block_size) 0 t.data (i * block_size)
-    block_size
+  Cow.blit_string (Lt_crypto.Drbg.bytes rng block_size) t.data ~pos:(i * block_size)
 
 let snapshot t i =
   check t i;
-  Bytes.sub_string t.data (i * block_size) block_size
+  Cow.sub_string t.data ~pos:(i * block_size) ~len:block_size
 
 let rollback t i snap =
   check t i;
   if String.length snap <> block_size then invalid_arg "Block.rollback";
-  Bytes.blit_string snap 0 t.data (i * block_size) block_size
+  Cow.blit_string snap t.data ~pos:(i * block_size)
 
 let reads t = t.read_ops
 
 let writes t = t.write_ops
+
+(* --- Snapshottable ---------------------------------------------------- *)
+
+let take_snapshot t =
+  let data = Cow.snapshot t.data in
+  let r = t.read_ops and w = t.write_ops in
+  fun () ->
+    Cow.restore t.data data;
+    t.read_ops <- r;
+    t.write_ops <- w
+
+let state_digest t =
+  let open Lt_world.Digest64 in
+  int (int (combine basis (Cow.digest t.data)) t.read_ops) t.write_ops

@@ -36,3 +36,9 @@ val rollback : t -> int -> string -> unit
 val reads : t -> int
 
 val writes : t -> int
+
+(** Capture the device image (copy-on-write) and op counters; the
+    returned thunk restores both (re-runnable). *)
+val take_snapshot : t -> unit -> unit
+
+val state_digest : t -> Lt_world.Digest64.t

@@ -310,3 +310,60 @@ let pp_error fmt = function
   | No_space -> Format.pp_print_string fmt "no space"
   | Io_error e -> Format.fprintf fmt "io error: %s" e
   | Corrupt e -> Format.fprintf fmt "corrupt image: %s" e
+
+(* --- Snapshottable ---------------------------------------------------- *)
+
+(* [file] records are mutable and private to this module: capture their
+   field values and rebuild fresh records on restore.  The block device
+   underneath has its own capture. *)
+let take_snapshot t =
+  let files =
+    Hashtbl.fold (fun p f acc -> (p, f.size, f.fblocks) :: acc) t.files []
+  in
+  let free = t.free in
+  (* an evil generator's stream position is part of the state *)
+  let evil =
+    match t.evil with
+    | Corrupt_reads rng -> `Corrupt_reads (rng, Drbg.save rng)
+    | Honest -> `Honest
+    | Serve_stale -> `Serve_stale
+  in
+  let seen = t.seen in
+  let stale = Lt_world.Snapshottable.save_hashtbl t.stale in
+  let crash_in = t.crash_in in
+  let dev = Block.take_snapshot t.dev in
+  fun () ->
+    Hashtbl.reset t.files;
+    List.iter
+      (fun (p, size, fblocks) -> Hashtbl.replace t.files p { size; fblocks })
+      files;
+    t.free <- free;
+    (match evil with
+     | `Honest -> t.evil <- Honest
+     | `Serve_stale -> t.evil <- Serve_stale
+     | `Corrupt_reads (rng, state) ->
+       Drbg.restore rng state;
+       t.evil <- Corrupt_reads rng);
+    t.seen <- seen;
+    stale ();
+    t.crash_in <- crash_in;
+    dev ()
+
+let state_digest t =
+  let open Lt_world in
+  Digest64.basis
+  |> Fun.flip Digest64.combine (Block.state_digest t.dev)
+  |> Snapshottable.digest_hashtbl ~key:Fun.id
+       ~value:(fun f ->
+         Printf.sprintf "%d|%s" f.size
+           (String.concat "," (List.map string_of_int f.fblocks)))
+       t.files
+  |> Fun.flip (Digest64.list Digest64.int) t.free
+  |> Fun.flip Digest64.int
+       (match t.evil with
+        | Honest -> 0
+        | Corrupt_reads _ -> 1
+        | Serve_stale -> 2)
+  |> Fun.flip (Digest64.list Digest64.string) t.seen
+  |> Snapshottable.digest_hashtbl ~key:Fun.id ~value:Fun.id t.stale
+  |> Fun.flip (Digest64.option Digest64.int) t.crash_in

@@ -77,3 +77,9 @@ val observed_contains : t -> needle:string -> bool
 val crash_after_writes : t -> int -> unit
 
 val pp_error : Format.formatter -> error -> unit
+
+(** Capture files, free list, failure-injection state and the device
+    image; the returned thunk restores all of it (re-runnable). *)
+val take_snapshot : t -> unit -> unit
+
+val state_digest : t -> Lt_world.Digest64.t

@@ -353,3 +353,25 @@ let pp_error fmt = function
   | Not_found p -> Format.fprintf fmt "not found: %s" p
   | Integrity m -> Format.fprintf fmt "integrity violation: %s" m
   | Backend e -> Format.fprintf fmt "backend: %a" Legacy_fs.pp_error e
+
+(* --- Snapshottable ---------------------------------------------------- *)
+
+(* entries are immutable; the backing Legacy_fs has its own capture *)
+let take_snapshot t =
+  let table = Lt_world.Snapshottable.save_hashtbl t.table in
+  let rng = Drbg.save t.rng in
+  let root = t.root_digest in
+  fun () ->
+    table ();
+    Drbg.restore t.rng rng;
+    t.root_digest <- root
+
+let state_digest t =
+  let open Lt_world in
+  Digest64.basis
+  |> Snapshottable.digest_hashtbl ~key:Fun.id
+       ~value:(fun e ->
+         Printf.sprintf "%s|%d|%d|%d" e.file_key e.version e.plain_size e.chunks)
+       t.table
+  |> Fun.flip Digest64.int64 (Drbg.save t.rng)
+  |> Fun.flip Digest64.string t.root_digest

@@ -58,3 +58,9 @@ val exists : t -> string -> bool
 val list : t -> string list
 
 val pp_error : Format.formatter -> error -> unit
+
+(** Capture the file table, nonce generator and root digest; the
+    backing {!Legacy_fs} is captured separately via its own hook. *)
+val take_snapshot : t -> unit -> unit
+
+val state_digest : t -> Lt_world.Digest64.t

@@ -41,3 +41,10 @@ let expected_value measurements =
   List.fold_left
     (fun acc m -> Sha256.digest_concat [ acc; m ])
     zero measurements
+
+(* --- Snapshottable ---------------------------------------------------- *)
+
+let take_snapshot t = Lt_world.Snapshottable.save_array t.regs
+
+let state_digest t =
+  Array.fold_left Lt_world.Digest64.string Lt_world.Digest64.basis t.regs

@@ -37,3 +37,8 @@ val composite : t -> int list -> string
     PCR that started at zero and was extended with [measurements] in
     order — what a verifier computes from a reference manifest. *)
 val expected_value : string list -> string
+
+(** Capture the PCR bank (one array copy). *)
+val take_snapshot : t -> unit -> unit
+
+val state_digest : t -> Lt_world.Digest64.t

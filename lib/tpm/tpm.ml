@@ -14,6 +14,10 @@ type t = {
   chip_serial : string;
   rng : Drbg.t;
   nv : (int, nv_slot) Hashtbl.t;
+  (* RSA signing is deterministic, so repeated signatures over the same
+     body (every Flicker session quotes the same PAL composite under
+     the same nonce) are memoized; a pure cache, invisible to snapshots *)
+  sign_memo : (string, string) Hashtbl.t;
 }
 
 type quote = {
@@ -34,7 +38,8 @@ let manufacture rng ~ca_name ~ca_key ~serial =
     srk = Drbg.bytes rng 32;
     chip_serial = serial;
     rng = Drbg.split rng;
-    nv = Hashtbl.create 4 }
+    nv = Hashtbl.create 4;
+    sign_memo = Hashtbl.create 8 }
 
 let pcrs t = t.pcr_bank
 
@@ -49,19 +54,26 @@ let quote_body ~nonce ~selection ~composite : string =
     (String.concat "," (List.map string_of_int (List.sort_uniq Stdlib.compare selection)))
     composite
 
+let sign_cached t body =
+  match Hashtbl.find_opt t.sign_memo body with
+  | Some signature -> signature
+  | None ->
+    let signature = Rsa.sign t.ek body in
+    Hashtbl.replace t.sign_memo body signature;
+    signature
+
 let quote t ~nonce ~selection =
   let composite = Pcr.composite t.pcr_bank selection in
   { q_nonce = nonce;
     q_selection = List.sort_uniq Stdlib.compare selection;
     q_composite = composite;
-    q_signature =
-      Rsa.sign t.ek (quote_body ~nonce ~selection ~composite) }
+    q_signature = sign_cached t (quote_body ~nonce ~selection ~composite) }
 
 let verify_quote ~ek_pub q =
   Rsa.verify ek_pub ~signature:q.q_signature
     (quote_body ~nonce:q.q_nonce ~selection:q.q_selection ~composite:q.q_composite)
 
-let ak_sign t ~body = Rsa.sign t.ek body
+let ak_sign t ~body = sign_cached t body
 
 let seal_key t composite =
   Hkdf.derive ~secret:t.srk ~salt:"tpm-seal" ~info:composite 16
@@ -123,3 +135,34 @@ let sealed_of_wire w =
          { s_selection = List.map int_of_string parts;
            s_box = box }
      with Failure _ -> None)
+
+(* --- Snapshottable ---------------------------------------------------- *)
+
+(* NV slot records are mutable: capture their data fields and restore in
+   place (sealed blobs in the wild reference the slot policy, which is
+   immutable).  The seal nonce generator is part of the state: replaying
+   the same operations after a restore must produce the same blobs. *)
+let take_snapshot t =
+  let pcr = Pcr.take_snapshot t.pcr_bank in
+  let rng = Drbg.save t.rng in
+  let nv = Lt_world.Snapshottable.save_hashtbl t.nv in
+  let nv_data = Hashtbl.fold (fun i s acc -> (i, s, s.nv_data) :: acc) t.nv [] in
+  fun () ->
+    pcr ();
+    Drbg.restore t.rng rng;
+    nv ();
+    List.iter (fun (_, slot, data) -> slot.nv_data <- data) nv_data
+
+let state_digest t =
+  let open Lt_world in
+  Digest64.string Digest64.basis t.chip_serial
+  |> Fun.flip Digest64.combine (Pcr.state_digest t.pcr_bank)
+  |> Fun.flip Digest64.int64 (Drbg.save t.rng)
+  |> Snapshottable.digest_hashtbl ~key:string_of_int
+       ~value:(fun slot -> slot.nv_policy ^ "\x00" ^ slot.nv_data)
+       t.nv
+
+let layer ?(name = "tpm") t =
+  Lt_world.Snapshottable.make ~name
+    ~take:(fun () -> take_snapshot t)
+    ~digest:(fun () -> state_digest t)

@@ -86,3 +86,10 @@ val nv_define : t -> index:int -> selection:int list -> unit
 val nv_write : t -> index:int -> string -> (unit, string) result
 
 val nv_read : t -> index:int -> (string, string) result
+
+(** Capture PCR bank, NV storage and the seal nonce generator. *)
+val take_snapshot : t -> unit -> unit
+
+val state_digest : t -> Lt_world.Digest64.t
+
+val layer : ?name:string -> t -> Lt_world.Snapshottable.layer

@@ -142,3 +142,24 @@ let breach_service t ~name =
   (* inside the secure world there is no wall between services *)
   Hashtbl.fold (fun (svc, key) v acc -> (svc, key, v) :: acc) t.kv []
   |> List.sort Stdlib.compare
+
+(* --- Snapshottable ---------------------------------------------------- *)
+
+let take_snapshot t =
+  let services = Lt_world.Snapshottable.save_hashtbl t.services in
+  let kv = Lt_world.Snapshottable.save_hashtbl t.kv in
+  let image_hash = t.image_hash in
+  let smcs = t.smcs in
+  fun () ->
+    services ();
+    kv ();
+    t.image_hash <- image_hash;
+    t.smcs <- smcs
+
+let state_digest t =
+  let open Lt_world in
+  Digest64.int Digest64.basis t.smcs
+  |> Fun.flip (Digest64.option Digest64.string) t.image_hash
+  |> Snapshottable.digest_hashtbl ~key:(fun (s, k) -> s ^ "\x00" ^ k) ~value:Fun.id
+       t.kv
+  |> Snapshottable.digest_hashtbl ~key:Fun.id ~value:(fun _ -> "") t.services

@@ -90,3 +90,9 @@ val secure_range : t -> int * int
     store, demonstrating that TrustZone gives no mutual isolation
     between trusted components sharing the secure world. *)
 val breach_service : t -> name:string -> (string * string * string) list
+
+(** Capture secure-world services, the protected store and SMC counter;
+    the machine is captured separately. *)
+val take_snapshot : t -> unit -> unit
+
+val state_digest : t -> Lt_world.Digest64.t

@@ -1,0 +1,43 @@
+(* FNV-1a, 64-bit.  Not cryptographic -- a cheap content digest used to
+   compare two world states for byte-identity in tests and goldens.
+   Collisions are astronomically unlikely for the state sizes involved
+   and a false "equal" only weakens a test, never the runtime. *)
+
+type t = int64
+
+let basis = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) prime
+
+let char h c = byte h (Char.code c)
+
+let string h s =
+  let h = ref h in
+  String.iter (fun c -> h := char !h c) s;
+  !h
+
+let bytes h b =
+  let h = ref h in
+  Bytes.iter (fun c -> h := char !h c) b;
+  !h
+
+let int64 h x =
+  let h = ref h in
+  for i = 0 to 7 do
+    h := byte !h (Int64.to_int (Int64.shift_right_logical x (i * 8)))
+  done;
+  !h
+
+let int h n = int64 h (Int64.of_int n)
+
+let bool h b = byte h (if b then 1 else 0)
+
+let option f h = function None -> byte h 0 | Some v -> f (byte h 1) v
+
+(* combining two digests is just feeding one into the other *)
+let combine h d = int64 h d
+
+let list f h xs = List.fold_left f (int h (List.length xs)) xs
+
+let to_hex d = Printf.sprintf "%016Lx" d

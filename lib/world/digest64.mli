@@ -1,0 +1,24 @@
+(** Cheap 64-bit content digests (FNV-1a) for world-state equality.
+
+    Every [Snapshottable] layer exposes a digest so tests can assert
+    that snapshot → mutate → restore reproduces a byte-identical world
+    without keeping a full copy around.  Accumulator style: start from
+    {!basis}, feed data, compare the resulting [int64]. *)
+
+type t = int64
+
+val basis : t
+val byte : t -> int -> t
+val char : t -> char -> t
+val string : t -> string -> t
+val bytes : t -> Bytes.t -> t
+val int : t -> int -> t
+val int64 : t -> int64 -> t
+val bool : t -> bool -> t
+val option : (t -> 'a -> t) -> t -> 'a option -> t
+
+(** [combine h d] folds a finished digest [d] into accumulator [h]. *)
+val combine : t -> t -> t
+
+val list : (t -> 'a -> t) -> t -> 'a list -> t
+val to_hex : t -> string

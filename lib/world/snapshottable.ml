@@ -1,0 +1,75 @@
+(* The Snapshottable contract, in restore-thunk form.
+
+   A layer's [l_take] captures whatever the layer needs and returns a
+   thunk that puts the layer back exactly as it was; running the thunk
+   more than once is legal (snapshots are re-restorable).  The thunk
+   form lets heterogeneous layers (a Hashtbl here, a Cow store there, a
+   bundle of refs in a closure) aggregate into one World without a
+   shared snap type. *)
+
+type layer = {
+  l_name : string;
+  l_take : unit -> unit -> unit;
+  l_digest : unit -> Digest64.t;
+}
+
+let make ~name ~take ~digest = { l_name = name; l_take = take; l_digest = digest }
+
+let name l = l.l_name
+let take l = l.l_take ()
+let digest l = l.l_digest ()
+
+(* --- capture helpers for layer authors ------------------------------- *)
+
+let save_ref r =
+  let v = !r in
+  fun () -> r := v
+
+let save_refs takes =
+  let rs = List.map (fun take -> take ()) takes in
+  fun () -> List.iter (fun restore -> restore ()) rs
+
+let save_hashtbl h =
+  let bs = Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [] in
+  fun () ->
+    Hashtbl.reset h;
+    List.iter (fun (k, v) -> Hashtbl.replace h k v) bs
+
+(* registry of name -> inner Hashtbl: restores both the outer bindings
+   and each inner table's contents (adapters keep per-launch KV tables
+   in such registries) *)
+let save_hashtbl_registry reg =
+  let outer = Hashtbl.fold (fun k v acc -> (k, v) :: acc) reg [] in
+  let inner = List.map (fun (_, tbl) -> save_hashtbl tbl) outer in
+  fun () ->
+    Hashtbl.reset reg;
+    List.iter (fun (k, v) -> Hashtbl.replace reg k v) outer;
+    List.iter (fun restore -> restore ()) inner
+
+let save_queue q =
+  let xs = List.of_seq (Queue.to_seq q) in
+  fun () ->
+    Queue.clear q;
+    List.iter (fun x -> Queue.add x q) xs
+
+let save_array a =
+  let c = Array.copy a in
+  fun () -> Array.blit c 0 a 0 (Array.length a)
+
+let save_bytes b =
+  let c = Bytes.copy b in
+  fun () -> Bytes.blit c 0 b 0 (Bytes.length b)
+
+(* --- digest helpers -------------------------------------------------- *)
+
+(* Hashtbl iteration order is not deterministic across runs with
+   different insertion histories, so digest bindings in sorted order *)
+let sorted_bindings h =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) h []
+  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+
+let digest_hashtbl ~key ~value h d =
+  List.fold_left
+    (fun d (k, v) -> Digest64.string (Digest64.string d (key k)) (value v))
+    (Digest64.int d (Hashtbl.length h))
+    (sorted_bindings h)

@@ -1,0 +1,57 @@
+(** The [Snapshottable] contract every stateful layer implements.
+
+    [l_take ()] captures the layer's state and returns a restore thunk
+    that puts it back exactly; thunks may run any number of times
+    (snapshots are re-restorable).  [l_digest ()] is a content digest
+    for equality checks — it may walk the whole layer, so it belongs in
+    tests and goldens, never on the fork fast path.
+
+    Restore thunks must restore state {e in place} (same records, same
+    tables) so closures that captured those records keep working after
+    a restore.  See docs/SNAPSHOTS.md for the full contract. *)
+
+type layer = {
+  l_name : string;
+  l_take : unit -> unit -> unit;
+  l_digest : unit -> Digest64.t;
+}
+
+val make :
+  name:string -> take:(unit -> unit -> unit) -> digest:(unit -> Digest64.t) ->
+  layer
+
+val name : layer -> string
+val take : layer -> unit -> unit
+val digest : layer -> Digest64.t
+
+(** {2 Capture helpers} *)
+
+val save_ref : 'a ref -> unit -> unit
+
+(** [save_refs takes] runs each capture now, returns one combined
+    restore thunk. *)
+val save_refs : (unit -> unit -> unit) list -> unit -> unit
+
+(** Captures the bindings; restore resets the table and re-adds them.
+    Values are captured by reference — mutable values need their own
+    capture on top. *)
+val save_hashtbl : ('k, 'v) Hashtbl.t -> unit -> unit
+
+(** Registry of name → inner table: restores the outer bindings {e and}
+    each inner table's contents. *)
+val save_hashtbl_registry : ('k, ('a, 'b) Hashtbl.t) Hashtbl.t -> unit -> unit
+
+val save_queue : 'a Queue.t -> unit -> unit
+val save_array : 'a array -> unit -> unit
+val save_bytes : Bytes.t -> unit -> unit
+
+(** {2 Digest helpers} *)
+
+(** A table's bindings in key-sorted order. *)
+val sorted_bindings : ('k, 'v) Hashtbl.t -> ('k * 'v) list
+
+(** Digest a table's bindings in key-sorted order (iteration order is
+    insertion-history dependent, digests must not be). *)
+val digest_hashtbl :
+  key:('k -> string) -> value:('v -> string) -> ('k, 'v) Hashtbl.t ->
+  Digest64.t -> Digest64.t

@@ -1,0 +1,41 @@
+(* A world is an ordered bag of Snapshottable layers; a fork is the
+   list of their restore thunks.  Forking never copies the big arrays
+   (those go through Cow) so cloning a fully booted deployment is
+   microseconds. *)
+
+type t = { mutable layers : Snapshottable.layer list (* reversed *) }
+
+type snap = (unit -> unit) list
+
+let create () = { layers = [] }
+
+let add t layer = t.layers <- layer :: t.layers
+
+let add_all t layers = List.iter (add t) layers
+
+let layers t = List.rev t.layers
+
+let fork t = List.rev_map (fun l -> l.Snapshottable.l_take ()) t.layers
+
+let snapshot = fork
+
+let restore _t snap = List.iter (fun thunk -> thunk ()) snap
+
+let enter = restore
+
+(* snapshots are plain closures: discarding is just dropping the
+   reference, kept as an explicit API for symmetry and future pooling *)
+let discard _t _snap = ()
+
+let digest t =
+  List.fold_left
+    (fun d l ->
+      Digest64.combine
+        (Digest64.string d l.Snapshottable.l_name)
+        (l.Snapshottable.l_digest ()))
+    Digest64.basis (layers t)
+
+let layer_digests t =
+  List.map
+    (fun l -> (l.Snapshottable.l_name, l.Snapshottable.l_digest ()))
+    (layers t)

@@ -1,0 +1,37 @@
+(** A world: the ordered collection of {!Snapshottable} layers making
+    up one booted deployment (hardware, kernel, substrate sims, storage
+    images, the deploy control plane, scenario harness state).
+
+    [fork] captures all layers in O(dirty) — big arrays are shared
+    copy-on-write via {!Cow} — and [restore] puts every layer back
+    byte-identically.  A snap can be restored any number of times, so
+    one pristine fork serves an entire fuzz run or chaos schedule. *)
+
+type t
+type snap
+
+val create : unit -> t
+val add : t -> Snapshottable.layer -> unit
+val add_all : t -> Snapshottable.layer list -> unit
+val layers : t -> Snapshottable.layer list
+
+(** [fork t] captures every layer.  Alias: {!snapshot}. *)
+val fork : t -> snap
+
+val snapshot : t -> snap
+
+(** [restore t s] rewinds every layer to the forked state.  Alias:
+    {!enter}. *)
+val restore : t -> snap -> unit
+
+val enter : t -> snap -> unit
+
+(** Snaps are plain values — discard is dropping the reference; kept
+    explicit for symmetry. *)
+val discard : t -> snap -> unit
+
+(** Whole-world content digest (walks every layer — test/golden use
+    only, not the fork path). *)
+val digest : t -> Digest64.t
+
+val layer_digests : t -> (string * Digest64.t) list

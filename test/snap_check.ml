@@ -1,0 +1,64 @@
+(* Snapshot smoke for the three scenario worlds, attached to @runtest
+   via the @snap alias: every scenario must (a) deploy to the same
+   world digest twice at the same seed (the boot is deterministic),
+   and (b) come back digest-identical after fork → mutate → restore.
+   Any layer whose take-thunk aliases live mutable state, or whose
+   digest hashes transient run state, breaks (b) loudly here before a
+   fuzz or chaos run can be silently poisoned by it. *)
+
+module Drbg = Lt_crypto.Drbg
+module World = Lt_world.World
+module D64 = Lt_world.Digest64
+module Load = Lt_load.Load
+
+let failures = ref 0
+
+let check what ok =
+  if not ok then begin
+    incr failures;
+    Printf.eprintf "snap_check: FAIL %s\n" what
+  end
+
+let boot scenario =
+  match Load.deploy_scenario (Drbg.create 0x5eedL) scenario with
+  | Ok d -> d
+  | Error e ->
+    Printf.eprintf "snap_check: %s failed to boot: %s\n"
+      (Load.scenario_name scenario) e;
+    exit 1
+
+let mutate (d : Load.deployed) =
+  (* a few requests from the scenario's own seeded mix *)
+  let rng = Drbg.create 0xfeedL in
+  for i = 0 to 4 do
+    let target, service, payload = d.Load.d_mix rng i in
+    ignore
+      (Lateral.Deploy.call d.Load.d_deploy ~caller:None ~target ~service
+         payload)
+  done
+
+let () =
+  List.iter
+    (fun scenario ->
+      let name = Load.scenario_name scenario in
+      let d = boot scenario in
+      let w = d.Load.d_world in
+      let d0 = D64.to_hex (World.digest w) in
+      (* same seed, same world: the digest is a boot invariant *)
+      let d0' = D64.to_hex (World.digest (boot scenario).Load.d_world) in
+      check (name ^ ": double boot digests agree") (d0 = d0');
+      let pristine = World.fork w in
+      mutate d;
+      let dirty = D64.to_hex (World.digest w) in
+      check (name ^ ": the request mix moves the digest") (dirty <> d0);
+      World.restore w pristine;
+      check (name ^ ": restore rewinds to the boot digest")
+        (D64.to_hex (World.digest w) = d0);
+      (* a second rewind from the same snap, after more damage *)
+      mutate d;
+      World.restore w pristine;
+      check (name ^ ": the snap survives a second restore")
+        (D64.to_hex (World.digest w) = d0);
+      Printf.printf "snap_check: %-5s world %s\n" name d0)
+    Load.all_scenarios;
+  if !failures > 0 then exit 1

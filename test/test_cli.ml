@@ -74,6 +74,10 @@ let test_contain_verdicts () =
       check_exit "a witness query itself succeeds" 0
         (Printf.sprintf "contain %s --witness scheduler" storm))
 
+let test_snap () =
+  check_exit "snap round-trips one scenario world" 0 "snap cloud";
+  check_exit "snap rejects an unknown scenario" 2 "snap bogus"
+
 let test_usage_errors () =
   check_exit "unknown subcommands are usage errors" 2 "frobnicate";
   check_exit "unknown flags are usage errors" 2 "lint --bogus-flag"
@@ -89,5 +93,6 @@ let suite =
       test_check_deltas;
     Alcotest.test_case "contain verdict and witness codes" `Quick
       test_contain_verdicts;
+    Alcotest.test_case "snap digests and round-trips worlds" `Quick test_snap;
     Alcotest.test_case "unknown commands and flags exit 2" `Quick
       test_usage_errors ]

@@ -32,4 +32,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("check", Test_check.suite);
       ("contain", Test_contain.suite);
-      ("cli", Test_cli.suite) ]
+      ("cli", Test_cli.suite);
+      ("world", Test_world.suite) ]
