@@ -1,0 +1,169 @@
+(* Self-timed micro-benchmark of the fleet layer: the cost of going
+   multi-machine. A Fleet.call routes one request over the owning
+   host's attested channel — two AEAD records, the mailbox hop, the
+   agent dispatch and the local Deploy.call on the far side — and is
+   timed against the same four-component app deployed on a single
+   machine and called directly. The committed record lives in
+   BENCH_fleet.json at the repo root (refresh with
+   `dune exec bench/fleet_bench.exe`); the median fleet-call overhead
+   must stay below 20x the local baseline.
+
+   The same run also gates the recovery-time distribution the chaos
+   harness reports: two seeded machine-kill + asymmetric-partition
+   runs, pooling every completed failover's tick count (re-attested
+   handshake + re-placement + backoff). Ticks are logical, so this
+   gate is deterministic across machines. *)
+
+open Lt_crypto
+open Lateral
+open Lt_fleet
+
+let rng = Drbg.create 0xf1ee7L
+
+let ca = Rsa.generate ~bits:512 rng
+
+let all_substrates = [ "microkernel"; "sgx"; "sep" ]
+
+let build_fleet () =
+  let hosts =
+    List.map
+      (fun n -> Fleet.host_spec ~name:n ~substrates:all_substrates ())
+      [ "host-1"; "host-2"; "host-3" ]
+  in
+  match
+    Fleet.create ~seed:7L ~hosts
+      ~components:(Fleet_chaos.scenario_components ()) ()
+  with
+  | Ok f ->
+    (match Fleet.place_all f with
+     | Ok () -> f
+     | Error e -> failwith e)
+  | Error e -> failwith e
+
+(* the same app, single-machine: one deployment over the three
+   substrate classes a fleet host offers *)
+let build_local () =
+  let machine = Lt_hw.Machine.create ~dram_pages:512 () in
+  let mk, _ =
+    Substrate_kernel.make machine (Lt_kernel.Sched.Round_robin { quantum = 500 })
+      ()
+  in
+  let m2 = Lt_hw.Machine.create ~dram_pages:128 () in
+  let sgx, _ = Substrate_sgx.make m2 rng ~ca_name:"fleet-ra" ~ca_key:ca () in
+  let m3 = Lt_hw.Machine.create ~dram_pages:64 () in
+  let sep, _, _ = Substrate_sep.make m3 rng ~device_id:"bench-sep" ~private_pages:16 in
+  let substrates = [ ("microkernel", mk); ("sgx", sgx); ("sep", sep) ] in
+  match Deploy.deploy ~substrates (Fleet_chaos.scenario_components ()) with
+  | Ok d -> d
+  | Error e -> failwith e
+
+let calls_per_run = 200
+let runs = 15
+let repeats = 3 (* per-configuration repeats inside a pair; fastest wins *)
+let ring_capacity = 4096
+let warm_calls = 20
+
+let issue_local dep i =
+  match
+    Deploy.call dep ~caller:None ~target:"gate" ~service:"ingress"
+      (Printf.sprintf "req-%d" i)
+  with
+  | Ok _ -> ()
+  | Error e -> failwith e
+
+let issue_fleet f i =
+  match
+    Fleet.call f ~target:"gate" ~service:"ingress" (Printf.sprintf "req-%d" i)
+  with
+  | Ok _ -> ()
+  | Error e -> failwith e
+
+let time_run issue =
+  for i = 1 to warm_calls do
+    issue (-i)
+  done;
+  Gc.full_major ();
+  let t0 = Sys.time () in
+  for i = 1 to calls_per_run do
+    issue i
+  done;
+  Sys.time () -. t0
+
+(* both configurations run fully traced, as the fleet always is *)
+let traced f =
+  let tracer = Lt_obs.Trace.create ~capacity:ring_capacity () in
+  let metrics = Lt_obs.Metrics.create () in
+  Lt_obs.Trace.with_tracer tracer (fun () ->
+      Lt_obs.Metrics.with_metrics metrics f)
+
+let local_run () = traced (fun () -> time_run (issue_local (build_local ())))
+
+let fleet_run () =
+  traced (fun () ->
+      let f = build_fleet () in
+      time_run (issue_fleet f))
+
+let median xs =
+  let sorted = List.sort compare xs in
+  List.nth sorted (List.length xs / 2)
+
+(* pooled recovery ticks over two seeded kill + asym-partition runs;
+   logical ticks, so byte-stable across machines *)
+let measure_recovery () =
+  let one seed =
+    let plan =
+      { Fleet_chaos.kill_hosts = [ "host-2" ];
+        partitions =
+          [ { Fleet_chaos.pt_host = "host-1"; pt_from = 10; pt_heal = 25;
+              pt_asym = true } ] }
+    in
+    match Fleet_chaos.run ~plan ~hosts:3 ~requests:40 ~seed () with
+    | Ok (r, _) -> r.Fleet_chaos.fc_recovery_ticks
+    | Error e -> failwith e
+  in
+  let ticks = one 5 @ one 13 in
+  if ticks = [] then failwith "no failovers completed";
+  (List.length ticks, median ticks)
+
+let () =
+  ignore (local_run ());
+  ignore (fleet_run ());
+  let local = ref [] and fleet = ref [] and ratios = ref [] in
+  for i = 1 to runs do
+    let l = ref infinity and f = ref infinity in
+    for j = 1 to repeats do
+      if (i + j) mod 2 = 0 then begin
+        l := min !l (local_run ());
+        f := min !f (fleet_run ())
+      end
+      else begin
+        f := min !f (fleet_run ());
+        l := min !l (local_run ())
+      end
+    done;
+    local := !l :: !local;
+    fleet := !f :: !fleet;
+    ratios := (!f /. !l) :: !ratios
+  done;
+  let ml = median !local and mf = median !fleet in
+  let us_per_call t = t *. 1e6 /. float_of_int calls_per_run in
+  let overhead = median !ratios in
+  let overhead_budget = 20.0 in
+  let failovers, recovery_ticks = measure_recovery () in
+  let recovery_budget = 100 in
+  Printf.printf
+    "{\"benchmark\":\"fleet-overhead\",\"workload\":\"gate.ingress via attested \
+     channel vs local Deploy.call, traced\",\"calls_per_run\":%d,\"runs\":%d,\"repeats\":%d,\"local_median_us_per_call\":%.3f,\"fleet_median_us_per_call\":%.3f,\"median_overhead_x\":%.2f,\"overhead_budget_x\":%.1f,\"failovers\":%d,\"median_recovery_ticks\":%d,\"recovery_budget_ticks\":%d}\n"
+    calls_per_run runs repeats (us_per_call ml) (us_per_call mf) overhead
+    overhead_budget failovers recovery_ticks recovery_budget;
+  if overhead > overhead_budget then begin
+    Printf.eprintf "fleet_bench: %.2fx call overhead blew the %.1fx budget\n"
+      overhead overhead_budget;
+    exit 1
+  end;
+  if recovery_ticks > recovery_budget then begin
+    Printf.eprintf
+      "fleet_bench: median recovery %d ticks blew the %d-tick budget\n"
+      recovery_ticks recovery_budget;
+    exit 1
+  end

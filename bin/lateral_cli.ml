@@ -237,6 +237,91 @@ let cmd_chaos scenario requests seed trace_file format kill kill_pct flap
       if Lt_resil.Chaos.contained report then 0 else 1
   end
 
+(* --- fleet: machine kills and partitions across attested hosts ------------------ *)
+
+(* "HOST:FROM[:TO][:asym]" -> a scheduled partition *)
+let parse_partition_spec s =
+  let parts = String.split_on_char ':' s in
+  let asym, parts =
+    match List.rev parts with
+    | "asym" :: rest -> (true, List.rev rest)
+    | _ -> (false, parts)
+  in
+  let int_at what v =
+    match int_of_string_opt v with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "partition %S: bad %s %S" s what v)
+  in
+  match parts with
+  | [ host; from ] ->
+    Result.map
+      (fun f ->
+        { Lt_fleet.Fleet_chaos.pt_host = host; pt_from = f; pt_heal = 0;
+          pt_asym = asym })
+      (int_at "start" from)
+  | [ host; from; heal ] ->
+    Result.bind (int_at "start" from) (fun f ->
+        Result.map
+          (fun h ->
+            { Lt_fleet.Fleet_chaos.pt_host = host; pt_from = f; pt_heal = h;
+              pt_asym = asym })
+          (int_at "heal" heal))
+  | _ -> Error (Printf.sprintf "partition %S: want HOST:FROM[:TO][:asym]" s)
+
+let cmd_fleet hosts requests seed trace_file format kill_hosts partitions rogue
+    trace_capacity replay =
+  let module Fc = Lt_fleet.Fleet_chaos in
+  let plan_of specs =
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | s :: rest ->
+        (match parse_partition_spec s with
+         | Ok p -> go (p :: acc) rest
+         | Error _ as e -> e)
+    in
+    Result.map
+      (fun partitions -> { Fc.kill_hosts; partitions })
+      (go [] specs)
+  in
+  let setup =
+    match replay with
+    | Some path ->
+      Result.map
+        (fun r ->
+          (r.Fc.rp_hosts, r.Fc.rp_requests, r.Fc.rp_seed, r.Fc.rp_rogue,
+           r.Fc.rp_plan))
+        (Fc.load_repro path)
+    | None ->
+      Result.map (fun plan -> (hosts, requests, seed, rogue, plan))
+        (plan_of partitions)
+  in
+  match setup with
+  | Error e ->
+    Printf.eprintf "fleet: %s\n" e;
+    2
+  | Ok (hosts, requests, seed, rogue, plan) ->
+    if requests <= 0 then begin
+      Printf.eprintf "fleet: --requests must be positive\n";
+      2
+    end
+    else begin
+      match Fc.run ~plan ~rogue ?trace_capacity ~hosts ~requests ~seed () with
+      | Error e ->
+        Printf.eprintf "fleet: %s\n" e;
+        2
+      | Ok (report, tracer) ->
+        (match trace_file with
+         | None -> ()
+         | Some file ->
+           let oc = open_out file in
+           output_string oc (Lt_obs.Trace.export_json tracer);
+           close_out oc);
+        (match format with
+         | Run_text -> print_string (Fc.render_report_text report)
+         | Run_json -> print_string (Fc.render_report_json report));
+        if Fc.contained report then 0 else 1
+    end
+
 (* --- hunt: differential fuzzing across substrates ------------------------------- *)
 
 let cmd_hunt seed budget engine format replays =
@@ -364,24 +449,27 @@ let cmd_lint files format show_rules =
     (* every file joins ONE fleet: cross-file hazards — a target
        declared in another file, duplicate names across files — are
        first-class findings, not blind spots *)
-    let loaded =
+    let loaded_fleet =
       List.filter_map
         (fun file ->
-          match Manifest_file.load_spanned file with
+          match Manifest_file.load_fleet_spanned file with
           | Error e ->
             parse_failed := true;
             Printf.eprintf "%s: %s\n" file e;
             None
-          | Ok spans -> Some (file, spans))
+          | Ok (spans, hosts) -> Some (file, spans, hosts))
         files
     in
+    let loaded = List.map (fun (f, spans, _) -> (f, spans)) loaded_fleet in
+    let hosts = List.concat_map (fun (_, _, hs) -> hs) loaded_fleet in
     let manifests =
       List.concat_map
         (fun (_, spans) ->
           List.map (fun s -> s.Manifest_file.sp_manifest) spans)
         loaded
     in
-    let diags = Lint.locate_all loaded (Lint.run manifests) in
+    let config = { Lint_rules.default_config with Lint_rules.declared_hosts = hosts } in
+    let diags = Lint.locate_all loaded (Lint.run ~config manifests) in
     let label = String.concat ", " (List.map fst loaded) in
     (match format with
      | Lint_text ->
@@ -474,9 +562,9 @@ let cmd_check files deltas_file format verify =
     let rec load_all acc = function
       | [] -> Ok (List.rev acc)
       | f :: rest ->
-        (match Manifest_file.load f with
+        (match Manifest_file.load_fleet f with
          | Error e -> Error (Printf.sprintf "%s: %s" f e)
-         | Ok ms -> load_all ((f, ms) :: acc) rest)
+         | Ok (ms, hs) -> load_all ((f, ms, hs) :: acc) rest)
     in
     let deltas =
       match deltas_file with
@@ -498,8 +586,12 @@ let cmd_check files deltas_file format verify =
       Printf.eprintf "%s\n" e;
       2
     | Ok loaded, Ok deltas ->
-      let label = String.concat ", " (List.map fst loaded) in
-      let st = Check.create (List.concat_map snd loaded) in
+      let label = String.concat ", " (List.map (fun (f, _, _) -> f) loaded) in
+      let config =
+        { Lint_rules.default_config with
+          Lint_rules.declared_hosts = List.concat_map (fun (_, _, hs) -> hs) loaded }
+      in
+      let st = Check.create ~config (List.concat_map (fun (_, ms, _) -> ms) loaded) in
       let any_error = ref false in
       let diverged = ref None in
       let steps = Buffer.create 256 in
@@ -900,6 +992,87 @@ let chaos_cmd =
       const cmd_chaos $ scenario $ requests $ seed $ trace_arg $ format $ kill
       $ kill_pct $ flap $ mid_ipc $ trace_capacity)
 
+let fleet_cmd =
+  let hosts =
+    Arg.(
+      value & opt int 3
+      & info [ "hosts" ] ~docv:"N"
+          ~doc:"Simulated machines $(b,host-1) .. $(b,host-N), each offering \
+                microkernel, sgx and sep substrates")
+  in
+  let requests =
+    Arg.(
+      value & opt int 100
+      & info [ "requests"; "n" ] ~docv:"N" ~doc:"Number of requests to replay")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Seed for host keys, kill instants, placement order, the \
+                request mix and backoff jitter; equal seeds give \
+                byte-identical fleet reports")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", Run_text); ("json", Run_json) ]) Run_text
+      & info [ "format" ] ~docv:"FORMAT" ~doc:"Report format: $(b,text) or $(b,json)")
+  in
+  let kill_hosts =
+    Arg.(
+      value & opt_all string []
+      & info [ "kill-host" ] ~docv:"HOST"
+          ~doc:"Kill the whole machine once, at a seeded instant (repeatable); \
+                its clusters fail over to surviving attested hosts")
+  in
+  let partitions =
+    Arg.(
+      value & opt_all string []
+      & info [ "partition" ] ~docv:"HOST:FROM[:TO][:asym]"
+          ~doc:
+            "Cut controller\xe2\x86\x94$(b,HOST) when request $(b,FROM) begins, heal \
+             at $(b,TO) (omitted: never). Append $(b,:asym) to cut only the \
+             host's replies \xe2\x80\x94 commands still arrive, acknowledgements are \
+             lost, and stale placements are fenced after the heal (repeatable)")
+  in
+  let rogue =
+    Arg.(
+      value & opt_all string []
+      & info [ "rogue" ] ~docv:"HOST"
+          ~doc:"Run a tampered agent on $(docv) (repeatable): TLS still \
+                succeeds, attestation never does, and the audit asserts the \
+                host receives zero placements")
+  in
+  let trace_capacity =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace-capacity" ] ~docv:"N"
+          ~doc:"Bound the span ring buffer (oldest spans evicted first)")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "replay" ] ~docv:"REPRO-FILE"
+          ~doc:"Replay a minimized fleet reproducer (see test/corpus) instead \
+                of the command-line plan; the file fixes hosts, requests, \
+                seed, rogue set and schedule")
+  in
+  Cmd.v
+    (Cmd.info "fleet" ~exits:std_exits
+       ~doc:
+         "Run the built-in three-cluster app across N simulated machines \
+          joined only by attested channels, killing hosts and cutting the \
+          network at seeded instants. Audits that failover stays within the \
+          static blast radius and that no component is ever placed on a host \
+          failing attestation. Exits 0 when contained, 1 on a violation, 2 on \
+          a bad plan")
+    Term.(
+      const cmd_fleet $ hosts $ requests $ seed $ trace_arg $ format
+      $ kill_hosts $ partitions $ rogue $ trace_capacity $ replay)
+
 let hunt_cmd =
   let seed =
     Arg.(
@@ -1135,8 +1308,8 @@ let () =
   let group =
     Cmd.group ~default info
       [ substrates_cmd; mail_cmd; meter_cmd; gateway_cmd; run_cmd; chaos_cmd;
-        hunt_cmd; analyze_cmd; lint_cmd; flow_cmd; check_cmd; contain_cmd;
-        snap_cmd ]
+        fleet_cmd; hunt_cmd; analyze_cmd; lint_cmd; flow_cmd; check_cmd;
+        contain_cmd; snap_cmd ]
   in
   exit
     (match Cmd.eval_value group with

@@ -62,6 +62,53 @@ let default_tcb_of_substrate s =
    crashed cohabitant stalls the slice for everyone on it *)
 let exclusive_substrates = [ "flicker" ]
 
+(* --- fleet placement --------------------------------------------------
+   Placement-selector semantics live here with the rest of the
+   substrate taxonomy; Manifest.placement_selector_kinds carries the
+   user-facing grammar table. *)
+
+let placement_classes =
+  [ ("tee", substrate_sealed_identity);
+    ("commodity", fun s -> substrate_known s && not (substrate_sealed_identity s)) ]
+
+let cut_prefix ~prefix s =
+  let pl = String.length prefix in
+  if String.length s > pl && String.sub s 0 pl = prefix then
+    Some (String.sub s pl (String.length s - pl))
+  else None
+
+let placement_selector_invalid sel =
+  match cut_prefix ~prefix:"host:" sel with
+  | Some _ -> None
+  | None ->
+    (match cut_prefix ~prefix:"class:" sel with
+     | Some c ->
+       if List.mem_assoc c placement_classes then None
+       else
+         Some
+           (Printf.sprintf "unknown substrate class %S (tee | commodity)" c)
+     | None ->
+       if sel = "host:" || sel = "class:" then
+         Some (Printf.sprintf "selector %S names nothing" sel)
+       else if substrate_known sel then None
+       else Some (Printf.sprintf "unknown substrate %S" sel))
+
+let host_matches_selector (h : Manifest.host) sel =
+  match cut_prefix ~prefix:"host:" sel with
+  | Some name -> h.Manifest.h_name = name
+  | None ->
+    (match cut_prefix ~prefix:"class:" sel with
+     | Some c ->
+       (match List.assoc_opt c placement_classes with
+        | Some pred -> List.exists pred h.Manifest.h_substrates
+        | None -> false)
+     | None -> List.mem sel h.Manifest.h_substrates)
+
+let host_can_host (h : Manifest.host) (m : Manifest.t) =
+  List.mem m.Manifest.substrate h.Manifest.h_substrates
+  && (m.Manifest.placement = []
+      || List.exists (host_matches_selector h) m.Manifest.placement)
+
 (* --- propagation edges ------------------------------------------------------ *)
 
 type kind =

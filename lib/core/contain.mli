@@ -130,6 +130,28 @@ val crashable_substrates : string list
 
 val substrate_crashable : string -> bool
 
+(** {2 Fleet placement}
+
+    Selector semantics for {!Manifest.t.placement} live next to the
+    substrate taxonomy they consult; the user-facing grammar table is
+    {!Manifest.placement_selector_kinds}. *)
+
+(** [placement_selector_invalid sel] — [Some reason] when the selector
+    is malformed or names an unknown class/substrate. [host:NAME] never
+    fails here: whether the host exists is {!Lint_rules}' L024
+    business, which needs the declared host list. *)
+val placement_selector_invalid : string -> string option
+
+(** [host_matches_selector h sel] — does [h] satisfy one selector?
+    [host:N] matches by name, [class:C] if any offered substrate is in
+    the class, a bare substrate name if the host offers it. *)
+val host_matches_selector : Manifest.host -> string -> bool
+
+(** [host_can_host h m] — [h] offers [m]'s substrate {e and} [m]'s
+    placement spec (if any) matches [h]. This is the predicate the
+    fleet placer and L024 share. *)
+val host_can_host : Manifest.host -> Manifest.t -> bool
+
 (** An example victim outside the crashing component's protection
     domain, witnessing that the damage escapes the domain forever
     (the root never heals). [x_path] is the propagation path, root

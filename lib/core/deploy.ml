@@ -172,6 +172,15 @@ let substrate_of t name =
     (fun (sub, _) -> sub.Substrate.properties.Substrate.substrate_name)
     (Hashtbl.find_opt t.placements name)
 
+(* scrub-everything fencing: destroy (not crash) so substrate adapters
+   drop sealed state too, then forget the specs so nothing relaunches *)
+let destroy t =
+  Hashtbl.iter (fun _ (sub, comp) -> sub.Substrate.destroy comp) t.placements;
+  Hashtbl.reset t.placements;
+  Hashtbl.reset t.specs;
+  Hashtbl.reset t.facil;
+  Hashtbl.reset t.routes
+
 let attest t ~component ~nonce ~claim =
   match Hashtbl.find_opt t.placements component with
   | None -> Error (Printf.sprintf "no component %S" component)

@@ -72,6 +72,14 @@ val relaunch : t -> string -> (unit, string) result
 (** [substrate_of t name] — where a component actually runs. *)
 val substrate_of : t -> string -> string option
 
+(** [destroy t] scrubs the whole deployment: every component instance is
+    destroyed on its substrate (volatile {e and} sealed state gone) and
+    the routing/spec tables are emptied, so no later call can revive
+    anything. The fencing primitive — a host that lost ownership of a
+    cluster during a partition runs this on the stale instances before
+    acknowledging the reconcile. Idempotent. *)
+val destroy : t -> unit
+
 (** [attest t ~component ~nonce ~claim] — remote evidence for one
     component from its own substrate. *)
 val attest :

@@ -13,13 +13,15 @@ type config = {
   oversize_loc : int;
   tcb_threshold : int;
   secret_substrates : string list;
+  declared_hosts : Manifest.host list;
 }
 
 let default_config =
   { max_domain_components = 3;
     oversize_loc = 30_000;
     tcb_threshold = 25_000;
-    secret_substrates = [ "sep"; "sgx"; "trustzone"; "flicker" ] }
+    secret_substrates = [ "sep"; "sgx"; "trustzone"; "flicker" ];
+    declared_hosts = [] }
 
 type scope = Component | Neighborhood | Graph
 
@@ -782,6 +784,66 @@ let rec l023 =
               | _ -> None)
           m.Manifest.connects_to) }
 
+let selector_host_name sel =
+  if String.length sel > 5 && String.sub sel 0 5 = "host:" then
+    Some (String.sub sel 5 (String.length sel - 5))
+  else None
+
+let rec l024 =
+  { id = "L024-placement-unsatisfiable";
+    severity = Diagnostic.Error;
+    summary =
+      "a placement spec matches no declared fleet host or substrate class";
+    paper_ref = "\xc2\xa7III";
+    scope = Component;
+    check =
+      (fun cfg _ctx m ->
+        let bad_selectors =
+          List.filter_map
+            (fun sel ->
+              match Contain.placement_selector_invalid sel with
+              | Some reason ->
+                Some
+                  (diag ~rule:l024 ~component:m.Manifest.name
+                     (Printf.sprintf "placement selector %S: %s" sel reason)
+                     "use host:NAME, class:tee, class:commodity or a known substrate name")
+              | None ->
+                (match (selector_host_name sel, cfg.declared_hosts) with
+                 | Some name, (_ :: _ as hosts)
+                   when not
+                          (List.exists
+                             (fun h -> h.Manifest.h_name = name)
+                             hosts) ->
+                   Some
+                     (diag ~rule:l024 ~component:m.Manifest.name
+                        (Printf.sprintf
+                           "placement selector %S names no declared host (declared: %s)"
+                           sel
+                           (String.concat ", "
+                              (List.map (fun h -> h.Manifest.h_name) hosts)))
+                        "declare the host or drop the selector")
+                 | _ -> None))
+            m.Manifest.placement
+        in
+        if bad_selectors <> [] then bad_selectors
+        else
+          match cfg.declared_hosts with
+          | [] -> []
+          | hosts
+            when List.exists (fun h -> Contain.host_can_host h m) hosts -> []
+          | hosts ->
+            [ diag ~rule:l024 ~component:m.Manifest.name
+                (Printf.sprintf
+                   "no declared host can place it: substrate %S%s matches none of %s"
+                   m.Manifest.substrate
+                   (if m.Manifest.placement = [] then ""
+                    else
+                      Printf.sprintf " under place %s"
+                        (String.concat " " m.Manifest.placement))
+                   (String.concat ", "
+                      (List.map (fun h -> h.Manifest.h_name) hosts)))
+                "offer the substrate on a host, relax the place selectors, or move the component" ]) }
+
 let all =
   [ l001; l002; l003; l004; l005; l006; l007; l008; l009; l010; l011; l012;
-    l013; l014; l015; l016; l019; l020; l021; l022; l023 ]
+    l013; l014; l015; l016; l019; l020; l021; l022; l023; l024 ]

@@ -28,6 +28,10 @@ type config = {
       (** L006/L014/L016: substrates assumed to hold secrets worth
           protecting (default sep, sgx, trustzone, flicker); these seed
           the {!Flow} solver's secrecy sources *)
+  declared_hosts : Manifest.host list;
+      (** L024: the fleet hosts placement specs are checked against
+          (default []: selector syntax is still validated, but
+          satisfiability is not — a single-machine lint has no hosts) *)
 }
 
 val default_config : config

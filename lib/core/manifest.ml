@@ -24,7 +24,21 @@ type t = {
   substrate : string;
   stateful : bool;
   restart : restart option;
+  placement : string list;
 }
+
+type host = {
+  h_name : string;
+  h_substrates : string list;
+}
+
+let host ~name ~substrates = { h_name = name; h_substrates = substrates }
+
+let placement_selector_kinds =
+  [ ("host:NAME", "only the fleet host declared with that exact name");
+    ("class:tee", "any host offering a sealed-identity substrate");
+    ("class:commodity", "any host offering a substrate without sealed identity");
+    ("SUBSTRATE", "any host offering that exact substrate (e.g. sgx)") ]
 
 let default_restart policy = { r_policy = policy; r_max = 3; r_window = 256 }
 
@@ -41,7 +55,7 @@ let restart_policy_to_string = function
 
 let v ~name ?(provides = []) ?(connects_to = []) ?domain ?(size_loc = 1000)
     ?(network_facing = false) ?(vulnerable = false) ?(discriminates_clients = true)
-    ?(substrate = "microkernel") ?(stateful = false) ?restart () =
+    ?(substrate = "microkernel") ?(stateful = false) ?restart ?(placement = []) () =
   { name;
     provides;
     connects_to;
@@ -52,7 +66,8 @@ let v ~name ?(provides = []) ?(connects_to = []) ?domain ?(size_loc = 1000)
     discriminates_clients;
     substrate;
     stateful;
-    restart }
+    restart;
+    placement }
 
 let conn ?(vetted = false) target service = { target; service; vetted }
 

@@ -51,7 +51,27 @@ type t = {
       (** accumulates state across requests (sealed or volatile); what a
           crash actually threatens, and what L019 keys on *)
   restart : restart option;      (** [None]: no supervision declared *)
+  placement : string list;
+      (** fleet placement spec: selectors naming the hosts or substrate
+          classes this component may land on. Empty = anywhere its
+          [substrate] is offered. See {!placement_selector_kinds};
+          matching semantics live in {!Contain.host_matches_selector}. *)
 }
+
+(** A fleet host declaration: a named machine and the isolation
+    substrates it offers. Parsed from [host] stanzas by
+    {!Manifest_file.parse_fleet}. *)
+type host = {
+  h_name : string;
+  h_substrates : string list;
+}
+
+val host : name:string -> substrates:string list -> host
+
+(** The placement selector grammar, one [(selector form, meaning)] row
+    per kind — the table docs/FLEET.md must reproduce verbatim (enforced
+    by the [@lintdocs] gate). *)
+val placement_selector_kinds : (string * string) list
 
 (** [default_restart policy] — max 3 restarts per 256-tick window. *)
 val default_restart : restart_policy -> restart
@@ -68,7 +88,7 @@ val v :
   name:string -> ?provides:string list -> ?connects_to:connection list ->
   ?domain:string -> ?size_loc:int -> ?network_facing:bool -> ?vulnerable:bool ->
   ?discriminates_clients:bool -> ?substrate:string -> ?stateful:bool ->
-  ?restart:restart -> unit -> t
+  ?restart:restart -> ?placement:string list -> unit -> t
 
 (** [conn ?vetted target service] — connection shorthand. *)
 val conn : ?vetted:bool -> string -> string -> connection

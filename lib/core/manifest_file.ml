@@ -9,6 +9,7 @@ type partial = {
   mutable p_connects : Manifest.connection list;
   mutable p_stateful : bool;
   mutable p_restart : Manifest.restart option;
+  mutable p_placement : string list;
 }
 
 let fresh_partial () =
@@ -21,14 +22,16 @@ let fresh_partial () =
     p_provides = [];
     p_connects = [];
     p_stateful = false;
-    p_restart = None }
+    p_restart = None;
+    p_placement = [] }
 
 let finish name p =
   Manifest.v ~name ~provides:(List.rev p.p_provides)
     ~connects_to:(List.rev p.p_connects)
     ?domain:p.p_domain ~size_loc:p.p_size ~network_facing:p.p_network
     ~vulnerable:p.p_vulnerable ~discriminates_clients:p.p_badges
-    ~substrate:p.p_substrate ~stateful:p.p_stateful ?restart:p.p_restart ()
+    ~substrate:p.p_substrate ~stateful:p.p_stateful ?restart:p.p_restart
+    ~placement:(List.rev p.p_placement) ()
 
 let split_ws s =
   String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
@@ -44,17 +47,26 @@ let parse_connection ~vetted ~lineno w =
 
 type span = { sp_manifest : Manifest.t; sp_line : int }
 
-let parse_spanned text =
+type host_partial = { hp_name : string; mutable hp_substrates : string list }
+
+type stanza = Comp of string * int * partial | Host of host_partial
+
+let parse_fleet_spanned text =
   let lines = String.split_on_char '\n' text in
   let manifests = ref [] in
-  let current : (string * int * partial) option ref = ref None in
+  let hosts = ref [] in
+  let current : stanza option ref = ref None in
   let error = ref None in
   let close () =
-    match !current with
-    | Some (name, line, p) ->
-      manifests := { sp_manifest = finish name p; sp_line = line } :: !manifests;
-      current := None
-    | None -> ()
+    (match !current with
+     | Some (Comp (name, line, p)) ->
+       manifests := { sp_manifest = finish name p; sp_line = line } :: !manifests
+     | Some (Host hp) ->
+       hosts :=
+         Manifest.host ~name:hp.hp_name ~substrates:(List.rev hp.hp_substrates)
+         :: !hosts
+     | None -> ());
+    current := None
   in
   List.iteri
     (fun i line ->
@@ -78,14 +90,32 @@ let parse_spanned text =
                  !manifests
              then
                error := Some (Printf.sprintf "line %d: duplicate component %S" lineno name)
-             else current := Some (name, lineno, fresh_partial ())
+             else current := Some (Comp (name, lineno, fresh_partial ()))
            | _ -> error := Some (Printf.sprintf "line %d: component takes one name" lineno))
+        | "host" :: rest ->
+          (match rest with
+           | [ name ] ->
+             close ();
+             if List.exists (fun h -> h.Manifest.h_name = name) !hosts then
+               error := Some (Printf.sprintf "line %d: duplicate host %S" lineno name)
+             else current := Some (Host { hp_name = name; hp_substrates = [] })
+           | _ -> error := Some (Printf.sprintf "line %d: host takes one name" lineno))
         | directive :: args ->
           (match !current with
            | None ->
              error :=
                Some (Printf.sprintf "line %d: %S outside a component" lineno directive)
-           | Some (cname, _, p) ->
+           | Some (Host hp) ->
+             (match (directive, args) with
+              | "substrates", (_ :: _ as subs) ->
+                hp.hp_substrates <- List.rev_append subs hp.hp_substrates
+              | _, _ ->
+                error :=
+                  Some
+                    (Printf.sprintf
+                       "line %d: unknown or malformed host directive %S" lineno
+                       directive))
+           | Some (Comp (cname, _, p)) ->
              (match (directive, args) with
               | "domain", [ d ] -> p.p_domain <- Some d
               | "size", [ n ] ->
@@ -133,6 +163,8 @@ let parse_spanned text =
                              "line %d: restart takes policy [max [window]]" lineno)))
               | "provides", (_ :: _ as services) ->
                 p.p_provides <- List.rev_append services p.p_provides
+              | "place", (_ :: _ as selectors) ->
+                p.p_placement <- List.rev_append selectors p.p_placement
               | "connects", [ w ] ->
                 (match parse_connection ~vetted:false ~lineno w with
                  | Ok c when c.Manifest.target = cname ->
@@ -162,18 +194,32 @@ let parse_spanned text =
   | Some e -> Error e
   | None ->
     close ();
-    Ok (List.rev !manifests)
+    Ok (List.rev !manifests, List.rev !hosts)
+
+let parse_spanned text = Result.map fst (parse_fleet_spanned text)
 
 let parse text =
   Result.map (List.map (fun s -> s.sp_manifest)) (parse_spanned text)
 
-let load_spanned path =
+let parse_fleet text =
+  Result.map
+    (fun (spans, hosts) -> (List.map (fun s -> s.sp_manifest) spans, hosts))
+    (parse_fleet_spanned text)
+
+let load_fleet_spanned path =
   match In_channel.with_open_text path In_channel.input_all with
-  | text -> parse_spanned text
+  | text -> parse_fleet_spanned text
   | exception Sys_error e -> Error e
+
+let load_spanned path = Result.map fst (load_fleet_spanned path)
 
 let load path =
   Result.map (List.map (fun s -> s.sp_manifest)) (load_spanned path)
+
+let load_fleet path =
+  Result.map
+    (fun (spans, hosts) -> (List.map (fun s -> s.sp_manifest) spans, hosts))
+    (load_fleet_spanned path)
 
 let to_text manifests =
   let buf = Buffer.create 512 in
@@ -199,6 +245,9 @@ let to_text manifests =
       if m.Manifest.provides <> [] then
         Buffer.add_string buf
           (Printf.sprintf "  provides %s\n" (String.concat " " m.Manifest.provides));
+      if m.Manifest.placement <> [] then
+        Buffer.add_string buf
+          (Printf.sprintf "  place %s\n" (String.concat " " m.Manifest.placement));
       List.iter
         (fun c ->
           Buffer.add_string buf
@@ -208,4 +257,17 @@ let to_text manifests =
         m.Manifest.connects_to;
       Buffer.add_char buf '\n')
     manifests;
+  Buffer.contents buf
+
+let fleet_to_text (manifests, hosts) =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun h ->
+      Buffer.add_string buf (Printf.sprintf "host %s\n" h.Manifest.h_name);
+      if h.Manifest.h_substrates <> [] then
+        Buffer.add_string buf
+          (Printf.sprintf "  substrates %s\n" (String.concat " " h.Manifest.h_substrates));
+      Buffer.add_char buf '\n')
+    hosts;
+  Buffer.add_string buf (to_text manifests);
   Buffer.contents buf

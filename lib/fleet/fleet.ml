@@ -1,0 +1,885 @@
+open Lt_crypto
+open Lateral
+module Net = Lt_net.Net
+module Sc = Lt_net.Secure_channel
+module Trace = Lt_obs.Trace
+module Metrics = Lt_obs.Metrics
+module Breaker = Lt_resil.Breaker
+
+type config = {
+  hop_ticks : int;
+  failover_retries : int;
+  backoff_base : int;
+  backoff_cap : int;
+  breaker_threshold : int;
+  breaker_cooldown : int;
+}
+
+let default_config =
+  { hop_ticks = 1;
+    failover_retries = 2;
+    backoff_base = 4;
+    backoff_cap = 64;
+    breaker_threshold = 3;
+    breaker_cooldown = 128 }
+
+type host_spec = { hs_name : string; hs_substrates : string list; hs_rogue : bool }
+
+let host_spec ?(rogue = false) ~name ~substrates () =
+  { hs_name = name; hs_substrates = substrates; hs_rogue = rogue }
+
+(* the agent's measured identity; a rogue host runs something else under
+   the same genuine TLS certificate *)
+let agent_code = "fleet-agent"
+let rogue_agent_code = "fleet-agent-rogue"
+let controller_addr = "fleet"
+
+type link = { l_cs : Sc.session; l_ss : Sc.session }
+
+type host = {
+  h_spec : Manifest.host;  (* what placement selectors match against *)
+  h_rogue : bool;
+  h_addr : Net.address;
+  h_rng : Drbg.t;               (* the host's own entropy *)
+  h_key : Rsa.keypair;
+  h_cert : Cert.t;
+  h_substrates : (string * Substrate.t) list;
+  h_agent_sub : Substrate.t;
+  h_agent : Substrate.component;
+  h_breaker : Breaker.t;
+  h_deploys : (string, Deploy.t) Hashtbl.t;  (* cluster id -> local deploy *)
+  mutable h_alive : bool;
+  mutable h_link : link option;  (* controller-side view of the session *)
+  mutable h_epochs : int;
+  mutable h_attests : int;
+}
+
+type t = {
+  f_cfg : config;
+  f_net : Net.t;
+  f_rng : Drbg.t;  (* the controller's entropy: nonces, candidate order, jitter *)
+  f_policy : Attestation.policy;
+  f_tls_ca : Rsa.keypair;
+  f_hosts : host list;  (* declaration order — iteration order is fixed *)
+  f_behaviour : (string, Deploy.behaviour) Hashtbl.t;
+  f_clusters : (string * Manifest.t list) list;  (* sorted by cluster id *)
+  f_cluster_of : (string, string) Hashtbl.t;     (* member -> cluster id *)
+  f_owner : (string, string) Hashtbl.t;          (* cluster id -> host name *)
+  f_budget : (string, int) Hashtbl.t;            (* remaining failovers *)
+  f_cuts : (Net.address * Net.address, unit) Hashtbl.t;
+  mutable f_unplaced : string list;  (* given-up clusters, sorted *)
+  mutable f_attest_failures : int;
+  mutable f_rogue_placements : int;
+  mutable f_fenced : int;
+  mutable f_failovers : (string * string) list;  (* newest first *)
+  mutable f_recovery : int list;                 (* newest first *)
+}
+
+(* --- construction --------------------------------------------------------- *)
+
+(* clusters = connected components of the undirected connects_to graph;
+   each is one placement unit, so a host's deployment is self-contained
+   and validates *)
+let cluster_partition manifests =
+  let name_of m = m.Manifest.name in
+  let parent = Hashtbl.create 16 in
+  let rec find x =
+    match Hashtbl.find_opt parent x with
+    | Some p when p <> x ->
+      let r = find p in
+      Hashtbl.replace parent x r;
+      r
+    | _ -> x
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then Hashtbl.replace parent (max ra rb) (min ra rb)
+  in
+  List.iter (fun m -> Hashtbl.replace parent (name_of m) (name_of m)) manifests;
+  List.iter
+    (fun m ->
+      List.iter
+        (fun c ->
+          if Hashtbl.mem parent c.Manifest.target then
+            union (name_of m) c.Manifest.target)
+        m.Manifest.connects_to)
+    manifests;
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      let root = find (name_of m) in
+      let prev = try Hashtbl.find groups root with Not_found -> [] in
+      Hashtbl.replace groups root (m :: prev))
+    manifests;
+  Hashtbl.fold (fun id ms acc -> (id, List.rev ms) :: acc) groups []
+  |> List.sort compare
+
+(* one failover budget per cluster: the cross-host analogue of the
+   manifest restart budget. A cluster whose members all say [never] (or
+   declare nothing) is pinned — it dies where it stands, exactly what
+   the static analysis predicts ([Failed]). *)
+let cluster_budget members =
+  List.fold_left
+    (fun acc m ->
+      match m.Manifest.restart with
+      | Some r when r.Manifest.r_policy <> Manifest.Never ->
+        max acc r.Manifest.r_max
+      | _ -> acc)
+    0 members
+
+let build_substrates rng ~ra_ca ~host_name names =
+  let seen = Hashtbl.create 4 in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest ->
+      if Hashtbl.mem seen s then
+        Error (Printf.sprintf "host %s: duplicate substrate %s" host_name s)
+      else begin
+        Hashtbl.replace seen s ();
+        match s with
+        | "microkernel" ->
+          let m = Lt_hw.Machine.create ~dram_pages:256 () in
+          let mk, _ =
+            Substrate_kernel.make m (Lt_kernel.Sched.Round_robin { quantum = 500 }) ()
+          in
+          go ((s, mk) :: acc) rest
+        | "sgx" ->
+          let m = Lt_hw.Machine.create ~dram_pages:128 () in
+          let sgx, _ = Substrate_sgx.make m rng ~ca_name:"fleet-ra" ~ca_key:ra_ca () in
+          go ((s, sgx) :: acc) rest
+        | "sep" ->
+          let m = Lt_hw.Machine.create ~dram_pages:64 () in
+          let sep, _, _ =
+            Substrate_sep.make m rng ~device_id:(host_name ^ "-sep") ~private_pages:4
+          in
+          go ((s, sep) :: acc) rest
+        | other ->
+          Error
+            (Printf.sprintf
+               "host %s: unsupported fleet substrate %S (microkernel | sgx | sep)"
+               host_name other)
+      end
+  in
+  go [] names
+
+let create ?(config = default_config) ~seed ~hosts ~components () =
+  let rng = Drbg.create seed in
+  let net = Net.create () in
+  Net.register net controller_addr;
+  let tls_ca = Rsa.generate ~bits:512 rng in
+  let ra_ca = Rsa.generate ~bits:512 rng in
+  let cuts = Hashtbl.create 8 in
+  Net.set_adversary net (fun pkt ->
+      if Hashtbl.mem cuts (pkt.Net.src, pkt.Net.dst) then Net.Drop else Net.Deliver);
+  let behaviour = Hashtbl.create 16 in
+  List.iter
+    (fun (m, b) -> Hashtbl.replace behaviour m.Manifest.name b)
+    components;
+  let clusters = cluster_partition (List.map fst components) in
+  let cluster_of = Hashtbl.create 16 in
+  List.iter
+    (fun (id, ms) ->
+      List.iter (fun m -> Hashtbl.replace cluster_of m.Manifest.name id) ms)
+    clusters;
+  let budget = Hashtbl.create 8 in
+  List.iter (fun (id, ms) -> Hashtbl.replace budget id (cluster_budget ms)) clusters;
+  let seen_host = Hashtbl.create 8 in
+  let rec build acc = function
+    | [] -> Ok (List.rev acc)
+    | hs :: rest ->
+      if hs.hs_name = controller_addr then
+        Error (Printf.sprintf "host name %S is reserved" controller_addr)
+      else if Hashtbl.mem seen_host hs.hs_name then
+        Error (Printf.sprintf "duplicate host %S" hs.hs_name)
+      else if not (List.mem "sgx" hs.hs_substrates) then
+        Error
+          (Printf.sprintf "host %s offers no sgx: the fleet agent is an enclave"
+             hs.hs_name)
+      else begin
+        Hashtbl.replace seen_host hs.hs_name ();
+        (* each host gets its own rng stream so one host's entropy use
+           never perturbs another's *)
+        let h_rng = Drbg.split rng in
+        match build_substrates h_rng ~ra_ca ~host_name:hs.hs_name hs.hs_substrates with
+        | Error _ as e -> e
+        | Ok subs ->
+          let agent_sub = List.assoc "sgx" subs in
+          let code = if hs.hs_rogue then rogue_agent_code else agent_code in
+          (match
+             agent_sub.Substrate.launch ~name:(hs.hs_name ^ "-agent") ~code
+               ~services:[ ("ping", fun _ x -> x) ]
+           with
+           | Error e ->
+             Error (Printf.sprintf "host %s: agent launch: %s" hs.hs_name e)
+           | Ok agent ->
+             let key = Rsa.generate ~bits:512 h_rng in
+             let cert =
+               Cert.issue ~ca_name:"fleet-tls" ~ca_key:tls_ca ~subject:hs.hs_name
+                 key.Rsa.pub
+             in
+             Net.register net hs.hs_name;
+             let h =
+               { h_spec =
+                   Manifest.host ~name:hs.hs_name ~substrates:hs.hs_substrates;
+                 h_rogue = hs.hs_rogue;
+                 h_addr = hs.hs_name;
+                 h_rng;
+                 h_key = key;
+                 h_cert = cert;
+                 h_substrates = subs;
+                 h_agent_sub = agent_sub;
+                 h_agent = agent;
+                 h_breaker =
+                   Breaker.create ~prefix:"fleet"
+                     ~threshold:config.breaker_threshold
+                     ~cooldown:config.breaker_cooldown hs.hs_name;
+                 h_deploys = Hashtbl.create 4;
+                 h_alive = true;
+                 h_link = None;
+                 h_epochs = 0;
+                 h_attests = 0 }
+             in
+             build (h :: acc) rest)
+      end
+  in
+  match build [] hosts with
+  | Error _ as e -> e
+  | Ok [] -> Error "a fleet needs at least one host"
+  | Ok built ->
+    (* the policy every connect re-checks: evidence must chain to the
+       fleet RA root and measure the genuine agent *)
+    let measurement =
+      (List.hd built).h_agent_sub.Substrate.measure ~code:agent_code
+    in
+    let policy =
+      { Attestation.trusted_cas = [ ("fleet-ra", ra_ca.Rsa.pub) ];
+        shared_device_keys = [];
+        accepted_measurements = [ measurement ] }
+    in
+    Ok
+      { f_cfg = config;
+        f_net = net;
+        f_rng = rng;
+        f_policy = policy;
+        f_tls_ca = tls_ca;
+        f_hosts = built;
+        f_behaviour = behaviour;
+        f_clusters = clusters;
+        f_cluster_of = cluster_of;
+        f_owner = Hashtbl.create 8;
+        f_budget = budget;
+        f_cuts = cuts;
+        f_unplaced = [];
+        f_attest_failures = 0;
+        f_rogue_placements = 0;
+        f_fenced = 0;
+        f_failovers = [];
+        f_recovery = [] }
+
+(* --- topology accessors --------------------------------------------------- *)
+
+let hosts t = List.map (fun h -> h.h_spec.Manifest.h_name) t.f_hosts
+
+let find_host t name =
+  List.find_opt (fun h -> h.h_spec.Manifest.h_name = name) t.f_hosts
+
+let host_alive t name =
+  match find_host t name with Some h -> h.h_alive | None -> false
+
+let host_connected t name =
+  match find_host t name with Some h -> h.h_link <> None | None -> false
+
+let clusters t = List.map (fun (id, ms) -> (id, List.map (fun m -> m.Manifest.name) ms)) t.f_clusters
+
+let owner t cluster = Hashtbl.find_opt t.f_owner cluster
+
+let unplaced t = t.f_unplaced
+
+let net t = t.f_net
+
+let host_epochs t =
+  List.sort compare
+    (List.map (fun h -> (h.h_spec.Manifest.h_name, h.h_epochs)) t.f_hosts)
+
+let host_attests t =
+  List.sort compare
+    (List.map (fun h -> (h.h_spec.Manifest.h_name, h.h_attests)) t.f_hosts)
+
+let attest_failures t = t.f_attest_failures
+let rogue_placements t = t.f_rogue_placements
+let fenced t = t.f_fenced
+let failovers t = List.rev t.f_failovers
+let recovery_ticks t = List.rev t.f_recovery
+
+let failed_over_clusters t =
+  List.sort_uniq compare (List.map fst t.f_failovers)
+
+(* --- the wire ------------------------------------------------------------- *)
+
+(* commands are plaintext inside the attested session: a one-line header
+   and an optional body after the first newline *)
+let frame header body = if body = "" then header else header ^ "\n" ^ body
+
+let unframe msg =
+  match String.index_opt msg '\n' with
+  | None -> (msg, "")
+  | Some i ->
+    (String.sub msg 0 i, String.sub msg (i + 1) (String.length msg - i - 1))
+
+let hop t = Trace.advance t.f_cfg.hop_ticks
+
+(* stale packets — replies that arrived after the controller gave up,
+   flights of a torn-down handshake — must never be fed into a fresh
+   session's sequence space *)
+let drain t addr =
+  let n = ref 0 in
+  let rec go () =
+    match Net.recv t.f_net addr with
+    | Some _ ->
+      incr n;
+      go ()
+    | None -> ()
+  in
+  go ();
+  if !n > 0 then Metrics.incr "fleet/stale_drained"
+
+(* --- the host agent ------------------------------------------------------- *)
+
+(* everything below runs "on the host": it may touch only the host's own
+   state and the network *)
+
+let host_deploy_of_member h target =
+  let best = ref None in
+  let keys =
+    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) h.h_deploys [])
+  in
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt h.h_deploys id with
+      | Some d when !best = None && Deploy.manifest d target <> None ->
+        best := Some d
+      | _ -> ())
+    keys;
+  !best
+
+let host_place t h header body =
+  match String.split_on_char ' ' header with
+  | [ _; cluster ] ->
+    (match Manifest_file.parse body with
+     | Error e -> "err\n" ^ e
+     | Ok ms ->
+       let missing =
+         List.filter (fun m -> not (Hashtbl.mem t.f_behaviour m.Manifest.name)) ms
+       in
+       if missing <> [] then
+         "err\nno code image for " ^ (List.hd missing).Manifest.name
+       else begin
+         (* a re-place onto a host that still has a stale copy first
+            scrubs the old instance *)
+         (match Hashtbl.find_opt h.h_deploys cluster with
+          | Some old ->
+            Deploy.destroy old;
+            Hashtbl.remove h.h_deploys cluster
+          | None -> ());
+         let specs =
+           List.map (fun m -> (m, Hashtbl.find t.f_behaviour m.Manifest.name)) ms
+         in
+         match Deploy.deploy ~substrates:h.h_substrates specs with
+         | Error e -> "err\n" ^ e
+         | Ok d ->
+           Hashtbl.replace h.h_deploys cluster d;
+           Trace.event ~kind:"fleet" ~name:"place"
+             ~attrs:[ ("host", h.h_spec.Manifest.h_name); ("cluster", cluster) ]
+             ();
+           "ok\nplaced"
+       end)
+  | _ -> "err\nmalformed place"
+
+let host_call h header body =
+  match String.split_on_char ' ' header with
+  | [ _; target; service ] ->
+    (match host_deploy_of_member h target with
+     | None -> "err\nno such component here: " ^ target
+     | Some d ->
+       (match Deploy.call_typed d ~caller:None ~target ~service body with
+        | Ok resp -> "ok\n" ^ resp
+        | Error e -> "err\n" ^ App.render_call_error e))
+  | _ -> "err\nmalformed call"
+
+let host_reconcile h header =
+  let owned =
+    match String.split_on_char ' ' header with _ :: rest -> rest | [] -> []
+  in
+  let local =
+    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) h.h_deploys [])
+  in
+  let fenced = ref 0 in
+  List.iter
+    (fun id ->
+      if not (List.mem id owned) then begin
+        (match Hashtbl.find_opt h.h_deploys id with
+         | Some d -> Deploy.destroy d
+         | None -> ());
+        Hashtbl.remove h.h_deploys id;
+        incr fenced;
+        Trace.event ~kind:"fleet" ~name:"fence"
+          ~attrs:[ ("host", h.h_spec.Manifest.h_name); ("cluster", id) ]
+          ()
+      end)
+    local;
+  Printf.sprintf "ok\n%d" !fenced
+
+let host_handle t h plain =
+  let header, body = unframe plain in
+  match String.split_on_char ' ' header with
+  | "place" :: _ -> host_place t h header body
+  | "call" :: _ -> host_call h header body
+  | "reconcile" :: _ -> host_reconcile h header
+  | "ping" :: _ -> "ok\npong"
+  | _ -> "err\nunknown command"
+
+(* the host agent's receive loop: open each pending record on the
+   session, act, reply. A record that fails to open (tampered, or the
+   sequence space desynced by a drop) kills the host's side of the
+   session — it falls silent and the controller must re-handshake. *)
+let host_pump t h =
+  match h.h_link with
+  | None -> ()
+  | Some link ->
+    let rec go () =
+      match Net.recv t.f_net h.h_addr with
+      | None -> ()
+      | Some pkt ->
+        (match Sc.receive link.l_ss pkt.Net.payload with
+         | Error _ ->
+           Metrics.incr "fleet/host_record_rejected";
+           h.h_link <- None
+         | Ok plain ->
+           let reply = host_handle t h plain in
+           Net.send t.f_net ~src:h.h_addr ~dst:controller_addr
+             (Sc.send link.l_ss reply);
+           go ())
+    in
+    go ()
+
+(* --- connecting (handshake + fresh attestation) --------------------------- *)
+
+(* pump a TLS handshake across the real network, host side gated on
+   liveness — unlike [Sc.connect], a dead or partitioned host simply
+   never answers and the handshake stalls out *)
+let pump_handshake t h client server =
+  let max_flights = 16 in
+  Net.send t.f_net ~src:controller_addr ~dst:h.h_addr (Sc.Client.start client);
+  hop t;
+  let rec round flights =
+    if flights > max_flights then Error "handshake stalled"
+    else begin
+      let progressed = ref false in
+      (* host side *)
+      if h.h_alive then begin
+        let rec host_side () =
+          match Net.recv t.f_net h.h_addr with
+          | None -> ()
+          | Some pkt ->
+            progressed := true;
+            (match Sc.Server.handle server pkt.Net.payload with
+             | Ok (Some reply) ->
+               Net.send t.f_net ~src:h.h_addr ~dst:controller_addr reply;
+               hop t;
+               host_side ()
+             | Ok None -> host_side ()
+             | Error _ -> ())
+        in
+        host_side ()
+      end;
+      (* controller side *)
+      let err = ref None in
+      let rec ctl_side () =
+        match Net.recv t.f_net controller_addr with
+        | None -> ()
+        | Some pkt ->
+          progressed := true;
+          (match Sc.Client.handle client pkt.Net.payload with
+           | Ok (Some reply) ->
+             Net.send t.f_net ~src:controller_addr ~dst:h.h_addr reply;
+             hop t;
+             ctl_side ()
+           | Ok None -> ctl_side ()
+           | Error e -> err := Some e)
+      in
+      ctl_side ();
+      match !err with
+      | Some e -> Error e
+      | None ->
+        (match (Sc.Client.session client, Sc.Server.session server) with
+         | Some cs, Some ss -> Ok (cs, ss)
+         | _ ->
+           if !progressed then round (flights + 1)
+           else Error "handshake stalled (no progress)")
+    end
+  in
+  round 0
+
+(* one request/reply exchange over an established link. [None] reply is
+   a transport fault; the caller decides what that means. *)
+let exchange t h plain =
+  match h.h_link with
+  | None -> Error "no session"
+  | Some link ->
+    drain t controller_addr;
+    Net.send t.f_net ~src:controller_addr ~dst:h.h_addr (Sc.send link.l_cs plain);
+    hop t;
+    if h.h_alive then host_pump t h;
+    hop t;
+    (match Net.recv t.f_net controller_addr with
+     | None -> Error "no reply"
+     | Some pkt ->
+       (match Sc.receive link.l_cs pkt.Net.payload with
+        | Ok reply -> Ok reply
+        | Error e ->
+          Metrics.incr "fleet/record_rejected";
+          Error ("record rejected: " ^ e)))
+
+let reconcile t h =
+  let name = h.h_spec.Manifest.h_name in
+  let owned =
+    List.sort compare
+      (Hashtbl.fold
+         (fun cluster hname acc -> if hname = name then cluster :: acc else acc)
+         t.f_owner [])
+  in
+  match exchange t h (frame (String.concat " " ("reconcile" :: owned)) "") with
+  | Ok reply ->
+    let header, body = unframe reply in
+    if header = "ok" then begin
+      let n = try int_of_string body with _ -> 0 in
+      if n > 0 then begin
+        t.f_fenced <- t.f_fenced + n;
+        Metrics.incr "fleet/fenced"
+      end;
+      Ok ()
+    end
+    else Error body
+  | Error e ->
+    h.h_link <- None;
+    Error e
+
+(* establish (or re-establish) the attested session to [h]. Evidence is
+   demanded fresh every time — nothing learned before a partition
+   survives it. *)
+let connect t h =
+  let name = h.h_spec.Manifest.h_name in
+  if h.h_link <> None then Ok ()
+  else if not (Breaker.admit h.h_breaker) then Error "host circuit open"
+  else begin
+    let fail e =
+      Breaker.fault h.h_breaker;
+      Metrics.incr "fleet/connect_fail";
+      Error e
+    in
+    drain t controller_addr;
+    drain t h.h_addr;
+    let client =
+      Sc.Client.create t.f_rng ~trusted_ca:t.f_tls_ca.Rsa.pub
+        ~expected_subject:name ()
+    in
+    let server = Sc.Server.create h.h_rng ~key:h.h_key ~cert:h.h_cert in
+    match pump_handshake t h client server with
+    | Error e -> fail (Printf.sprintf "handshake with %s: %s" name e)
+    | Ok (cs, ss) ->
+      (* RA inside the channel: challenge and evidence cross the same
+         untrusted network as everything else *)
+      let challenge, nonce = Ra_channel.request t.f_rng cs in
+      Net.send t.f_net ~src:controller_addr ~dst:h.h_addr challenge;
+      hop t;
+      let evidence =
+        if not h.h_alive then None
+        else
+          match Net.recv t.f_net h.h_addr with
+          | None -> None
+          | Some pkt ->
+            (match Ra_channel.respond ss h.h_agent_sub h.h_agent
+                     ~challenge:pkt.Net.payload with
+             | Ok response ->
+               Net.send t.f_net ~src:h.h_addr ~dst:controller_addr response;
+               hop t;
+               Net.recv t.f_net controller_addr
+               |> Option.map (fun p -> p.Net.payload)
+             | Error _ -> None)
+      in
+      (match evidence with
+       | None -> fail (Printf.sprintf "attestation of %s: no evidence" name)
+       | Some response ->
+         (match Ra_channel.check cs ~policy:t.f_policy ~nonce ~response with
+          | Error e ->
+            t.f_attest_failures <- t.f_attest_failures + 1;
+            Metrics.incr "fleet/attest_fail";
+            Trace.event ~kind:"fleet" ~name:"attest-fail"
+              ~attrs:(Trace.attr "host" name) ();
+            fail (Printf.sprintf "attestation of %s: %s" name e)
+          | Ok () ->
+            h.h_link <- Some { l_cs = cs; l_ss = ss };
+            h.h_epochs <- h.h_epochs + 1;
+            h.h_attests <- h.h_attests + 1;
+            Breaker.success h.h_breaker;
+            Metrics.incr "fleet/attest_ok";
+            Trace.event ~kind:"fleet" ~name:"attest-ok"
+              ~attrs:(Trace.attr "host" name) ();
+            (* fence first: a reconnect after a partition must destroy
+               whatever this host holds that the fleet re-homed *)
+            (match reconcile t h with
+             | Ok () -> Ok ()
+             | Error e ->
+               fail (Printf.sprintf "reconcile with %s: %s" name e))))
+  end
+
+(* --- placement and failover ----------------------------------------------- *)
+
+let eligible_hosts t members =
+  List.filter
+    (fun h ->
+      List.for_all (fun m -> Contain.host_can_host h.h_spec m) members)
+    t.f_hosts
+
+(* seeded candidate order: a deterministic rotation of the declaration
+   order, so equal seeds sweep hosts identically but placement still
+   spreads instead of piling onto the first host *)
+let seeded_order t hs =
+  match hs with
+  | [] | [ _ ] -> hs
+  | _ ->
+    let n = List.length hs in
+    let k = Drbg.int t.f_rng n in
+    let rec split i acc rest =
+      if i = k then (List.rev acc, rest)
+      else
+        match rest with
+        | [] -> (List.rev acc, [])
+        | x :: tl -> split (i + 1) (x :: acc) tl
+    in
+    let pre, post = split 0 [] hs in
+    post @ pre
+
+let members_of t cluster =
+  match List.assoc_opt cluster t.f_clusters with Some ms -> ms | None -> []
+
+let place_on t h cluster =
+  let members = members_of t cluster in
+  match connect t h with
+  | Error _ as e -> e
+  | Ok () ->
+    (match
+       exchange t h (frame ("place " ^ cluster) (Manifest_file.to_text members))
+     with
+     | Ok reply ->
+       let header, body = unframe reply in
+       if header = "ok" then begin
+         Hashtbl.replace t.f_owner cluster h.h_spec.Manifest.h_name;
+         if h.h_rogue then begin
+           (* the gate should make this impossible; count it anyway so
+              the audit can prove it stayed impossible *)
+           t.f_rogue_placements <- t.f_rogue_placements + 1;
+           Metrics.incr "fleet/rogue_placement"
+         end;
+         Metrics.incr "fleet/place";
+         Ok ()
+       end
+       else Error body
+     | Error e ->
+       (* transport fault mid-placement: the host may or may not hold an
+          instance now (the asymmetric-partition case). Tear down; the
+          reconcile after the next successful handshake fences it. *)
+       h.h_link <- None;
+       Breaker.fault h.h_breaker;
+       Error e)
+
+let give_up t cluster =
+  if not (List.mem cluster t.f_unplaced) then begin
+    t.f_unplaced <- List.sort compare (cluster :: t.f_unplaced);
+    Metrics.incr "fleet/cluster_given_up";
+    Trace.event ~kind:"fleet" ~name:"give-up" ~attrs:(Trace.attr "cluster" cluster)
+      ()
+  end
+
+(* re-place [cluster] on a surviving host: seeded candidate order,
+   seeded exponential backoff between sweeps, per-cluster budget *)
+let fail_over t cluster =
+  let members = members_of t cluster in
+  let was = Hashtbl.find_opt t.f_owner cluster in
+  Hashtbl.remove t.f_owner cluster;
+  let budget = match Hashtbl.find_opt t.f_budget cluster with Some b -> b | None -> 0 in
+  if budget <= 0 then begin
+    give_up t cluster;
+    Error (Printf.sprintf "cluster %s: failover budget spent" cluster)
+  end
+  else begin
+    let started = Trace.ambient_now () in
+    let statics = eligible_hosts t members in
+    let rec sweep attempt =
+      if attempt > t.f_cfg.failover_retries then begin
+        give_up t cluster;
+        Error (Printf.sprintf "cluster %s: no host would take it" cluster)
+      end
+      else begin
+        if attempt > 0 then begin
+          let base = t.f_cfg.backoff_base in
+          let expo = min t.f_cfg.backoff_cap (base * (1 lsl (attempt - 1))) in
+          Trace.advance (expo + Drbg.int t.f_rng base);
+          Metrics.incr "fleet/failover_backoff"
+        end;
+        let candidates = seeded_order t statics in
+        let rec try_hosts = function
+          | [] -> None
+          | h :: rest ->
+            if Some h.h_spec.Manifest.h_name = was && rest <> [] then
+              (* prefer anywhere else; the old owner goes last *)
+              (match try_hosts rest with None -> try_hosts [ h ] | r -> r)
+            else (
+              match place_on t h cluster with
+              | Ok () -> Some h
+              | Error _ -> try_hosts rest)
+        in
+        match try_hosts candidates with
+        | Some h ->
+          Hashtbl.replace t.f_budget cluster (budget - 1);
+          let name = h.h_spec.Manifest.h_name in
+          t.f_failovers <- (cluster, name) :: t.f_failovers;
+          t.f_recovery <- (Trace.ambient_now () - started) :: t.f_recovery;
+          Metrics.incr "fleet/failover";
+          Trace.event ~kind:"fleet" ~name:"failover"
+            ~attrs:[ ("cluster", cluster); ("to", name) ]
+            ();
+          Ok ()
+        | None -> sweep (attempt + 1)
+      end
+    in
+    if statics = [] then begin
+      give_up t cluster;
+      Error (Printf.sprintf "cluster %s: no eligible host" cluster)
+    end
+    else sweep 0
+  end
+
+let place_all t =
+  let rec go = function
+    | [] -> Ok ()
+    | (cluster, members) :: rest ->
+      if Hashtbl.mem t.f_owner cluster then go rest
+      else begin
+        let statics = eligible_hosts t members in
+        if statics = [] then
+          Error
+            (Printf.sprintf
+               "cluster %s: no declared host satisfies its placement" cluster)
+        else begin
+          let candidates = seeded_order t statics in
+          let rec try_hosts = function
+            | [] ->
+              (* statically fine, dynamically rejected everywhere (all
+                 candidates rogue or unreachable): leave it unplaced *)
+              give_up t cluster;
+              Ok ()
+            | h :: rest' ->
+              (match place_on t h cluster with
+               | Ok () -> Ok ()
+               | Error _ -> try_hosts rest')
+          in
+          match try_hosts candidates with Ok () -> go rest | Error _ as e -> e
+        end
+      end
+  in
+  go t.f_clusters
+
+(* --- calls ---------------------------------------------------------------- *)
+
+let call t ~target ~service req =
+  match Hashtbl.find_opt t.f_cluster_of target with
+  | None -> Error (Printf.sprintf "unknown component %S" target)
+  | Some cluster ->
+    (match Hashtbl.find_opt t.f_owner cluster with
+     | None -> Error (Printf.sprintf "cluster %s is not placed" cluster)
+     | Some hname ->
+       let h = Option.get (find_host t hname) in
+       let after_transport_fault e =
+         h.h_link <- None;
+         Breaker.fault h.h_breaker;
+         Metrics.incr "fleet/transport_fault";
+         ignore (fail_over t cluster);
+         Error (Printf.sprintf "host %s unreachable (%s); failing over" hname e)
+       in
+       (match connect t h with
+        | Error e ->
+          ignore (fail_over t cluster);
+          Error (Printf.sprintf "host %s unreachable (%s); failing over" hname e)
+        | Ok () ->
+          (match exchange t h (frame (Printf.sprintf "call %s %s" target service) req) with
+           | Error e -> after_transport_fault e
+           | Ok reply ->
+             let header, body = unframe reply in
+             if header = "ok" then begin
+               Metrics.incr "fleet/call_ok";
+               Ok body
+             end
+             else begin
+               (* an application error from a healthy, attested host is
+                  an answer, not a fault: no teardown, no failover *)
+               Metrics.incr "fleet/call_err";
+               Error body
+             end)))
+
+(* --- chaos entry points ---------------------------------------------------- *)
+
+let kill_host t name =
+  match find_host t name with
+  | None -> Error (Printf.sprintf "no host %S" name)
+  | Some h ->
+    if h.h_alive then begin
+      h.h_alive <- false;
+      (* power off: everything resident is gone *)
+      let ids = Hashtbl.fold (fun k _ acc -> k :: acc) h.h_deploys [] in
+      List.iter
+        (fun id ->
+          (match Hashtbl.find_opt h.h_deploys id with
+           | Some d -> Deploy.destroy d
+           | None -> ());
+          Hashtbl.remove h.h_deploys id)
+        (List.sort compare ids);
+      Metrics.incr "fleet/host_killed";
+      Trace.event ~kind:"fleet" ~name:"kill-host" ~attrs:(Trace.attr "host" name)
+        ()
+    end;
+    Ok ()
+
+let partition t ~host ?(asym = false) () =
+  Hashtbl.replace t.f_cuts (host, controller_addr) ();
+  if not asym then Hashtbl.replace t.f_cuts (controller_addr, host) ();
+  Metrics.incr "fleet/partition";
+  Trace.event ~kind:"fleet" ~name:"partition"
+    ~attrs:[ ("host", host); ("mode", if asym then "asym" else "full") ]
+    ()
+
+let heal t ~host =
+  Hashtbl.remove t.f_cuts (host, controller_addr);
+  Hashtbl.remove t.f_cuts (controller_addr, host);
+  Metrics.incr "fleet/heal";
+  Trace.event ~kind:"fleet" ~name:"heal" ~attrs:(Trace.attr "host" host) ()
+
+let sweep t =
+  (* reconnect (and thereby fence) every host that will attest *)
+  List.iter
+    (fun h ->
+      if h.h_alive && h.h_link = None && Breaker.state h.h_breaker <> Breaker.Open
+      then ignore (connect t h))
+    t.f_hosts;
+  (* re-home clusters whose owner stopped answering *)
+  List.iter
+    (fun (cluster, _) ->
+      match Hashtbl.find_opt t.f_owner cluster with
+      | None -> ()
+      | Some hname ->
+        let h = Option.get (find_host t hname) in
+        if h.h_link = None then (
+          match connect t h with
+          | Ok () -> ()
+          | Error _ -> ignore (fail_over t cluster)))
+    t.f_clusters

@@ -1,0 +1,183 @@
+(** An attestation-gated multi-machine fleet.
+
+    Everything below this module lives on {e one} machine: a
+    {!Lateral.Deploy} launches components onto substrates that share a
+    motherboard. This module scales the paper's containment story out to
+    [N] simulated hosts. Each host owns its own hardware, substrates and
+    deployments; the only thing joining hosts is the untrusted
+    {!Lt_net.Net}. Every placement, migration, call and failover crosses
+    machines exclusively through a {!Lt_net.Secure_channel} session that
+    was attestation-gated by {!Lateral.Ra_channel}: the controller
+    accepts a host only after fresh, channel-bound evidence that the
+    host's agent enclave runs the expected code. Evidence is re-checked
+    on {e every} reconnect and never cached across a partition — a host
+    that was trustworthy before the cut proves it again after.
+
+    Code never crosses the wire: component behaviours are pre-distributed
+    images looked up by manifest name on the host ({e control} crosses
+    machines, not code). What does cross is the manifest text of the
+    cluster being placed, call requests/replies, and reconcile (fencing)
+    commands — all as AEAD records inside the attested session, so the
+    Dolev-Yao adversary can cut, delay or corrupt but never forge them.
+
+    {2 Failure model}
+
+    {ul
+    {- {b machine kill} — the host dies with everything on it; the
+       controller learns of it only through transport faults.}
+    {- {b partition} — a directed cut between controller and host.
+       Asymmetric cuts (host's replies lost, commands still delivered)
+       are the nasty case: a placement can succeed on the host while the
+       controller counts it failed and re-places elsewhere. The stale
+       instance is {e fenced} — destroyed via {!Lateral.Deploy.destroy} —
+       during the reconcile that follows the first re-attested reconnect
+       after the heal.}
+    {- {b rogue host} — the agent runs unexpected code. Attestation
+       fails, the host gets zero placements, and its per-host circuit
+       breaker soon stops even the connection attempts.}}
+
+    Failover is the cross-host extension of {!Lt_resil.Supervisor}:
+    when a cluster's host is unreachable, the cluster is re-placed on
+    the surviving candidates in seeded order, with seeded exponential
+    backoff between sweeps and a per-cluster budget derived from its
+    members' manifest restart policies. All timing is the ambient
+    {!Lt_obs.Trace} clock; equal seeds give byte-identical behaviour. *)
+
+open Lateral
+
+type config = {
+  hop_ticks : int;  (** ticks one cross-machine packet hop burns *)
+  failover_retries : int;
+      (** extra candidate sweeps per failover after the first *)
+  backoff_base : int;  (** first inter-sweep backoff, ticks; jitter bound *)
+  backoff_cap : int;   (** backoff ceiling, ticks *)
+  breaker_threshold : int;
+      (** consecutive link faults that open a host's breaker *)
+  breaker_cooldown : int;
+      (** ticks an open host breaker waits before admitting a probe *)
+}
+
+(** [{hop_ticks = 1; failover_retries = 2; backoff_base = 4;
+     backoff_cap = 64; breaker_threshold = 3; breaker_cooldown = 128}] *)
+val default_config : config
+
+(** What one simulated machine offers. [substrates] names the substrate
+    classes to instantiate on it — drawn from ["microkernel"], ["sgx"]
+    and ["sep"]; every host must offer ["sgx"] because the fleet agent
+    is an enclave. A [rogue] host's agent runs tampered code: it can
+    complete TLS (its cert is genuine) but never attestation. *)
+type host_spec
+
+val host_spec :
+  ?rogue:bool -> name:string -> substrates:string list -> unit -> host_spec
+
+type t
+
+(** [create ?config ~seed ~hosts ~components ()] builds the machines,
+    launches each host's agent enclave, derives the fleet CA pair (one
+    for TLS certificates, one for attestation) and partitions
+    [components] into {e clusters} — connected components of the
+    (undirected) [connects_to] graph. Clusters are the unit of
+    placement: a cluster always lands whole on one host, so no
+    component-to-component call ever crosses machines and
+    {!Lateral.App.validate} holds per host. Nothing is placed yet; call
+    {!place_all}. Fails on duplicate or reserved host names, a host
+    without ["sgx"], or an unsupported substrate class. *)
+val create :
+  ?config:config -> seed:int64 -> hosts:host_spec list ->
+  components:(Manifest.t * Deploy.behaviour) list -> unit -> (t, string) result
+
+(** {2 Topology} *)
+
+(** Host names, in declaration order. *)
+val hosts : t -> string list
+
+val host_alive : t -> string -> bool
+
+(** An attested session is currently established. *)
+val host_connected : t -> string -> bool
+
+(** Clusters as [(id, members)], sorted by id; a cluster's id is its
+    lexicographically least member. *)
+val clusters : t -> (string * string list) list
+
+(** [owner t cluster] — the host currently holding [cluster]. *)
+val owner : t -> string -> string option
+
+(** Clusters the fleet has given up on (failover budget spent or no
+    eligible host would attest), sorted. *)
+val unplaced : t -> string list
+
+(** The shared untrusted network, for audits (e.g.
+    {!Lt_net.Net.unroutable_count}). *)
+val net : t -> Lt_net.Net.t
+
+(** {2 Placement and calls} *)
+
+(** [place_all t] places every cluster on the first eligible host in
+    seeded order. Eligibility is static first — the host offers every
+    member's substrate and satisfies every member's [place] selector
+    ({!Lateral.Contain.host_can_host}) — then dynamic: the host must
+    complete an attested handshake. A cluster with {e no} statically
+    eligible host is an error (the condition lint rule
+    L024-placement-unsatisfiable flags); a cluster whose eligible hosts
+    all fail to attest is left {!unplaced}. *)
+val place_all : t -> (unit, string) result
+
+(** [call t ~target ~service req] routes one outside request to the
+    component's cluster over the owning host's attested session. An
+    application-level failure comes back as [Error] without touching the
+    link; a {e transport} fault (no reply, record rejected) tears the
+    session down, faults the host's breaker and triggers failover before
+    returning the error. *)
+val call : t -> target:string -> service:string -> string -> (string, string) result
+
+(** {2 Chaos entry points} *)
+
+(** [kill_host t name] — the machine dies: local deployments are gone,
+    the host never answers again. The controller is not told. *)
+val kill_host : t -> string -> (unit, string) result
+
+(** [partition t ~host ~asym ()] cuts controller↔host. [asym] cuts only
+    host→controller: commands arrive, replies are lost. *)
+val partition : t -> host:string -> ?asym:bool -> unit -> unit
+
+(** [heal t ~host] removes the cuts. The controller still re-attests
+    before trusting the host again. *)
+val heal : t -> host:string -> unit
+
+(** [sweep t] — the periodic reconcile pass: re-attest every alive,
+    unconnected host whose breaker admits it (fencing stale instances as
+    a side effect) and re-place any cluster whose owner is gone. *)
+val sweep : t -> unit
+
+(** {2 Audit counters}
+
+    All deterministic and sorted where keyed by name. *)
+
+(** Established-session epochs per host (each completed attested
+    handshake counts one). *)
+val host_epochs : t -> (string * int) list
+
+(** Successful attestations per host — equals epochs: there is no
+    session without fresh evidence. *)
+val host_attests : t -> (string * int) list
+
+val attest_failures : t -> int
+
+(** Successful placements onto rogue hosts. The gate makes this 0 by
+    construction; the chaos harness asserts it anyway. *)
+val rogue_placements : t -> int
+
+(** Stale instances destroyed by reconcile after a partition. *)
+val fenced : t -> int
+
+(** Completed failovers, chronological [(cluster, new host)]. *)
+val failovers : t -> (string * string) list
+
+(** Ticks each completed failover burned, chronological — the
+    recovery-time distribution the fleet bench gates on. *)
+val recovery_ticks : t -> int list
+
+(** Clusters that were re-placed at least once, sorted. *)
+val failed_over_clusters : t -> string list

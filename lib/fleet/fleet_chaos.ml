@@ -1,0 +1,598 @@
+open Lt_crypto
+open Lateral
+module Trace = Lt_obs.Trace
+module Metrics = Lt_obs.Metrics
+
+type partition_spec = {
+  pt_host : string;
+  pt_from : int;
+  pt_heal : int;
+  pt_asym : bool;
+}
+
+type plan = { kill_hosts : string list; partitions : partition_spec list }
+
+let no_chaos = { kill_hosts = []; partitions = [] }
+
+type report = {
+  fc_hosts : int;
+  fc_rogue : string list;
+  fc_requests : int;
+  fc_seed : int;
+  fc_ok : int;
+  fc_failed_excused : int;
+  fc_failed_unexcused : int;
+  fc_violation_detail : (int * string) list;
+  fc_kills : (int * string) list;
+  fc_partition_events : (int * string * string) list;
+  fc_epochs : (string * int) list;
+  fc_attests : (string * int) list;
+  fc_attest_failures : int;
+  fc_rogue_placements : int;
+  fc_fenced : int;
+  fc_placements : (string * string) list;
+  fc_failovers : (string * string) list;
+  fc_recovery_ticks : int list;
+  fc_unplaced : string list;
+  fc_observed : (string * string) list;
+  fc_radius_escapes : (string * string * string) list;
+  fc_unroutable : int;
+  fc_counters : (string * int) list;
+  fc_span_ticks : int;
+}
+
+let contained r =
+  r.fc_failed_unexcused = 0 && r.fc_rogue_placements = 0
+  && r.fc_radius_escapes = []
+
+(* --- the built-in scenario ------------------------------------------------- *)
+
+let restart_budget max = { Manifest.r_policy = Manifest.On_failure; r_max = max; r_window = 256 }
+
+let scenario_components () =
+  let gate =
+    Manifest.v ~name:"gate" ~size_loc:3000 ~network_facing:true
+      ~provides:[ "ingress" ]
+      ~connects_to:[ Manifest.conn ~vetted:true "worker" "exec" ]
+      ~restart:(restart_budget 3) ~placement:[ "class:commodity" ] ()
+  in
+  let worker =
+    Manifest.v ~name:"worker" ~substrate:"sgx" ~size_loc:2000
+      ~provides:[ "exec" ] ~restart:(restart_budget 3)
+      ~placement:[ "class:tee" ] ()
+  in
+  let vault =
+    Manifest.v ~name:"vault" ~substrate:"sep" ~size_loc:900 ~stateful:true
+      ~network_facing:true ~provides:[ "seal" ] ~restart:(restart_budget 2)
+      ~placement:[ "sep" ] ()
+  in
+  let audit =
+    Manifest.v ~name:"audit" ~size_loc:600 ~network_facing:true
+      ~provides:[ "log" ] ~restart:(restart_budget 3) ()
+  in
+  let gate_b ctx ~service:_ req =
+    match ctx.Deploy.call_out ~target:"worker" ~service:"exec" req with
+    | Ok r -> "gated:" ^ r
+    | Error e -> Substrate.fail ("worker unavailable: " ^ e)
+  in
+  let worker_b _ctx ~service:_ req = "exec(" ^ req ^ ")" in
+  let vault_b ctx ~service:_ req =
+    ctx.Deploy.facilities.Substrate.f_store ~key:"latest" req;
+    Printf.sprintf "sealed:%d" (String.length req)
+  in
+  let audit_b _ctx ~service:_ req = "logged:" ^ req in
+  [ (gate, gate_b); (worker, worker_b); (vault, vault_b); (audit, audit_b) ]
+
+(* --- plan validation -------------------------------------------------------- *)
+
+let host_names n = List.init n (fun i -> Printf.sprintf "host-%d" (i + 1))
+
+let validate_plan plan ~names ~rogue =
+  let known h = List.mem h names in
+  let bad p l = List.filter (fun x -> not (p x)) l in
+  match bad known plan.kill_hosts with
+  | h :: _ -> Error (Printf.sprintf "kill-host: unknown host %S" h)
+  | [] ->
+    (match bad (fun p -> known p.pt_host) plan.partitions with
+     | p :: _ -> Error (Printf.sprintf "partition: unknown host %S" p.pt_host)
+     | [] ->
+       (match
+          List.filter
+            (fun p -> p.pt_from < 1 || (p.pt_heal <> 0 && p.pt_heal < p.pt_from))
+            plan.partitions
+        with
+        | p :: _ ->
+          Error
+            (Printf.sprintf "partition of %s: heal %d before cut %d" p.pt_host
+               p.pt_heal p.pt_from)
+        | [] ->
+          (match bad known rogue with
+           | h :: _ -> Error (Printf.sprintf "rogue: unknown host %S" h)
+           | [] -> Ok ())))
+
+(* --- reproducers ------------------------------------------------------------ *)
+
+type repro = {
+  rp_hosts : int;
+  rp_rogue : string list;
+  rp_requests : int;
+  rp_seed : int;
+  rp_plan : plan;
+}
+
+let repro_magic = "fleet-repro v1"
+
+let render_repro r =
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "%s\n" repro_magic;
+  add "hosts %d\n" r.rp_hosts;
+  add "requests %d\n" r.rp_requests;
+  add "seed %d\n" r.rp_seed;
+  List.iter (fun h -> add "rogue %s\n" h) r.rp_rogue;
+  List.iter (fun h -> add "kill-host %s\n" h) r.rp_plan.kill_hosts;
+  List.iter
+    (fun p ->
+      add "partition %s %d %d%s\n" p.pt_host p.pt_from p.pt_heal
+        (if p.pt_asym then " asym" else ""))
+    r.rp_plan.partitions;
+  Buffer.contents buf
+
+let parse_repro text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  match lines with
+  | [] -> Error "empty reproducer"
+  | magic :: rest when magic = repro_magic ->
+    let r =
+      ref
+        { rp_hosts = 3;
+          rp_rogue = [];
+          rp_requests = 40;
+          rp_seed = 1;
+          rp_plan = no_chaos }
+    in
+    let int_of what s =
+      match int_of_string_opt s with
+      | Some n -> Ok n
+      | None -> Error (Printf.sprintf "bad %s %S" what s)
+    in
+    let step line =
+      match String.split_on_char ' ' line with
+      | [ "hosts"; n ] ->
+        Result.map (fun n -> r := { !r with rp_hosts = n }) (int_of "hosts" n)
+      | [ "requests"; n ] ->
+        Result.map (fun n -> r := { !r with rp_requests = n }) (int_of "requests" n)
+      | [ "seed"; n ] ->
+        Result.map (fun n -> r := { !r with rp_seed = n }) (int_of "seed" n)
+      | [ "rogue"; h ] ->
+        Ok (r := { !r with rp_rogue = !r.rp_rogue @ [ h ] })
+      | [ "kill-host"; h ] ->
+        Ok
+          (r :=
+             { !r with
+               rp_plan =
+                 { !r.rp_plan with kill_hosts = !r.rp_plan.kill_hosts @ [ h ] } })
+      | "partition" :: host :: from :: heal :: flags
+        when flags = [] || flags = [ "asym" ] ->
+        Result.bind (int_of "partition start" from) (fun pt_from ->
+            Result.map
+              (fun pt_heal ->
+                let p = { pt_host = host; pt_from; pt_heal; pt_asym = flags <> [] } in
+                r :=
+                  { !r with
+                    rp_plan =
+                      { !r.rp_plan with
+                        partitions = !r.rp_plan.partitions @ [ p ] } })
+              (int_of "partition heal" heal))
+      | _ -> Error (Printf.sprintf "unknown reproducer line %S" line)
+    in
+    let rec go = function
+      | [] -> Ok !r
+      | l :: rest -> (match step l with Ok () -> go rest | Error _ as e -> e)
+    in
+    go rest
+  | magic :: _ ->
+    Error (Printf.sprintf "not a fleet reproducer (expected %S, got %S)"
+             repro_magic magic)
+
+let load_repro path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    parse_repro text
+
+(* --- the run ---------------------------------------------------------------- *)
+
+let run ?(config = Fleet.default_config) ?(plan = no_chaos) ?(rogue = [])
+    ?(trace_capacity = 65536) ~hosts ~requests ~seed () =
+  if hosts < 1 then Error "a fleet needs at least one host"
+  else if requests < 0 then Error "requests must be non-negative"
+  else begin
+    let names = host_names hosts in
+    match validate_plan plan ~names ~rogue with
+    | Error _ as e -> e
+    | Ok () ->
+      let specs =
+        List.map
+          (fun n ->
+            Fleet.host_spec ~rogue:(List.mem n rogue) ~name:n
+              ~substrates:[ "microkernel"; "sgx"; "sep" ] ())
+          names
+      in
+      let components = scenario_components () in
+      let manifests = List.map fst components in
+      (* harness entropy is a separate stream from the fleet's, like the
+         component chaos harness (seed vs seed + 1) *)
+      let hrng = Drbg.create (Int64.of_int (seed + 1)) in
+      let tracer = Trace.create ~capacity:trace_capacity () in
+      let metrics = Metrics.create () in
+      let result = ref (Error "fleet run did not start") in
+      Metrics.with_metrics metrics (fun () ->
+          Trace.with_tracer tracer (fun () ->
+              match
+                Fleet.create ~config ~seed:(Int64.of_int seed) ~hosts:specs
+                  ~components ()
+              with
+              | Error e -> result := Error e
+              | Ok fleet ->
+                (match Fleet.place_all fleet with
+                 | Error e -> result := Error e
+                 | Ok () ->
+                   let cluster_of =
+                     let tbl = Hashtbl.create 8 in
+                     List.iter
+                       (fun (id, members) ->
+                         List.iter (fun m -> Hashtbl.replace tbl m id) members)
+                       (Fleet.clusters fleet);
+                     tbl
+                   in
+                   let schedule =
+                     List.map
+                       (fun h -> (1 + Drbg.int hrng (max requests 1), h))
+                       plan.kill_hosts
+                   in
+                   let ok = ref 0 and excused = ref 0 and unexcused = ref 0 in
+                   let violation_detail = ref [] in
+                   let kills = ref [] and part_events = ref [] in
+                   let degraded = Hashtbl.create 8 in
+                   (* components resident on a host at the instant it was
+                      killed or cut: the roots the static radii are read
+                      for *)
+                   let roots = Hashtbl.create 8 in
+                   let cut_hosts = Hashtbl.create 4 in
+                   let collect_roots host =
+                     List.iter
+                       (fun (id, members) ->
+                         if Fleet.owner fleet id = Some host then
+                           List.iter (fun m -> Hashtbl.replace roots m ()) members)
+                       (Fleet.clusters fleet)
+                   in
+                   for i = 1 to requests do
+                     Trace.set_trace i;
+                     List.iter
+                       (fun (at, host) ->
+                         if at = i then begin
+                           collect_roots host;
+                           ignore (Fleet.kill_host fleet host);
+                           kills := (i, host) :: !kills
+                         end)
+                       schedule;
+                     List.iter
+                       (fun p ->
+                         if p.pt_from = i then begin
+                           collect_roots p.pt_host;
+                           Fleet.partition fleet ~host:p.pt_host ~asym:p.pt_asym ();
+                           Hashtbl.replace cut_hosts p.pt_host ();
+                           part_events :=
+                             (i, p.pt_host, if p.pt_asym then "cut-asym" else "cut")
+                             :: !part_events
+                         end;
+                         if p.pt_heal = i then begin
+                           Fleet.heal fleet ~host:p.pt_host;
+                           Hashtbl.remove cut_hosts p.pt_host;
+                           part_events := (i, p.pt_host, "heal") :: !part_events
+                         end)
+                       plan.partitions;
+                     let target, service, payload =
+                       match Drbg.int hrng 3 with
+                       | 0 -> ("gate", "ingress", Printf.sprintf "req-%d" i)
+                       | 1 -> ("vault", "seal", Printf.sprintf "secret-%d" i)
+                       | _ -> ("audit", "log", Printf.sprintf "evt-%d" i)
+                     in
+                     let cluster = Hashtbl.find cluster_of target in
+                     let owner_before = Fleet.owner fleet cluster in
+                     let hurt_before =
+                       match owner_before with
+                       | None -> true
+                       | Some h ->
+                         (not (Fleet.host_alive fleet h))
+                         || Hashtbl.mem cut_hosts h
+                     in
+                     let r =
+                       Trace.with_span ~kind:"request"
+                         ~name:(Trace.span_name target service)
+                         ~attrs:[ ("request", string_of_int i) ]
+                         (fun () ->
+                           match
+                             Fleet.call fleet ~target ~service payload
+                           with
+                           | Ok _ as r -> r
+                           | Error e ->
+                             Trace.fail_span e;
+                             Error e)
+                     in
+                     match r with
+                     | Ok _ ->
+                       incr ok;
+                       Metrics.incr "fleet_chaos/ok"
+                     | Error e ->
+                       let owner_after = Fleet.owner fleet cluster in
+                       let excusable =
+                         hurt_before || owner_after <> owner_before
+                         || owner_after = None
+                         || List.mem cluster (Fleet.unplaced fleet)
+                       in
+                       if excusable then begin
+                         incr excused;
+                         Metrics.incr "fleet_chaos/failed_excused";
+                         List.iter
+                           (fun (id, members) ->
+                             if id = cluster then
+                               List.iter
+                                 (fun m -> Hashtbl.replace degraded m ())
+                                 members)
+                           (Fleet.clusters fleet)
+                       end
+                       else begin
+                         incr unexcused;
+                         Metrics.incr "fleet_chaos/failed_unexcused";
+                         violation_detail :=
+                           ( i,
+                             Printf.sprintf
+                               "%s.%s failed with its host healthy: %s" target
+                               service e )
+                           :: !violation_detail
+                       end
+                   done;
+                   (* end-of-run reconcile: reconnect healed hosts (which
+                      fences stale instances) and re-home orphans *)
+                   Fleet.sweep fleet;
+                   let failed_over = Fleet.failed_over_clusters fleet in
+                   let observed =
+                     List.filter_map
+                       (fun m ->
+                         let c = m.Manifest.name in
+                         let cluster = Hashtbl.find cluster_of c in
+                         if List.mem cluster (Fleet.unplaced fleet) then
+                           Some (c, "failed")
+                         else if List.mem cluster failed_over then
+                           Some (c, "restarted")
+                         else if Hashtbl.mem degraded c then Some (c, "degraded")
+                         else None)
+                       manifests
+                     |> List.sort compare
+                   in
+                   let static = Contain.analyze manifests in
+                   let allowed = Hashtbl.create 8 in
+                   List.iter
+                     (fun radius ->
+                       if Hashtbl.mem roots radius.Contain.r_root then
+                         List.iter
+                           (fun (c, imp) ->
+                             let rank = Contain.rank imp in
+                             let prev =
+                               match Hashtbl.find_opt allowed c with
+                               | Some p -> p
+                               | None -> 0
+                             in
+                             if rank > prev then Hashtbl.replace allowed c rank)
+                           radius.Contain.r_hit)
+                     static.Contain.radii;
+                   let rank_name = function
+                     | 0 -> "untouched"
+                     | 1 -> "degraded"
+                     | 2 -> "restarted"
+                     | _ -> "failed"
+                   in
+                   let rank_of = function
+                     | "degraded" -> 1
+                     | "restarted" -> 2
+                     | _ -> 3
+                   in
+                   let escapes =
+                     List.filter_map
+                       (fun (c, imp) ->
+                         let a =
+                           match Hashtbl.find_opt allowed c with
+                           | Some r -> r
+                           | None -> 0
+                         in
+                         if rank_of imp > a then Some (c, imp, rank_name a)
+                         else None)
+                       observed
+                   in
+                   let placements =
+                     List.filter_map
+                       (fun (id, _) ->
+                         Option.map (fun h -> (id, h)) (Fleet.owner fleet id))
+                       (Fleet.clusters fleet)
+                     |> List.sort compare
+                   in
+                   result :=
+                     Ok
+                       { fc_hosts = hosts;
+                         fc_rogue = List.sort compare rogue;
+                         fc_requests = requests;
+                         fc_seed = seed;
+                         fc_ok = !ok;
+                         fc_failed_excused = !excused;
+                         fc_failed_unexcused = !unexcused;
+                         fc_violation_detail = List.rev !violation_detail;
+                         fc_kills = List.rev !kills;
+                         fc_partition_events = List.rev !part_events;
+                         fc_epochs = Fleet.host_epochs fleet;
+                         fc_attests = Fleet.host_attests fleet;
+                         fc_attest_failures = Fleet.attest_failures fleet;
+                         fc_rogue_placements = Fleet.rogue_placements fleet;
+                         fc_fenced = Fleet.fenced fleet;
+                         fc_placements = placements;
+                         fc_failovers = Fleet.failovers fleet;
+                         fc_recovery_ticks = Fleet.recovery_ticks fleet;
+                         fc_unplaced = Fleet.unplaced fleet;
+                         fc_observed = observed;
+                         fc_radius_escapes = escapes;
+                         fc_unroutable =
+                           Lt_net.Net.unroutable_count (Fleet.net fleet);
+                         fc_counters = Metrics.counters metrics;
+                         fc_span_ticks = Trace.now tracer })));
+      match !result with Error _ as e -> e | Ok r -> Ok (r, tracer)
+  end
+
+(* --- rendering --------------------------------------------------------------- *)
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> 0
+  | sorted -> List.nth sorted (List.length sorted / 2)
+
+let render_report_text r =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "lateral fleet: %d hosts, %d requests, seed %d%s\n" r.fc_hosts
+    r.fc_requests r.fc_seed
+    (if r.fc_rogue = [] then ""
+     else " (rogue: " ^ String.concat ", " r.fc_rogue ^ ")");
+  add "  ok %d, failed %d (excused %d, unexcused %d)\n" r.fc_ok
+    (r.fc_failed_excused + r.fc_failed_unexcused)
+    r.fc_failed_excused r.fc_failed_unexcused;
+  add "  host kills: %s\n"
+    (if r.fc_kills = [] then "-"
+     else
+       String.concat ", "
+         (List.map (fun (i, h) -> Printf.sprintf "%s@%d" h i) r.fc_kills));
+  add "  partitions: %s\n"
+    (if r.fc_partition_events = [] then "-"
+     else
+       String.concat ", "
+         (List.map
+            (fun (i, h, what) -> Printf.sprintf "%s %s@%d" h what i)
+            r.fc_partition_events));
+  add "  epochs: %s; attest failures %d; rogue placements %d\n"
+    (String.concat ", "
+       (List.map (fun (h, n) -> Printf.sprintf "%s %d" h n) r.fc_epochs))
+    r.fc_attest_failures r.fc_rogue_placements;
+  add "  placements: %s\n"
+    (if r.fc_placements = [] then "-"
+     else
+       String.concat ", "
+         (List.map
+            (fun (c, h) -> Printf.sprintf "%s->%s" c h)
+            r.fc_placements));
+  add "  failovers: %s; fenced %d; unplaced: %s\n"
+    (if r.fc_failovers = [] then "-"
+     else
+       String.concat ", "
+         (List.map (fun (c, h) -> Printf.sprintf "%s->%s" c h) r.fc_failovers))
+    r.fc_fenced
+    (if r.fc_unplaced = [] then "-" else String.concat ", " r.fc_unplaced);
+  add "  recovery ticks: %s (median %d)\n"
+    (if r.fc_recovery_ticks = [] then "-"
+     else String.concat ", " (List.map string_of_int r.fc_recovery_ticks))
+    (median r.fc_recovery_ticks);
+  add "  observed radius: %s\n"
+    (if r.fc_observed = [] then "-"
+     else
+       String.concat ", "
+         (List.map (fun (c, im) -> Printf.sprintf "%s %s" c im) r.fc_observed));
+  List.iter
+    (fun (c, got, allowed) ->
+      add "  RADIUS ESCAPE: %s observed %s, statically allowed %s\n" c got
+        allowed)
+    r.fc_radius_escapes;
+  List.iter
+    (fun (i, detail) ->
+      add "  CONTAINMENT VIOLATION at request %d: %s\n" i detail)
+    r.fc_violation_detail;
+  add "  unroutable packets: %d; ticks: %d\n" r.fc_unroutable r.fc_span_ticks;
+  Buffer.add_string buf "counters:\n";
+  List.iter (fun (k, v) -> add "  %-40s %d\n" k v) r.fc_counters;
+  add "verdict: %s\n" (if contained r then "contained" else "NOT CONTAINED");
+  Buffer.contents buf
+
+let render_report_json r =
+  let esc = Metrics.json_escape in
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add
+    "{\"hosts\":%d,\"rogue\":[%s],\"requests\":%d,\"seed\":%d,\"ok\":%d,\"failed_excused\":%d,\"failed_unexcused\":%d"
+    r.fc_hosts
+    (String.concat "," (List.map (fun h -> "\"" ^ esc h ^ "\"") r.fc_rogue))
+    r.fc_requests r.fc_seed r.fc_ok r.fc_failed_excused r.fc_failed_unexcused;
+  add ",\"kills\":[%s]"
+    (String.concat ","
+       (List.map
+          (fun (i, h) -> Printf.sprintf "{\"at\":%d,\"host\":\"%s\"}" i (esc h))
+          r.fc_kills));
+  add ",\"partitions\":[%s]"
+    (String.concat ","
+       (List.map
+          (fun (i, h, what) ->
+            Printf.sprintf "{\"at\":%d,\"host\":\"%s\",\"event\":\"%s\"}" i
+              (esc h) (esc what))
+          r.fc_partition_events));
+  add ",\"epochs\":{%s}"
+    (String.concat ","
+       (List.map (fun (h, n) -> Printf.sprintf "\"%s\":%d" (esc h) n) r.fc_epochs));
+  add ",\"attests\":{%s},\"attest_failures\":%d,\"rogue_placements\":%d"
+    (String.concat ","
+       (List.map (fun (h, n) -> Printf.sprintf "\"%s\":%d" (esc h) n) r.fc_attests))
+    r.fc_attest_failures r.fc_rogue_placements;
+  add ",\"placements\":{%s},\"failovers\":[%s],\"fenced\":%d"
+    (String.concat ","
+       (List.map
+          (fun (c, h) -> Printf.sprintf "\"%s\":\"%s\"" (esc c) (esc h))
+          r.fc_placements))
+    (String.concat ","
+       (List.map
+          (fun (c, h) ->
+            Printf.sprintf "{\"cluster\":\"%s\",\"to\":\"%s\"}" (esc c) (esc h))
+          r.fc_failovers))
+    r.fc_fenced;
+  add ",\"recovery_ticks\":[%s],\"recovery_median\":%d"
+    (String.concat "," (List.map string_of_int r.fc_recovery_ticks))
+    (median r.fc_recovery_ticks);
+  add ",\"unplaced\":[%s],\"observed\":{%s},\"radius_escapes\":[%s]"
+    (String.concat ","
+       (List.map (fun c -> "\"" ^ esc c ^ "\"") r.fc_unplaced))
+    (String.concat ","
+       (List.map
+          (fun (c, im) -> Printf.sprintf "\"%s\":\"%s\"" (esc c) (esc im))
+          r.fc_observed))
+    (String.concat ","
+       (List.map
+          (fun (c, got, allowed) ->
+            Printf.sprintf
+              "{\"component\":\"%s\",\"observed\":\"%s\",\"allowed\":\"%s\"}"
+              (esc c) (esc got) (esc allowed))
+          r.fc_radius_escapes));
+  add ",\"violations\":[%s],\"unroutable\":%d,\"span_ticks\":%d,\"contained\":%b,\"counters\":{"
+    (String.concat ","
+       (List.map
+          (fun (i, detail) ->
+            Printf.sprintf "{\"at\":%d,\"detail\":\"%s\"}" i (esc detail))
+          r.fc_violation_detail))
+    r.fc_unroutable r.fc_span_ticks (contained r);
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      add "\"%s\":%d" (esc k) v)
+    r.fc_counters;
+  Buffer.add_string buf "}}\n";
+  Buffer.contents buf

@@ -16,6 +16,25 @@ let substrate_pool =
 
 let pick rng a = a.(Drbg.int rng (Array.length a))
 
+let host_pool = [| "edge-1"; "edge-2"; "core-1"; "lab"; "ghost" |]
+
+(* selectors from every registry kind, valid and not: hosts that may or
+   may not be declared, classes the taxonomy may not know, substrates *)
+let selector_pool =
+  [| "class:tee"; "class:commodity"; "class:enclave"; "host:edge-1";
+     "host:ghost"; "sgx"; "sep"; "microkernel"; "qemu" |]
+
+let gen_hosts rng =
+  let n = Drbg.int rng 4 in
+  List.init n (fun i ->
+      { Manifest.h_name = host_pool.(i);
+        h_substrates =
+          List.filter (fun _ -> Drbg.int rng 2 = 0)
+            (Array.to_list substrate_pool) })
+
+let gen_placement rng =
+  List.filter (fun _ -> Drbg.int rng 4 = 0) (Array.to_list selector_pool)
+
 let gen_manifests rng =
   let n = 1 + Drbg.int rng 5 in
   let names = Array.to_list (Array.sub name_pool 0 n) in
@@ -46,6 +65,7 @@ let gen_manifests rng =
         else None
       in
       Manifest.v ~name:cname ~provides ~connects_to
+        ~placement:(gen_placement rng)
         ?domain:(if Drbg.int rng 4 = 0 then Some "shared" else None)
         ~size_loc:(100 + Drbg.int rng 40_000)
         ~network_facing:(Drbg.int rng 3 = 0)
@@ -59,7 +79,7 @@ let gen_manifests rng =
 let printable rng =
   (* bias toward the format's own alphabet so mutations stay near the
      grammar's edge instead of being trivially rejected *)
-  let interesting = "component provides connects domain substrate \t#.-_" in
+  let interesting = "component provides connects domain substrate host place class: \t#.-_" in
   if Drbg.int rng 2 = 0 then interesting.[Drbg.int rng (String.length interesting)]
   else Char.chr (32 + Drbg.int rng 95)
 
@@ -106,6 +126,8 @@ let garbage rng =
 
 let generate rng _case =
   if Drbg.int rng 4 = 0 then garbage rng
+  else if Drbg.bool rng then
+    mutate rng (Manifest_file.fleet_to_text (gen_manifests rng, gen_hosts rng))
   else mutate rng (Manifest_file.to_text (gen_manifests rng))
 
 (* ---------------------------------------------------------------- *)
@@ -116,24 +138,36 @@ let raised what exn =
   Error (Printf.sprintf "%s raised %s" what (Printexc.to_string exn))
 
 let check payload =
-  match Manifest_file.parse payload with
-  | exception exn -> raised "parse" exn
+  match Manifest_file.parse_fleet payload with
+  | exception exn -> raised "parse_fleet" exn
   | Error _ ->
-    (* rejection is totality working; but the spanned parser must agree *)
-    (match Manifest_file.parse_spanned payload with
-     | exception exn -> raised "parse_spanned" exn
-     | Ok _ -> Error "parse rejected what parse_spanned accepted"
-     | Error _ -> Ok ())
-  | Ok manifests ->
-    (match Manifest_file.to_text manifests with
-     | exception exn -> raised "to_text" exn
-     | text ->
-       (match Manifest_file.parse text with
-        | exception exn -> raised "round-trip parse" exn
-        | Error e -> Error (Printf.sprintf "round-trip parse failed: %s" e)
-        | Ok reparsed when reparsed <> manifests ->
-          Error "round-trip changed the manifests"
-        | Ok _ ->
+    (* rejection is totality working; but the other parsers must agree *)
+    (match Manifest_file.parse payload with
+     | exception exn -> raised "parse" exn
+     | Ok _ -> Error "parse accepted what parse_fleet rejected"
+     | Error _ ->
+       (match Manifest_file.parse_spanned payload with
+        | exception exn -> raised "parse_spanned" exn
+        | Ok _ -> Error "parse rejected what parse_spanned accepted"
+        | Error _ -> Ok ()))
+  | Ok (manifests, hosts) ->
+    (* the host-dropping parser must see the same components *)
+    (match Manifest_file.parse payload with
+     | exception exn -> raised "parse" exn
+     | Error e ->
+       Error (Printf.sprintf "parse rejected what parse_fleet accepted: %s" e)
+     | Ok dropped when dropped <> manifests ->
+       Error "parse and parse_fleet disagree on the components"
+     | Ok _ ->
+       (match Manifest_file.fleet_to_text (manifests, hosts) with
+        | exception exn -> raised "fleet_to_text" exn
+        | text ->
+          (match Manifest_file.parse_fleet text with
+           | exception exn -> raised "round-trip parse_fleet" exn
+           | Error e -> Error (Printf.sprintf "round-trip parse failed: %s" e)
+           | Ok reparsed when reparsed <> (manifests, hosts) ->
+             Error "round-trip changed the fleet"
+           | Ok _ ->
           (match Lint.run manifests with
            | exception exn -> raised "lint" exn
            | diags ->
@@ -151,4 +185,4 @@ let check payload =
                      | Ok d ->
                        (match Flow.conformance manifests d.Flow.d_kernel with
                         | exception exn -> raised "conformance" exn
-                        | _ -> Ok ()))))))
+                        | _ -> Ok ())))))))

@@ -10,6 +10,7 @@ type t = {
   mutable log : packet list; (* newest first *)
   mutable delivered : int;
   mutable dropped : int;
+  mutable unroutable : int;
 }
 
 let create () =
@@ -17,7 +18,8 @@ let create () =
     adversary = (fun _ -> Deliver);
     log = [];
     delivered = 0;
-    dropped = 0 }
+    dropped = 0;
+    unroutable = 0 }
 
 let register t addr =
   if Hashtbl.mem t.mailboxes addr then
@@ -26,7 +28,9 @@ let register t addr =
 
 let deliver t packet =
   match Hashtbl.find_opt t.mailboxes packet.dst with
-  | None -> t.dropped <- t.dropped + 1
+  | None ->
+    t.dropped <- t.dropped + 1;
+    t.unroutable <- t.unroutable + 1
   | Some q ->
     Queue.add packet q;
     t.delivered <- t.delivered + 1
@@ -63,6 +67,8 @@ let delivered_count t = t.delivered
 
 let dropped_count t = t.dropped
 
+let unroutable_count t = t.unroutable
+
 (* --- Snapshottable ---------------------------------------------------- *)
 
 let take_snapshot t =
@@ -74,6 +80,7 @@ let take_snapshot t =
   let adversary = t.adversary in
   let log = t.log in
   let delivered = t.delivered and dropped = t.dropped in
+  let unroutable = t.unroutable in
   fun () ->
     List.iter
       (fun (_, q, xs) ->
@@ -83,12 +90,15 @@ let take_snapshot t =
     t.adversary <- adversary;
     t.log <- log;
     t.delivered <- delivered;
-    t.dropped <- dropped
+    t.dropped <- dropped;
+    t.unroutable <- unroutable
 
 let state_digest t =
   let open Lt_world in
   let pkt d p = Digest64.string (Digest64.string (Digest64.string d p.src) p.dst) p.payload in
-  Digest64.int (Digest64.int Digest64.basis t.delivered) t.dropped
+  Digest64.int
+    (Digest64.int (Digest64.int Digest64.basis t.delivered) t.dropped)
+    t.unroutable
   |> Fun.flip (Digest64.list pkt) t.log
   |> fun d ->
   List.fold_left

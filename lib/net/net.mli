@@ -25,7 +25,9 @@ val create : unit -> t
 val register : t -> address -> unit
 
 (** [send t ~src ~dst payload] — the adversary sees it first. Sending to
-    an unregistered address silently drops (like the real Internet). *)
+    an unregistered address drops the packet (like the real Internet)
+    and counts it in both {!dropped_count} and {!unroutable_count}, so
+    partition audits can tell routing loss from adversary loss. *)
 val send : t -> src:address -> dst:address -> string -> unit
 
 (** [recv t addr] pops the oldest pending packet for [addr]. *)
@@ -55,6 +57,11 @@ val observed : t -> packet list
 val delivered_count : t -> int
 
 val dropped_count : t -> int
+
+(** [unroutable_count t] — packets that reached delivery with no mailbox
+    registered for their destination (a strict subset of
+    {!dropped_count}; adversary [Drop] verdicts are not unroutable). *)
+val unroutable_count : t -> int
 
 (** Capture mailboxes, the adversary, the log and delivery counters. *)
 val take_snapshot : t -> unit -> unit

@@ -1,0 +1,65 @@
+type state = Closed | Open | Half_open
+
+type t = {
+  b_route : string;
+  b_prefix : string;
+  b_threshold : int;
+  b_cooldown : int;
+  mutable b_state : state;
+  mutable b_fails : int;  (* consecutive faults while closed *)
+  mutable b_opened : int; (* tick the breaker last opened *)
+}
+
+let create ?(prefix = "resil") ~threshold ~cooldown route =
+  { b_route = route;
+    b_prefix = prefix;
+    b_threshold = threshold;
+    b_cooldown = cooldown;
+    b_state = Closed;
+    b_fails = 0;
+    b_opened = 0 }
+
+let state b = b.b_state
+
+let route b = b.b_route
+
+let event b st =
+  Lt_obs.Trace.event ~kind:"breaker" ~name:b.b_route
+    ~attrs:(Lt_obs.Trace.attr "state" st) ()
+
+let open_ b =
+  b.b_state <- Open;
+  b.b_opened <- Lt_obs.Trace.ambient_now ();
+  Lt_obs.Metrics.incr (b.b_prefix ^ "/breaker_open");
+  event b "open"
+
+let admit b =
+  (match b.b_state with
+   | Open when Lt_obs.Trace.ambient_now () - b.b_opened >= b.b_cooldown ->
+     b.b_state <- Half_open;
+     event b "half-open"
+   | _ -> ());
+  match b.b_state with
+  | Open ->
+    Lt_obs.Metrics.incr (b.b_prefix ^ "/breaker_fastfail");
+    event b "fast-fail";
+    false
+  | Closed | Half_open -> true
+
+let probing b = b.b_state = Half_open
+
+let success b =
+  b.b_fails <- 0;
+  if b.b_state = Half_open then begin
+    b.b_state <- Closed;
+    Lt_obs.Metrics.incr (b.b_prefix ^ "/breaker_close");
+    event b "closed"
+  end
+
+let fault b =
+  match b.b_state with
+  | Half_open -> open_ b
+  | Closed ->
+    b.b_fails <- b.b_fails + 1;
+    if b.b_fails >= b.b_threshold then open_ b
+  | Open -> ()

@@ -1,0 +1,48 @@
+(** A per-route circuit breaker, factored out of {!Supervisor} so the
+    fleet layer can put one in front of every host link.
+
+    The state machine is the classic three-state breaker: [Closed]
+    admits traffic and counts consecutive faults; [threshold] faults
+    open it; while [Open] it fast-fails everything; after [cooldown]
+    ticks (on the ambient {!Lt_obs.Trace} clock) the next admission
+    probes [Half_open], where exactly one attempt is allowed — success
+    closes the breaker, a fault re-opens it.
+
+    Observability mirrors the supervisor's original wiring: counters
+    [<prefix>/breaker_open], [<prefix>/breaker_close],
+    [<prefix>/breaker_fastfail] and events of kind ["breaker"] named
+    after the route with a ["state"] attribute. The default prefix is
+    ["resil"], so extracting the module changed no counter names. *)
+
+type state = Closed | Open | Half_open
+
+type t
+
+(** [create ?prefix ~threshold ~cooldown route] — a closed breaker for
+    [route]. [threshold] is the consecutive-fault count that opens it;
+    [cooldown] the ticks it stays open before probing. *)
+val create : ?prefix:string -> threshold:int -> cooldown:int -> string -> t
+
+val state : t -> state
+
+val route : t -> string
+
+(** [admit b] — call once per attempt, before doing the work. Moves an
+    expired [Open] to [Half_open] (emitting the half-open event), then
+    returns whether the attempt may proceed. [false] means the breaker
+    is open: the fast-fail counter and event have been emitted and the
+    caller must not touch the protected resource. *)
+val admit : t -> bool
+
+(** A half-open breaker admits exactly one probe; callers that retry
+    internally must check this and collapse their attempt budget to 1. *)
+val probing : t -> bool
+
+(** [success b] — the attempt succeeded: reset the fault count and, if
+    probing, close the breaker (counter + event). *)
+val success : t -> unit
+
+(** [fault b] — the attempt faulted: a probe re-opens immediately, a
+    closed breaker opens once the threshold is reached. Policy answers
+    (denials) are not faults — don't report them here. *)
+val fault : t -> unit

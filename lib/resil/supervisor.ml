@@ -20,13 +20,7 @@ let default_config =
     breaker_cooldown = 128;
     restart_cost = 8 }
 
-type breaker_state = Closed | Open | Half_open
-
-type breaker = {
-  mutable b_state : breaker_state;
-  mutable b_fails : int;  (* consecutive faults while closed *)
-  mutable b_opened : int; (* tick the breaker last opened *)
-}
+type breaker_state = Breaker.state = Closed | Open | Half_open
 
 type t = {
   deploy : Deploy.t;
@@ -36,7 +30,7 @@ type t = {
      one service must not fast-fail its healthy services — containment
      is measured in lateral slices, and a route is the thinnest slice
      the router can distinguish *)
-  breakers : (string, breaker) Hashtbl.t;
+  breakers : (string, Breaker.t) Hashtbl.t;
   restart_ticks : (string, int list) Hashtbl.t; (* newest first *)
   restart_totals : (string, int) Hashtbl.t;
   gave_up : (string, unit) Hashtbl.t;
@@ -66,14 +60,17 @@ let breaker_for t route =
   match Hashtbl.find_opt t.breakers route with
   | Some b -> b
   | None ->
-    let b = { b_state = Closed; b_fails = 0; b_opened = 0 } in
+    let b =
+      Breaker.create ~threshold:t.cfg.breaker_threshold
+        ~cooldown:t.cfg.breaker_cooldown route
+    in
     Hashtbl.replace t.breakers route b;
     b
 
 let breaker_state t ~target ~service =
   match Hashtbl.find_opt t.breakers (Lt_obs.Trace.span_name target service) with
   | None -> Closed
-  | Some b -> b.b_state
+  | Some b -> Breaker.state b
 
 (* --- supervision --------------------------------------------------------- *)
 
@@ -147,34 +144,16 @@ let revive t name =
 
 (* --- hardened calls ------------------------------------------------------ *)
 
-let open_breaker b route =
-  b.b_state <- Open;
-  b.b_opened <- Lt_obs.Trace.ambient_now ();
-  Lt_obs.Metrics.incr "resil/breaker_open";
-  Lt_obs.Trace.event ~kind:"breaker" ~name:route
-    ~attrs:(Lt_obs.Trace.attr "state" "open") ()
-
 let call t ~caller ~target ~service req =
   let route = Lt_obs.Trace.span_name target service in
   let b = breaker_for t route in
-  (match b.b_state with
-   | Open
-     when Lt_obs.Trace.ambient_now () - b.b_opened >= t.cfg.breaker_cooldown ->
-     b.b_state <- Half_open;
-     Lt_obs.Trace.event ~kind:"breaker" ~name:route
-       ~attrs:(Lt_obs.Trace.attr "state" "half-open") ()
-   | _ -> ());
-  match b.b_state with
-  | Open ->
-    Lt_obs.Metrics.incr "resil/breaker_fastfail";
-    Lt_obs.Trace.event ~kind:"breaker" ~name:route
-      ~attrs:(Lt_obs.Trace.attr "state" "fast-fail") ();
+  if not (Breaker.admit b) then
     Error
       (App.Crashed { target; reason = Printf.sprintf "circuit open for %s" route })
-  | Closed | Half_open ->
+  else begin
     (* a half-open breaker admits exactly one probe, no retries: the
        point is to learn cheaply, not to hammer a convalescent *)
-    let attempts = if b.b_state = Half_open then 1 else t.cfg.retries + 1 in
+    let attempts = if Breaker.probing b then 1 else t.cfg.retries + 1 in
     let classify result elapsed =
       match result with
       | Ok r when elapsed <= t.cfg.deadline -> `Success r
@@ -214,24 +193,12 @@ let call t ~caller ~target ~service req =
     in
     let res = go 0 in
     (match res with
-     | Ok _ ->
-       b.b_fails <- 0;
-       if b.b_state = Half_open then begin
-         b.b_state <- Closed;
-         Lt_obs.Metrics.incr "resil/breaker_close";
-         Lt_obs.Trace.event ~kind:"breaker" ~name:route
-           ~attrs:(Lt_obs.Trace.attr "state" "closed") ()
-       end
-     | Error (App.Crashed _) ->
-       (match b.b_state with
-        | Half_open -> open_breaker b route
-        | Closed ->
-          b.b_fails <- b.b_fails + 1;
-          if b.b_fails >= t.cfg.breaker_threshold then open_breaker b route
-        | Open -> ())
+     | Ok _ -> Breaker.success b
+     | Error (App.Crashed _) -> Breaker.fault b
      | Error
          (App.Denied _ | App.Unknown_component _ | App.Unknown_service _
          | App.Failed _) ->
        (* policy answers are correct behaviour, not component health *)
        ());
     res
+  end

@@ -54,7 +54,7 @@ type config = {
      breaker_threshold = 3; breaker_cooldown = 128; restart_cost = 8}] *)
 val default_config : config
 
-type breaker_state = Closed | Open | Half_open
+type breaker_state = Breaker.state = Closed | Open | Half_open
 
 type t
 

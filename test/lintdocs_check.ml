@@ -4,7 +4,9 @@
    either name a registered rule or be marked scope "—" (the
    conformance rules that live outside [Lint_rules.all]). A second
    file argument (docs/CONTAIN.md) has its propagation-edge table
-   diffed verbatim against [Contain.edge_kinds]. Run by
+   diffed verbatim against [Contain.edge_kinds]; a third
+   (docs/FLEET.md) its placement-selector table against
+   [Manifest.placement_selector_kinds]. Run by
    `dune build @lintdocs`, which @runtest depends on, so the tables can
    never silently rot. Exit 1 with one line per discrepancy. *)
 
@@ -86,11 +88,61 @@ let check_edge_table note path =
     rows;
   List.length rows
 
+(* selector-table rows in FLEET.md: | `host:NAME` | description |.
+   Selector kinds contain ':' and may be bare upper-case, so the only
+   shape requirement is a two-cell row whose first cell is backticked
+   (which also excludes the header and separator rows). *)
+let parse_selector_row line =
+  match String.split_on_char '|' line with
+  | [ ""; sel; desc; "" ] ->
+    let raw = trim sel in
+    if String.length raw >= 2 && raw.[0] = '`' then
+      Some (strip_ticks sel, trim desc)
+    else None
+  | _ -> None
+
+let read_selector_rows path =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       match parse_selector_row (input_line ic) with
+       | Some row -> rows := row :: !rows
+       | None -> ()
+     done
+   with End_of_file -> close_in ic);
+  List.rev !rows
+
+let check_selector_table note path =
+  let problem fmt = Printf.ksprintf note fmt in
+  let rows = read_selector_rows path in
+  List.iter
+    (fun (sel, registry_desc) ->
+      match List.assoc_opt sel rows with
+      | None ->
+        problem "%s: in Manifest.placement_selector_kinds but missing from %s"
+          sel path
+      | Some doc_desc ->
+        if doc_desc <> registry_desc then
+          problem "%s: description drifted in %s (registry: %S, doc: %S)" sel
+            path registry_desc doc_desc)
+    Manifest.placement_selector_kinds;
+  List.iter
+    (fun (sel, _) ->
+      if not (List.mem_assoc sel Manifest.placement_selector_kinds) then
+        problem "%s: documented in %s but not in \
+                 Manifest.placement_selector_kinds" sel path;
+      if List.length (List.filter (fun (k, _) -> k = sel) rows) > 1 then
+        problem "%s: duplicate selector row in %s" sel path)
+    rows;
+  List.length rows
+
 let () =
   let path =
     if Array.length Sys.argv > 1 then Sys.argv.(1) else "../docs/LINT_RULES.md"
   in
   let contain_path = if Array.length Sys.argv > 2 then Some Sys.argv.(2) else None in
+  let fleet_path = if Array.length Sys.argv > 3 then Some Sys.argv.(3) else None in
   let rows = read_rows path in
   let problems = ref [] in
   let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
@@ -139,11 +191,20 @@ let () =
     | None -> 0
     | Some p -> check_edge_table (fun s -> problems := s :: !problems) p
   in
+  let selector_rows =
+    match fleet_path with
+    | None -> 0
+    | Some p -> check_selector_table (fun s -> problems := s :: !problems) p
+  in
   match List.rev !problems with
   | [] ->
     Printf.printf "lintdocs: %d rules in sync with %s" (List.length (Lint.catalogue ())) path;
     (match contain_path with
      | Some p -> Printf.printf ", %d edge kinds in sync with %s" edge_rows p
+     | None -> ());
+    (match fleet_path with
+     | Some p ->
+       Printf.printf ", %d placement selectors in sync with %s" selector_rows p
      | None -> ());
     print_newline ()
   | ps ->

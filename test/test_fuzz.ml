@@ -164,14 +164,33 @@ let corpus_files () =
   |> List.filter (fun f -> Filename.check_suffix f ".repro")
   |> List.sort compare
 
+(* [fleet_*.repro] files are fleet chaos schedules, not hunt repros;
+   replay each through its own harness *)
+let replay_fleet_repro f path =
+  let module Fc = Lt_fleet.Fleet_chaos in
+  match Fc.load_repro path with
+  | Error e -> Alcotest.fail (Printf.sprintf "%s: %s" f e)
+  | Ok rp ->
+    (match
+       Fc.run ~plan:rp.Fc.rp_plan ~rogue:rp.Fc.rp_rogue ~hosts:rp.Fc.rp_hosts
+         ~requests:rp.Fc.rp_requests ~seed:rp.Fc.rp_seed ()
+     with
+     | Error e -> Alcotest.fail (Printf.sprintf "%s: %s" f e)
+     | Ok (r, _) ->
+       Alcotest.(check bool) (f ^ " stays contained") true (Fc.contained r))
+
 let test_corpus_replays () =
   let files = corpus_files () in
   Alcotest.(check bool) "corpus is non-empty" true (files <> []);
   List.iter
     (fun f ->
-      match Hunt.replay_file (Filename.concat "corpus" f) with
-      | Ok () -> ()
-      | Error e -> Alcotest.fail (Printf.sprintf "%s: %s" f e))
+      let path = Filename.concat "corpus" f in
+      if String.length f >= 6 && String.sub f 0 6 = "fleet_" then
+        replay_fleet_repro f path
+      else
+        match Hunt.replay_file path with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail (Printf.sprintf "%s: %s" f e))
     files
 
 let qcheck_tests =

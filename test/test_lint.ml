@@ -228,6 +228,48 @@ let test_restart_policy_missing () =
   check_silent "L019-restart-policy-missing"
     (lint_text "component a\n  substrate sep\n  stateful")
 
+let test_placement_unsatisfiable () =
+  let hosts =
+    [ Manifest.host ~name:"edge" ~substrates:[ "microkernel"; "sgx" ];
+      Manifest.host ~name:"core" ~substrates:[ "monolithic-os" ] ]
+  in
+  let config = { Lint_rules.default_config with Lint_rules.declared_hosts = hosts } in
+  let lint_fleet text = Lint.run ~config (parse text) in
+  let id = "L024-placement-unsatisfiable" in
+  (* satisfiable specs: by class, by host name, by bare substrate, empty *)
+  check_silent id (lint_fleet "component a\n  substrate sgx\n  place class:tee");
+  check_silent id (lint_fleet "component a\n  place host:edge");
+  check_silent id (lint_fleet "component a\n  place microkernel");
+  check_silent id (lint_fleet "component a");
+  (* substrate offered nowhere: unsatisfiable even with no place spec *)
+  check_fires id (lint_fleet "component a\n  substrate sep");
+  (* selectors match a host, but not one offering the substrate *)
+  check_fires id (lint_fleet "component a\n  substrate sgx\n  place host:core");
+  (* class matches no host *)
+  check_fires id
+    (Lint.run
+       ~config:
+         { Lint_rules.default_config with
+           Lint_rules.declared_hosts =
+             [ Manifest.host ~name:"solo" ~substrates:[ "microkernel" ] ] }
+       (parse "component a\n  substrate sgx\n  place class:tee"));
+  (* unknown host / unknown class / unknown substrate selectors *)
+  check_fires id (lint_fleet "component a\n  place host:ghost");
+  check_fires id (lint_fleet "component a\n  place class:enclave");
+  check_fires id (lint_fleet "component a\n  place notasubstrate");
+  (* empty selector names nothing *)
+  check_fires id (lint_fleet "component a\n  place host: class:tee");
+  (* without declared hosts only selector syntax is checked *)
+  check_silent id (Lint.run (parse "component a\n  substrate sep\n  place class:tee"));
+  check_fires id (Lint.run (parse "component a\n  place class:enclave"));
+  (* all findings are errors *)
+  List.iter
+    (fun d ->
+      if d.Diagnostic.rule_id = id then
+        Alcotest.(check bool) "L024 is error severity" true
+          (d.Diagnostic.severity = Diagnostic.Error))
+    (lint_fleet "component a\n  substrate sep\n  place class:enclave")
+
 (* --- the golden fixtures under examples/ ----------------------------------- *)
 
 let load_example file =
@@ -430,6 +472,8 @@ let suite =
     Alcotest.test_case "L014 label leak" `Quick test_label_leak;
     Alcotest.test_case "L015 dead declassifier" `Quick test_dead_declassifier;
     Alcotest.test_case "L019 restart policy missing" `Quick test_restart_policy_missing;
+    Alcotest.test_case "L024 placement unsatisfiable" `Quick
+      test_placement_unsatisfiable;
     Alcotest.test_case "broken fixture golden" `Quick test_broken_fixture;
     Alcotest.test_case "browser fixture findings" `Quick test_browser_fixture;
     Alcotest.test_case "clean fixture" `Quick test_clean_fixture;

@@ -33,4 +33,5 @@ let () =
       ("check", Test_check.suite);
       ("contain", Test_contain.suite);
       ("cli", Test_cli.suite);
-      ("world", Test_world.suite) ]
+      ("world", Test_world.suite);
+      ("fleet", Test_fleet.suite) ]

@@ -53,6 +53,61 @@ let test_roundtrip () =
   let ms2 = parse_ok (Manifest_file.to_text ms) in
   Alcotest.(check bool) "roundtrip identical" true (ms = ms2)
 
+let fleet_sample =
+  {|
+host edge-1
+  substrates microkernel sgx
+
+host core-1
+  substrates monolithic-os
+
+component app
+  substrate sgx
+  provides run
+  place class:tee host:core-1
+|}
+
+let test_fleet_parse_and_roundtrip () =
+  match Manifest_file.parse_fleet fleet_sample with
+  | Error e -> Alcotest.fail e
+  | Ok (ms, hosts) ->
+    Alcotest.(check (list string)) "hosts in order" [ "edge-1"; "core-1" ]
+      (List.map (fun h -> h.Manifest.h_name) hosts);
+    Alcotest.(check (list string)) "edge-1 substrates" [ "microkernel"; "sgx" ]
+      (List.nth hosts 0).Manifest.h_substrates;
+    (match ms with
+     | [ app ] ->
+       Alcotest.(check (list string)) "placement in order"
+         [ "class:tee"; "host:core-1" ] app.Manifest.placement
+     | _ -> Alcotest.fail "one component expected");
+    (match Manifest_file.parse_fleet (Manifest_file.fleet_to_text (ms, hosts)) with
+     | Ok (ms2, hosts2) ->
+       Alcotest.(check bool) "fleet roundtrip identical" true
+         (ms = ms2 && hosts = hosts2)
+     | Error e -> Alcotest.fail e);
+    (* plain parse accepts host stanzas and keeps only components *)
+    (match Manifest_file.parse fleet_sample with
+     | Ok ms3 -> Alcotest.(check bool) "parse drops hosts" true (ms3 = ms)
+     | Error e -> Alcotest.fail e)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_fleet_errors () =
+  let bad t frag =
+    match Manifest_file.parse_fleet t with
+    | Ok _ -> Alcotest.fail ("parsed: " ^ t)
+    | Error e -> Alcotest.(check bool) (frag ^ " in " ^ e) true (contains e frag)
+  in
+  bad "host a\nhost a\n" "duplicate host";
+  bad "host a b\n" "host takes one name";
+  bad "host a\n  substrates\n" "malformed host directive";
+  bad "host a\n  provides x\n" "malformed host directive";
+  bad "component c\n  place\n" "malformed directive";
+  bad "substrates microkernel\n" "outside a component"
+
 let expect_error text fragment =
   match Manifest_file.parse text with
   | Ok _ -> Alcotest.fail ("parsed: " ^ text)
@@ -186,6 +241,9 @@ let prop_roundtrip =
 let suite =
   [ Alcotest.test_case "parse the sample" `Quick test_parse_sample;
     Alcotest.test_case "roundtrip through to_text" `Quick test_roundtrip;
+    Alcotest.test_case "fleet: hosts and placement roundtrip" `Quick
+      test_fleet_parse_and_roundtrip;
+    Alcotest.test_case "fleet: error cases" `Quick test_fleet_errors;
     Alcotest.test_case "error cases" `Quick test_errors;
     Alcotest.test_case "errors carry line numbers" `Quick test_line_numbers_reported;
     Alcotest.test_case "empty inputs" `Quick test_empty_and_comment_only;

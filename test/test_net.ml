@@ -22,7 +22,30 @@ let test_unknown_destination_dropped () =
   let net = Net.create () in
   Net.register net "a";
   Net.send net ~src:"a" ~dst:"ghost" "x";
-  Alcotest.(check int) "dropped" 1 (Net.dropped_count net)
+  Alcotest.(check int) "dropped" 1 (Net.dropped_count net);
+  Alcotest.(check int) "unroutable" 1 (Net.unroutable_count net)
+
+let test_unroutable_vs_adversary_loss () =
+  (* partition audits must be able to tell routing loss from adversary
+     loss: an adversary Drop is dropped but not unroutable, while an
+     unregistered destination counts as both *)
+  let net = Net.create () in
+  Net.register net "a";
+  Net.register net "b";
+  Net.set_adversary net (fun p -> if p.Net.payload = "cut" then Net.Drop else Net.Deliver);
+  Net.send net ~src:"a" ~dst:"b" "cut";
+  Alcotest.(check int) "adversary drop counted" 1 (Net.dropped_count net);
+  Alcotest.(check int) "adversary drop not unroutable" 0 (Net.unroutable_count net);
+  Net.send net ~src:"a" ~dst:"ghost" "hello";
+  Net.inject net { Net.src = "x"; dst = "ghost"; payload = "forged" };
+  Alcotest.(check int) "both losses dropped" 3 (Net.dropped_count net);
+  Alcotest.(check int) "send + inject to ghost unroutable" 2 (Net.unroutable_count net);
+  (* snapshot round-trips the counter *)
+  let undo = Net.take_snapshot net in
+  Net.send net ~src:"a" ~dst:"ghost2" "more";
+  Alcotest.(check int) "post-snapshot loss counted" 3 (Net.unroutable_count net);
+  undo ();
+  Alcotest.(check int) "snapshot restores unroutable" 2 (Net.unroutable_count net)
 
 let test_adversary_tamper_drop () =
   let net = Net.create () in
@@ -353,6 +376,8 @@ let test_gateway_rejects_bad_rates () =
 let suite =
   [ Alcotest.test_case "basic delivery" `Quick test_basic_delivery;
     Alcotest.test_case "unknown destination dropped" `Quick test_unknown_destination_dropped;
+    Alcotest.test_case "unroutable vs adversary loss" `Quick
+      test_unroutable_vs_adversary_loss;
     Alcotest.test_case "adversary tamper & drop" `Quick test_adversary_tamper_drop;
     Alcotest.test_case "eavesdropping transcript" `Quick test_eavesdropping_log;
     Alcotest.test_case "packet injection" `Quick test_injection;

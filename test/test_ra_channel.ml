@@ -113,9 +113,81 @@ let test_stale_nonce_rejected () =
   | Error _ -> ()
   | Ok () -> Alcotest.fail "stale nonce accepted"
 
+let test_replay_after_heal_rejected () =
+  (* a partition kills the session; after the heal the fleet runs a NEW
+     handshake. Evidence captured before the cut must not survive onto
+     the new session — neither as the raw record nor re-wrapped *)
+  let rng, ca, server_key, cert, sgx, comp, policy = setup () in
+  let cs1, ss1 = channel rng ~ca ~server_key ~cert in
+  let challenge, nonce = Ra_channel.request rng cs1 in
+  let response1 =
+    match Ra_channel.respond ss1 sgx comp ~challenge with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  (* the adversary decrypts nothing, but we (the test) peek at the
+     plaintext evidence the way the old verifier would have *)
+  let evidence_plain =
+    match Sc.receive cs1 response1 with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  (* heal: fresh handshake, fresh session, same genuine server *)
+  let cs2, ss2 = channel rng ~ca ~server_key ~cert in
+  (* raw record from the dead session: the new session's AEAD rejects *)
+  (match Ra_channel.check cs2 ~policy ~nonce ~response:response1 with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "stale record accepted on new session");
+  (* worst case: the evidence plaintext leaked and is re-wrapped as a
+     legitimate record of the new session, with the matching nonce — the
+     channel binding to the dead session's exporter must still kill it *)
+  let replayed = Sc.send ss2 evidence_plain in
+  (match Ra_channel.check cs2 ~policy ~nonce ~response:replayed with
+   | Error e ->
+     Alcotest.(check bool) "binding failure reported" true
+       (String.length e > 0)
+   | Ok () -> Alcotest.fail "replayed evidence accepted after heal!")
+
+let test_tampered_evidence_typed_error () =
+  (* the Dolev-Yao adversary's [Tamper] verdict swaps a packet's payload
+     for arbitrary bytes; whatever it picks, [check] must come back as
+     [Error _], never an exception *)
+  let rng, ca, server_key, cert, sgx, comp, policy = setup () in
+  let cs, ss = channel rng ~ca ~server_key ~cert in
+  let challenge, nonce = Ra_channel.request rng cs in
+  let response =
+    match Ra_channel.respond ss sgx comp ~challenge with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let flipped =
+    let b = Bytes.of_string response in
+    let i = Bytes.length b / 2 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x55));
+    Bytes.to_string b
+  in
+  List.iter
+    (fun (label, mangled) ->
+      match Ra_channel.check cs ~policy ~nonce ~response:mangled with
+      | Error e ->
+        Alcotest.(check bool) (label ^ ": error is descriptive") true
+          (String.length e > 0)
+      | Ok () -> Alcotest.fail (label ^ ": tampered evidence accepted")
+      | exception e ->
+        Alcotest.fail
+          (label ^ ": raised instead of Error: " ^ Printexc.to_string e))
+    [ ("bit-flip", flipped);
+      ("truncated", String.sub response 0 (String.length response / 2));
+      ("garbage", "not-a-record-at-all");
+      ("empty", "") ]
+
 let suite =
   [ Alcotest.test_case "attested channel verifies in-channel" `Quick
       test_attested_channel_happy_path;
+    Alcotest.test_case "evidence replay after heal rejected" `Quick
+      test_replay_after_heal_rejected;
+    Alcotest.test_case "tampered evidence is a typed error" `Quick
+      test_tampered_evidence_typed_error;
     Alcotest.test_case "relay attack defeated by channel binding" `Quick
       test_relay_attack_rejected;
     Alcotest.test_case "wrong measurement rejected" `Quick test_wrong_measurement_rejected;
