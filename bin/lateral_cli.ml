@@ -1296,6 +1296,153 @@ let snap_cmd =
        ~doc:"Digest the scenario worlds and prove their snapshot round-trips")
     Term.(const cmd_snap $ scenario $ layers $ seed)
 
+(* --- scale: sharded multi-tenant scale-out ------------------------------------- *)
+
+let cmd_scale scenario tenants shards requests batch seed admit_rate admit_burst
+    kill_shards kill_after format verdicts =
+  let module Sc = Lt_scale.Scale in
+  let cfg =
+    { Sc.sc_scenario = scenario;
+      sc_tenants = tenants;
+      sc_shards = shards;
+      sc_requests_per_tenant = requests;
+      sc_batch = batch;
+      sc_seed = seed;
+      sc_admit_rate = admit_rate;
+      sc_admit_burst = admit_burst;
+      sc_kill_shards = kill_shards;
+      sc_kill_after = kill_after }
+  in
+  if verdicts then begin
+    match Sc.fleet_manifests cfg with
+    | Error e ->
+      Printf.eprintf "scale: %s\n" e;
+      2
+    | Ok ms ->
+      let diags = Lateral.Lint.run ms in
+      let flow = Lateral.Flow.analyze ms in
+      let cont = Lateral.Contain.analyze ms in
+      print_string (Lateral.Lint.render_domain_verdicts ms diags);
+      print_string (Lateral.Flow.render_domain_verdicts ms flow);
+      print_string (Lateral.Contain.render_domain_verdicts ms cont);
+      if
+        Lateral.Flow.cross_tenant_leaks ms flow = []
+        && Lateral.Contain.cross_tenant_radius ms cont = []
+      then 0
+      else 1
+  end
+  else begin
+    match Sc.run cfg with
+    | Error e ->
+      Printf.eprintf "scale: %s\n" e;
+      2
+    | Ok report ->
+      (match format with
+       | Run_text -> print_string (Sc.render_report_text report)
+       | Run_json -> print_string (Sc.render_report_json report));
+      if Sc.contained report then 0 else 1
+  end
+
+let scale_cmd =
+  let scenario =
+    let scenario_conv =
+      Arg.enum
+        (List.map
+           (fun s -> (Lt_load.Load.scenario_name s, s))
+           Lt_load.Load.all_scenarios)
+    in
+    Arg.(
+      value
+      & pos 0 scenario_conv Lt_load.Load.Mail
+      & info [] ~docv:"SCENARIO"
+          ~doc:"Scenario each tenant instance runs: $(b,mail), $(b,meter) or \
+                $(b,cloud) (default mail)")
+  in
+  let tenants =
+    Arg.(
+      value & opt int 100
+      & info [ "tenants" ] ~docv:"N"
+          ~doc:"Tenant instances, each a copy-on-write fork of its shard's \
+                template world, in trust domain $(b,shard-k/tenant-i)")
+  in
+  let shards =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Template deployments; tenants are sharded round-robin")
+  in
+  let requests =
+    Arg.(
+      value & opt int 8
+      & info [ "requests"; "n" ] ~docv:"N"
+          ~doc:"Requests per tenant (total load = tenants \xc3\x97 N)")
+  in
+  let batch =
+    Arg.(
+      value & opt int 4
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Requests issued per tenant visit before the router forks the \
+                tenant's world and moves on")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Seed for deployment and per-tenant mixes; equal seeds give \
+                byte-identical scale reports, and tenant $(b,i)'s traffic \
+                digest is independent of the tenant count")
+  in
+  let admit_rate =
+    Arg.(
+      value & opt float 1.0
+      & info [ "admit-rate" ] ~docv:"R"
+          ~doc:"Gateway token-bucket refill per admission tick, per shard")
+  in
+  let admit_burst =
+    Arg.(
+      value & opt float 32.0
+      & info [ "admit-burst" ] ~docv:"B" ~doc:"Gateway token-bucket burst")
+  in
+  let kill_shards =
+    Arg.(
+      value & opt_all int []
+      & info [ "kill-shard" ] ~docv:"K"
+          ~doc:"Kill shard $(docv) (repeatable): every tenant in its domain \
+                set is refused from then on, and the audit asserts no other \
+                domain observes a failure")
+  in
+  let kill_after =
+    Arg.(
+      value & opt int 0
+      & info [ "kill-after" ] ~docv:"ROUND"
+          ~doc:"Round at whose start the kills fire (0: never)")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", Run_text); ("json", Run_json) ]) Run_text
+      & info [ "format" ] ~docv:"FORMAT" ~doc:"Report format: $(b,text) or $(b,json)")
+  in
+  let verdicts =
+    Arg.(
+      value & flag
+      & info [ "verdicts" ]
+          ~doc:"Instead of running load, materialise the fleet's static \
+                manifests and print per-trust-domain lint/flow/contain \
+                verdicts; exits 1 on any cross-tenant witness")
+  in
+  Cmd.v
+    (Cmd.info "scale" ~exits:std_exits
+       ~doc:
+         "Multiplex N tenant instances — world forks of per-shard template \
+          deployments — behind gateway admission, in nested trust domains. \
+          Exits 0 when the observed blast radius stays inside the killed \
+          shards' domain set, 1 on a cross-domain failure, 2 on usage errors")
+    Term.(
+      const cmd_scale $ scenario $ tenants $ shards $ requests $ batch $ seed
+      $ admit_rate $ admit_burst $ kill_shards $ kill_after $ format
+      $ verdicts)
+
 let () =
   let info =
     Cmd.info "lateral" ~version:"1.0.0"
@@ -1309,7 +1456,7 @@ let () =
     Cmd.group ~default info
       [ substrates_cmd; mail_cmd; meter_cmd; gateway_cmd; run_cmd; chaos_cmd;
         fleet_cmd; hunt_cmd; analyze_cmd; lint_cmd; flow_cmd; check_cmd;
-        contain_cmd; snap_cmd ]
+        contain_cmd; snap_cmd; scale_cmd ]
   in
   exit
     (match Cmd.eval_value group with

@@ -49,8 +49,9 @@ let () =
       server_key.Rsa.pub
   in
   let net = Net.create () in
-  Net.register net "client";
-  Net.register net "server";
+  List.iter
+    (fun a -> match Net.register net a with Ok () | Error `Duplicate_addr -> ())
+    [ "client"; "server" ];
   let client =
     Sc.Client.create rng ~trusted_ca:ca.Rsa.pub ~expected_subject:"imap.example.org" ()
   in

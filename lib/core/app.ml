@@ -140,6 +140,10 @@ let rec call_typed t ~caller ~target ~service req =
       with
       | Substrate.Service_failure reason ->
         Error (Failed { target; reason })
+      | Substrate.Dependency_crashed { origin; reason } ->
+        (* blame the component that is actually down, not the callee
+           that tripped over it *)
+        Error (Crashed { target = origin; reason })
       | exn ->
         Error (Crashed { target; reason = Printexc.to_string exn })
     end

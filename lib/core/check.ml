@@ -921,3 +921,52 @@ let divergence t =
   else None
 
 let full_equiv t = divergence t = None
+
+(* --- per-trust-domain slice ---------------------------------------------------- *)
+
+let domain_slice t tenant =
+  let path = Flow.trust_paths t.manifests in
+  let mine n = match path n with [] -> false | x :: _ -> x = tenant in
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "tenant %s\n" tenant;
+  add "lint:\n";
+  List.iter
+    (fun d ->
+      if mine d.Diagnostic.component then add "  %s\n" (Diagnostic.to_text d))
+    t.diags;
+  add "flow labels:\n";
+  List.iter
+    (fun (n, l) -> if mine n then add "  %s: %s\n" n (Flow_lattice.to_string l))
+    t.flow.Flow.labels;
+  add "leaks:\n";
+  List.iter
+    (fun l ->
+      if mine l.Flow.l_secret then
+        add "  %s -> %s via %s\n" l.Flow.l_secret l.Flow.l_sink
+          (String.concat " -> " l.Flow.l_path))
+    t.flow.Flow.leaks;
+  add "taint hits:\n";
+  List.iter
+    (fun h ->
+      if mine h.Flow.t_source then
+        add "  %s -> %s via %s\n" h.Flow.t_source h.Flow.t_sink
+          (String.concat " -> " h.Flow.t_path))
+    t.flow.Flow.taint_hits;
+  add "contain:\n";
+  List.iter
+    (fun rad ->
+      if mine rad.Contain.r_root then
+        add "  %s [%s] %s%s\n" rad.Contain.r_root
+          (Contain.impact_to_string rad.Contain.r_self)
+          (String.concat ", "
+             (List.filter_map
+                (fun (n, i) ->
+                  if n = rad.Contain.r_root then None
+                  else Some (n ^ " " ^ Contain.impact_to_string i))
+                rad.Contain.r_hit))
+          (match rad.Contain.r_escape with
+           | None -> ""
+           | Some x -> Printf.sprintf " ESCAPES via %s" x.Contain.x_victim))
+    t.contain.Contain.radii;
+  Buffer.contents buf

@@ -73,3 +73,12 @@ val divergence : t -> string option
 
 (** [divergence t = None]. *)
 val full_equiv : t -> bool
+
+(** [domain_slice t tenant] — a canonical text rendering of one
+    tenant's verdict slice: its components' diagnostics, flow labels,
+    leaks and taint hits attributed to it, and the blast radii rooted in
+    it. The per-domain isolation contract is that a delta whose
+    footprint stays inside one tenant's trust domain (and that keeps the
+    component count, which L021 reads globally) leaves every other
+    tenant's slice byte-identical — qcheck-enforced in the tests. *)
+val domain_slice : t -> string -> string

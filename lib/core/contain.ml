@@ -684,3 +684,83 @@ let to_dot manifests r =
     r.edges;
   add "}\n";
   Buffer.contents buf
+
+(* --- per-trust-domain verdicts ----------------------------------------------
+
+   A blast radius is attributed to the tenant of its root; the
+   cross-tenant filter lists (root, victim) pairs whose trust-domain
+   paths are disjoint — the one thing a multi-tenant fleet must keep
+   empty (shared root-domain infrastructure is never disjoint from a
+   tenant, so fate-sharing through it is reported, not hidden). *)
+
+let trust_paths manifests =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      if not (Hashtbl.mem tbl m.Manifest.name) then
+        Hashtbl.add tbl m.Manifest.name m.Manifest.trust_domain)
+    manifests;
+  fun n -> Option.value ~default:[] (Hashtbl.find_opt tbl n)
+
+let cross_tenant_radius manifests r =
+  let path = trust_paths manifests in
+  List.concat_map
+    (fun rad ->
+      List.filter_map
+        (fun (victim, impact) ->
+          if
+            victim <> rad.r_root
+            && Manifest.trust_domains_disjoint (path rad.r_root) (path victim)
+          then Some (rad.r_root, victim, impact)
+          else None)
+        rad.r_hit)
+    r.radii
+
+let tenant_verdicts manifests r =
+  let path = trust_paths manifests in
+  let tenant n = match path n with [] -> None | t :: _ -> Some t in
+  let ts =
+    List.filter_map Manifest.tenant_of manifests
+    |> List.sort_uniq String.compare
+  in
+  List.map
+    (fun t ->
+      let escapes =
+        List.filter_map
+          (fun rad ->
+            if tenant rad.r_root = Some t && rad.r_escape <> None then
+              Some rad.r_root
+            else None)
+          r.radii
+      in
+      (t, if escapes = [] then Contained else Uncontained escapes))
+    ts
+
+let render_domain_verdicts manifests r =
+  match
+    List.filter_map Manifest.tenant_of manifests
+    |> List.sort_uniq String.compare
+  with
+  | [] -> "" (* flat fleet: render nothing, outputs stay byte-identical *)
+  | _ :: _ ->
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "per-domain verdicts:\n";
+    List.iter
+      (fun (t, v) ->
+        Buffer.add_string buf
+          (match v with
+           | Contained -> Printf.sprintf "  tenant %s: contained\n" t
+           | Uncontained roots ->
+             Printf.sprintf "  tenant %s: UNCONTAINED (%s)\n" t
+               (String.concat ", " roots)))
+      (tenant_verdicts manifests r);
+    (match cross_tenant_radius manifests r with
+     | [] -> Buffer.add_string buf "  cross-tenant radius: none\n"
+     | xs ->
+       List.iter
+         (fun (root, victim, impact) ->
+           Buffer.add_string buf
+             (Printf.sprintf "  CROSS-TENANT radius: %s -> %s (%s)\n" root
+                victim (impact_to_string impact)))
+         xs);
+    Buffer.contents buf

@@ -228,3 +228,26 @@ val assemble : config -> Manifest.t list -> edge list -> radius list -> result
 val dirty_roots :
   old_edges:edge list -> new_edges:edge list -> touched:string list ->
   string list
+
+(** {2 Per-trust-domain verdicts}
+
+    A blast radius belongs to the tenant (outermost trust-domain
+    element) of its root; root-domain components belong to no tenant. *)
+
+(** [(component -> trust path)] lookup over the manifests, first
+    manifest wins; unknown names map to the root path. *)
+val trust_paths : Manifest.t list -> string -> string list
+
+(** One verdict per tenant: [Uncontained] lists exactly the escaping
+    roots under that tenant. *)
+val tenant_verdicts : Manifest.t list -> result -> (string * verdict) list
+
+(** [(root, victim, impact)] triples where the victim's trust-domain
+    path is disjoint from the root's — fate-sharing across tenants,
+    which a multi-tenant fleet must keep empty. *)
+val cross_tenant_radius :
+  Manifest.t list -> result -> (string * string * impact) list
+
+(** Text block for the CLI: per-tenant verdicts plus any cross-tenant
+    radius; [""] when no manifest declares a trust domain. *)
+val render_domain_verdicts : Manifest.t list -> result -> string

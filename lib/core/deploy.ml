@@ -41,11 +41,15 @@ let bridge sub comp _ctx ~service req =
   | Ok r -> r
   | Error e ->
     Lt_obs.Trace.fail_span e;
-    (* a Service_failure stringified by the substrate hop comes back
-       typed, so the router reports [Failed], not [Crashed] *)
+    (* a Service_failure or Dependency_crashed stringified by the
+       substrate hop comes back typed, so the router reports [Failed] /
+       [Crashed]-at-the-true-origin, not a crash of this component *)
     (match Substrate.as_failure e with
      | Some m -> raise (Substrate.Service_failure m)
-     | None -> failwith e)
+     | None ->
+       (match Substrate.as_dep_crashed e with
+        | Some (origin, reason) -> Substrate.dep_crashed ~origin reason
+        | None -> failwith e))
 
 let services_for ~self ~name ~behaviour provides =
   let service_for svc =

@@ -662,3 +662,78 @@ let to_dot manifests r =
     manifests;
   add "}\n";
   Buffer.contents buf
+
+(* --- per-trust-domain verdicts ----------------------------------------------
+
+   Tenant attribution: a leak belongs to the tenant of the component
+   whose secret escapes, a taint hit to the tenant of the tainted
+   source. The cross-tenant filters pick out witnesses whose two ends
+   sit in *disjoint* trust domains — exactly what a multi-tenant
+   deployment must keep empty so one tenant's taint is never pinned on
+   another. The root path [] is disjoint from nothing: shared root
+   infrastructure may appear in any tenant's evidence. *)
+
+let trust_paths manifests =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      if not (Hashtbl.mem tbl m.Manifest.name) then
+        Hashtbl.add tbl m.Manifest.name m.Manifest.trust_domain)
+    manifests;
+  fun n -> Option.value ~default:[] (Hashtbl.find_opt tbl n)
+
+let tenants manifests =
+  List.filter_map Manifest.tenant_of manifests |> List.sort_uniq String.compare
+
+let tenant_verdicts manifests r =
+  let path = trust_paths manifests in
+  let tenant n = match path n with [] -> None | t :: _ -> Some t in
+  List.map
+    (fun t ->
+      let leaks = List.filter (fun l -> tenant l.l_secret = Some t) r.leaks in
+      (t, if leaks = [] then Secure else Leak leaks))
+    (tenants manifests)
+
+let cross_tenant_hits manifests r =
+  let path = trust_paths manifests in
+  List.filter
+    (fun h -> Manifest.trust_domains_disjoint (path h.t_source) (path h.t_sink))
+    r.taint_hits
+
+let cross_tenant_leaks manifests r =
+  let path = trust_paths manifests in
+  List.filter
+    (fun l -> Manifest.trust_domains_disjoint (path l.l_secret) (path l.l_sink))
+    r.leaks
+
+let render_domain_verdicts manifests r =
+  match tenants manifests with
+  | [] -> "" (* flat fleet: render nothing, outputs stay byte-identical *)
+  | _ :: _ ->
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "per-domain verdicts:\n";
+    List.iter
+      (fun (t, v) ->
+        Buffer.add_string buf
+          (match v with
+           | Secure -> Printf.sprintf "  tenant %s: secure\n" t
+           | Leak ls ->
+             Printf.sprintf "  tenant %s: %d leak(s)\n" t (List.length ls)))
+      (tenant_verdicts manifests r);
+    let xl = cross_tenant_leaks manifests r in
+    let xh = cross_tenant_hits manifests r in
+    List.iter
+      (fun l ->
+        Buffer.add_string buf
+          (Printf.sprintf "  CROSS-TENANT leak: %s -> %s via %s\n" l.l_secret
+             l.l_sink (String.concat " -> " l.l_path)))
+      xl;
+    List.iter
+      (fun h ->
+        Buffer.add_string buf
+          (Printf.sprintf "  CROSS-TENANT taint: %s -> %s via %s\n" h.t_source
+             h.t_sink (String.concat " -> " h.t_path)))
+      xh;
+    if xl = [] && xh = [] then
+      Buffer.add_string buf "  cross-tenant witnesses: none\n";
+    Buffer.contents buf

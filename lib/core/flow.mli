@@ -203,3 +203,34 @@ val tainted_base : Manifest.t -> bool
 (** The declared channel pairs [(caller, target)], vetted or not,
     self-connections excluded. Sorted and deduplicated. *)
 val declared_pairs : Manifest.t list -> (string * string) list
+
+(** {2 Per-trust-domain verdicts}
+
+    Tenant attribution (ROADMAP item 2): a leak belongs to the tenant
+    (outermost trust-domain element) of the secret holder, a taint hit
+    to the tenant of its source. Components in the root domain [[]]
+    belong to no tenant and may appear in any tenant's evidence. *)
+
+(** [(component -> trust path)] lookup over the manifests, first
+    manifest wins; unknown names map to the root path. *)
+val trust_paths : Manifest.t list -> string -> string list
+
+(** The sorted tenant names declared by the fleet. *)
+val tenants : Manifest.t list -> string list
+
+(** One verdict per tenant: [Leak] holds exactly the leaks whose secret
+    holder lives under that tenant, so no leak is ever attributed to two
+    tenants. *)
+val tenant_verdicts :
+  Manifest.t list -> result -> (string * verdict) list
+
+(** Taint hits whose source and sink sit in {e disjoint} trust domains —
+    must be empty for the tenant-isolation story to hold. *)
+val cross_tenant_hits : Manifest.t list -> result -> taint_hit list
+
+val cross_tenant_leaks : Manifest.t list -> result -> leak list
+
+(** Text block for the CLI: per-tenant verdicts plus any cross-tenant
+    witnesses; [""] when no manifest declares a trust domain, so flat
+    fleets render byte-identically. *)
+val render_domain_verdicts : Manifest.t list -> result -> string

@@ -87,3 +87,37 @@ let catalogue_text () =
            paper summary))
     (catalogue ());
   Buffer.contents buf
+
+(* --- per-trust-domain verdicts --------------------------------------------- *)
+
+let render_domain_verdicts manifests diags =
+  match
+    List.filter_map Manifest.tenant_of manifests
+    |> List.sort_uniq String.compare
+  with
+  | [] -> "" (* flat fleet: render nothing, outputs stay byte-identical *)
+  | tenants ->
+    let tenant_of_component =
+      let tbl = Hashtbl.create 16 in
+      List.iter
+        (fun m ->
+          if not (Hashtbl.mem tbl m.Manifest.name) then
+            Hashtbl.add tbl m.Manifest.name (Manifest.tenant_of m))
+        manifests;
+      fun n -> Option.join (Hashtbl.find_opt tbl n)
+    in
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "per-domain verdicts:\n";
+    List.iter
+      (fun t ->
+        let s =
+          summarize
+            (List.filter
+               (fun d -> tenant_of_component d.Diagnostic.component = Some t)
+               diags)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  tenant %s: %d errors, %d warnings, %d info\n" t
+             s.errors s.warnings s.infos))
+      tenants;
+    Buffer.contents buf

@@ -49,3 +49,9 @@ val catalogue : unit -> (string * Diagnostic.severity * string * string) list
 
 (** The catalogue as an aligned table, for [lint --rules]. *)
 val catalogue_text : unit -> string
+
+(** Text block for the CLI: per-tenant diagnostic counts (a diagnostic
+    belongs to the tenant of the component it anchors to); [""] when no
+    manifest declares a trust domain, so flat fleets render
+    byte-identically. *)
+val render_domain_verdicts : Manifest.t list -> Diagnostic.t list -> string

@@ -844,6 +844,66 @@ let rec l024 =
                       (List.map (fun h -> h.Manifest.h_name) hosts)))
                 "offer the substrate on a host, relax the place selectors, or move the component" ]) }
 
+(* trust domains (Tyche-style, nestable): the root path [] contains
+   every other path, so shared root infrastructure never trips these;
+   only channels/domains bridging two *disjoint* paths — distinct
+   tenants — do *)
+let rec l025 =
+  { id = "L025-cross-tenant-channel";
+    severity = Diagnostic.Error;
+    summary = "an unvetted channel crosses disjoint trust domains";
+    paper_ref = "\xc2\xa7II-B";
+    scope = Neighborhood;
+    check =
+      (fun _cfg ctx m ->
+        List.filter_map
+          (fun c ->
+            match find ctx c.Manifest.target with
+            | Some tm
+              when (not c.Manifest.vetted)
+                   && Manifest.trust_domains_disjoint m.Manifest.trust_domain
+                        tm.Manifest.trust_domain ->
+              Some
+                (diag ~rule:l025 ~component:m.Manifest.name
+                   ~service:c.Manifest.service
+                   (Printf.sprintf
+                      "unvetted channel to %s.%s crosses trust domains (%s vs %s)"
+                      c.Manifest.target c.Manifest.service
+                      (Manifest.trust_path_string m.Manifest.trust_domain)
+                      (Manifest.trust_path_string tm.Manifest.trust_domain))
+                   "vet the channel or move both endpoints under a common trust domain")
+            | _ -> None)
+          m.Manifest.connects_to) }
+
+let rec l026 =
+  { id = "L026-protection-domain-spans-tenants";
+    severity = Diagnostic.Error;
+    summary = "one protection domain spans disjoint trust domains";
+    paper_ref = "\xc2\xa7II-B";
+    scope = Neighborhood;
+    check =
+      (fun _cfg ctx m ->
+        match Hashtbl.find_opt ctx.domain_dedup m.Manifest.domain with
+        | None -> []
+        | Some members ->
+          List.filter_map
+            (fun peer ->
+              match find ctx peer with
+              | Some pm
+                when peer <> m.Manifest.name
+                     && Manifest.trust_domains_disjoint m.Manifest.trust_domain
+                          pm.Manifest.trust_domain ->
+                Some
+                  (diag ~rule:l026 ~component:m.Manifest.name
+                     (Printf.sprintf
+                        "shares protection domain %S with %s in disjoint trust domain %s (own: %s) — crashes and compromise co-fate across tenants"
+                        m.Manifest.domain peer
+                        (Manifest.trust_path_string pm.Manifest.trust_domain)
+                        (Manifest.trust_path_string m.Manifest.trust_domain))
+                     "give each tenant its own protection domain")
+              | _ -> None)
+            (List.sort String.compare members)) }
+
 let all =
   [ l001; l002; l003; l004; l005; l006; l007; l008; l009; l010; l011; l012;
-    l013; l014; l015; l016; l019; l020; l021; l022; l023; l024 ]
+    l013; l014; l015; l016; l019; l020; l021; l022; l023; l024; l025; l026 ]

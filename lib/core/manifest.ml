@@ -17,6 +17,7 @@ type t = {
   provides : string list;
   connects_to : connection list;
   domain : string;
+  trust_domain : string list;
   size_loc : int;
   network_facing : bool;
   vulnerable : bool;
@@ -40,6 +41,30 @@ let placement_selector_kinds =
     ("class:commodity", "any host offering a substrate without sealed identity");
     ("SUBSTRATE", "any host offering that exact substrate (e.g. sgx)") ]
 
+let domain_stanza_grammar =
+  [ ("domain NAME", "at top level: opens a trust domain; stanzas nest, and \
+                     components declared inside carry the full domain path");
+    ("end", "closes the open component stanza if any, else pops the \
+             innermost open trust domain");
+    ("domain NAME (inside a component)", "unchanged: the component's \
+                                          protection domain") ]
+
+let trust_path_string = function
+  | [] -> "/"
+  | path -> String.concat "/" path
+
+let rec is_path_prefix p q =
+  match (p, q) with
+  | [], _ -> true
+  | _, [] -> false
+  | a :: ps, b :: qs -> a = b && is_path_prefix ps qs
+
+(* disjoint = neither path contains the other; the cross-tenant case *)
+let trust_domains_disjoint p q =
+  not (is_path_prefix p q) && not (is_path_prefix q p)
+
+let tenant_of m = match m.trust_domain with [] -> None | t :: _ -> Some t
+
 let default_restart policy = { r_policy = policy; r_max = 3; r_window = 256 }
 
 let restart_policy_of_string = function
@@ -53,13 +78,15 @@ let restart_policy_to_string = function
   | On_failure -> "on-failure"
   | Always -> "always"
 
-let v ~name ?(provides = []) ?(connects_to = []) ?domain ?(size_loc = 1000)
-    ?(network_facing = false) ?(vulnerable = false) ?(discriminates_clients = true)
-    ?(substrate = "microkernel") ?(stateful = false) ?restart ?(placement = []) () =
+let v ~name ?(provides = []) ?(connects_to = []) ?domain ?(trust_domain = [])
+    ?(size_loc = 1000) ?(network_facing = false) ?(vulnerable = false)
+    ?(discriminates_clients = true) ?(substrate = "microkernel")
+    ?(stateful = false) ?restart ?(placement = []) () =
   { name;
     provides;
     connects_to;
     domain = Option.value domain ~default:name;
+    trust_domain;
     size_loc;
     network_facing;
     vulnerable;
@@ -72,7 +99,10 @@ let v ~name ?(provides = []) ?(connects_to = []) ?domain ?(size_loc = 1000)
 let conn ?(vetted = false) target service = { target; service; vetted }
 
 let pp fmt t =
-  Format.fprintf fmt "%s[domain=%s size=%d%s%s] -> {%s}" t.name t.domain t.size_loc
+  Format.fprintf fmt "%s[domain=%s%s size=%d%s%s] -> {%s}" t.name t.domain
+    (if t.trust_domain = [] then ""
+     else " trust=" ^ trust_path_string t.trust_domain)
+    t.size_loc
     (if t.network_facing then " net" else "")
     (if t.vulnerable then " vuln" else "")
     (String.concat ", "

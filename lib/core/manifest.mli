@@ -39,6 +39,14 @@ type t = {
       (** protection domain; a vertical (monolithic) application puts
           every subsystem in one domain, a horizontal design gives each
           component its own *)
+  trust_domain : string list;
+      (** Tyche-style nestable trust domain, outermost first; [[]] is the
+          root domain. The first element names the tenant. Protection
+          domains live {e inside} a trust domain: two components in the
+          same protection domain must share a trust-domain path (L026),
+          and unvetted channels may not cross disjoint trust domains
+          (L025), so one tenant's taint or blast radius can never be
+          attributed to another. *)
   size_loc : int;                (** notional code size for TCB math *)
   network_facing : bool;         (** parses input from the outside world *)
   vulnerable : bool;
@@ -73,6 +81,24 @@ val host : name:string -> substrates:string list -> host
     by the [@lintdocs] gate). *)
 val placement_selector_kinds : (string * string) list
 
+(** The trust-domain stanza grammar, one [(form, meaning)] row per
+    construct — the table docs/SCALE.md must reproduce verbatim
+    (enforced by the [@lintdocs] gate). *)
+val domain_stanza_grammar : (string * string) list
+
+(** ["a/b/c"] for [["a";"b";"c"]], ["/"] for the root domain. *)
+val trust_path_string : string list -> string
+
+(** [is_path_prefix p q] — [p] is a (non-strict) ancestor of [q]. *)
+val is_path_prefix : string list -> string list -> bool
+
+(** Neither path contains the other — the cross-tenant case L025 keys
+    on. The root domain [[]] is disjoint from nothing. *)
+val trust_domains_disjoint : string list -> string list -> bool
+
+(** The tenant (outermost trust-domain element), if any. *)
+val tenant_of : t -> string option
+
 (** [default_restart policy] — max 3 restarts per 256-tick window. *)
 val default_restart : restart_policy -> restart
 
@@ -86,9 +112,10 @@ val restart_policy_to_string : restart_policy -> string
     policy. *)
 val v :
   name:string -> ?provides:string list -> ?connects_to:connection list ->
-  ?domain:string -> ?size_loc:int -> ?network_facing:bool -> ?vulnerable:bool ->
-  ?discriminates_clients:bool -> ?substrate:string -> ?stateful:bool ->
-  ?restart:restart -> ?placement:string list -> unit -> t
+  ?domain:string -> ?trust_domain:string list -> ?size_loc:int ->
+  ?network_facing:bool -> ?vulnerable:bool -> ?discriminates_clients:bool ->
+  ?substrate:string -> ?stateful:bool -> ?restart:restart ->
+  ?placement:string list -> unit -> t
 
 (** [conn ?vetted target service] — connection shorthand. *)
 val conn : ?vetted:bool -> string -> string -> connection

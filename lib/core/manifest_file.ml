@@ -25,10 +25,11 @@ let fresh_partial () =
     p_restart = None;
     p_placement = [] }
 
-let finish name p =
+let finish ?(trust_domain = []) name p =
   Manifest.v ~name ~provides:(List.rev p.p_provides)
     ~connects_to:(List.rev p.p_connects)
-    ?domain:p.p_domain ~size_loc:p.p_size ~network_facing:p.p_network
+    ?domain:p.p_domain ~trust_domain ~size_loc:p.p_size
+    ~network_facing:p.p_network
     ~vulnerable:p.p_vulnerable ~discriminates_clients:p.p_badges
     ~substrate:p.p_substrate ~stateful:p.p_stateful ?restart:p.p_restart
     ~placement:(List.rev p.p_placement) ()
@@ -56,11 +57,17 @@ let parse_fleet_spanned text =
   let manifests = ref [] in
   let hosts = ref [] in
   let current : stanza option ref = ref None in
+  (* open trust domains, innermost first; a component closed while the
+     stack is non-empty carries the (reversed) stack as its path *)
+  let domains : string list ref = ref [] in
   let error = ref None in
   let close () =
     (match !current with
      | Some (Comp (name, line, p)) ->
-       manifests := { sp_manifest = finish name p; sp_line = line } :: !manifests
+       manifests :=
+         { sp_manifest = finish ~trust_domain:(List.rev !domains) name p;
+           sp_line = line }
+         :: !manifests
      | Some (Host hp) ->
        hosts :=
          Manifest.host ~name:hp.hp_name ~substrates:(List.rev hp.hp_substrates)
@@ -100,6 +107,25 @@ let parse_fleet_spanned text =
                error := Some (Printf.sprintf "line %d: duplicate host %S" lineno name)
              else current := Some (Host { hp_name = name; hp_substrates = [] })
            | _ -> error := Some (Printf.sprintf "line %d: host takes one name" lineno))
+        (* [domain] between stanzas opens a trust domain; inside a
+           component it stays the protection-domain directive below *)
+        | "domain" :: rest when !current = None ->
+          (match rest with
+           | [ d ] -> domains := d :: !domains
+           | _ -> error := Some (Printf.sprintf "line %d: domain takes one name" lineno))
+        | "end" :: rest ->
+          (match rest with
+           | [] ->
+             if !current <> None then close ()
+             else (
+               match !domains with
+               | _ :: tl -> domains := tl
+               | [] ->
+                 error :=
+                   Some
+                     (Printf.sprintf
+                        "line %d: end with no open component or domain" lineno))
+           | _ -> error := Some (Printf.sprintf "line %d: end takes no arguments" lineno))
         | directive :: args ->
           (match !current with
            | None ->
@@ -223,40 +249,79 @@ let load_fleet path =
 
 let to_text manifests =
   let buf = Buffer.create 512 in
-  List.iter
-    (fun m ->
-      Buffer.add_string buf (Printf.sprintf "component %s\n" m.Manifest.name);
+  (* trust-domain tree emission: between components, pop to the common
+     prefix ([end] lines, the first also closing the open component) and
+     push the remainder ([domain] lines). Files with no trust domains
+     print byte-identically to the flat format. *)
+  let open_path = ref [] in
+  let pad depth = String.make (2 * depth) ' ' in
+  let move_to path ~stanza_open =
+    let rec common p q =
+      match (p, q) with
+      | a :: ps, b :: qs when a = b -> a :: common ps qs
+      | _ -> []
+    in
+    let keep = common !open_path path in
+    let pops = List.length !open_path - List.length keep in
+    let rec drop n l = if n = 0 then l else drop (n - 1) (List.tl l) in
+    let pushes = drop (List.length keep) path in
+    if stanza_open && (pops > 0 || pushes <> []) then
+      (* close the open component so the next [domain]/[end] line is not
+         read as one of its directives *)
+      Buffer.add_string buf (pad (List.length !open_path) ^ "end\n");
+    for i = 1 to pops do
+      Buffer.add_string buf (pad (List.length !open_path - i) ^ "end\n")
+    done;
+    List.iteri
+      (fun i d ->
+        Buffer.add_string buf
+          (Printf.sprintf "%sdomain %s\n" (pad (List.length keep + i)) d))
+      pushes;
+    if pops > 0 || pushes <> [] then Buffer.add_char buf '\n';
+    open_path := path
+  in
+  List.iteri
+    (fun i m ->
+      move_to m.Manifest.trust_domain ~stanza_open:(i > 0);
+      let ind = pad (List.length !open_path) in
+      let dir = ind ^ "  " in
+      Buffer.add_string buf (Printf.sprintf "%scomponent %s\n" ind m.Manifest.name);
       if m.Manifest.domain <> m.Manifest.name then
-        Buffer.add_string buf (Printf.sprintf "  domain %s\n" m.Manifest.domain);
-      Buffer.add_string buf (Printf.sprintf "  size %d\n" m.Manifest.size_loc);
-      Buffer.add_string buf (Printf.sprintf "  substrate %s\n" m.Manifest.substrate);
-      if m.Manifest.network_facing then Buffer.add_string buf "  network-facing\n";
-      if m.Manifest.vulnerable then Buffer.add_string buf "  vulnerable\n";
+        Buffer.add_string buf (Printf.sprintf "%sdomain %s\n" dir m.Manifest.domain);
+      Buffer.add_string buf (Printf.sprintf "%ssize %d\n" dir m.Manifest.size_loc);
+      Buffer.add_string buf (Printf.sprintf "%ssubstrate %s\n" dir m.Manifest.substrate);
+      if m.Manifest.network_facing then Buffer.add_string buf (dir ^ "network-facing\n");
+      if m.Manifest.vulnerable then Buffer.add_string buf (dir ^ "vulnerable\n");
       if not m.Manifest.discriminates_clients then
-        Buffer.add_string buf "  no-badge-checks\n";
-      if m.Manifest.stateful then Buffer.add_string buf "  stateful\n";
+        Buffer.add_string buf (dir ^ "no-badge-checks\n");
+      if m.Manifest.stateful then Buffer.add_string buf (dir ^ "stateful\n");
       (match m.Manifest.restart with
        | None -> ()
        | Some r ->
          Buffer.add_string buf
-           (Printf.sprintf "  restart %s %d %d\n"
+           (Printf.sprintf "%srestart %s %d %d\n" dir
               (Manifest.restart_policy_to_string r.Manifest.r_policy)
               r.Manifest.r_max r.Manifest.r_window));
       if m.Manifest.provides <> [] then
         Buffer.add_string buf
-          (Printf.sprintf "  provides %s\n" (String.concat " " m.Manifest.provides));
+          (Printf.sprintf "%sprovides %s\n" dir (String.concat " " m.Manifest.provides));
       if m.Manifest.placement <> [] then
         Buffer.add_string buf
-          (Printf.sprintf "  place %s\n" (String.concat " " m.Manifest.placement));
+          (Printf.sprintf "%splace %s\n" dir (String.concat " " m.Manifest.placement));
       List.iter
         (fun c ->
           Buffer.add_string buf
-            (Printf.sprintf "  %s %s.%s\n"
+            (Printf.sprintf "%s%s %s.%s\n" dir
                (if c.Manifest.vetted then "connects-vetted" else "connects")
                c.Manifest.target c.Manifest.service))
         m.Manifest.connects_to;
       Buffer.add_char buf '\n')
     manifests;
+  (if manifests <> [] && !open_path <> [] then begin
+     Buffer.add_string buf (pad (List.length !open_path) ^ "end\n");
+     let d = List.length !open_path in
+     for i = 1 to d do Buffer.add_string buf (pad (d - i) ^ "end\n") done
+   end);
   Buffer.contents buf
 
 let fleet_to_text (manifests, hosts) =

@@ -20,7 +20,24 @@
 
     host edge-1               # fleet host declaration
       substrates microkernel sgx
+
+    domain tenant-a           # trust domain (Tyche-style, nestable)
+      domain edge             # sub-domain: path tenant-a/edge
+        component proxy
+          connects core.rpc
+        end                   # closes component proxy
+      end                     # pops edge
+      component core          # path tenant-a
+        provides rpc
+      end
+    end                       # pops tenant-a
     v}
+
+    A [domain] line between stanzas opens a trust domain; inside a
+    component it is still the protection-domain directive. [end] closes
+    the open component stanza if any, else pops the innermost trust
+    domain. Anything still open at end of file closes implicitly, so
+    flat files never need [end].
 
     Parsing is total: errors come back as [Error] with a line number.
     Duplicate component names and connections from a component to

@@ -108,8 +108,10 @@ let run ?(seed = 1L) tamper =
   | Ok anonymizer ->
   (* --- the untrusted network ------------------------------------------- *)
   let net = Net.create () in
-  Net.register net "meter";
-  Net.register net "utility";
+  (* fresh net: these cannot collide *)
+  List.iter
+    (fun a -> match Net.register net a with Ok () | Error `Duplicate_addr -> ())
+    [ "meter"; "utility" ];
   (match tamper with
    | Mitm_reading ->
      Net.set_adversary net (fun p ->
@@ -290,7 +292,9 @@ let gateway_demo () =
   let direct_hits =
     (* compromised Android with raw NIC access *)
     let net = Net.create () in
-    List.iter (Net.register net) ("utility" :: victims);
+    List.iter
+      (fun a -> match Net.register net a with Ok () | Error `Duplicate_addr -> ())
+      ("utility" :: victims);
     for i = 1 to flood_count do
       List.iter
         (fun v -> Net.send net ~src:"android" ~dst:v (Printf.sprintf "syn-%d" i))
@@ -301,7 +305,9 @@ let gateway_demo () =
   let gated_victim_hits, gated_utility_hits =
     (* same flood, but the gateway holds the NIC exclusively *)
     let net = Net.create () in
-    List.iter (Net.register net) ("utility" :: victims);
+    List.iter
+      (fun a -> match Net.register net a with Ok () | Error `Duplicate_addr -> ())
+      ("utility" :: victims);
     let gw =
       Gateway.create ~whitelist:[ "utility" ] ~tokens_per_tick:0.2 ~burst:5.0
     in

@@ -80,6 +80,36 @@ let as_failure e =
     Some (String.sub e n (String.length e - n))
   else None
 
+(* a behaviour found a dependency dead mid-request; carries the true
+   origin so routers blame the crashed component, not the caller that
+   tripped over it *)
+exception Dependency_crashed of { origin : string; reason : string }
+
+let dep_crashed_prefix = "dependency crashed: "
+
+let dep_crashed_error ~origin reason =
+  Printf.sprintf "%s%s: %s" dep_crashed_prefix origin reason
+
+let () =
+  Printexc.register_printer (function
+    | Dependency_crashed { origin; reason } ->
+      Some (dep_crashed_error ~origin reason)
+    | _ -> None)
+
+let dep_crashed ~origin reason = raise (Dependency_crashed { origin; reason })
+
+let as_dep_crashed e =
+  let n = String.length dep_crashed_prefix in
+  if String.length e >= n && String.sub e 0 n = dep_crashed_prefix then
+    let rest = String.sub e n (String.length e - n) in
+    match String.index_opt rest ':' with
+    | Some i when i > 0 && i + 2 <= String.length rest ->
+      Some
+        ( String.sub rest 0 i,
+          String.sub rest (i + 2) (String.length rest - i - 2) )
+    | _ -> Some (rest, "")
+  else None
+
 let lifecycle ?dead ?(teardown = fun _ -> ()) () =
   let dead : (string, unit) Hashtbl.t =
     match dead with Some d -> d | None -> Hashtbl.create 4

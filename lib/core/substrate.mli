@@ -115,6 +115,29 @@ val failure_error : string -> string
     [None] for any other error. *)
 val as_failure : string -> string option
 
+(** A behaviour found one of its {e dependencies} dead mid-request.
+    Distinct from {!Service_failure} (the callee declined on purpose)
+    and from the caller itself crashing: [origin] names the component
+    that is actually down, so routers and load reports attribute the
+    fault to it instead of to whichever caller tripped over it. Under
+    tenant sharding that attribution is what keeps one tenant's crash
+    out of another tenant's blast radius. *)
+exception Dependency_crashed of { origin : string; reason : string }
+
+(** [dep_crashed ~origin reason] aborts the current request with
+    {!Dependency_crashed}. *)
+val dep_crashed : origin:string -> string -> 'a
+
+(** The wire encoding of a {!Dependency_crashed} that crossed a
+    substrate hop as a string ("dependency crashed: ORIGIN: reason");
+    produced automatically via [Printexc.to_string] (a printer is
+    registered). *)
+val dep_crashed_error : origin:string -> string -> string
+
+(** [as_dep_crashed e] recovers [(origin, reason)] from a
+    {!dep_crashed_error} string, [None] for any other error. *)
+val as_dep_crashed : string -> (string * string) option
+
 (** [lifecycle ?dead ?teardown ()] — the shared crash bookkeeping for
     adapter authors: returns [(crash, is_alive, revive)] closures over a
     dead-set. [crash] marks the component dead and runs [teardown] once;

@@ -47,6 +47,13 @@ let split t =
   let seed = uint64 t in
   { state = mix seed }
 
+(* canonical per-index derivation that does NOT advance [t]: stream [i]
+   depends only on (current state, i), so a pool of N tenants and a pool
+   of 10N tenants give byte-identical streams for the shared prefix *)
+let substream t i =
+  let z = Int64.add t.state (Int64.mul (Int64.of_int (i + 1)) golden_gamma) in
+  { state = mix (mix z) }
+
 let save t = t.state
 
 let restore t s = t.state <- s

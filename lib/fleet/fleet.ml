@@ -165,7 +165,8 @@ let build_substrates rng ~ra_ca ~host_name names =
 let create ?(config = default_config) ~seed ~hosts ~components () =
   let rng = Drbg.create seed in
   let net = Net.create () in
-  Net.register net controller_addr;
+  (match Net.register net controller_addr with
+   | Ok () | Error `Duplicate_addr -> () (* fresh net: cannot collide *));
   let tls_ca = Rsa.generate ~bits:512 rng in
   let ra_ca = Rsa.generate ~bits:512 rng in
   let cuts = Hashtbl.create 8 in
@@ -217,7 +218,9 @@ let create ?(config = default_config) ~seed ~hosts ~components () =
                Cert.issue ~ca_name:"fleet-tls" ~ca_key:tls_ca ~subject:hs.hs_name
                  key.Rsa.pub
              in
-             Net.register net hs.hs_name;
+             (match Net.register net hs.hs_name with
+              | Ok () | Error `Duplicate_addr ->
+                () (* seen_host already rejected duplicates *));
              let h =
                { h_spec =
                    Manifest.host ~name:hs.hs_name ~substrates:hs.hs_substrates;

@@ -101,6 +101,11 @@ val host_connected : t -> string -> bool
     lexicographically least member. *)
 val clusters : t -> (string * string list) list
 
+(** [cluster_partition manifests] — the same partition as a pure
+    function of the manifests, for audits that only have a report (see
+    {!Fleet_chaos.shard_kill_audit}). *)
+val cluster_partition : Manifest.t list -> (string * Manifest.t list) list
+
 (** [owner t cluster] — the host currently holding [cluster]. *)
 val owner : t -> string -> string option
 

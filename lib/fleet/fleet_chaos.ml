@@ -596,3 +596,77 @@ let render_report_json r =
     r.fc_counters;
   Buffer.add_string buf "}}\n";
   Buffer.contents buf
+
+(* --- shard kills --------------------------------------------------------------- *)
+
+let shard_of_host ~shards h =
+  let prefix = "host-" in
+  let plen = String.length prefix in
+  if shards <= 0 then Error "shards must be positive"
+  else if String.length h > plen && String.sub h 0 plen = prefix then
+    match int_of_string_opt (String.sub h plen (String.length h - plen)) with
+    | Some n when n >= 1 -> Ok ((n - 1) mod shards)
+    | _ -> Error (Printf.sprintf "not a fleet host name: %S" h)
+  else Error (Printf.sprintf "not a fleet host name: %S" h)
+
+let shard_hosts ~hosts ~shards k =
+  List.filter (fun h -> shard_of_host ~shards h = Ok k) (host_names hosts)
+
+let kill_shard_plan ~hosts ~shards ~kill =
+  if hosts <= 0 then Error "hosts must be positive"
+  else if shards <= 0 || shards > hosts then
+    Error "shards must be positive and at most hosts"
+  else
+    match List.find_opt (fun k -> k < 0 || k >= shards) kill with
+    | Some k -> Error (Printf.sprintf "kill shard %d out of range" k)
+    | None ->
+      Ok
+        { kill_hosts = List.concat_map (shard_hosts ~hosts ~shards) kill;
+          partitions = [] }
+
+let shard_kill_audit ~shards ~kill (r : report) =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  if r.fc_partition_events <> [] then
+    err "audit requires a kill-only plan (report has partition events)";
+  List.iter
+    (fun (i, h) ->
+      match shard_of_host ~shards h with
+      | Error e -> err "%s" e
+      | Ok k ->
+        if not (List.mem k kill) then
+          err "host %s killed at %d is not in a killed shard" h i)
+    r.fc_kills;
+  (* clusters that were resident on a dead host are exactly those that
+     had to move (failovers) or ended the run homeless *)
+  let touched =
+    List.sort_uniq compare
+      (List.map fst r.fc_failovers @ r.fc_unplaced)
+  in
+  let cluster_of =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (id, ms) ->
+        List.iter (fun m -> Hashtbl.replace tbl m.Manifest.name id) ms)
+      (Fleet.cluster_partition (List.map fst (scenario_components ())));
+    tbl
+  in
+  let domain_set =
+    String.concat ", " (List.map (Printf.sprintf "shard-%d") kill)
+  in
+  List.iter
+    (fun (c, imp) ->
+      match Hashtbl.find_opt cluster_of c with
+      | None -> err "observed component %s is not in the scenario" c
+      | Some cluster ->
+        if not (List.mem cluster touched) then
+          err
+            "observed radius escapes the killed shards' domain set {%s}: \
+             %s (%s) never lived on a killed host"
+            domain_set c imp)
+    r.fc_observed;
+  List.iter
+    (fun (c, imp, allowed) ->
+      err "static radius escape: %s observed %s, allowed %s" c imp allowed)
+    r.fc_radius_escapes;
+  match List.rev !errs with [] -> Ok () | l -> Error l

@@ -122,3 +122,32 @@ val run :
 val render_report_text : report -> string
 
 val render_report_json : report -> string
+
+(** {2 Shard kills}
+
+    Hosts group round-robin into {e shards}: [host-n] belongs to shard
+    [(n-1) mod shards], trust domain [shard-k] (the fleet-level
+    counterpart of {!Lt_scale}'s nested tenant domains). Killing a
+    shard kills every one of its machines; the audit then proves the
+    observed blast radius stayed inside the dead shards' domain set. *)
+
+(** [shard_of_host ~shards "host-n"] — the shard index, or an error on
+    a non-fleet host name. *)
+val shard_of_host : shards:int -> string -> (int, string) result
+
+val shard_hosts : hosts:int -> shards:int -> int -> string list
+
+(** [kill_shard_plan ~hosts ~shards ~kill] — a kill-only {!plan} that
+    takes down every machine of every shard in [kill], each at its own
+    seeded instant. *)
+val kill_shard_plan :
+  hosts:int -> shards:int -> kill:int list -> (plan, string) result
+
+(** [shard_kill_audit ~shards ~kill report] — observed radius ⊆ the
+    killed shards' domain set: every component whose observed impact is
+    worse than untouched must belong to a cluster that was resident on
+    a killed shard's machine (it failed over or ended unplaced), every
+    killed machine must belong to a killed shard, and the static radius
+    must hold. Only defined for reports of kill-only plans. *)
+val shard_kill_audit :
+  shards:int -> kill:int list -> report -> (unit, string list) result

@@ -35,6 +35,13 @@ let gen_hosts rng =
 let gen_placement rng =
   List.filter (fun _ -> Drbg.int rng 4 = 0) (Array.to_list selector_pool)
 
+(* nestable trust-domain paths (Tyche-style); adjacent components with
+   unrelated paths force the printer through every open/close shape,
+   and the round-trip property must survive all of them *)
+let trust_pool =
+  [| []; [ "tenant-a" ]; [ "tenant-b" ]; [ "tenant-a"; "edge" ];
+     [ "tenant-a"; "edge"; "inner" ]; [ "shard-0"; "tenant-a" ] |]
+
 let gen_manifests rng =
   let n = 1 + Drbg.int rng 5 in
   let names = Array.to_list (Array.sub name_pool 0 n) in
@@ -73,13 +80,14 @@ let gen_manifests rng =
         ~discriminates_clients:(Drbg.int rng 4 > 0)
         ~substrate:(pick rng substrate_pool)
         ~stateful:(Drbg.int rng 3 = 0)
+        ~trust_domain:(pick rng trust_pool)
         ?restart ())
     names
 
 let printable rng =
   (* bias toward the format's own alphabet so mutations stay near the
      grammar's edge instead of being trivially rejected *)
-  let interesting = "component provides connects domain substrate host place class: \t#.-_" in
+  let interesting = "component provides connects domain end substrate host place class: \t#.-_" in
   if Drbg.int rng 2 = 0 then interesting.[Drbg.int rng (String.length interesting)]
   else Char.chr (32 + Drbg.int rng 95)
 

@@ -22,9 +22,16 @@ let create () =
     unroutable = 0 }
 
 let register t addr =
-  if Hashtbl.mem t.mailboxes addr then
-    invalid_arg (Printf.sprintf "Net.register: %s already registered" addr);
-  Hashtbl.replace t.mailboxes addr (Queue.create ())
+  if Hashtbl.mem t.mailboxes addr then Error `Duplicate_addr
+  else begin
+    Hashtbl.replace t.mailboxes addr (Queue.create ());
+    Ok ()
+  end
+
+(* idempotent: tenant/shard churn (destroy + re-place) unregisters the
+   old mailbox so the next placement can register cleanly; any queued
+   packets die with the mailbox *)
+let unregister t addr = Hashtbl.remove t.mailboxes addr
 
 let deliver t packet =
   match Hashtbl.find_opt t.mailboxes packet.dst with

@@ -21,8 +21,15 @@ type verdict =
 
 val create : unit -> t
 
-(** [register t addr] creates a mailbox. Raises on duplicates. *)
-val register : t -> address -> unit
+(** [register t addr] creates a mailbox; [Error `Duplicate_addr] if one
+    already exists under that name (typed so churn-tolerant callers can
+    decide — nothing raises). *)
+val register : t -> address -> (unit, [ `Duplicate_addr ]) result
+
+(** [unregister t addr] removes the mailbox and anything queued in it.
+    Idempotent; the address may be {!register}ed again afterwards —
+    the destroy half of place → destroy → re-place churn. *)
+val unregister : t -> address -> unit
 
 (** [send t ~src ~dst payload] — the adversary sees it first. Sending to
     an unregistered address drops the packet (like the real Internet)

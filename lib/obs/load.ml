@@ -79,14 +79,16 @@ type deployed = {
   d_world : Lt_world.World.t;
 }
 
-(* a dead dependency cascades as a fault (the supervisor may heal it and
-   retry); any other downstream answer fails this request only — the
-   caller stays healthy and the report gets an error line *)
+(* a dead dependency cascades as a typed fault carrying the true origin
+   (the supervisor may heal it and retry; the report blames the crashed
+   component, not whichever caller tripped over it); any other
+   downstream answer fails this request only — the caller stays healthy
+   and the report gets an error line *)
 let call_or_err ctx ~target ~service req =
   match ctx.Deploy.call_out_typed ~target ~service req with
   | Ok r -> r
-  | Error (App.Crashed _ as e) ->
-    failwith (Printf.sprintf "%s.%s: %s" target service (App.render_call_error e))
+  | Error (App.Crashed { target = origin; reason }) ->
+    Substrate.dep_crashed ~origin reason
   | Error e ->
     Substrate.fail
       (Printf.sprintf "%s.%s: %s" target service (App.render_call_error e))
@@ -368,8 +370,10 @@ let deploy_meter rng =
     let sgx, _ = Substrate_sgx.make m3 rng ~ca_name:"intel" ~ca_key:ca () in
     let substrates = [ ("microkernel", mk); ("trustzone", tz); ("sgx", sgx) ] in
     let net = Net.create () in
-    Net.register net "collector";
-    Net.register net "utility";
+    (* fresh net: these cannot collide *)
+    List.iter
+      (fun a -> match Net.register net a with Ok () | Error `Duplicate_addr -> ())
+      [ "collector"; "utility" ];
     let gw = Gateway.create ~whitelist:[ "utility" ] ~tokens_per_tick:0.5 ~burst:5.0 in
     let poll_tick = ref 0 in
     let components =

@@ -6,7 +6,8 @@
    file argument (docs/CONTAIN.md) has its propagation-edge table
    diffed verbatim against [Contain.edge_kinds]; a third
    (docs/FLEET.md) its placement-selector table against
-   [Manifest.placement_selector_kinds]. Run by
+   [Manifest.placement_selector_kinds]; a fourth (docs/SCALE.md) its
+   domain-stanza table against [Manifest.domain_stanza_grammar]. Run by
    `dune build @lintdocs`, which @runtest depends on, so the tables can
    never silently rot. Exit 1 with one line per discrepancy. *)
 
@@ -137,12 +138,39 @@ let check_selector_table note path =
     rows;
   List.length rows
 
+(* domain-stanza rows in SCALE.md: | `domain NAME` | description |.
+   Same two-cell backticked shape as the selector table. *)
+let check_grammar_table note path =
+  let problem fmt = Printf.ksprintf note fmt in
+  let rows = read_selector_rows path in
+  List.iter
+    (fun (stanza, registry_desc) ->
+      match List.assoc_opt stanza rows with
+      | None ->
+        problem "%s: in Manifest.domain_stanza_grammar but missing from %s"
+          stanza path
+      | Some doc_desc ->
+        if doc_desc <> registry_desc then
+          problem "%s: description drifted in %s (registry: %S, doc: %S)"
+            stanza path registry_desc doc_desc)
+    Manifest.domain_stanza_grammar;
+  List.iter
+    (fun (stanza, _) ->
+      if not (List.mem_assoc stanza Manifest.domain_stanza_grammar) then
+        problem "%s: documented in %s but not in \
+                 Manifest.domain_stanza_grammar" stanza path;
+      if List.length (List.filter (fun (k, _) -> k = stanza) rows) > 1 then
+        problem "%s: duplicate stanza row in %s" stanza path)
+    rows;
+  List.length rows
+
 let () =
   let path =
     if Array.length Sys.argv > 1 then Sys.argv.(1) else "../docs/LINT_RULES.md"
   in
   let contain_path = if Array.length Sys.argv > 2 then Some Sys.argv.(2) else None in
   let fleet_path = if Array.length Sys.argv > 3 then Some Sys.argv.(3) else None in
+  let scale_path = if Array.length Sys.argv > 4 then Some Sys.argv.(4) else None in
   let rows = read_rows path in
   let problems = ref [] in
   let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
@@ -196,6 +224,11 @@ let () =
     | None -> 0
     | Some p -> check_selector_table (fun s -> problems := s :: !problems) p
   in
+  let grammar_rows =
+    match scale_path with
+    | None -> 0
+    | Some p -> check_grammar_table (fun s -> problems := s :: !problems) p
+  in
   match List.rev !problems with
   | [] ->
     Printf.printf "lintdocs: %d rules in sync with %s" (List.length (Lint.catalogue ())) path;
@@ -205,6 +238,10 @@ let () =
     (match fleet_path with
      | Some p ->
        Printf.printf ", %d placement selectors in sync with %s" selector_rows p
+     | None -> ());
+    (match scale_path with
+     | Some p ->
+       Printf.printf ", %d domain stanzas in sync with %s" grammar_rows p
      | None -> ());
     print_newline ()
   | ps ->

@@ -34,4 +34,5 @@ let () =
       ("contain", Test_contain.suite);
       ("cli", Test_cli.suite);
       ("world", Test_world.suite);
-      ("fleet", Test_fleet.suite) ]
+      ("fleet", Test_fleet.suite);
+      ("scale", Test_scale.suite) ]

@@ -5,10 +5,14 @@ module Net = Lt_net.Net
 module Sc = Lt_net.Secure_channel
 module Gateway = Lt_net.Gateway
 
+(* every registration in here is on a fresh address; fail the test
+   loudly if that ever stops being true *)
+let reg net addr = Result.get_ok (Net.register net addr)
+
 let test_basic_delivery () =
   let net = Net.create () in
-  Net.register net "a";
-  Net.register net "b";
+  reg net "a";
+  reg net "b";
   Net.send net ~src:"a" ~dst:"b" "hi";
   (match Net.recv net "b" with
    | Some p ->
@@ -20,7 +24,7 @@ let test_basic_delivery () =
 
 let test_unknown_destination_dropped () =
   let net = Net.create () in
-  Net.register net "a";
+  reg net "a";
   Net.send net ~src:"a" ~dst:"ghost" "x";
   Alcotest.(check int) "dropped" 1 (Net.dropped_count net);
   Alcotest.(check int) "unroutable" 1 (Net.unroutable_count net)
@@ -30,8 +34,8 @@ let test_unroutable_vs_adversary_loss () =
      loss: an adversary Drop is dropped but not unroutable, while an
      unregistered destination counts as both *)
   let net = Net.create () in
-  Net.register net "a";
-  Net.register net "b";
+  reg net "a";
+  reg net "b";
   Net.set_adversary net (fun p -> if p.Net.payload = "cut" then Net.Drop else Net.Deliver);
   Net.send net ~src:"a" ~dst:"b" "cut";
   Alcotest.(check int) "adversary drop counted" 1 (Net.dropped_count net);
@@ -49,8 +53,8 @@ let test_unroutable_vs_adversary_loss () =
 
 let test_adversary_tamper_drop () =
   let net = Net.create () in
-  Net.register net "a";
-  Net.register net "b";
+  reg net "a";
+  reg net "b";
   Net.set_adversary net (fun p ->
       if p.Net.payload = "secret" then Net.Tamper "corrupted"
       else if p.Net.payload = "kill" then Net.Drop
@@ -64,15 +68,15 @@ let test_adversary_tamper_drop () =
 
 let test_eavesdropping_log () =
   let net = Net.create () in
-  Net.register net "a";
-  Net.register net "b";
+  reg net "a";
+  reg net "b";
   Net.send net ~src:"a" ~dst:"b" "plaintext-password";
   Alcotest.(check bool) "passive attacker reads everything" true
     (List.exists (fun p -> p.Net.payload = "plaintext-password") (Net.observed net))
 
 let test_injection () =
   let net = Net.create () in
-  Net.register net "b";
+  reg net "b";
   Net.inject net { Net.src = "forged-sender"; dst = "b"; payload = "spoof" };
   match Net.recv net "b" with
   | Some p -> Alcotest.(check string) "spoofed source accepted by raw net" "forged-sender" p.Net.src
@@ -86,8 +90,8 @@ let handshake_setup ?expected_subject ?(subject = "mail.example.org") () =
   let server_key = Rsa.generate ~bits:512 rng in
   let cert = Cert.issue ~ca_name:"root-ca" ~ca_key:ca ~subject server_key.Rsa.pub in
   let net = Net.create () in
-  Net.register net "client";
-  Net.register net "server";
+  reg net "client";
+  reg net "server";
   let client = Sc.Client.create rng ~trusted_ca:ca.Rsa.pub ?expected_subject () in
   let server = Sc.Server.create rng ~key:server_key ~cert in
   (net, rng, ca, client, server)
@@ -246,8 +250,8 @@ let test_exporter_unique_per_channel () =
   let cert = Cert.issue ~ca_name:"root-ca" ~ca_key:ca ~subject:"s" server_key.Rsa.pub in
   let mk () =
     let net = Net.create () in
-    Net.register net "c";
-    Net.register net "s";
+    reg net "c";
+    reg net "s";
     let client = Sc.Client.create rng ~trusted_ca:ca.Rsa.pub () in
     let server = Sc.Server.create rng ~key:server_key ~cert in
     match Sc.connect net ~client ~client_addr:"c" ~server ~server_addr:"s" with
@@ -261,8 +265,8 @@ let test_exporter_unique_per_channel () =
 
 let test_gateway_whitelist () =
   let net = Net.create () in
-  Net.register net "utility.example.org";
-  Net.register net "victim.example.org";
+  reg net "utility.example.org";
+  reg net "victim.example.org";
   let gw =
     Gateway.create ~whitelist:[ "utility.example.org" ] ~tokens_per_tick:1.0
       ~burst:10.0
@@ -279,7 +283,7 @@ let test_gateway_whitelist () =
 
 let test_gateway_rate_limit () =
   let net = Net.create () in
-  Net.register net "ok.org";
+  reg net "ok.org";
   let gw = Gateway.create ~whitelist:[ "ok.org" ] ~tokens_per_tick:0.1 ~burst:5.0 in
   let sent = ref 0 in
   for _ = 1 to 100 do
@@ -296,7 +300,7 @@ let test_gateway_rate_limit () =
 
 let test_gateway_fractional_rate () =
   let net = Net.create () in
-  Net.register net "ok.org";
+  reg net "ok.org";
   (* 0.4 tokens/tick: exact accrual means 5 ticks buy exactly 2 packets,
      and the fraction is never lost to rounding across refills *)
   let gw = Gateway.create ~whitelist:[ "ok.org" ] ~tokens_per_tick:0.4 ~burst:10.0 in
@@ -319,7 +323,7 @@ let test_gateway_fractional_rate () =
 
 let test_gateway_burst_clamp () =
   let net = Net.create () in
-  Net.register net "ok.org";
+  reg net "ok.org";
   let gw = Gateway.create ~whitelist:[ "ok.org" ] ~tokens_per_tick:100.0 ~burst:3.0 in
   (* an arbitrarily long idle period must not bank more than burst *)
   ignore (Gateway.submit gw net ~now:1_000_000 ~src:"m" ~dst:"ok.org" "x");
@@ -333,7 +337,7 @@ let test_gateway_burst_clamp () =
 
 let test_gateway_backwards_clock () =
   let net = Net.create () in
-  Net.register net "ok.org";
+  reg net "ok.org";
   let gw = Gateway.create ~whitelist:[ "ok.org" ] ~tokens_per_tick:1.0 ~burst:5.0 in
   (* drain at the latest time the hostile clock will ever report *)
   let drained = ref 0 in
@@ -373,6 +377,20 @@ let test_gateway_rejects_bad_rates () =
   Alcotest.(check bool) "zero rate is a valid (never-refilling) policy" false
     (rejects ~tokens_per_tick:0.0 ~burst:5.0)
 
+(* tenant/shard churn: place → destroy → re-place on the same address
+   is clean, and a duplicate is a typed refusal, never an exception *)
+let test_register_churn () =
+  let net = Net.create () in
+  Alcotest.(check bool) "place" true (Net.register net "t1/web" = Ok ());
+  Alcotest.(check bool) "duplicate is a typed error" true
+    (Net.register net "t1/web" = Error `Duplicate_addr);
+  Net.send net ~src:"t1/web" ~dst:"t1/web" "pending";
+  Net.unregister net "t1/web";
+  Alcotest.(check bool) "re-place after destroy" true
+    (Net.register net "t1/web" = Ok ());
+  Alcotest.(check (option string)) "destroy dropped the old mailbox" None
+    (Option.map (fun p -> p.Net.payload) (Net.recv net "t1/web"))
+
 let suite =
   [ Alcotest.test_case "basic delivery" `Quick test_basic_delivery;
     Alcotest.test_case "unknown destination dropped" `Quick test_unknown_destination_dropped;
@@ -408,4 +426,6 @@ let suite =
     Alcotest.test_case "gateway backwards clock mints nothing" `Quick
       test_gateway_backwards_clock;
     Alcotest.test_case "gateway rejects NaN and negative policy" `Quick
-      test_gateway_rejects_bad_rates ]
+      test_gateway_rejects_bad_rates;
+    Alcotest.test_case "register churn: place, destroy, re-place" `Quick
+      test_register_churn ]

@@ -268,7 +268,7 @@ let prop_bucket_never_exceeds_burst =
       let module Net = Lt_net.Net in
       let module Gateway = Lt_net.Gateway in
       let net = Net.create () in
-      Net.register net "dst";
+      Result.get_ok (Net.register net "dst");
       let burst = 5.0 in
       let gw = Gateway.create ~whitelist:[ "dst" ] ~tokens_per_tick:0.5 ~burst in
       let times = List.sort Stdlib.compare times in

@@ -8,8 +8,8 @@ open Lateral
 (* one TLS channel pair over a fresh network *)
 let channel rng ~ca ~server_key ~cert =
   let net = Net.create () in
-  Net.register net "c";
-  Net.register net "s";
+  Result.get_ok (Net.register net "c");
+  Result.get_ok (Net.register net "s");
   let client = Sc.Client.create rng ~trusted_ca:ca.Rsa.pub () in
   let server = Sc.Server.create rng ~key:server_key ~cert in
   match Sc.connect net ~client ~client_addr:"c" ~server ~server_addr:"s" with

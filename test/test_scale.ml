@@ -1,0 +1,375 @@
+(* The scale layer: sharded multi-tenant runs must be deterministic,
+   tenant traffic must be pool-size independent, shard kills must stay
+   inside the dead shard's domain set — and the per-trust-domain static
+   verdicts must isolate tenants from each other's deltas. *)
+
+open Lateral
+module Sc = Lt_scale.Scale
+module Fc = Lt_fleet.Fleet_chaos
+module Load = Lt_load.Load
+module Drbg = Lt_crypto.Drbg
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let small = { Sc.default with sc_tenants = 12; sc_shards = 3 }
+
+let run_exn cfg =
+  match Sc.run cfg with Ok r -> r | Error e -> Alcotest.fail e
+
+(* --- determinism ------------------------------------------------------------ *)
+
+let test_determinism () =
+  let a = run_exn small and b = run_exn small in
+  Alcotest.(check string) "equal seeds give byte-identical reports"
+    (Sc.render_report_json a) (Sc.render_report_json b);
+  let c = run_exn { small with sc_seed = 2 } in
+  Alcotest.(check bool) "different seed, different traffic" false
+    (Sc.render_report_json a = Sc.render_report_json c)
+
+let test_tenant_prefix () =
+  let digests cfg =
+    List.map (fun tr -> tr.Sc.tr_traffic) (run_exn cfg).Sc.s_tenant_reports
+  in
+  let d12 = digests small in
+  let d48 = digests { small with sc_tenants = 48 } in
+  List.iteri
+    (fun i d ->
+      Alcotest.(check string)
+        (Printf.sprintf "tenant %d traffic is pool-size independent" i)
+        d (List.nth d48 i))
+    d12
+
+(* --- shard kills ------------------------------------------------------------ *)
+
+let test_shard_kill_contained () =
+  let cfg = { small with sc_kill_shards = [ 1 ]; sc_kill_after = 2 } in
+  let r = run_exn cfg in
+  Alcotest.(check bool) "contained" true (Sc.contained r);
+  Alcotest.(check (list int)) "killed" [ 1 ] r.Sc.s_killed_shards;
+  Alcotest.(check bool) "some requests were refused" true (r.Sc.s_refused > 0);
+  List.iter
+    (fun tr ->
+      if tr.Sc.tr_shard = 1 then
+        Alcotest.(check bool)
+          (Printf.sprintf "tenant %d on the dead shard lost requests"
+             tr.Sc.tr_tenant)
+          true
+          (tr.Sc.tr_refused > 0)
+      else begin
+        Alcotest.(check int)
+          (Printf.sprintf "tenant %d outside the dead domain set is whole"
+             tr.Sc.tr_tenant)
+          0
+          (tr.Sc.tr_refused + tr.Sc.tr_errors);
+        Alcotest.(check int) "full service" cfg.Sc.sc_requests_per_tenant
+          (tr.Sc.tr_ok + tr.Sc.tr_degraded + tr.Sc.tr_throttled)
+      end)
+    r.Sc.s_tenant_reports;
+  (* the kill does not perturb surviving tenants' traffic *)
+  let base = run_exn small in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "traffic digest unchanged by the kill"
+        a.Sc.tr_traffic b.Sc.tr_traffic)
+    base.Sc.s_tenant_reports r.Sc.s_tenant_reports
+
+let test_admission_throttle () =
+  let cfg =
+    { small with sc_admit_rate = 0.25; sc_admit_burst = 1.0 }
+  in
+  let r = run_exn cfg in
+  Alcotest.(check bool) "bucket empties" true (r.Sc.s_throttled > 0);
+  Alcotest.(check int) "every request accounted for" r.Sc.s_requests
+    (r.Sc.s_ok + r.Sc.s_degraded + r.Sc.s_errors + r.Sc.s_throttled
+   + r.Sc.s_refused);
+  Alcotest.(check bool) "throttling is still contained" true (Sc.contained r)
+
+(* --- the fleet-level shard kill audit --------------------------------------- *)
+
+let test_fleet_shard_kill_audit () =
+  let hosts = 6 and shards = 3 and kill = [ 2 ] in
+  match Fc.kill_shard_plan ~hosts ~shards ~kill with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+    Alcotest.(check (list string)) "a shard is all of its machines"
+      [ "host-3"; "host-6" ] plan.Fc.kill_hosts;
+    (match Fc.run ~plan ~hosts ~requests:150 ~seed:11 () with
+     | Error e -> Alcotest.fail e
+     | Ok (r, _) ->
+       Alcotest.(check bool) "chaos run contained" true (Fc.contained r);
+       (match Fc.shard_kill_audit ~shards ~kill r with
+        | Ok () -> ()
+        | Error l -> Alcotest.fail (String.concat "; " l));
+       (* the same report audited against the wrong kill set must fail:
+          its dead machines are not in the claimed domain set *)
+       (match Fc.shard_kill_audit ~shards ~kill:[ 0 ] r with
+        | Ok () -> Alcotest.fail "audit accepted the wrong domain set"
+        | Error _ -> ()))
+
+(* --- satellite: a crashed dependency is a typed fault, not a panic ---------- *)
+
+let test_dependency_crash_mid_run () =
+  match Load.deploy_scenario (Drbg.create 42L) Load.Mail with
+  | Error e -> Alcotest.fail e
+  | Ok dep ->
+    let errors = ref 0 and oks = ref 0 and last = ref "" in
+    (* a closed loop that loses its tls dependency mid-run: requests
+       keep completing — with typed error lines, never an exception *)
+    for i = 1 to 6 do
+      if i = 3 then
+        (match Deploy.crash dep.Load.d_deploy "tls" with
+         | Ok () -> ()
+         | Error e -> Alcotest.fail e);
+      let r =
+        Deploy.call dep.Load.d_deploy ~caller:None ~target:"ui" ~service:"show"
+          (Printf.sprintf "msg-%d" i)
+      in
+      match r with
+      | Ok _ -> incr oks
+      | Error e ->
+        incr errors;
+        last := e
+    done;
+    Alcotest.(check int) "requests before the crash succeed" 2 !oks;
+    Alcotest.(check int) "the run completed, each request an error line" 4
+      !errors;
+    (* ui called imap, imap tripped over tls: the fault is attributed to
+       the true origin two hops down, not to whichever caller found it *)
+    Alcotest.(check bool) "error names the crashed component" true
+      (contains ~needle:"tls" !last);
+    Alcotest.(check bool) "error is the typed crash, not a wrapper" true
+      (contains ~needle:"component tls crashed" !last);
+    Deploy.destroy dep.Load.d_deploy
+
+(* --- satellite: canonical per-tenant streams -------------------------------- *)
+
+let substream_props =
+  [ QCheck.Test.make ~name:"substream is non-advancing and index-pure" ~count:200
+      QCheck.(pair int64 (int_bound 1000))
+      (fun (seed, i) ->
+        let t = Drbg.create seed in
+        let before = Drbg.save t in
+        let a = Drbg.uint64 (Drbg.substream t i) in
+        let not_advanced = Drbg.save t = before in
+        (* deriving other streams first changes nothing *)
+        let t2 = Drbg.create seed in
+        List.iter (fun j -> ignore (Drbg.substream t2 j)) [ 0; 1; 2; i + 7 ];
+        let b = Drbg.uint64 (Drbg.substream t2 i) in
+        not_advanced && a = b);
+    QCheck.Test.make ~name:"distinct indexes give distinct streams" ~count:200
+      QCheck.(triple int64 (int_bound 1000) (int_bound 1000))
+      (fun (seed, i, j) ->
+        QCheck.assume (i <> j);
+        let t = Drbg.create seed in
+        Drbg.uint64 (Drbg.substream t i) <> Drbg.uint64 (Drbg.substream t j))
+  ]
+
+(* --- satellite: a delta in one trust domain cannot dirty another ------------ *)
+
+(* random two-domain fleets: tenants [a] and [b], channels strictly
+   intra-domain, protection domains unique. Deltas stay inside domain
+   [a] and preserve the component count (L021 legitimately reads the
+   fleet size, so Add/Remove may change every tenant's verdict). *)
+
+let mk_comp dom i ~size ~net ~vuln ~conns =
+  let name = Printf.sprintf "%s%d" dom i in
+  Manifest.v ~name ~provides:[ "svc" ]
+    ~connects_to:
+      (List.map
+         (fun (j, vetted) ->
+           Manifest.conn ~vetted (Printf.sprintf "%s%d" dom j) "svc")
+         conns)
+    ~trust_domain:[ String.uppercase_ascii dom ]
+    ~size_loc:size ~network_facing:net ~vulnerable:vuln ()
+
+let gen_domain dom n =
+  QCheck.Gen.(
+    let* specs =
+      flatten_l
+        (List.init n (fun i ->
+             let* size = int_range 100 9000 in
+             let* net = bool in
+             let* vuln = bool in
+             (* acyclic: only forward edges i -> j, j > i *)
+             let* conns =
+               if i >= n - 1 then return []
+               else
+                 let* fanout = int_range 0 (min 2 (n - 1 - i)) in
+                 flatten_l
+                   (List.init fanout (fun k ->
+                        let* vetted = bool in
+                        return (i + 1 + k, vetted)))
+             in
+             return (i, size, net, vuln, conns)))
+    in
+    return
+      (List.map
+         (fun (i, size, net, vuln, conns) ->
+           mk_comp dom i ~size ~net ~vuln ~conns)
+         specs))
+
+let gen_fleet =
+  QCheck.Gen.(
+    let* na = int_range 2 5 in
+    let* nb = int_range 2 5 in
+    let* a = gen_domain "a" na in
+    let* b = gen_domain "b" nb in
+    return (a @ b, na))
+
+(* a count-preserving delta inside domain [a] *)
+let gen_delta na fleet =
+  QCheck.Gen.(
+    let* i = int_range 0 (na - 1) in
+    let name = Printf.sprintf "a%d" i in
+    let m = List.find (fun m -> m.Manifest.name = name) fleet in
+    let* pick = int_range 0 2 in
+    match pick with
+    | 0 ->
+      let* size = int_range 100 9000 in
+      return (Delta.Add { m with Manifest.size_loc = size })
+    | 1 ->
+      if na < 2 then return (Delta.Add m)
+      else
+        let* j = int_range 0 (na - 1) in
+        let* vetted = bool in
+        if j = i then return (Delta.Add m)
+        else
+          return
+            (Delta.Connect
+               { caller = name;
+                 conn =
+                   Manifest.conn ~vetted (Printf.sprintf "a%d" j) "svc" })
+    | _ ->
+      (match m.Manifest.connects_to with
+       | [] -> return (Delta.Add m)
+       | c :: _ ->
+         return
+           (Delta.Disconnect
+              { caller = name;
+                target = c.Manifest.target;
+                service = c.Manifest.service }))
+  )
+
+let domain_isolation_prop =
+  QCheck.Test.make ~name:"a delta inside domain A never dirties domain B's slice"
+    ~count:60
+    (QCheck.make
+       ~print:(fun (fleet, _, _) ->
+         String.concat "\n"
+           (List.map (fun m -> Format.asprintf "%a" Manifest.pp m) fleet))
+       QCheck.Gen.(
+         let* fleet, na = gen_fleet in
+         let* deltas =
+           flatten_l (List.init 5 (fun _ -> gen_delta na fleet))
+         in
+         return (fleet, na, deltas)))
+    (fun (fleet, _, deltas) ->
+      let st = ref (Check.create fleet) in
+      let before = Check.domain_slice !st "B" in
+      List.for_all
+        (fun d ->
+          let st', _ = Check.apply d !st in
+          st := st';
+          (* incrementally sound against batch… *)
+          Check.divergence !st = None
+          (* …and domain B's verdict slice is byte-identical *)
+          && Check.domain_slice !st "B" = before)
+        deltas)
+
+(* --- per-domain verdicts over the materialised fleet ------------------------ *)
+
+let test_fleet_manifests_verdicts () =
+  let cfg = { small with sc_tenants = 4; sc_shards = 2 } in
+  match Sc.fleet_manifests cfg with
+  | Error e -> Alcotest.fail e
+  | Ok ms ->
+    Alcotest.(check bool) "fleet is tenants x scenario" true
+      (List.length ms mod 4 = 0 && ms <> []);
+    List.iter
+      (fun m ->
+        Alcotest.(check bool)
+          (m.Manifest.name ^ " carries a nested trust domain")
+          true
+          (List.length m.Manifest.trust_domain = 2))
+      ms;
+    (* no channel crosses a tenant boundary, so the cross-tenant
+       witnesses are empty and every per-domain verdict stands alone *)
+    let flow = Flow.analyze ms in
+    let cont = Contain.analyze ms in
+    Alcotest.(check int) "no cross-tenant taint" 0
+      (List.length (Flow.cross_tenant_hits ms flow));
+    Alcotest.(check int) "no cross-tenant leak" 0
+      (List.length (Flow.cross_tenant_leaks ms flow));
+    Alcotest.(check int) "no cross-tenant radius" 0
+      (List.length (Contain.cross_tenant_radius ms cont));
+    let diags = Lint.run ms in
+    let verdicts = Lint.render_domain_verdicts ms diags in
+    Alcotest.(check bool) "per-domain lint lines" true
+      (contains ~needle:"tenant shard-0:" verdicts
+      && contains ~needle:"tenant shard-1:" verdicts)
+
+let test_cross_tenant_rules () =
+  (* an unvetted channel across disjoint trust domains (L025), and a
+     protection domain spanning tenants (L026) *)
+  let a =
+    Manifest.v ~name:"a" ~trust_domain:[ "ta" ] ~domain:"shared"
+      ~connects_to:[ Manifest.conn "b" "svc" ] ()
+  in
+  let b =
+    Manifest.v ~name:"b" ~provides:[ "svc" ] ~trust_domain:[ "tb" ]
+      ~domain:"shared" ()
+  in
+  let diags = Lint.run [ a; b ] in
+  let has id =
+    List.exists (fun d -> d.Diagnostic.rule_id = id) diags
+  in
+  Alcotest.(check bool) "L025 fires" true (has "L025-cross-tenant-channel");
+  Alcotest.(check bool) "L026 fires" true
+    (has "L026-protection-domain-spans-tenants");
+  (* same fleet under one trust domain: neither rule fires *)
+  let diags' =
+    Lint.run
+      [ { a with Manifest.trust_domain = [ "ta" ] };
+        { b with Manifest.trust_domain = [ "ta"; "inner" ] } ]
+  in
+  let has' id = List.exists (fun d -> d.Diagnostic.rule_id = id) diags' in
+  Alcotest.(check bool) "nested domains are not disjoint" false
+    (has' "L025-cross-tenant-channel" || has' "L026-protection-domain-spans-tenants")
+
+(* --- nested domain stanzas round-trip --------------------------------------- *)
+
+let test_nested_domain_roundtrip () =
+  let text =
+    "domain shard-0\n  domain tenant-0\n\n  component web\n    network-facing\n\
+    \    connects api.svc\n  end\n  end\nend\n\ndomain shard-1\n\n\
+     component api\n  provides svc\n"
+  in
+  match Manifest_file.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok ms ->
+    let web = List.find (fun m -> m.Manifest.name = "web") ms in
+    let api = List.find (fun m -> m.Manifest.name = "api") ms in
+    Alcotest.(check (list string)) "nested path" [ "shard-0"; "tenant-0" ]
+      web.Manifest.trust_domain;
+    Alcotest.(check (list string)) "eof auto-closes" [ "shard-1" ]
+      api.Manifest.trust_domain;
+    (* print → parse is the identity *)
+    (match Manifest_file.parse (Manifest_file.to_text ms) with
+     | Error e -> Alcotest.fail e
+     | Ok ms' -> Alcotest.(check bool) "round-trips" true (ms = ms'))
+
+let suite =
+  [ ("scale: determinism", `Quick, test_determinism);
+    ("scale: tenant traffic is pool-size independent", `Quick, test_tenant_prefix);
+    ("scale: shard kill stays in its domain set", `Quick, test_shard_kill_contained);
+    ("scale: gateway admission throttles", `Quick, test_admission_throttle);
+    ("fleet: shard kill plan + domain audit", `Slow, test_fleet_shard_kill_audit);
+    ("load: crashed dependency is a typed fault", `Quick, test_dependency_crash_mid_run);
+    ("scale: fleet manifests + per-domain verdicts", `Quick, test_fleet_manifests_verdicts);
+    ("lint: cross-tenant rules L025/L026", `Quick, test_cross_tenant_rules);
+    ("manifest: nested domain stanzas round-trip", `Quick, test_nested_domain_roundtrip) ]
+  @ List.map QCheck_alcotest.to_alcotest substream_props
+  @ [ QCheck_alcotest.to_alcotest domain_isolation_prop ]
